@@ -1,0 +1,214 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "baseline/library.h"
+#include "coll/allgather.h"
+#include "coll/alltoall.h"
+#include "coll/bcast.h"
+#include "coll/gather.h"
+#include "coll/scatter.h"
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "runtime/sim_comm.h"
+
+namespace kacc::bench {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+  }
+  os << "\n== " << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << "\n";
+  };
+  emit(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-') + (c + 1 < columns_.size() ? "  " : "");
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+const char* coll_name(Coll c) {
+  switch (c) {
+    case Coll::kScatter: return "Scatter";
+    case Coll::kGather: return "Gather";
+    case Coll::kAlltoall: return "Alltoall";
+    case Coll::kAllgather: return "Allgather";
+    case Coll::kBcast: return "Bcast";
+  }
+  return "?";
+}
+
+AlgoRun AlgoRun::scatter_algo(coll::ScatterAlgo a, int throttle) {
+  AlgoRun r;
+  r.coll = Coll::kScatter;
+  r.scatter = a;
+  r.opts.throttle = throttle;
+  return r;
+}
+
+AlgoRun AlgoRun::gather_algo(coll::GatherAlgo a, int throttle) {
+  AlgoRun r;
+  r.coll = Coll::kGather;
+  r.gather = a;
+  r.opts.throttle = throttle;
+  return r;
+}
+
+AlgoRun AlgoRun::alltoall_algo(coll::AlltoallAlgo a) {
+  AlgoRun r;
+  r.coll = Coll::kAlltoall;
+  r.alltoall = a;
+  return r;
+}
+
+AlgoRun AlgoRun::allgather_algo(coll::AllgatherAlgo a, int stride) {
+  AlgoRun r;
+  r.coll = Coll::kAllgather;
+  r.allgather = a;
+  r.opts.ring_stride = stride;
+  return r;
+}
+
+AlgoRun AlgoRun::bcast_algo(coll::BcastAlgo a, int throttle) {
+  AlgoRun r;
+  r.coll = Coll::kBcast;
+  r.bcast = a;
+  r.opts.throttle = throttle;
+  return r;
+}
+
+AlgoRun AlgoRun::baseline(Coll coll, int lib_index) {
+  AlgoRun r;
+  r.coll = coll;
+  r.lib_index = lib_index;
+  return r;
+}
+
+double measure_us(const ArchSpec& spec, int p, const AlgoRun& run,
+                  std::uint64_t bytes) {
+  const auto body = [&](Comm& comm) {
+    const auto up = static_cast<std::size_t>(p);
+    const bool rooted =
+        run.coll == Coll::kScatter || run.coll == Coll::kGather;
+    const bool fan = run.coll == Coll::kAlltoall ||
+                     run.coll == Coll::kAllgather;
+    // Timing-only buffers: allocated but never touched.
+    AlignedBuffer big((rooted && comm.rank() == 0) || fan ? bytes * up
+                                                          : bytes,
+                      4096, /*zero_init=*/false);
+    AlignedBuffer small(run.coll == Coll::kAlltoall ? bytes * up : bytes,
+                        4096, /*zero_init=*/false);
+
+    std::unique_ptr<baseline::BaselineLib> lib;
+    if (run.lib_index >= 0) {
+      auto libs = baseline::all_baselines();
+      lib = std::move(libs[static_cast<std::size_t>(run.lib_index)]);
+    }
+    switch (run.coll) {
+      case Coll::kScatter:
+        if (lib) {
+          lib->scatter(comm, comm.rank() == 0 ? big.data() : nullptr,
+                       small.data(), bytes, 0);
+        } else {
+          coll::scatter(comm, comm.rank() == 0 ? big.data() : nullptr,
+                        small.data(), bytes, 0, run.scatter, run.opts);
+        }
+        break;
+      case Coll::kGather:
+        if (lib) {
+          lib->gather(comm, small.data(),
+                      comm.rank() == 0 ? big.data() : nullptr, bytes, 0);
+        } else {
+          coll::gather(comm, small.data(),
+                       comm.rank() == 0 ? big.data() : nullptr, bytes, 0,
+                       run.gather, run.opts);
+        }
+        break;
+      case Coll::kAlltoall:
+        if (lib) {
+          lib->alltoall(comm, small.data(), big.data(), bytes);
+        } else {
+          coll::alltoall(comm, small.data(), big.data(), bytes, run.alltoall,
+                         run.opts);
+        }
+        break;
+      case Coll::kAllgather:
+        if (lib) {
+          lib->allgather(comm, small.data(), big.data(), bytes);
+        } else {
+          coll::allgather(comm, small.data(), big.data(), bytes,
+                          run.allgather, run.opts);
+        }
+        break;
+      case Coll::kBcast:
+        if (lib) {
+          lib->bcast(comm, small.data(), bytes, 0);
+        } else {
+          coll::bcast(comm, small.data(), bytes, 0, run.bcast, run.opts);
+        }
+        break;
+    }
+  };
+  return run_sim(spec, p, body, /*move_data=*/false).makespan_us;
+}
+
+std::vector<std::uint64_t> size_sweep(std::uint64_t lo, std::uint64_t hi,
+                                      int p, bool quadratic_footprint) {
+  // Keep the address-space footprint of one run under ~8 GiB. Benchmark
+  // buffers are timing-only and never touched, so this is virtual address
+  // space, not physical memory.
+  constexpr std::uint64_t kBudget = 8ull << 30;
+  const std::uint64_t denom =
+      quadratic_footprint
+          ? static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(p)
+          : 2ull * static_cast<std::uint64_t>(p);
+  const std::uint64_t cap = std::max<std::uint64_t>(lo, kBudget / denom);
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = lo; s <= hi && s <= cap; s *= 2) {
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::string format_speedup(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+  return buf;
+}
+
+void banner(const std::string& what, const std::string& paper_ref) {
+  std::cout << "#############################################################"
+               "##\n# "
+            << what << "\n# Reproduces: " << paper_ref
+            << "\n# (deterministic simulator; paper Table IV/V parameters)\n"
+            << "###############################################################"
+            << "\n";
+}
+
+} // namespace kacc::bench

@@ -1,0 +1,75 @@
+// Shared harness for the per-figure benchmark binaries. Every bench runs
+// the deterministic simulator (one invocation per configuration is exact),
+// prints the paper's rows/series as aligned text tables, and needs no
+// arguments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "coll/algo.h"
+#include "runtime/comm.h"
+#include "topo/arch_spec.h"
+
+namespace kacc::bench {
+
+/// Aligned text table, printed the way the paper's figures are tabulated:
+/// first column is the message size, one column per series.
+class Table {
+public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os = std::cout) const;
+
+private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Which collective a measurement runs.
+enum class Coll { kScatter, kGather, kAlltoall, kAllgather, kBcast };
+
+const char* coll_name(Coll c);
+
+/// One measurable configuration: either a kacc algorithm (set the matching
+/// algo field) or a baseline library (set lib_index >= 0).
+struct AlgoRun {
+  Coll coll = Coll::kBcast;
+  coll::ScatterAlgo scatter = coll::ScatterAlgo::kAuto;
+  coll::GatherAlgo gather = coll::GatherAlgo::kAuto;
+  coll::AlltoallAlgo alltoall = coll::AlltoallAlgo::kAuto;
+  coll::AllgatherAlgo allgather = coll::AllgatherAlgo::kAuto;
+  coll::BcastAlgo bcast = coll::BcastAlgo::kAuto;
+  coll::CollOptions opts;
+  int lib_index = -1; ///< >= 0: run baseline library instead
+
+  static AlgoRun scatter_algo(coll::ScatterAlgo a, int throttle = 0);
+  static AlgoRun gather_algo(coll::GatherAlgo a, int throttle = 0);
+  static AlgoRun alltoall_algo(coll::AlltoallAlgo a);
+  static AlgoRun allgather_algo(coll::AllgatherAlgo a, int stride = 1);
+  static AlgoRun bcast_algo(coll::BcastAlgo a, int throttle = 0);
+  static AlgoRun baseline(Coll coll, int lib_index);
+};
+
+/// Simulated latency (us) of one collective invocation over p ranks.
+/// Deterministic; buffers are timing-only (never touched).
+double measure_us(const ArchSpec& spec, int p, const AlgoRun& run,
+                  std::uint64_t bytes);
+
+/// Message-size sweep capped so p^2 * bytes (alltoall/allgather footprint)
+/// or p * bytes (rooted collectives) stays within a sane address budget.
+std::vector<std::uint64_t> size_sweep(std::uint64_t lo, std::uint64_t hi,
+                                      int p, bool quadratic_footprint);
+
+/// Formats a speedup like the paper's summary tables ("12.4x").
+std::string format_speedup(double ratio);
+
+/// Standard banner naming the figure/table being reproduced.
+void banner(const std::string& what, const std::string& paper_ref);
+
+} // namespace kacc::bench

@@ -1,0 +1,100 @@
+// Extension (paper §IX future work: "extend these designs to other
+// collectives"): contention-aware Reduce and Allreduce built on the same
+// substrate — throttled-gather-combine vs contention-free read trees vs
+// reduce-scatter shapes, per architecture.
+#include <vector>
+
+#include "bench_util.h"
+#include "coll/reduce.h"
+#include "coll/tuner.h"
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+double reduce_us(const ArchSpec& spec, int p, std::uint64_t bytes,
+                 coll::ReduceAlgo algo) {
+  const std::size_t count = bytes / sizeof(double);
+  return run_sim(
+             spec, p,
+             [&](Comm& comm) {
+               AlignedBuffer send(bytes, 4096, false);
+               AlignedBuffer recv(comm.rank() == 0 ? bytes : 0, 4096, false);
+               coll::reduce(comm,
+                            reinterpret_cast<const double*>(send.data()),
+                            comm.rank() == 0
+                                ? reinterpret_cast<double*>(recv.data())
+                                : nullptr,
+                            count, coll::ReduceOp::kSum, 0, algo);
+             },
+             /*move_data=*/false)
+      .makespan_us;
+}
+
+double allreduce_us(const ArchSpec& spec, int p, std::uint64_t bytes,
+                    coll::AllreduceAlgo algo) {
+  const std::size_t count = bytes / sizeof(double);
+  return run_sim(
+             spec, p,
+             [&](Comm& comm) {
+               AlignedBuffer send(bytes, 4096, false);
+               AlignedBuffer recv(bytes, 4096, false);
+               coll::allreduce(comm,
+                               reinterpret_cast<const double*>(send.data()),
+                               reinterpret_cast<double*>(recv.data()), count,
+                               coll::ReduceOp::kSum, algo);
+             },
+             /*move_data=*/false)
+      .makespan_us;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Extension: contention-aware Reduce / Allreduce",
+                "paper §IX (future work)");
+  for (const ArchSpec& spec : all_presets()) {
+    const int p = spec.default_ranks;
+
+    bench::Table tr(spec.name + ", " + std::to_string(p) +
+                        " processes — Reduce(sum) latency (us)",
+                    {"size", "GatherCombine", "BinomialRead",
+                     "ReduceScatterGather", "tuner picks"});
+    for (std::uint64_t bytes : bench::size_sweep(4096, 8u << 20, p, false)) {
+      tr.add_row(
+          {format_bytes(bytes),
+           format_us(reduce_us(spec, p, bytes,
+                               coll::ReduceAlgo::kGatherCombine)),
+           format_us(reduce_us(spec, p, bytes,
+                               coll::ReduceAlgo::kBinomialRead)),
+           format_us(reduce_us(spec, p, bytes,
+                               coll::ReduceAlgo::kReduceScatterGather)),
+           coll::to_string(
+               coll::Tuner().reduce(spec, p, bytes).reduce)});
+    }
+    tr.print();
+
+    bench::Table ta(spec.name + ", " + std::to_string(p) +
+                        " processes — Allreduce(sum) latency (us)",
+                    {"size", "Reduce+Bcast", "RecDoubling", "Rabenseifner",
+                     "tuner picks"});
+    for (std::uint64_t bytes : bench::size_sweep(4096, 8u << 20, p, false)) {
+      ta.add_row(
+          {format_bytes(bytes),
+           format_us(allreduce_us(spec, p, bytes,
+                                  coll::AllreduceAlgo::kReduceBcast)),
+           format_us(allreduce_us(spec, p, bytes,
+                                  coll::AllreduceAlgo::kRecursiveDoubling)),
+           format_us(allreduce_us(spec, p, bytes,
+                                  coll::AllreduceAlgo::kRabenseifner)),
+           coll::to_string(
+               coll::Tuner().allreduce(spec, p, bytes).allreduce)});
+    }
+    ta.print();
+  }
+  return 0;
+}

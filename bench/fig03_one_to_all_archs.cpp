@@ -1,0 +1,54 @@
+// Fig 3: one-to-all CMA read latency vs concurrent readers on all three
+// architectures — the contention trend is universal.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+double one_to_all_us(const ArchSpec& spec, int readers, std::uint64_t bytes) {
+  return run_sim_ex(
+             spec, readers + 1,
+             [&](SimComm& comm) {
+               if (comm.rank() > 0) {
+                 comm.timed_cma(0, bytes, true);
+               }
+             },
+             /*move_data=*/false)
+      .makespan_us;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("One-to-all CMA read latency vs concurrency, three archs",
+                "Fig 3 (a)-(c)");
+  const auto sizes = pow2_sizes(4096, 4u << 20);
+  for (const ArchSpec& spec : all_presets()) {
+    std::vector<int> readers;
+    for (int c = 1; c < spec.default_ranks; c *= 2) {
+      readers.push_back(c);
+    }
+    readers.push_back(spec.default_ranks - 1);
+
+    std::vector<std::string> cols = {"size"};
+    for (int c : readers) {
+      cols.push_back(std::to_string(c) + "r");
+    }
+    bench::Table t(spec.name + " — one-to-all latency (us) vs readers", cols);
+    for (std::uint64_t bytes : sizes) {
+      std::vector<std::string> row = {format_bytes(bytes)};
+      for (int c : readers) {
+        row.push_back(format_us(one_to_all_us(spec, c, bytes)));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+  return 0;
+}

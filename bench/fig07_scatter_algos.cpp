@@ -1,0 +1,55 @@
+// Fig 7: Scatter algorithm comparison — parallel read, sequential write and
+// throttled reads at several throttle factors, per architecture.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+using bench::AlgoRun;
+
+int main() {
+  bench::banner("Scatter algorithms: parallel / sequential / throttled-k",
+                "Fig 7 (a)-(c)");
+  struct ArchCase {
+    ArchSpec spec;
+    std::vector<int> throttles;
+  };
+  const ArchCase cases[] = {
+      {knl(), {2, 4, 8, 16}},
+      {broadwell(), {2, 4, 7, 14}},
+      {power8(), {2, 4, 10, 20}},
+  };
+  for (const ArchCase& c : cases) {
+    const int p = c.spec.default_ranks;
+    std::vector<std::pair<std::string, AlgoRun>> series;
+    for (int k : c.throttles) {
+      series.emplace_back(
+          "Throttle=" + std::to_string(k),
+          AlgoRun::scatter_algo(coll::ScatterAlgo::kThrottledRead, k));
+    }
+    series.emplace_back("ParallelRead",
+                        AlgoRun::scatter_algo(coll::ScatterAlgo::kParallelRead));
+    series.emplace_back(
+        "SequentialWrite",
+        AlgoRun::scatter_algo(coll::ScatterAlgo::kSequentialWrite));
+
+    std::vector<std::string> cols = {"size"};
+    for (const auto& [name, run] : series) {
+      cols.push_back(name);
+    }
+    bench::Table t(c.spec.name + ", " + std::to_string(p) +
+                       " processes — Scatter latency (us)",
+                   cols);
+    for (std::uint64_t bytes : bench::size_sweep(1024, 16u << 20, p, false)) {
+      std::vector<std::string> row = {format_bytes(bytes)};
+      for (const auto& [name, run] : series) {
+        row.push_back(format_us(bench::measure_us(c.spec, p, run, bytes)));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+  return 0;
+}

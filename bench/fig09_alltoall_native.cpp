@@ -1,0 +1,44 @@
+// Fig 9: the advantage of native CMA collectives — pairwise Alltoall
+// implemented three ways: two-copy shared memory (SHMEM), point-to-point
+// CMA with RTS/CTS control messages (CMA-pt2pt), and the native CMA
+// collective that exchanges addresses once (CMA-coll).
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+using bench::AlgoRun;
+
+int main() {
+  bench::banner("Pairwise Alltoall: SHMEM vs CMA-pt2pt vs CMA-coll",
+                "Fig 9 (a)-(b)");
+  const ArchSpec archs[] = {knl(), broadwell()};
+  for (const ArchSpec& spec : archs) {
+    const int p = spec.default_ranks;
+    const std::pair<std::string, AlgoRun> series[] = {
+        {"SHMEM", AlgoRun::alltoall_algo(coll::AlltoallAlgo::kPairwiseShmem)},
+        {"CMA-pt2pt",
+         AlgoRun::alltoall_algo(coll::AlltoallAlgo::kPairwisePt2pt)},
+        {"CMA-coll", AlgoRun::alltoall_algo(coll::AlltoallAlgo::kPairwise)},
+    };
+    bench::Table t(spec.name + ", " + std::to_string(p) +
+                       " processes — Alltoall latency (us)",
+                   {"size", "SHMEM", "CMA-pt2pt", "CMA-coll",
+                    "coll vs pt2pt"});
+    for (std::uint64_t bytes : bench::size_sweep(1024, 1u << 20, p, true)) {
+      double vals[3] = {};
+      for (int i = 0; i < 3; ++i) {
+        vals[i] = bench::measure_us(spec, p, series[i].second, bytes);
+      }
+      t.add_row({format_bytes(bytes), format_us(vals[0]), format_us(vals[1]),
+                 format_us(vals[2]),
+                 bench::format_speedup(vals[1] / vals[2])});
+    }
+    t.print();
+  }
+  std::cout << "\nNote: CMA-coll's win over CMA-pt2pt shrinks for very large "
+               "messages — the\nRTS/CTS overhead amortizes (paper §IV-C3).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig 12: model validation — predicted ("Modeled") vs simulated ("Actual")
+// latency of three Broadcast designs: (1) direct read, (2) direct write,
+// (3) scatter-allgather. Validating scatter-allgather indirectly validates
+// the Scatter and Allgather models too (paper §VI).
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "model/predict.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+using bench::AlgoRun;
+
+int main() {
+  bench::banner("Model validation: predicted vs simulated Bcast latency",
+                "Fig 12 (a)-(b)");
+  const ArchSpec archs[] = {knl(), broadwell()};
+  struct Variant {
+    const char* name;
+    AlgoRun run;
+    double (*predict_fn)(const ArchSpec&, int, std::uint64_t);
+  };
+  const Variant variants[] = {
+      {"DirectRead", AlgoRun::bcast_algo(coll::BcastAlgo::kDirectRead),
+       predict::bcast_direct_read},
+      {"DirectWrite", AlgoRun::bcast_algo(coll::BcastAlgo::kDirectWrite),
+       predict::bcast_direct_write},
+      {"ScatterAllgather",
+       AlgoRun::bcast_algo(coll::BcastAlgo::kScatterAllgather),
+       predict::bcast_scatter_allgather},
+  };
+
+  for (const ArchSpec& spec : archs) {
+    const int p = spec.default_ranks;
+    double worst_err = 0.0;
+    for (const Variant& v : variants) {
+      bench::Table t(spec.name + ", " + std::to_string(p) + " processes — " +
+                         v.name + ": Actual (sim) vs Modeled",
+                     {"size", "actual us", "modeled us", "error"});
+      for (std::uint64_t bytes :
+           bench::size_sweep(4096, 4u << 20, p, false)) {
+        const double actual = bench::measure_us(spec, p, v.run, bytes);
+        const double modeled = v.predict_fn(spec, p, bytes);
+        const double err = std::abs(modeled - actual) / actual;
+        worst_err = std::max(worst_err, err);
+        char pct[16];
+        std::snprintf(pct, sizeof(pct), "%.1f%%", err * 100.0);
+        t.add_row({format_bytes(bytes), format_us(actual), format_us(modeled),
+                   pct});
+      }
+      t.print();
+    }
+    std::printf("%s worst relative error: %.1f%%\n", spec.name.c_str(),
+                worst_err * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Gather vs state-of-the-art libraries — the tuned kacc design ("Proposed") against the three
+// baseline library stand-ins. Library names carry a * because they are
+// behavioural stand-ins, not the closed-source originals (DESIGN.md §2).
+#include "bench_util.h"
+#include "topo/presets.h"
+#include "vs_libs_common.h"
+
+using namespace kacc;
+
+int main() {
+  bench::banner("Gather vs state-of-the-art libraries", "Fig 14 (a)-(c)");
+  for (const ArchSpec& spec : all_presets()) {
+    // Intel MPI was not available on the paper's OpenPOWER system.
+    const std::vector<int> libs =
+        spec.name == "Power8" ? std::vector<int>{0, 2}
+                              : std::vector<int>{0, 1, 2};
+    bench::vs_libs_table(spec, bench::Coll::kGather, 1024, 16u << 20, false, libs);
+  }
+  return 0;
+}

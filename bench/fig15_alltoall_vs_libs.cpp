@@ -1,0 +1,15 @@
+// Alltoall vs state-of-the-art libraries — the tuned kacc design ("Proposed") against the three
+// baseline library stand-ins. Library names carry a * because they are
+// behavioural stand-ins, not the closed-source originals (DESIGN.md §2).
+#include "bench_util.h"
+#include "topo/presets.h"
+#include "vs_libs_common.h"
+
+using namespace kacc;
+
+int main() {
+  bench::banner("Alltoall vs state-of-the-art libraries", "Fig 15 (a)-(b)");
+  bench::vs_libs_table(knl(), bench::Coll::kAlltoall, 1024, 1u << 20, true);
+  bench::vs_libs_table(broadwell(), bench::Coll::kAlltoall, 1024, 1u << 20, true);
+  return 0;
+}

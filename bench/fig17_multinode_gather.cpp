@@ -1,0 +1,70 @@
+// Fig 17: multi-node Gather scalability on 2/4/8 KNL nodes (128/256/512
+// ranks) — the paper's two-level hierarchical design (tuned intra-node
+// gather + one inter-node message per node) versus flat single-level
+// gathers over the modeled Omni-Path fabric.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "net/two_level.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+int main() {
+  bench::banner("Multi-node Gather: two-level (proposed) vs flat designs",
+                "Fig 17 (a)-(c)");
+  const ArchSpec spec = knl();
+  const int rpn = spec.default_ranks; // 64 ranks per node, as in the paper
+
+  for (int nodes : {2, 4, 8}) {
+    const net::MultiNodeShape shape{nodes, rpn};
+    bench::Table t(std::to_string(nodes) + " nodes, " +
+                       std::to_string(shape.total_ranks()) +
+                       " processes — Gather latency (us)",
+                   {"size", "Proposed 2-level", "Pipelined 2-level",
+                    "Flat shm", "Flat CMA-pt2pt", "speedup"});
+    for (std::uint64_t bytes : pow2_sizes(1024, 1u << 20)) {
+      const double two = net::two_level_gather_us(spec, shape, bytes);
+      const double piped =
+          net::two_level_gather_pipelined_us(spec, shape, bytes, 8);
+      const double flat_shm =
+          net::flat_gather_us(spec, shape, bytes, net::IntraKind::kShmTwoCopy);
+      const double flat_cma =
+          net::flat_gather_us(spec, shape, bytes, net::IntraKind::kCmaPt2pt);
+      const double best_flat = std::min(flat_shm, flat_cma);
+      const double best_two = std::min(two, piped);
+      t.add_row({format_bytes(bytes), format_us(two), format_us(piped),
+                 format_us(flat_shm), format_us(flat_cma),
+                 bench::format_speedup(best_flat / best_two)});
+    }
+    t.print();
+  }
+  // Paper §VII-G: "Similar performance improvements were observed with
+  // MPI Scatter" — the mirrored composition.
+  for (int nodes : {2, 8}) {
+    const net::MultiNodeShape shape{nodes, rpn};
+    bench::Table t(std::to_string(nodes) + " nodes, " +
+                       std::to_string(shape.total_ranks()) +
+                       " processes — Scatter latency (us)",
+                   {"size", "Proposed 2-level", "Flat shm", "Flat CMA-pt2pt",
+                    "speedup"});
+    for (std::uint64_t bytes : pow2_sizes(1024, 1u << 20)) {
+      const double two = net::two_level_scatter_us(spec, shape, bytes);
+      const double flat_shm = net::flat_scatter_us(
+          spec, shape, bytes, net::IntraKind::kShmTwoCopy);
+      const double flat_cma = net::flat_scatter_us(
+          spec, shape, bytes, net::IntraKind::kCmaPt2pt);
+      t.add_row({format_bytes(bytes), format_us(two), format_us(flat_shm),
+                 format_us(flat_cma),
+                 bench::format_speedup(std::min(flat_shm, flat_cma) / two)});
+    }
+    t.print();
+  }
+
+  std::cout << "\nNote: the improvement grows with node count (paper §VII-G) "
+               "— the flat root\npays the per-message rendezvous cost for "
+               "every remote rank, the two-level\ndesign only once per "
+               "node.\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Bcast vs state-of-the-art libraries — the tuned kacc design ("Proposed") against the three
+// baseline library stand-ins. Library names carry a * because they are
+// behavioural stand-ins, not the closed-source originals (DESIGN.md §2).
+#include "bench_util.h"
+#include "topo/presets.h"
+#include "vs_libs_common.h"
+
+using namespace kacc;
+
+int main() {
+  bench::banner("Bcast vs state-of-the-art libraries", "Fig 18 (a)-(b)");
+  bench::vs_libs_table(broadwell(), bench::Coll::kBcast, 1024, 16u << 20, false);
+  bench::vs_libs_table(power8(), bench::Coll::kBcast, 1024, 16u << 20, false,
+                       std::vector<int>{0, 2});
+  return 0;
+}

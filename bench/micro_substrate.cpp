@@ -1,0 +1,148 @@
+// Substrate microbenchmarks (google-benchmark): the real shared-memory
+// primitives, the simulation engine's event throughput, the NLLS solver,
+// and the native CMA path where available.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "cma/endpoint.h"
+#include "cma/probe.h"
+#include "cma/step_probe.h"
+#include "common/buffer.h"
+#include "common/pattern.h"
+#include "coll/bcast.h"
+#include "model/estimator.h"
+#include "model/gamma.h"
+#include "model/nlls.h"
+#include "runtime/sim_comm.h"
+#include "shm/arena.h"
+#include "shm/barrier.h"
+#include "shm/chunk_pipe.h"
+#include "shm/ctrl_coll.h"
+#include "shm/mailbox.h"
+#include "topo/presets.h"
+
+namespace {
+
+using namespace kacc;
+
+void BM_PatternFill(benchmark::State& state) {
+  AlignedBuffer buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pattern_fill(buf.span(), 3, 7);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PatternFill)->Arg(4096)->Arg(1 << 20);
+
+void BM_ShmSignalRoundTrip(benchmark::State& state) {
+  shm::ShmArena arena(shm::ArenaLayout::compute(2, 8192, 4));
+  std::atomic<bool> stop{false};
+  std::thread peer([&] {
+    shm::SignalBoard board(arena, 1, 2);
+    while (!stop.load(std::memory_order_acquire)) {
+      if (board.poll(0)) {
+        board.wait_signal(0);
+        board.signal(0);
+      }
+    }
+  });
+  shm::SignalBoard board(arena, 0, 2);
+  for (auto _ : state) {
+    board.signal(1);
+    board.wait_signal(1);
+  }
+  stop.store(true, std::memory_order_release);
+  peer.join();
+}
+BENCHMARK(BM_ShmSignalRoundTrip);
+
+void BM_ChunkPipeTransfer(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  shm::ShmArena arena(shm::ArenaLayout::compute(2, 8192, 4));
+  AlignedBuffer in(bytes);
+  AlignedBuffer out(bytes);
+  std::atomic<bool> stop{false};
+  std::thread receiver([&] {
+    shm::ChunkPipe pipe(arena, 1, 2);
+    shm::SignalBoard sig(arena, 1, 2);
+    while (!stop.load(std::memory_order_acquire)) {
+      if (sig.poll(0)) {
+        sig.wait_signal(0);
+        pipe.recv(0, out.data(), bytes);
+        sig.signal(0);
+      }
+    }
+  });
+  shm::ChunkPipe pipe(arena, 0, 2);
+  shm::SignalBoard sig(arena, 0, 2);
+  for (auto _ : state) {
+    sig.signal(1);
+    pipe.send(1, in.data(), bytes);
+    sig.wait_signal(1);
+  }
+  stop.store(true, std::memory_order_release);
+  receiver.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChunkPipeTransfer)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_SimEngineBarrierRound(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const SimRunResult r = run_sim(
+        broadwell(), p, [](Comm& comm) { comm.barrier(); },
+        /*move_data=*/false);
+    benchmark::DoNotOptimize(r.makespan_us);
+  }
+}
+BENCHMARK(BM_SimEngineBarrierRound)->Arg(8)->Arg(28)->Arg(64);
+
+void BM_SimTunedBcast(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const SimRunResult r = run_sim(
+        knl(), 64,
+        [&](Comm& comm) {
+          AlignedBuffer buf(bytes, 4096, /*zero_init=*/false);
+          coll::bcast(comm, buf.data(), bytes, 0);
+        },
+        /*move_data=*/false);
+    benchmark::DoNotOptimize(r.makespan_us);
+  }
+}
+BENCHMARK(BM_SimTunedBcast)->Arg(65536)->Arg(1 << 20);
+
+void BM_NllsGammaFit(benchmark::State& state) {
+  ModelProbeBackend backend(power8(), 0.02, 3);
+  const EstimatedParams seed = estimate_params(backend);
+  for (auto _ : state) {
+    const GammaFitResult fit =
+        fit_gamma(seed.gamma_samples, 10, /*fit_socket_step=*/true);
+    benchmark::DoNotOptimize(fit.rms_error);
+  }
+}
+BENCHMARK(BM_NllsGammaFit);
+
+void BM_NativeCmaRead(benchmark::State& state) {
+  if (!cma::available()) {
+    state.SkipWithError("CMA unavailable");
+    return;
+  }
+  const auto pages = static_cast<std::uint64_t>(state.range(0));
+  cma::RemoteTarget target(pages);
+  AlignedBuffer local(pages * 4096);
+  for (auto _ : state) {
+    cma::read_from(target.pid(), target.remote_addr(), local.data(),
+                   local.size());
+    benchmark::DoNotOptimize(local.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pages * 4096));
+}
+BENCHMARK(BM_NativeCmaRead)->Arg(1)->Arg(64)->Arg(1024);
+
+} // namespace

@@ -1,0 +1,62 @@
+// Table III: triggering the individual steps of a CMA transfer by varying
+// the liovcnt/riovcnt arguments of process_vm_readv. Runs the real syscall
+// path when the environment allows CMA, and the simulated backend
+// otherwise (or for the paper's architectures).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "cma/probe.h"
+#include "cma/step_probe.h"
+#include "model/estimator.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+void print_steps(const std::string& title, StepTimes (*measure)(void*, std::uint64_t),
+                 void* ctx, const std::vector<std::uint64_t>& pages) {
+  bench::Table t(title, {"pages", "T1 syscall", "T2 +access", "T3 +lock/pin",
+                         "T4 +copy"});
+  for (std::uint64_t n : pages) {
+    const StepTimes s = measure(ctx, n);
+    t.add_row({std::to_string(n), format_us(s.syscall_us),
+               format_us(s.access_us), format_us(s.lockpin_us),
+               format_us(s.full_us)});
+  }
+  t.print();
+}
+
+} // namespace
+
+int main() {
+  bench::banner("CMA step triggering via partial iovec counts",
+                "Table III");
+  const std::vector<std::uint64_t> pages = {1, 16, 64, 256, 1024};
+
+  // Simulated backends for the paper's architectures.
+  for (const ArchSpec& spec : all_presets()) {
+    ModelProbeBackend backend(spec, /*noise=*/0.02, /*seed=*/5);
+    print_steps(
+        spec.name + " (simulated, us)",
+        [](void* ctx, std::uint64_t n) {
+          return static_cast<ModelProbeBackend*>(ctx)->measure_steps(n);
+        },
+        &backend, pages);
+  }
+
+  // Real syscall path against a live child process, when permitted.
+  if (cma::available()) {
+    print_steps(
+        "host (native process_vm_readv, us)",
+        [](void*, std::uint64_t n) {
+          cma::RemoteTarget target(n);
+          return cma::measure_native_steps(target, n, /*reps=*/32);
+        },
+        nullptr, pages);
+  } else {
+    std::printf("\nnative probe skipped: %s\n", cma::unavailable_reason());
+  }
+  return 0;
+}

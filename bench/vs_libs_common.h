@@ -1,0 +1,52 @@
+// Shared driver for the Fig 13-16/18 "proposed vs state-of-the-art
+// libraries" comparisons: the tuned kacc collective against the three
+// baseline library stand-ins (see DESIGN.md §2 for the substitution).
+#pragma once
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "topo/arch_spec.h"
+
+namespace kacc::bench {
+
+inline const char* kLibNames[] = {"MVAPICH2* (shm)", "IntelMPI* (pt2pt)",
+                                  "OpenMPI* (knem)"};
+
+/// Prints one arch's proposed-vs-libraries sweep; lib_mask selects which
+/// baselines appear (Intel MPI was absent on the paper's POWER8 system).
+inline void vs_libs_table(const ArchSpec& spec, Coll coll,
+                          std::uint64_t lo, std::uint64_t hi,
+                          bool quadratic_footprint,
+                          const std::vector<int>& libs = {0, 1, 2}) {
+  const int p = spec.default_ranks;
+  std::vector<std::string> cols = {"size", "Proposed"};
+  for (int lib : libs) {
+    cols.push_back(kLibNames[lib]);
+  }
+  cols.push_back("best speedup");
+
+  AlgoRun proposed;
+  proposed.coll = coll; // all algo fields default to kAuto -> the Tuner
+
+  Table t(spec.name + ", " + std::to_string(p) + " processes — " +
+              coll_name(coll) + " latency (us)",
+          cols);
+  for (std::uint64_t bytes : size_sweep(lo, hi, p, quadratic_footprint)) {
+    const double ours = measure_us(spec, p, proposed, bytes);
+    std::vector<std::string> row = {format_bytes(bytes), format_us(ours)};
+    double best = 1e300;
+    for (int lib : libs) {
+      const double b = measure_us(spec, p, AlgoRun::baseline(coll, lib),
+                                  bytes);
+      best = std::min(best, b);
+      row.push_back(format_us(b));
+    }
+    row.push_back(format_speedup(best / ours));
+    t.add_row(std::move(row));
+  }
+  t.print();
+}
+
+} // namespace kacc::bench

@@ -1,0 +1,76 @@
+// Autotuning report: what the model-driven tuner picks for every
+// collective, architecture and message size — the paper's "proposed"
+// configuration table, printed the way an MPI library's tuning file would
+// record it. Also demonstrates the estimator API against the host.
+//
+// Run: ./build/examples/autotune_report
+#include <cstdio>
+
+#include "kacc.h"
+
+#include "cma/step_probe.h"
+
+using namespace kacc;
+
+namespace {
+
+void report_arch(const ArchSpec& spec) {
+  const int p = spec.default_ranks;
+  std::printf("\n%s (%d ranks, %d sockets x %d cores, %zu-byte pages)\n",
+              spec.name.c_str(), p, spec.sockets, spec.cores_per_socket,
+              spec.page_size);
+  std::printf("%10s  %-28s %-28s %-22s %-28s %-22s\n", "size", "scatter",
+              "gather", "alltoall", "allgather", "bcast");
+  const coll::Tuner tuner;
+  for (std::uint64_t bytes = 1024; bytes <= (8u << 20); bytes *= 4) {
+    const auto sc = tuner.scatter(spec, p, bytes);
+    const auto ga = tuner.gather(spec, p, bytes);
+    const auto aa = tuner.alltoall(spec, p, bytes);
+    const auto ag = tuner.allgather(spec, p, bytes);
+    const auto bc = tuner.bcast(spec, p, bytes);
+    auto with_k = [](const std::string& name, int k) {
+      return k > 0 ? name + "(k=" + std::to_string(k) + ")" : name;
+    };
+    std::printf("%10s  %-28s %-28s %-22s %-28s %-22s\n",
+                format_bytes(bytes).c_str(),
+                with_k(coll::to_string(sc.scatter), sc.throttle).c_str(),
+                with_k(coll::to_string(ga.gather), ga.throttle).c_str(),
+                coll::to_string(aa.alltoall).c_str(),
+                coll::to_string(ag.allgather).c_str(),
+                with_k(coll::to_string(bc.bcast), bc.throttle).c_str());
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("kacc autotuning report — model-driven algorithm selection\n");
+  std::printf("(the \"Proposed\" line of the paper's figures, per size)\n");
+  for (const ArchSpec& spec : all_presets()) {
+    report_arch(spec);
+  }
+
+  // Host calibration: run the Table IV estimation against this machine's
+  // real CMA path when available, otherwise the model backend.
+  std::printf("\nhost calibration (Table IV methodology):\n");
+  if (cma::available()) {
+    cma::NativeProbeBackend backend(/*max_readers=*/2, /*reps=*/16);
+    EstimatorOptions opts;
+    opts.step_pages = {16, 64, 256};
+    opts.gamma_pages = {16, 64};
+    opts.concurrencies = {1, 2};
+    const EstimatedParams est = estimate_params(backend, opts);
+    std::printf("  native: alpha=%.2f us, beta=%.2f GB/s, l=%.3f us, "
+                "s=%zu bytes\n",
+                est.alpha_us, 1.0 / est.beta_us_per_byte / 1000.0, est.l_us,
+                est.page_size);
+  } else {
+    std::printf("  CMA unavailable (%s); using the Broadwell model backend\n",
+                cma::unavailable_reason());
+    ModelProbeBackend backend(broadwell(), 0.02);
+    const EstimatedParams est = estimate_params(backend);
+    std::printf("  model: alpha=%.2f us, beta=%.2f GB/s, l=%.3f us\n",
+                est.alpha_us, 1.0 / est.beta_us_per_byte / 1000.0, est.l_us);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Distributed power iteration — dominant eigenvalue of a row-distributed
+// matrix, the Allreduce-per-iteration workload (dot products and norms)
+// that motivates the Reduce/Allreduce extension.
+//
+// Each rank owns a block of rows of a diagonally dominant n x n matrix.
+// Per iteration: local mat-vec on owned rows, allgather of the result
+// slices, then an allreduce for the norm.
+//
+// Run: ./build/examples/power_iteration
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "kacc.h"
+
+using namespace kacc;
+
+namespace {
+
+constexpr int kRowsPerRank = 16;
+constexpr int kIterations = 40;
+
+/// Deterministic symmetric test matrix with a known dominant structure:
+/// A = D + small symmetric noise, D = diag(n, ..., 2, 1) scaled.
+double matrix_at(int row, int col, int n) {
+  if (row == col) {
+    return static_cast<double>(n - row) + 1.0;
+  }
+  // Tiny symmetric off-diagonal coupling.
+  const int a = std::min(row, col);
+  const int b = std::max(row, col);
+  return 0.01 * static_cast<double>((a * 31 + b * 17) % 7) /
+         static_cast<double>(n);
+}
+
+void power_iteration(Comm& comm) {
+  const int p = comm.size();
+  const int n = p * kRowsPerRank;
+  const int row0 = comm.rank() * kRowsPerRank;
+
+  std::vector<double> v(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> local(static_cast<std::size_t>(kRowsPerRank));
+  std::vector<double> next(static_cast<std::size_t>(n));
+  double lambda = 0.0;
+
+  const double t0 = comm.now_us();
+  for (int iter = 0; iter < kIterations; ++iter) {
+    // Local mat-vec over owned rows.
+    for (int r = 0; r < kRowsPerRank; ++r) {
+      double acc = 0.0;
+      for (int c = 0; c < n; ++c) {
+        acc += matrix_at(row0 + r, c, n) * v[static_cast<std::size_t>(c)];
+      }
+      local[static_cast<std::size_t>(r)] = acc;
+    }
+
+    // Tuned allgather assembles the full candidate vector.
+    coll::allgather(comm, local.data(), next.data(),
+                    local.size() * sizeof(double));
+
+    // Norm via tuned allreduce.
+    double partial = 0.0;
+    for (int r = 0; r < kRowsPerRank; ++r) {
+      partial += local[static_cast<std::size_t>(r)] *
+                 local[static_cast<std::size_t>(r)];
+    }
+    double norm_sq = 0.0;
+    coll::allreduce(comm, &partial, &norm_sq, 1, coll::ReduceOp::kSum);
+    lambda = std::sqrt(norm_sq);
+
+    for (int c = 0; c < n; ++c) {
+      v[static_cast<std::size_t>(c)] =
+          next[static_cast<std::size_t>(c)] / lambda;
+    }
+  }
+  const double elapsed = comm.now_us() - t0;
+
+  if (comm.rank() == 0) {
+    std::printf("power iteration on %d ranks (n = %d): %d iterations, "
+                "%.1f us (virtual)\n",
+                p, n, kIterations, elapsed);
+    std::printf("dominant eigenvalue estimate: %.4f (diagonal max: %.1f)\n",
+                lambda, static_cast<double>(n) + 1.0);
+    // The matrix is strongly diagonally dominant: the estimate must land
+    // within a few percent of the largest diagonal entry.
+    if (std::abs(lambda - (n + 1.0)) > 0.05 * (n + 1.0)) {
+      throw Error("power iteration failed to converge");
+    }
+    std::printf("converged: OK\n");
+  }
+}
+
+} // namespace
+
+int main() {
+  run_sim(power8(), 40, power_iteration);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Distributed matrix transpose with Alltoall — the canonical
+// personalized-all-to-all workload (FFTs, tensor re-layouts). Each rank
+// owns a block of rows; the transpose moves tile (r, q) of every rank r to
+// rank q, then each rank transposes its received tiles locally.
+//
+// Run: ./build/examples/transpose_alltoall
+#include <cstdio>
+#include <vector>
+
+#include "kacc.h"
+
+using namespace kacc;
+
+namespace {
+
+using Element = std::uint32_t;
+
+/// Value of the global matrix at (row, col) — verifiable anywhere.
+Element value_at(int row, int col, int n) {
+  return static_cast<Element>(row * n + col + 1);
+}
+
+void transpose(Comm& comm) {
+  const int p = comm.size();
+  const int rows_per_rank = 32;
+  const int n = p * rows_per_rank; // global n x n matrix
+
+  // Row-block distribution: rank owns rows [rank*rpr, (rank+1)*rpr).
+  std::vector<Element> mine(static_cast<std::size_t>(rows_per_rank) * n);
+  for (int r = 0; r < rows_per_rank; ++r) {
+    for (int c = 0; c < n; ++c) {
+      mine[static_cast<std::size_t>(r) * n + c] =
+          value_at(comm.rank() * rows_per_rank + r, c, n);
+    }
+  }
+
+  // Pack tiles: block q holds my rows restricted to columns of rank q.
+  const std::size_t tile_elems =
+      static_cast<std::size_t>(rows_per_rank) * rows_per_rank;
+  std::vector<Element> send(tile_elems * static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    for (int r = 0; r < rows_per_rank; ++r) {
+      for (int c = 0; c < rows_per_rank; ++c) {
+        send[static_cast<std::size_t>(q) * tile_elems +
+             static_cast<std::size_t>(r) * rows_per_rank + c] =
+            mine[static_cast<std::size_t>(r) * n + q * rows_per_rank + c];
+      }
+    }
+  }
+
+  // The tuned alltoall moves tile q to rank q (native CMA pairwise for
+  // this size).
+  std::vector<Element> recv(tile_elems * static_cast<std::size_t>(p));
+  const double t0 = comm.now_us();
+  coll::alltoall(comm, send.data(), recv.data(),
+                 tile_elems * sizeof(Element));
+  const double alltoall_us = comm.now_us() - t0;
+
+  // Local transpose of each received tile completes the global transpose:
+  // transposed(row, col) = original(col, row).
+  std::vector<Element> result(static_cast<std::size_t>(rows_per_rank) * n);
+  for (int q = 0; q < p; ++q) {
+    for (int r = 0; r < rows_per_rank; ++r) {
+      for (int c = 0; c < rows_per_rank; ++c) {
+        result[static_cast<std::size_t>(r) * n + q * rows_per_rank + c] =
+            recv[static_cast<std::size_t>(q) * tile_elems +
+                 static_cast<std::size_t>(c) * rows_per_rank + r];
+      }
+    }
+  }
+
+  // Verify: row i of the transposed matrix is column i of the original.
+  for (int r = 0; r < rows_per_rank; ++r) {
+    const int global_row = comm.rank() * rows_per_rank + r;
+    for (int c = 0; c < n; ++c) {
+      const Element want = value_at(c, global_row, n);
+      const Element got = result[static_cast<std::size_t>(r) * n + c];
+      if (got != want) {
+        throw Error("transpose mismatch at (" + std::to_string(global_row) +
+                    ", " + std::to_string(c) + ")");
+      }
+    }
+  }
+  if (comm.rank() == 0) {
+    std::printf("transpose of %dx%d over %d ranks: alltoall(%zu bytes/pair) "
+                "= %.1f us — verified OK\n",
+                n, n, p, tile_elems * sizeof(Element), alltoall_us);
+  }
+}
+
+} // namespace
+
+int main() {
+  run_sim(knl(), 64, transpose);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "baseline/library.h"
+#include "coll/allgather.h"
+#include "coll/alltoall.h"
+#include "coll/bcast.h"
+#include "coll/gather.h"
+#include "coll/scatter.h"
+
+namespace kacc::baseline {
+namespace {
+
+/// Kernel-assisted but contention-unaware: the Ma et al. / Open MPI design
+/// point. Single-copy everywhere, with direct parallel access to one
+/// source — exactly the pattern the paper shows collapsing under the
+/// page-lock contention.
+class KnemStyleLib final : public BaselineLib {
+public:
+  [[nodiscard]] std::string name() const override {
+    return "kernel-naive (OpenMPI-style)";
+  }
+
+  void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+               std::size_t bytes, int root) override {
+    coll::scatter(comm, sendbuf, recvbuf, bytes, root,
+                  coll::ScatterAlgo::kParallelRead);
+  }
+
+  void gather(Comm& comm, const void* sendbuf, void* recvbuf,
+              std::size_t bytes, int root) override {
+    coll::gather(comm, sendbuf, recvbuf, bytes, root,
+                 coll::GatherAlgo::kParallelWrite);
+  }
+
+  void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+                std::size_t bytes) override {
+    coll::alltoall(comm, sendbuf, recvbuf, bytes,
+                   coll::AlltoallAlgo::kPairwisePt2pt);
+  }
+
+  void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+                 std::size_t bytes) override {
+    coll::allgather(comm, sendbuf, recvbuf, bytes,
+                    coll::AllgatherAlgo::kRecursiveDoubling);
+  }
+
+  void bcast(Comm& comm, void* buf, std::size_t bytes, int root) override {
+    coll::bcast(comm, buf, bytes, root, coll::BcastAlgo::kDirectRead);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<BaselineLib> make_knem_style_lib() {
+  return std::make_unique<KnemStyleLib>();
+}
+
+std::vector<std::unique_ptr<BaselineLib>> all_baselines() {
+  std::vector<std::unique_ptr<BaselineLib>> libs;
+  libs.push_back(make_shmem_lib());
+  libs.push_back(make_pt2pt_cma_lib());
+  libs.push_back(make_knem_style_lib());
+  return libs;
+}
+
+} // namespace kacc::baseline

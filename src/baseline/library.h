@@ -1,0 +1,57 @@
+// Behavioural stand-ins for the state-of-the-art MPI libraries the paper
+// compares against (MVAPICH2 2.3a, Intel MPI 2017, Open MPI). The closed
+// tunings of those libraries are not reproducible, but the paper attributes
+// their intra-node behaviour to three concrete mechanisms, which we
+// implement faithfully:
+//
+//   * ShmemLib      — two-copy shared-memory collectives (CICO pipelines);
+//                     the classic pre-CMA design (MVAPICH2-style).
+//   * Pt2ptCmaLib   — collectives composed from point-to-point CMA
+//                     transfers, each paying an RTS/CTS control handshake;
+//                     contention-unaware (Intel-MPI-style CMA pt2pt).
+//   * KnemStyleLib  — kernel-assisted collectives without contention
+//                     awareness (Ma et al. / Open MPI coll/sm+KNEM style):
+//                     direct parallel reads from a single source.
+//
+// See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/comm.h"
+
+namespace kacc::baseline {
+
+class BaselineLib {
+public:
+  virtual ~BaselineLib() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+                       std::size_t bytes, int root) = 0;
+  virtual void gather(Comm& comm, const void* sendbuf, void* recvbuf,
+                      std::size_t bytes, int root) = 0;
+  virtual void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+                        std::size_t bytes) = 0;
+  virtual void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+                         std::size_t bytes) = 0;
+  virtual void bcast(Comm& comm, void* buf, std::size_t bytes, int root) = 0;
+};
+
+/// Two-copy shared-memory library (MVAPICH2-2.3a-style stand-in).
+std::unique_ptr<BaselineLib> make_shmem_lib();
+
+/// Point-to-point CMA with RTS/CTS handshakes (Intel-MPI-2017-style).
+std::unique_ptr<BaselineLib> make_pt2pt_cma_lib();
+
+/// Contention-unaware kernel-assisted collectives (Open-MPI/KNEM-style).
+std::unique_ptr<BaselineLib> make_knem_style_lib();
+
+/// All three, in the order the paper's figures list them.
+std::vector<std::unique_ptr<BaselineLib>> all_baselines();
+
+} // namespace kacc::baseline

@@ -1,0 +1,114 @@
+#include <vector>
+
+#include "baseline/library.h"
+#include "coll/alltoall.h"
+#include "coll/bcast.h"
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace kacc::baseline {
+namespace {
+
+/// Every message crosses the two-copy shm pipe; roots operate linearly.
+class ShmemLib final : public BaselineLib {
+public:
+  [[nodiscard]] std::string name() const override {
+    return "shmem-2copy (MVAPICH2-style)";
+  }
+
+  void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+               std::size_t bytes, int root) override {
+    const int p = comm.size();
+    if (comm.rank() == root) {
+      for (int q = 0; q < p; ++q) {
+        if (q == root) {
+          continue;
+        }
+        comm.shm_send(q,
+                      static_cast<const std::byte*>(sendbuf) +
+                          static_cast<std::size_t>(q) * bytes,
+                      bytes);
+      }
+      comm.local_copy(recvbuf,
+                      static_cast<const std::byte*>(sendbuf) +
+                          static_cast<std::size_t>(root) * bytes,
+                      bytes);
+    } else {
+      comm.shm_recv(root, recvbuf, bytes);
+    }
+  }
+
+  void gather(Comm& comm, const void* sendbuf, void* recvbuf,
+              std::size_t bytes, int root) override {
+    const int p = comm.size();
+    if (comm.rank() == root) {
+      for (int q = 0; q < p; ++q) {
+        if (q == root) {
+          continue;
+        }
+        comm.shm_recv(q,
+                      static_cast<std::byte*>(recvbuf) +
+                          static_cast<std::size_t>(q) * bytes,
+                      bytes);
+      }
+      comm.local_copy(static_cast<std::byte*>(recvbuf) +
+                          static_cast<std::size_t>(root) * bytes,
+                      sendbuf, bytes);
+    } else {
+      comm.shm_send(root, sendbuf, bytes);
+    }
+  }
+
+  void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+                std::size_t bytes) override {
+    coll::alltoall(comm, sendbuf, recvbuf, bytes,
+                   coll::AlltoallAlgo::kPairwiseShmem);
+  }
+
+  void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+                 std::size_t bytes) override {
+    // Classic shm ring: pass blocks around, two copies per hop.
+    const int p = comm.size();
+    const int rank = comm.rank();
+    comm.local_copy(static_cast<std::byte*>(recvbuf) +
+                        static_cast<std::size_t>(rank) * bytes,
+                    sendbuf, bytes);
+    const int right = pmod(rank + 1, p);
+    const int left = pmod(rank - 1, p);
+    for (int step = 0; step < p - 1; ++step) {
+      const int send_blk = pmod(rank - step, p);
+      const int recv_blk = pmod(rank - step - 1, p);
+      auto do_send = [&] {
+        comm.shm_send(right,
+                      static_cast<const std::byte*>(recvbuf) +
+                          static_cast<std::size_t>(send_blk) * bytes,
+                      bytes);
+      };
+      auto do_recv = [&] {
+        comm.shm_recv(left,
+                      static_cast<std::byte*>(recvbuf) +
+                          static_cast<std::size_t>(recv_blk) * bytes,
+                      bytes);
+      };
+      if (rank == 0) { // break the ring's circular wait
+        do_recv();
+        do_send();
+      } else {
+        do_send();
+        do_recv();
+      }
+    }
+  }
+
+  void bcast(Comm& comm, void* buf, std::size_t bytes, int root) override {
+    coll::bcast(comm, buf, bytes, root, coll::BcastAlgo::kShmemSlot);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<BaselineLib> make_shmem_lib() {
+  return std::make_unique<ShmemLib>();
+}
+
+} // namespace kacc::baseline

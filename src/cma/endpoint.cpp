@@ -1,0 +1,74 @@
+#include "cma/endpoint.h"
+
+#include <sys/uio.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/error.h"
+
+namespace kacc::cma {
+namespace {
+
+// Keep each iovec segment bounded so a single syscall never exceeds what
+// the kernel caps per-iovec, and partial completion stays easy to resume.
+constexpr std::size_t kMaxSegment = 1ull << 30;
+
+template <typename SyscallFn>
+void transfer_loop(pid_t pid, std::uint64_t remote_addr, char* local,
+                   std::size_t bytes, SyscallFn fn, const char* what) {
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t chunk = std::min(bytes - done, kMaxSegment);
+    struct iovec liov {
+      local + done, chunk
+    };
+    struct iovec riov {
+      reinterpret_cast<void*>(remote_addr + done), chunk
+    };
+    const ssize_t n = fn(pid, &liov, 1, &riov, 1, 0);
+    if (n < 0) {
+      throw SyscallError(what, errno);
+    }
+    if (n == 0) {
+      throw SyscallError(what, EIO); // no forward progress
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+} // namespace
+
+void read_from(pid_t pid, std::uint64_t remote_addr, void* local,
+               std::size_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  transfer_loop(pid, remote_addr, static_cast<char*>(local), bytes,
+                ::process_vm_readv, "process_vm_readv");
+}
+
+void write_to(pid_t pid, std::uint64_t remote_addr, const void* local,
+              std::size_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  transfer_loop(pid, remote_addr,
+                const_cast<char*>(static_cast<const char*>(local)), bytes,
+                ::process_vm_writev, "process_vm_writev");
+}
+
+ssize_t raw_readv(pid_t pid, void* local, std::size_t local_len,
+                  std::uint64_t remote_addr, std::size_t remote_len,
+                  unsigned long liovcnt, unsigned long riovcnt) {
+  struct iovec liov {
+    local, local_len
+  };
+  struct iovec riov {
+    reinterpret_cast<void*>(remote_addr), remote_len
+  };
+  return ::process_vm_readv(pid, liovcnt != 0 ? &liov : nullptr, liovcnt,
+                            riovcnt != 0 ? &riov : nullptr, riovcnt, 0);
+}
+
+} // namespace kacc::cma

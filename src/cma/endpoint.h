@@ -1,0 +1,30 @@
+// Thin, safe wrappers over the Cross Memory Attach syscalls
+// (process_vm_readv / process_vm_writev), the kernel-assisted single-copy
+// mechanism the paper builds on. Handles iovec chunking, partial transfers,
+// and errno mapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+namespace kacc::cma {
+
+/// Reads `bytes` from `remote_addr` in the address space of `pid` into
+/// `local`. Loops until complete; throws SyscallError on failure.
+void read_from(pid_t pid, std::uint64_t remote_addr, void* local,
+               std::size_t bytes);
+
+/// Writes `bytes` from `local` into `remote_addr` of `pid`.
+void write_to(pid_t pid, std::uint64_t remote_addr, const void* local,
+              std::size_t bytes);
+
+/// Single raw process_vm_readv call with explicit iovec counts — the
+/// Table III step-triggering primitive. Returns the syscall's return value
+/// and leaves errno handling to the caller (a return of -1 with EINVAL etc.
+/// is meaningful to the probes).
+ssize_t raw_readv(pid_t pid, void* local, std::size_t local_len,
+                  std::uint64_t remote_addr, std::size_t remote_len,
+                  unsigned long liovcnt, unsigned long riovcnt);
+
+} // namespace kacc::cma

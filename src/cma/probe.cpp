@@ -1,0 +1,102 @@
+#include "cma/probe.h"
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "cma/endpoint.h"
+#include "common/log.h"
+
+namespace kacc::cma {
+namespace {
+
+struct ProbeResult {
+  bool ok = false;
+  std::string reason;
+};
+
+ProbeResult run_probe() {
+  // The child publishes a known pattern in a shared page (so the parent
+  // learns the address) and the parent CMA-reads a private copy of it.
+  constexpr std::size_t kLen = 4096;
+  void* shared = ::mmap(nullptr, kLen, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (shared == MAP_FAILED) {
+    return {false, std::string("mmap: ") + std::strerror(errno)};
+  }
+  auto* flag = static_cast<std::atomic<int>*>(shared);
+  auto* addr_slot = reinterpret_cast<std::atomic<std::uint64_t>*>(
+      static_cast<char*>(shared) + 64);
+  flag->store(0);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::munmap(shared, kLen);
+    return {false, std::string("fork: ") + std::strerror(errno)};
+  }
+  if (pid == 0) {
+    // Child: private buffer with a pattern, publish its address, wait.
+    static volatile char private_buf[256];
+    for (std::size_t i = 0; i < sizeof(private_buf); ++i) {
+      private_buf[i] = static_cast<char>(i * 7 + 3);
+    }
+    addr_slot->store(reinterpret_cast<std::uint64_t>(&private_buf[0]));
+    flag->store(1);
+    while (flag->load() != 2) {
+      // parent signals completion
+    }
+    ::_exit(0);
+  }
+
+  ProbeResult result;
+  while (flag->load() != 1) {
+    // wait for child to publish
+  }
+  char local[256];
+  errno = 0;
+  try {
+    read_from(pid, addr_slot->load(), local, sizeof(local));
+    result.ok = true;
+    for (std::size_t i = 0; i < sizeof(local); ++i) {
+      if (local[i] != static_cast<char>(i * 7 + 3)) {
+        result.ok = false;
+        result.reason = "CMA read returned wrong data";
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.reason = e.what();
+  }
+
+  flag->store(2);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ::munmap(shared, kLen);
+  return result;
+}
+
+const ProbeResult& cached_probe() {
+  static ProbeResult result = [] {
+    ProbeResult r = run_probe();
+    if (!r.ok) {
+      KACC_LOG_INFO("CMA unavailable: " << r.reason);
+    }
+    return r;
+  }();
+  return result;
+}
+
+} // namespace
+
+bool available() { return cached_probe().ok; }
+
+const char* unavailable_reason() { return cached_probe().reason.c_str(); }
+
+} // namespace kacc::cma

@@ -1,0 +1,15 @@
+// Runtime availability probe for Cross Memory Attach. CMA can be absent
+// (pre-3.2 kernels) or blocked (Yama ptrace scope, seccomp, containers), so
+// every native code path is gated on this probe.
+#pragma once
+
+namespace kacc::cma {
+
+/// True when process_vm_readv works against a freshly forked child of this
+/// process. Result is computed once and cached.
+bool available();
+
+/// Human-readable reason when available() is false ("" when available).
+const char* unavailable_reason();
+
+} // namespace kacc::cma

@@ -1,0 +1,220 @@
+#include "cma/step_probe.h"
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "cma/endpoint.h"
+#include "cma/probe.h"
+#include "common/buffer.h"
+#include "common/error.h"
+#include "topo/detect.h"
+
+namespace kacc::cma {
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct CtrlPage {
+  std::atomic<int> state;               // 0=init, 1=child ready, 2=shutdown
+  std::atomic<std::uint64_t> buf_addr;  // child buffer address
+};
+
+} // namespace
+
+RemoteTarget::RemoteTarget(std::uint64_t pages) : pages_(pages) {
+  KACC_CHECK_MSG(pages >= 1, "RemoteTarget needs at least one page");
+  ctrl_ = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (ctrl_ == MAP_FAILED) {
+    throw SyscallError("mmap control page", errno);
+  }
+  auto* ctrl = new (ctrl_) CtrlPage{};
+  ctrl->state.store(0);
+
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t page_size = page > 0 ? static_cast<std::size_t>(page) : 4096;
+
+  pid_ = ::fork();
+  if (pid_ < 0) {
+    ::munmap(ctrl_, 4096);
+    throw SyscallError("fork", errno);
+  }
+  if (pid_ == 0) {
+    // Child: allocate a private buffer, fault every page in, publish, park.
+    AlignedBuffer buf(pages * page_size, page_size);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      buf.data()[i * page_size] = std::byte{0x5a};
+    }
+    ctrl->buf_addr.store(reinterpret_cast<std::uint64_t>(buf.data()));
+    ctrl->state.store(1);
+    while (ctrl->state.load() != 2) {
+      ::usleep(200);
+    }
+    ::_exit(0);
+  }
+  while (ctrl->state.load() != 1) {
+    ::sched_yield();
+  }
+  remote_addr_ = ctrl->buf_addr.load();
+}
+
+RemoteTarget::~RemoteTarget() {
+  if (pid_ > 0) {
+    static_cast<CtrlPage*>(ctrl_)->state.store(2);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+  }
+  if (ctrl_ != nullptr) {
+    ::munmap(ctrl_, 4096);
+  }
+}
+
+StepTimes measure_native_steps(RemoteTarget& target, std::uint64_t pages,
+                               int reps) {
+  KACC_CHECK_MSG(pages <= target.pages(), "probe exceeds target buffer");
+  KACC_CHECK_MSG(reps >= 1, "reps >= 1");
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t page_size = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  const std::size_t bytes = pages * page_size;
+  AlignedBuffer local(bytes, page_size);
+
+  auto timed = [&](auto&& call) {
+    // One warm-up, then the timed average.
+    call();
+    const double t0 = now_us();
+    for (int i = 0; i < reps; ++i) {
+      call();
+    }
+    return (now_us() - t0) / reps;
+  };
+
+  StepTimes t;
+  // T1: liovcnt = riovcnt = 0 — enters and exits the syscall.
+  t.syscall_us = timed([&] {
+    raw_readv(target.pid(), local.data(), 0, target.remote_addr(), 0, 0, 0);
+  });
+  // T2: 1-byte remote iovec, no local — adds the permission/access check.
+  t.access_us = timed([&] {
+    raw_readv(target.pid(), local.data(), 0, target.remote_addr(), 1, 0, 1);
+  });
+  // T3: N-page remote iovec, no local — adds lock + pin of every page.
+  t.lockpin_us = timed([&] {
+    raw_readv(target.pid(), local.data(), 0, target.remote_addr(), bytes, 0,
+              1);
+  });
+  // T4: full read — adds the data copy.
+  t.full_us = timed([&] {
+    raw_readv(target.pid(), local.data(), bytes, target.remote_addr(), bytes,
+              1, 1);
+  });
+  return t;
+}
+
+NativeProbeBackend::NativeProbeBackend(int max_readers, int reps)
+    : max_readers_(max_readers), reps_(reps) {
+  KACC_CHECK_MSG(max_readers >= 1 && reps >= 1,
+                 "NativeProbeBackend: positive max_readers and reps");
+  if (!available()) {
+    throw Error(std::string("CMA unavailable: ") + unavailable_reason());
+  }
+}
+
+StepTimes NativeProbeBackend::measure_steps(std::uint64_t pages) {
+  RemoteTarget target(pages);
+  return measure_native_steps(target, pages, reps_);
+}
+
+double NativeProbeBackend::measure_lockpin_contended(std::uint64_t pages,
+                                                     int c) {
+  KACC_CHECK_MSG(c >= 1 && c <= max_readers_, "concurrency out of range");
+  RemoteTarget target(pages);
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t page_size = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  const std::size_t bytes = pages * page_size;
+
+  // Shared sync area: start flag + per-reader average in a double slot.
+  struct Sync {
+    std::atomic<int> ready;
+    std::atomic<int> go;
+    double avg_us[256];
+  };
+  void* mem = ::mmap(nullptr, sizeof(Sync), PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    throw SyscallError("mmap sync", errno);
+  }
+  auto* sync = new (mem) Sync{};
+  sync->ready.store(0);
+  sync->go.store(0);
+
+  std::vector<pid_t> readers;
+  readers.reserve(static_cast<std::size_t>(c));
+  for (int r = 0; r < c; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      sync->go.store(1); // release any started readers before failing
+      for (pid_t child : readers) {
+        int st = 0;
+        ::waitpid(child, &st, 0);
+      }
+      ::munmap(mem, sizeof(Sync));
+      throw SyscallError("fork reader", errno);
+    }
+    if (pid == 0) {
+      AlignedBuffer local(bytes, page_size);
+      sync->ready.fetch_add(1);
+      while (sync->go.load() == 0) {
+        // spin: the window must start together
+      }
+      const double t0 = now_us();
+      for (int i = 0; i < reps_; ++i) {
+        raw_readv(target.pid(), local.data(), 0, target.remote_addr(), bytes,
+                  0, 1);
+      }
+      sync->avg_us[r] = (now_us() - t0) / reps_;
+      ::_exit(0);
+    }
+    readers.push_back(pid);
+  }
+
+  while (sync->ready.load() != c) {
+    ::sched_yield();
+  }
+  sync->go.store(1);
+  for (pid_t pid : readers) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  double total = 0.0;
+  for (int r = 0; r < c; ++r) {
+    total += sync->avg_us[r];
+  }
+  ::munmap(mem, sizeof(Sync));
+  return total / c;
+}
+
+std::size_t NativeProbeBackend::page_size() const {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<std::size_t>(page) : 4096;
+}
+
+int NativeProbeBackend::cores_per_socket() const {
+  return detect_host().cores_per_socket;
+}
+
+bool NativeProbeBackend::multi_socket() const {
+  return detect_host().sockets > 1;
+}
+
+} // namespace kacc::cma

@@ -1,0 +1,61 @@
+// Native reproduction of the paper's Table III methodology: trigger the
+// individual steps of a CMA read (syscall entry, permission check,
+// lock+pin, copy) by passing different liovcnt/riovcnt combinations to
+// process_vm_readv, and time each against a live child process.
+#pragma once
+
+#include <cstdint>
+#include <sys/types.h>
+
+#include "model/estimator.h"
+
+namespace kacc::cma {
+
+/// RAII child process exposing a page-aligned buffer for probing. The child
+/// touches every page (so they are resident) and parks until destruction.
+class RemoteTarget {
+public:
+  /// Spawns the child with a buffer of `pages` pages.
+  explicit RemoteTarget(std::uint64_t pages);
+  ~RemoteTarget();
+
+  RemoteTarget(const RemoteTarget&) = delete;
+  RemoteTarget& operator=(const RemoteTarget&) = delete;
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  [[nodiscard]] std::uint64_t remote_addr() const { return remote_addr_; }
+  [[nodiscard]] std::uint64_t pages() const { return pages_; }
+
+private:
+  pid_t pid_ = -1;
+  std::uint64_t remote_addr_ = 0;
+  std::uint64_t pages_ = 0;
+  void* ctrl_ = nullptr; // shared control page
+};
+
+/// Times the four Table III configurations against a RemoteTarget,
+/// averaging `reps` timed syscalls per configuration.
+StepTimes measure_native_steps(RemoteTarget& target, std::uint64_t pages,
+                               int reps = 64);
+
+/// ProbeBackend running against the real syscall path. Contended
+/// measurements fork `c` reader children that issue lock+pin probes in a
+/// synchronized window. Requires cma::available().
+class NativeProbeBackend final : public ProbeBackend {
+public:
+  /// max_readers bounds the fork fan-out of contended probes.
+  explicit NativeProbeBackend(int max_readers = 8, int reps = 32);
+
+  StepTimes measure_steps(std::uint64_t pages) override;
+  double measure_lockpin_contended(std::uint64_t pages, int c) override;
+  [[nodiscard]] std::size_t page_size() const override;
+  [[nodiscard]] int max_concurrency() const override { return max_readers_; }
+  [[nodiscard]] int cores_per_socket() const override;
+  [[nodiscard]] bool multi_socket() const override;
+
+private:
+  int max_readers_;
+  int reps_;
+};
+
+} // namespace kacc::cma

@@ -1,0 +1,62 @@
+#include "coll/algo.h"
+
+namespace kacc::coll {
+
+std::string to_string(ScatterAlgo a) {
+  switch (a) {
+    case ScatterAlgo::kAuto: return "auto";
+    case ScatterAlgo::kParallelRead: return "parallel-read";
+    case ScatterAlgo::kSequentialWrite: return "sequential-write";
+    case ScatterAlgo::kThrottledRead: return "throttled-read";
+  }
+  return "?";
+}
+
+std::string to_string(GatherAlgo a) {
+  switch (a) {
+    case GatherAlgo::kAuto: return "auto";
+    case GatherAlgo::kParallelWrite: return "parallel-write";
+    case GatherAlgo::kSequentialRead: return "sequential-read";
+    case GatherAlgo::kThrottledWrite: return "throttled-write";
+  }
+  return "?";
+}
+
+std::string to_string(AlltoallAlgo a) {
+  switch (a) {
+    case AlltoallAlgo::kAuto: return "auto";
+    case AlltoallAlgo::kPairwise: return "pairwise-cma-coll";
+    case AlltoallAlgo::kPairwisePt2pt: return "pairwise-cma-pt2pt";
+    case AlltoallAlgo::kPairwiseShmem: return "pairwise-shmem";
+    case AlltoallAlgo::kBruck: return "bruck";
+  }
+  return "?";
+}
+
+std::string to_string(AllgatherAlgo a) {
+  switch (a) {
+    case AllgatherAlgo::kAuto: return "auto";
+    case AllgatherAlgo::kRingNeighbor: return "ring-neighbor";
+    case AllgatherAlgo::kRingSourceRead: return "ring-source-read";
+    case AllgatherAlgo::kRingSourceWrite: return "ring-source-write";
+    case AllgatherAlgo::kRecursiveDoubling: return "recursive-doubling";
+    case AllgatherAlgo::kBruck: return "bruck";
+  }
+  return "?";
+}
+
+std::string to_string(BcastAlgo a) {
+  switch (a) {
+    case BcastAlgo::kAuto: return "auto";
+    case BcastAlgo::kDirectRead: return "direct-read";
+    case BcastAlgo::kDirectWrite: return "direct-write";
+    case BcastAlgo::kKnomialRead: return "knomial-read";
+    case BcastAlgo::kKnomialWrite: return "knomial-write";
+    case BcastAlgo::kScatterAllgather: return "scatter-allgather";
+    case BcastAlgo::kShmemTree: return "shmem-tree";
+    case BcastAlgo::kShmemSlot: return "shmem-slot";
+  }
+  return "?";
+}
+
+} // namespace kacc::coll

@@ -1,0 +1,68 @@
+// Algorithm identifiers and shared options for kacc collectives.
+#pragma once
+
+#include <string>
+
+namespace kacc::coll {
+
+enum class ScatterAlgo {
+  kAuto,            ///< Tuner decides from arch + message size
+  kParallelRead,    ///< all non-roots read concurrently (§IV-A1)
+  kSequentialWrite, ///< root writes one block at a time (§IV-A2)
+  kThrottledRead,   ///< k concurrent readers, chained signals (§IV-A3)
+};
+
+enum class GatherAlgo {
+  kAuto,
+  kParallelWrite,  ///< §IV-B1
+  kSequentialRead, ///< §IV-B2
+  kThrottledWrite, ///< §IV-B3
+};
+
+enum class AlltoallAlgo {
+  kAuto,
+  kPairwise,      ///< native CMA pairwise exchange (§IV-C1, CMA-coll)
+  kPairwisePt2pt, ///< pairwise over RTS/CTS point-to-point CMA (CMA-pt2pt)
+  kPairwiseShmem, ///< pairwise over the two-copy shm pipe (SHMEM)
+  kBruck,         ///< log-step alltoall (§IV-C2)
+};
+
+enum class AllgatherAlgo {
+  kAuto,
+  kRingNeighbor,      ///< read from (rank - j), per-step notify (§V-A1)
+  kRingSourceRead,    ///< read block i from its original source (§V-A2)
+  kRingSourceWrite,   ///< write own block to (rank + i) (§V-A2)
+  kRecursiveDoubling, ///< §V-A3
+  kBruck,             ///< §V-A4
+};
+
+enum class BcastAlgo {
+  kAuto,
+  kDirectRead,       ///< all non-roots read root concurrently (§V-B1)
+  kDirectWrite,      ///< root writes to each non-root (§V-B1)
+  kKnomialRead,      ///< k-nomial tree of reads (§V-B2)
+  kKnomialWrite,     ///< k-nomial tree of writes
+  kScatterAllgather, ///< Van de Geijn (§V-B3)
+  kShmemTree,        ///< binomial tree over the two-copy shm pipes
+  kShmemSlot,        ///< slotted shared-buffer bcast: one copy-in, p-1
+                     ///< concurrent copy-outs (MVAPICH2-style; the
+                     ///< small-message design the tuner falls back to)
+};
+
+/// Per-call knobs. Zero values mean "let the algorithm/tuner choose".
+struct CollOptions {
+  /// Throttle factor k for throttled scatter/gather and k-nomial bcast.
+  int throttle = 0;
+  /// Neighbor stride j for Ring-Neighbor allgather (gcd(p, j) must be 1).
+  int ring_stride = 1;
+  /// MPI_IN_PLACE semantics: the caller's own block is already in place.
+  bool in_place = false;
+};
+
+std::string to_string(ScatterAlgo a);
+std::string to_string(GatherAlgo a);
+std::string to_string(AlltoallAlgo a);
+std::string to_string(AllgatherAlgo a);
+std::string to_string(BcastAlgo a);
+
+} // namespace kacc::coll

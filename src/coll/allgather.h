@@ -1,0 +1,21 @@
+// All-to-all non-personalized collective: MPI_Allgather semantics.
+//
+// Every rank contributes one `bytes` block from `sendbuf`; everyone ends
+// with all p blocks rank-major in `recvbuf`.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/algo.h"
+#include "runtime/comm.h"
+
+namespace kacc::coll {
+
+/// Allgathers `bytes` per rank. With opts.in_place each rank's block is
+/// assumed already at recvbuf[rank]. opts.ring_stride selects j for
+/// kRingNeighbor (gcd(p, j) must be 1).
+void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+               std::size_t bytes, AllgatherAlgo algo = AllgatherAlgo::kAuto,
+               const CollOptions& opts = {});
+
+} // namespace kacc::coll

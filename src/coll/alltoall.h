@@ -1,0 +1,20 @@
+// All-to-all personalized collective: MPI_Alltoall semantics.
+//
+// Every rank holds p blocks in `sendbuf` (block q destined for rank q) and
+// ends with p blocks in `recvbuf` (block q originating at rank q).
+#pragma once
+
+#include <cstddef>
+
+#include "coll/algo.h"
+#include "runtime/comm.h"
+
+namespace kacc::coll {
+
+/// Exchanges `bytes` per rank pair. With opts.in_place the caller's own
+/// block is assumed already at recvbuf[rank].
+void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+              std::size_t bytes, AlltoallAlgo algo = AlltoallAlgo::kAuto,
+              const CollOptions& opts = {});
+
+} // namespace kacc::coll

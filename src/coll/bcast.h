@@ -1,0 +1,16 @@
+// One-to-all non-personalized collective: MPI_Bcast semantics.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/algo.h"
+#include "runtime/comm.h"
+
+namespace kacc::coll {
+
+/// Broadcasts `bytes` from root's `buf` into everyone's `buf`.
+/// opts.throttle selects k for the k-nomial algorithms.
+void bcast(Comm& comm, void* buf, std::size_t bytes, int root,
+           BcastAlgo algo = BcastAlgo::kAuto, const CollOptions& opts = {});
+
+} // namespace kacc::coll

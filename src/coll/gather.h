@@ -1,0 +1,20 @@
+// All-to-one personalized collective: MPI_Gather semantics.
+//
+// Every rank contributes `bytes` from `sendbuf`; the root ends with all p
+// blocks rank-major in `recvbuf`.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/algo.h"
+#include "runtime/comm.h"
+
+namespace kacc::coll {
+
+/// Gathers `bytes` per rank to root. At non-roots `recvbuf` is ignored.
+/// With opts.in_place the root's own block is assumed already placed.
+void gather(Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+            int root, GatherAlgo algo = GatherAlgo::kAuto,
+            const CollOptions& opts = {});
+
+} // namespace kacc::coll

@@ -1,0 +1,60 @@
+// Reduction collectives: MPI_Reduce / MPI_Allreduce semantics over double
+// operands — the "extend these designs to other collectives" direction the
+// paper's conclusion names. The contention analysis carries over directly:
+//
+//   * write-based reductions funnel partial vectors into ONE process, so
+//     they contend on its page-table lock exactly like Gather — the
+//     throttled gather-combine design applies;
+//   * read-based trees pull from DISTINCT children per round, so they are
+//     contention free but pay log p combine rounds;
+//   * reduce-scatter phases are pairwise (distinct peers) and contention
+//     free, like the Alltoall pairwise exchange.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/algo.h"
+#include "runtime/comm.h"
+
+namespace kacc::coll {
+
+/// Combine operator applied element-wise to double operands.
+enum class ReduceOp {
+  kSum,
+  kMax,
+};
+
+enum class ReduceAlgo {
+  kAuto,
+  kGatherCombine,        ///< tuned (throttled) gather + root combines all
+  kBinomialRead,         ///< log p rounds of contention-free child reads
+  kReduceScatterGather,  ///< recursive halving, then chunk gather to root
+};
+
+enum class AllreduceAlgo {
+  kAuto,
+  kReduceBcast,       ///< tuned reduce followed by tuned bcast
+  kRecursiveDoubling, ///< lg p full-vector exchanges, everyone combines
+  kRabenseifner,      ///< reduce-scatter + allgather (bandwidth optimal)
+};
+
+std::string to_string(ReduceOp op);
+std::string to_string(ReduceAlgo a);
+std::string to_string(AllreduceAlgo a);
+
+/// Applies `op` element-wise: acc[i] = op(acc[i], in[i]).
+void combine(ReduceOp op, double* acc, const double* in, std::size_t count);
+
+/// Reduces `count` doubles from every rank into root's `recv`. `send` and
+/// `recv` must not alias; non-roots may pass recv == nullptr.
+void reduce(Comm& comm, const double* send, double* recv, std::size_t count,
+            ReduceOp op, int root, ReduceAlgo algo = ReduceAlgo::kAuto,
+            const CollOptions& opts = {});
+
+/// Reduces into every rank's `recv`.
+void allreduce(Comm& comm, const double* send, double* recv,
+               std::size_t count, ReduceOp op,
+               AllreduceAlgo algo = AllreduceAlgo::kAuto,
+               const CollOptions& opts = {});
+
+} // namespace kacc::coll

@@ -1,0 +1,21 @@
+// One-to-all personalized collective: MPI_Scatter semantics.
+//
+// The root holds p blocks of `bytes` each in `sendbuf` (rank-major); every
+// rank (root included) ends with its own block in `recvbuf`.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/algo.h"
+#include "runtime/comm.h"
+
+namespace kacc::coll {
+
+/// Scatters `bytes` per rank from root. At non-roots `sendbuf` is ignored.
+/// With opts.in_place the root's own block is assumed already in place and
+/// no self-copy happens. kAuto routes through the Tuner.
+void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+             std::size_t bytes, int root, ScatterAlgo algo = ScatterAlgo::kAuto,
+             const CollOptions& opts = {});
+
+} // namespace kacc::coll

@@ -1,0 +1,190 @@
+#include "coll/tuner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "model/predict.h"
+
+namespace kacc::coll {
+namespace {
+
+/// Tracks the cheapest configuration seen so far.
+struct Best {
+  double cost = std::numeric_limits<double>::infinity();
+
+  bool offer(double candidate) {
+    if (candidate < cost) {
+      cost = candidate;
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+std::vector<int> Tuner::throttle_candidates(const ArchSpec& s, int p) {
+  std::vector<int> ks;
+  for (int k = 1; k < p; k *= 2) {
+    ks.push_back(k);
+  }
+  const int cps = s.cores_per_socket;
+  if (cps >= 1 && cps < p) {
+    ks.push_back(cps); // "one socket's worth" avoids the inter-socket knee
+  }
+  if (p > 1) {
+    ks.push_back(p - 1);
+  }
+  std::sort(ks.begin(), ks.end());
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+  return ks;
+}
+
+Tuner::Choice Tuner::scatter(const ArchSpec& s, int p,
+                             std::uint64_t bytes) const {
+  Choice choice;
+  Best best;
+  if (best.offer(predict::scatter_parallel_read(s, p, bytes))) {
+    choice.scatter = ScatterAlgo::kParallelRead;
+    choice.throttle = 0;
+  }
+  if (best.offer(predict::scatter_sequential_write(s, p, bytes))) {
+    choice.scatter = ScatterAlgo::kSequentialWrite;
+    choice.throttle = 0;
+  }
+  for (int k : throttle_candidates(s, p)) {
+    if (best.offer(predict::scatter_throttled_read(s, p, bytes, k))) {
+      choice.scatter = ScatterAlgo::kThrottledRead;
+      choice.throttle = k;
+    }
+  }
+  choice.predicted_us = best.cost;
+  return choice;
+}
+
+Tuner::Choice Tuner::gather(const ArchSpec& s, int p,
+                            std::uint64_t bytes) const {
+  Choice choice;
+  Best best;
+  if (best.offer(predict::gather_parallel_write(s, p, bytes))) {
+    choice.gather = GatherAlgo::kParallelWrite;
+    choice.throttle = 0;
+  }
+  if (best.offer(predict::gather_sequential_read(s, p, bytes))) {
+    choice.gather = GatherAlgo::kSequentialRead;
+    choice.throttle = 0;
+  }
+  for (int k : throttle_candidates(s, p)) {
+    if (best.offer(predict::gather_throttled_write(s, p, bytes, k))) {
+      choice.gather = GatherAlgo::kThrottledWrite;
+      choice.throttle = k;
+    }
+  }
+  choice.predicted_us = best.cost;
+  return choice;
+}
+
+Tuner::Choice Tuner::alltoall(const ArchSpec& s, int p,
+                              std::uint64_t bytes) const {
+  Choice choice;
+  Best best;
+  if (best.offer(predict::alltoall_pairwise(s, p, bytes))) {
+    choice.alltoall = AlltoallAlgo::kPairwise;
+  }
+  if (best.offer(predict::alltoall_bruck(s, p, bytes))) {
+    choice.alltoall = AlltoallAlgo::kBruck;
+  }
+  choice.predicted_us = best.cost;
+  return choice;
+}
+
+Tuner::Choice Tuner::allgather(const ArchSpec& s, int p,
+                               std::uint64_t bytes) const {
+  Choice choice;
+  Best best;
+  if (best.offer(predict::allgather_ring_source(s, p, bytes))) {
+    choice.allgather = AllgatherAlgo::kRingSourceRead;
+    choice.ring_stride = 1;
+  }
+  if (best.offer(predict::allgather_ring_neighbor(s, p, bytes, 1))) {
+    choice.allgather = AllgatherAlgo::kRingNeighbor;
+    choice.ring_stride = 1;
+  }
+  if (best.offer(predict::allgather_recursive_doubling(s, p, bytes))) {
+    choice.allgather = AllgatherAlgo::kRecursiveDoubling;
+  }
+  if (best.offer(predict::allgather_bruck(s, p, bytes))) {
+    choice.allgather = AllgatherAlgo::kBruck;
+  }
+  choice.predicted_us = best.cost;
+  return choice;
+}
+
+Tuner::Choice Tuner::bcast(const ArchSpec& s, int p,
+                           std::uint64_t bytes) const {
+  Choice choice;
+  Best best;
+  if (best.offer(predict::bcast_direct_read(s, p, bytes))) {
+    choice.bcast = BcastAlgo::kDirectRead;
+  }
+  if (best.offer(predict::bcast_direct_write(s, p, bytes))) {
+    choice.bcast = BcastAlgo::kDirectWrite;
+  }
+  for (int k : throttle_candidates(s, p)) {
+    if (best.offer(predict::bcast_knomial(s, p, bytes, k))) {
+      choice.bcast = BcastAlgo::kKnomialRead;
+      choice.throttle = k;
+    }
+  }
+  if (best.offer(predict::bcast_scatter_allgather(s, p, bytes))) {
+    choice.bcast = BcastAlgo::kScatterAllgather;
+    choice.throttle = 0;
+  }
+  if (best.offer(predict::bcast_shmem_tree(s, p, bytes))) {
+    choice.bcast = BcastAlgo::kShmemTree;
+    choice.throttle = 0;
+  }
+  if (best.offer(predict::bcast_shmem_slot(s, p, bytes))) {
+    choice.bcast = BcastAlgo::kShmemSlot;
+    choice.throttle = 0;
+  }
+  choice.predicted_us = best.cost;
+  return choice;
+}
+
+Tuner::Choice Tuner::reduce(const ArchSpec& s, int p,
+                            std::uint64_t bytes) const {
+  Choice choice;
+  Best best;
+  if (best.offer(predict::reduce_gather_combine(s, p, bytes))) {
+    choice.reduce = ReduceAlgo::kGatherCombine;
+  }
+  if (best.offer(predict::reduce_binomial_read(s, p, bytes))) {
+    choice.reduce = ReduceAlgo::kBinomialRead;
+  }
+  if (best.offer(predict::reduce_rsg(s, p, bytes))) {
+    choice.reduce = ReduceAlgo::kReduceScatterGather;
+  }
+  choice.predicted_us = best.cost;
+  return choice;
+}
+
+Tuner::Choice Tuner::allreduce(const ArchSpec& s, int p,
+                               std::uint64_t bytes) const {
+  Choice choice;
+  Best best;
+  if (best.offer(predict::allreduce_reduce_bcast(s, p, bytes))) {
+    choice.allreduce = AllreduceAlgo::kReduceBcast;
+  }
+  if (best.offer(predict::allreduce_recursive_doubling(s, p, bytes))) {
+    choice.allreduce = AllreduceAlgo::kRecursiveDoubling;
+  }
+  if (best.offer(predict::allreduce_rabenseifner(s, p, bytes))) {
+    choice.allreduce = AllreduceAlgo::kRabenseifner;
+  }
+  choice.predicted_us = best.cost;
+  return choice;
+}
+
+} // namespace kacc::coll

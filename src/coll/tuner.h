@@ -1,0 +1,56 @@
+// Model-driven algorithm selection: for a given architecture, rank count
+// and message size, evaluate the analytic cost of every candidate
+// algorithm (and throttle factor) and pick the cheapest. This implements
+// the paper's "selects the appropriate CMA algorithm for a given collective
+// based on the architecture and message size" and reproduces its observed
+// choices: throttle ~8 on KNL, ~4 on Broadwell, ~10 (one socket) on
+// POWER8, shared-memory broadcast below the CMA crossover on Broadwell,
+// ring allgather with socket-aware stride, and so on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coll/algo.h"
+#include "coll/reduce.h"
+#include "topo/arch_spec.h"
+
+namespace kacc::coll {
+
+class Tuner {
+public:
+  struct Choice {
+    ScatterAlgo scatter = ScatterAlgo::kAuto;
+    GatherAlgo gather = GatherAlgo::kAuto;
+    AlltoallAlgo alltoall = AlltoallAlgo::kAuto;
+    AllgatherAlgo allgather = AllgatherAlgo::kAuto;
+    BcastAlgo bcast = BcastAlgo::kAuto;
+    ReduceAlgo reduce = ReduceAlgo::kAuto;
+    AllreduceAlgo allreduce = AllreduceAlgo::kAuto;
+    int throttle = 0;
+    int ring_stride = 1;
+    double predicted_us = 0.0; ///< model cost of the winning configuration
+  };
+
+  [[nodiscard]] Choice scatter(const ArchSpec& s, int p,
+                               std::uint64_t bytes) const;
+  [[nodiscard]] Choice gather(const ArchSpec& s, int p,
+                              std::uint64_t bytes) const;
+  [[nodiscard]] Choice alltoall(const ArchSpec& s, int p,
+                                std::uint64_t bytes) const;
+  [[nodiscard]] Choice allgather(const ArchSpec& s, int p,
+                                 std::uint64_t bytes) const;
+  [[nodiscard]] Choice bcast(const ArchSpec& s, int p,
+                             std::uint64_t bytes) const;
+  [[nodiscard]] Choice reduce(const ArchSpec& s, int p,
+                              std::uint64_t bytes) const;
+  [[nodiscard]] Choice allreduce(const ArchSpec& s, int p,
+                                 std::uint64_t bytes) const;
+
+  /// Throttle factors the tuner sweeps: powers of two plus the socket
+  /// width, clamped to [1, p-1].
+  [[nodiscard]] static std::vector<int> throttle_candidates(
+      const ArchSpec& s, int p);
+};
+
+} // namespace kacc::coll

@@ -1,0 +1,51 @@
+#include "common/buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace kacc {
+
+AlignedBuffer::AlignedBuffer(std::size_t size, std::size_t alignment,
+                             bool zero_init)
+    : size_(size) {
+  if (size == 0) {
+    return;
+  }
+  KACC_CHECK_MSG(is_pow2(alignment), "alignment must be a power of two");
+  void* p = std::aligned_alloc(alignment, align_up(size, alignment));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  data_ = static_cast<std::byte*>(p);
+  if (zero_init) {
+    std::memset(data_, 0, size_);
+  }
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+void AlignedBuffer::fill(std::byte value) noexcept {
+  if (data_ != nullptr) {
+    std::memset(data_, static_cast<int>(value), size_);
+  }
+}
+
+} // namespace kacc

@@ -1,0 +1,47 @@
+// Page-aligned buffer for CMA transfers. The kernel path pins whole pages,
+// so all benchmark/test buffers are page-aligned to make "number of pages"
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace kacc {
+
+/// Owning, page-aligned, zero-initialized byte buffer (move-only).
+class AlignedBuffer {
+public:
+  AlignedBuffer() = default;
+
+  /// Allocates `size` bytes aligned to `alignment` (default: 4096).
+  /// `zero_init=false` leaves the pages untouched (benchmark buffers that
+  /// are never read stay virtual and cost no physical memory).
+  explicit AlignedBuffer(std::size_t size, std::size_t alignment = 4096,
+                         bool zero_init = true);
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  ~AlignedBuffer();
+
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] std::span<std::byte> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const std::byte> span() const noexcept {
+    return {data_, size_};
+  }
+
+  /// Sets every byte to `value`.
+  void fill(std::byte value) noexcept;
+
+private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+} // namespace kacc

@@ -1,0 +1,78 @@
+#include "common/bytes.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace kacc {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr struct {
+    std::uint64_t unit;
+    char suffix;
+  } kUnits[] = {
+      {1ull << 30, 'G'},
+      {1ull << 20, 'M'},
+      {1ull << 10, 'K'},
+  };
+  for (const auto& u : kUnits) {
+    if (bytes >= u.unit && bytes % u.unit == 0) {
+      return std::to_string(bytes / u.unit) + u.suffix;
+    }
+  }
+  return std::to_string(bytes);
+}
+
+std::uint64_t parse_bytes(const std::string& text) {
+  if (text.empty()) {
+    throw InvalidArgument("parse_bytes: empty string");
+  }
+  std::size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    throw InvalidArgument("parse_bytes: not a number: '" + text + "'");
+  }
+  std::uint64_t mult = 1;
+  if (pos < text.size()) {
+    if (pos + 1 != text.size()) {
+      throw InvalidArgument("parse_bytes: trailing junk in '" + text + "'");
+    }
+    switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+      case 'K': mult = 1ull << 10; break;
+      case 'M': mult = 1ull << 20; break;
+      case 'G': mult = 1ull << 30; break;
+      default:
+        throw InvalidArgument("parse_bytes: unknown suffix in '" + text + "'");
+    }
+  }
+  return value * mult;
+}
+
+std::vector<std::uint64_t> pow2_sizes(std::uint64_t lo, std::uint64_t hi) {
+  KACC_CHECK_MSG(lo > 0 && lo <= hi, "pow2_sizes: require 0 < lo <= hi");
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = lo; s <= hi; s *= 2) {
+    out.push_back(s);
+    if (s > hi / 2) {
+      break; // avoid overflow on the doubling
+    }
+  }
+  return out;
+}
+
+std::string format_us(double us) {
+  char buf[64];
+  if (us < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", us);
+  } else if (us < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", us);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", us);
+  }
+  return buf;
+}
+
+} // namespace kacc

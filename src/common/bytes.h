@@ -1,0 +1,24 @@
+// Human-readable byte-size formatting/parsing for benchmark tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kacc {
+
+/// Formats a byte count the way the paper labels its x axes:
+/// 1024 -> "1K", 4194304 -> "4M", 512 -> "512".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parses "4K", "1M", "64", "2G" (case-insensitive suffix). Throws
+/// InvalidArgument on malformed input.
+std::uint64_t parse_bytes(const std::string& text);
+
+/// Standard power-of-two message-size sweep [lo, hi] inclusive, doubling.
+std::vector<std::uint64_t> pow2_sizes(std::uint64_t lo, std::uint64_t hi);
+
+/// Formats a latency in microseconds with sensible precision for tables.
+std::string format_us(double us);
+
+} // namespace kacc

@@ -1,0 +1,24 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace kacc::detail {
+
+[[noreturn]] void throw_check_failed(const char* expr, const char* file,
+                                     unsigned line, const std::string& msg) {
+  std::ostringstream os;
+  os << "KACC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw InternalError(os.str());
+}
+
+[[noreturn]] void throw_syscall_failed(const char* expr, const char* file,
+                                       unsigned line, int err) {
+  std::ostringstream os;
+  os << "syscall failed: (" << expr << ") at " << file << ":" << line;
+  throw SyscallError(os.str(), err);
+}
+
+} // namespace kacc::detail

@@ -1,0 +1,84 @@
+// Error handling primitives for kacc.
+//
+// kacc uses exceptions for unrecoverable errors (failed syscalls, protocol
+// violations, invalid arguments). All exceptions thrown by the library derive
+// from kacc::Error so callers can catch a single type at the API boundary.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace kacc {
+
+/// Base class for every exception thrown by kacc.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid arguments passed to a public API entry point.
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A syscall failed; carries the errno value at the point of failure.
+class SyscallError : public Error {
+public:
+  SyscallError(const std::string& what, int err)
+      : Error(what + ": " + std::strerror(err)), errno_(err) {}
+
+  [[nodiscard]] int sys_errno() const noexcept { return errno_; }
+
+private:
+  int errno_;
+};
+
+/// Internal invariant violated (a bug in kacc itself, not in the caller).
+class InternalError : public Error {
+public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// The simulated ranks reached a state where no rank can make progress.
+class DeadlockError : public Error {
+public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failed(const char* expr, const char* file,
+                                     unsigned line, const std::string& msg);
+[[noreturn]] void throw_syscall_failed(const char* expr, const char* file,
+                                       unsigned line, int err);
+} // namespace detail
+
+} // namespace kacc
+
+/// Checks a runtime condition and throws kacc::InternalError when violated.
+/// Active in all build types; used for protocol and engine invariants.
+#define KACC_CHECK(expr)                                                       \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::kacc::detail::throw_check_failed(#expr, __FILE__, __LINE__, "");       \
+    }                                                                          \
+  } while (0)
+
+/// KACC_CHECK with an explanatory message appended to the exception text.
+#define KACC_CHECK_MSG(expr, msg)                                              \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::kacc::detail::throw_check_failed(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                          \
+  } while (0)
+
+/// Evaluates a syscall expression; throws kacc::SyscallError on -1.
+#define KACC_SYSCALL(expr)                                                     \
+  do {                                                                         \
+    if ((expr) == -1) {                                                        \
+      ::kacc::detail::throw_syscall_failed(#expr, __FILE__, __LINE__, errno);  \
+    }                                                                          \
+  } while (0)

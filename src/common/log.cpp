@@ -1,0 +1,57 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unistd.h>
+
+namespace kacc {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("KACC_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+} // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  // A single fprintf keeps lines whole across forked rank processes.
+  std::fprintf(stderr, "[kacc %s pid=%d] %s\n", level_name(level),
+               static_cast<int>(::getpid()), message.c_str());
+}
+
+} // namespace detail
+} // namespace kacc

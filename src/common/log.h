@@ -1,0 +1,39 @@
+// Minimal leveled logging. Collective benchmarks print their own tables;
+// the logger is for diagnostics (native runtime setup, probe results, sim
+// engine warnings). Controlled by KACC_LOG_LEVEL environment variable
+// (error|warn|info|debug) or programmatically.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace kacc {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Returns the current global log level (initialized from KACC_LOG_LEVEL,
+/// default warn).
+LogLevel log_level();
+
+/// Overrides the global log level.
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+} // namespace detail
+
+} // namespace kacc
+
+#define KACC_LOG(level, stream_expr)                                          \
+  do {                                                                        \
+    if (static_cast<int>(level) <= static_cast<int>(::kacc::log_level())) {   \
+      std::ostringstream kacc_log_os_;                                        \
+      kacc_log_os_ << stream_expr;                                            \
+      ::kacc::detail::log_emit((level), kacc_log_os_.str());                  \
+    }                                                                         \
+  } while (0)
+
+#define KACC_LOG_ERROR(s) KACC_LOG(::kacc::LogLevel::kError, s)
+#define KACC_LOG_WARN(s) KACC_LOG(::kacc::LogLevel::kWarn, s)
+#define KACC_LOG_INFO(s) KACC_LOG(::kacc::LogLevel::kInfo, s)
+#define KACC_LOG_DEBUG(s) KACC_LOG(::kacc::LogLevel::kDebug, s)

@@ -1,0 +1,67 @@
+// Small integer math helpers used across collective algorithms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace kacc {
+
+/// Greatest common divisor (Euclid). gcd(0, n) == n.
+constexpr std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Ceiling division for non-negative integers; div must be > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t num, std::uint64_t div) {
+  return (num + div - 1) / div;
+}
+
+/// True when v is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)); v must be > 0.
+constexpr unsigned ilog2_floor(std::uint64_t v) {
+  unsigned r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(v)); v must be > 0.
+constexpr unsigned ilog2_ceil(std::uint64_t v) {
+  return is_pow2(v) ? ilog2_floor(v) : ilog2_floor(v) + 1;
+}
+
+/// ceil(log_k(v)) for k >= 2, v >= 1. Number of rounds of a k-nomial tree
+/// over v participants.
+constexpr unsigned ilogk_ceil(std::uint64_t v, std::uint64_t k) {
+  unsigned r = 0;
+  std::uint64_t reach = 1;
+  while (reach < v) {
+    reach *= k;
+    ++r;
+  }
+  return r;
+}
+
+/// Positive modulo: result in [0, m) even for negative a.
+constexpr int pmod(int a, int m) {
+  int r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Rounds n up to the next multiple of align (align must be a power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+} // namespace kacc

@@ -1,0 +1,58 @@
+#include "common/pattern.h"
+
+#include <sstream>
+
+namespace kacc {
+
+std::uint8_t pattern_byte(int src, int block, std::size_t offset) noexcept {
+  // splitmix-style mixing keeps each (src, block, offset) distinguishable
+  // while staying cheap enough to fill multi-megabyte buffers in tests.
+  std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                     << 40) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(block))
+                     << 20) ^
+                    static_cast<std::uint64_t>(offset);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return static_cast<std::uint8_t>(x & 0xff);
+}
+
+void pattern_fill(std::span<std::byte> buf, int src, int block) noexcept {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>(pattern_byte(src, block, i));
+  }
+}
+
+std::ptrdiff_t pattern_find_mismatch(std::span<const std::byte> buf, int src,
+                                     int block) noexcept {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != static_cast<std::byte>(pattern_byte(src, block, i))) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+bool pattern_check(std::span<const std::byte> buf, int src,
+                   int block) noexcept {
+  return pattern_find_mismatch(buf, src, block) == -1;
+}
+
+std::string pattern_describe_mismatch(std::span<const std::byte> buf, int src,
+                                      int block) {
+  std::ptrdiff_t at = pattern_find_mismatch(buf, src, block);
+  if (at < 0) {
+    return "no mismatch";
+  }
+  std::ostringstream os;
+  os << "mismatch for (src=" << src << ", block=" << block << ") at offset "
+     << at << ": got 0x" << std::hex
+     << static_cast<int>(std::to_integer<std::uint8_t>(
+            buf[static_cast<std::size_t>(at)]))
+     << " want 0x"
+     << static_cast<int>(pattern_byte(src, block, static_cast<std::size_t>(at)));
+  return os.str();
+}
+
+} // namespace kacc

@@ -1,0 +1,34 @@
+// Deterministic data patterns for verifying collective correctness.
+//
+// Every (rank, block, byte-offset) triple maps to one byte value, so after a
+// collective each receiver can verify exactly which source block landed where
+// without shipping reference data around.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace kacc {
+
+/// Byte value expected at `offset` of the block that rank `src` sends as its
+/// `block`-th block. Mixes all three inputs so misplaced blocks are caught.
+std::uint8_t pattern_byte(int src, int block, std::size_t offset) noexcept;
+
+/// Fills `buf` with the pattern for (src, block).
+void pattern_fill(std::span<std::byte> buf, int src, int block) noexcept;
+
+/// Returns the offset of the first mismatching byte, or -1 when `buf`
+/// matches the pattern for (src, block) exactly.
+std::ptrdiff_t pattern_find_mismatch(std::span<const std::byte> buf, int src,
+                                     int block) noexcept;
+
+/// Convenience: true when the whole buffer matches.
+bool pattern_check(std::span<const std::byte> buf, int src, int block) noexcept;
+
+/// Human-readable description of a mismatch for test failure messages.
+std::string pattern_describe_mismatch(std::span<const std::byte> buf, int src,
+                                      int block);
+
+} // namespace kacc

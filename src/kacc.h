@@ -1,0 +1,44 @@
+// Umbrella header for the kacc public API.
+//
+// kacc — Kernel-Assisted Contention-aware Collectives — reproduces
+// "Contention-Aware Kernel-Assisted MPI Collectives for Multi-/Many-core
+// Systems" (Chakraborty, Subramoni, Panda; IEEE CLUSTER 2017).
+//
+// Typical use:
+//
+//   #include "kacc.h"
+//   using namespace kacc;
+//
+//   run_sim(knl(), 64, [](Comm& comm) {
+//     AlignedBuffer buf(1 << 20);
+//     coll::bcast(comm, buf.data(), buf.size(), /*root=*/0);
+//   });
+//
+// or natively (real fork + process_vm_readv), gated on cma::available():
+//
+//   run_native_team(detect_host(), 8, [](Comm& comm) { ... });
+#pragma once
+
+#include "coll/algo.h"
+#include "coll/allgather.h"
+#include "coll/alltoall.h"
+#include "coll/bcast.h"
+#include "coll/gather.h"
+#include "coll/reduce.h"
+#include "coll/scatter.h"
+#include "coll/tuner.h"
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/pattern.h"
+#include "baseline/library.h"
+#include "cma/probe.h"
+#include "model/cost_model.h"
+#include "model/estimator.h"
+#include "model/predict.h"
+#include "net/two_level.h"
+#include "runtime/comm.h"
+#include "runtime/process_team.h"
+#include "runtime/sim_comm.h"
+#include "topo/detect.h"
+#include "topo/presets.h"

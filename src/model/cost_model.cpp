@@ -1,0 +1,73 @@
+#include "model/cost_model.h"
+
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace kacc {
+
+PhaseBreakdown& PhaseBreakdown::operator+=(const PhaseBreakdown& o) {
+  syscall_us += o.syscall_us;
+  permcheck_us += o.permcheck_us;
+  lock_us += o.lock_us;
+  pin_us += o.pin_us;
+  copy_us += o.copy_us;
+  return *this;
+}
+
+CostModel::CostModel(ArchSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+double CostModel::page_time_us(int c) const {
+  return spec_.lock_us * spec_.gamma_at(c) + spec_.pin_us +
+         static_cast<double>(spec_.page_size) * spec_.contended_beta(c);
+}
+
+double CostModel::cma_cost_us(std::uint64_t bytes, int c) const {
+  if (bytes == 0) {
+    return spec_.alpha_us();
+  }
+  const auto pages = spec_.pages(bytes);
+  return spec_.alpha_us() +
+         static_cast<double>(pages) *
+             (spec_.lock_us * spec_.gamma_at(c) + spec_.pin_us) +
+         static_cast<double>(bytes) * spec_.contended_beta(c);
+}
+
+PhaseBreakdown CostModel::cma_breakdown(std::uint64_t bytes, int c) const {
+  PhaseBreakdown b;
+  b.syscall_us = spec_.syscall_us;
+  b.permcheck_us = spec_.permcheck_us;
+  if (bytes > 0) {
+    const auto pages = static_cast<double>(spec_.pages(bytes));
+    b.lock_us = pages * spec_.lock_us * spec_.gamma_at(c);
+    b.pin_us = pages * spec_.pin_us;
+    b.copy_us = static_cast<double>(bytes) * spec_.contended_beta(c);
+  }
+  return b;
+}
+
+double CostModel::memcpy_cost_us(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * spec_.beta_us_per_byte();
+}
+
+double CostModel::shm_two_copy_cost_us(std::uint64_t bytes) const {
+  if (bytes == 0) {
+    return spec_.shm_chunk_overhead_us;
+  }
+  const auto chunks = ceil_div(bytes, kShmChunkBytes);
+  // Copy-in plus copy-out of every byte (cache-speed while the message is
+  // cache resident, DRAM-bound beyond), plus per-chunk protocol overhead.
+  return 2.0 * static_cast<double>(bytes) * spec_.shm_beta(bytes) +
+         static_cast<double>(chunks) * spec_.shm_chunk_overhead_us;
+}
+
+double CostModel::one_to_all_throughput(std::uint64_t bytes, int c) const {
+  KACC_CHECK_MSG(bytes > 0 && c >= 1, "throughput needs bytes>0, c>=1");
+  // c concurrent transfers all finish at ~cma_cost_us(bytes, c); the
+  // aggregate data moved is c * bytes.
+  const double t = cma_cost_us(bytes, c);
+  return static_cast<double>(c) * static_cast<double>(bytes) / t;
+}
+
+} // namespace kacc

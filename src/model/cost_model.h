@@ -1,0 +1,74 @@
+// Analytic cost model for kernel-assisted (CMA) transfers, paper §II.
+//
+// Cost of moving n bytes with c concurrent readers/writers of the same
+// source process:
+//
+//   T(n, c) = alpha + n * beta_c + pages(n) * (lock * gamma(c) + pin)
+//
+// where alpha = syscall + permission check, beta_c the (possibly
+// bandwidth-shared) per-byte copy time, and lock/pin the two halves of the
+// paper's per-page constant l. gamma applies to the lock-acquisition share:
+// that is the serialized piece of get_user_pages (Fig 4). At c == 1 this
+// reduces exactly to the paper's alpha + n*beta + l*(n/s).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/arch_spec.h"
+
+namespace kacc {
+
+/// Time attributed to each phase of one CMA operation (Fig 4's stacking).
+struct PhaseBreakdown {
+  double syscall_us = 0.0;
+  double permcheck_us = 0.0;
+  double lock_us = 0.0;
+  double pin_us = 0.0;
+  double copy_us = 0.0;
+
+  [[nodiscard]] double total_us() const {
+    return syscall_us + permcheck_us + lock_us + pin_us + copy_us;
+  }
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o);
+};
+
+/// Evaluates the paper's transfer-cost model for a given architecture.
+class CostModel {
+public:
+  explicit CostModel(ArchSpec spec);
+
+  [[nodiscard]] const ArchSpec& spec() const { return spec_; }
+
+  /// Per-page service time (lock + pin + copy of one page) under
+  /// concurrency c. The fluid simulator drains pages at 1/page_time_us.
+  [[nodiscard]] double page_time_us(int c) const;
+
+  /// Full cost of one n-byte transfer with c concurrent peers at the
+  /// source, including the per-message startup alpha.
+  [[nodiscard]] double cma_cost_us(std::uint64_t bytes, int c) const;
+
+  /// Same, decomposed into phases.
+  [[nodiscard]] PhaseBreakdown cma_breakdown(std::uint64_t bytes, int c) const;
+
+  /// Cost of a pure memcpy of n bytes (one copy, no syscall).
+  [[nodiscard]] double memcpy_cost_us(std::uint64_t bytes) const;
+
+  /// Cost of a two-copy shared-memory transfer of n bytes (the classic
+  /// copy-in/copy-out path used by the SHMEM baseline), including chunking
+  /// overhead.
+  [[nodiscard]] double shm_two_copy_cost_us(std::uint64_t bytes) const;
+
+  /// Aggregate read throughput (bytes/us) achieved by c concurrent readers
+  /// each pulling n bytes from one source — the quantity Fig 6 plots
+  /// relative to c == 1.
+  [[nodiscard]] double one_to_all_throughput(std::uint64_t bytes, int c) const;
+
+private:
+  ArchSpec spec_;
+};
+
+/// Chunk size used by the two-copy shared-memory pipe.
+inline constexpr std::uint64_t kShmChunkBytes = 8192;
+
+} // namespace kacc

@@ -1,0 +1,158 @@
+#include "model/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "model/cost_model.h"
+
+namespace kacc {
+
+ModelProbeBackend::ModelProbeBackend(ArchSpec spec, double noise,
+                                     std::uint64_t seed)
+    : spec_(std::move(spec)), noise_(noise), state_(seed ^ 0x9e3779b97f4a7c15ull) {
+  spec_.validate();
+  KACC_CHECK_MSG(noise_ >= 0.0 && noise_ < 0.5, "noise must be in [0, 0.5)");
+}
+
+double ModelProbeBackend::jitter() {
+  if (noise_ == 0.0) {
+    return 1.0;
+  }
+  // xorshift64*: deterministic stream, uniform in [1-noise, 1+noise].
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const double u =
+      static_cast<double>((state_ * 0x2545f4914f6cdd1dull) >> 11) /
+      static_cast<double>(1ull << 53);
+  return 1.0 + noise_ * (2.0 * u - 1.0);
+}
+
+StepTimes ModelProbeBackend::measure_steps(std::uint64_t pages) {
+  const std::uint64_t bytes = pages * spec_.page_size;
+  StepTimes t;
+  t.syscall_us = spec_.syscall_us * jitter();
+  t.access_us = spec_.alpha_us() * jitter();
+  t.lockpin_us =
+      (spec_.alpha_us() + static_cast<double>(pages) * spec_.l_us()) * jitter();
+  t.full_us = CostModel(spec_).cma_cost_us(bytes, 1) * jitter();
+  return t;
+}
+
+double ModelProbeBackend::measure_lockpin_contended(std::uint64_t pages,
+                                                    int c) {
+  const double base =
+      spec_.alpha_us() +
+      static_cast<double>(pages) *
+          (spec_.lock_us * spec_.gamma_at(c) + spec_.pin_us);
+  return base * jitter();
+}
+
+std::size_t ModelProbeBackend::page_size() const { return spec_.page_size; }
+
+int ModelProbeBackend::max_concurrency() const {
+  return spec_.default_ranks - 1;
+}
+
+int ModelProbeBackend::cores_per_socket() const {
+  return spec_.cores_per_socket;
+}
+
+bool ModelProbeBackend::multi_socket() const { return spec_.sockets > 1; }
+
+namespace {
+
+std::vector<int> default_concurrencies(const ProbeBackend& backend) {
+  std::vector<int> cs;
+  const int max_c = backend.max_concurrency();
+  for (int c = 1; c <= max_c; c *= 2) {
+    cs.push_back(c);
+  }
+  if (cs.empty() || cs.back() != max_c) {
+    cs.push_back(max_c);
+  }
+  // Sample around the socket boundary where the knee lives.
+  const int cps = backend.cores_per_socket();
+  if (backend.multi_socket() && cps > 1 && cps < max_c) {
+    for (int c : {cps - 1, cps, cps + 1, cps + 2}) {
+      if (c >= 1 && c <= max_c) {
+        cs.push_back(c);
+      }
+    }
+  }
+  std::sort(cs.begin(), cs.end());
+  cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  return cs;
+}
+
+} // namespace
+
+EstimatedParams estimate_params(ProbeBackend& backend,
+                                const EstimatorOptions& opts) {
+  KACC_CHECK_MSG(!opts.step_pages.empty(), "estimator: step_pages empty");
+  KACC_CHECK_MSG(opts.repetitions >= 1, "estimator: repetitions >= 1");
+
+  EstimatedParams out;
+  out.page_size = backend.page_size();
+
+  // --- alpha, l, beta from the Table III differences, averaged over the
+  // page sweep: alpha = T2, l = (T3-T2)/N, beta = (T4-T3)/(N*s).
+  double alpha_acc = 0.0;
+  double l_acc = 0.0;
+  double beta_acc = 0.0;
+  int l_count = 0;
+  int alpha_count = 0;
+  for (std::uint64_t pages : opts.step_pages) {
+    for (int rep = 0; rep < opts.repetitions; ++rep) {
+      const StepTimes t = backend.measure_steps(pages);
+      alpha_acc += t.access_us;
+      ++alpha_count;
+      if (pages > 0) {
+        l_acc += (t.lockpin_us - t.access_us) / static_cast<double>(pages);
+        beta_acc += (t.full_us - t.lockpin_us) /
+                    (static_cast<double>(pages) *
+                     static_cast<double>(backend.page_size()));
+        ++l_count;
+      }
+    }
+  }
+  out.alpha_us = alpha_acc / alpha_count;
+  out.l_us = l_count > 0 ? l_acc / l_count : 0.0;
+  out.beta_us_per_byte = l_count > 0 ? beta_acc / l_count : 0.0;
+
+  // --- gamma: lock time with c concurrent peers, normalized by the
+  // single-reader lock time at the same page count.
+  std::vector<int> cs = opts.concurrencies.empty()
+                            ? default_concurrencies(backend)
+                            : opts.concurrencies;
+  for (std::uint64_t pages : opts.gamma_pages) {
+    double base = 0.0;
+    for (int rep = 0; rep < opts.repetitions; ++rep) {
+      base += backend.measure_lockpin_contended(pages, 1);
+    }
+    base /= opts.repetitions;
+    const double base_perpage =
+        std::max(1e-9, (base - out.alpha_us) / static_cast<double>(pages));
+    for (int c : cs) {
+      if (c < 1) {
+        continue;
+      }
+      double t = 0.0;
+      for (int rep = 0; rep < opts.repetitions; ++rep) {
+        t += backend.measure_lockpin_contended(pages, c);
+      }
+      t /= opts.repetitions;
+      const double perpage =
+          std::max(1e-9, (t - out.alpha_us) / static_cast<double>(pages));
+      out.gamma_samples.push_back(
+          GammaSample{c, std::max(1.0, perpage / base_perpage)});
+    }
+  }
+
+  out.gamma_fit = fit_gamma(out.gamma_samples, backend.cores_per_socket(),
+                            backend.multi_socket());
+  return out;
+}
+
+} // namespace kacc

@@ -1,0 +1,104 @@
+// Parameter estimation: reproduces the paper's Table III / Table IV
+// methodology. Individual steps of the CMA syscall are triggered by varying
+// the local/remote iovec counts (§II), timed, and differenced to recover
+// alpha, beta and l; lock times under varying concurrency are then fitted
+// with NLLS to recover gamma (Fig 5).
+//
+// The measurement source is abstracted as ProbeBackend so the same
+// estimator runs against (a) the closed-form model with injected noise
+// (deterministic, used by tests and the tab04 bench), (b) the discrete-event
+// simulator, or (c) the real syscall path via cma::StepProbe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/gamma.h"
+#include "topo/arch_spec.h"
+
+namespace kacc {
+
+/// The four cumulative step timings of Table III (T1 <= T2 <= T3 <= T4).
+struct StepTimes {
+  double syscall_us = 0.0;  ///< T1: 0-byte iovecs — syscall entry only
+  double access_us = 0.0;   ///< T2: 1-byte remote, 0 local — + permission check
+  double lockpin_us = 0.0;  ///< T3: N pages remote, 0 local — + lock and pin
+  double full_us = 0.0;     ///< T4: N pages both — + data copy
+};
+
+/// A source of timed CMA-step measurements.
+class ProbeBackend {
+public:
+  virtual ~ProbeBackend() = default;
+
+  /// Runs the Table III experiment for a transfer spanning `pages` pages.
+  virtual StepTimes measure_steps(std::uint64_t pages) = 0;
+
+  /// Time for `c` concurrent lock+pin operations of `pages` pages against
+  /// one source process (copy suppressed) — the Fig 5 measurement.
+  virtual double measure_lockpin_contended(std::uint64_t pages, int c) = 0;
+
+  /// Page size of the measured system.
+  [[nodiscard]] virtual std::size_t page_size() const = 0;
+
+  /// Maximum concurrency the backend can generate.
+  [[nodiscard]] virtual int max_concurrency() const = 0;
+
+  /// Physical cores per socket (for the gamma knee); <= 0 when unknown.
+  [[nodiscard]] virtual int cores_per_socket() const = 0;
+
+  /// Whether the machine has more than one socket.
+  [[nodiscard]] virtual bool multi_socket() const = 0;
+};
+
+/// Closed-form backend: evaluates the cost model of an ArchSpec and applies
+/// deterministic multiplicative jitter, so estimator recovery can be tested
+/// against known ground truth.
+class ModelProbeBackend final : public ProbeBackend {
+public:
+  /// noise = 0.02 means measurements are perturbed within +/-2%.
+  explicit ModelProbeBackend(ArchSpec spec, double noise = 0.0,
+                             std::uint64_t seed = 1);
+
+  StepTimes measure_steps(std::uint64_t pages) override;
+  double measure_lockpin_contended(std::uint64_t pages, int c) override;
+  [[nodiscard]] std::size_t page_size() const override;
+  [[nodiscard]] int max_concurrency() const override;
+  [[nodiscard]] int cores_per_socket() const override;
+  [[nodiscard]] bool multi_socket() const override;
+
+private:
+  double jitter();
+
+  ArchSpec spec_;
+  double noise_;
+  std::uint64_t state_;
+};
+
+/// Estimation configuration: which sweeps to run.
+struct EstimatorOptions {
+  std::vector<std::uint64_t> step_pages = {16, 64, 256, 1024};
+  std::vector<std::uint64_t> gamma_pages = {10, 50, 100};
+  /// Concurrency sweep; empty means 1..max_concurrency in powers of two
+  /// plus the socket boundary.
+  std::vector<int> concurrencies;
+  int repetitions = 3;
+};
+
+/// Recovered Table IV row.
+struct EstimatedParams {
+  double alpha_us = 0.0;
+  double beta_us_per_byte = 0.0;
+  double l_us = 0.0;
+  std::size_t page_size = 0;
+  GammaFitResult gamma_fit;
+  /// Raw gamma samples (for Fig 5's scatter points).
+  std::vector<GammaSample> gamma_samples;
+};
+
+/// Runs the full Table IV estimation against a backend.
+EstimatedParams estimate_params(ProbeBackend& backend,
+                                const EstimatorOptions& opts = {});
+
+} // namespace kacc

@@ -1,0 +1,70 @@
+#include "model/gamma.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "model/nlls.h"
+
+namespace kacc {
+
+double eval_gamma(const GammaCoeffs& g, int c, int cores_per_socket) {
+  if (c <= 1) {
+    return 1.0;
+  }
+  const double cd = static_cast<double>(c);
+  double v = g.quad * cd * cd + g.lin * cd + g.offset;
+  const double beyond = cd - static_cast<double>(cores_per_socket);
+  if (beyond > 0.0) {
+    v += g.socket_step * beyond;
+  }
+  return std::max(1.0, v);
+}
+
+GammaFitResult fit_gamma(const std::vector<GammaSample>& samples,
+                         int cores_per_socket, bool fit_socket_step) {
+  KACC_CHECK_MSG(samples.size() >= 4,
+                 "fit_gamma: need at least 4 samples to fit the model");
+
+  const std::size_t np = fit_socket_step ? 4 : 3;
+  auto unpack = [&](const std::vector<double>& theta) {
+    GammaCoeffs g;
+    g.quad = theta[0];
+    g.lin = theta[1];
+    g.offset = theta[2];
+    g.socket_step = fit_socket_step ? theta[3] : 0.0;
+    return g;
+  };
+
+  ResidualFn fn = [&](const std::vector<double>& theta,
+                      std::vector<double>& residuals) {
+    const GammaCoeffs g = unpack(theta);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const double model =
+          eval_gamma(g, samples[i].concurrency, cores_per_socket);
+      // Fit in log space: gamma spans orders of magnitude (Fig 5 is a log
+      // plot) and relative error is what matters for algorithm selection.
+      residuals[i] = std::log(std::max(model, 1e-9)) -
+                     std::log(std::max(samples[i].gamma, 1e-9));
+    }
+  };
+
+  std::vector<double> theta0(np, 0.0);
+  theta0[0] = 0.01; // quad
+  theta0[1] = 0.5;  // lin
+  theta0[2] = 0.5;  // offset
+  if (fit_socket_step) {
+    theta0[3] = 0.1;
+  }
+
+  const NllsResult nr = nlls_solve(fn, theta0, samples.size());
+
+  GammaFitResult out;
+  out.coeffs = unpack(nr.theta);
+  out.converged = nr.converged;
+  out.rms_error =
+      std::sqrt(2.0 * nr.final_cost / static_cast<double>(samples.size()));
+  return out;
+}
+
+} // namespace kacc

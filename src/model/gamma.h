@@ -1,0 +1,35 @@
+// Contention-factor fitting: recovers GammaCoeffs from (concurrency,
+// observed gamma) samples via Levenberg–Marquardt, reproducing the paper's
+// Fig 5 "Best Fit" curves.
+#pragma once
+
+#include <vector>
+
+#include "topo/arch_spec.h"
+
+namespace kacc {
+
+/// One observation: with `concurrency` simultaneous readers, the per-page
+/// lock time was `gamma` times the uncontended per-page lock time.
+struct GammaSample {
+  int concurrency = 1;
+  double gamma = 1.0;
+};
+
+/// Evaluates the gamma functional form directly from coefficients (the same
+/// expression as ArchSpec::gamma_at, without needing a full spec).
+double eval_gamma(const GammaCoeffs& g, int c, int cores_per_socket);
+
+struct GammaFitResult {
+  GammaCoeffs coeffs;
+  double rms_error = 0.0; ///< root-mean-square residual over the samples
+  bool converged = false;
+};
+
+/// Fits gamma(c) = max(1, quad*c^2 + lin*c + offset + step*(c - cps)^+) to
+/// the samples. `fit_socket_step` should be false for single-socket
+/// machines (the knee term is then pinned to zero, as in Fig 5a).
+GammaFitResult fit_gamma(const std::vector<GammaSample>& samples,
+                         int cores_per_socket, bool fit_socket_step);
+
+} // namespace kacc

@@ -1,0 +1,167 @@
+#include "model/nlls.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace kacc {
+
+bool cholesky_solve(std::vector<double> a, std::vector<double> b,
+                    std::size_t n, std::vector<double>& x) {
+  KACC_CHECK(a.size() == n * n && b.size() == n);
+  // In-place Cholesky: a becomes lower-triangular L with A = L L^T.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= a[j * n + k] * a[j * n + k];
+    }
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return false;
+    }
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        v -= a[i * n + k] * a[j * n + k];
+      }
+      a[i * n + j] = v / ljj;
+    }
+  }
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      v -= a[i * n + k] * b[k];
+    }
+    b[i] = v / a[i * n + i];
+  }
+  // Back substitution: L^T x = y.
+  x.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      v -= a[k * n + ii] * x[k];
+    }
+    x[ii] = v / a[ii * n + ii];
+  }
+  return true;
+}
+
+namespace {
+
+double cost_of(const std::vector<double>& r) {
+  double c = 0.0;
+  for (double v : r) {
+    c += v * v;
+  }
+  return 0.5 * c;
+}
+
+} // namespace
+
+NllsResult nlls_solve(const ResidualFn& fn, std::vector<double> theta0,
+                      std::size_t n_residuals, const NllsOptions& opts) {
+  const std::size_t np = theta0.size();
+  KACC_CHECK_MSG(np > 0, "nlls_solve: need at least one parameter");
+  KACC_CHECK_MSG(n_residuals >= np,
+                 "nlls_solve: underdetermined problem (fewer residuals than "
+                 "parameters)");
+
+  NllsResult result;
+  result.theta = std::move(theta0);
+
+  std::vector<double> r(n_residuals);
+  std::vector<double> r_trial(n_residuals);
+  std::vector<double> r_fd(n_residuals);
+  std::vector<double> jac(n_residuals * np); // row-major, m x np
+
+  fn(result.theta, r);
+  double cost = cost_of(r);
+  result.initial_cost = cost;
+
+  double lambda = opts.initial_lambda;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    result.iterations = it + 1;
+
+    // Forward-difference Jacobian.
+    for (std::size_t j = 0; j < np; ++j) {
+      std::vector<double> theta_fd = result.theta;
+      const double h =
+          opts.fd_step * std::max(1.0, std::abs(theta_fd[j]));
+      theta_fd[j] += h;
+      fn(theta_fd, r_fd);
+      for (std::size_t i = 0; i < n_residuals; ++i) {
+        jac[i * np + j] = (r_fd[i] - r[i]) / h;
+      }
+    }
+
+    // Normal equations: (J^T J + lambda * diag(J^T J)) delta = -J^T r.
+    std::vector<double> jtj(np * np, 0.0);
+    std::vector<double> jtr(np, 0.0);
+    for (std::size_t i = 0; i < n_residuals; ++i) {
+      for (std::size_t a = 0; a < np; ++a) {
+        const double ja = jac[i * np + a];
+        jtr[a] += ja * r[i];
+        for (std::size_t b = a; b < np; ++b) {
+          jtj[a * np + b] += ja * jac[i * np + b];
+        }
+      }
+    }
+    for (std::size_t a = 0; a < np; ++a) {
+      for (std::size_t b = 0; b < a; ++b) {
+        jtj[a * np + b] = jtj[b * np + a];
+      }
+    }
+
+    bool stepped = false;
+    for (int attempt = 0; attempt < 16 && !stepped; ++attempt) {
+      std::vector<double> lhs = jtj;
+      for (std::size_t a = 0; a < np; ++a) {
+        // Marquardt scaling: damp by the diagonal, with a floor so zero
+        // columns do not make the system singular.
+        lhs[a * np + a] += lambda * std::max(jtj[a * np + a], 1e-12);
+      }
+      std::vector<double> neg_jtr(np);
+      for (std::size_t a = 0; a < np; ++a) {
+        neg_jtr[a] = -jtr[a];
+      }
+      std::vector<double> delta;
+      if (cholesky_solve(lhs, neg_jtr, np, delta)) {
+        std::vector<double> theta_trial = result.theta;
+        for (std::size_t a = 0; a < np; ++a) {
+          theta_trial[a] += delta[a];
+        }
+        fn(theta_trial, r_trial);
+        const double trial_cost = cost_of(r_trial);
+        if (std::isfinite(trial_cost) && trial_cost < cost) {
+          const double rel = (cost - trial_cost) / std::max(cost, 1e-300);
+          result.theta = std::move(theta_trial);
+          r = r_trial;
+          cost = trial_cost;
+          lambda *= opts.lambda_down;
+          stepped = true;
+          if (rel < opts.tolerance) {
+            result.converged = true;
+            result.final_cost = cost;
+            return result;
+          }
+          break;
+        }
+      }
+      lambda *= opts.lambda_up;
+    }
+
+    if (!stepped) {
+      // Damping exhausted without improvement: local minimum (numerically).
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.final_cost = cost;
+  return result;
+}
+
+} // namespace kacc

@@ -1,0 +1,48 @@
+// Levenberg–Marquardt nonlinear least squares, used to fit the contention
+// factor gamma(c) from measured lock times (paper Fig 5, citing Marquardt
+// 1963). Small dense problems only (a handful of parameters, hundreds of
+// observations), so plain normal equations with Cholesky are adequate.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace kacc {
+
+/// Residual function: given parameters theta, fills `residuals` (fixed size
+/// across calls) with model(theta) - observation for each data point.
+using ResidualFn =
+    std::function<void(const std::vector<double>& theta,
+                       std::vector<double>& residuals)>;
+
+struct NllsOptions {
+  int max_iterations = 200;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.25;
+  /// Converged when the relative reduction of the squared residual norm
+  /// falls below this.
+  double tolerance = 1e-12;
+  /// Step size for forward-difference Jacobians.
+  double fd_step = 1e-6;
+};
+
+struct NllsResult {
+  std::vector<double> theta;
+  double initial_cost = 0.0; ///< 0.5 * ||r(theta0)||^2
+  double final_cost = 0.0;   ///< 0.5 * ||r(theta*)||^2
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes 0.5*||r(theta)||^2 starting from theta0. `n_residuals` is the
+/// number of observations (must be >= theta0.size()).
+NllsResult nlls_solve(const ResidualFn& fn, std::vector<double> theta0,
+                      std::size_t n_residuals, const NllsOptions& opts = {});
+
+/// Solves A x = b for a symmetric positive definite A (row-major, n x n)
+/// via Cholesky. Returns false when A is not SPD (within tolerance).
+bool cholesky_solve(std::vector<double> a, std::vector<double> b,
+                    std::size_t n, std::vector<double>& x);
+
+} // namespace kacc

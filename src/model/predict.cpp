@@ -1,0 +1,495 @@
+#include "model/predict.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "model/cost_model.h"
+
+namespace kacc::predict {
+namespace {
+
+void check_args(int p, int k = 1) {
+  if (p < 1) {
+    throw InvalidArgument("predict: p must be >= 1");
+  }
+  if (k < 1) {
+    throw InvalidArgument("predict: k must be >= 1");
+  }
+}
+
+double memcpy_us(const ArchSpec& s, std::uint64_t bytes) {
+  return static_cast<double>(bytes) * s.beta_us_per_byte();
+}
+
+/// Number of ranks on root's socket under block distribution.
+int ranks_per_socket(const ArchSpec& s, int p) {
+  return (p + s.sockets - 1) / s.sockets;
+}
+
+/// Per-byte time of one *serial* inter-socket transfer (latency-penalty
+/// multiplier, no link sharing — only one transfer is in flight).
+double cross_beta_serial(const ArchSpec& s) {
+  return s.beta_us_per_byte() * s.inter_socket_beta_mult;
+}
+
+/// Per-byte time of an inter-socket transfer when `n_cross` of them share
+/// the socket link concurrently.
+double cross_beta_shared(const ArchSpec& s, int n_cross) {
+  return std::max(cross_beta_serial(s),
+                  static_cast<double>(n_cross) / s.inter_socket_bw_Bus);
+}
+
+/// Average beta of a root's one-at-a-time loop over all p-1 peers
+/// (sequential write scatter, sequential read gather, direct-write bcast):
+/// p - per of the targets live on the other socket, one transfer at a time.
+double seq_loop_avg_beta(const ArchSpec& s, int p) {
+  if (s.sockets <= 1 || p <= 1) {
+    return s.beta_us_per_byte();
+  }
+  const int per = ranks_per_socket(s, p);
+  const double cross = static_cast<double>(p - per);
+  const double intra = static_cast<double>(per - 1);
+  return (intra * s.beta_us_per_byte() + cross * cross_beta_serial(s)) /
+         static_cast<double>(p - 1);
+}
+
+/// Average beta of rotation patterns (pairwise alltoall, ring-source
+/// allgather): every rank visits every peer once; during cross-heavy steps
+/// about p/2 transfers share the socket link.
+double rotation_avg_beta(const ArchSpec& s, int p) {
+  if (s.sockets <= 1 || p <= 1) {
+    return s.beta_us_per_byte();
+  }
+  const int per = ranks_per_socket(s, p);
+  const double cross = static_cast<double>(p - per);
+  const double intra = static_cast<double>(per - 1);
+  const double cb = cross_beta_shared(s, p / 2);
+  return (intra * s.beta_us_per_byte() + cross * cb) /
+         static_cast<double>(p - 1);
+}
+
+} // namespace
+
+double cma_transfer(const ArchSpec& s, std::uint64_t eta, int c) {
+  return CostModel(s).cma_cost_us(eta, c);
+}
+
+double shm_two_copy(const ArchSpec& s, std::uint64_t eta) {
+  return CostModel(s).shm_two_copy_cost_us(eta);
+}
+
+int knomial_rounds(int p, int k) {
+  check_args(p, k);
+  return static_cast<int>(ilogk_ceil(static_cast<std::uint64_t>(p),
+                                     static_cast<std::uint64_t>(k) + 1));
+}
+
+// ---------------- Scatter ----------------
+
+double scatter_parallel_read(const ArchSpec& s, int p, std::uint64_t eta,
+                             bool in_place) {
+  check_args(p);
+  if (p == 1) {
+    return in_place ? 0.0 : memcpy_us(s, eta);
+  }
+  // T = T_bcast^sm + alpha + eta*beta + l*gamma_{p-1}*pages + T_gather^sm.
+  // The root's own memcpy overlaps the concurrent reads.
+  const double reads = cma_transfer(s, eta, p - 1);
+  const double own = in_place ? 0.0 : memcpy_us(s, eta);
+  return s.shm_coll_us(p) + std::max(reads, own) + s.shm_coll_us(p);
+}
+
+double scatter_sequential_write(const ArchSpec& s, int p, std::uint64_t eta,
+                                bool in_place) {
+  check_args(p);
+  const double own = in_place ? 0.0 : memcpy_us(s, eta);
+  if (p == 1) {
+    return own;
+  }
+  // Root gathers addresses, writes p-1 blocks back-to-back (no contention,
+  // half the targets across the socket link), then notifies completion.
+  const double step =
+      cma_transfer(s, eta, 1) +
+      static_cast<double>(eta) *
+          (seq_loop_avg_beta(s, p) - s.beta_us_per_byte());
+  return own + s.shm_coll_us(p) + static_cast<double>(p - 1) * step +
+         s.shm_coll_us(p);
+}
+
+double scatter_throttled_read(const ArchSpec& s, int p, std::uint64_t eta,
+                              int k, bool in_place) {
+  check_args(p, k);
+  if (p == 1) {
+    return in_place ? 0.0 : memcpy_us(s, eta);
+  }
+  const int readers = p - 1;
+  const int kk = std::min(k, readers);
+  const auto steps = static_cast<double>(ceil_div(readers, kk));
+  // Each step: k concurrent reads + the chain signal that releases the
+  // next wave (the paper treats the signals as negligible; we charge them
+  // because Fig 7 shows the small-message penalty they cause).
+  const double own = in_place ? 0.0 : memcpy_us(s, eta);
+  return s.shm_coll_us(p) +
+         steps * (cma_transfer(s, eta, kk) + s.shm_signal_us) +
+         std::max(0.0, own - steps * cma_transfer(s, eta, kk)) +
+         s.shm_signal_us * static_cast<double>(kk); // root's final k acks
+}
+
+// ---------------- Gather ----------------
+
+double gather_parallel_write(const ArchSpec& s, int p, std::uint64_t eta,
+                             bool in_place) {
+  // Mirror of scatter_parallel_read with CMA writes.
+  return scatter_parallel_read(s, p, eta, in_place);
+}
+
+double gather_sequential_read(const ArchSpec& s, int p, std::uint64_t eta,
+                              bool in_place) {
+  return scatter_sequential_write(s, p, eta, in_place);
+}
+
+double gather_throttled_write(const ArchSpec& s, int p, std::uint64_t eta,
+                              int k, bool in_place) {
+  return scatter_throttled_read(s, p, eta, k, in_place);
+}
+
+// ---------------- Alltoall ----------------
+
+double alltoall_pairwise(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  // T = T_allgather^sm + (p-1) * (alpha + eta*beta + l*pages); each step
+  // pairs distinct processes, so there is no lock contention. The average
+  // hop mixes intra-socket transfers with link-shared inter-socket ones.
+  const double step =
+      cma_transfer(s, eta, 1) +
+      static_cast<double>(eta) *
+          (rotation_avg_beta(s, p) - s.beta_us_per_byte());
+  return memcpy_us(s, eta) + s.shm_coll_us(p) +
+         static_cast<double>(p - 1) * step;
+}
+
+double alltoall_pairwise_pt2pt(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  // Same data movement, but every step pays an RTS/CTS handshake (two
+  // mailbox signals) instead of the single upfront address allgather.
+  const double base = alltoall_pairwise(s, p, eta) - s.shm_coll_us(p);
+  return base + static_cast<double>(p - 1) * (2.0 * s.shm_signal_us);
+}
+
+double alltoall_pairwise_shmem(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  return memcpy_us(s, eta) +
+         static_cast<double>(p - 1) * shm_two_copy(s, eta);
+}
+
+double alltoall_bruck(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  const auto steps = static_cast<double>(ilog2_ceil(p));
+  const std::uint64_t step_bytes = eta * static_cast<std::uint64_t>(p) / 2;
+  // Each step moves ~p/2 blocks and pays pack + unpack copies on top of the
+  // transfer — the memcpy overhead that makes Bruck lose for large messages.
+  // Every rank transfers at once, so cross-socket steps share the link the
+  // same way rotation patterns do.
+  const double xfer =
+      cma_transfer(s, step_bytes, 1) +
+      static_cast<double>(step_bytes) *
+          (rotation_avg_beta(s, p) - s.beta_us_per_byte());
+  return steps * (xfer + 2.0 * memcpy_us(s, step_bytes));
+}
+
+// ---------------- Allgather ----------------
+
+double allgather_ring_source(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  // T = T_memcpy + T_allgather^sm + (p-1)(alpha + eta*beta + l*pages)
+  //     + T_barrier. Reads rotate over distinct sources: lock-contention
+  //     free, but cross-socket steps share the link.
+  const double step =
+      cma_transfer(s, eta, 1) +
+      static_cast<double>(eta) *
+          (rotation_avg_beta(s, p) - s.beta_us_per_byte());
+  return memcpy_us(s, eta) + s.shm_coll_us(p) +
+         static_cast<double>(p - 1) * step + s.shm_coll_us(p);
+}
+
+double allgather_ring_neighbor(const ArchSpec& s, int p, std::uint64_t eta,
+                               int j) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  // The makespan is set by the ranks whose fixed upstream neighbor sits
+  // on the other socket: they read across the link every step, and with
+  // stride j there are ~2*min(j, p/2) such ranks sharing it concurrently.
+  double beta = s.beta_us_per_byte();
+  if (s.sockets > 1) {
+    const int n_cross = std::min(p, 2 * std::min(std::abs(j), p / 2) *
+                                        (s.sockets - 1));
+    beta = std::max(beta, cross_beta_shared(s, n_cross));
+  }
+  const double step = CostModel(s).cma_cost_us(eta, 1) -
+                      static_cast<double>(eta) * s.beta_us_per_byte() +
+                      static_cast<double>(eta) * beta;
+  // Every step also waits for the neighbor's "block ready" notification.
+  return memcpy_us(s, eta) + s.shm_coll_us(p) +
+         static_cast<double>(p - 1) * (step + s.shm_signal_us) +
+         s.shm_coll_us(p);
+}
+
+double allgather_recursive_doubling(const ArchSpec& s, int p,
+                                    std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  double total = memcpy_us(s, eta) + s.shm_coll_us(p) + s.shm_coll_us(p);
+  const CostModel m(s);
+  int covered = 1;
+  int round = 0;
+  const int rounds = static_cast<int>(ilog2_ceil(p));
+  while (covered < p) {
+    const std::uint64_t bytes =
+        eta * static_cast<std::uint64_t>(std::min(covered, p - covered));
+    // The final (largest) exchange crosses the socket boundary, and every
+    // rank crosses at once: the link is shared p ways.
+    const bool last = (round == rounds - 1);
+    const double beta = (last && s.sockets > 1)
+                            ? cross_beta_shared(s, p)
+                            : s.beta_us_per_byte();
+    total += m.cma_cost_us(bytes, 1) +
+             static_cast<double>(bytes) * (beta - s.beta_us_per_byte()) +
+             s.shm_signal_us;
+    covered *= 2;
+    ++round;
+  }
+  if (!is_pow2(static_cast<std::uint64_t>(p))) {
+    // Extra subtree exchange for non-power-of-two counts.
+    const std::uint64_t bytes = eta * static_cast<std::uint64_t>(p) / 2;
+    total += m.cma_cost_us(bytes, 1) + s.shm_signal_us;
+  }
+  return total;
+}
+
+double allgather_bruck(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  const CostModel m(s);
+  double total = memcpy_us(s, eta) + s.shm_coll_us(p) + s.shm_coll_us(p);
+  int have = 1;
+  while (have < p) {
+    const std::uint64_t bytes =
+        eta * static_cast<std::uint64_t>(std::min(have, p - have));
+    total += m.cma_cost_us(bytes, 1) + s.shm_signal_us;
+    have *= 2;
+  }
+  // Final downward shift by `rank` blocks: worst case (p-1) * eta copied.
+  total += memcpy_us(s, eta * static_cast<std::uint64_t>(p - 1));
+  return total;
+}
+
+// ---------------- Bcast ----------------
+
+double bcast_direct_read(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return 0.0;
+  }
+  return s.shm_coll_us(p) + cma_transfer(s, eta, p - 1) + s.shm_coll_us(p);
+}
+
+double bcast_direct_write(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return 0.0;
+  }
+  const double step =
+      cma_transfer(s, eta, 1) +
+      static_cast<double>(eta) *
+          (seq_loop_avg_beta(s, p) - s.beta_us_per_byte());
+  return s.shm_coll_us(p) + static_cast<double>(p - 1) * step +
+         s.shm_coll_us(p);
+}
+
+double bcast_knomial(const ArchSpec& s, int p, std::uint64_t eta, int k) {
+  check_args(p, k);
+  if (p == 1) {
+    return 0.0;
+  }
+  const int rounds = knomial_rounds(p, k);
+  // Every round: up to k children read concurrently from their parent.
+  const int kk = std::min(k, p - 1);
+  return s.shm_coll_us(p) +
+         static_cast<double>(rounds) *
+             (cma_transfer(s, eta, kk) + s.shm_signal_us) +
+         s.shm_coll_us(p);
+}
+
+double bcast_shmem_tree(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return 0.0;
+  }
+  // Binomial tree depth of two-copy hops on the critical path.
+  return static_cast<double>(ilog2_ceil(p)) * shm_two_copy(s, eta);
+}
+
+double bcast_shmem_slot(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return 0.0;
+  }
+  // Copy-in + one cross-link pull per remote socket (leader-based) +
+  // concurrent copy-outs (DRAM-shared beyond the cache threshold).
+  const auto chunks =
+      eta == 0 ? 1 : (eta + kShmChunkBytes - 1) / kShmChunkBytes;
+  const double copy_in = static_cast<double>(eta) * s.shm_beta(eta) +
+                         static_cast<double>(chunks) *
+                             s.shm_chunk_overhead_us;
+  const int sockets_used = s.socket_of(p - 1, p) + 1;
+  const double cross_pull =
+      static_cast<double>(sockets_used - 1) * static_cast<double>(eta) /
+      s.inter_socket_bw_Bus;
+  const double out_beta =
+      eta <= s.shm_cache_threshold_bytes
+          ? s.shm_beta(eta)
+          : std::max(s.beta_us_per_byte(),
+                     static_cast<double>(p - 1) / s.mem_bw_total_Bus);
+  return copy_in + cross_pull + static_cast<double>(eta) * out_beta;
+}
+
+double bcast_scatter_allgather(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return 0.0;
+  }
+  const std::uint64_t chunk =
+      ceil_div(eta, static_cast<std::uint64_t>(p));
+  // Sequential-write scatter of eta/p chunks, then ring allgather of the
+  // chunks (both phases contention free); one upfront address allgather.
+  return s.shm_coll_us(p) + scatter_sequential_write(s, p, chunk, true) +
+         allgather_ring_source(s, p, chunk);
+}
+
+// ---------------- Reduce / Allreduce (extension) ----------------
+
+namespace {
+
+double combine_us(const ArchSpec& s, std::uint64_t bytes) {
+  return static_cast<double>(bytes) / s.combine_bw_Bus;
+}
+
+double ring_reduce_scatter_us(const ArchSpec& s, int p, std::uint64_t eta) {
+  const std::uint64_t chunk = ceil_div(eta, static_cast<std::uint64_t>(p));
+  const double step = cma_transfer(s, chunk, 1) +
+                      static_cast<double>(chunk) *
+                          (rotation_avg_beta(s, p) - s.beta_us_per_byte()) +
+                      combine_us(s, chunk) + s.shm_signal_us;
+  return memcpy_us(s, eta) + s.shm_coll_us(p) +
+         static_cast<double>(p - 1) * step + s.shm_coll_us(p);
+}
+
+} // namespace
+
+double reduce_gather_combine(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  const double gather_cost =
+      std::min({gather_parallel_write(s, p, eta),
+                gather_sequential_read(s, p, eta),
+                gather_throttled_write(s, p, eta, 4),
+                gather_throttled_write(s, p, eta, 8)});
+  return gather_cost + memcpy_us(s, eta) +
+         static_cast<double>(p - 1) * combine_us(s, eta);
+}
+
+double reduce_binomial_read(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  const auto rounds = static_cast<double>(ilog2_ceil(p));
+  return memcpy_us(s, eta) + s.shm_coll_us(p) +
+         rounds * (cma_transfer(s, eta, 1) + combine_us(s, eta) +
+                   2.0 * s.shm_signal_us) +
+         s.shm_coll_us(p);
+}
+
+double reduce_rsg(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  const std::uint64_t chunk = ceil_div(eta, static_cast<std::uint64_t>(p));
+  return ring_reduce_scatter_us(s, p, eta) +
+         static_cast<double>(p - 1) * cma_transfer(s, chunk, 1) +
+         s.shm_coll_us(p);
+}
+
+double allreduce_reduce_bcast(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  const double red = std::min({reduce_gather_combine(s, p, eta),
+                               reduce_binomial_read(s, p, eta),
+                               reduce_rsg(s, p, eta)});
+  const double bc =
+      std::min({bcast_knomial(s, p, eta, 4), bcast_knomial(s, p, eta, 8),
+                bcast_scatter_allgather(s, p, eta),
+                bcast_shmem_slot(s, p, eta)});
+  return red + bc;
+}
+
+double allreduce_recursive_doubling(const ArchSpec& s, int p,
+                                    std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  const auto rounds = static_cast<double>(ilog2_ceil(p));
+  // Every round both partners read full vectors concurrently; cross-socket
+  // rounds share the link among ~p transfers.
+  const double cross =
+      s.sockets > 1
+          ? static_cast<double>(eta) *
+                (cross_beta_shared(s, p) - s.beta_us_per_byte())
+          : 0.0;
+  return memcpy_us(s, eta) + s.shm_coll_us(p) +
+         rounds * (cma_transfer(s, eta, 1) + combine_us(s, eta) +
+                   2.0 * s.shm_signal_us) +
+         cross + s.shm_coll_us(p);
+}
+
+double allreduce_rabenseifner(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  if (p == 1) {
+    return memcpy_us(s, eta);
+  }
+  const std::uint64_t chunk = ceil_div(eta, static_cast<std::uint64_t>(p));
+  const double ag_step =
+      cma_transfer(s, chunk, 1) +
+      static_cast<double>(chunk) *
+          (rotation_avg_beta(s, p) - s.beta_us_per_byte());
+  return ring_reduce_scatter_us(s, p, eta) +
+         static_cast<double>(p - 1) * ag_step + s.shm_coll_us(p);
+}
+
+} // namespace kacc::predict

@@ -1,0 +1,119 @@
+// Analytic cost predictions for every collective algorithm in the paper
+// (§IV personalized, §V non-personalized). Each function mirrors the
+// corresponding implementation in src/coll and returns predicted latency in
+// microseconds for one invocation over p ranks with eta bytes per block.
+//
+// These are the "Modeled" lines of Fig 12 and the decision inputs of the
+// Tuner. Conventions:
+//   * eta       — bytes per peer message (per-block size)
+//   * p         — ranks on the node
+//   * in_place  — MPI_IN_PLACE semantics (skips the root's self memcpy)
+//   * k         — throttle factor / k-nomial arity
+#pragma once
+
+#include <cstdint>
+
+#include "topo/arch_spec.h"
+
+namespace kacc::predict {
+
+// ----- One-to-all personalized: Scatter (§IV-A) -----
+
+/// All p-1 non-roots read their block concurrently from the root.
+double scatter_parallel_read(const ArchSpec& s, int p, std::uint64_t eta,
+                             bool in_place = false);
+
+/// Root writes each non-root's block in turn: p-1 uncontended steps.
+double scatter_sequential_write(const ArchSpec& s, int p, std::uint64_t eta,
+                                bool in_place = false);
+
+/// At most k concurrent readers at a time, chained with signals.
+double scatter_throttled_read(const ArchSpec& s, int p, std::uint64_t eta,
+                              int k, bool in_place = false);
+
+// ----- All-to-one personalized: Gather (§IV-B) -----
+
+double gather_parallel_write(const ArchSpec& s, int p, std::uint64_t eta,
+                             bool in_place = false);
+double gather_sequential_read(const ArchSpec& s, int p, std::uint64_t eta,
+                              bool in_place = false);
+double gather_throttled_write(const ArchSpec& s, int p, std::uint64_t eta,
+                              int k, bool in_place = false);
+
+// ----- All-to-all personalized: Alltoall (§IV-C) -----
+
+/// Pairwise exchange, native CMA: one address allgather, then p-1
+/// contention-free reads from distinct peers.
+double alltoall_pairwise(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Pairwise exchange over point-to-point CMA with RTS/CTS handshakes.
+double alltoall_pairwise_pt2pt(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Pairwise exchange through the two-copy shared-memory pipe.
+double alltoall_pairwise_shmem(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Bruck's log-step alltoall (small-message reference; extra copies).
+double alltoall_bruck(const ArchSpec& s, int p, std::uint64_t eta);
+
+// ----- All-to-all non-personalized: Allgather (§V-A) -----
+
+/// Each rank reads step i's block directly from its original source.
+double allgather_ring_source(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Generalized ring: read from (rank - j) with per-step notifications.
+/// Accounts for the inter-socket fraction of the j-stride traffic.
+double allgather_ring_neighbor(const ArchSpec& s, int p, std::uint64_t eta,
+                               int j);
+
+double allgather_recursive_doubling(const ArchSpec& s, int p,
+                                    std::uint64_t eta);
+double allgather_bruck(const ArchSpec& s, int p, std::uint64_t eta);
+
+// ----- One-to-all non-personalized: Bcast (§V-B) -----
+
+double bcast_direct_read(const ArchSpec& s, int p, std::uint64_t eta);
+double bcast_direct_write(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// k-nomial tree: up to k concurrent readers per source per round.
+double bcast_knomial(const ArchSpec& s, int p, std::uint64_t eta, int k);
+
+/// Van de Geijn scatter-allgather (sequential-write scatter + ring
+/// allgather over eta/p chunks), as implemented for Fig 12's variant 3.
+double bcast_scatter_allgather(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Binomial tree over the two-copy shm pipes.
+double bcast_shmem_tree(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Slotted shared-buffer bcast: one copy-in, p-1 concurrent copy-outs
+/// (small-message fallback; MVAPICH2-style).
+double bcast_shmem_slot(const ArchSpec& s, int p, std::uint64_t eta);
+
+// ----- Reduction extension (paper conclusion: "other collectives") -----
+
+/// Tuned gather + root-side combine of p-1 vectors.
+double reduce_gather_combine(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// log p contention-free child reads, one combine per round.
+double reduce_binomial_read(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Ring reduce-scatter + sequential chunk gather at the root.
+double reduce_rsg(const ArchSpec& s, int p, std::uint64_t eta);
+
+double allreduce_reduce_bcast(const ArchSpec& s, int p, std::uint64_t eta);
+double allreduce_recursive_doubling(const ArchSpec& s, int p,
+                                    std::uint64_t eta);
+double allreduce_rabenseifner(const ArchSpec& s, int p, std::uint64_t eta);
+
+// ----- shared building blocks (exposed for tests) -----
+
+/// Cost of one CMA transfer of eta bytes with c concurrent peers at the
+/// source or target process.
+double cma_transfer(const ArchSpec& s, std::uint64_t eta, int c);
+
+/// Cost of the two-copy shm pipe for eta bytes.
+double shm_two_copy(const ArchSpec& s, std::uint64_t eta);
+
+/// Number of rounds of a k-nomial tree over p ranks ((k+1)^r >= p).
+int knomial_rounds(int p, int k);
+
+} // namespace kacc::predict

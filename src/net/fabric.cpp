@@ -1,0 +1,34 @@
+#include "net/fabric.h"
+
+#include "common/error.h"
+
+namespace kacc::net {
+
+FabricModel::FabricModel(double latency_us, double bw_bytes_per_us)
+    : latency_us_(latency_us), bw_Bus_(bw_bytes_per_us) {
+  KACC_CHECK_MSG(latency_us >= 0.0 && bw_bytes_per_us > 0.0,
+                 "FabricModel: latency >= 0, bandwidth > 0");
+}
+
+FabricModel::FabricModel(const ArchSpec& spec)
+    : FabricModel(spec.net_latency_us, spec.net_bw_Bus) {}
+
+double FabricModel::rendezvous_overhead_us() const {
+  // Two control round trips (RTS -> CTS, data -> FIN) plus host-side
+  // matching and DMA setup.
+  return 4.0 * latency_us_ + 5.0;
+}
+
+double FabricModel::xfer_us(std::uint64_t bytes) const {
+  return latency_us_ + rendezvous_overhead_us() +
+         static_cast<double>(bytes) / bw_Bus_;
+}
+
+double FabricModel::serialized_us(std::uint64_t bytes_each, int count) const {
+  if (count <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count) * xfer_us(bytes_each);
+}
+
+} // namespace kacc::net

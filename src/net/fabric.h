@@ -1,0 +1,40 @@
+// Inter-node fabric model for the multi-node experiments (Fig 17). The
+// paper's testbeds used InfiniBand EDR / Omni-Path; we model the network
+// as latency + bandwidth per message (LogGP without the gap terms, which
+// the paper's gather traffic pattern does not exercise).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/arch_spec.h"
+
+namespace kacc::net {
+
+class FabricModel {
+public:
+  FabricModel(double latency_us, double bw_bytes_per_us);
+
+  /// Builds the fabric of an architecture preset.
+  explicit FabricModel(const ArchSpec& spec);
+
+  /// Time for one n-byte message between two nodes, including the
+  /// rendezvous control round trips (RTS/CTS/FIN) and receive-side
+  /// processing a large-message MPI transfer pays per message.
+  [[nodiscard]] double xfer_us(std::uint64_t bytes) const;
+
+  /// The per-message rendezvous/processing overhead alone.
+  [[nodiscard]] double rendezvous_overhead_us() const;
+
+  /// Time for `count` back-to-back messages into one NIC (serialized).
+  [[nodiscard]] double serialized_us(std::uint64_t bytes_each,
+                                     int count) const;
+
+  [[nodiscard]] double latency_us() const { return latency_us_; }
+  [[nodiscard]] double bandwidth_Bus() const { return bw_Bus_; }
+
+private:
+  double latency_us_;
+  double bw_Bus_;
+};
+
+} // namespace kacc::net

@@ -1,0 +1,102 @@
+#include "net/two_level.h"
+
+#include <algorithm>
+
+#include "coll/tuner.h"
+#include "common/error.h"
+#include "model/cost_model.h"
+#include "model/predict.h"
+
+namespace kacc::net {
+namespace {
+
+void check_shape(const MultiNodeShape& shape) {
+  KACC_CHECK_MSG(shape.nodes >= 1 && shape.ranks_per_node >= 1,
+                 "MultiNodeShape: positive nodes and ranks_per_node");
+}
+
+/// Intra-node cost of one pt2pt message under the flat baseline.
+double intra_msg_us(const ArchSpec& spec, std::uint64_t eta, IntraKind kind) {
+  const CostModel m(spec);
+  switch (kind) {
+    case IntraKind::kShmTwoCopy:
+      return m.shm_two_copy_cost_us(eta);
+    case IntraKind::kCmaPt2pt:
+      // RTS + FIN handshake around one uncontended single-copy.
+      return m.cma_cost_us(eta, 1) + 2.0 * spec.shm_signal_us;
+  }
+  return 0.0;
+}
+
+} // namespace
+
+double flat_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                      std::uint64_t eta, IntraKind intra) {
+  check_shape(shape);
+  const FabricModel fabric(spec);
+  // The single root drains every message itself: rpn-1 local ones via the
+  // intra-node path and (nodes-1)*rpn remote ones via the NIC, one at a
+  // time (the single-threaded progress engine of a flat gather).
+  const int remote_msgs = (shape.nodes - 1) * shape.ranks_per_node;
+  const double remote = fabric.serialized_us(eta, remote_msgs);
+  const double local =
+      static_cast<double>(shape.ranks_per_node - 1) *
+      intra_msg_us(spec, eta, intra);
+  return remote + local;
+}
+
+double two_level_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                           std::uint64_t eta) {
+  check_shape(shape);
+  const FabricModel fabric(spec);
+  // Phase 1: every node runs the tuned intra-node gather concurrently.
+  const double intra =
+      coll::Tuner().gather(spec, shape.ranks_per_node, eta).predicted_us;
+  // Phase 2: nodes-1 leaders each push rpn*eta to the global root,
+  // serialized into the root's NIC.
+  const std::uint64_t node_block =
+      eta * static_cast<std::uint64_t>(shape.ranks_per_node);
+  const double inter = fabric.serialized_us(node_block, shape.nodes - 1);
+  return intra + inter;
+}
+
+double two_level_gather_pipelined_us(const ArchSpec& spec,
+                                     const MultiNodeShape& shape,
+                                     std::uint64_t eta, int chunks) {
+  check_shape(shape);
+  KACC_CHECK_MSG(chunks >= 1, "pipelined gather: chunks >= 1");
+  const FabricModel fabric(spec);
+  const std::uint64_t chunk_eta =
+      (eta + static_cast<std::uint64_t>(chunks) - 1) /
+      static_cast<std::uint64_t>(chunks);
+  const double intra_chunk =
+      coll::Tuner().gather(spec, shape.ranks_per_node, chunk_eta).predicted_us;
+  const std::uint64_t node_chunk =
+      chunk_eta * static_cast<std::uint64_t>(shape.ranks_per_node);
+  const double inter_chunk =
+      fabric.serialized_us(node_chunk, shape.nodes - 1);
+  // Chunk pipeline: fill with the first intra phase, then the steady state
+  // is paced by the slower of the two stages.
+  return intra_chunk +
+         static_cast<double>(chunks) * std::max(intra_chunk, inter_chunk);
+}
+
+double flat_scatter_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                       std::uint64_t eta, IntraKind intra) {
+  // Symmetric traffic pattern: same model as the flat gather.
+  return flat_gather_us(spec, shape, eta, intra);
+}
+
+double two_level_scatter_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                            std::uint64_t eta) {
+  check_shape(shape);
+  const FabricModel fabric(spec);
+  const std::uint64_t node_block =
+      eta * static_cast<std::uint64_t>(shape.ranks_per_node);
+  const double inter = fabric.serialized_us(node_block, shape.nodes - 1);
+  const double intra =
+      coll::Tuner().scatter(spec, shape.ranks_per_node, eta).predicted_us;
+  return inter + intra;
+}
+
+} // namespace kacc::net

@@ -1,0 +1,54 @@
+// Multi-node Gather/Scatter composition (paper §VII-G, Fig 17): flat
+// single-level algorithms (what existing libraries use for large messages)
+// versus the paper's two-level design — node leaders run the tuned
+// intra-node collective, then a single inter-node exchange per node.
+//
+// Modeled analytically over the FabricModel + the intra-node cost model;
+// the intra-node term uses the same predict functions the Tuner minimizes.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fabric.h"
+#include "topo/arch_spec.h"
+
+namespace kacc::net {
+
+/// How the flat (single-level) baseline moves its intra-node messages.
+enum class IntraKind {
+  kShmTwoCopy, ///< two-copy shared memory (MVAPICH2-style)
+  kCmaPt2pt,   ///< point-to-point CMA with RTS/CTS handshakes
+};
+
+struct MultiNodeShape {
+  int nodes = 1;
+  int ranks_per_node = 1;
+
+  [[nodiscard]] int total_ranks() const { return nodes * ranks_per_node; }
+};
+
+/// Flat gather: the global root receives total-1 individual messages —
+/// remote ones over the fabric (serialized into one NIC), local ones via
+/// `intra` point-to-point transfers.
+double flat_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                      std::uint64_t eta, IntraKind intra);
+
+/// Two-level gather: tuned intra-node gather on every node in parallel,
+/// then node leaders send their aggregated block to the global root.
+double two_level_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                           std::uint64_t eta);
+
+/// Pipelined two-level gather (the paper's "more advanced designs"
+/// extension): the intra-node gather is chunked so inter-node transfers
+/// overlap with intra-node collection.
+double two_level_gather_pipelined_us(const ArchSpec& spec,
+                                     const MultiNodeShape& shape,
+                                     std::uint64_t eta, int chunks);
+
+/// Flat and two-level scatter (mirror of gather).
+double flat_scatter_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                       std::uint64_t eta, IntraKind intra);
+double two_level_scatter_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                            std::uint64_t eta);
+
+} // namespace kacc::net

@@ -1,0 +1,6 @@
+#include "runtime/comm.h"
+
+// Comm is an interface; its out-of-line pieces live here to anchor the
+// vtable in one translation unit.
+
+namespace kacc {} // namespace kacc

@@ -1,0 +1,93 @@
+// The communicator abstraction every collective algorithm is written
+// against. Two implementations exist:
+//
+//   * SimComm    — ranks are threads under the discrete-event engine;
+//                  operations charge deterministic virtual time from the
+//                  paper's cost model while really moving the bytes.
+//   * NativeComm — ranks are forked processes; operations use real shared
+//                  memory and real process_vm_readv/writev.
+//
+// The interface mirrors exactly what the paper's designs need: CMA
+// reads/writes by (rank, remote address), a small-message shared-memory
+// control plane (address exchange, completion detection), 0-byte signals,
+// and a two-copy shm data path for the SHMEM baselines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "topo/arch_spec.h"
+
+namespace kacc {
+
+class Comm {
+public:
+  virtual ~Comm() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+  [[nodiscard]] virtual const ArchSpec& arch() const = 0;
+
+  // ----- kernel-assisted data plane -----
+
+  /// Reads `bytes` from `remote_addr` in rank `src`'s address space.
+  virtual void cma_read(int src, std::uint64_t remote_addr, void* local,
+                        std::size_t bytes) = 0;
+
+  /// Writes `bytes` to `remote_addr` in rank `dst`'s address space.
+  virtual void cma_write(int dst, std::uint64_t remote_addr,
+                         const void* local, std::size_t bytes) = 0;
+
+  /// Local memcpy charged at the model's copy bandwidth.
+  virtual void local_copy(void* dst, const void* src, std::size_t bytes) = 0;
+
+  /// Charges local reduction-combine work over `bytes` of operand stream
+  /// (virtual time in simulation; a no-op natively, where the combine's
+  /// real time is measured by the wall clock).
+  virtual void compute_charge(std::size_t bytes) = 0;
+
+  // ----- shared-memory control plane (small messages) -----
+
+  /// Broadcasts `bytes` (<= 256) from root's buf to every rank's buf.
+  virtual void ctrl_bcast(void* buf, std::size_t bytes, int root) = 0;
+
+  /// Gathers `bytes` per rank into root's recv (rank-major). Non-roots may
+  /// pass recv == nullptr.
+  virtual void ctrl_gather(const void* send, void* recv, std::size_t bytes,
+                           int root) = 0;
+
+  /// Allgathers `bytes` per rank into everyone's recv (rank-major).
+  virtual void ctrl_allgather(const void* send, void* recv,
+                              std::size_t bytes) = 0;
+
+  /// Posts one 0-byte signal to dst (non-blocking).
+  virtual void signal(int dst) = 0;
+
+  /// Consumes one signal from src (blocking).
+  virtual void wait_signal(int src) = 0;
+
+  /// Full-communicator barrier.
+  virtual void barrier() = 0;
+
+  // ----- two-copy shared-memory data plane (baselines) -----
+
+  virtual void shm_send(int dst, const void* buf, std::size_t bytes) = 0;
+  virtual void shm_recv(int src, void* buf, std::size_t bytes) = 0;
+
+  /// Slotted shared-buffer broadcast (one copy-in by root, concurrent
+  /// copy-outs by all peers) — the classic MVAPICH2-style shm bcast.
+  virtual void shm_bcast(void* buf, std::size_t bytes, int root) = 0;
+
+  // ----- time -----
+
+  /// Virtual microseconds in simulation, wall microseconds natively.
+  virtual double now_us() = 0;
+
+  /// Address token for a local buffer, valid for peers' cma_read/cma_write
+  /// targeting this rank.
+  [[nodiscard]] std::uint64_t expose(const void* p) const {
+    return reinterpret_cast<std::uint64_t>(p);
+  }
+};
+
+} // namespace kacc

@@ -1,0 +1,95 @@
+#include "runtime/native_comm.h"
+
+#include <cstring>
+
+#include "cma/endpoint.h"
+#include "common/error.h"
+
+namespace kacc {
+
+NativeComm::NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank,
+                       int nranks)
+    : arena_(&arena), spec_(std::move(spec)), rank_(rank), nranks_(nranks),
+      barrier_impl_(arena, nranks), ctrl_(arena, rank, nranks),
+      signals_(arena, rank, nranks), pipes_(arena, rank, nranks),
+      bcast_pipe_(arena, rank, nranks),
+      epoch_(std::chrono::steady_clock::now()) {
+  KACC_CHECK_MSG(rank >= 0 && rank < nranks, "NativeComm rank out of range");
+  arena.register_rank(rank);
+  arena.wait_all_registered();
+  pids_.reserve(static_cast<std::size_t>(nranks));
+  for (int q = 0; q < nranks; ++q) {
+    pids_.push_back(arena.pid_of(q));
+  }
+}
+
+void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
+                          std::size_t bytes) {
+  KACC_CHECK_MSG(src >= 0 && src < nranks_, "cma_read src out of range");
+  if (src == rank_) {
+    std::memcpy(local, reinterpret_cast<const void*>(remote_addr), bytes);
+    return;
+  }
+  cma::read_from(pids_[static_cast<std::size_t>(src)], remote_addr, local,
+                 bytes);
+}
+
+void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
+                           const void* local, std::size_t bytes) {
+  KACC_CHECK_MSG(dst >= 0 && dst < nranks_, "cma_write dst out of range");
+  if (dst == rank_) {
+    std::memcpy(reinterpret_cast<void*>(remote_addr), local, bytes);
+    return;
+  }
+  cma::write_to(pids_[static_cast<std::size_t>(dst)], remote_addr, local,
+                bytes);
+}
+
+void NativeComm::local_copy(void* dst, const void* src, std::size_t bytes) {
+  std::memmove(dst, src, bytes);
+}
+
+void NativeComm::compute_charge(std::size_t bytes) {
+  // Native combines run for real; the wall clock measures them.
+  (void)bytes;
+}
+
+void NativeComm::ctrl_bcast(void* buf, std::size_t bytes, int root) {
+  ctrl_.bcast(buf, bytes, root);
+}
+
+void NativeComm::ctrl_gather(const void* send, void* recv, std::size_t bytes,
+                             int root) {
+  ctrl_.gather(send, recv, bytes, root);
+}
+
+void NativeComm::ctrl_allgather(const void* send, void* recv,
+                                std::size_t bytes) {
+  ctrl_.allgather(send, recv, bytes);
+}
+
+void NativeComm::signal(int dst) { signals_.signal(dst); }
+
+void NativeComm::wait_signal(int src) { signals_.wait_signal(src); }
+
+void NativeComm::barrier() { barrier_impl_.wait(); }
+
+void NativeComm::shm_send(int dst, const void* buf, std::size_t bytes) {
+  pipes_.send(dst, buf, bytes);
+}
+
+void NativeComm::shm_recv(int src, void* buf, std::size_t bytes) {
+  pipes_.recv(src, buf, bytes);
+}
+
+void NativeComm::shm_bcast(void* buf, std::size_t bytes, int root) {
+  bcast_pipe_.bcast(buf, bytes, root);
+}
+
+double NativeComm::now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+} // namespace kacc

@@ -1,0 +1,65 @@
+// Native communicator: forked processes, real shared memory, real CMA
+// syscalls. Functional mirror of SimComm for correctness testing and
+// host-machine measurements.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "runtime/comm.h"
+#include "shm/arena.h"
+#include "shm/barrier.h"
+#include "shm/bcast_pipe.h"
+#include "shm/chunk_pipe.h"
+#include "shm/ctrl_coll.h"
+#include "shm/mailbox.h"
+
+namespace kacc {
+
+class NativeComm final : public Comm {
+public:
+  /// Constructed inside each forked rank over the inherited arena.
+  /// Registers the rank's PID and waits for the whole team.
+  NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank, int nranks);
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return nranks_; }
+  [[nodiscard]] const ArchSpec& arch() const override { return spec_; }
+
+  void cma_read(int src, std::uint64_t remote_addr, void* local,
+                std::size_t bytes) override;
+  void cma_write(int dst, std::uint64_t remote_addr, const void* local,
+                 std::size_t bytes) override;
+  void local_copy(void* dst, const void* src, std::size_t bytes) override;
+  void compute_charge(std::size_t bytes) override;
+
+  void ctrl_bcast(void* buf, std::size_t bytes, int root) override;
+  void ctrl_gather(const void* send, void* recv, std::size_t bytes,
+                   int root) override;
+  void ctrl_allgather(const void* send, void* recv,
+                      std::size_t bytes) override;
+  void signal(int dst) override;
+  void wait_signal(int src) override;
+  void barrier() override;
+
+  void shm_send(int dst, const void* buf, std::size_t bytes) override;
+  void shm_recv(int src, void* buf, std::size_t bytes) override;
+  void shm_bcast(void* buf, std::size_t bytes, int root) override;
+
+  double now_us() override;
+
+private:
+  const shm::ShmArena* arena_;
+  ArchSpec spec_;
+  int rank_;
+  int nranks_;
+  std::vector<pid_t> pids_;
+  shm::ShmBarrier barrier_impl_;
+  shm::CtrlBoard ctrl_;
+  shm::SignalBoard signals_;
+  shm::ChunkPipe pipes_;
+  shm::BcastPipe bcast_pipe_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace kacc

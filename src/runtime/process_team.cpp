@@ -1,0 +1,106 @@
+#include "runtime/process_team.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "model/cost_model.h"
+#include "runtime/native_comm.h"
+#include "shm/arena.h"
+
+namespace kacc {
+
+bool TeamResult::all_ok() const {
+  if (ranks.empty()) {
+    return false;
+  }
+  for (const TeamRankResult& r : ranks) {
+    if (!r.ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string TeamResult::first_failure() const {
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    if (!ranks[r].ok) {
+      return "rank " + std::to_string(r) + ": " +
+             (ranks[r].message.empty() ? "(no message)" : ranks[r].message) +
+             " (exit=" + std::to_string(ranks[r].exit_code) + ")";
+    }
+  }
+  return "";
+}
+
+TeamResult run_native_team(const ArchSpec& spec, int nranks,
+                           const std::function<void(Comm&)>& body) {
+  KACC_CHECK_MSG(nranks >= 1 && nranks <= 256,
+                 "run_native_team: nranks in [1, 256]");
+  const shm::ArenaLayout layout =
+      shm::ArenaLayout::compute(nranks, kShmChunkBytes, /*pipe_slots=*/4);
+  shm::ShmArena arena(layout);
+
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(nranks));
+  for (int rank = 0; rank < nranks; ++rank) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      for (pid_t child : children) {
+        ::kill(child, SIGKILL);
+        int status = 0;
+        ::waitpid(child, &status, 0);
+      }
+      throw SyscallError("fork rank", err);
+    }
+    if (pid == 0) {
+      int code = 0;
+      try {
+        NativeComm comm(arena, spec, rank, nranks);
+        body(comm);
+        arena.report_result(rank, true, "");
+      } catch (const std::exception& e) {
+        arena.report_result(rank, false, e.what());
+        code = 1;
+      } catch (...) {
+        arena.report_result(rank, false, "unknown exception");
+        code = 1;
+      }
+      ::_exit(code);
+    }
+    children.push_back(pid);
+  }
+
+  TeamResult result;
+  result.ranks.resize(static_cast<std::size_t>(nranks));
+  for (int rank = 0; rank < nranks; ++rank) {
+    int status = 0;
+    const pid_t waited =
+        ::waitpid(children[static_cast<std::size_t>(rank)], &status, 0);
+    TeamRankResult& rr = result.ranks[static_cast<std::size_t>(rank)];
+    if (waited < 0) {
+      rr.ok = false;
+      rr.message = std::string("waitpid: ") + std::strerror(errno);
+      continue;
+    }
+    if (WIFEXITED(status)) {
+      rr.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      rr.exit_code = 128 + WTERMSIG(status);
+      rr.message = std::string("killed by signal ") +
+                   std::to_string(WTERMSIG(status));
+    }
+    rr.ok = arena.result_ok(rank) && rr.exit_code == 0;
+    if (!rr.ok && rr.message.empty()) {
+      rr.message = arena.result_message(rank);
+    }
+  }
+  return result;
+}
+
+} // namespace kacc

@@ -1,0 +1,36 @@
+// Fork-based team launcher for the native runtime. The parent maps the
+// shared arena, forks one child per rank, and each child runs the body over
+// a NativeComm. Children report pass/fail plus a message through the arena;
+// exceptions never cross the fork boundary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/comm.h"
+#include "topo/arch_spec.h"
+
+namespace kacc {
+
+struct TeamRankResult {
+  bool ok = false;
+  int exit_code = -1;
+  std::string message;
+};
+
+struct TeamResult {
+  std::vector<TeamRankResult> ranks;
+
+  [[nodiscard]] bool all_ok() const;
+  /// First failure message (for test diagnostics), or "".
+  [[nodiscard]] std::string first_failure() const;
+};
+
+/// Runs `body(comm)` in `nranks` forked processes. Safe to call from tests;
+/// gtest assertions must not be used inside `body` (throw instead — the
+/// harness converts exceptions into failed rank results).
+TeamResult run_native_team(const ArchSpec& spec, int nranks,
+                           const std::function<void(Comm&)>& body);
+
+} // namespace kacc

@@ -1,0 +1,232 @@
+#include "runtime/sim_comm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "model/cost_model.h"
+
+namespace kacc {
+
+SimComm::SimComm(sim::SimEngine& engine, SimTeamState& team, int rank)
+    : engine_(&engine), team_(&team), rank_(rank) {
+  KACC_CHECK_MSG(rank >= 0 && rank < engine.nranks(),
+                 "SimComm rank out of range");
+}
+
+void SimComm::cma_read(int src, std::uint64_t remote_addr, void* local,
+                       std::size_t bytes) {
+  const ArchSpec& s = arch();
+  const bool cross = s.crosses_socket(rank_, src, size());
+  const double mult =
+      s.beta_between(rank_, src, size()) / s.beta_us_per_byte();
+  engine_->cma_transfer(rank_, src, bytes, mult, cross, /*with_copy=*/true);
+  if (team_->move_data) {
+    // Rank threads share the address space: the token is a real pointer.
+    std::memcpy(local, reinterpret_cast<const void*>(remote_addr), bytes);
+  }
+}
+
+void SimComm::cma_write(int dst, std::uint64_t remote_addr, const void* local,
+                        std::size_t bytes) {
+  const ArchSpec& s = arch();
+  const bool cross = s.crosses_socket(rank_, dst, size());
+  const double mult =
+      s.beta_between(rank_, dst, size()) / s.beta_us_per_byte();
+  engine_->cma_transfer(rank_, dst, bytes, mult, cross, /*with_copy=*/true);
+  if (team_->move_data) {
+    std::memcpy(reinterpret_cast<void*>(remote_addr), local, bytes);
+  }
+}
+
+void SimComm::local_copy(void* dst, const void* src, std::size_t bytes) {
+  engine_->advance(rank_,
+                   static_cast<double>(bytes) * arch().beta_us_per_byte());
+  if (team_->move_data) {
+    std::memmove(dst, src, bytes);
+  }
+}
+
+void SimComm::compute_charge(std::size_t bytes) {
+  engine_->advance(rank_,
+                   static_cast<double>(bytes) / arch().combine_bw_Bus);
+}
+
+void SimComm::ctrl_bcast(void* buf, std::size_t bytes, int root) {
+  KACC_CHECK_MSG(bytes <= 256, "ctrl payload too large");
+  KACC_CHECK_MSG(root >= 0 && root < size(), "ctrl_bcast root");
+  team_->ctrl_send[static_cast<std::size_t>(rank_)] = buf;
+  team_->ctrl_recv[static_cast<std::size_t>(rank_)] = buf;
+  const int p = size();
+  SimTeamState* team = team_;
+  engine_->rendezvous(rank_, arch().shm_coll_us(p), [team, root, bytes, p] {
+    const void* src = team->ctrl_send[static_cast<std::size_t>(root)];
+    for (int q = 0; q < p; ++q) {
+      if (q != root) {
+        std::memcpy(team->ctrl_recv[static_cast<std::size_t>(q)], src, bytes);
+      }
+    }
+  });
+}
+
+void SimComm::ctrl_gather(const void* send, void* recv, std::size_t bytes,
+                          int root) {
+  KACC_CHECK_MSG(bytes <= 256, "ctrl payload too large");
+  KACC_CHECK_MSG(root >= 0 && root < size(), "ctrl_gather root");
+  KACC_CHECK_MSG(rank_ != root || recv != nullptr,
+                 "ctrl_gather: root needs recv");
+  team_->ctrl_send[static_cast<std::size_t>(rank_)] = send;
+  team_->ctrl_recv[static_cast<std::size_t>(rank_)] = recv;
+  const int p = size();
+  SimTeamState* team = team_;
+  engine_->rendezvous(rank_, arch().shm_coll_us(p), [team, root, bytes, p] {
+    auto* out =
+        static_cast<std::byte*>(team->ctrl_recv[static_cast<std::size_t>(root)]);
+    for (int q = 0; q < p; ++q) {
+      std::memcpy(out + static_cast<std::size_t>(q) * bytes,
+                  team->ctrl_send[static_cast<std::size_t>(q)], bytes);
+    }
+  });
+}
+
+void SimComm::ctrl_allgather(const void* send, void* recv,
+                             std::size_t bytes) {
+  KACC_CHECK_MSG(bytes <= 256, "ctrl payload too large");
+  KACC_CHECK_MSG(recv != nullptr, "ctrl_allgather needs recv");
+  team_->ctrl_send[static_cast<std::size_t>(rank_)] = send;
+  team_->ctrl_recv[static_cast<std::size_t>(rank_)] = recv;
+  const int p = size();
+  SimTeamState* team = team_;
+  engine_->rendezvous(rank_, arch().shm_coll_us(p), [team, bytes, p] {
+    for (int dst = 0; dst < p; ++dst) {
+      auto* out = static_cast<std::byte*>(
+          team->ctrl_recv[static_cast<std::size_t>(dst)]);
+      for (int q = 0; q < p; ++q) {
+        std::memcpy(out + static_cast<std::size_t>(q) * bytes,
+                    team->ctrl_send[static_cast<std::size_t>(q)], bytes);
+      }
+    }
+  });
+}
+
+void SimComm::signal(int dst) {
+  engine_->post(rank_, dst, sim::ChannelTag::kSignal, {},
+                arch().shm_signal_us);
+}
+
+void SimComm::wait_signal(int src) {
+  engine_->receive(rank_, src, sim::ChannelTag::kSignal, 0.0);
+}
+
+void SimComm::barrier() {
+  engine_->rendezvous(rank_, arch().shm_coll_us(size()), nullptr);
+}
+
+void SimComm::shm_send(int dst, const void* buf, std::size_t bytes) {
+  const ArchSpec& s = arch();
+  const auto chunks = ceil_div(bytes == 0 ? 1 : bytes, kShmChunkBytes);
+  // Sender side of the two-copy path: copy-in every byte (cache-speed
+  // below the residency threshold) plus per-chunk protocol overhead.
+  engine_->advance(rank_,
+                   static_cast<double>(bytes) * s.shm_beta(bytes) +
+                       static_cast<double>(chunks) * s.shm_chunk_overhead_us);
+  std::vector<std::byte> payload(team_->move_data ? bytes : 0);
+  if (bytes > 0 && team_->move_data) {
+    std::memcpy(payload.data(), buf, bytes);
+  }
+  engine_->post(rank_, dst, sim::ChannelTag::kData, std::move(payload), 0.0);
+}
+
+void SimComm::shm_recv(int src, void* buf, std::size_t bytes) {
+  // Receiver side: wait for the staged chunks, then copy out. The copy-out
+  // is a lockless transfer against the sender's socket: it shares the
+  // memory system (beyond the cache threshold) and, for cross-socket
+  // pairs, the socket link — but never the page-table lock.
+  std::vector<std::byte> payload =
+      engine_->receive(rank_, src, sim::ChannelTag::kData, 0.0);
+  engine_->shm_transfer(rank_, src, bytes,
+                        arch().crosses_socket(rank_, src, size()));
+  if (team_->move_data) {
+    KACC_CHECK_MSG(payload.size() == bytes,
+                   "shm_recv: size mismatch with sender");
+    if (bytes > 0) {
+      std::memcpy(buf, payload.data(), bytes);
+    }
+  }
+}
+
+void SimComm::shm_bcast(void* buf, std::size_t bytes, int root) {
+  KACC_CHECK_MSG(root >= 0 && root < size(), "shm_bcast root");
+  const ArchSpec& s = arch();
+  const int p = size();
+  // Slot bcast, socket-leader style: one copy-in by the root; one pull of
+  // the staging buffer across the link per remote socket; then concurrent
+  // copy-outs served from the local socket (cache-speed while resident,
+  // DRAM-shared beyond).
+  const auto chunks = ceil_div(bytes == 0 ? 1 : bytes, kShmChunkBytes);
+  const double copy_in = static_cast<double>(bytes) * s.shm_beta(bytes) +
+                         static_cast<double>(chunks) * s.shm_chunk_overhead_us;
+  const int sockets_used = s.socket_of(p - 1, p) + 1;
+  const double cross_pull =
+      static_cast<double>(sockets_used - 1) * static_cast<double>(bytes) /
+      s.inter_socket_bw_Bus;
+  const double out_beta =
+      bytes <= s.shm_cache_threshold_bytes
+          ? s.shm_beta(bytes)
+          : std::max(s.beta_us_per_byte(),
+                     static_cast<double>(p - 1) / s.mem_bw_total_Bus);
+  const double copy_out =
+      cross_pull + static_cast<double>(bytes) * out_beta;
+
+  team_->ctrl_recv[static_cast<std::size_t>(rank_)] = buf;
+  team_->ctrl_send[static_cast<std::size_t>(rank_)] = buf;
+  SimTeamState* team = team_;
+  engine_->rendezvous(rank_, copy_in + copy_out,
+                      [team, root, bytes, p] {
+                        if (!team->move_data) {
+                          return;
+                        }
+                        const void* src =
+                            team->ctrl_send[static_cast<std::size_t>(root)];
+                        for (int q = 0; q < p; ++q) {
+                          if (q != root && bytes > 0) {
+                            std::memcpy(
+                                team->ctrl_recv[static_cast<std::size_t>(q)],
+                                src, bytes);
+                          }
+                        }
+                      });
+}
+
+double SimComm::now_us() { return engine_->now(rank_); }
+
+sim::Breakdown SimComm::timed_cma(int owner, std::uint64_t bytes,
+                                  bool with_copy) {
+  const bool cross = arch().crosses_socket(rank_, owner, size());
+  return engine_->cma_transfer(rank_, owner, bytes, 1.0, cross, with_copy);
+}
+
+SimRunResult run_sim_ex(const ArchSpec& spec, int nranks,
+                        const std::function<void(SimComm&)>& body,
+                        bool move_data) {
+  sim::SimEngine engine(spec, nranks);
+  SimTeamState team;
+  team.move_data = move_data;
+  team.ctrl_send.resize(static_cast<std::size_t>(nranks), nullptr);
+  team.ctrl_recv.resize(static_cast<std::size_t>(nranks), nullptr);
+  sim::WorldResult wr =
+      sim::run_world(engine, [&](sim::SimEngine& eng, int rank) {
+        SimComm comm(eng, team, rank);
+        body(comm);
+      });
+  return SimRunResult{std::move(wr.final_clock_us), wr.makespan_us};
+}
+
+SimRunResult run_sim(const ArchSpec& spec, int nranks,
+                     const std::function<void(Comm&)>& body, bool move_data) {
+  return run_sim_ex(
+      spec, nranks, [&](SimComm& comm) { body(comm); }, move_data);
+}
+
+} // namespace kacc

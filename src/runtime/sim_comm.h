@@ -1,0 +1,88 @@
+// Simulated communicator: implements Comm over the discrete-event engine.
+// Payloads are really moved (the rank threads share one address space) so
+// collectives can be verified bit-for-bit, while every operation charges
+// the cost model's virtual time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/comm.h"
+#include "sim/engine.h"
+#include "sim/world.h"
+
+namespace kacc {
+
+/// Shared staging area for control-collective payload shuffling; one per
+/// simulated team, touched only while the engine token is held.
+struct SimTeamState {
+  std::vector<const void*> ctrl_send;
+  std::vector<void*> ctrl_recv;
+  /// When false, data-plane payload bytes are not actually copied (control
+  /// payloads still are). Benchmarks use this so timing sweeps over
+  /// multi-megabyte buffers never touch the pages.
+  bool move_data = true;
+};
+
+class SimComm final : public Comm {
+public:
+  SimComm(sim::SimEngine& engine, SimTeamState& team, int rank);
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return engine_->nranks(); }
+  [[nodiscard]] const ArchSpec& arch() const override {
+    return engine_->spec();
+  }
+
+  void cma_read(int src, std::uint64_t remote_addr, void* local,
+                std::size_t bytes) override;
+  void cma_write(int dst, std::uint64_t remote_addr, const void* local,
+                 std::size_t bytes) override;
+  void local_copy(void* dst, const void* src, std::size_t bytes) override;
+  void compute_charge(std::size_t bytes) override;
+
+  void ctrl_bcast(void* buf, std::size_t bytes, int root) override;
+  void ctrl_gather(const void* send, void* recv, std::size_t bytes,
+                   int root) override;
+  void ctrl_allgather(const void* send, void* recv,
+                      std::size_t bytes) override;
+  void signal(int dst) override;
+  void wait_signal(int src) override;
+  void barrier() override;
+
+  void shm_send(int dst, const void* buf, std::size_t bytes) override;
+  void shm_recv(int src, void* buf, std::size_t bytes) override;
+  void shm_bcast(void* buf, std::size_t bytes, int root) override;
+
+  double now_us() override;
+
+  /// Timing-only contended transfer with phase accounting (powers the
+  /// Fig 2-6 microbenchmarks and the simulated ProbeBackend).
+  sim::Breakdown timed_cma(int owner, std::uint64_t bytes, bool with_copy);
+
+private:
+  sim::SimEngine* engine_;
+  SimTeamState* team_;
+  int rank_;
+};
+
+/// Result of a simulated team run.
+struct SimRunResult {
+  std::vector<double> final_clock_us;
+  double makespan_us = 0.0;
+};
+
+/// Convenience launcher: builds an engine for (spec, nranks), runs
+/// `body(comm)` on every simulated rank, rethrows the first failure.
+/// `move_data=false` enables the timing-only mode (see SimTeamState).
+SimRunResult run_sim(const ArchSpec& spec, int nranks,
+                     const std::function<void(Comm&)>& body,
+                     bool move_data = true);
+
+/// Variant giving bodies access to SimComm extensions (timed_cma).
+SimRunResult run_sim_ex(const ArchSpec& spec, int nranks,
+                        const std::function<void(SimComm&)>& body,
+                        bool move_data = true);
+
+} // namespace kacc

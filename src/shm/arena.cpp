@@ -1,0 +1,197 @@
+#include "shm/arena.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "shm/spin.h"
+
+namespace kacc::shm {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x6b616363'61726e61ull; // "kacc" "arna"
+constexpr std::size_t kCacheLine = 64;
+
+// Header region: ArenaHeader + nranks PID slots + registration counter,
+// each on its own cache line.
+std::size_t header_region_bytes(int nranks) {
+  return align_up(sizeof(ArenaHeader), kCacheLine) +
+         static_cast<std::size_t>(nranks + 1) * kCacheLine;
+}
+
+// Barrier region: two cache lines (count + sense).
+std::size_t barrier_region_bytes() { return 2 * kCacheLine; }
+
+// Ctrl region: per rank, 2 parities x (seq line + 256B payload).
+constexpr std::size_t kCtrlPayload = 256;
+std::size_t ctrl_region_bytes(int nranks) {
+  const std::size_t per_rank = 2 * (kCacheLine + kCtrlPayload) + kCacheLine;
+  return static_cast<std::size_t>(nranks) * per_rank;
+}
+
+// Mailbox region: p*p monotonic counters, one cache line each.
+std::size_t mailbox_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) *
+         static_cast<std::size_t>(nranks) * kCacheLine;
+}
+
+// Pipe region: p*p rings, each = header line + slots*(len line + chunk).
+std::size_t pipe_bytes(std::size_t chunk, std::size_t slots) {
+  return kCacheLine + slots * (kCacheLine + align_up(chunk, kCacheLine));
+}
+
+std::size_t pipes_region_bytes(int nranks, std::size_t chunk,
+                               std::size_t slots) {
+  return static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks) *
+         pipe_bytes(chunk, slots);
+}
+
+// Bcast staging: header line + 2 slots of (ack line + chunk payload).
+std::size_t bcast_region_bytes(std::size_t chunk) {
+  return 64 + 2 * (64 + align_up(chunk, 64));
+}
+
+std::size_t results_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) * kCacheLine * 5; // flag + 240B msg
+}
+
+std::atomic<std::uint32_t>* reg_counter(std::byte* base,
+                                        const ArenaLayout& l) {
+  return reinterpret_cast<std::atomic<std::uint32_t>*>(
+      base + l.header_off + align_up(sizeof(ArenaHeader), kCacheLine));
+}
+
+std::atomic<std::int64_t>* pid_slot(std::byte* base, const ArenaLayout& l,
+                                    int rank) {
+  return reinterpret_cast<std::atomic<std::int64_t>*>(
+      base + l.header_off + align_up(sizeof(ArenaHeader), kCacheLine) +
+      static_cast<std::size_t>(rank + 1) * kCacheLine);
+}
+
+} // namespace
+
+ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
+                                 std::size_t pipe_slots) {
+  KACC_CHECK_MSG(nranks >= 1 && nranks <= 1024, "nranks in [1, 1024]");
+  KACC_CHECK_MSG(pipe_chunk_bytes >= 64 && pipe_slots >= 1,
+                 "pipe geometry too small");
+  ArenaLayout l;
+  l.nranks = nranks;
+  l.pipe_chunk_bytes = pipe_chunk_bytes;
+  l.pipe_slots = pipe_slots;
+
+  std::size_t off = 0;
+  l.header_off = off;
+  off = align_up(off + header_region_bytes(nranks), 4096);
+  l.barrier_off = off;
+  off = align_up(off + barrier_region_bytes(), 4096);
+  l.ctrl_off = off;
+  off = align_up(off + ctrl_region_bytes(nranks), 4096);
+  l.mailbox_off = off;
+  off = align_up(off + mailbox_region_bytes(nranks), 4096);
+  l.pipes_off = off;
+  off = align_up(off + pipes_region_bytes(nranks, pipe_chunk_bytes, pipe_slots),
+                 4096);
+  l.bcast_off = off;
+  off = align_up(off + bcast_region_bytes(pipe_chunk_bytes), 4096);
+  l.results_off = off;
+  off = align_up(off + results_region_bytes(nranks), 4096);
+  l.total_bytes = off;
+  return l;
+}
+
+ShmArena::ShmArena(const ArenaLayout& layout) : layout_(layout) {
+  void* mem = ::mmap(nullptr, layout_.total_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    throw SyscallError("mmap shm arena", errno);
+  }
+  base_ = static_cast<std::byte*>(mem);
+  std::memset(base_, 0, layout_.total_bytes);
+  auto* hdr = new (base_ + layout_.header_off) ArenaHeader{};
+  hdr->magic = kMagic;
+  hdr->nranks = layout_.nranks;
+  for (int r = 0; r < layout_.nranks; ++r) {
+    pid_slot(base_, layout_, r)->store(-1, std::memory_order_relaxed);
+  }
+}
+
+ShmArena::~ShmArena() {
+  if (base_ != nullptr) {
+    ::munmap(base_, layout_.total_bytes);
+  }
+}
+
+ShmArena::ShmArena(ShmArena&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)), layout_(other.layout_) {}
+
+ShmArena& ShmArena::operator=(ShmArena&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) {
+      ::munmap(base_, layout_.total_bytes);
+    }
+    base_ = std::exchange(other.base_, nullptr);
+    layout_ = other.layout_;
+  }
+  return *this;
+}
+
+void ShmArena::register_rank(int rank) const {
+  KACC_CHECK(valid());
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  pid_slot(base_, layout_, rank)
+      ->store(static_cast<std::int64_t>(::getpid()),
+              std::memory_order_release);
+  reg_counter(base_, layout_)->fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ShmArena::wait_all_registered() const {
+  auto* counter = reg_counter(base_, layout_);
+  const auto want = static_cast<std::uint32_t>(layout_.nranks);
+  spin_until([&] {
+    return counter->load(std::memory_order_acquire) >= want;
+  });
+}
+
+pid_t ShmArena::pid_of(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  auto* slot = pid_slot(base_, layout_, rank);
+  spin_until([&] { return slot->load(std::memory_order_acquire) >= 0; });
+  return static_cast<pid_t>(slot->load(std::memory_order_acquire));
+}
+
+void ShmArena::report_result(int rank, bool ok, const char* message) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  std::byte* slot = base_ + layout_.results_off +
+                    static_cast<std::size_t>(rank) * 5 * 64;
+  char* msg = reinterpret_cast<char*>(slot + 64);
+  if (message != nullptr) {
+    std::strncpy(msg, message, kResultMsgBytes - 1);
+    msg[kResultMsgBytes - 1] = '\0';
+  } else {
+    msg[0] = '\0';
+  }
+  reinterpret_cast<std::atomic<std::int32_t>*>(slot)->store(
+      ok ? 1 : 2, std::memory_order_release);
+}
+
+bool ShmArena::result_ok(int rank) const {
+  const std::byte* slot = base_ + layout_.results_off +
+                          static_cast<std::size_t>(rank) * 5 * 64;
+  return reinterpret_cast<const std::atomic<std::int32_t>*>(slot)->load(
+             std::memory_order_acquire) == 1;
+}
+
+const char* ShmArena::result_message(int rank) const {
+  const std::byte* slot = base_ + layout_.results_off +
+                          static_cast<std::size_t>(rank) * 5 * 64;
+  return reinterpret_cast<const char*>(slot + 64);
+}
+
+} // namespace kacc::shm

@@ -1,0 +1,79 @@
+// A shared anonymous mapping created by the team parent before fork and
+// inherited by every rank. All shared-memory machinery (barrier, control
+// collectives, signal mailboxes, chunk pipes, result slots) lives inside
+// one arena with a layout computed from the rank count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+namespace kacc::shm {
+
+/// Byte offsets of each arena region; computed once from the team shape.
+struct ArenaLayout {
+  int nranks = 0;
+  std::size_t pipe_chunk_bytes = 0;
+  std::size_t pipe_slots = 0;
+
+  std::size_t header_off = 0;
+  std::size_t barrier_off = 0;
+  std::size_t ctrl_off = 0;
+  std::size_t mailbox_off = 0;
+  std::size_t pipes_off = 0;
+  std::size_t bcast_off = 0;
+  std::size_t results_off = 0;
+  std::size_t total_bytes = 0;
+
+  /// Computes a layout for `nranks` ranks with the given pipe geometry.
+  static ArenaLayout compute(int nranks, std::size_t pipe_chunk_bytes,
+                             std::size_t pipe_slots);
+};
+
+/// Arena header: rank registration (PID exchange happens here — the paper's
+/// "each process exchanges their PID during initialization").
+struct ArenaHeader {
+  std::uint64_t magic = 0;
+  std::int32_t nranks = 0;
+  // Followed in memory by: atomic pid slots (see arena.cpp accessors).
+};
+
+/// Owning handle to the mapping (parent side); ranks use RankView.
+class ShmArena {
+public:
+  ShmArena() = default;
+  /// Maps a shared anonymous region sized for the layout.
+  explicit ShmArena(const ArenaLayout& layout);
+  ~ShmArena();
+
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+  ShmArena(ShmArena&& other) noexcept;
+  ShmArena& operator=(ShmArena&& other) noexcept;
+
+  [[nodiscard]] std::byte* base() const { return base_; }
+  [[nodiscard]] const ArenaLayout& layout() const { return layout_; }
+  [[nodiscard]] bool valid() const { return base_ != nullptr; }
+
+  /// Registers the calling process as `rank` (stores its PID). Called by
+  /// each child after fork.
+  void register_rank(int rank) const;
+
+  /// Blocks until all ranks registered, then returns the PID of `rank`.
+  [[nodiscard]] pid_t pid_of(int rank) const;
+
+  /// Blocks until every rank has registered.
+  void wait_all_registered() const;
+
+  // --- per-rank result reporting (used by the team harness) ---
+  static constexpr std::size_t kResultMsgBytes = 240;
+  void report_result(int rank, bool ok, const char* message) const;
+  [[nodiscard]] bool result_ok(int rank) const;
+  [[nodiscard]] const char* result_message(int rank) const;
+
+private:
+  std::byte* base_ = nullptr;
+  ArenaLayout layout_;
+};
+
+} // namespace kacc::shm

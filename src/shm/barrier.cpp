@@ -1,0 +1,37 @@
+#include "shm/barrier.h"
+
+#include <atomic>
+
+#include "common/error.h"
+#include "shm/spin.h"
+
+namespace kacc::shm {
+
+ShmBarrier::ShmBarrier(const ShmArena& arena, int nranks) : nranks_(nranks) {
+  KACC_CHECK(arena.valid());
+  KACC_CHECK_MSG(nranks >= 1 && nranks <= arena.layout().nranks,
+                 "barrier nranks exceeds arena");
+  std::byte* region = arena.base() + arena.layout().barrier_off;
+  count_ = region;
+  sense_ = region + 64;
+}
+
+void ShmBarrier::wait() {
+  if (nranks_ == 1) {
+    return;
+  }
+  auto* count = static_cast<std::atomic<int>*>(count_);
+  auto* sense = static_cast<std::atomic<int>*>(sense_);
+  const int my_sense = 1 - local_sense_;
+  local_sense_ = my_sense;
+  if (count->fetch_add(1, std::memory_order_acq_rel) == nranks_ - 1) {
+    count->store(0, std::memory_order_relaxed);
+    sense->store(my_sense, std::memory_order_release);
+  } else {
+    spin_until([&] {
+      return sense->load(std::memory_order_acquire) == my_sense;
+    });
+  }
+}
+
+} // namespace kacc::shm

@@ -1,0 +1,26 @@
+// Sense-reversing centralized barrier over the shm arena.
+#pragma once
+
+#include <cstddef>
+
+#include "shm/arena.h"
+
+namespace kacc::shm {
+
+/// Per-process view of the shared barrier. Each participating process
+/// constructs its own ShmBarrier over the same arena.
+class ShmBarrier {
+public:
+  ShmBarrier(const ShmArena& arena, int nranks);
+
+  /// Waits until all nranks processes arrive.
+  void wait();
+
+private:
+  void* count_ = nullptr; // std::atomic<int>*
+  void* sense_ = nullptr; // std::atomic<int>*
+  int nranks_;
+  int local_sense_ = 0;
+};
+
+} // namespace kacc::shm

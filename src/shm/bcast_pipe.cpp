@@ -1,0 +1,99 @@
+#include "shm/bcast_pipe.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "shm/spin.h"
+
+namespace kacc::shm {
+namespace {
+constexpr std::size_t kCacheLine = 64;
+
+/// Number of rounds among 1..seq that used parity q.
+std::uint64_t rounds_with_parity(std::uint64_t seq, int q) {
+  // Rounds 1, 3, 5, ... have parity 1; rounds 2, 4, ... have parity 0.
+  return q == 1 ? (seq + 1) / 2 : seq / 2;
+}
+
+} // namespace
+
+struct BcastPipe::Header {
+  std::atomic<std::uint64_t> seq; // rounds published by roots so far
+};
+
+struct BcastPipe::Slot {
+  std::atomic<std::uint64_t> acks; // cumulative reader acks for this parity
+  char pad[kCacheLine - sizeof(std::atomic<std::uint64_t>)];
+  // payload follows
+};
+
+BcastPipe::BcastPipe(const ShmArena& arena, int rank, int nranks)
+    : rank_(rank), nranks_(nranks),
+      chunk_bytes_(arena.layout().pipe_chunk_bytes) {
+  KACC_CHECK(arena.valid());
+  KACC_CHECK_MSG(nranks >= 1 && nranks <= arena.layout().nranks,
+                 "bcast pipe nranks exceeds arena");
+  KACC_CHECK_MSG(rank >= 0 && rank < nranks, "bcast pipe rank out of range");
+  region_ = arena.base() + arena.layout().bcast_off;
+}
+
+BcastPipe::Header* BcastPipe::header() const {
+  return reinterpret_cast<Header*>(region_);
+}
+
+BcastPipe::Slot* BcastPipe::slot(int parity) const {
+  const std::size_t slot_stride =
+      kCacheLine + align_up(chunk_bytes_, kCacheLine);
+  return reinterpret_cast<Slot*>(region_ + kCacheLine +
+                                 static_cast<std::size_t>(parity) *
+                                     slot_stride);
+}
+
+void BcastPipe::bcast(void* buf, std::size_t bytes, int root) {
+  KACC_CHECK_MSG(root >= 0 && root < nranks_, "bcast pipe root");
+  if (nranks_ == 1) {
+    return;
+  }
+  const std::uint64_t chunks =
+      bytes == 0 ? 1 : ceil_div(bytes, chunk_bytes_);
+  auto* hdr = header();
+  const auto readers = static_cast<std::uint64_t>(nranks_ - 1);
+
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    const std::uint64_t round = rounds_done_ + 1;
+    const int parity = static_cast<int>(round % 2);
+    Slot* s = slot(parity);
+    const std::size_t off = static_cast<std::size_t>(i) * chunk_bytes_;
+    const std::size_t len = bytes == 0
+                                ? 0
+                                : std::min(chunk_bytes_, bytes - off);
+    if (rank_ == root) {
+      // Reuse this parity only after every reader acked its previous use.
+      const std::uint64_t prior = rounds_with_parity(round, parity) - 1;
+      auto* acks = &s->acks;
+      spin_until([&] {
+        return acks->load(std::memory_order_acquire) >= prior * readers;
+      });
+      if (len > 0) {
+        std::memcpy(reinterpret_cast<std::byte*>(s) + kCacheLine,
+                    static_cast<const std::byte*>(buf) + off, len);
+      }
+      hdr->seq.store(round, std::memory_order_release);
+    } else {
+      auto* seq = &hdr->seq;
+      spin_until([&] {
+        return seq->load(std::memory_order_acquire) >= round;
+      });
+      if (len > 0) {
+        std::memcpy(static_cast<std::byte*>(buf) + off,
+                    reinterpret_cast<const std::byte*>(s) + kCacheLine, len);
+      }
+      s->acks.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ++rounds_done_;
+  }
+}
+
+} // namespace kacc::shm

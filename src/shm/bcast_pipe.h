@@ -1,0 +1,36 @@
+// Slotted shared-buffer broadcast: the classic MVAPICH2-style shm bcast.
+// The root copies the message chunk by chunk into a double-buffered shared
+// staging area; every other rank copies each chunk out concurrently. One
+// copy-in serves all p-1 readers — the design the paper's Fig 18 compares
+// CMA broadcasts against.
+#pragma once
+
+#include <cstddef>
+
+#include "shm/arena.h"
+
+namespace kacc::shm {
+
+/// Per-process view of the shared bcast staging area.
+class BcastPipe {
+public:
+  BcastPipe(const ShmArena& arena, int rank, int nranks);
+
+  /// Collective: root's `bytes` from `buf` land in every rank's `buf`.
+  /// All ranks must call with matching bytes/root (standard MPI ordering).
+  void bcast(void* buf, std::size_t bytes, int root);
+
+private:
+  struct Header;
+  struct Slot;
+  Slot* slot(int parity) const;
+  Header* header() const;
+
+  std::byte* region_ = nullptr;
+  int rank_ = 0;
+  int nranks_ = 0;
+  std::size_t chunk_bytes_ = 0;
+  std::uint64_t rounds_done_ = 0; // chunks this process has participated in
+};
+
+} // namespace kacc::shm

@@ -1,0 +1,105 @@
+#include "shm/chunk_pipe.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "shm/spin.h"
+
+namespace kacc::shm {
+namespace {
+constexpr std::size_t kCacheLine = 64;
+} // namespace
+
+// Ring header occupies one cache line; then `slots` entries of
+// (length line + chunk payload).
+struct ChunkPipe::Ring {
+  std::atomic<std::uint64_t> head; // chunks consumed (receiver)
+  char pad0[kCacheLine / 2 - sizeof(std::atomic<std::uint64_t>)];
+  std::atomic<std::uint64_t> tail; // chunks published (sender)
+  char pad1[kCacheLine / 2 - sizeof(std::atomic<std::uint64_t>)];
+
+  static void check_layout() { static_assert(sizeof(Ring) == kCacheLine); }
+};
+
+ChunkPipe::ChunkPipe(const ShmArena& arena, int rank, int nranks)
+    : rank_(rank), nranks_(nranks), arena_ranks_(arena.layout().nranks),
+      chunk_bytes_(arena.layout().pipe_chunk_bytes),
+      slots_(arena.layout().pipe_slots) {
+  KACC_CHECK(arena.valid());
+  KACC_CHECK_MSG(nranks >= 1 && nranks <= arena_ranks_,
+                 "pipe nranks exceeds arena");
+  KACC_CHECK_MSG(rank >= 0 && rank < nranks, "pipe rank out of range");
+  region_ = arena.base() + arena.layout().pipes_off;
+  ring_stride_ =
+      kCacheLine + slots_ * (kCacheLine + align_up(chunk_bytes_, kCacheLine));
+}
+
+ChunkPipe::Ring* ChunkPipe::ring(int src, int dst) const {
+  // Indexed over the arena's full rank count so geometry is stable.
+  const std::size_t idx = static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(arena_ranks_) +
+                          static_cast<std::size_t>(dst);
+  return reinterpret_cast<Ring*>(region_ + idx * ring_stride_);
+}
+
+void ChunkPipe::send(int dst, const void* buf, std::size_t bytes) {
+  KACC_CHECK_MSG(dst >= 0 && dst < nranks_, "pipe dst out of range");
+  KACC_CHECK_MSG(dst != rank_, "pipe send to self");
+  Ring* r = ring(rank_, dst);
+  std::byte* slot_base = reinterpret_cast<std::byte*>(r) + kCacheLine;
+  const std::size_t slot_stride =
+      kCacheLine + align_up(chunk_bytes_, kCacheLine);
+
+  const char* src_bytes = static_cast<const char*>(buf);
+  std::size_t remaining = bytes;
+  // A 0-byte message still publishes one (empty) chunk so the receiver has
+  // something to synchronize on.
+  do {
+    const std::size_t len = remaining < chunk_bytes_ ? remaining : chunk_bytes_;
+    const std::uint64_t seq = r->tail.load(std::memory_order_relaxed);
+    spin_until([&] {
+      return seq - r->head.load(std::memory_order_acquire) < slots_;
+    });
+    std::byte* slot = slot_base + (seq % slots_) * slot_stride;
+    *reinterpret_cast<std::uint64_t*>(slot + 8) = len;
+    if (len > 0) {
+      std::memcpy(slot + kCacheLine, src_bytes, len);
+    }
+    r->tail.store(seq + 1, std::memory_order_release);
+    src_bytes += len;
+    remaining -= len;
+  } while (remaining > 0);
+}
+
+void ChunkPipe::recv(int src, void* buf, std::size_t bytes) {
+  KACC_CHECK_MSG(src >= 0 && src < nranks_, "pipe src out of range");
+  KACC_CHECK_MSG(src != rank_, "pipe recv from self");
+  Ring* r = ring(src, rank_);
+  std::byte* slot_base = reinterpret_cast<std::byte*>(r) + kCacheLine;
+  const std::size_t slot_stride =
+      kCacheLine + align_up(chunk_bytes_, kCacheLine);
+
+  char* dst_bytes = static_cast<char*>(buf);
+  std::size_t received = 0;
+  bool first = true;
+  while (first || received < bytes) {
+    first = false;
+    const std::uint64_t seq = r->head.load(std::memory_order_relaxed);
+    spin_until([&] {
+      return r->tail.load(std::memory_order_acquire) > seq;
+    });
+    std::byte* slot = slot_base + (seq % slots_) * slot_stride;
+    const std::uint64_t len = *reinterpret_cast<std::uint64_t*>(slot + 8);
+    KACC_CHECK_MSG(received + len <= bytes,
+                   "pipe recv: sender pushed more than expected");
+    if (len > 0) {
+      std::memcpy(dst_bytes + received, slot + kCacheLine, len);
+    }
+    r->head.store(seq + 1, std::memory_order_release);
+    received += len;
+  }
+}
+
+} // namespace kacc::shm

@@ -1,0 +1,43 @@
+// Two-copy shared-memory transfer: the classic copy-in/copy-out (CICO)
+// pipeline every MPI library uses for intra-node messages. One bounded ring
+// of fixed-size chunks per ordered (src, dst) pair; the sender copies into
+// shared chunks, the receiver copies out, and the two overlap (pipelining).
+//
+// This is the "SHMEM" design the paper compares CMA collectives against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "shm/arena.h"
+
+namespace kacc::shm {
+
+/// Per-process endpoint for two-copy sends/receives.
+class ChunkPipe {
+public:
+  ChunkPipe(const ShmArena& arena, int rank, int nranks);
+
+  /// Copies `bytes` to the (rank_ -> dst) ring, chunk by chunk. Blocks when
+  /// the ring is full (receiver not keeping up).
+  void send(int dst, const void* buf, std::size_t bytes);
+
+  /// Receives exactly `bytes` from the (src -> rank_) ring.
+  void recv(int src, void* buf, std::size_t bytes);
+
+  [[nodiscard]] std::size_t chunk_bytes() const { return chunk_bytes_; }
+
+private:
+  struct Ring;
+  Ring* ring(int src, int dst) const;
+
+  std::byte* region_ = nullptr;
+  int rank_ = 0;
+  int nranks_ = 0;
+  int arena_ranks_ = 0;
+  std::size_t chunk_bytes_ = 0;
+  std::size_t slots_ = 0;
+  std::size_t ring_stride_ = 0;
+};
+
+} // namespace kacc::shm

@@ -1,0 +1,121 @@
+#include "shm/ctrl_coll.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/error.h"
+#include "shm/spin.h"
+
+namespace kacc::shm {
+namespace {
+constexpr std::size_t kCacheLine = 64;
+// Per rank: 2 parities x (seq cache line + payload) + one done-counter line.
+constexpr std::size_t kParityBytes = kCacheLine + CtrlBoard::kMaxPayload;
+constexpr std::size_t kPerRank = 2 * kParityBytes + kCacheLine;
+} // namespace
+
+struct CtrlBoard::Slot {
+  std::atomic<std::uint64_t> seq; // round number + 1 (0 = never written)
+  char pad[kCacheLine - sizeof(std::atomic<std::uint64_t>)];
+  std::byte payload[kMaxPayload];
+
+  static void check_layout() { static_assert(sizeof(Slot) == kParityBytes); }
+};
+
+CtrlBoard::CtrlBoard(const ShmArena& arena, int rank, int nranks)
+    : rank_(rank), nranks_(nranks) {
+  KACC_CHECK(arena.valid());
+  KACC_CHECK_MSG(nranks >= 1 && nranks <= arena.layout().nranks,
+                 "ctrl nranks exceeds arena");
+  KACC_CHECK_MSG(rank >= 0 && rank < nranks, "ctrl rank out of range");
+  region_ = arena.base() + arena.layout().ctrl_off;
+}
+
+CtrlBoard::Slot* CtrlBoard::slot(int rank, int parity) const {
+  return reinterpret_cast<Slot*>(region_ +
+                                 static_cast<std::size_t>(rank) * kPerRank +
+                                 static_cast<std::size_t>(parity) *
+                                     kParityBytes);
+}
+
+std::uint64_t* CtrlBoard::done_counter(int rank) const {
+  return reinterpret_cast<std::uint64_t*>(
+      region_ + static_cast<std::size_t>(rank) * kPerRank + 2 * kParityBytes);
+}
+
+void CtrlBoard::begin_round() {
+  ++round_; // round_ is now the id of the in-flight round (1-based)
+  if (round_ <= 2) {
+    return;
+  }
+  // Slot parity is reused every 2 rounds: wait until everyone finished the
+  // round that last used this parity.
+  const std::uint64_t need = round_ - 2;
+  for (int q = 0; q < nranks_; ++q) {
+    auto* done = reinterpret_cast<std::atomic<std::uint64_t>*>(done_counter(q));
+    spin_until([&] { return done->load(std::memory_order_acquire) >= need; });
+  }
+}
+
+void CtrlBoard::publish(const void* data, std::size_t bytes) {
+  Slot* s = slot(rank_, static_cast<int>(round_ % 2));
+  std::memcpy(s->payload, data, bytes);
+  s->seq.store(round_, std::memory_order_release);
+}
+
+void CtrlBoard::read_slot(int src, void* out, std::size_t bytes) {
+  Slot* s = slot(src, static_cast<int>(round_ % 2));
+  spin_until([&] {
+    return s->seq.load(std::memory_order_acquire) >= round_;
+  });
+  std::memcpy(out, s->payload, bytes);
+}
+
+void CtrlBoard::end_round() {
+  reinterpret_cast<std::atomic<std::uint64_t>*>(done_counter(rank_))
+      ->store(round_, std::memory_order_release);
+}
+
+void CtrlBoard::bcast(void* buf, std::size_t bytes, int root) {
+  KACC_CHECK_MSG(bytes <= kMaxPayload, "ctrl bcast payload too large");
+  KACC_CHECK_MSG(root >= 0 && root < nranks_, "ctrl bcast root");
+  begin_round();
+  if (rank_ == root) {
+    publish(buf, bytes);
+  } else {
+    read_slot(root, buf, bytes);
+  }
+  end_round();
+}
+
+void CtrlBoard::gather(const void* send, void* recv, std::size_t bytes,
+                       int root) {
+  KACC_CHECK_MSG(bytes <= kMaxPayload, "ctrl gather payload too large");
+  KACC_CHECK_MSG(root >= 0 && root < nranks_, "ctrl gather root");
+  begin_round();
+  publish(send, bytes);
+  if (rank_ == root) {
+    KACC_CHECK_MSG(recv != nullptr, "ctrl gather: root needs recv buffer");
+    for (int q = 0; q < nranks_; ++q) {
+      read_slot(q, static_cast<std::byte*>(recv) +
+                       static_cast<std::size_t>(q) * bytes,
+                bytes);
+    }
+  }
+  end_round();
+}
+
+void CtrlBoard::allgather(const void* send, void* recv, std::size_t bytes) {
+  KACC_CHECK_MSG(bytes <= kMaxPayload, "ctrl allgather payload too large");
+  KACC_CHECK_MSG(recv != nullptr, "ctrl allgather needs recv buffer");
+  begin_round();
+  publish(send, bytes);
+  for (int q = 0; q < nranks_; ++q) {
+    read_slot(q, static_cast<std::byte*>(recv) +
+                     static_cast<std::size_t>(q) * bytes,
+              bytes);
+  }
+  end_round();
+}
+
+} // namespace kacc::shm

@@ -1,0 +1,57 @@
+// Small-message control-plane collectives over shared memory: the paper's
+// T^sm_bcast / T^sm_gather / T^sm_allgather building blocks used to
+// exchange buffer addresses (a handful of bytes) before CMA data movement.
+//
+// Design: every rank owns a double-buffered 256-byte slot with a sequence
+// number. Control collectives form one totally ordered round stream — every
+// rank participates in every round in the same order, which the Comm layer
+// guarantees (collectives are called in matching order on all ranks).
+// Parity double-buffering lets round r+1 start while laggards still read
+// round r; writers additionally wait until all ranks completed round r-1
+// before reusing a parity slot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "shm/arena.h"
+
+namespace kacc::shm {
+
+/// Per-process view of the control board.
+class CtrlBoard {
+public:
+  static constexpr std::size_t kMaxPayload = 256;
+
+  CtrlBoard(const ShmArena& arena, int rank, int nranks);
+
+  /// Root's `bytes` (<= 256) land in every rank's `buf`.
+  void bcast(void* buf, std::size_t bytes, int root);
+
+  /// Every rank contributes `bytes`; root receives nranks*bytes, rank-major.
+  /// Non-roots pass recv == nullptr.
+  void gather(const void* send, void* recv, std::size_t bytes, int root);
+
+  /// Every rank contributes and receives all contributions.
+  void allgather(const void* send, void* recv, std::size_t bytes);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+private:
+  struct Slot;
+  Slot* slot(int rank, int parity) const;
+  std::uint64_t* done_counter(int rank) const;
+
+  void begin_round();
+  void publish(const void* data, std::size_t bytes);
+  void read_slot(int src, void* out, std::size_t bytes);
+  void end_round();
+
+  std::byte* region_ = nullptr;
+  int rank_ = 0;
+  int nranks_ = 0;
+  std::uint64_t round_ = 0; // rounds completed locally
+};
+
+} // namespace kacc::shm

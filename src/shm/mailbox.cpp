@@ -1,0 +1,52 @@
+#include "shm/mailbox.h"
+
+#include <atomic>
+
+#include "common/error.h"
+#include "shm/spin.h"
+
+namespace kacc::shm {
+namespace {
+constexpr std::size_t kCacheLine = 64;
+} // namespace
+
+SignalBoard::SignalBoard(const ShmArena& arena, int rank, int nranks)
+    : rank_(rank), nranks_(nranks),
+      consumed_(static_cast<std::size_t>(nranks), 0) {
+  KACC_CHECK(arena.valid());
+  KACC_CHECK_MSG(nranks >= 1 && nranks <= arena.layout().nranks,
+                 "signal nranks exceeds arena");
+  KACC_CHECK_MSG(rank >= 0 && rank < nranks, "signal rank out of range");
+  region_ = arena.base() + arena.layout().mailbox_off;
+}
+
+void* SignalBoard::counter(int src, int dst) const {
+  // Arena mailboxes are laid out over the arena's nranks, but src/dst are
+  // validated against this board's nranks (a board may span fewer ranks).
+  return region_ + (static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(nranks_) +
+                    static_cast<std::size_t>(dst)) *
+                       kCacheLine;
+}
+
+void SignalBoard::signal(int dst) {
+  KACC_CHECK_MSG(dst >= 0 && dst < nranks_, "signal dst out of range");
+  static_cast<std::atomic<std::uint64_t>*>(counter(rank_, dst))
+      ->fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SignalBoard::wait_signal(int src) {
+  KACC_CHECK_MSG(src >= 0 && src < nranks_, "signal src out of range");
+  const std::uint64_t need = ++consumed_[static_cast<std::size_t>(src)];
+  auto* ctr = static_cast<std::atomic<std::uint64_t>*>(counter(src, rank_));
+  spin_until([&] { return ctr->load(std::memory_order_acquire) >= need; });
+}
+
+bool SignalBoard::poll(int src) const {
+  KACC_CHECK_MSG(src >= 0 && src < nranks_, "signal src out of range");
+  auto* ctr = static_cast<std::atomic<std::uint64_t>*>(counter(src, rank_));
+  return ctr->load(std::memory_order_acquire) >
+         consumed_[static_cast<std::size_t>(src)];
+}
+
+} // namespace kacc::shm

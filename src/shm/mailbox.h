@@ -1,0 +1,37 @@
+// p x p monotonic signal counters: the 0-byte synchronization messages the
+// paper's throttled and ring algorithms chain ("each process posts a
+// blocking receive from rank-k ...; posts a send to rank+k").
+#pragma once
+
+#include <vector>
+
+#include "shm/arena.h"
+
+namespace kacc::shm {
+
+/// Per-process view of the signal board.
+class SignalBoard {
+public:
+  SignalBoard(const ShmArena& arena, int rank, int nranks);
+
+  /// Posts one signal to `dst` (non-blocking).
+  void signal(int dst);
+
+  /// Consumes one signal from `src`, blocking until it arrives. Signals
+  /// from one src are counted, so posts are never lost even if they race
+  /// ahead of the waiter.
+  void wait_signal(int src);
+
+  /// True when an unconsumed signal from src is pending (does not consume).
+  [[nodiscard]] bool poll(int src) const;
+
+private:
+  void* counter(int src, int dst) const; // std::atomic<uint64_t>*
+
+  std::byte* region_ = nullptr;
+  int rank_ = 0;
+  int nranks_ = 0;
+  std::vector<std::uint64_t> consumed_; // per source, process-local
+};
+
+} // namespace kacc::shm

@@ -1,0 +1,34 @@
+// Cooperative spin-waiting. The native runtime may run many ranks on few
+// cores (CI containers), so every busy-wait yields the CPU after a short
+// burst of polling and eventually sleeps.
+#pragma once
+
+#include <sched.h>
+#include <time.h>
+
+namespace kacc::shm {
+
+/// Spins until `pred()` is true. Polls hot for a burst, then yields, then
+/// naps in 50us steps so oversubscribed nodes still make progress.
+template <typename Pred>
+void spin_until(Pred&& pred) {
+  for (int i = 0; i < 1024; ++i) {
+    if (pred()) {
+      return;
+    }
+  }
+  for (int i = 0; i < 256; ++i) {
+    if (pred()) {
+      return;
+    }
+    ::sched_yield();
+  }
+  struct timespec nap {
+    0, 50'000
+  };
+  while (!pred()) {
+    ::nanosleep(&nap, nullptr);
+  }
+}
+
+} // namespace kacc::shm

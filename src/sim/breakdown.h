@@ -1,0 +1,27 @@
+// Per-phase time accounting of a simulated CMA operation (Fig 4's stack).
+#pragma once
+
+namespace kacc::sim {
+
+struct Breakdown {
+  double syscall_us = 0.0;
+  double permcheck_us = 0.0;
+  double lock_us = 0.0;
+  double pin_us = 0.0;
+  double copy_us = 0.0;
+
+  [[nodiscard]] double total_us() const {
+    return syscall_us + permcheck_us + lock_us + pin_us + copy_us;
+  }
+
+  Breakdown& operator+=(const Breakdown& o) {
+    syscall_us += o.syscall_us;
+    permcheck_us += o.permcheck_us;
+    lock_us += o.lock_us;
+    pin_us += o.pin_us;
+    copy_us += o.copy_us;
+    return *this;
+  }
+};
+
+} // namespace kacc::sim

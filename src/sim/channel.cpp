@@ -1,0 +1,37 @@
+#include "sim/channel.h"
+
+#include "common/error.h"
+
+namespace kacc::sim {
+
+void ChannelMap::push(int src, int dst, ChannelTag tag, Message msg) {
+  queues_[{src, dst, static_cast<int>(tag)}].push_back(std::move(msg));
+}
+
+void ChannelMap::push_front(int src, int dst, ChannelTag tag, Message msg) {
+  queues_[{src, dst, static_cast<int>(tag)}].push_front(std::move(msg));
+}
+
+bool ChannelMap::has(int src, int dst, ChannelTag tag) const {
+  auto it = queues_.find({src, dst, static_cast<int>(tag)});
+  return it != queues_.end() && !it->second.empty();
+}
+
+Message ChannelMap::pop(int src, int dst, ChannelTag tag) {
+  auto it = queues_.find({src, dst, static_cast<int>(tag)});
+  KACC_CHECK_MSG(it != queues_.end() && !it->second.empty(),
+                 "channel pop on empty queue");
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  return msg;
+}
+
+std::size_t ChannelMap::size() const {
+  std::size_t n = 0;
+  for (const auto& [key, q] : queues_) {
+    n += q.size();
+  }
+  return n;
+}
+
+} // namespace kacc::sim

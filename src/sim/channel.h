@@ -1,0 +1,44 @@
+// Point-to-point message channels inside the simulator: carry real payload
+// bytes (for functional correctness) stamped with the virtual time at which
+// they become visible to the receiver.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace kacc::sim {
+
+/// Channel classes. Signals are the paper's 0-byte sync messages; Ctrl
+/// carries address exchanges; Data carries two-copy shm payloads.
+enum class ChannelTag : int { kSignal = 0, kCtrl = 1, kData = 2 };
+
+struct Message {
+  std::vector<std::byte> payload;
+  double avail_us = 0.0; ///< virtual time the message becomes receivable
+};
+
+/// Keyed FIFO queues for (src, dst, tag) triples.
+class ChannelMap {
+public:
+  void push(int src, int dst, ChannelTag tag, Message msg);
+
+  /// True when a message is queued for (src, dst, tag).
+  [[nodiscard]] bool has(int src, int dst, ChannelTag tag) const;
+
+  /// Pops the head message; precondition: has() is true.
+  Message pop(int src, int dst, ChannelTag tag);
+
+  /// Returns a popped message to the head of its queue (peek support).
+  void push_front(int src, int dst, ChannelTag tag, Message msg);
+
+  /// Total queued messages (drained-state assertions in tests).
+  [[nodiscard]] std::size_t size() const;
+
+private:
+  using Key = std::tuple<int, int, int>;
+  std::map<Key, std::deque<Message>> queues_;
+};
+
+} // namespace kacc::sim

@@ -1,0 +1,358 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.h"
+
+namespace kacc::sim {
+
+SimEngine::SimEngine(ArchSpec spec, int nranks)
+    : spec_(std::move(spec)), nranks_(nranks), unstarted_(nranks) {
+  spec_.validate();
+  KACC_CHECK_MSG(nranks >= 1, "SimEngine needs at least one rank");
+  ranks_.resize(static_cast<std::size_t>(nranks));
+  resources_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    resources_.push_back(
+        std::make_unique<ContendedResource>(&spec_, &active_cross_ops_));
+  }
+}
+
+void SimEngine::sync_all_resources_locked(double now) {
+  for (auto& res : resources_) {
+    if (!res->idle()) {
+      res->sync_now(now);
+    }
+  }
+}
+
+void SimEngine::notify_all_resources_locked(
+    const ContendedResource::RerateFn& fn) {
+  for (auto& res : resources_) {
+    if (!res->idle()) {
+      res->notify_finishes(fn);
+    }
+  }
+}
+
+ContendedResource::RerateFn SimEngine::make_rerate_locked() {
+  return [this](int op, double new_finish) {
+    auto it = op_owner_rank_.find(op);
+    KACC_CHECK_MSG(it != op_owner_rank_.end(), "rerate: unknown op");
+    RankState& peer = ranks_[static_cast<std::size_t>(it->second)];
+    KACC_CHECK_MSG(peer.in_resource, "rerate: peer not in a resource");
+    peer.wake = new_finish;
+  };
+}
+
+void SimEngine::check_poisoned_locked() const {
+  if (poisoned_) {
+    throw DeadlockError("simulation aborted: " + poison_reason_);
+  }
+}
+
+void SimEngine::schedule_next_locked() {
+  // Nobody runs until all rank threads have registered: virtual time must
+  // begin uniformly at 0 or causality (and resource time) would regress.
+  if (unstarted_ > 0) {
+    active_ = -1;
+    return;
+  }
+  int best = -1;
+  double best_wake = std::numeric_limits<double>::infinity();
+  bool any_blocked = false;
+  for (int r = 0; r < nranks_; ++r) {
+    const RankState& st = ranks_[static_cast<std::size_t>(r)];
+    switch (st.state) {
+      case State::kReady:
+        if (st.wake < best_wake) {
+          best_wake = st.wake;
+          best = r;
+        }
+        break;
+      case State::kUnstarted:
+        break;
+      case State::kBlockedRecv:
+      case State::kBlockedColl:
+        any_blocked = true;
+        break;
+      case State::kRunning:
+      case State::kDone:
+        break;
+    }
+  }
+  if (best >= 0) {
+    active_ = best;
+    ranks_[static_cast<std::size_t>(best)].cv->notify_one();
+    return;
+  }
+  active_ = -1;
+  if (any_blocked && !poisoned_) {
+    poisoned_ = true;
+    poison_reason_ =
+        "deadlock: every live rank is blocked on a receive or collective "
+        "that can never complete";
+    for (RankState& st : ranks_) {
+      st.cv->notify_all();
+    }
+  }
+}
+
+void SimEngine::park_and_wait(std::unique_lock<std::mutex>& lk, int rank) {
+  RankState& self = ranks_[static_cast<std::size_t>(rank)];
+  self.cv->wait(lk, [&] { return active_ == rank || poisoned_; });
+  check_poisoned_locked();
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  st.state = State::kRunning;
+  st.clock = std::max(st.clock, st.wake);
+}
+
+void SimEngine::start(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  KACC_CHECK_MSG(rank >= 0 && rank < nranks_, "start: rank out of range");
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  KACC_CHECK_MSG(st.state == State::kUnstarted, "start: rank already started");
+  st.state = State::kReady;
+  st.clock = 0.0;
+  st.wake = 0.0;
+  --unstarted_;
+  if (active_ == -1) {
+    schedule_next_locked();
+  }
+  park_and_wait(lk, rank);
+}
+
+void SimEngine::finish(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  st.state = State::kDone;
+  if (active_ == rank) {
+    schedule_next_locked();
+  }
+}
+
+void SimEngine::abort(const std::string& reason) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!poisoned_) {
+    poisoned_ = true;
+    poison_reason_ = reason;
+  }
+  for (RankState& st : ranks_) {
+    st.cv->notify_all();
+  }
+}
+
+double SimEngine::now(int rank) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return ranks_[static_cast<std::size_t>(rank)].clock;
+}
+
+void SimEngine::advance(int rank, double us) {
+  KACC_CHECK_MSG(us >= 0.0, "advance: negative duration");
+  std::unique_lock<std::mutex> lk(mu_);
+  check_poisoned_locked();
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  st.state = State::kReady;
+  st.wake = st.clock + us;
+  schedule_next_locked();
+  park_and_wait(lk, rank);
+}
+
+Breakdown SimEngine::cma_transfer(int rank, int owner, std::uint64_t bytes,
+                                  double beta_mult, bool cross,
+                                  bool with_copy) {
+  KACC_CHECK_MSG(owner >= 0 && owner < nranks_, "cma_transfer: bad owner");
+  // alpha: syscall entry + permission check, uncontended.
+  advance(rank, spec_.alpha_us());
+
+  Breakdown bd;
+  bd.syscall_us = spec_.syscall_us;
+  bd.permcheck_us = spec_.permcheck_us;
+  if (bytes == 0) {
+    return bd;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  check_poisoned_locked();
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  const int op_id = next_op_id_++;
+  op_owner_rank_[op_id] = rank;
+  st.in_resource = true;
+  const auto rerate = make_rerate_locked();
+
+  if (cross) {
+    // The shared link's rate changes for every in-flight cross transfer:
+    // integrate everyone at the old rate first.
+    sync_all_resources_locked(st.clock);
+    ++active_cross_ops_;
+  }
+  ContendedResource::OpTraits traits;
+  traits.beta_mult = beta_mult;
+  traits.with_copy = with_copy;
+  traits.cross = cross;
+  const std::uint64_t pages = spec_.pages(bytes);
+  const double finish =
+      resources_[static_cast<std::size_t>(owner)]->begin(
+          op_id, st.clock, pages, bytes, traits, rerate);
+  st.wake = finish;
+  if (cross) {
+    notify_all_resources_locked(rerate);
+  }
+  st.state = State::kReady;
+  schedule_next_locked();
+  park_and_wait(lk, rank);
+
+  if (cross) {
+    sync_all_resources_locked(st.clock);
+  }
+  Breakdown phases = resources_[static_cast<std::size_t>(owner)]->end(
+      op_id, st.clock, rerate);
+  st.in_resource = false;
+  op_owner_rank_.erase(op_id);
+  if (cross) {
+    --active_cross_ops_;
+    notify_all_resources_locked(rerate);
+  }
+  phases.syscall_us = bd.syscall_us;
+  phases.permcheck_us = bd.permcheck_us;
+  return phases;
+}
+
+void SimEngine::shm_transfer(int rank, int owner, std::uint64_t bytes,
+                             bool cross) {
+  KACC_CHECK_MSG(owner >= 0 && owner < nranks_, "shm_transfer: bad owner");
+  if (bytes == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  check_poisoned_locked();
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  const int op_id = next_op_id_++;
+  op_owner_rank_[op_id] = rank;
+  st.in_resource = true;
+  const auto rerate = make_rerate_locked();
+
+  if (cross) {
+    sync_all_resources_locked(st.clock);
+    ++active_cross_ops_;
+  }
+  ContendedResource::OpTraits traits;
+  traits.beta_mult = cross ? spec_.inter_socket_beta_mult : 1.0;
+  traits.cross = cross;
+  traits.lockless = true;
+  traits.cache_resident = bytes <= spec_.shm_cache_threshold_bytes;
+  const std::uint64_t pages = spec_.pages(bytes);
+  const double finish = resources_[static_cast<std::size_t>(owner)]->begin(
+      op_id, st.clock, pages, bytes, traits, rerate);
+  st.wake = finish;
+  if (cross) {
+    notify_all_resources_locked(rerate);
+  }
+  st.state = State::kReady;
+  schedule_next_locked();
+  park_and_wait(lk, rank);
+
+  if (cross) {
+    sync_all_resources_locked(st.clock);
+  }
+  resources_[static_cast<std::size_t>(owner)]->end(op_id, st.clock, rerate);
+  st.in_resource = false;
+  op_owner_rank_.erase(op_id);
+  if (cross) {
+    --active_cross_ops_;
+    notify_all_resources_locked(rerate);
+  }
+}
+
+void SimEngine::post(int rank, int dst, ChannelTag tag,
+                     std::vector<std::byte> payload, double delay_us) {
+  KACC_CHECK_MSG(dst >= 0 && dst < nranks_, "post: bad dst");
+  std::unique_lock<std::mutex> lk(mu_);
+  check_poisoned_locked();
+  RankState& sender = ranks_[static_cast<std::size_t>(rank)];
+  Message msg;
+  msg.avail_us = sender.clock + delay_us;
+  msg.payload = std::move(payload);
+
+  RankState& receiver = ranks_[static_cast<std::size_t>(dst)];
+  const bool wakes_receiver =
+      receiver.state == State::kBlockedRecv && receiver.wait_src == rank &&
+      receiver.wait_tag == static_cast<int>(tag);
+  const double avail = msg.avail_us;
+  channels_.push(rank, dst, tag, std::move(msg));
+  if (wakes_receiver) {
+    receiver.state = State::kReady;
+    receiver.wake =
+        std::max(receiver.clock, avail) + receiver.recv_cost;
+    receiver.wait_src = -1;
+    receiver.wait_tag = -1;
+  }
+}
+
+std::vector<std::byte> SimEngine::receive(int rank, int src, ChannelTag tag,
+                                          double recv_cost_us) {
+  KACC_CHECK_MSG(src >= 0 && src < nranks_, "receive: bad src");
+  std::unique_lock<std::mutex> lk(mu_);
+  check_poisoned_locked();
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  if (!channels_.has(src, rank, tag)) {
+    st.state = State::kBlockedRecv;
+    st.wait_src = src;
+    st.wait_tag = static_cast<int>(tag);
+    st.recv_cost = recv_cost_us;
+    schedule_next_locked();
+    park_and_wait(lk, rank); // sender computed our completion time
+  } else {
+    // Message already queued: completion is max(now, avail) + cost.
+    // Peek the avail time without popping.
+    Message msg = channels_.pop(src, rank, tag);
+    const double completion =
+        std::max(st.clock, msg.avail_us) + recv_cost_us;
+    channels_.push_front(src, rank, tag, std::move(msg));
+    st.state = State::kReady;
+    st.wake = completion;
+    schedule_next_locked();
+    park_and_wait(lk, rank);
+  }
+  KACC_CHECK_MSG(channels_.has(src, rank, tag),
+                 "receive resumed without a queued message");
+  return channels_.pop(src, rank, tag).payload;
+}
+
+void SimEngine::rendezvous(int rank, double extra_us,
+                           const std::function<void()>& data_move) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_poisoned_locked();
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  coll_max_t_ = std::max(coll_max_t_, st.clock);
+  ++coll_arrived_;
+  if (coll_arrived_ < nranks_) {
+    st.state = State::kBlockedColl;
+    schedule_next_locked();
+    park_and_wait(lk, rank);
+    return;
+  }
+  // Last to arrive: perform the data movement while everyone is parked.
+  if (data_move) {
+    data_move();
+  }
+  const double t_end = coll_max_t_ + extra_us;
+  for (int r = 0; r < nranks_; ++r) {
+    RankState& peer = ranks_[static_cast<std::size_t>(r)];
+    if (peer.state == State::kBlockedColl) {
+      peer.state = State::kReady;
+      peer.wake = t_end;
+    }
+  }
+  coll_arrived_ = 0;
+  coll_max_t_ = 0.0;
+  ++coll_generation_;
+  st.state = State::kReady;
+  st.wake = t_end;
+  schedule_next_locked();
+  park_and_wait(lk, rank);
+}
+
+} // namespace kacc::sim

@@ -1,0 +1,161 @@
+// Deterministic discrete-event simulation engine.
+//
+// Each simulated rank is a host thread, but exactly one runs at a time: the
+// engine hands the execution token to the runnable rank with the smallest
+// virtual wake time (ties broken by rank id), so every run is deterministic
+// and event processing is totally ordered in virtual time. Rank code calls
+// the engine's primitives (advance, cma_transfer, send/recv, rendezvous)
+// which charge virtual time and block the calling thread until the engine
+// schedules it again.
+//
+// Contention: per-owner ContendedResource instances model the page-lock
+// serialization; transfers in flight are re-rated (their wake times edited
+// in place) whenever membership at their source changes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/breakdown.h"
+#include "sim/channel.h"
+#include "sim/resource.h"
+#include "topo/arch_spec.h"
+
+namespace kacc::sim {
+
+class SimEngine {
+public:
+  SimEngine(ArchSpec spec, int nranks);
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  [[nodiscard]] const ArchSpec& spec() const { return spec_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  // ----- thread lifecycle (called from rank threads) -----
+
+  /// First call of a rank thread: blocks until the engine schedules it.
+  void start(int rank);
+
+  /// Last call of a rank thread: releases the token for good.
+  void finish(int rank);
+
+  /// Poisons the engine (a rank body threw); wakes everyone. Blocked ranks
+  /// observe the poisoning as an exception from their next primitive.
+  void abort(const std::string& reason);
+
+  // ----- virtual-time primitives -----
+
+  /// Current virtual time of `rank` in microseconds.
+  [[nodiscard]] double now(int rank) const;
+
+  /// Charges `us` of local work (memcpy, compute) to `rank`.
+  void advance(int rank, double us);
+
+  /// Full CMA transfer of `bytes` against the page-lock domain of
+  /// `owner`: charges alpha, then drains pages under contention.
+  /// `beta_mult` scales the copy bandwidth (inter-socket penalty) and
+  /// `cross` marks inter-socket transfers (shared-link accounting);
+  /// `with_copy=false` models a lock+pin-only probe. Returns the phase
+  /// breakdown. bytes == 0 charges alpha only.
+  Breakdown cma_transfer(int rank, int owner, std::uint64_t bytes,
+                         double beta_mult, bool cross = false,
+                         bool with_copy = true);
+
+  /// Lockless shared-memory copy of `bytes` staged at `owner`'s socket:
+  /// charges copy time only, sharing the memory system (above the cache
+  /// threshold) and the socket link, without touching `owner`'s page-table
+  /// lock. Used for CICO copy-outs.
+  void shm_transfer(int rank, int owner, std::uint64_t bytes, bool cross);
+
+  /// Posts a message (non-blocking for the sender). The message becomes
+  /// receivable at now(rank) + delay_us.
+  void post(int rank, int dst, ChannelTag tag, std::vector<std::byte> payload,
+            double delay_us);
+
+  /// Receives the next (src, rank, tag) message: completes at
+  /// max(now, message avail time) + recv_cost_us. Blocks (in virtual and
+  /// host time) until a message exists.
+  std::vector<std::byte> receive(int rank, int src, ChannelTag tag,
+                                 double recv_cost_us);
+
+  /// Synchronizing collective among all nranks: everyone leaves at
+  /// max(entry times) + extra_us. The last rank to arrive runs
+  /// `data_move` (may be empty) exactly once while all peers are parked —
+  /// the hook used by control collectives to shuffle small payloads.
+  void rendezvous(int rank, double extra_us,
+                  const std::function<void()>& data_move);
+
+private:
+  enum class State { kUnstarted, kRunning, kReady, kBlockedRecv,
+                     kBlockedColl, kDone };
+
+  struct RankState {
+    State state = State::kUnstarted;
+    double clock = 0.0;
+    double wake = 0.0;
+    bool in_resource = false;
+    // Blocked-receive bookkeeping.
+    int wait_src = -1;
+    int wait_tag = -1;
+    double recv_post_time = 0.0;
+    double recv_cost = 0.0;
+    // Each rank parks on its own condition variable so a token handoff
+    // wakes exactly one thread (crucial at 160 simulated ranks).
+    std::unique_ptr<std::condition_variable> cv =
+        std::make_unique<std::condition_variable>();
+  };
+
+  /// Picks the next runnable rank and transfers the token (caller holds
+  /// the lock and has already parked itself). Scheduling is gated until
+  /// every rank thread has started (virtual time begins uniformly at 0).
+  /// Detects deadlock.
+  void schedule_next_locked();
+
+  /// Integrates every busy resource to `now` (called before a cross-link
+  /// membership change alters global rates).
+  void sync_all_resources_locked(double now);
+
+  /// Republishes finish times of every in-flight op (after a rate change).
+  void notify_all_resources_locked(const ContendedResource::RerateFn& fn);
+
+  /// The rerate callback bound to this engine's rank table.
+  [[nodiscard]] ContendedResource::RerateFn make_rerate_locked();
+
+  /// Parks the calling rank until it is scheduled again; on resume sets
+  /// its clock to its wake time. Throws if the engine is poisoned.
+  void park_and_wait(std::unique_lock<std::mutex>& lk, int rank);
+
+  void check_poisoned_locked() const;
+
+  ArchSpec spec_;
+  int nranks_;
+
+  mutable std::mutex mu_;
+  std::vector<RankState> ranks_;
+  std::vector<std::unique_ptr<ContendedResource>> resources_;
+  ChannelMap channels_;
+  std::map<int, int> op_owner_rank_; // in-flight op id -> issuing rank
+  int active_ = -1;
+  int next_op_id_ = 1;
+  int active_cross_ops_ = 0; ///< transfers currently crossing sockets
+  int unstarted_ = 0;        ///< rank threads that have not called start()
+
+  bool poisoned_ = false;
+  std::string poison_reason_;
+
+  // Rendezvous state (single global collective context; Comm-level code
+  // guarantees matching order).
+  int coll_arrived_ = 0;
+  double coll_max_t_ = 0.0;
+  std::uint64_t coll_generation_ = 0;
+};
+
+} // namespace kacc::sim

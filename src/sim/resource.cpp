@@ -1,0 +1,129 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace kacc::sim {
+
+ContendedResource::ContendedResource(const ArchSpec* spec,
+                                     const int* global_cross_ops)
+    : spec_(spec), global_cross_ops_(global_cross_ops) {
+  KACC_CHECK(spec != nullptr && global_cross_ops != nullptr);
+}
+
+int ContendedResource::lock_concurrency() const {
+  int c = 0;
+  for (const Op& op : ops_) {
+    if (!op.traits.lockless) {
+      ++c;
+    }
+  }
+  return c;
+}
+
+double ContendedResource::page_time(const Op& op, int c_lock,
+                                    int c_total) const {
+  double lock = 0.0;
+  double pin = 0.0;
+  if (!op.traits.lockless) {
+    lock = spec_->lock_us * spec_->gamma_at(c_lock);
+    pin = spec_->pin_us;
+  }
+  double copy = 0.0;
+  if (op.traits.with_copy) {
+    double beta = spec_->beta_us_per_byte() * op.traits.beta_mult;
+    if (!op.traits.cache_resident) {
+      beta = std::max(beta, static_cast<double>(c_total) /
+                                spec_->mem_bw_total_Bus);
+    }
+    if (op.traits.cross) {
+      // All concurrent inter-socket transfers share one link.
+      beta = std::max(beta, static_cast<double>(*global_cross_ops_) /
+                                spec_->inter_socket_bw_Bus);
+    }
+    copy = op.bytes_per_page * beta;
+  }
+  return lock + pin + copy;
+}
+
+void ContendedResource::sync_to(double t) {
+  KACC_CHECK_MSG(t >= last_t_ - 1e-6, "resource time went backwards");
+  const double dt = std::max(0.0, t - last_t_);
+  if (dt > 0.0 && !ops_.empty()) {
+    const int c_lock = lock_concurrency();
+    const int c_total = concurrency();
+    const double lock_rate = spec_->lock_us * spec_->gamma_at(c_lock);
+    for (Op& op : ops_) {
+      const double pt = page_time(op, c_lock, c_total);
+      const double dp = std::min(op.pages_rem, dt / pt);
+      op.pages_rem -= dp;
+      if (!op.traits.lockless) {
+        op.bd.lock_us += dp * lock_rate;
+        op.bd.pin_us += dp * spec_->pin_us;
+        if (op.traits.with_copy) {
+          op.bd.copy_us += dp * (pt - lock_rate - spec_->pin_us);
+        }
+      } else if (op.traits.with_copy) {
+        op.bd.copy_us += dp * pt;
+      }
+    }
+  }
+  last_t_ = std::max(last_t_, t);
+}
+
+void ContendedResource::sync_now(double now) { sync_to(now); }
+
+void ContendedResource::notify_finishes(const RerateFn& rerate) {
+  notify_all_finishes(rerate, -1);
+}
+
+void ContendedResource::notify_all_finishes(const RerateFn& rerate,
+                                            int except_id) {
+  const int c_lock = lock_concurrency();
+  const int c_total = concurrency();
+  for (const Op& op : ops_) {
+    if (op.id == except_id) {
+      continue;
+    }
+    const double finish =
+        last_t_ + op.pages_rem * page_time(op, c_lock, c_total);
+    rerate(op.id, finish);
+  }
+}
+
+double ContendedResource::begin(int op_id, double now, std::uint64_t pages,
+                                std::uint64_t bytes, const OpTraits& traits,
+                                const RerateFn& rerate) {
+  KACC_CHECK_MSG(pages > 0, "resource op needs at least one page");
+  sync_to(now);
+  Op op;
+  op.id = op_id;
+  op.pages_rem = static_cast<double>(pages);
+  op.bytes_per_page = static_cast<double>(bytes) / static_cast<double>(pages);
+  op.traits = traits;
+  ops_.push_back(op);
+
+  const double finish =
+      now + ops_.back().pages_rem *
+                page_time(ops_.back(), lock_concurrency(), concurrency());
+  notify_all_finishes(rerate, op_id);
+  return finish;
+}
+
+Breakdown ContendedResource::end(int op_id, double now,
+                                 const RerateFn& rerate) {
+  sync_to(now);
+  auto it = std::find_if(ops_.begin(), ops_.end(),
+                         [&](const Op& op) { return op.id == op_id; });
+  KACC_CHECK_MSG(it != ops_.end(), "resource end: unknown op");
+  KACC_CHECK_MSG(it->pages_rem <= 1e-3,
+                 "resource end: op still has pages outstanding");
+  Breakdown bd = it->bd;
+  ops_.erase(it);
+  notify_all_finishes(rerate, op_id);
+  return bd;
+}
+
+} // namespace kacc::sim

@@ -1,0 +1,104 @@
+// The contended page-lock resource at the heart of the simulator.
+//
+// Each process's page table is one resource. Every CMA transfer touching
+// that process attaches an operation; an operation drains its pages at rate
+// 1 / page_time(c) where c is the number of currently attached operations:
+//
+//   page_time(c) = lock*gamma(c) + pin
+//                + (bytes/pages) * max(beta*mult, c/B_mem, cross*X/QPI)
+//
+// with X the *global* number of in-flight inter-socket transfers (the
+// socket link is one shared pipe — the mechanism behind Fig 10b's
+// Ring-Neighbor-1 vs Ring-Neighbor-5 gap). This is the fluid
+// (processor-sharing) approximation of the per-page get_user_pages lock
+// queue the paper identifies: exact between membership changes, re-rated
+// whenever a transfer starts or finishes anywhere that matters. Phase
+// times are integrated per interval so Fig 4's breakdown falls out of the
+// same machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/breakdown.h"
+#include "topo/arch_spec.h"
+
+namespace kacc::sim {
+
+/// One process's page-table lock domain.
+class ContendedResource {
+public:
+  /// Called when an in-flight operation's predicted finish time changes.
+  using RerateFn = std::function<void(int op_id, double new_finish)>;
+
+  /// `global_cross_ops` points at the engine's count of in-flight
+  /// inter-socket transfers (shared link model).
+  ContendedResource(const ArchSpec* spec, const int* global_cross_ops);
+
+  /// Attaches an operation at virtual time `now`; returns its predicted
+  /// finish time. `with_copy` false models a lock+pin-only probe
+  /// (Table III's T3 configuration); `cross` marks an inter-socket
+  /// transfer. `rerate` is invoked for *other* ops whose finish moves.
+  struct OpTraits {
+    double beta_mult = 1.0;
+    bool with_copy = true;
+    bool cross = false;
+    /// Lockless ops (shared-memory copies) skip the page-table lock/pin
+    /// and do not inflate gamma for CMA ops on the same process.
+    bool lockless = false;
+    /// Cache-resident copies are exempt from the DRAM bandwidth share.
+    bool cache_resident = false;
+  };
+
+  double begin(int op_id, double now, std::uint64_t pages,
+               std::uint64_t bytes, const OpTraits& traits,
+               const RerateFn& rerate);
+
+  /// Detaches a finished operation at time `now` (its pages must have
+  /// drained) and returns its accumulated phase breakdown. Remaining ops
+  /// are re-rated through `rerate`.
+  Breakdown end(int op_id, double now, const RerateFn& rerate);
+
+  /// Integrates all attached ops forward to `now` at current rates. Called
+  /// by the engine before a global rate change (cross-link membership).
+  void sync_now(double now);
+
+  /// Recomputes and publishes every attached op's finish time. Called by
+  /// the engine after a global rate change.
+  void notify_finishes(const RerateFn& rerate);
+
+  [[nodiscard]] bool idle() const { return ops_.empty(); }
+  [[nodiscard]] int concurrency() const { return static_cast<int>(ops_.size()); }
+
+private:
+  struct Op {
+    int id = 0;
+    double pages_rem = 0.0;
+    double bytes_per_page = 0.0; ///< actual payload per page (last page
+                                 ///< may be partial — matters for 64KB
+                                 ///< pages)
+    OpTraits traits;
+    Breakdown bd;
+  };
+
+  /// Ops holding the page-table lock (gamma's concurrency argument).
+  [[nodiscard]] int lock_concurrency() const;
+
+  /// Per-page service time for `op` given lock and total concurrency.
+  [[nodiscard]] double page_time(const Op& op, int c_lock,
+                                 int c_total) const;
+
+  /// Advances all attached ops from last_t_ to `t`, integrating phase time.
+  void sync_to(double t);
+
+  /// Recomputes finish times after a membership change and notifies.
+  void notify_all_finishes(const RerateFn& rerate, int except_id);
+
+  const ArchSpec* spec_;
+  const int* global_cross_ops_;
+  std::vector<Op> ops_;
+  double last_t_ = 0.0;
+};
+
+} // namespace kacc::sim

@@ -1,0 +1,70 @@
+#include "sim/world.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace kacc::sim {
+
+WorldResult run_world(SimEngine& engine,
+                      const std::function<void(SimEngine&, int)>& body) {
+  const int n = engine.nranks();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      bool started = false;
+      try {
+        engine.start(rank);
+        started = true;
+        body(engine, rank);
+        engine.finish(rank);
+      } catch (const DeadlockError&) {
+        // Poisoned engine: some rank already recorded the root cause (or
+        // this is the deadlock itself, recorded by the engine). Unwind.
+        if (started) {
+          engine.finish(rank);
+        }
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        engine.abort("rank " + std::to_string(rank) + " threw");
+        if (started) {
+          engine.finish(rank);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  WorldResult result;
+  result.final_clock_us.resize(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    result.final_clock_us[static_cast<std::size_t>(rank)] = engine.now(rank);
+    result.makespan_us =
+        std::max(result.makespan_us,
+                 result.final_clock_us[static_cast<std::size_t>(rank)]);
+  }
+  return result;
+}
+
+} // namespace kacc::sim

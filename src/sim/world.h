@@ -1,0 +1,27 @@
+// Thread-team launcher for the simulation engine: spawns one host thread
+// per simulated rank, runs the body, propagates the first failure, and
+// reports final virtual clocks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace kacc::sim {
+
+struct WorldResult {
+  /// Final virtual clock of each rank (us).
+  std::vector<double> final_clock_us;
+  /// max over ranks — the virtual makespan of the run.
+  double makespan_us = 0.0;
+};
+
+/// Runs `body(engine, rank)` for every rank on its own thread under the
+/// engine's cooperative scheduler. start()/finish() are called by the
+/// world; bodies only use the timed primitives. Rethrows the first body
+/// exception after all threads join.
+WorldResult run_world(SimEngine& engine,
+                      const std::function<void(SimEngine&, int)>& body);
+
+} // namespace kacc::sim

@@ -1,0 +1,87 @@
+#include "topo/arch_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace kacc {
+
+double ArchSpec::gamma_at(int c) const {
+  if (c <= 1) {
+    return 1.0;
+  }
+  const double cd = static_cast<double>(c);
+  double g = gamma.quad * cd * cd + gamma.lin * cd + gamma.offset;
+  // Inter-socket knee: readers beyond one socket's worth of cores bounce the
+  // page-table lock line across the socket interconnect (Fig 5b/5c).
+  const double beyond = cd - static_cast<double>(cores_per_socket);
+  if (beyond > 0.0) {
+    g += gamma.socket_step * beyond;
+  }
+  return std::max(1.0, g);
+}
+
+int ArchSpec::socket_of(int rank, int nranks) const {
+  if (sockets <= 1 || nranks <= 0) {
+    return 0;
+  }
+  const int per = (nranks + sockets - 1) / sockets;
+  return std::min(rank / per, sockets - 1);
+}
+
+double ArchSpec::beta_between(int rank_a, int rank_b, int nranks) const {
+  const double base = beta_us_per_byte();
+  if (socket_of(rank_a, nranks) != socket_of(rank_b, nranks)) {
+    return base * inter_socket_beta_mult;
+  }
+  return base;
+}
+
+double ArchSpec::contended_beta(int c) const {
+  const double per_stream = beta_us_per_byte();
+  if (c <= 1) {
+    return per_stream;
+  }
+  const double shared = static_cast<double>(c) / mem_bw_total_Bus;
+  return std::max(per_stream, shared);
+}
+
+void ArchSpec::validate() const {
+  auto require = [&](bool ok, const char* what) {
+    if (!ok) {
+      throw InvalidArgument("ArchSpec '" + name + "': " + what);
+    }
+  };
+  require(!name.empty(), "name must not be empty");
+  require(sockets >= 1, "sockets >= 1");
+  require(cores_per_socket >= 1, "cores_per_socket >= 1");
+  require(threads_per_core >= 1, "threads_per_core >= 1");
+  require(default_ranks >= 1, "default_ranks >= 1");
+  require(default_ranks <= total_cores(),
+          "default_ranks must not oversubscribe the node");
+  require(page_size >= 512 && is_pow2(page_size),
+          "page_size must be a power of two >= 512");
+  require(syscall_us >= 0.0 && permcheck_us >= 0.0, "alpha parts >= 0");
+  require(copy_bw_Bus > 0.0, "copy_bw_Bus > 0");
+  require(mem_bw_total_Bus >= copy_bw_Bus,
+          "aggregate bandwidth >= single-stream bandwidth");
+  require(lock_us >= 0.0 && pin_us >= 0.0, "lock/pin >= 0");
+  require(inter_socket_beta_mult >= 1.0, "inter-socket multiplier >= 1");
+  require(inter_socket_bw_Bus > 0.0, "inter-socket bandwidth > 0");
+  require(shm_copy_bw_Bus > 0.0, "shm copy bandwidth > 0");
+  // gamma(1) must be exactly 1: the polynomial's value at c == 1 (the
+  // socket term is zero there) has to land on 1 or the model is skewed.
+  require(std::abs(gamma.quad + gamma.lin + gamma.offset - 1.0) < 1e-9,
+          "gamma coefficients must satisfy gamma(1) == 1");
+  require(lock_us + pin_us > 0.0, "l must be positive");
+  require(gamma_at(1) == 1.0, "gamma(1) must be 1");
+  require(gamma_at(2) >= 1.0, "gamma must be >= 1");
+  require(shm_coll_base_us >= 0.0 && shm_coll_per_rank_us >= 0.0 &&
+              shm_signal_us >= 0.0,
+          "shm costs >= 0");
+  require(net_latency_us >= 0.0 && net_bw_Bus > 0.0, "fabric params");
+}
+
+} // namespace kacc

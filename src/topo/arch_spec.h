@@ -1,0 +1,147 @@
+// Architecture description carrying both the machine shape (sockets, cores,
+// SMT, page size) and the empirically measured cost-model parameters of the
+// paper's Table IV. Every simulator run, analytic prediction, and tuner
+// decision is parameterized by an ArchSpec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace kacc {
+
+/// Coefficients of the contention factor gamma(c) — the multiplier on the
+/// per-page lock time when c transfers concurrently target one process.
+///
+/// gamma(c) = max(1, quad*c^2 + lin*c + offset + socket_step*max(0, c - cores_per_socket))
+///
+/// The functional form follows the paper (nonlinear least-squares fit of a
+/// low-order polynomial, plus the inter-socket knee visible in Fig 5b/5c).
+/// The published coefficient table is partially illegible in our source;
+/// these are reconstructions validated against Figures 5 and 6 (see
+/// DESIGN.md §2 and bench/fig05, bench/fig06).
+struct GammaCoeffs {
+  double quad = 0.0;        ///< c^2 coefficient
+  double lin = 0.0;         ///< c coefficient
+  double offset = 0.0;      ///< constant; chosen so gamma(1) == 1
+  double socket_step = 0.0; ///< extra slope per reader beyond one socket
+};
+
+/// Full architecture + cost-model description.
+struct ArchSpec {
+  std::string name;
+
+  // --- machine shape (paper Table V) ---
+  int sockets = 1;
+  int cores_per_socket = 1;
+  int threads_per_core = 1;
+  /// Process count used for single-node full-subscription experiments.
+  int default_ranks = 1;
+  /// OS page size: the granularity of get_user_pages locking.
+  std::size_t page_size = 4096;
+
+  // --- kernel-assisted transfer model (paper Table II / IV) ---
+  /// Startup cost per CMA syscall, split into its two phases (Fig 4).
+  double syscall_us = 0.0;    ///< user->kernel transition + dispatch
+  double permcheck_us = 0.0;  ///< ptrace-style permission check
+  /// Single-stream copy bandwidth in bytes/us (beta = 1/copy_bw_Bus).
+  double copy_bw_Bus = 1.0;
+  /// Aggregate copy bandwidth shared by concurrent transfers (bytes/us).
+  /// Model extension, see DESIGN.md §2.
+  double mem_bw_total_Bus = 1.0;
+  /// Per-page lock+pin time with no contention (l), split for Fig 4.
+  double lock_us = 0.0; ///< page-table lock acquisition share of l
+  double pin_us = 0.0;  ///< page pin share of l
+  /// Multiplier on beta when source and destination ranks sit on different
+  /// sockets (QPI/X-bus hop latency penalty). 1.0 on single-socket machines.
+  double inter_socket_beta_mult = 1.0;
+  /// Aggregate bandwidth of the socket interconnect (bytes/us), shared by
+  /// all concurrent inter-socket transfers. Drives the Ring-Neighbor-1 vs
+  /// Ring-Neighbor-5 gap and recursive doubling's collapse (Fig 10b).
+  /// Effectively infinite on single-socket machines.
+  double inter_socket_bw_Bus = 1e12;
+  GammaCoeffs gamma;
+
+  // --- two-copy (CICO) shared-memory data path ---
+  /// Copy bandwidth (bytes/us) of the pipelined two-copy path while the
+  /// working set is cache resident — small-message copies run well above
+  /// DRAM streaming speed.
+  double shm_copy_bw_Bus = 1.0;
+  /// Transfers larger than this fall back to DRAM-bound beta (the cache
+  /// no longer hides the double copy). Sets the shm/CMA crossover of
+  /// Fig 18.
+  std::uint64_t shm_cache_threshold_bytes = 1 << 20;
+
+  /// Reduction-combine throughput (bytes of operand stream per us) for
+  /// the Reduce/Allreduce extension.
+  double combine_bw_Bus = 2000.0;
+
+  // --- shared-memory control plane (the T^sm terms) ---
+  double shm_coll_base_us = 0.0;     ///< fixed cost of a small shm collective
+  double shm_coll_per_rank_us = 0.0; ///< linear term per participating rank
+  double shm_signal_us = 0.0;        ///< one 0-byte point-to-point signal
+  /// Per-chunk protocol overhead of the two-copy shm pipe (us).
+  double shm_chunk_overhead_us = 0.0;
+
+  // --- inter-node fabric (Fig 17 model) ---
+  double net_latency_us = 0.0; ///< per-message network latency
+  double net_bw_Bus = 1.0;     ///< network bandwidth, bytes/us
+
+  // ----- derived helpers -----
+
+  /// Total cores (hardware threads) on the node.
+  [[nodiscard]] int total_cores() const {
+    return sockets * cores_per_socket * threads_per_core;
+  }
+
+  /// alpha: per-message startup cost (syscall + permission check).
+  [[nodiscard]] double alpha_us() const { return syscall_us + permcheck_us; }
+
+  /// l: per-page lock+pin time with no contention.
+  [[nodiscard]] double l_us() const { return lock_us + pin_us; }
+
+  /// beta: transfer time per byte for a single uncontended stream.
+  [[nodiscard]] double beta_us_per_byte() const { return 1.0 / copy_bw_Bus; }
+
+  /// Number of pages spanned by an n-byte page-aligned transfer.
+  [[nodiscard]] std::uint64_t pages(std::uint64_t bytes) const {
+    return (bytes + page_size - 1) / page_size;
+  }
+
+  /// Contention factor with c concurrent readers/writers of one process.
+  [[nodiscard]] double gamma_at(int c) const;
+
+  /// Socket hosting `rank` when `nranks` ranks are block-distributed over
+  /// the node (rank 0..per-1 on socket 0, and so on).
+  [[nodiscard]] int socket_of(int rank, int nranks) const;
+
+  /// beta for a transfer between two ranks, accounting for the
+  /// inter-socket penalty.
+  [[nodiscard]] double beta_between(int rank_a, int rank_b, int nranks) const;
+
+  /// Whether a transfer between the two ranks crosses the socket boundary.
+  [[nodiscard]] bool crosses_socket(int rank_a, int rank_b, int nranks) const {
+    return socket_of(rank_a, nranks) != socket_of(rank_b, nranks);
+  }
+
+  /// Per-byte time of the two-copy shm path for one copy of an n-byte
+  /// message (cache-resident below the threshold, DRAM-bound above).
+  [[nodiscard]] double shm_beta(std::uint64_t bytes) const {
+    return bytes <= shm_cache_threshold_bytes ? 1.0 / shm_copy_bw_Bus
+                                              : beta_us_per_byte();
+  }
+
+  /// Per-byte copy time when c transfers share the memory system:
+  /// max(beta, c / mem_bw_total).
+  [[nodiscard]] double contended_beta(int c) const;
+
+  /// Cost of a small (pointer-sized) shm collective over p ranks.
+  [[nodiscard]] double shm_coll_us(int p) const {
+    return shm_coll_base_us + shm_coll_per_rank_us * p;
+  }
+
+  /// Throws InvalidArgument when the spec is not internally consistent.
+  void validate() const;
+};
+
+} // namespace kacc

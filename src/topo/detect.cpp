@@ -1,0 +1,84 @@
+#include "topo/detect.h"
+
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace kacc {
+namespace {
+
+/// Reads an integer from a sysfs file; returns fallback on any failure.
+int read_sysfs_int(const std::string& path, int fallback) {
+  std::ifstream in(path);
+  int value = 0;
+  if (in >> value) {
+    return value;
+  }
+  return fallback;
+}
+
+} // namespace
+
+ArchSpec detect_host() {
+  ArchSpec s;
+  s.name = "host";
+
+  const long nproc_onln = ::sysconf(_SC_NPROCESSORS_ONLN);
+  const int cpus = nproc_onln > 0 ? static_cast<int>(nproc_onln) : 1;
+
+  // Count distinct physical package ids across online CPUs.
+  std::set<int> packages;
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    const int pkg = read_sysfs_int(base + "physical_package_id", -1);
+    if (pkg >= 0) {
+      packages.insert(pkg);
+    }
+  }
+  s.sockets = packages.empty() ? 1 : static_cast<int>(packages.size());
+  s.threads_per_core = 1;
+  s.cores_per_socket = std::max(1, cpus / s.sockets);
+  s.default_ranks = cpus;
+
+  const long page = ::sysconf(_SC_PAGESIZE);
+  s.page_size = page > 0 ? static_cast<std::size_t>(page) : 4096;
+
+  // Placeholder model parameters in the Broadwell ballpark; refine with
+  // model::ParamEstimator against the native CMA path.
+  s.syscall_us = 0.6;
+  s.permcheck_us = 0.4;
+  s.copy_bw_Bus = 4000.0;
+  s.mem_bw_total_Bus = 12000.0;
+  s.lock_us = 0.08;
+  s.pin_us = 0.05;
+  s.gamma = {0.01, 0.8, 1.0 - 0.01 - 0.8, 1.0};
+  s.inter_socket_bw_Bus = s.sockets > 1 ? 8000.0 : 1e12;
+  s.shm_copy_bw_Bus = 4000.0;
+  s.shm_cache_threshold_bytes = 2 * 1024 * 1024;
+  s.shm_coll_base_us = 0.3;
+  s.shm_coll_per_rank_us = 0.03;
+  s.shm_signal_us = 0.15;
+  s.shm_chunk_overhead_us = 0.1;
+  s.net_latency_us = 1.5;
+  s.net_bw_Bus = 12500.0;
+
+  try {
+    s.validate();
+  } catch (const Error& e) {
+    KACC_LOG_WARN("detect_host produced an inconsistent spec (" << e.what()
+                                                                << "), fixing");
+    s.sockets = 1;
+    s.cores_per_socket = std::max(1, cpus);
+    s.default_ranks = cpus;
+    s.validate();
+  }
+  return s;
+}
+
+} // namespace kacc

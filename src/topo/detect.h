@@ -1,0 +1,15 @@
+// Host introspection: builds an ArchSpec for the machine we are running on.
+// Machine shape comes from sysfs/sysconf; cost-model parameters start from
+// conservative defaults and can be refined with model::ParamEstimator.
+#pragma once
+
+#include "topo/arch_spec.h"
+
+namespace kacc {
+
+/// Shape of the current host (sockets, cores, page size) with placeholder
+/// model parameters. Never throws; falls back to a single-socket shape when
+/// sysfs is unreadable.
+ArchSpec detect_host();
+
+} // namespace kacc

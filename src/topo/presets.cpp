@@ -1,0 +1,144 @@
+#include "topo/presets.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+
+namespace kacc {
+namespace {
+
+// gamma offsets are chosen so gamma(1) == 1 exactly:
+// offset = 1 - quad - lin (the socket term is zero at c == 1).
+constexpr double gamma_offset(double quad, double lin) {
+  return 1.0 - quad - lin;
+}
+
+} // namespace
+
+ArchSpec knl() {
+  ArchSpec s;
+  s.name = "KNL";
+  s.sockets = 1;
+  s.cores_per_socket = 68;
+  s.threads_per_core = 4;
+  s.default_ranks = 64;
+  s.page_size = 4096;
+  // Table IV: alpha = 1.43us, beta ~ 3.29 GB/s, l = 0.25us, s = 4KB.
+  s.syscall_us = 0.90;
+  s.permcheck_us = 0.53;
+  s.copy_bw_Bus = 3290.0;      // 3.29 GB/s single stream
+  s.mem_bw_total_Bus = 30000.0; // MCDRAM-backed aggregate
+  s.lock_us = 0.15;
+  s.pin_us = 0.10;
+  s.inter_socket_beta_mult = 1.0; // single socket
+  s.inter_socket_bw_Bus = 1e12;   // single socket: no cross link
+  // Slow cores, no shared L3: the CICO path has no cache advantage.
+  s.shm_copy_bw_Bus = 3290.0;
+  s.shm_cache_threshold_bytes = 512 * 1024;
+  // Reconstructed fit; single socket => no socket knee (Fig 5a).
+  s.gamma = {0.15, 1.60, gamma_offset(0.15, 1.60), 0.0};
+  s.combine_bw_Bus = 1500.0; // slow Atom-class cores
+  // Slow Atom-class cores make the shm control plane comparatively costly.
+  s.shm_coll_base_us = 1.00;
+  s.shm_coll_per_rank_us = 0.12;
+  s.shm_signal_us = 0.45;
+  s.shm_chunk_overhead_us = 0.30;
+  // Omni-Path 100 Gb/s.
+  s.net_latency_us = 1.2;
+  s.net_bw_Bus = 12500.0;
+  s.validate();
+  return s;
+}
+
+ArchSpec broadwell() {
+  ArchSpec s;
+  s.name = "Broadwell";
+  s.sockets = 2;
+  s.cores_per_socket = 14;
+  s.threads_per_core = 2;
+  s.default_ranks = 28;
+  s.page_size = 4096;
+  // Table IV: alpha = 0.98us, beta ~ 3.2 GB/s, l = 0.1us.
+  s.syscall_us = 0.60;
+  s.permcheck_us = 0.38;
+  s.copy_bw_Bus = 3200.0;
+  s.mem_bw_total_Bus = 6500.0; // DDR4; saturates quickly (Fig 6b ~2x cap)
+  s.lock_us = 0.06;
+  s.pin_us = 0.04;
+  s.inter_socket_beta_mult = 1.8; // QPI hop latency penalty
+  s.inter_socket_bw_Bus = 8000.0; // QPI: ~8 GB/s shared by cross traffic
+  // The CICO path copies at the same raw rate as the kernel's single copy;
+  // the shm/CMA crossover near 2MB (Fig 18a) comes from cache residency.
+  s.shm_copy_bw_Bus = 3200.0;
+  s.shm_cache_threshold_bytes = 2 * 1024 * 1024;
+  // Mild polynomial + inter-socket knee beyond 14 readers (Fig 5b).
+  s.gamma = {0.05, 0.80, gamma_offset(0.05, 0.80), 1.5};
+  s.combine_bw_Bus = 5000.0;
+  s.shm_coll_base_us = 0.30;
+  s.shm_coll_per_rank_us = 0.03;
+  s.shm_signal_us = 0.15;
+  s.shm_chunk_overhead_us = 0.10;
+  // InfiniBand EDR 100 Gb/s.
+  s.net_latency_us = 1.5;
+  s.net_bw_Bus = 12500.0;
+  s.validate();
+  return s;
+}
+
+ArchSpec power8() {
+  ArchSpec s;
+  s.name = "Power8";
+  s.sockets = 2;
+  s.cores_per_socket = 10;
+  s.threads_per_core = 8;
+  s.default_ranks = 160;
+  s.page_size = 65536;
+  // Table IV: alpha = 0.75us, beta ~ 3.7 GB/s, l = 0.53us, s = 64KB.
+  s.syscall_us = 0.45;
+  s.permcheck_us = 0.30;
+  s.copy_bw_Bus = 3700.0;
+  s.mem_bw_total_Bus = 30000.0; // high aggregate memory bandwidth
+  s.lock_us = 0.32;
+  s.pin_us = 0.21;
+  s.inter_socket_beta_mult = 1.6; // X-bus hop latency penalty
+  s.inter_socket_bw_Bus = 10000.0; // X-bus: ~10 GB/s shared
+  // SMT8 leaves each rank a sliver of cache: staging falls out of the
+  // near caches quickly, putting the shm/CMA crossover near 32KB
+  // (Fig 18b).
+  s.shm_copy_bw_Bus = 3700.0;
+  s.shm_cache_threshold_bytes = 32 * 1024;
+  // Few locks per message (64KB pages); strong knee beyond 10 physical
+  // cores of one socket (Fig 5c).
+  s.gamma = {0.004, 0.20, gamma_offset(0.004, 0.20), 2.0};
+  s.combine_bw_Bus = 6000.0;
+  s.shm_coll_base_us = 0.25;
+  s.shm_coll_per_rank_us = 0.03;
+  s.shm_signal_us = 0.12;
+  s.shm_chunk_overhead_us = 0.10;
+  // InfiniBand EDR 100 Gb/s.
+  s.net_latency_us = 1.5;
+  s.net_bw_Bus = 12500.0;
+  s.validate();
+  return s;
+}
+
+std::vector<ArchSpec> all_presets() { return {knl(), broadwell(), power8()}; }
+
+ArchSpec preset_by_name(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "knl" || lower == "xeon phi" || lower == "xeonphi") {
+    return knl();
+  }
+  if (lower == "broadwell" || lower == "bdw" || lower == "xeon") {
+    return broadwell();
+  }
+  if (lower == "power8" || lower == "p8" || lower == "openpower") {
+    return power8();
+  }
+  throw InvalidArgument("unknown architecture preset: '" + name + "'");
+}
+
+} // namespace kacc

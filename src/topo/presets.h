@@ -1,0 +1,30 @@
+// The three testbeds of the paper's Table V, with the Table IV model
+// parameters. Coefficients of gamma are reconstructions (DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "topo/arch_spec.h"
+
+namespace kacc {
+
+/// Intel Xeon Phi 7250 "Knights Landing": 68 cores, 1 socket, 4KB pages.
+/// Paper runs 64 processes per node.
+ArchSpec knl();
+
+/// Intel Xeon E5-2680 v4 "Broadwell": 2 sockets x 14 cores, 4KB pages.
+/// Paper runs 28 processes (full physical subscription).
+ArchSpec broadwell();
+
+/// IBM POWER8: 2 sockets x 10 cores, SMT8, 64KB pages. Paper runs 160
+/// processes per node.
+ArchSpec power8();
+
+/// All presets, in the order the paper's figures present them.
+std::vector<ArchSpec> all_presets();
+
+/// Looks up a preset by (case-insensitive) name: "knl", "broadwell",
+/// "power8". Throws InvalidArgument for unknown names.
+ArchSpec preset_by_name(const std::string& name);
+
+} // namespace kacc

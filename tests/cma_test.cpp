@@ -1,0 +1,128 @@
+// Native CMA syscall layer tests (probe-gated).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "cma/endpoint.h"
+#include "cma/probe.h"
+#include "cma/step_probe.h"
+#include "common/buffer.h"
+#include "common/error.h"
+#include "common/pattern.h"
+
+namespace kacc::cma {
+namespace {
+
+class CmaTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!available()) {
+      GTEST_SKIP() << "CMA unavailable: " << unavailable_reason();
+    }
+  }
+};
+
+TEST_F(CmaTest, ProbeIsStableAcrossCalls) {
+  EXPECT_TRUE(available());
+  EXPECT_TRUE(available());
+  EXPECT_STREQ(unavailable_reason(), "");
+}
+
+TEST_F(CmaTest, ReadsRemoteBufferExactly) {
+  RemoteTarget target(4);
+  AlignedBuffer local(4 * 4096);
+  read_from(target.pid(), target.remote_addr(), local.data(), local.size());
+  // The child faults in each page by writing 0x5a at page starts.
+  for (std::uint64_t page = 0; page < 4; ++page) {
+    EXPECT_EQ(local.data()[page * 4096], std::byte{0x5a});
+  }
+}
+
+TEST_F(CmaTest, WritesRemoteBufferAndReadsBack) {
+  RemoteTarget target(2);
+  AlignedBuffer out(2 * 4096);
+  pattern_fill(out.span(), 42, 1);
+  write_to(target.pid(), target.remote_addr(), out.data(), out.size());
+  AlignedBuffer in(2 * 4096);
+  read_from(target.pid(), target.remote_addr(), in.data(), in.size());
+  EXPECT_TRUE(pattern_check(in.span(), 42, 1));
+}
+
+TEST_F(CmaTest, ZeroByteTransfersAreNoOps) {
+  RemoteTarget target(1);
+  EXPECT_NO_THROW(read_from(target.pid(), target.remote_addr(), nullptr, 0));
+  EXPECT_NO_THROW(write_to(target.pid(), target.remote_addr(), nullptr, 0));
+}
+
+TEST_F(CmaTest, BadPidThrowsSyscallError) {
+  AlignedBuffer local(4096);
+  // PID 1's memory is not ours to read; an invalid high pid gives ESRCH.
+  EXPECT_THROW(read_from(999999999, 0x1000, local.data(), 16), SyscallError);
+}
+
+TEST_F(CmaTest, BadRemoteAddressThrows) {
+  RemoteTarget target(1);
+  AlignedBuffer local(4096);
+  EXPECT_THROW(read_from(target.pid(), 0x10, local.data(), 16), SyscallError);
+}
+
+TEST_F(CmaTest, RawReadvWithZeroIovecsReturnsZero) {
+  RemoteTarget target(1);
+  AlignedBuffer local(4096);
+  // Table III row 1: liovcnt = riovcnt = 0 — pure syscall round trip.
+  EXPECT_EQ(raw_readv(target.pid(), local.data(), 0, target.remote_addr(), 0,
+                      0, 0),
+            0);
+}
+
+TEST_F(CmaTest, RawReadvLockOnlyMovesNoData) {
+  RemoteTarget target(2);
+  AlignedBuffer local(2 * 4096);
+  local.fill(std::byte{0x77});
+  // Table III row 3: remote iovec described, no local iovec.
+  raw_readv(target.pid(), local.data(), 0, target.remote_addr(), 2 * 4096, 0,
+            1);
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    ASSERT_EQ(local.data()[i], std::byte{0x77}) << "byte moved at " << i;
+  }
+}
+
+TEST_F(CmaTest, StepTimesAreOrdered) {
+  RemoteTarget target(64);
+  const StepTimes t = measure_native_steps(target, 64, /*reps=*/16);
+  // Timing noise allowed, but the cumulative structure must hold loosely:
+  // the full read must be the slowest step and everything positive.
+  EXPECT_GT(t.syscall_us, 0.0);
+  EXPECT_GT(t.full_us, 0.0);
+  EXPECT_GE(t.full_us, t.lockpin_us * 0.5);
+  EXPECT_GE(t.lockpin_us, t.syscall_us * 0.5);
+}
+
+TEST_F(CmaTest, NativeBackendMeasuresSteps) {
+  NativeProbeBackend backend(/*max_readers=*/2, /*reps=*/8);
+  const StepTimes t = backend.measure_steps(16);
+  EXPECT_GT(t.full_us, 0.0);
+  EXPECT_GE(backend.page_size(), 512u);
+}
+
+TEST_F(CmaTest, NativeBackendContendedProbeRuns) {
+  NativeProbeBackend backend(/*max_readers=*/2, /*reps=*/8);
+  const double solo = backend.measure_lockpin_contended(16, 1);
+  const double duo = backend.measure_lockpin_contended(16, 2);
+  EXPECT_GT(solo, 0.0);
+  EXPECT_GT(duo, 0.0);
+  EXPECT_THROW(backend.measure_lockpin_contended(16, 3), Error);
+}
+
+TEST(CmaNoGate, UnavailableReasonIsConsistent) {
+  // Runs regardless of CMA availability.
+  if (available()) {
+    EXPECT_STREQ(unavailable_reason(), "");
+  } else {
+    EXPECT_STRNE(unavailable_reason(), "");
+  }
+}
+
+} // namespace
+} // namespace kacc::cma

@@ -1,0 +1,185 @@
+// Native-runtime collective tests: real forked processes, real shared
+// memory, real process_vm_readv/writev. Skipped when the container or
+// kernel blocks CMA.
+#include <gtest/gtest.h>
+
+#include "cma/probe.h"
+#include "coll/reduce.h"
+#include "coll_verifiers.h"
+#include "runtime/process_team.h"
+#include "topo/detect.h"
+
+namespace kacc {
+namespace {
+
+using testing::verify_allgather;
+using testing::verify_alltoall;
+using testing::verify_bcast;
+using testing::verify_gather;
+using testing::verify_scatter;
+
+class NativeCollTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!cma::available()) {
+      GTEST_SKIP() << "CMA unavailable: " << cma::unavailable_reason();
+    }
+    spec_ = detect_host();
+  }
+
+  void expect_team_ok(int p, const std::function<void(Comm&)>& body) {
+    const TeamResult result = run_native_team(spec_, p, body);
+    EXPECT_TRUE(result.all_ok()) << result.first_failure();
+  }
+
+  ArchSpec spec_;
+};
+
+TEST_F(NativeCollTest, ScatterAllAlgorithms) {
+  expect_team_ok(4, [](Comm& comm) {
+    verify_scatter(comm, 10000, 0, coll::ScatterAlgo::kParallelRead);
+    verify_scatter(comm, 10000, 1, coll::ScatterAlgo::kSequentialWrite);
+    coll::CollOptions opts;
+    opts.throttle = 2;
+    verify_scatter(comm, 10000, 2, coll::ScatterAlgo::kThrottledRead, opts);
+  });
+}
+
+TEST_F(NativeCollTest, GatherAllAlgorithms) {
+  expect_team_ok(4, [](Comm& comm) {
+    verify_gather(comm, 10000, 0, coll::GatherAlgo::kParallelWrite);
+    verify_gather(comm, 10000, 3, coll::GatherAlgo::kSequentialRead);
+    coll::CollOptions opts;
+    opts.throttle = 2;
+    verify_gather(comm, 10000, 1, coll::GatherAlgo::kThrottledWrite, opts);
+  });
+}
+
+TEST_F(NativeCollTest, AlltoallAllAlgorithms) {
+  expect_team_ok(4, [](Comm& comm) {
+    verify_alltoall(comm, 4096, coll::AlltoallAlgo::kPairwise);
+    verify_alltoall(comm, 4096, coll::AlltoallAlgo::kPairwisePt2pt);
+    verify_alltoall(comm, 4096, coll::AlltoallAlgo::kPairwiseShmem);
+    verify_alltoall(comm, 4096, coll::AlltoallAlgo::kBruck);
+  });
+}
+
+TEST_F(NativeCollTest, AlltoallNonPowerOfTwo) {
+  expect_team_ok(5, [](Comm& comm) {
+    verify_alltoall(comm, 2048, coll::AlltoallAlgo::kPairwise);
+    verify_alltoall(comm, 2048, coll::AlltoallAlgo::kBruck);
+  });
+}
+
+TEST_F(NativeCollTest, AllgatherAllAlgorithms) {
+  expect_team_ok(4, [](Comm& comm) {
+    verify_allgather(comm, 8192, coll::AllgatherAlgo::kRingSourceRead);
+    verify_allgather(comm, 8192, coll::AllgatherAlgo::kRingSourceWrite);
+    verify_allgather(comm, 8192, coll::AllgatherAlgo::kRingNeighbor);
+    verify_allgather(comm, 8192, coll::AllgatherAlgo::kRecursiveDoubling);
+    verify_allgather(comm, 8192, coll::AllgatherAlgo::kBruck);
+  });
+}
+
+TEST_F(NativeCollTest, AllgatherNonPowerOfTwo) {
+  expect_team_ok(6, [](Comm& comm) {
+    verify_allgather(comm, 4096, coll::AllgatherAlgo::kRecursiveDoubling);
+    verify_allgather(comm, 4096, coll::AllgatherAlgo::kBruck);
+  });
+}
+
+TEST_F(NativeCollTest, BcastAllAlgorithms) {
+  expect_team_ok(4, [](Comm& comm) {
+    verify_bcast(comm, 10000, 0, coll::BcastAlgo::kDirectRead);
+    verify_bcast(comm, 10000, 1, coll::BcastAlgo::kDirectWrite);
+    coll::CollOptions opts;
+    opts.throttle = 2;
+    verify_bcast(comm, 10000, 2, coll::BcastAlgo::kKnomialRead, opts);
+    verify_bcast(comm, 10000, 3, coll::BcastAlgo::kKnomialWrite, opts);
+    verify_bcast(comm, 10000, 0, coll::BcastAlgo::kScatterAllgather);
+    verify_bcast(comm, 10000, 1, coll::BcastAlgo::kShmemTree);
+    verify_bcast(comm, 10000, 2, coll::BcastAlgo::kShmemSlot);
+  });
+}
+
+TEST_F(NativeCollTest, LargeMessageBcast) {
+  expect_team_ok(4, [](Comm& comm) {
+    verify_bcast(comm, 1 << 20, 0, coll::BcastAlgo::kKnomialRead);
+  });
+}
+
+TEST_F(NativeCollTest, AutoTunedCollectives) {
+  expect_team_ok(4, [](Comm& comm) {
+    verify_scatter(comm, 65536, 0, coll::ScatterAlgo::kAuto);
+    verify_gather(comm, 65536, 0, coll::GatherAlgo::kAuto);
+    verify_alltoall(comm, 16384, coll::AlltoallAlgo::kAuto);
+    verify_allgather(comm, 16384, coll::AllgatherAlgo::kAuto);
+    verify_bcast(comm, 65536, 0, coll::BcastAlgo::kAuto);
+  });
+}
+
+TEST_F(NativeCollTest, RepeatedMixedCollectives) {
+  expect_team_ok(4, [](Comm& comm) {
+    for (int iter = 0; iter < 3; ++iter) {
+      verify_bcast(comm, 4096, iter % comm.size(),
+                   coll::BcastAlgo::kKnomialRead);
+      verify_alltoall(comm, 2048, coll::AlltoallAlgo::kPairwise);
+      verify_gather(comm, 4096, iter % comm.size(),
+                    coll::GatherAlgo::kThrottledWrite);
+    }
+  });
+}
+
+TEST_F(NativeCollTest, ReduceAndAllreduce) {
+  expect_team_ok(4, [](Comm& comm) {
+    const std::size_t count = 2048;
+    std::vector<double> send(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      send[i] = static_cast<double>(comm.rank() + 1);
+    }
+    std::vector<double> recv(count);
+    for (coll::ReduceAlgo algo :
+         {coll::ReduceAlgo::kGatherCombine, coll::ReduceAlgo::kBinomialRead,
+          coll::ReduceAlgo::kReduceScatterGather}) {
+      coll::reduce(comm, send.data(), recv.data(), count,
+                   coll::ReduceOp::kSum, 0, algo);
+      if (comm.rank() == 0) {
+        for (std::size_t i = 0; i < count; ++i) {
+          if (recv[i] != 10.0) { // 1+2+3+4
+            throw Error("native reduce wrong: " + coll::to_string(algo));
+          }
+        }
+      }
+    }
+    for (coll::AllreduceAlgo algo :
+         {coll::AllreduceAlgo::kReduceBcast,
+          coll::AllreduceAlgo::kRecursiveDoubling,
+          coll::AllreduceAlgo::kRabenseifner}) {
+      coll::allreduce(comm, send.data(), recv.data(), count,
+                      coll::ReduceOp::kSum, algo);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (recv[i] != 10.0) {
+          throw Error("native allreduce wrong: " + coll::to_string(algo));
+        }
+      }
+    }
+  });
+}
+
+TEST_F(NativeCollTest, FailureInOneRankIsReported) {
+  const TeamResult result = run_native_team(spec_, 3, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      throw Error("deliberate failure");
+    }
+    // Other ranks do nothing that blocks on rank 1.
+  });
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_NE(result.first_failure().find("deliberate failure"),
+            std::string::npos);
+  EXPECT_TRUE(result.ranks[0].ok);
+  EXPECT_FALSE(result.ranks[1].ok);
+  EXPECT_TRUE(result.ranks[2].ok);
+}
+
+} // namespace
+} // namespace kacc

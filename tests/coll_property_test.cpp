@@ -1,0 +1,204 @@
+// Property-style parameterized sweeps: every algorithm of a collective must
+// produce byte-identical results across rank counts, message sizes, roots
+// and in-place modes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "coll_verifiers.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using testing::verify_allgather;
+using testing::verify_alltoall;
+using testing::verify_bcast;
+using testing::verify_gather;
+using testing::verify_scatter;
+
+// ----- scatter/gather sweep: (p, bytes, root) -----
+
+using PersonalizedParam = std::tuple<int, std::size_t, int>;
+
+class PersonalizedSweep
+    : public ::testing::TestWithParam<PersonalizedParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PersonalizedSweep,
+    ::testing::Values(PersonalizedParam{2, 64, 0},
+                      PersonalizedParam{3, 4096, 2},
+                      PersonalizedParam{4, 100, 1},
+                      PersonalizedParam{8, 65536, 0},
+                      PersonalizedParam{9, 12345, 4},
+                      PersonalizedParam{16, 4096, 15}));
+
+TEST_P(PersonalizedSweep, AllScatterAlgosAgree) {
+  const auto [p, bytes, root] = GetParam();
+  run_sim(broadwell(), p, [&, bytes = bytes, root = root](Comm& comm) {
+    verify_scatter(comm, bytes, root, coll::ScatterAlgo::kParallelRead);
+    verify_scatter(comm, bytes, root, coll::ScatterAlgo::kSequentialWrite);
+    for (int k = 1; k < comm.size(); k *= 2) {
+      coll::CollOptions opts;
+      opts.throttle = k;
+      verify_scatter(comm, bytes, root, coll::ScatterAlgo::kThrottledRead,
+                     opts);
+    }
+  });
+}
+
+TEST_P(PersonalizedSweep, AllGatherAlgosAgree) {
+  const auto [p, bytes, root] = GetParam();
+  run_sim(broadwell(), p, [&, bytes = bytes, root = root](Comm& comm) {
+    verify_gather(comm, bytes, root, coll::GatherAlgo::kParallelWrite);
+    verify_gather(comm, bytes, root, coll::GatherAlgo::kSequentialRead);
+    for (int k = 1; k < comm.size(); k *= 2) {
+      coll::CollOptions opts;
+      opts.throttle = k;
+      verify_gather(comm, bytes, root, coll::GatherAlgo::kThrottledWrite,
+                    opts);
+    }
+  });
+}
+
+TEST_P(PersonalizedSweep, InPlaceVariants) {
+  const auto [p, bytes, root] = GetParam();
+  run_sim(knl(), p, [&, bytes = bytes, root = root](Comm& comm) {
+    coll::CollOptions opts;
+    opts.in_place = true;
+    verify_scatter(comm, bytes, root, coll::ScatterAlgo::kSequentialWrite,
+                   opts);
+    verify_gather(comm, bytes, root, coll::GatherAlgo::kParallelWrite, opts);
+  });
+}
+
+// ----- alltoall/allgather sweep: (p, bytes) -----
+
+using AllToAllParam = std::tuple<int, std::size_t>;
+
+class AllToAllSweep : public ::testing::TestWithParam<AllToAllParam> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AllToAllSweep,
+                         ::testing::Values(AllToAllParam{2, 64},
+                                           AllToAllParam{3, 1000},
+                                           AllToAllParam{4, 4096},
+                                           AllToAllParam{5, 777},
+                                           AllToAllParam{8, 16384},
+                                           AllToAllParam{12, 512}));
+
+TEST_P(AllToAllSweep, AllAlltoallAlgosAgree) {
+  const auto [p, bytes] = GetParam();
+  run_sim(knl(), p, [bytes = bytes](Comm& comm) {
+    verify_alltoall(comm, bytes, coll::AlltoallAlgo::kPairwise);
+    verify_alltoall(comm, bytes, coll::AlltoallAlgo::kPairwisePt2pt);
+    verify_alltoall(comm, bytes, coll::AlltoallAlgo::kPairwiseShmem);
+    verify_alltoall(comm, bytes, coll::AlltoallAlgo::kBruck);
+  });
+}
+
+TEST_P(AllToAllSweep, AllAllgatherAlgosAgree) {
+  const auto [p, bytes] = GetParam();
+  run_sim(broadwell(), p, [bytes = bytes](Comm& comm) {
+    verify_allgather(comm, bytes, coll::AllgatherAlgo::kRingSourceRead);
+    verify_allgather(comm, bytes, coll::AllgatherAlgo::kRingSourceWrite);
+    verify_allgather(comm, bytes, coll::AllgatherAlgo::kRingNeighbor);
+    verify_allgather(comm, bytes, coll::AllgatherAlgo::kRecursiveDoubling);
+    verify_allgather(comm, bytes, coll::AllgatherAlgo::kBruck);
+  });
+}
+
+TEST_P(AllToAllSweep, InPlaceVariants) {
+  const auto [p, bytes] = GetParam();
+  run_sim(knl(), p, [bytes = bytes](Comm& comm) {
+    coll::CollOptions opts;
+    opts.in_place = true;
+    verify_alltoall(comm, bytes, coll::AlltoallAlgo::kPairwise, opts);
+    verify_allgather(comm, bytes, coll::AllgatherAlgo::kRingSourceRead,
+                     opts);
+  });
+}
+
+// ----- bcast sweep: (p, bytes, root) -----
+
+class BcastSweep : public ::testing::TestWithParam<PersonalizedParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BcastSweep,
+    ::testing::Values(PersonalizedParam{2, 100, 1},
+                      PersonalizedParam{4, 4096, 0},
+                      PersonalizedParam{6, 9999, 5},
+                      PersonalizedParam{8, 65536, 3},
+                      PersonalizedParam{13, 2048, 7},
+                      PersonalizedParam{16, 131072, 0}));
+
+TEST_P(BcastSweep, AllBcastAlgosAgree) {
+  const auto [p, bytes, root] = GetParam();
+  run_sim(power8(), p, [bytes = bytes, root = root](Comm& comm) {
+    verify_bcast(comm, bytes, root, coll::BcastAlgo::kDirectRead);
+    verify_bcast(comm, bytes, root, coll::BcastAlgo::kDirectWrite);
+    for (int k : {1, 2, 4}) {
+      coll::CollOptions opts;
+      opts.throttle = k;
+      verify_bcast(comm, bytes, root, coll::BcastAlgo::kKnomialRead, opts);
+      verify_bcast(comm, bytes, root, coll::BcastAlgo::kKnomialWrite, opts);
+    }
+    verify_bcast(comm, bytes, root, coll::BcastAlgo::kScatterAllgather);
+    verify_bcast(comm, bytes, root, coll::BcastAlgo::kShmemTree);
+  });
+}
+
+// ----- repeated collectives reuse state correctly -----
+
+TEST(RepeatedCollectives, BackToBackMixKeepsProtocolsClean) {
+  // Exercises signal-counter and ctrl-round reuse across many operations
+  // in one communicator lifetime.
+  run_sim(broadwell(), 6, [](Comm& comm) {
+    for (int iter = 0; iter < 4; ++iter) {
+      verify_bcast(comm, 2048, iter % comm.size(),
+                   coll::BcastAlgo::kKnomialRead);
+      verify_scatter(comm, 2048, (iter + 1) % comm.size(),
+                     coll::ScatterAlgo::kThrottledRead);
+      verify_allgather(comm, 1024, coll::AllgatherAlgo::kRingNeighbor);
+      verify_alltoall(comm, 1024, coll::AlltoallAlgo::kPairwise);
+      verify_gather(comm, 2048, iter % comm.size(),
+                    coll::GatherAlgo::kThrottledWrite);
+    }
+  });
+}
+
+TEST(RepeatedCollectives, DeterministicMakespan) {
+  auto run_once = [] {
+    return run_sim(knl(), 8, [](Comm& comm) {
+      verify_bcast(comm, 16384, 0, coll::BcastAlgo::kScatterAllgather);
+      verify_alltoall(comm, 4096, coll::AlltoallAlgo::kPairwise);
+    });
+  };
+  EXPECT_DOUBLE_EQ(run_once().makespan_us, run_once().makespan_us);
+}
+
+// ----- scaling sanity at the paper's full-node rank counts -----
+
+TEST(FullNodeCounts, Knl64RanksAllCollectives) {
+  run_sim(knl(), 64, [](Comm& comm) {
+    verify_bcast(comm, 8192, 0, coll::BcastAlgo::kKnomialRead);
+    verify_scatter(comm, 1024, 0, coll::ScatterAlgo::kThrottledRead);
+    verify_allgather(comm, 512, coll::AllgatherAlgo::kRecursiveDoubling);
+  });
+}
+
+TEST(FullNodeCounts, Broadwell28Ranks) {
+  run_sim(broadwell(), 28, [](Comm& comm) {
+    verify_gather(comm, 1024, 0, coll::GatherAlgo::kThrottledWrite);
+    verify_allgather(comm, 512, coll::AllgatherAlgo::kRingNeighbor);
+  });
+}
+
+TEST(FullNodeCounts, Power8160Ranks) {
+  run_sim(power8(), 160, [](Comm& comm) {
+    verify_bcast(comm, 4096, 0, coll::BcastAlgo::kKnomialRead);
+  });
+}
+
+} // namespace
+} // namespace kacc

@@ -1,0 +1,260 @@
+// Correctness of every collective algorithm on the simulated runtime:
+// every byte verified against the deterministic (src, block) pattern.
+#include <gtest/gtest.h>
+
+#include "coll_verifiers.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using testing::verify_allgather;
+using testing::verify_alltoall;
+using testing::verify_bcast;
+using testing::verify_gather;
+using testing::verify_scatter;
+
+constexpr std::size_t kBytes = 10000; // multi-page, not page aligned
+
+TEST(ScatterSim, ParallelRead) {
+  for (int p : {2, 4, 5, 8}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_scatter(comm, kBytes, 0, coll::ScatterAlgo::kParallelRead);
+    });
+  }
+}
+
+TEST(ScatterSim, SequentialWrite) {
+  for (int p : {2, 4, 7}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_scatter(comm, kBytes, 0, coll::ScatterAlgo::kSequentialWrite);
+    });
+  }
+}
+
+TEST(ScatterSim, ThrottledReadVariousK) {
+  for (int p : {5, 8, 9}) {
+    for (int k : {1, 2, 3, 4, 7, 8}) {
+      run_sim(knl(), p, [k](Comm& comm) {
+        coll::CollOptions opts;
+        opts.throttle = k;
+        verify_scatter(comm, kBytes, 0, coll::ScatterAlgo::kThrottledRead,
+                       opts);
+      });
+    }
+  }
+}
+
+TEST(ScatterSim, NonZeroRoot) {
+  run_sim(broadwell(), 6, [](Comm& comm) {
+    verify_scatter(comm, kBytes, 4, coll::ScatterAlgo::kParallelRead);
+    verify_scatter(comm, kBytes, 5, coll::ScatterAlgo::kSequentialWrite);
+    coll::CollOptions opts;
+    opts.throttle = 2;
+    verify_scatter(comm, kBytes, 3, coll::ScatterAlgo::kThrottledRead, opts);
+  });
+}
+
+TEST(ScatterSim, AutoAndSingleRank) {
+  run_sim(knl(), 1, [](Comm& comm) {
+    verify_scatter(comm, kBytes, 0, coll::ScatterAlgo::kAuto);
+  });
+  run_sim(knl(), 8, [](Comm& comm) {
+    verify_scatter(comm, kBytes, 0, coll::ScatterAlgo::kAuto);
+  });
+}
+
+TEST(GatherSim, AllAlgorithms) {
+  for (int p : {2, 5, 8}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_gather(comm, kBytes, 0, coll::GatherAlgo::kParallelWrite);
+      verify_gather(comm, kBytes, 0, coll::GatherAlgo::kSequentialRead);
+      coll::CollOptions opts;
+      opts.throttle = 3;
+      verify_gather(comm, kBytes, 0, coll::GatherAlgo::kThrottledWrite, opts);
+    });
+  }
+}
+
+TEST(GatherSim, NonZeroRootAndAuto) {
+  run_sim(power8(), 6, [](Comm& comm) {
+    verify_gather(comm, kBytes, 2, coll::GatherAlgo::kParallelWrite);
+    verify_gather(comm, kBytes, 5, coll::GatherAlgo::kAuto);
+  });
+}
+
+TEST(AlltoallSim, PairwisePowerOfTwo) {
+  run_sim(knl(), 8, [](Comm& comm) {
+    verify_alltoall(comm, 4096, coll::AlltoallAlgo::kPairwise);
+  });
+}
+
+TEST(AlltoallSim, PairwiseNonPowerOfTwo) {
+  for (int p : {3, 6, 7}) {
+    run_sim(knl(), p, [](Comm& comm) {
+      verify_alltoall(comm, 4096, coll::AlltoallAlgo::kPairwise);
+    });
+  }
+}
+
+TEST(AlltoallSim, Pt2ptAndShmem) {
+  for (int p : {4, 6}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_alltoall(comm, 4096, coll::AlltoallAlgo::kPairwisePt2pt);
+      verify_alltoall(comm, 4096, coll::AlltoallAlgo::kPairwiseShmem);
+    });
+  }
+}
+
+TEST(AlltoallSim, Bruck) {
+  for (int p : {2, 4, 5, 8, 11}) {
+    run_sim(knl(), p, [](Comm& comm) {
+      verify_alltoall(comm, 2048, coll::AlltoallAlgo::kBruck);
+    });
+  }
+}
+
+TEST(AllgatherSim, RingSourceReadAndWrite) {
+  for (int p : {2, 5, 8}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_allgather(comm, kBytes, coll::AllgatherAlgo::kRingSourceRead);
+      verify_allgather(comm, kBytes, coll::AllgatherAlgo::kRingSourceWrite);
+    });
+  }
+}
+
+TEST(AllgatherSim, RingNeighborStrides) {
+  // j must be coprime with p.
+  const std::pair<int, int> cases[] = {{8, 1}, {8, 3}, {8, 5},
+                                       {9, 2}, {7, 5}, {6, 1}};
+  for (const auto& [p, j] : cases) {
+    run_sim(broadwell(), p, [j = j](Comm& comm) {
+      coll::CollOptions opts;
+      opts.ring_stride = j;
+      verify_allgather(comm, 4096, coll::AllgatherAlgo::kRingNeighbor, opts);
+    });
+  }
+}
+
+TEST(AllgatherSim, RingNeighborRejectsNonCoprimeStride) {
+  EXPECT_THROW(run_sim(broadwell(), 8,
+                       [](Comm& comm) {
+                         coll::CollOptions opts;
+                         opts.ring_stride = 2; // gcd(8, 2) != 1
+                         verify_allgather(comm, 4096,
+                                          coll::AllgatherAlgo::kRingNeighbor,
+                                          opts);
+                       }),
+               Error);
+}
+
+TEST(AllgatherSim, RecursiveDoublingPowerOfTwo) {
+  for (int p : {2, 4, 8, 16}) {
+    run_sim(knl(), p, [](Comm& comm) {
+      verify_allgather(comm, 4096, coll::AllgatherAlgo::kRecursiveDoubling);
+    });
+  }
+}
+
+TEST(AllgatherSim, RecursiveDoublingNonPowerOfTwo) {
+  for (int p : {3, 5, 6, 7, 12}) {
+    run_sim(knl(), p, [](Comm& comm) {
+      verify_allgather(comm, 4096, coll::AllgatherAlgo::kRecursiveDoubling);
+    });
+  }
+}
+
+TEST(AllgatherSim, Bruck) {
+  for (int p : {2, 3, 5, 8, 13}) {
+    run_sim(power8(), p, [](Comm& comm) {
+      verify_allgather(comm, 4096, coll::AllgatherAlgo::kBruck);
+    });
+  }
+}
+
+TEST(BcastSim, DirectReadAndWrite) {
+  for (int p : {2, 5, 8}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_bcast(comm, kBytes, 0, coll::BcastAlgo::kDirectRead);
+      verify_bcast(comm, kBytes, 0, coll::BcastAlgo::kDirectWrite);
+    });
+  }
+}
+
+TEST(BcastSim, KnomialReadVariousK) {
+  for (int p : {4, 7, 9, 16}) {
+    for (int k : {1, 2, 3, 4}) {
+      run_sim(knl(), p, [k](Comm& comm) {
+        coll::CollOptions opts;
+        opts.throttle = k;
+        verify_bcast(comm, kBytes, 0, coll::BcastAlgo::kKnomialRead, opts);
+      });
+    }
+  }
+}
+
+TEST(BcastSim, KnomialWrite) {
+  for (int p : {4, 6, 9}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      coll::CollOptions opts;
+      opts.throttle = 2;
+      verify_bcast(comm, kBytes, 0, coll::BcastAlgo::kKnomialWrite, opts);
+    });
+  }
+}
+
+TEST(BcastSim, ScatterAllgather) {
+  for (int p : {2, 4, 7, 8}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_bcast(comm, kBytes, 0, coll::BcastAlgo::kScatterAllgather);
+    });
+  }
+}
+
+TEST(BcastSim, ScatterAllgatherTinyMessage) {
+  // bytes < p: some ranks own zero-byte chunks.
+  run_sim(broadwell(), 8, [](Comm& comm) {
+    verify_bcast(comm, 5, 0, coll::BcastAlgo::kScatterAllgather);
+  });
+}
+
+TEST(BcastSim, ShmemTree) {
+  for (int p : {2, 5, 8}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_bcast(comm, 4096, 0, coll::BcastAlgo::kShmemTree);
+    });
+  }
+}
+
+TEST(BcastSim, ShmemSlot) {
+  for (int p : {2, 5, 8, 28}) {
+    run_sim(broadwell(), p, [](Comm& comm) {
+      verify_bcast(comm, 4096, 0, coll::BcastAlgo::kShmemSlot);
+      verify_bcast(comm, 100000, 0, coll::BcastAlgo::kShmemSlot);
+    });
+  }
+}
+
+TEST(BcastSim, NonZeroRoot) {
+  run_sim(knl(), 7, [](Comm& comm) {
+    verify_bcast(comm, kBytes, 3, coll::BcastAlgo::kDirectRead);
+    verify_bcast(comm, kBytes, 6, coll::BcastAlgo::kKnomialRead);
+    verify_bcast(comm, kBytes, 1, coll::BcastAlgo::kScatterAllgather);
+    verify_bcast(comm, kBytes, 5, coll::BcastAlgo::kShmemTree);
+    verify_bcast(comm, kBytes, 2, coll::BcastAlgo::kShmemSlot);
+  });
+}
+
+TEST(CollSim, ZeroByteCollectivesComplete) {
+  run_sim(broadwell(), 4, [](Comm& comm) {
+    verify_scatter(comm, 0, 0, coll::ScatterAlgo::kParallelRead);
+    verify_gather(comm, 0, 0, coll::GatherAlgo::kSequentialRead);
+    verify_alltoall(comm, 0, coll::AlltoallAlgo::kPairwise);
+    verify_allgather(comm, 0, coll::AllgatherAlgo::kRingSourceRead);
+    verify_bcast(comm, 0, 0, coll::BcastAlgo::kDirectRead);
+  });
+}
+
+} // namespace
+} // namespace kacc

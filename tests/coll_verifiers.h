@@ -1,0 +1,139 @@
+// Pattern-based correctness drivers for every collective, shared by the
+// simulated, native and baseline test suites. Each verifier fills the send
+// side with the deterministic (src, block) pattern, runs the collective,
+// and throws kacc::Error on any misplaced or corrupted byte — exceptions
+// propagate through both run_sim (rethrow) and run_native_team (per-rank
+// failure records), so the same drivers cover both runtimes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "coll/allgather.h"
+#include "coll/alltoall.h"
+#include "coll/bcast.h"
+#include "coll/gather.h"
+#include "coll/scatter.h"
+#include "common/buffer.h"
+#include "common/error.h"
+#include "common/pattern.h"
+#include "runtime/comm.h"
+
+namespace kacc::testing {
+
+inline void expect_block(std::span<const std::byte> got, int src, int block,
+                         const std::string& what) {
+  if (!pattern_check(got, src, block)) {
+    throw Error(what + ": " + pattern_describe_mismatch(got, src, block));
+  }
+}
+
+inline void verify_scatter(Comm& comm, std::size_t bytes, int root,
+                           coll::ScatterAlgo algo,
+                           const coll::CollOptions& opts = {}) {
+  const int p = comm.size();
+  AlignedBuffer send(comm.rank() == root ? bytes * static_cast<std::size_t>(p)
+                                         : 0);
+  AlignedBuffer recv(bytes);
+  if (comm.rank() == root) {
+    for (int q = 0; q < p; ++q) {
+      pattern_fill(send.span().subspan(static_cast<std::size_t>(q) * bytes,
+                                       bytes),
+                   root, q);
+    }
+  }
+  coll::scatter(comm, send.empty() ? nullptr : send.data(), recv.data(),
+                bytes, root, algo, opts);
+  if (!(opts.in_place && comm.rank() == root)) {
+    expect_block(recv.span(), root, comm.rank(),
+                 "scatter(" + coll::to_string(algo) + ") rank " +
+                     std::to_string(comm.rank()));
+  }
+}
+
+inline void verify_gather(Comm& comm, std::size_t bytes, int root,
+                          coll::GatherAlgo algo,
+                          const coll::CollOptions& opts = {}) {
+  const int p = comm.size();
+  AlignedBuffer send(bytes);
+  AlignedBuffer recv(comm.rank() == root ? bytes * static_cast<std::size_t>(p)
+                                         : 0);
+  pattern_fill(send.span(), comm.rank(), 0);
+  if (opts.in_place && comm.rank() == root) {
+    // Root's contribution is pre-placed in the receive buffer.
+    pattern_fill(recv.span().subspan(
+                     static_cast<std::size_t>(root) * bytes, bytes),
+                 root, 0);
+  }
+  coll::gather(comm, send.data(), recv.empty() ? nullptr : recv.data(), bytes,
+               root, algo, opts);
+  if (comm.rank() == root) {
+    for (int q = 0; q < p; ++q) {
+      expect_block(
+          recv.span().subspan(static_cast<std::size_t>(q) * bytes, bytes), q,
+          0, "gather(" + coll::to_string(algo) + ") block " +
+                 std::to_string(q));
+    }
+  }
+}
+
+inline void verify_alltoall(Comm& comm, std::size_t bytes,
+                            coll::AlltoallAlgo algo,
+                            const coll::CollOptions& opts = {}) {
+  const int p = comm.size();
+  AlignedBuffer send(bytes * static_cast<std::size_t>(p));
+  AlignedBuffer recv(bytes * static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    pattern_fill(send.span().subspan(static_cast<std::size_t>(q) * bytes,
+                                     bytes),
+                 comm.rank(), q);
+  }
+  if (opts.in_place) {
+    pattern_fill(recv.span().subspan(
+                     static_cast<std::size_t>(comm.rank()) * bytes, bytes),
+                 comm.rank(), comm.rank());
+  }
+  coll::alltoall(comm, send.data(), recv.data(), bytes, algo, opts);
+  for (int q = 0; q < p; ++q) {
+    expect_block(
+        recv.span().subspan(static_cast<std::size_t>(q) * bytes, bytes), q,
+        comm.rank(),
+        "alltoall(" + coll::to_string(algo) + ") from " + std::to_string(q));
+  }
+}
+
+inline void verify_allgather(Comm& comm, std::size_t bytes,
+                             coll::AllgatherAlgo algo,
+                             const coll::CollOptions& opts = {}) {
+  const int p = comm.size();
+  AlignedBuffer send(bytes);
+  AlignedBuffer recv(bytes * static_cast<std::size_t>(p));
+  pattern_fill(send.span(), comm.rank(), 7);
+  if (opts.in_place) {
+    pattern_fill(recv.span().subspan(
+                     static_cast<std::size_t>(comm.rank()) * bytes, bytes),
+                 comm.rank(), 7);
+  }
+  coll::allgather(comm, send.data(), recv.data(), bytes, algo, opts);
+  for (int q = 0; q < p; ++q) {
+    expect_block(
+        recv.span().subspan(static_cast<std::size_t>(q) * bytes, bytes), q, 7,
+        "allgather(" + coll::to_string(algo) + ") block " +
+            std::to_string(q));
+  }
+}
+
+inline void verify_bcast(Comm& comm, std::size_t bytes, int root,
+                         coll::BcastAlgo algo,
+                         const coll::CollOptions& opts = {}) {
+  AlignedBuffer buf(bytes);
+  if (comm.rank() == root) {
+    pattern_fill(buf.span(), root, 3);
+  }
+  coll::bcast(comm, buf.data(), bytes, root, algo, opts);
+  expect_block(buf.span(), root, 3,
+               "bcast(" + coll::to_string(algo) + ") rank " +
+                   std::to_string(comm.rank()));
+}
+
+} // namespace kacc::testing

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "common/pattern.h"
+
+namespace kacc {
+namespace {
+
+TEST(Bytes, FormatPicksLargestExactUnit) {
+  EXPECT_EQ(format_bytes(0), "0");
+  EXPECT_EQ(format_bytes(512), "512");
+  EXPECT_EQ(format_bytes(1024), "1K");
+  EXPECT_EQ(format_bytes(4096), "4K");
+  EXPECT_EQ(format_bytes(1536), "1536"); // not an exact multiple
+  EXPECT_EQ(format_bytes(1 << 20), "1M");
+  EXPECT_EQ(format_bytes(4ull << 20), "4M");
+  EXPECT_EQ(format_bytes(1ull << 30), "1G");
+}
+
+TEST(Bytes, ParseRoundTripsFormats) {
+  for (std::uint64_t v : {1ull, 512ull, 1024ull, 65536ull, 1ull << 20,
+                          4ull << 20, 1ull << 30}) {
+    EXPECT_EQ(parse_bytes(format_bytes(v)), v) << v;
+  }
+}
+
+TEST(Bytes, ParseAcceptsLowercaseSuffix) {
+  EXPECT_EQ(parse_bytes("4k"), 4096u);
+  EXPECT_EQ(parse_bytes("2m"), 2ull << 20);
+  EXPECT_EQ(parse_bytes("1g"), 1ull << 30);
+}
+
+TEST(Bytes, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_bytes(""), InvalidArgument);
+  EXPECT_THROW(parse_bytes("abc"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("4X"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("4KB"), InvalidArgument);
+}
+
+TEST(Bytes, Pow2SizesCoversInclusiveRange) {
+  const auto sizes = pow2_sizes(1024, 16384);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes.front(), 1024u);
+  EXPECT_EQ(sizes.back(), 16384u);
+  EXPECT_THROW(pow2_sizes(16, 8), Error);
+}
+
+TEST(MathUtil, Gcd) {
+  EXPECT_EQ(gcd_u64(12, 18), 6u);
+  EXPECT_EQ(gcd_u64(7, 13), 1u);
+  EXPECT_EQ(gcd_u64(0, 5), 5u);
+  EXPECT_EQ(gcd_u64(5, 0), 5u);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+}
+
+TEST(MathUtil, Pow2Predicates) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(24));
+  EXPECT_EQ(ilog2_floor(1), 0u);
+  EXPECT_EQ(ilog2_floor(64), 6u);
+  EXPECT_EQ(ilog2_floor(65), 6u);
+  EXPECT_EQ(ilog2_ceil(64), 6u);
+  EXPECT_EQ(ilog2_ceil(65), 7u);
+}
+
+TEST(MathUtil, IlogkCeil) {
+  EXPECT_EQ(ilogk_ceil(1, 2), 0u);
+  EXPECT_EQ(ilogk_ceil(8, 2), 3u);
+  EXPECT_EQ(ilogk_ceil(9, 2), 4u);
+  EXPECT_EQ(ilogk_ceil(64, 4), 3u);
+  EXPECT_EQ(ilogk_ceil(65, 4), 4u);
+}
+
+TEST(MathUtil, PositiveModulo) {
+  EXPECT_EQ(pmod(5, 4), 1);
+  EXPECT_EQ(pmod(-1, 4), 3);
+  EXPECT_EQ(pmod(-8, 4), 0);
+  EXPECT_EQ(pmod(0, 7), 0);
+}
+
+TEST(MathUtil, AlignUp) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+}
+
+TEST(AlignedBuffer, AllocatesZeroedAndAligned) {
+  AlignedBuffer buf(10000);
+  ASSERT_EQ(buf.size(), 10000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 4096, 0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf.data()[i], std::byte{0});
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(128);
+  a.fill(std::byte{0xab});
+  const std::byte* ptr = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b.size(), 128u);
+  EXPECT_EQ(a.data(), nullptr); // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, EmptyBufferIsValid) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer sized(0);
+  EXPECT_TRUE(sized.empty());
+}
+
+TEST(Pattern, DistinguishesSourceBlockAndOffset) {
+  AlignedBuffer a(256);
+  AlignedBuffer b(256);
+  pattern_fill(a.span(), 1, 2);
+  pattern_fill(b.span(), 2, 1);
+  EXPECT_TRUE(pattern_check(a.span(), 1, 2));
+  EXPECT_FALSE(pattern_check(a.span(), 2, 1));
+  EXPECT_FALSE(pattern_check(b.span(), 1, 2));
+}
+
+TEST(Pattern, FindsFirstMismatchOffset) {
+  AlignedBuffer buf(64);
+  pattern_fill(buf.span(), 3, 4);
+  EXPECT_EQ(pattern_find_mismatch(buf.span(), 3, 4), -1);
+  buf.data()[17] ^= std::byte{0xff};
+  EXPECT_EQ(pattern_find_mismatch(buf.span(), 3, 4), 17);
+  const std::string desc = pattern_describe_mismatch(buf.span(), 3, 4);
+  EXPECT_NE(desc.find("offset 17"), std::string::npos);
+}
+
+TEST(Error, CheckMacrosThrowWithContext) {
+  EXPECT_NO_THROW(KACC_CHECK(1 + 1 == 2));
+  try {
+    KACC_CHECK_MSG(false, "details here");
+    FAIL() << "expected throw";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("details here"), std::string::npos);
+  }
+}
+
+TEST(Error, SyscallErrorCarriesErrno) {
+  SyscallError e("open", ENOENT);
+  EXPECT_EQ(e.sys_errno(), ENOENT);
+  EXPECT_NE(std::string(e.what()).find("open"), std::string::npos);
+}
+
+} // namespace
+} // namespace kacc

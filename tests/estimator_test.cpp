@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/estimator.h"
+#include "model/gamma.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+/// The estimator measures lock+pin times, so the recoverable contention
+/// factor is the *effective* multiplier on l: (lock*gamma + pin) / l.
+double effective_gamma(const ArchSpec& s, int c) {
+  return (s.lock_us * s.gamma_at(c) + s.pin_us) / s.l_us();
+}
+
+class EstimatorTest : public ::testing::TestWithParam<ArchSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, EstimatorTest,
+                         ::testing::ValuesIn(all_presets()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(EstimatorTest, RecoversAlphaBetaLWithoutNoise) {
+  const ArchSpec& s = GetParam();
+  ModelProbeBackend backend(s, /*noise=*/0.0);
+  const EstimatedParams est = estimate_params(backend);
+  EXPECT_NEAR(est.alpha_us, s.alpha_us(), s.alpha_us() * 0.01);
+  EXPECT_NEAR(est.l_us, s.l_us(), s.l_us() * 0.01);
+  EXPECT_NEAR(est.beta_us_per_byte, s.beta_us_per_byte(),
+              s.beta_us_per_byte() * 0.01);
+  EXPECT_EQ(est.page_size, s.page_size);
+}
+
+TEST_P(EstimatorTest, RecoversParamsUnderMeasurementNoise) {
+  const ArchSpec& s = GetParam();
+  ModelProbeBackend backend(s, /*noise=*/0.03, /*seed=*/7);
+  EstimatorOptions opts;
+  opts.repetitions = 9; // averaging beats the +/-3% jitter
+  const EstimatedParams est = estimate_params(backend, opts);
+  EXPECT_NEAR(est.alpha_us, s.alpha_us(), s.alpha_us() * 0.1);
+  EXPECT_NEAR(est.l_us, s.l_us(), s.l_us() * 0.15);
+  EXPECT_NEAR(est.beta_us_per_byte, s.beta_us_per_byte(),
+              s.beta_us_per_byte() * 0.15);
+}
+
+TEST_P(EstimatorTest, GammaSamplesMatchEffectiveGamma) {
+  const ArchSpec& s = GetParam();
+  ModelProbeBackend backend(s, 0.0);
+  const EstimatedParams est = estimate_params(backend);
+  ASSERT_FALSE(est.gamma_samples.empty());
+  for (const GammaSample& sample : est.gamma_samples) {
+    const double expected = effective_gamma(s, sample.concurrency);
+    EXPECT_NEAR(sample.gamma, expected, expected * 0.1)
+        << "c=" << sample.concurrency;
+  }
+}
+
+TEST_P(EstimatorTest, GammaFitTracksSamplesAcrossConcurrency) {
+  const ArchSpec& s = GetParam();
+  ModelProbeBackend backend(s, 0.0);
+  const EstimatedParams est = estimate_params(backend);
+  ASSERT_TRUE(est.gamma_fit.converged);
+  // The fitted curve must reproduce the observed factors within ~25%
+  // across the sampled range (log-space fit: relative accuracy).
+  for (const GammaSample& sample : est.gamma_samples) {
+    const double fitted = eval_gamma(est.gamma_fit.coeffs, sample.concurrency,
+                                     s.cores_per_socket);
+    EXPECT_NEAR(fitted, sample.gamma, sample.gamma * 0.25)
+        << "c=" << sample.concurrency;
+  }
+}
+
+TEST_P(EstimatorTest, GammaIsIndependentOfPageCount) {
+  // Fig 5's key observation: the contention factor depends only on the
+  // concurrency, not on the number of pages being locked.
+  const ArchSpec& s = GetParam();
+  ModelProbeBackend backend(s, 0.0);
+  EstimatorOptions opts;
+  opts.gamma_pages = {10, 100};
+  opts.concurrencies = {1, 4, 16};
+  const EstimatedParams est = estimate_params(backend, opts);
+  // Samples come in (pages, c) order; compare the c=4 sample across the
+  // two page counts.
+  ASSERT_EQ(est.gamma_samples.size(), 6u);
+  EXPECT_NEAR(est.gamma_samples[1].gamma, est.gamma_samples[4].gamma,
+              est.gamma_samples[1].gamma * 0.05);
+  EXPECT_NEAR(est.gamma_samples[2].gamma, est.gamma_samples[5].gamma,
+              est.gamma_samples[2].gamma * 0.05);
+}
+
+TEST(EstimatorOptionsTest, RejectsEmptyStepPages) {
+  ModelProbeBackend backend(knl(), 0.0);
+  EstimatorOptions opts;
+  opts.step_pages = {};
+  EXPECT_THROW(estimate_params(backend, opts), Error);
+}
+
+TEST(ModelProbeBackendTest, StepTimesAreCumulative) {
+  ModelProbeBackend backend(broadwell(), 0.0);
+  const StepTimes t = backend.measure_steps(64);
+  EXPECT_GT(t.syscall_us, 0.0);
+  EXPECT_GE(t.access_us, t.syscall_us);
+  EXPECT_GE(t.lockpin_us, t.access_us);
+  EXPECT_GE(t.full_us, t.lockpin_us);
+}
+
+TEST(ModelProbeBackendTest, NoiseIsDeterministicPerSeed) {
+  ModelProbeBackend a(knl(), 0.05, 123);
+  ModelProbeBackend b(knl(), 0.05, 123);
+  EXPECT_DOUBLE_EQ(a.measure_lockpin_contended(50, 8),
+                   b.measure_lockpin_contended(50, 8));
+  ModelProbeBackend c(knl(), 0.05, 124);
+  EXPECT_NE(a.measure_lockpin_contended(50, 8),
+            c.measure_lockpin_contended(50, 8));
+}
+
+TEST(ModelProbeBackendTest, RejectsInvalidNoise) {
+  EXPECT_THROW(ModelProbeBackend(knl(), 0.9), Error);
+  EXPECT_THROW(ModelProbeBackend(knl(), -0.1), Error);
+}
+
+} // namespace
+} // namespace kacc

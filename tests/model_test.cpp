@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+class CostModelTest : public ::testing::TestWithParam<ArchSpec> {
+protected:
+  [[nodiscard]] CostModel model() const { return CostModel(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, CostModelTest,
+                         ::testing::ValuesIn(all_presets()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(CostModelTest, ZeroByteCostsAlphaOnly) {
+  EXPECT_DOUBLE_EQ(model().cma_cost_us(0, 1), GetParam().alpha_us());
+}
+
+TEST_P(CostModelTest, SingleStreamCostMatchesPaperFormula) {
+  // alpha + n*beta + l * (n / s) for c == 1 — the paper's uncontended model.
+  const ArchSpec& s = GetParam();
+  const CostModel m = model();
+  for (std::uint64_t bytes : {s.page_size, 64 * s.page_size}) {
+    const double expected = s.alpha_us() +
+                            static_cast<double>(bytes) * s.beta_us_per_byte() +
+                            static_cast<double>(s.pages(bytes)) * s.l_us();
+    EXPECT_NEAR(m.cma_cost_us(bytes, 1), expected, expected * 1e-12);
+  }
+}
+
+TEST_P(CostModelTest, CostIsMonotonicInBytes) {
+  const CostModel m = model();
+  double prev = 0.0;
+  for (std::uint64_t bytes = 4096; bytes <= (4u << 20); bytes *= 2) {
+    const double cost = m.cma_cost_us(bytes, 1);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST_P(CostModelTest, CostIsMonotonicInConcurrency) {
+  const CostModel m = model();
+  double prev = 0.0;
+  for (int c = 1; c <= GetParam().default_ranks; c *= 2) {
+    const double cost = m.cma_cost_us(1 << 20, c);
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST_P(CostModelTest, BreakdownSumsToTotalCost) {
+  const CostModel m = model();
+  for (std::uint64_t bytes : {std::uint64_t{0}, std::uint64_t{4096},
+                              std::uint64_t{1} << 20}) {
+    for (int c : {1, 4, 16}) {
+      const PhaseBreakdown b = m.cma_breakdown(bytes, c);
+      EXPECT_NEAR(b.total_us(), m.cma_cost_us(bytes, c),
+                  1e-9 * (1.0 + m.cma_cost_us(bytes, c)));
+    }
+  }
+}
+
+TEST_P(CostModelTest, ContentionInflatesOnlyTheLockPhase) {
+  const CostModel m = model();
+  const PhaseBreakdown solo = m.cma_breakdown(1 << 20, 1);
+  const PhaseBreakdown crowd = m.cma_breakdown(1 << 20, 8);
+  EXPECT_GT(crowd.lock_us, solo.lock_us * 2);
+  EXPECT_DOUBLE_EQ(crowd.pin_us, solo.pin_us);
+  EXPECT_DOUBLE_EQ(crowd.syscall_us, solo.syscall_us);
+  EXPECT_DOUBLE_EQ(crowd.permcheck_us, solo.permcheck_us);
+}
+
+TEST_P(CostModelTest, TwoCopyPaysDoubleBeyondTheCache) {
+  // Above the cache-residency threshold the CICO path really does move
+  // every byte twice at DRAM speed.
+  const CostModel m = model();
+  const std::uint64_t bytes = GetParam().shm_cache_threshold_bytes * 2;
+  EXPECT_GE(m.shm_two_copy_cost_us(bytes),
+            2.0 * m.memcpy_cost_us(bytes) * 0.99);
+}
+
+TEST_P(CostModelTest, LargeMessageCmaBeatsTwoCopy) {
+  // The entire premise of kernel-assisted transfers (paper §I): one copy
+  // beats two for large (cache-exceeding) messages despite the syscall
+  // overhead.
+  const CostModel m = model();
+  const std::uint64_t bytes = GetParam().shm_cache_threshold_bytes * 2;
+  EXPECT_LT(m.cma_cost_us(bytes, 1), m.shm_two_copy_cost_us(bytes));
+}
+
+TEST_P(CostModelTest, ThroughputHasAnInteriorSweetSpot) {
+  // Fig 6: some concurrency level beats both c=1 and c=max for large
+  // messages on every architecture.
+  const ArchSpec& s = GetParam();
+  const CostModel m = model();
+  const std::uint64_t bytes = 1 << 20;
+  const double t1 = m.one_to_all_throughput(bytes, 1);
+  const double tmax = m.one_to_all_throughput(bytes, s.default_ranks - 1);
+  double best = 0.0;
+  for (int c = 1; c < s.default_ranks; ++c) {
+    best = std::max(best, m.one_to_all_throughput(bytes, c));
+  }
+  EXPECT_GT(best, t1 * 1.2);
+  EXPECT_GT(best, tmax * 1.05);
+}
+
+TEST(CostModelKnl, FullConcurrencyLosesToSingleReaderAtLargeSize) {
+  // Fig 6a: 64 concurrent readers achieve *lower* aggregate throughput
+  // than one reader for multi-megabyte messages on KNL.
+  const CostModel m{knl()};
+  EXPECT_LT(m.one_to_all_throughput(4u << 20, 63),
+            m.one_to_all_throughput(4u << 20, 1));
+}
+
+TEST(CostModelKnl, FullConcurrencyWinsAtSmallSize) {
+  // ... while for small messages high concurrency still wins (Fig 6a).
+  const CostModel m{knl()};
+  EXPECT_GT(m.one_to_all_throughput(4096, 63),
+            m.one_to_all_throughput(4096, 1));
+}
+
+TEST(CostModelBroadwell, RelativeThroughputCapsNearTwo) {
+  // Fig 6b: Broadwell's DDR bandwidth caps the one-to-all gain around 2x.
+  const CostModel m{broadwell()};
+  double best_ratio = 0.0;
+  const double base = m.one_to_all_throughput(1 << 20, 1);
+  for (int c = 2; c <= 27; ++c) {
+    best_ratio = std::max(best_ratio,
+                          m.one_to_all_throughput(1 << 20, c) / base);
+  }
+  EXPECT_GT(best_ratio, 1.4);
+  EXPECT_LT(best_ratio, 3.0);
+}
+
+TEST(CostModelPower8, LargePagesNeedFewerLocks) {
+  // 64KB pages: a 1MB transfer locks 16 pages on POWER8 vs 256 on x86.
+  EXPECT_EQ(power8().pages(1 << 20), 16u);
+  EXPECT_EQ(broadwell().pages(1 << 20), 256u);
+}
+
+TEST(CostModelPower8, SweetSpotIsAroundOneSocket) {
+  // Fig 6c / §IV-A4: concurrency of ~10 (one socket) maximizes POWER8
+  // throughput.
+  const CostModel m{power8()};
+  const std::uint64_t bytes = 1 << 20;
+  int best_c = 1;
+  double best = 0.0;
+  for (int c = 1; c <= 159; ++c) {
+    const double t = m.one_to_all_throughput(bytes, c);
+    if (t > best) {
+      best = t;
+      best_c = c;
+    }
+  }
+  EXPECT_GE(best_c, 6);
+  EXPECT_LE(best_c, 12);
+}
+
+} // namespace
+} // namespace kacc

@@ -1,0 +1,102 @@
+// Fabric model and multi-node two-level composition (Fig 17 properties).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/fabric.h"
+#include "net/two_level.h"
+#include "topo/presets.h"
+
+namespace kacc::net {
+namespace {
+
+TEST(Fabric, TransferCostIsLatencyRendezvousPlusBandwidth) {
+  FabricModel f(1.5, 12500.0);
+  const double ovh = f.rendezvous_overhead_us();
+  EXPECT_GT(ovh, 0.0);
+  EXPECT_DOUBLE_EQ(f.xfer_us(0), 1.5 + ovh);
+  EXPECT_DOUBLE_EQ(f.xfer_us(12500), 2.5 + ovh);
+  EXPECT_DOUBLE_EQ(f.serialized_us(12500, 4), 4.0 * (2.5 + ovh));
+  EXPECT_DOUBLE_EQ(f.serialized_us(100, 0), 0.0);
+}
+
+TEST(Fabric, BuildsFromArchSpec) {
+  const FabricModel f{knl()};
+  EXPECT_GT(f.latency_us(), 0.0);
+  EXPECT_GT(f.bandwidth_Bus(), 0.0);
+}
+
+TEST(Fabric, RejectsInvalidParameters) {
+  EXPECT_THROW(FabricModel(-1.0, 100.0), Error);
+  EXPECT_THROW(FabricModel(1.0, 0.0), Error);
+}
+
+TEST(TwoLevel, BeatsFlatGatherAtScale) {
+  // Fig 17: the hierarchical design wins on multi-node KNL runs.
+  const ArchSpec s = knl();
+  for (int nodes : {2, 4, 8}) {
+    const MultiNodeShape shape{nodes, 64};
+    const double flat =
+        flat_gather_us(s, shape, 65536, IntraKind::kShmTwoCopy);
+    const double two_level = two_level_gather_us(s, shape, 65536);
+    EXPECT_LT(two_level, flat) << nodes << " nodes";
+  }
+}
+
+TEST(TwoLevel, ImprovementGrowsWithNodeCount) {
+  // The paper's "counter intuitive increase in improvement with increasing
+  // node count" (§VII-G): speedup at 8 nodes > speedup at 2 nodes.
+  const ArchSpec s = knl();
+  const std::uint64_t eta = 65536;
+  double prev_speedup = 0.0;
+  for (int nodes : {2, 4, 8}) {
+    const MultiNodeShape shape{nodes, 64};
+    const double speedup =
+        flat_gather_us(s, shape, eta, IntraKind::kCmaPt2pt) /
+        two_level_gather_us(s, shape, eta);
+    EXPECT_GT(speedup, prev_speedup) << nodes << " nodes";
+    prev_speedup = speedup;
+  }
+  EXPECT_GT(prev_speedup, 1.5);
+}
+
+TEST(TwoLevel, SingleNodeDegeneratesToIntraNodeGather) {
+  const ArchSpec s = knl();
+  const MultiNodeShape shape{1, 64};
+  const double flat = flat_gather_us(s, shape, 65536, IntraKind::kCmaPt2pt);
+  const double two_level = two_level_gather_us(s, shape, 65536);
+  EXPECT_GT(flat, 0.0);
+  EXPECT_GT(two_level, 0.0);
+  // No inter-node term at 1 node.
+  const FabricModel f(s);
+  EXPECT_LT(two_level, flat + f.xfer_us(65536));
+}
+
+TEST(TwoLevel, PipelineNeverLosesBadlyAndOftenWins) {
+  const ArchSpec s = knl();
+  const MultiNodeShape shape{8, 64};
+  const std::uint64_t eta = 1 << 20;
+  const double plain = two_level_gather_us(s, shape, eta);
+  const double piped = two_level_gather_pipelined_us(s, shape, eta, 8);
+  EXPECT_LT(piped, plain * 1.5);
+}
+
+TEST(TwoLevel, ScatterMirrorsGather) {
+  const ArchSpec s = knl();
+  const MultiNodeShape shape{4, 64};
+  EXPECT_GT(flat_scatter_us(s, shape, 65536, IntraKind::kShmTwoCopy),
+            two_level_scatter_us(s, shape, 65536));
+}
+
+TEST(TwoLevel, RejectsDegenerateShapes) {
+  const ArchSpec s = knl();
+  EXPECT_THROW(two_level_gather_us(s, MultiNodeShape{0, 64}, 1024), Error);
+  EXPECT_THROW(flat_gather_us(s, MultiNodeShape{2, 0}, 1024,
+                              IntraKind::kShmTwoCopy),
+               Error);
+  EXPECT_THROW(
+      two_level_gather_pipelined_us(s, MultiNodeShape{2, 64}, 1024, 0),
+      Error);
+}
+
+} // namespace
+} // namespace kacc::net

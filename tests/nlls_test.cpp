@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "model/nlls.h"
+
+namespace kacc {
+namespace {
+
+TEST(Cholesky, SolvesSpdSystem) {
+  // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5].
+  std::vector<double> a = {4, 2, 2, 3};
+  std::vector<double> b = {10, 8};
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, b, 2, x));
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, SolvesIdentity) {
+  std::vector<double> a = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  std::vector<double> b = {3, -1, 2};
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, b, 3, x));
+  EXPECT_NEAR(x[0], 3, 1e-12);
+  EXPECT_NEAR(x[1], -1, 1e-12);
+  EXPECT_NEAR(x[2], 2, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  std::vector<double> a = {1, 2, 2, 1}; // eigenvalues 3, -1
+  std::vector<double> b = {1, 1};
+  std::vector<double> x;
+  EXPECT_FALSE(cholesky_solve(a, b, 2, x));
+}
+
+TEST(Nlls, FitsLinearModelExactly) {
+  // y = 3x + 2 at x = 0..9.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 2.0);
+  }
+  ResidualFn fn = [&](const std::vector<double>& theta,
+                      std::vector<double>& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      r[i] = theta[0] * xs[i] + theta[1] - ys[i];
+    }
+  };
+  const NllsResult res = nlls_solve(fn, {0.0, 0.0}, xs.size());
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.theta[0], 3.0, 1e-6);
+  EXPECT_NEAR(res.theta[1], 2.0, 1e-6);
+  EXPECT_LT(res.final_cost, 1e-10);
+}
+
+TEST(Nlls, FitsGenuinelyNonlinearExponential) {
+  // y = 2.5 * exp(0.3 x): nonlinear in the exponent parameter.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i * 0.5);
+    ys.push_back(2.5 * std::exp(0.3 * i * 0.5));
+  }
+  ResidualFn fn = [&](const std::vector<double>& theta,
+                      std::vector<double>& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      r[i] = theta[0] * std::exp(theta[1] * xs[i]) - ys[i];
+    }
+  };
+  const NllsResult res = nlls_solve(fn, {1.0, 0.1}, xs.size());
+  EXPECT_NEAR(res.theta[0], 2.5, 1e-3);
+  EXPECT_NEAR(res.theta[1], 0.3, 1e-4);
+}
+
+TEST(Nlls, ReducesCostOnNoisyQuadratic) {
+  // y = 0.1 x^2 + 1.6 x + 1 with deterministic pseudo-noise.
+  std::vector<double> xs, ys;
+  std::uint64_t seed = 42;
+  for (int i = 1; i <= 30; ++i) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    const double noise =
+        1.0 + 0.02 * (static_cast<double>(seed >> 11) /
+                          static_cast<double>(1ull << 53) * 2.0 - 1.0);
+    xs.push_back(i);
+    ys.push_back((0.1 * i * i + 1.6 * i + 1.0) * noise);
+  }
+  ResidualFn fn = [&](const std::vector<double>& theta,
+                      std::vector<double>& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      r[i] = theta[0] * xs[i] * xs[i] + theta[1] * xs[i] + theta[2] - ys[i];
+    }
+  };
+  const NllsResult res = nlls_solve(fn, {0.0, 0.0, 0.0}, xs.size());
+  EXPECT_LT(res.final_cost, res.initial_cost / 100);
+  EXPECT_NEAR(res.theta[0], 0.1, 0.02);
+  EXPECT_NEAR(res.theta[1], 1.6, 0.3);
+}
+
+TEST(Nlls, RejectsUnderdeterminedProblems) {
+  ResidualFn fn = [](const std::vector<double>&, std::vector<double>& r) {
+    r[0] = 0.0;
+  };
+  EXPECT_THROW(nlls_solve(fn, {1.0, 2.0}, 1), Error);
+}
+
+TEST(Nlls, HandlesAlreadyOptimalStart) {
+  ResidualFn fn = [](const std::vector<double>& theta,
+                     std::vector<double>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      r[i] = theta[0] - 5.0;
+    }
+  };
+  const NllsResult res = nlls_solve(fn, {5.0}, 4);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.theta[0], 5.0, 1e-9);
+}
+
+TEST(Nlls, RespectsIterationBudget) {
+  // A pathological flat-then-cliff residual: must stop by max_iterations.
+  ResidualFn fn = [](const std::vector<double>& theta,
+                     std::vector<double>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      r[i] = std::atan(theta[0] - 100.0) + 2.0;
+    }
+  };
+  NllsOptions opts;
+  opts.max_iterations = 5;
+  const NllsResult res = nlls_solve(fn, {0.0}, 4, opts);
+  EXPECT_LE(res.iterations, 5);
+}
+
+} // namespace
+} // namespace kacc

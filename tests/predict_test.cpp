@@ -1,0 +1,209 @@
+// Analytic prediction sanity + the Fig 12 model-validation property:
+// predicted costs must track simulated costs.
+#include <gtest/gtest.h>
+
+#include "coll/allgather.h"
+#include "coll/bcast.h"
+#include "coll/scatter.h"
+#include "common/buffer.h"
+#include "model/predict.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+TEST(Predict, AllFormulasArePositiveAndFinite) {
+  for (const ArchSpec& s : all_presets()) {
+    const int p = s.default_ranks;
+    for (std::uint64_t bytes : {std::uint64_t{1024}, std::uint64_t{1} << 20}) {
+      EXPECT_GT(predict::scatter_parallel_read(s, p, bytes), 0.0);
+      EXPECT_GT(predict::scatter_sequential_write(s, p, bytes), 0.0);
+      EXPECT_GT(predict::scatter_throttled_read(s, p, bytes, 4), 0.0);
+      EXPECT_GT(predict::gather_parallel_write(s, p, bytes), 0.0);
+      EXPECT_GT(predict::alltoall_pairwise(s, p, bytes), 0.0);
+      EXPECT_GT(predict::alltoall_bruck(s, p, bytes), 0.0);
+      EXPECT_GT(predict::allgather_ring_source(s, p, bytes), 0.0);
+      EXPECT_GT(predict::allgather_ring_neighbor(s, p, bytes, 1), 0.0);
+      EXPECT_GT(predict::allgather_recursive_doubling(s, p, bytes), 0.0);
+      EXPECT_GT(predict::allgather_bruck(s, p, bytes), 0.0);
+      EXPECT_GT(predict::bcast_direct_read(s, p, bytes), 0.0);
+      EXPECT_GT(predict::bcast_knomial(s, p, bytes, 8), 0.0);
+      EXPECT_GT(predict::bcast_scatter_allgather(s, p, bytes), 0.0);
+      EXPECT_GT(predict::bcast_shmem_tree(s, p, bytes), 0.0);
+    }
+  }
+}
+
+TEST(Predict, ParallelReadLosesToThrottledForLargeMessagesOnKnl) {
+  // Fig 7a: full-concurrency reads collapse for large messages.
+  const ArchSpec s = knl();
+  const std::uint64_t bytes = 1 << 20;
+  EXPECT_GT(predict::scatter_parallel_read(s, 64, bytes),
+            predict::scatter_throttled_read(s, 64, bytes, 8));
+}
+
+TEST(Predict, ParallelReadWinsForSmallMessagesOnKnl) {
+  // Fig 7a: for small messages parallel read outperforms sequential write.
+  const ArchSpec s = knl();
+  EXPECT_LT(predict::scatter_parallel_read(s, 64, 2048),
+            predict::scatter_sequential_write(s, 64, 2048));
+}
+
+TEST(Predict, SequentialWriteBeatsParallelReadForLargeOnKnl) {
+  const ArchSpec s = knl();
+  EXPECT_LT(predict::scatter_sequential_write(s, 64, 4u << 20),
+            predict::scatter_parallel_read(s, 64, 4u << 20));
+}
+
+TEST(Predict, NativeAlltoallBeatsPt2ptBeatsShmem) {
+  // Fig 9: CMA-coll < CMA-pt2pt < SHMEM for medium/large messages.
+  const ArchSpec s = knl();
+  const std::uint64_t bytes = 65536;
+  const double coll = predict::alltoall_pairwise(s, 64, bytes);
+  const double pt2pt = predict::alltoall_pairwise_pt2pt(s, 64, bytes);
+  const double shmem = predict::alltoall_pairwise_shmem(s, 64, bytes);
+  EXPECT_LT(coll, pt2pt);
+  EXPECT_LT(pt2pt, shmem);
+}
+
+TEST(Predict, Pt2ptOverheadVanishesForHugeMessages) {
+  // Fig 9: for very large messages data movement dominates and CMA-coll ~
+  // CMA-pt2pt.
+  const ArchSpec s = knl();
+  const std::uint64_t bytes = 4u << 20;
+  const double coll = predict::alltoall_pairwise(s, 64, bytes);
+  const double pt2pt = predict::alltoall_pairwise_pt2pt(s, 64, bytes);
+  EXPECT_LT((pt2pt - coll) / coll, 0.10);
+}
+
+TEST(Predict, BruckAlltoallWinsOnlyForSmallMessages) {
+  const ArchSpec s = knl();
+  EXPECT_LT(predict::alltoall_bruck(s, 64, 64),
+            predict::alltoall_pairwise(s, 64, 64));
+  EXPECT_GT(predict::alltoall_bruck(s, 64, 1 << 20),
+            predict::alltoall_pairwise(s, 64, 1 << 20));
+}
+
+TEST(Predict, RingBeatsRecursiveDoublingOnMultiSocketLargeMessages) {
+  // Fig 10b: on Broadwell the ring's mostly-intra-socket traffic beats
+  // recursive doubling whose largest step crosses sockets.
+  const ArchSpec s = broadwell();
+  EXPECT_LT(predict::allgather_ring_neighbor(s, 28, 1 << 20, 1),
+            predict::allgather_recursive_doubling(s, 28, 1 << 20));
+}
+
+TEST(Predict, NeighborStrideOneBeatsStrideFive) {
+  // Fig 10b: Neighbor-1 (intra-socket) vs Neighbor-5 (inter-socket).
+  const ArchSpec s = broadwell();
+  EXPECT_LT(predict::allgather_ring_neighbor(s, 28, 1 << 20, 1),
+            predict::allgather_ring_neighbor(s, 28, 1 << 20, 5));
+}
+
+TEST(Predict, KnomialBeatsDirectReadAtScale) {
+  // Fig 11: direct read suffers gamma_{p-1}; k-nomial pays log rounds at
+  // gamma_k.
+  const ArchSpec s = knl();
+  EXPECT_LT(predict::bcast_knomial(s, 64, 1 << 20, 8),
+            predict::bcast_direct_read(s, 64, 1 << 20));
+}
+
+TEST(Predict, ScatterAllgatherWinsForLargeBcast) {
+  // Fig 11: contention-free scatter-allgather dominates for large messages.
+  const ArchSpec s = knl();
+  EXPECT_LT(predict::bcast_scatter_allgather(s, 64, 4u << 20),
+            predict::bcast_direct_read(s, 64, 4u << 20));
+  EXPECT_LT(predict::bcast_scatter_allgather(s, 64, 4u << 20),
+            predict::bcast_direct_write(s, 64, 4u << 20));
+}
+
+TEST(Predict, ShmBcastWinsBelowCmaCrossoverOnBroadwell) {
+  // Fig 18a: the slotted shared-memory bcast is preferred below ~2MB on
+  // Broadwell; CMA takes over for larger messages.
+  const ArchSpec s = broadwell();
+  EXPECT_LT(predict::bcast_shmem_slot(s, 28, 65536),
+            predict::bcast_knomial(s, 28, 65536, 4));
+  EXPECT_GT(predict::bcast_shmem_slot(s, 28, 8u << 20),
+            predict::bcast_knomial(s, 28, 8u << 20, 4));
+}
+
+TEST(Predict, ShmToCmaCrossoverOnPower8Near32K) {
+  // Fig 18b: POWER8's crossover sits near 32KB.
+  const ArchSpec s = power8();
+  EXPECT_LT(predict::bcast_shmem_slot(s, 160, 16384),
+            predict::bcast_knomial(s, 160, 16384, 10));
+  EXPECT_GT(predict::bcast_shmem_slot(s, 160, 262144),
+            predict::bcast_knomial(s, 160, 262144, 10));
+}
+
+TEST(Predict, KnomialRounds) {
+  EXPECT_EQ(predict::knomial_rounds(2, 1), 1);
+  EXPECT_EQ(predict::knomial_rounds(8, 1), 3);
+  EXPECT_EQ(predict::knomial_rounds(9, 2), 2);
+  EXPECT_EQ(predict::knomial_rounds(28, 3), 3);
+  EXPECT_EQ(predict::knomial_rounds(64, 7), 2);
+}
+
+// ----- Fig 12: model validation against the simulator -----
+
+struct ValidationCase {
+  const char* name;
+  std::function<double(const ArchSpec&, int, std::uint64_t)> predict_fn;
+  std::function<void(Comm&, std::size_t)> run_fn;
+};
+
+double simulate_us(const ArchSpec& s, int p,
+                   const std::function<void(Comm&, std::size_t)>& run,
+                   std::size_t bytes) {
+  return run_sim(s, p, [&](Comm& comm) { run(comm, bytes); }).makespan_us;
+}
+
+class ModelValidation : public ::testing::TestWithParam<ArchSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(Archs, ModelValidation,
+                         ::testing::Values(knl(), broadwell()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(ModelValidation, PredictedTracksSimulatedWithin35Percent) {
+  const ArchSpec s = GetParam();
+  const int p = 16; // keep the virtual-thread count test-friendly
+  const ValidationCase cases[] = {
+      {"direct-read",
+       [](const ArchSpec& a, int pp, std::uint64_t b) {
+         return predict::bcast_direct_read(a, pp, b);
+       },
+       [](Comm& comm, std::size_t bytes) {
+         AlignedBuffer buf(bytes);
+         coll::bcast(comm, buf.data(), bytes, 0, coll::BcastAlgo::kDirectRead);
+       }},
+      {"direct-write",
+       [](const ArchSpec& a, int pp, std::uint64_t b) {
+         return predict::bcast_direct_write(a, pp, b);
+       },
+       [](Comm& comm, std::size_t bytes) {
+         AlignedBuffer buf(bytes);
+         coll::bcast(comm, buf.data(), bytes, 0,
+                     coll::BcastAlgo::kDirectWrite);
+       }},
+      {"scatter-allgather",
+       [](const ArchSpec& a, int pp, std::uint64_t b) {
+         return predict::bcast_scatter_allgather(a, pp, b);
+       },
+       [](Comm& comm, std::size_t bytes) {
+         AlignedBuffer buf(bytes);
+         coll::bcast(comm, buf.data(), bytes, 0,
+                     coll::BcastAlgo::kScatterAllgather);
+       }},
+  };
+  for (const auto& c : cases) {
+    for (std::uint64_t bytes : {std::uint64_t{65536}, std::uint64_t{1} << 20}) {
+      const double predicted = c.predict_fn(s, p, bytes);
+      const double simulated = simulate_us(s, p, c.run_fn, bytes);
+      EXPECT_NEAR(predicted, simulated, simulated * 0.35)
+          << c.name << " bytes=" << bytes << " on " << s.name;
+    }
+  }
+}
+
+} // namespace
+} // namespace kacc

@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "shm/arena.h"
+#include "shm/barrier.h"
+#include "shm/bcast_pipe.h"
+#include "shm/chunk_pipe.h"
+#include "shm/ctrl_coll.h"
+#include "shm/mailbox.h"
+
+// The shm substrate is designed for forked processes but is equally valid
+// across threads over the same mapping, which keeps these unit tests fast
+// and debuggable. Full cross-process behaviour is covered by
+// coll_native_test and cma_test.
+
+namespace kacc::shm {
+namespace {
+
+ArenaLayout small_layout(int nranks) {
+  return ArenaLayout::compute(nranks, /*pipe_chunk_bytes=*/512,
+                              /*pipe_slots=*/2);
+}
+
+/// Runs `body(rank)` on `n` threads and joins.
+void run_threads(int n, const std::function<void(int)>& body) {
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    ts.emplace_back([&, r] { body(r); });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+}
+
+TEST(ArenaLayoutTest, RegionsAreOrderedAndSized) {
+  const ArenaLayout l = small_layout(8);
+  EXPECT_LT(l.header_off, l.barrier_off);
+  EXPECT_LT(l.barrier_off, l.ctrl_off);
+  EXPECT_LT(l.ctrl_off, l.mailbox_off);
+  EXPECT_LT(l.mailbox_off, l.pipes_off);
+  EXPECT_LT(l.pipes_off, l.results_off);
+  EXPECT_LT(l.results_off, l.total_bytes);
+}
+
+TEST(ArenaLayoutTest, RejectsBadShapes) {
+  EXPECT_THROW(ArenaLayout::compute(0, 512, 2), Error);
+  EXPECT_THROW(ArenaLayout::compute(2000, 512, 2), Error);
+  EXPECT_THROW(ArenaLayout::compute(4, 16, 2), Error);
+  EXPECT_THROW(ArenaLayout::compute(4, 512, 0), Error);
+}
+
+TEST(ArenaTest, RegistrationPublishesPids) {
+  ShmArena arena(small_layout(3));
+  for (int r = 0; r < 3; ++r) {
+    arena.register_rank(r);
+  }
+  arena.wait_all_registered();
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(arena.pid_of(r), ::getpid());
+  }
+}
+
+TEST(ArenaTest, ResultReporting) {
+  ShmArena arena(small_layout(2));
+  arena.report_result(0, true, "fine");
+  arena.report_result(1, false, "broke badly");
+  EXPECT_TRUE(arena.result_ok(0));
+  EXPECT_FALSE(arena.result_ok(1));
+  EXPECT_STREQ(arena.result_message(1), "broke badly");
+}
+
+TEST(BarrierTest, SingleRankNeverBlocks) {
+  ShmArena arena(small_layout(1));
+  ShmBarrier b(arena, 1);
+  b.wait();
+  b.wait();
+}
+
+TEST(BarrierTest, SynchronizesManyRounds) {
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 200;
+  ShmArena arena(small_layout(kRanks));
+  std::atomic<int> counter{0};
+  run_threads(kRanks, [&](int) {
+    ShmBarrier b(arena, kRanks);
+    for (int round = 0; round < kRounds; ++round) {
+      counter.fetch_add(1);
+      b.wait();
+      // After the barrier, all increments of this round are visible.
+      EXPECT_GE(counter.load(), (round + 1) * kRanks);
+      b.wait();
+    }
+  });
+  EXPECT_EQ(counter.load(), kRanks * kRounds);
+}
+
+TEST(CtrlBoardTest, BcastDeliversRootPayload) {
+  constexpr int kRanks = 5;
+  ShmArena arena(small_layout(kRanks));
+  run_threads(kRanks, [&](int rank) {
+    CtrlBoard board(arena, rank, kRanks);
+    std::uint64_t value = rank == 2 ? 0xdeadbeefcafe1234ull : 0;
+    board.bcast(&value, sizeof(value), /*root=*/2);
+    EXPECT_EQ(value, 0xdeadbeefcafe1234ull) << "rank " << rank;
+  });
+}
+
+TEST(CtrlBoardTest, GatherCollectsRankMajor) {
+  constexpr int kRanks = 6;
+  ShmArena arena(small_layout(kRanks));
+  run_threads(kRanks, [&](int rank) {
+    CtrlBoard board(arena, rank, kRanks);
+    std::uint32_t mine = 100 + static_cast<std::uint32_t>(rank);
+    std::vector<std::uint32_t> all(kRanks);
+    board.gather(&mine, rank == 0 ? all.data() : nullptr, sizeof(mine), 0);
+    if (rank == 0) {
+      for (int q = 0; q < kRanks; ++q) {
+        EXPECT_EQ(all[static_cast<std::size_t>(q)], 100u + q);
+      }
+    }
+  });
+}
+
+TEST(CtrlBoardTest, AllgatherGivesEveryoneEverything) {
+  constexpr int kRanks = 4;
+  ShmArena arena(small_layout(kRanks));
+  run_threads(kRanks, [&](int rank) {
+    CtrlBoard board(arena, rank, kRanks);
+    std::uint64_t mine = 7ull * rank + 1;
+    std::vector<std::uint64_t> all(kRanks);
+    board.allgather(&mine, all.data(), sizeof(mine));
+    for (int q = 0; q < kRanks; ++q) {
+      EXPECT_EQ(all[static_cast<std::size_t>(q)], 7ull * q + 1);
+    }
+  });
+}
+
+TEST(CtrlBoardTest, ManyRoundsExerciseParityReuse) {
+  // > 2 rounds forces slot-parity reuse and the round-(r-2) wait.
+  constexpr int kRanks = 3;
+  constexpr int kRounds = 50;
+  ShmArena arena(small_layout(kRanks));
+  run_threads(kRanks, [&](int rank) {
+    CtrlBoard board(arena, rank, kRanks);
+    for (int round = 0; round < kRounds; ++round) {
+      const int root = round % kRanks;
+      std::uint64_t value = rank == root
+                                ? (static_cast<std::uint64_t>(round) << 8) + 1
+                                : 0;
+      board.bcast(&value, sizeof(value), root);
+      ASSERT_EQ(value, (static_cast<std::uint64_t>(round) << 8) + 1)
+          << "rank " << rank << " round " << round;
+    }
+  });
+}
+
+TEST(CtrlBoardTest, RejectsOversizedPayload) {
+  ShmArena arena(small_layout(2));
+  CtrlBoard board(arena, 0, 2);
+  std::vector<std::byte> big(CtrlBoard::kMaxPayload + 1);
+  EXPECT_THROW(board.bcast(big.data(), big.size(), 0), Error);
+}
+
+TEST(SignalBoardTest, SignalsAreCountedNotLost) {
+  constexpr int kRanks = 2;
+  ShmArena arena(small_layout(kRanks));
+  run_threads(kRanks, [&](int rank) {
+    SignalBoard board(arena, rank, kRanks);
+    if (rank == 0) {
+      for (int i = 0; i < 100; ++i) {
+        board.signal(1); // posts race ahead of the waiter
+      }
+    } else {
+      for (int i = 0; i < 100; ++i) {
+        board.wait_signal(0); // must consume exactly 100
+      }
+      EXPECT_FALSE(board.poll(0));
+    }
+  });
+}
+
+TEST(SignalBoardTest, PollDoesNotConsume) {
+  ShmArena arena(small_layout(2));
+  SignalBoard a(arena, 0, 2);
+  SignalBoard b(arena, 1, 2);
+  EXPECT_FALSE(b.poll(0));
+  a.signal(1);
+  EXPECT_TRUE(b.poll(0));
+  EXPECT_TRUE(b.poll(0));
+  b.wait_signal(0);
+  EXPECT_FALSE(b.poll(0));
+}
+
+TEST(SignalBoardTest, PairsAreIndependent) {
+  constexpr int kRanks = 3;
+  ShmArena arena(small_layout(kRanks));
+  SignalBoard s0(arena, 0, kRanks);
+  SignalBoard s1(arena, 1, kRanks);
+  SignalBoard s2(arena, 2, kRanks);
+  s0.signal(2);
+  s1.signal(2);
+  EXPECT_TRUE(s2.poll(0));
+  EXPECT_TRUE(s2.poll(1));
+  s2.wait_signal(0);
+  EXPECT_FALSE(s2.poll(0));
+  EXPECT_TRUE(s2.poll(1));
+}
+
+class ChunkPipeTest : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChunkPipeTest,
+                         ::testing::Values(0, 1, 100, 512, 513, 1024, 5000,
+                                           65536));
+
+TEST_P(ChunkPipeTest, TransfersExactBytes) {
+  const std::size_t bytes = GetParam();
+  ShmArena arena(small_layout(2));
+  std::vector<std::byte> in(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    in[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  std::vector<std::byte> out(bytes, std::byte{0});
+  run_threads(2, [&](int rank) {
+    ChunkPipe pipe(arena, rank, 2);
+    if (rank == 0) {
+      pipe.send(1, in.data(), bytes);
+    } else {
+      pipe.recv(0, out.data(), bytes);
+    }
+  });
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), bytes), 0);
+}
+
+TEST(ChunkPipeStress, ManyMessagesBothDirections) {
+  ShmArena arena(small_layout(2));
+  constexpr int kMsgs = 64;
+  run_threads(2, [&](int rank) {
+    ChunkPipe pipe(arena, rank, 2);
+    const int peer = 1 - rank;
+    for (int i = 0; i < kMsgs; ++i) {
+      const std::size_t bytes = static_cast<std::size_t>(i) * 97 % 3000;
+      std::vector<std::byte> buf(bytes,
+                                 static_cast<std::byte>(i + rank * 100));
+      std::vector<std::byte> got(bytes);
+      if (rank == 0) {
+        pipe.send(peer, buf.data(), bytes);
+        pipe.recv(peer, got.data(), bytes);
+        for (std::size_t b = 0; b < bytes; ++b) {
+          ASSERT_EQ(got[b], static_cast<std::byte>(i + 100));
+        }
+      } else {
+        pipe.recv(peer, got.data(), bytes);
+        pipe.send(peer, buf.data(), bytes);
+        for (std::size_t b = 0; b < bytes; ++b) {
+          ASSERT_EQ(got[b], static_cast<std::byte>(i));
+        }
+      }
+    }
+  });
+}
+
+class BcastPipeTest : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BcastPipeTest,
+                         ::testing::Values(0, 1, 511, 512, 513, 4096, 40000));
+
+TEST_P(BcastPipeTest, DeliversRootPayloadToAll) {
+  const std::size_t bytes = GetParam();
+  constexpr int kRanks = 4;
+  ShmArena arena(small_layout(kRanks));
+  std::vector<std::byte> truth(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    truth[i] = static_cast<std::byte>(i * 13 + 5);
+  }
+  run_threads(kRanks, [&](int rank) {
+    BcastPipe pipe(arena, rank, kRanks);
+    std::vector<std::byte> buf(bytes);
+    if (rank == 2) {
+      buf = truth;
+    }
+    pipe.bcast(buf.data(), bytes, /*root=*/2);
+    ASSERT_EQ(std::memcmp(buf.data(), truth.data(), bytes), 0)
+        << "rank " << rank;
+  });
+}
+
+TEST(BcastPipeStress, ManyRoundsRotatingRoots) {
+  constexpr int kRanks = 3;
+  constexpr int kRounds = 40;
+  ShmArena arena(small_layout(kRanks));
+  run_threads(kRanks, [&](int rank) {
+    BcastPipe pipe(arena, rank, kRanks);
+    for (int round = 0; round < kRounds; ++round) {
+      const int root = round % kRanks;
+      // Message sizes straddle the chunk size to exercise parity reuse.
+      const std::size_t bytes = 100 + static_cast<std::size_t>(round) * 37;
+      std::vector<std::byte> buf(bytes);
+      if (rank == root) {
+        for (std::size_t i = 0; i < bytes; ++i) {
+          buf[i] = static_cast<std::byte>(round + i);
+        }
+      }
+      pipe.bcast(buf.data(), bytes, root);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        ASSERT_EQ(buf[i], static_cast<std::byte>(round + i))
+            << "rank " << rank << " round " << round << " off " << i;
+      }
+    }
+  });
+}
+
+TEST(BcastPipeTest, SingleRankIsNoOp) {
+  ShmArena arena(small_layout(1));
+  BcastPipe pipe(arena, 0, 1);
+  char c = 7;
+  pipe.bcast(&c, 1, 0);
+  EXPECT_EQ(c, 7);
+}
+
+TEST(ChunkPipeTest, SelfSendIsRejected) {
+  ShmArena arena(small_layout(2));
+  ChunkPipe pipe(arena, 0, 2);
+  char c = 0;
+  EXPECT_THROW(pipe.send(0, &c, 1), Error);
+  EXPECT_THROW(pipe.recv(0, &c, 1), Error);
+}
+
+} // namespace
+} // namespace kacc::shm

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/buffer.h"
+#include "common/pattern.h"
+#include "model/cost_model.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+TEST(SimComm, ReportsShape) {
+  run_sim(broadwell(), 7, [](Comm& comm) {
+    EXPECT_EQ(comm.size(), 7);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 7);
+    EXPECT_EQ(comm.arch().name, "Broadwell");
+  });
+}
+
+TEST(SimComm, CmaReadMovesRealBytes) {
+  run_sim(knl(), 2, [](Comm& comm) {
+    static AlignedBuffer source; // shared across rank threads
+    static std::uint64_t source_addr = 0;
+    if (comm.rank() == 0) {
+      source = AlignedBuffer(8192);
+      pattern_fill(source.span(), 0, 1);
+      source_addr = comm.expose(source.data());
+    }
+    comm.barrier();
+    if (comm.rank() == 1) {
+      AlignedBuffer local(8192);
+      comm.cma_read(0, source_addr, local.data(), local.size());
+      EXPECT_TRUE(pattern_check(local.span(), 0, 1));
+    }
+    comm.barrier();
+  });
+}
+
+TEST(SimComm, CmaWriteMovesRealBytes) {
+  run_sim(knl(), 2, [](Comm& comm) {
+    static AlignedBuffer target;
+    static std::uint64_t target_addr = 0;
+    if (comm.rank() == 0) {
+      target = AlignedBuffer(4096);
+      target_addr = comm.expose(target.data());
+    }
+    comm.barrier();
+    if (comm.rank() == 1) {
+      AlignedBuffer local(4096);
+      pattern_fill(local.span(), 1, 9);
+      comm.cma_write(0, target_addr, local.data(), local.size());
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(pattern_check(target.span(), 1, 9));
+    }
+    comm.barrier();
+  });
+}
+
+TEST(SimComm, CtrlBcastDeliversPayload) {
+  run_sim(broadwell(), 6, [](Comm& comm) {
+    std::uint64_t value = comm.rank() == 3 ? 0xfeedface : 0;
+    comm.ctrl_bcast(&value, sizeof(value), 3);
+    EXPECT_EQ(value, 0xfeedfaceu);
+  });
+}
+
+TEST(SimComm, CtrlGatherAndAllgather) {
+  run_sim(broadwell(), 5, [](Comm& comm) {
+    const std::uint32_t mine = 10u + static_cast<std::uint32_t>(comm.rank());
+    std::vector<std::uint32_t> gathered(5);
+    comm.ctrl_gather(&mine, comm.rank() == 0 ? gathered.data() : nullptr,
+                     sizeof(mine), 0);
+    if (comm.rank() == 0) {
+      for (int q = 0; q < 5; ++q) {
+        EXPECT_EQ(gathered[static_cast<std::size_t>(q)], 10u + q);
+      }
+    }
+    std::vector<std::uint32_t> all(5);
+    comm.ctrl_allgather(&mine, all.data(), sizeof(mine));
+    for (int q = 0; q < 5; ++q) {
+      EXPECT_EQ(all[static_cast<std::size_t>(q)], 10u + q);
+    }
+  });
+}
+
+TEST(SimComm, CtrlOpsChargeShmCollectiveCost) {
+  const ArchSpec s = broadwell();
+  const SimRunResult result = run_sim(s, 4, [](Comm& comm) {
+    std::uint64_t v = 0;
+    comm.ctrl_bcast(&v, sizeof(v), 0);
+  });
+  EXPECT_DOUBLE_EQ(result.makespan_us, s.shm_coll_us(4));
+}
+
+TEST(SimComm, SignalsCarryLatency) {
+  const ArchSpec s = knl();
+  const SimRunResult result = run_sim(s, 2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.signal(1);
+    } else {
+      comm.wait_signal(0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(result.makespan_us, s.shm_signal_us);
+}
+
+TEST(SimComm, ShmSendRecvMovesDataAndChargesTwoCopies) {
+  // Single-socket arch: no cross-link term, so the cost model's two-copy
+  // formula is exact.
+  const ArchSpec s = knl();
+  const std::size_t bytes = 65536;
+  const SimRunResult result = run_sim(s, 2, [&](Comm& comm) {
+    AlignedBuffer buf(bytes);
+    if (comm.rank() == 0) {
+      pattern_fill(buf.span(), 0, 5);
+      comm.shm_send(1, buf.data(), bytes);
+    } else {
+      comm.shm_recv(0, buf.data(), bytes);
+      EXPECT_TRUE(pattern_check(buf.span(), 0, 5));
+    }
+  });
+  const CostModel m(s);
+  EXPECT_NEAR(result.makespan_us, m.shm_two_copy_cost_us(bytes),
+              m.shm_two_copy_cost_us(bytes) * 0.01);
+}
+
+TEST(SimComm, LocalCopyChargesMemcpyBandwidth) {
+  const ArchSpec s = power8();
+  const SimRunResult result = run_sim(s, 1, [](Comm& comm) {
+    AlignedBuffer a(1 << 20);
+    AlignedBuffer b(1 << 20);
+    pattern_fill(a.span(), 0, 0);
+    comm.local_copy(b.data(), a.data(), a.size());
+    EXPECT_TRUE(pattern_check(b.span(), 0, 0));
+  });
+  EXPECT_NEAR(result.makespan_us,
+              static_cast<double>(1 << 20) * s.beta_us_per_byte(), 1e-6);
+}
+
+TEST(SimComm, NowAdvancesMonotonically) {
+  run_sim(knl(), 3, [](Comm& comm) {
+    const double t0 = comm.now_us();
+    comm.barrier();
+    const double t1 = comm.now_us();
+    EXPECT_GE(t1, t0);
+    AlignedBuffer buf(4096);
+    comm.local_copy(buf.data(), buf.data(), buf.size());
+    EXPECT_GT(comm.now_us(), t1);
+  });
+}
+
+TEST(SimComm, TimedCmaExposesBreakdown) {
+  const ArchSpec s = broadwell();
+  run_sim_ex(s, 3, [&](SimComm& comm) {
+    if (comm.rank() == 1) {
+      const sim::Breakdown bd = comm.timed_cma(0, 128 * s.page_size, true);
+      EXPECT_DOUBLE_EQ(bd.syscall_us, s.syscall_us);
+      EXPECT_DOUBLE_EQ(bd.permcheck_us, s.permcheck_us);
+      EXPECT_GT(bd.lock_us, 0.0);
+      EXPECT_GT(bd.copy_us, 0.0);
+    }
+    if (comm.rank() == 2) {
+      const sim::Breakdown bd = comm.timed_cma(0, 128 * s.page_size, false);
+      EXPECT_DOUBLE_EQ(bd.copy_us, 0.0); // lock+pin probe only
+    }
+  });
+}
+
+} // namespace
+} // namespace kacc

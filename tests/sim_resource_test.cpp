@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "sim/resource.h"
+#include "topo/presets.h"
+
+namespace kacc::sim {
+namespace {
+
+ContendedResource::OpTraits traits(double mult = 1.0, bool with_copy = true,
+                                   bool cross = false) {
+  ContendedResource::OpTraits t;
+  t.beta_mult = mult;
+  t.with_copy = with_copy;
+  t.cross = cross;
+  return t;
+}
+
+/// Collects rerate notifications for assertions.
+struct RerateLog {
+  std::map<int, double> finishes;
+  ContendedResource::RerateFn fn() {
+    return [this](int op, double t) { finishes[op] = t; };
+  }
+};
+
+double page_time_solo(const ArchSpec& s) {
+  return s.lock_us + s.pin_us +
+         static_cast<double>(s.page_size) * s.beta_us_per_byte();
+}
+
+TEST(ContendedResource, SoloOpFinishesAtModelTime) {
+  const ArchSpec s = broadwell();
+  int cross_count = 0;
+  ContendedResource res(&s, &cross_count);
+  RerateLog log;
+  const double finish = res.begin(1, 0.0, 100, 100 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  EXPECT_NEAR(finish, 100.0 * page_time_solo(s), 1e-9);
+  EXPECT_TRUE(log.finishes.empty()); // nothing else to rerate
+  const Breakdown bd = res.end(1, finish, log.fn());
+  EXPECT_NEAR(bd.lock_us, 100.0 * s.lock_us, 1e-6);
+  EXPECT_NEAR(bd.pin_us, 100.0 * s.pin_us, 1e-6);
+  EXPECT_NEAR(bd.copy_us,
+              100.0 * static_cast<double>(s.page_size) * s.beta_us_per_byte(),
+              1e-6);
+  EXPECT_TRUE(res.idle());
+}
+
+TEST(ContendedResource, SecondReaderSlowsTheFirst) {
+  const ArchSpec s = broadwell();
+  int cross_count = 0;
+  ContendedResource res(&s, &cross_count);
+  RerateLog log;
+  const double f1 = res.begin(1, 0.0, 100, 100 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  // Second op arrives halfway through the first.
+  const double f2 = res.begin(2, f1 / 2, 100, 100 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  // Op 1's finish must have been pushed later than its solo estimate.
+  ASSERT_TRUE(log.finishes.count(1));
+  EXPECT_GT(log.finishes[1], f1);
+  EXPECT_GT(f2, f1 / 2 + 100.0 * page_time_solo(s));
+}
+
+TEST(ContendedResource, DepartureSpeedsUpSurvivors) {
+  const ArchSpec s = knl();
+  int cross_count = 0;
+  ContendedResource res(&s, &cross_count);
+  RerateLog log;
+  res.begin(1, 0.0, 1000, 1000 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  const double f2 = res.begin(2, 0.0, 10, 10 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  // Let op 2 (small) finish; op 1's new finish must drop below its
+  // contended estimate.
+  const double f1_contended = log.finishes[1];
+  res.end(2, f2, log.fn());
+  EXPECT_LT(log.finishes[1], f1_contended);
+}
+
+TEST(ContendedResource, LockOnlyOpSkipsCopyTime) {
+  const ArchSpec s = power8();
+  int cross_count = 0;
+  ContendedResource res(&s, &cross_count);
+  RerateLog log;
+  const double finish = res.begin(1, 0.0, 50, 50 * static_cast<std::uint64_t>(s.page_size), traits(1.0, false), log.fn());
+  EXPECT_NEAR(finish, 50.0 * (s.lock_us + s.pin_us), 1e-9);
+  const Breakdown bd = res.end(1, finish, log.fn());
+  EXPECT_DOUBLE_EQ(bd.copy_us, 0.0);
+  EXPECT_GT(bd.lock_us, 0.0);
+}
+
+TEST(ContendedResource, SymmetricOpsShareEvenly) {
+  const ArchSpec s = broadwell();
+  int cross_count = 0;
+  ContendedResource res(&s, &cross_count);
+  RerateLog log;
+  const double f1 = res.begin(1, 0.0, 64, 64 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  const double f2 = res.begin(2, 0.0, 64, 64 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  // Identical ops started together finish together, slower than solo.
+  EXPECT_DOUBLE_EQ(log.finishes[1], f2);
+  EXPECT_GT(f2, f1);
+  const double per_page_c2 =
+      s.lock_us * s.gamma_at(2) + s.pin_us +
+      static_cast<double>(s.page_size) * s.contended_beta(2);
+  EXPECT_NEAR(f2, 64.0 * per_page_c2, 1e-9);
+}
+
+TEST(ContendedResource, EndBeforeDrainedIsAnError) {
+  const ArchSpec s = broadwell();
+  int cross_count = 0;
+  ContendedResource res(&s, &cross_count);
+  RerateLog log;
+  const double finish = res.begin(1, 0.0, 100, 100 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  EXPECT_THROW(res.end(1, finish / 2, log.fn()), Error);
+}
+
+TEST(ContendedResource, TimeCannotRunBackwards) {
+  const ArchSpec s = broadwell();
+  int cross_count = 0;
+  ContendedResource res(&s, &cross_count);
+  RerateLog log;
+  res.begin(1, 10.0, 10, 10 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  EXPECT_THROW(res.begin(2, 5.0, 10, 10 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn()), Error);
+}
+
+TEST(ContendedResource, InterSocketMultiplierSlowsCopy) {
+  const ArchSpec s = broadwell();
+  int cross_count = 0;
+  ContendedResource res(&s, &cross_count);
+  RerateLog log;
+  const double local = res.begin(1, 0.0, 100, 100 * static_cast<std::uint64_t>(s.page_size), traits(), log.fn());
+  res.end(1, local, log.fn());
+  const double remote =
+      res.begin(2, local, 100, 100 * static_cast<std::uint64_t>(s.page_size), traits(s.inter_socket_beta_mult, true, true), log.fn()) -
+      local;
+  EXPECT_GT(remote, local);
+}
+
+} // namespace
+} // namespace kacc::sim

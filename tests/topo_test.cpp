@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "topo/detect.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+class PresetTest : public ::testing::TestWithParam<ArchSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, PresetTest,
+                         ::testing::ValuesIn(all_presets()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(PresetTest, Validates) { EXPECT_NO_THROW(GetParam().validate()); }
+
+TEST_P(PresetTest, GammaIsOneWithoutContention) {
+  EXPECT_DOUBLE_EQ(GetParam().gamma_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(GetParam().gamma_at(1), 1.0);
+}
+
+TEST_P(PresetTest, GammaIsMonotonicInConcurrency) {
+  const ArchSpec& s = GetParam();
+  double prev = s.gamma_at(1);
+  for (int c = 2; c <= s.default_ranks; ++c) {
+    const double g = s.gamma_at(c);
+    EXPECT_GE(g, prev) << "gamma must not decrease at c=" << c;
+    prev = g;
+  }
+}
+
+TEST_P(PresetTest, GammaGrowsSuperlinearlyAtScale) {
+  // The paper's core observation: lock contention is much worse than a
+  // constant penalty at full node concurrency.
+  const ArchSpec& s = GetParam();
+  EXPECT_GT(s.gamma_at(s.default_ranks - 1), 5.0);
+}
+
+TEST_P(PresetTest, ContendedBetaNeverBeatsSingleStream) {
+  const ArchSpec& s = GetParam();
+  for (int c = 1; c <= s.default_ranks; c *= 2) {
+    EXPECT_GE(s.contended_beta(c), s.beta_us_per_byte());
+  }
+}
+
+TEST_P(PresetTest, PagesRoundsUp) {
+  const ArchSpec& s = GetParam();
+  EXPECT_EQ(s.pages(0), 0u);
+  EXPECT_EQ(s.pages(1), 1u);
+  EXPECT_EQ(s.pages(s.page_size), 1u);
+  EXPECT_EQ(s.pages(s.page_size + 1), 2u);
+}
+
+TEST(Presets, ShapesMatchTableV) {
+  const ArchSpec k = knl();
+  EXPECT_EQ(k.sockets, 1);
+  EXPECT_EQ(k.cores_per_socket, 68);
+  EXPECT_EQ(k.default_ranks, 64);
+  EXPECT_EQ(k.page_size, 4096u);
+
+  const ArchSpec b = broadwell();
+  EXPECT_EQ(b.sockets, 2);
+  EXPECT_EQ(b.cores_per_socket, 14);
+  EXPECT_EQ(b.default_ranks, 28);
+  EXPECT_EQ(b.page_size, 4096u);
+
+  const ArchSpec p = power8();
+  EXPECT_EQ(p.sockets, 2);
+  EXPECT_EQ(p.cores_per_socket, 10);
+  EXPECT_EQ(p.threads_per_core, 8);
+  EXPECT_EQ(p.default_ranks, 160);
+  EXPECT_EQ(p.page_size, 65536u);
+}
+
+TEST(Presets, AlphaMatchesTableIV) {
+  EXPECT_NEAR(knl().alpha_us(), 1.43, 1e-9);
+  EXPECT_NEAR(broadwell().alpha_us(), 0.98, 1e-9);
+  EXPECT_NEAR(power8().alpha_us(), 0.75, 1e-9);
+}
+
+TEST(Presets, LMatchesTableIV) {
+  EXPECT_NEAR(knl().l_us(), 0.25, 1e-9);
+  EXPECT_NEAR(broadwell().l_us(), 0.10, 1e-9);
+  EXPECT_NEAR(power8().l_us(), 0.53, 1e-9);
+}
+
+TEST(Presets, SocketKneeOnMultiSocketMachinesOnly) {
+  const ArchSpec k = knl();
+  const ArchSpec b = broadwell();
+  // KNL (single socket): smooth growth. Broadwell: visible jump across 14.
+  const double knl_step = k.gamma_at(15) - k.gamma_at(14);
+  const double knl_step_prev = k.gamma_at(14) - k.gamma_at(13);
+  EXPECT_NEAR(knl_step, knl_step_prev, knl_step_prev * 0.5);
+  const double bdw_step = b.gamma_at(15) - b.gamma_at(14);
+  const double bdw_step_prev = b.gamma_at(14) - b.gamma_at(13);
+  EXPECT_GT(bdw_step, bdw_step_prev * 1.5);
+}
+
+TEST(Presets, LookupByNameIsCaseInsensitive) {
+  EXPECT_EQ(preset_by_name("KNL").name, "KNL");
+  EXPECT_EQ(preset_by_name("knl").name, "KNL");
+  EXPECT_EQ(preset_by_name("Broadwell").name, "Broadwell");
+  EXPECT_EQ(preset_by_name("power8").name, "Power8");
+  EXPECT_EQ(preset_by_name("openpower").name, "Power8");
+  EXPECT_THROW(preset_by_name("sparc"), InvalidArgument);
+}
+
+TEST(SocketMapping, BlockDistribution) {
+  const ArchSpec b = broadwell(); // 2 sockets
+  EXPECT_EQ(b.socket_of(0, 28), 0);
+  EXPECT_EQ(b.socket_of(13, 28), 0);
+  EXPECT_EQ(b.socket_of(14, 28), 1);
+  EXPECT_EQ(b.socket_of(27, 28), 1);
+  const ArchSpec k = knl(); // single socket: everything on socket 0
+  EXPECT_EQ(k.socket_of(0, 64), 0);
+  EXPECT_EQ(k.socket_of(63, 64), 0);
+}
+
+TEST(SocketMapping, InterSocketBetaPenalty) {
+  const ArchSpec b = broadwell();
+  EXPECT_DOUBLE_EQ(b.beta_between(0, 1, 28), b.beta_us_per_byte());
+  EXPECT_GT(b.beta_between(0, 27, 28), b.beta_us_per_byte());
+  EXPECT_DOUBLE_EQ(b.beta_between(0, 27, 28),
+                   b.beta_us_per_byte() * b.inter_socket_beta_mult);
+}
+
+TEST(Validate, RejectsInconsistentSpecs) {
+  ArchSpec s = knl();
+  s.default_ranks = s.total_cores() + 1;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = knl();
+  s.page_size = 1000; // not a power of two
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = knl();
+  s.mem_bw_total_Bus = s.copy_bw_Bus / 2; // aggregate < single stream
+  EXPECT_THROW(s.validate(), InvalidArgument);
+
+  s = knl();
+  s.gamma.offset += 1.0; // gamma(1) != 1
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(DetectHost, ProducesValidSpec) {
+  const ArchSpec host = detect_host();
+  EXPECT_NO_THROW(host.validate());
+  EXPECT_GE(host.default_ranks, 1);
+  EXPECT_GE(host.page_size, 512u);
+}
+
+} // namespace
+} // namespace kacc

@@ -1,0 +1,146 @@
+// The tuner must reproduce the paper's per-architecture algorithm choices.
+#include <gtest/gtest.h>
+
+#include "coll/tuner.h"
+#include "model/predict.h"
+#include "topo/presets.h"
+
+namespace kacc::coll {
+namespace {
+
+TEST(TunerScatter, KnlLargeMessagesThrottleAroundEight) {
+  // Fig 7a: "throttle factors of 4 and 8 perform the best" on KNL.
+  const Tuner::Choice c = Tuner().scatter(knl(), 64, 1 << 20);
+  EXPECT_EQ(c.scatter, ScatterAlgo::kThrottledRead);
+  EXPECT_GE(c.throttle, 2);
+  EXPECT_LE(c.throttle, 16);
+}
+
+TEST(TunerScatter, BroadwellLargeMessagesThrottleAroundFour) {
+  // Fig 7b: "throttle factor of 4 performs the best for most sizes".
+  const Tuner::Choice c = Tuner().scatter(broadwell(), 28, 1 << 20);
+  EXPECT_EQ(c.scatter, ScatterAlgo::kThrottledRead);
+  EXPECT_GE(c.throttle, 2);
+  EXPECT_LE(c.throttle, 8);
+}
+
+TEST(TunerScatter, Power8PrefersOneSocketOfConcurrency) {
+  // Fig 7c: "throttle factor of 10 performs the best by avoiding
+  // inter-socket lock contention".
+  const Tuner::Choice c = Tuner().scatter(power8(), 160, 1 << 20);
+  EXPECT_EQ(c.scatter, ScatterAlgo::kThrottledRead);
+  EXPECT_GE(c.throttle, 8);
+  EXPECT_LE(c.throttle, 16);
+}
+
+TEST(TunerScatter, ParallelReadPenaltyGrowsWithMessageSize) {
+  // Fig 7a's shape: at small sizes parallel read is competitive with the
+  // tuner's pick, but it collapses (>3x worse) for large messages where
+  // the per-page lock contention dominates.
+  const ArchSpec s = knl();
+  const double small_best = Tuner().scatter(s, 64, 1024).predicted_us;
+  const double small_par = predict::scatter_parallel_read(s, 64, 1024);
+  EXPECT_LT(small_par, small_best * 3.0);
+  const double large_best = Tuner().scatter(s, 64, 1 << 20).predicted_us;
+  const double large_par =
+      predict::scatter_parallel_read(s, 64, 1 << 20);
+  EXPECT_GT(large_par, large_best * 3.0);
+}
+
+TEST(TunerGather, MirrorsScatterChoices) {
+  const Tuner::Choice cs = Tuner().scatter(knl(), 64, 1 << 20);
+  const Tuner::Choice cg = Tuner().gather(knl(), 64, 1 << 20);
+  EXPECT_EQ(cg.gather, GatherAlgo::kThrottledWrite);
+  EXPECT_EQ(cg.throttle, cs.throttle);
+  EXPECT_DOUBLE_EQ(cg.predicted_us, cs.predicted_us);
+}
+
+TEST(TunerAlltoall, BruckForTinyPairwiseForLarge) {
+  EXPECT_EQ(Tuner().alltoall(knl(), 64, 64).alltoall, AlltoallAlgo::kBruck);
+  EXPECT_EQ(Tuner().alltoall(knl(), 64, 1 << 20).alltoall,
+            AlltoallAlgo::kPairwise);
+}
+
+TEST(TunerAllgather, LogarithmicForSmallLinearForLarge) {
+  // Fig 10a: recursive doubling / Bruck win small (lg p steps), ring wins
+  // large.
+  const Tuner::Choice small = Tuner().allgather(knl(), 64, 256);
+  EXPECT_TRUE(small.allgather == AllgatherAlgo::kRecursiveDoubling ||
+              small.allgather == AllgatherAlgo::kBruck)
+      << to_string(small.allgather);
+  // On the single-socket KNL ring and recursive doubling tie for large
+  // messages (same bandwidth term, Fig 10a); Bruck must lose (extra
+  // copies).
+  const Tuner::Choice large = Tuner().allgather(knl(), 64, 1 << 20);
+  EXPECT_NE(large.allgather, AllgatherAlgo::kBruck)
+      << to_string(large.allgather);
+}
+
+TEST(TunerAllgather, BroadwellLargePrefersSocketAwareRing) {
+  // Fig 10b: ring algorithms beat recursive doubling on the two-socket
+  // Broadwell for large messages.
+  const Tuner::Choice c = Tuner().allgather(broadwell(), 28, 1 << 20);
+  EXPECT_NE(c.allgather, AllgatherAlgo::kRecursiveDoubling);
+  EXPECT_NE(c.allgather, AllgatherAlgo::kBruck);
+}
+
+TEST(TunerBcast, BroadwellCrossoverFromShmToCma) {
+  // Fig 18a: shm bcast below ~2MB, CMA above, on Broadwell.
+  const Tuner t;
+  EXPECT_EQ(t.bcast(broadwell(), 28, 65536).bcast, BcastAlgo::kShmemSlot);
+  const Tuner::Choice large = t.bcast(broadwell(), 28, 4u << 20);
+  EXPECT_NE(large.bcast, BcastAlgo::kShmemSlot);
+  EXPECT_NE(large.bcast, BcastAlgo::kShmemTree);
+}
+
+TEST(TunerBcast, KnlLargeUsesContentionAvoidingAlgorithm) {
+  // Fig 11a: k-nomial / scatter-allgather dominate direct algorithms.
+  const Tuner::Choice c = Tuner().bcast(knl(), 64, 1 << 20);
+  EXPECT_TRUE(c.bcast == BcastAlgo::kKnomialRead ||
+              c.bcast == BcastAlgo::kScatterAllgather)
+      << to_string(c.bcast);
+}
+
+TEST(TunerBcast, NeverPicksDirectReadAtFullScale) {
+  for (const ArchSpec& s : all_presets()) {
+    for (std::uint64_t bytes = 4096; bytes <= (4u << 20); bytes *= 4) {
+      const Tuner::Choice c = Tuner().bcast(s, s.default_ranks, bytes);
+      EXPECT_NE(c.bcast, BcastAlgo::kDirectRead)
+          << s.name << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(TunerThrottles, CandidatesIncludeSocketWidth) {
+  const auto ks = Tuner::throttle_candidates(power8(), 160);
+  EXPECT_NE(std::find(ks.begin(), ks.end(), 10), ks.end());
+  for (int k : ks) {
+    EXPECT_GE(k, 1);
+    EXPECT_LT(k, 160);
+  }
+}
+
+TEST(TunerChoices, PredictedCostIsPositiveAndMonotonicInSize) {
+  for (const ArchSpec& s : all_presets()) {
+    double prev = 0.0;
+    for (std::uint64_t bytes = 1024; bytes <= (4u << 20); bytes *= 2) {
+      const Tuner::Choice c = Tuner().scatter(s, s.default_ranks, bytes);
+      EXPECT_GT(c.predicted_us, 0.0);
+      EXPECT_GE(c.predicted_us, prev * 0.9) // tuner switches may dip slightly
+          << s.name << " bytes=" << bytes;
+      prev = c.predicted_us;
+    }
+  }
+}
+
+TEST(TunerChoices, TwoRankEdgeCase) {
+  for (const ArchSpec& s : all_presets()) {
+    const Tuner::Choice c = Tuner().scatter(s, 2, 65536);
+    EXPECT_NE(c.scatter, ScatterAlgo::kAuto);
+    const Tuner::Choice b = Tuner().bcast(s, 2, 65536);
+    EXPECT_NE(b.bcast, BcastAlgo::kAuto);
+  }
+}
+
+} // namespace
+} // namespace kacc::coll
