@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reduce_allreduce.dir/bench_util.cpp.o"
+  "CMakeFiles/ext_reduce_allreduce.dir/bench_util.cpp.o.d"
+  "CMakeFiles/ext_reduce_allreduce.dir/ext_reduce_allreduce.cpp.o"
+  "CMakeFiles/ext_reduce_allreduce.dir/ext_reduce_allreduce.cpp.o.d"
+  "ext_reduce_allreduce"
+  "ext_reduce_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reduce_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

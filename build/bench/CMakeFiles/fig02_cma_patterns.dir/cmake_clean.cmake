@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_cma_patterns.dir/bench_util.cpp.o"
+  "CMakeFiles/fig02_cma_patterns.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig02_cma_patterns.dir/fig02_cma_patterns.cpp.o"
+  "CMakeFiles/fig02_cma_patterns.dir/fig02_cma_patterns.cpp.o.d"
+  "fig02_cma_patterns"
+  "fig02_cma_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cma_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_one_to_all_archs.dir/bench_util.cpp.o"
+  "CMakeFiles/fig03_one_to_all_archs.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig03_one_to_all_archs.dir/fig03_one_to_all_archs.cpp.o"
+  "CMakeFiles/fig03_one_to_all_archs.dir/fig03_one_to_all_archs.cpp.o.d"
+  "fig03_one_to_all_archs"
+  "fig03_one_to_all_archs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_one_to_all_archs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_one_to_all_archs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_contention_factor.dir/bench_util.cpp.o"
+  "CMakeFiles/fig05_contention_factor.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig05_contention_factor.dir/fig05_contention_factor.cpp.o"
+  "CMakeFiles/fig05_contention_factor.dir/fig05_contention_factor.cpp.o.d"
+  "fig05_contention_factor"
+  "fig05_contention_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_contention_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_contention_factor.
+# This may be replaced when dependencies are built.

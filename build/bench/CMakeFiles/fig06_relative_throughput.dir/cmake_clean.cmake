@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_relative_throughput.dir/bench_util.cpp.o"
+  "CMakeFiles/fig06_relative_throughput.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig06_relative_throughput.dir/fig06_relative_throughput.cpp.o"
+  "CMakeFiles/fig06_relative_throughput.dir/fig06_relative_throughput.cpp.o.d"
+  "fig06_relative_throughput"
+  "fig06_relative_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_relative_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

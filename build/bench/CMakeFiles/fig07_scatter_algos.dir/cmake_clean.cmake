@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_scatter_algos.dir/bench_util.cpp.o"
+  "CMakeFiles/fig07_scatter_algos.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig07_scatter_algos.dir/fig07_scatter_algos.cpp.o"
+  "CMakeFiles/fig07_scatter_algos.dir/fig07_scatter_algos.cpp.o.d"
+  "fig07_scatter_algos"
+  "fig07_scatter_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scatter_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_gather_algos.dir/bench_util.cpp.o"
+  "CMakeFiles/fig08_gather_algos.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig08_gather_algos.dir/fig08_gather_algos.cpp.o"
+  "CMakeFiles/fig08_gather_algos.dir/fig08_gather_algos.cpp.o.d"
+  "fig08_gather_algos"
+  "fig08_gather_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_gather_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

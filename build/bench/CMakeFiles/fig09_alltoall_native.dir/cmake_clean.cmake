@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_alltoall_native.dir/bench_util.cpp.o"
+  "CMakeFiles/fig09_alltoall_native.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig09_alltoall_native.dir/fig09_alltoall_native.cpp.o"
+  "CMakeFiles/fig09_alltoall_native.dir/fig09_alltoall_native.cpp.o.d"
+  "fig09_alltoall_native"
+  "fig09_alltoall_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_alltoall_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_allgather_algos.dir/bench_util.cpp.o"
+  "CMakeFiles/fig10_allgather_algos.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig10_allgather_algos.dir/fig10_allgather_algos.cpp.o"
+  "CMakeFiles/fig10_allgather_algos.dir/fig10_allgather_algos.cpp.o.d"
+  "fig10_allgather_algos"
+  "fig10_allgather_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_allgather_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

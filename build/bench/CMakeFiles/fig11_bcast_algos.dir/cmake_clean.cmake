@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bcast_algos.dir/bench_util.cpp.o"
+  "CMakeFiles/fig11_bcast_algos.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig11_bcast_algos.dir/fig11_bcast_algos.cpp.o"
+  "CMakeFiles/fig11_bcast_algos.dir/fig11_bcast_algos.cpp.o.d"
+  "fig11_bcast_algos"
+  "fig11_bcast_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bcast_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

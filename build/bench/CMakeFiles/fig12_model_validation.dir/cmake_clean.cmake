@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_model_validation.dir/bench_util.cpp.o"
+  "CMakeFiles/fig12_model_validation.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig12_model_validation.dir/fig12_model_validation.cpp.o"
+  "CMakeFiles/fig12_model_validation.dir/fig12_model_validation.cpp.o.d"
+  "fig12_model_validation"
+  "fig12_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

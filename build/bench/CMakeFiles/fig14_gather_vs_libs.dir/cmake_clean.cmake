@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_gather_vs_libs.dir/bench_util.cpp.o"
+  "CMakeFiles/fig14_gather_vs_libs.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig14_gather_vs_libs.dir/fig14_gather_vs_libs.cpp.o"
+  "CMakeFiles/fig14_gather_vs_libs.dir/fig14_gather_vs_libs.cpp.o.d"
+  "fig14_gather_vs_libs"
+  "fig14_gather_vs_libs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_gather_vs_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_gather_vs_libs.
+# This may be replaced when dependencies are built.

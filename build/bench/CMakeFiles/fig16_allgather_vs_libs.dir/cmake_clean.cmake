@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_allgather_vs_libs.dir/bench_util.cpp.o"
+  "CMakeFiles/fig16_allgather_vs_libs.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig16_allgather_vs_libs.dir/fig16_allgather_vs_libs.cpp.o"
+  "CMakeFiles/fig16_allgather_vs_libs.dir/fig16_allgather_vs_libs.cpp.o.d"
+  "fig16_allgather_vs_libs"
+  "fig16_allgather_vs_libs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_allgather_vs_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_multinode_gather.dir/bench_util.cpp.o"
+  "CMakeFiles/fig17_multinode_gather.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig17_multinode_gather.dir/fig17_multinode_gather.cpp.o"
+  "CMakeFiles/fig17_multinode_gather.dir/fig17_multinode_gather.cpp.o.d"
+  "fig17_multinode_gather"
+  "fig17_multinode_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_multinode_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

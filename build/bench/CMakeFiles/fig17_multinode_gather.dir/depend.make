@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_multinode_gather.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_step_probes.dir/bench_util.cpp.o"
+  "CMakeFiles/tab03_step_probes.dir/bench_util.cpp.o.d"
+  "CMakeFiles/tab03_step_probes.dir/tab03_step_probes.cpp.o"
+  "CMakeFiles/tab03_step_probes.dir/tab03_step_probes.cpp.o.d"
+  "tab03_step_probes"
+  "tab03_step_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_step_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_parameters.dir/bench_util.cpp.o"
+  "CMakeFiles/tab04_parameters.dir/bench_util.cpp.o.d"
+  "CMakeFiles/tab04_parameters.dir/tab04_parameters.cpp.o"
+  "CMakeFiles/tab04_parameters.dir/tab04_parameters.cpp.o.d"
+  "tab04_parameters"
+  "tab04_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_max_speedup.dir/bench_util.cpp.o"
+  "CMakeFiles/tab06_max_speedup.dir/bench_util.cpp.o.d"
+  "CMakeFiles/tab06_max_speedup.dir/tab06_max_speedup.cpp.o"
+  "CMakeFiles/tab06_max_speedup.dir/tab06_max_speedup.cpp.o.d"
+  "tab06_max_speedup"
+  "tab06_max_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_max_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_largest_message.dir/bench_util.cpp.o"
+  "CMakeFiles/tab07_largest_message.dir/bench_util.cpp.o.d"
+  "CMakeFiles/tab07_largest_message.dir/tab07_largest_message.cpp.o"
+  "CMakeFiles/tab07_largest_message.dir/tab07_largest_message.cpp.o.d"
+  "tab07_largest_message"
+  "tab07_largest_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_largest_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

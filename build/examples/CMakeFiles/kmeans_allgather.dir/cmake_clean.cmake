@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_allgather.dir/kmeans_allgather.cpp.o"
+  "CMakeFiles/kmeans_allgather.dir/kmeans_allgather.cpp.o.d"
+  "kmeans_allgather"
+  "kmeans_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

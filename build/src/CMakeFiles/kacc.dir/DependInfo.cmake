@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/knem_style_lib.cpp" "src/CMakeFiles/kacc.dir/baseline/knem_style_lib.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/baseline/knem_style_lib.cpp.o.d"
+  "/root/repo/src/baseline/pt2pt_lib.cpp" "src/CMakeFiles/kacc.dir/baseline/pt2pt_lib.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/baseline/pt2pt_lib.cpp.o.d"
+  "/root/repo/src/baseline/shmem_lib.cpp" "src/CMakeFiles/kacc.dir/baseline/shmem_lib.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/baseline/shmem_lib.cpp.o.d"
+  "/root/repo/src/cma/endpoint.cpp" "src/CMakeFiles/kacc.dir/cma/endpoint.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/cma/endpoint.cpp.o.d"
+  "/root/repo/src/cma/probe.cpp" "src/CMakeFiles/kacc.dir/cma/probe.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/cma/probe.cpp.o.d"
+  "/root/repo/src/cma/step_probe.cpp" "src/CMakeFiles/kacc.dir/cma/step_probe.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/cma/step_probe.cpp.o.d"
+  "/root/repo/src/coll/algo.cpp" "src/CMakeFiles/kacc.dir/coll/algo.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/coll/algo.cpp.o.d"
+  "/root/repo/src/coll/allgather.cpp" "src/CMakeFiles/kacc.dir/coll/allgather.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/coll/allgather.cpp.o.d"
+  "/root/repo/src/coll/alltoall.cpp" "src/CMakeFiles/kacc.dir/coll/alltoall.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/coll/alltoall.cpp.o.d"
+  "/root/repo/src/coll/bcast.cpp" "src/CMakeFiles/kacc.dir/coll/bcast.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/coll/bcast.cpp.o.d"
+  "/root/repo/src/coll/gather.cpp" "src/CMakeFiles/kacc.dir/coll/gather.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/coll/gather.cpp.o.d"
+  "/root/repo/src/coll/reduce.cpp" "src/CMakeFiles/kacc.dir/coll/reduce.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/coll/reduce.cpp.o.d"
+  "/root/repo/src/coll/scatter.cpp" "src/CMakeFiles/kacc.dir/coll/scatter.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/coll/scatter.cpp.o.d"
+  "/root/repo/src/coll/tuner.cpp" "src/CMakeFiles/kacc.dir/coll/tuner.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/coll/tuner.cpp.o.d"
+  "/root/repo/src/common/buffer.cpp" "src/CMakeFiles/kacc.dir/common/buffer.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/common/buffer.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/kacc.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/kacc.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/kacc.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/pattern.cpp" "src/CMakeFiles/kacc.dir/common/pattern.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/common/pattern.cpp.o.d"
+  "/root/repo/src/model/cost_model.cpp" "src/CMakeFiles/kacc.dir/model/cost_model.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/model/cost_model.cpp.o.d"
+  "/root/repo/src/model/estimator.cpp" "src/CMakeFiles/kacc.dir/model/estimator.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/model/estimator.cpp.o.d"
+  "/root/repo/src/model/gamma.cpp" "src/CMakeFiles/kacc.dir/model/gamma.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/model/gamma.cpp.o.d"
+  "/root/repo/src/model/nlls.cpp" "src/CMakeFiles/kacc.dir/model/nlls.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/model/nlls.cpp.o.d"
+  "/root/repo/src/model/predict.cpp" "src/CMakeFiles/kacc.dir/model/predict.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/model/predict.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/kacc.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/two_level.cpp" "src/CMakeFiles/kacc.dir/net/two_level.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/net/two_level.cpp.o.d"
+  "/root/repo/src/runtime/comm.cpp" "src/CMakeFiles/kacc.dir/runtime/comm.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/runtime/comm.cpp.o.d"
+  "/root/repo/src/runtime/native_comm.cpp" "src/CMakeFiles/kacc.dir/runtime/native_comm.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/runtime/native_comm.cpp.o.d"
+  "/root/repo/src/runtime/process_team.cpp" "src/CMakeFiles/kacc.dir/runtime/process_team.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/runtime/process_team.cpp.o.d"
+  "/root/repo/src/runtime/sim_comm.cpp" "src/CMakeFiles/kacc.dir/runtime/sim_comm.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/runtime/sim_comm.cpp.o.d"
+  "/root/repo/src/shm/arena.cpp" "src/CMakeFiles/kacc.dir/shm/arena.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/shm/arena.cpp.o.d"
+  "/root/repo/src/shm/barrier.cpp" "src/CMakeFiles/kacc.dir/shm/barrier.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/shm/barrier.cpp.o.d"
+  "/root/repo/src/shm/bcast_pipe.cpp" "src/CMakeFiles/kacc.dir/shm/bcast_pipe.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/shm/bcast_pipe.cpp.o.d"
+  "/root/repo/src/shm/chunk_pipe.cpp" "src/CMakeFiles/kacc.dir/shm/chunk_pipe.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/shm/chunk_pipe.cpp.o.d"
+  "/root/repo/src/shm/ctrl_coll.cpp" "src/CMakeFiles/kacc.dir/shm/ctrl_coll.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/shm/ctrl_coll.cpp.o.d"
+  "/root/repo/src/shm/mailbox.cpp" "src/CMakeFiles/kacc.dir/shm/mailbox.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/shm/mailbox.cpp.o.d"
+  "/root/repo/src/sim/channel.cpp" "src/CMakeFiles/kacc.dir/sim/channel.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/sim/channel.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/kacc.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/kacc.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/kacc.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/sim/world.cpp.o.d"
+  "/root/repo/src/topo/arch_spec.cpp" "src/CMakeFiles/kacc.dir/topo/arch_spec.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/topo/arch_spec.cpp.o.d"
+  "/root/repo/src/topo/detect.cpp" "src/CMakeFiles/kacc.dir/topo/detect.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/topo/detect.cpp.o.d"
+  "/root/repo/src/topo/presets.cpp" "src/CMakeFiles/kacc.dir/topo/presets.cpp.o" "gcc" "src/CMakeFiles/kacc.dir/topo/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cma_test.dir/cma_test.cpp.o"
+  "CMakeFiles/cma_test.dir/cma_test.cpp.o.d"
+  "cma_test"
+  "cma_test.pdb"
+  "cma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

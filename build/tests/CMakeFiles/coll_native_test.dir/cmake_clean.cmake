@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_native_test.dir/coll_native_test.cpp.o"
+  "CMakeFiles/coll_native_test.dir/coll_native_test.cpp.o.d"
+  "coll_native_test"
+  "coll_native_test.pdb"
+  "coll_native_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_native_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_sim_test.dir/coll_sim_test.cpp.o"
+  "CMakeFiles/coll_sim_test.dir/coll_sim_test.cpp.o.d"
+  "coll_sim_test"
+  "coll_sim_test.pdb"
+  "coll_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlls_test.dir/nlls_test.cpp.o"
+  "CMakeFiles/nlls_test.dir/nlls_test.cpp.o.d"
+  "nlls_test"
+  "nlls_test.pdb"
+  "nlls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

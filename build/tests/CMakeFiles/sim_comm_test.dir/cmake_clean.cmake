@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_comm_test.dir/sim_comm_test.cpp.o"
+  "CMakeFiles/sim_comm_test.dir/sim_comm_test.cpp.o.d"
+  "sim_comm_test"
+  "sim_comm_test.pdb"
+  "sim_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/nlls_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/shm_test[1]_include.cmake")
+include("/root/repo/build/tests/cma_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_resource_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_comm_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_property_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_native_test[1]_include.cmake")
+include("/root/repo/build/tests/reduce_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/predict_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
