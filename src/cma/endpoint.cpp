@@ -14,12 +14,34 @@ namespace {
 // the kernel caps per-iovec, and partial completion stays easy to resume.
 constexpr std::size_t kMaxSegment = 1ull << 30;
 
-template <typename SyscallFn>
+} // namespace
+
+ErrnoClass classify_errno(int err) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+      return ErrnoClass::kRetryable;
+    case EPERM:
+    case EACCES:
+      return ErrnoClass::kPermission;
+    case ESRCH:
+      return ErrnoClass::kPeerGone;
+    default:
+      return ErrnoClass::kFatal;
+  }
+}
+
+namespace detail {
+
 void transfer_loop(pid_t pid, std::uint64_t remote_addr, char* local,
-                   std::size_t bytes, SyscallFn fn, const char* what) {
+                   std::size_t bytes, TransferFn fn, const char* what,
+                   std::size_t max_per_call) {
   std::size_t done = 0;
   while (done < bytes) {
-    const std::size_t chunk = std::min(bytes - done, kMaxSegment);
+    std::size_t chunk = std::min(bytes - done, kMaxSegment);
+    if (max_per_call != 0) {
+      chunk = std::min(chunk, max_per_call);
+    }
     struct iovec liov {
       local + done, chunk
     };
@@ -28,34 +50,41 @@ void transfer_loop(pid_t pid, std::uint64_t remote_addr, char* local,
     };
     const ssize_t n = fn(pid, &liov, 1, &riov, 1, 0);
     if (n < 0) {
-      throw SyscallError(what, errno);
+      const int err = errno;
+      if (classify_errno(err) == ErrnoClass::kRetryable) {
+        continue; // interrupted by a signal: same offset, same request
+      }
+      throw SyscallError(what, err);
     }
     if (n == 0) {
       throw SyscallError(what, EIO); // no forward progress
     }
+    // Partial completion (n < chunk) is normal: resume from `done`, never
+    // restart — bytes already copied must not be copied again.
     done += static_cast<std::size_t>(n);
   }
 }
 
-} // namespace
+} // namespace detail
 
 void read_from(pid_t pid, std::uint64_t remote_addr, void* local,
-               std::size_t bytes) {
+               std::size_t bytes, std::size_t max_per_call) {
   if (bytes == 0) {
     return;
   }
-  transfer_loop(pid, remote_addr, static_cast<char*>(local), bytes,
-                ::process_vm_readv, "process_vm_readv");
+  detail::transfer_loop(pid, remote_addr, static_cast<char*>(local), bytes,
+                        ::process_vm_readv, "process_vm_readv", max_per_call);
 }
 
 void write_to(pid_t pid, std::uint64_t remote_addr, const void* local,
-              std::size_t bytes) {
+              std::size_t bytes, std::size_t max_per_call) {
   if (bytes == 0) {
     return;
   }
-  transfer_loop(pid, remote_addr,
-                const_cast<char*>(static_cast<const char*>(local)), bytes,
-                ::process_vm_writev, "process_vm_writev");
+  detail::transfer_loop(pid, remote_addr,
+                        const_cast<char*>(static_cast<const char*>(local)),
+                        bytes, ::process_vm_writev, "process_vm_writev",
+                        max_per_call);
 }
 
 ssize_t raw_readv(pid_t pid, void* local, std::size_t local_len,

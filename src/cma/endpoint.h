@@ -1,23 +1,39 @@
 // Thin, safe wrappers over the Cross Memory Attach syscalls
 // (process_vm_readv / process_vm_writev), the kernel-assisted single-copy
 // mechanism the paper builds on. Handles iovec chunking, partial transfers,
-// and errno mapping.
+// EINTR retry, and errno classification.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <sys/types.h>
+#include <sys/uio.h>
 
 namespace kacc::cma {
 
+/// How a failed CMA syscall should be handled by the caller.
+enum class ErrnoClass {
+  kRetryable,  ///< EINTR/EAGAIN: retry the same syscall
+  kPermission, ///< EPERM/EACCES: kernel policy (yama, seccomp) — fall back
+               ///< to the two-copy shm path, CMA will keep failing
+  kPeerGone,   ///< ESRCH: the target process died — raise PeerDiedError
+  kFatal,      ///< EFAULT/EINVAL/ENOMEM/...: a bug or OOM — propagate
+};
+
+/// Classifies an errno from process_vm_readv/writev.
+ErrnoClass classify_errno(int err);
+
 /// Reads `bytes` from `remote_addr` in the address space of `pid` into
-/// `local`. Loops until complete; throws SyscallError on failure.
+/// `local`. Loops until complete, resuming partial transfers and retrying
+/// EINTR; throws SyscallError on any other failure. `max_per_call` (when
+/// non-zero) caps the bytes requested per syscall — used by fault injection
+/// to force the partial-resume path deterministically.
 void read_from(pid_t pid, std::uint64_t remote_addr, void* local,
-               std::size_t bytes);
+               std::size_t bytes, std::size_t max_per_call = 0);
 
 /// Writes `bytes` from `local` into `remote_addr` of `pid`.
 void write_to(pid_t pid, std::uint64_t remote_addr, const void* local,
-              std::size_t bytes);
+              std::size_t bytes, std::size_t max_per_call = 0);
 
 /// Single raw process_vm_readv call with explicit iovec counts — the
 /// Table III step-triggering primitive. Returns the syscall's return value
@@ -26,5 +42,22 @@ void write_to(pid_t pid, std::uint64_t remote_addr, const void* local,
 ssize_t raw_readv(pid_t pid, void* local, std::size_t local_len,
                   std::uint64_t remote_addr, std::size_t remote_len,
                   unsigned long liovcnt, unsigned long riovcnt);
+
+namespace detail {
+
+/// Signature of process_vm_readv/writev; also the seam the endpoint tests
+/// use to inject partial transfers and EINTR without kernel cooperation.
+using TransferFn = ssize_t (*)(pid_t, const struct iovec*, unsigned long,
+                               const struct iovec*, unsigned long,
+                               unsigned long);
+
+/// The resumable transfer loop behind read_from/write_to, exposed so tests
+/// can drive it with a fake syscall. Resumes from the completed prefix on
+/// short returns and retries retryable errnos in place.
+void transfer_loop(pid_t pid, std::uint64_t remote_addr, char* local,
+                   std::size_t bytes, TransferFn fn, const char* what,
+                   std::size_t max_per_call);
+
+} // namespace detail
 
 } // namespace kacc::cma

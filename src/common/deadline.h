@@ -1,0 +1,72 @@
+// Progress deadlines for blocking waits. A Deadline is a point on the
+// monotonic clock; every potentially-unbounded spin in the native runtime
+// carries one so a dead or wedged peer turns into a TimeoutError instead of
+// an infinite nap. Deadline::never() preserves the old wait-forever
+// behaviour where a caller explicitly wants it (single-process unit tests).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace kacc {
+
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline that never expires.
+  static Deadline never() { return Deadline{}; }
+
+  /// Expires `ms` milliseconds from now.
+  static Deadline after_ms(double ms) {
+    Deadline d;
+    d.unbounded_ = false;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       ms));
+    return d;
+  }
+
+  [[nodiscard]] bool is_never() const { return unbounded_; }
+
+  [[nodiscard]] bool expired() const {
+    return !unbounded_ && Clock::now() >= expiry_;
+  }
+
+  /// Microseconds until expiry (0 when expired; huge when unbounded).
+  [[nodiscard]] double remaining_us() const {
+    if (unbounded_) {
+      return 1e18;
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          expiry_ - Clock::now())
+                          .count();
+    return us > 0.0 ? us : 0.0;
+  }
+
+private:
+  bool unbounded_ = true;
+  Clock::time_point expiry_{};
+};
+
+/// A budget of forward-progress checks: lets long multi-chunk operations
+/// (ChunkPipe streaming a large message) extend their deadline every time
+/// real progress happens, while still bounding the per-step wait. Consumed
+/// step by step: `next()` mints a fresh per-step Deadline.
+class ProgressBudget {
+public:
+  ProgressBudget() = default;
+  explicit ProgressBudget(double step_ms) : step_ms_(step_ms) {}
+
+  /// A fresh deadline for the next step; never() when step_ms <= 0.
+  [[nodiscard]] Deadline next() const {
+    return step_ms_ > 0.0 ? Deadline::after_ms(step_ms_) : Deadline::never();
+  }
+
+  [[nodiscard]] double step_ms() const { return step_ms_; }
+
+private:
+  double step_ms_ = 0.0; // <= 0 means unbounded
+};
+
+} // namespace kacc

@@ -49,6 +49,27 @@ public:
   explicit DeadlockError(const std::string& what) : Error(what) {}
 };
 
+/// A blocking wait exceeded its Deadline. Replaces the old behaviour of
+/// napping forever in spin_until: a stuck peer now surfaces as a precise,
+/// catchable error instead of a hung process.
+class TimeoutError : public Error {
+public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// A peer rank died (crashed, was killed, or exited mid-collective).
+/// Carries the failed rank id so survivors can report exactly who is gone.
+class PeerDiedError : public Error {
+public:
+  PeerDiedError(const std::string& what, int failed_rank)
+      : Error(what), failed_rank_(failed_rank) {}
+
+  [[nodiscard]] int failed_rank() const noexcept { return failed_rank_; }
+
+private:
+  int failed_rank_;
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failed(const char* expr, const char* file,
                                      unsigned line, const std::string& msg);

@@ -1,0 +1,138 @@
+#include "common/fault.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace kacc {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& field, const std::string& value) {
+  if (value.empty()) {
+    throw InvalidArgument("KACC_FAULT: empty value for '" + field + "'");
+  }
+  for (char c : value) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      throw InvalidArgument("KACC_FAULT: non-numeric value '" + value +
+                            "' for '" + field + "'");
+    }
+  }
+  return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+int errno_from_name(const std::string& name) {
+  if (!name.empty() &&
+      std::isdigit(static_cast<unsigned char>(name[0])) != 0) {
+    return static_cast<int>(parse_u64("errno", name));
+  }
+  if (name == "EPERM") return EPERM;
+  if (name == "ESRCH") return ESRCH;
+  if (name == "EINTR") return EINTR;
+  if (name == "EIO") return EIO;
+  if (name == "EAGAIN") return EAGAIN;
+  if (name == "ENOMEM") return ENOMEM;
+  if (name == "EACCES") return EACCES;
+  if (name == "EFAULT") return EFAULT;
+  if (name == "EINVAL") return EINVAL;
+  throw InvalidArgument("KACC_FAULT: unknown errno name '" + name + "'");
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) {
+    return plan;
+  }
+  for (const std::string& rule_text : split(spec, ';')) {
+    if (rule_text.empty()) {
+      continue;
+    }
+    FaultRule rule;
+    bool have_rank = false;
+    bool have_op = false;
+    bool have_effect = false;
+    for (const std::string& field : split(rule_text, ',')) {
+      const std::size_t colon = field.find(':');
+      if (colon == std::string::npos) {
+        throw InvalidArgument("KACC_FAULT: field without ':' in '" +
+                              rule_text + "'");
+      }
+      const std::string key = field.substr(0, colon);
+      const std::string value = field.substr(colon + 1);
+      if (key == "rank") {
+        rule.rank = static_cast<int>(parse_u64(key, value));
+        have_rank = true;
+      } else if (key == "op") {
+        rule.op = parse_u64(key, value);
+        have_op = true;
+      } else if (key == "errno") {
+        rule.action = FaultRule::Action::kErrno;
+        rule.err = errno_from_name(value);
+        have_effect = true;
+      } else if (key == "action") {
+        if (value != "exit") {
+          throw InvalidArgument("KACC_FAULT: unknown action '" + value + "'");
+        }
+        rule.action = FaultRule::Action::kExit;
+        have_effect = true;
+      } else if (key == "short") {
+        rule.action = FaultRule::Action::kShort;
+        rule.cap = static_cast<std::size_t>(parse_u64(key, value));
+        if (rule.cap == 0) {
+          throw InvalidArgument("KACC_FAULT: short cap must be > 0");
+        }
+        have_effect = true;
+      } else {
+        throw InvalidArgument("KACC_FAULT: unknown field '" + key + "'");
+      }
+    }
+    if (!have_rank || !have_op || !have_effect) {
+      throw InvalidArgument(
+          "KACC_FAULT: rule needs rank:, op:, and one of errno:/action:/short: "
+          "in '" + rule_text + "'");
+    }
+    if (rule.op == 0) {
+      throw InvalidArgument("KACC_FAULT: op is 1-based, got 0");
+    }
+    plan.rules_.push_back(rule);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("KACC_FAULT");
+  return spec != nullptr ? parse(spec) : FaultPlan{};
+}
+
+const FaultRule* FaultPlan::match(int rank, std::uint64_t op) const {
+  for (const FaultRule& rule : rules_) {
+    if (rule.rank != rank) {
+      continue;
+    }
+    if (rule.action == FaultRule::Action::kShort ? op >= rule.op
+                                                 : op == rule.op) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+} // namespace kacc

@@ -1,0 +1,60 @@
+// Deterministic fault injection for the native runtime, driven by the
+// KACC_FAULT environment variable so any test or reproduction run can
+// trigger a precise failure without a real crash.
+//
+// Syntax (rules separated by ';', fields by ','):
+//   KACC_FAULT=rank:3,op:5,errno:EPERM     -- rank 3's 5th CMA op fails EPERM
+//   KACC_FAULT=rank:1,op:2,action:exit     -- rank 1 calls _exit on its 2nd op
+//   KACC_FAULT=rank:0,op:1,short:100       -- 1st op transfers at most 100 B
+//                                             per syscall (partial-resume path)
+//
+// `op` counts CMA data-plane operations (cma_read/cma_write) per rank,
+// 1-based. A rule fires exactly once (errno/exit) or from its op onward
+// (short). Parsing is strict: malformed specs throw InvalidArgument so a
+// typo'd injection never silently becomes a clean run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kacc {
+
+struct FaultRule {
+  enum class Action { kErrno, kExit, kShort };
+  int rank = -1;           ///< rank the rule applies to
+  std::uint64_t op = 0;    ///< 1-based CMA op index that triggers it
+  Action action = Action::kErrno;
+  int err = 0;             ///< errno value for kErrno
+  std::size_t cap = 0;     ///< per-syscall byte cap for kShort
+};
+
+/// Per-process fault plan; cheap to copy, queried on every CMA op.
+class FaultPlan {
+public:
+  FaultPlan() = default;
+
+  /// Parses the KACC_FAULT syntax. Empty string -> empty plan.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Reads KACC_FAULT from the environment (empty plan when unset).
+  static FaultPlan from_env();
+
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+
+  /// Returns the rule firing for (rank, 1-based op index), or nullptr.
+  /// kErrno/kExit rules match exactly their op; kShort rules match every
+  /// op >= theirs (a short-transfer regime, not a single event).
+  [[nodiscard]] const FaultRule* match(int rank, std::uint64_t op) const;
+
+  [[nodiscard]] const std::vector<FaultRule>& rules() const { return rules_; }
+
+private:
+  std::vector<FaultRule> rules_;
+};
+
+/// Maps a symbolic errno name ("EPERM") or decimal string to its value.
+/// Throws InvalidArgument for unknown names.
+int errno_from_name(const std::string& name);
+
+} // namespace kacc

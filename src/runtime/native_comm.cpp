@@ -1,26 +1,155 @@
 #include "runtime/native_comm.h"
 
+#include <unistd.h>
+
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "cma/endpoint.h"
 #include "common/error.h"
 
 namespace kacc {
+namespace {
+
+double deadline_ms_from_env(double fallback) {
+  const char* s = std::getenv("KACC_DEADLINE_MS");
+  if (s == nullptr || *s == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    throw InvalidArgument(std::string("bad KACC_DEADLINE_MS: ") + s);
+  }
+  return v;
+}
+
+} // namespace
 
 NativeComm::NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank,
-                       int nranks)
+                       int nranks, NativeCommConfig cfg)
     : arena_(&arena), spec_(std::move(spec)), rank_(rank), nranks_(nranks),
       barrier_impl_(arena, nranks), ctrl_(arena, rank, nranks),
       signals_(arena, rank, nranks), pipes_(arena, rank, nranks),
       bcast_pipe_(arena, rank, nranks),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(std::chrono::steady_clock::now()), cfg_(cfg),
+      fault_plan_(FaultPlan::from_env()) {
   KACC_CHECK_MSG(rank >= 0 && rank < nranks, "NativeComm rank out of range");
+  cfg_.op_deadline_ms = deadline_ms_from_env(cfg_.op_deadline_ms);
   arena.register_rank(rank);
-  arena.wait_all_registered();
+  arena.wait_all_registered(wait_ctx("arena registration"));
   pids_.reserve(static_cast<std::size_t>(nranks));
   for (int q = 0; q < nranks; ++q) {
-    pids_.push_back(arena.pid_of(q));
+    pids_.push_back(arena.pid_of(q, wait_ctx("arena pid exchange")));
   }
+}
+
+shm::WaitContext NativeComm::wait_ctx(const char* what) {
+  shm::WaitContext ctx;
+  ctx.deadline = cfg_.op_deadline_ms > 0
+                     ? Deadline::after_ms(cfg_.op_deadline_ms)
+                     : Deadline::never();
+  ctx.hook = this;
+  ctx.what = what;
+  return ctx;
+}
+
+void NativeComm::poll() {
+  arena_->heartbeat(rank_);
+  const int dead = arena_->first_dead_rank();
+  if (dead >= 0 && dead != rank_) {
+    throw PeerDiedError("rank " + std::to_string(rank_) +
+                            " observed death of rank " + std::to_string(dead),
+                        dead);
+  }
+  service_fallback_requests();
+}
+
+void NativeComm::service_fallback_requests() {
+  if (in_service_) {
+    return; // the servicing pipe ops spin through this very hook
+  }
+  in_service_ = true;
+  try {
+    for (int q = 0; q < nranks_; ++q) {
+      if (q == rank_) {
+        continue;
+      }
+      shm::CmaServiceSlot* slot = arena_->cma_service_slot(q, rank_);
+      const std::uint64_t req = slot->req.load(std::memory_order_acquire);
+      const std::uint64_t ack = slot->ack.load(std::memory_order_relaxed);
+      if (req == ack) {
+        continue;
+      }
+      // The acquire on req makes op/addr/bytes (written before the release
+      // store of req) visible.
+      void* owned = reinterpret_cast<void*>(slot->addr);
+      const std::size_t bytes = slot->bytes;
+      if (slot->op == 0) {
+        // Peer wanted to CMA-read our memory: send it the bytes instead.
+        pipes_.send(q, owned, bytes, wait_ctx("cma fallback serve (read)"));
+      } else {
+        // Peer wanted to CMA-write into us: receive into our own memory.
+        pipes_.recv(q, owned, bytes, wait_ctx("cma fallback serve (write)"));
+      }
+      slot->ack.store(ack + 1, std::memory_order_release);
+    }
+  } catch (...) {
+    in_service_ = false;
+    throw;
+  }
+  in_service_ = false;
+}
+
+void NativeComm::handle_cma_error(const SyscallError& e, int peer) {
+  switch (cma::classify_errno(e.sys_errno())) {
+    case cma::ErrnoClass::kPermission:
+      // Kernel policy revoked CMA (yama ptrace_scope, seccomp). Sticky:
+      // every later data-plane op goes through the two-copy path.
+      cma_disabled_ = true;
+      return;
+    case cma::ErrnoClass::kPeerGone:
+      throw PeerDiedError("rank " + std::to_string(rank_) +
+                              ": CMA target rank " + std::to_string(peer) +
+                              " is gone (" + e.what() + ")",
+                          peer);
+    case cma::ErrnoClass::kRetryable: // endpoint retries these internally
+    case cma::ErrnoClass::kFatal:
+      throw e;
+  }
+  throw e; // unreachable
+}
+
+void NativeComm::fallback_read(int src, std::uint64_t remote_addr, void* local,
+                               std::size_t bytes) {
+  ++fallback_ops_;
+  shm::CmaServiceSlot* slot = arena_->cma_service_slot(rank_, src);
+  slot->op = 0;
+  slot->addr = remote_addr;
+  slot->bytes = bytes;
+  const std::uint64_t id = slot->req.load(std::memory_order_relaxed) + 1;
+  slot->req.store(id, std::memory_order_release);
+  pipes_.recv(src, local, bytes, wait_ctx("cma fallback read"));
+  // Wait for the ack before reusing the slot fields for the next request.
+  shm::spin_until(
+      [&] { return slot->ack.load(std::memory_order_acquire) >= id; },
+      wait_ctx("cma fallback read ack"));
+}
+
+void NativeComm::fallback_write(int dst, std::uint64_t remote_addr,
+                                const void* local, std::size_t bytes) {
+  ++fallback_ops_;
+  shm::CmaServiceSlot* slot = arena_->cma_service_slot(rank_, dst);
+  slot->op = 1;
+  slot->addr = remote_addr;
+  slot->bytes = bytes;
+  const std::uint64_t id = slot->req.load(std::memory_order_relaxed) + 1;
+  slot->req.store(id, std::memory_order_release);
+  pipes_.send(dst, local, bytes, wait_ctx("cma fallback write"));
+  shm::spin_until(
+      [&] { return slot->ack.load(std::memory_order_acquire) >= id; },
+      wait_ctx("cma fallback write ack"));
 }
 
 void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
@@ -30,8 +159,36 @@ void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
     std::memcpy(local, reinterpret_cast<const void*>(remote_addr), bytes);
     return;
   }
-  cma::read_from(pids_[static_cast<std::size_t>(src)], remote_addr, local,
-                 bytes);
+  ++cma_ops_;
+  std::size_t cap = 0;
+  if (const FaultRule* rule = fault_plan_.match(rank_, cma_ops_)) {
+    if (rule->action == FaultRule::Action::kExit) {
+      ::_exit(42); // simulated crash mid-collective
+    }
+    if (rule->action == FaultRule::Action::kShort) {
+      cap = rule->cap;
+    }
+    if (rule->action == FaultRule::Action::kErrno) {
+      try {
+        throw SyscallError("process_vm_readv (injected)", rule->err);
+      } catch (const SyscallError& e) {
+        handle_cma_error(e, src);
+      }
+      fallback_read(src, remote_addr, local, bytes);
+      return;
+    }
+  }
+  if (cma_disabled_) {
+    fallback_read(src, remote_addr, local, bytes);
+    return;
+  }
+  try {
+    cma::read_from(pids_[static_cast<std::size_t>(src)], remote_addr, local,
+                   bytes, cap);
+  } catch (const SyscallError& e) {
+    handle_cma_error(e, src); // throws unless degradation applies
+    fallback_read(src, remote_addr, local, bytes);
+  }
 }
 
 void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
@@ -41,8 +198,36 @@ void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
     std::memcpy(reinterpret_cast<void*>(remote_addr), local, bytes);
     return;
   }
-  cma::write_to(pids_[static_cast<std::size_t>(dst)], remote_addr, local,
-                bytes);
+  ++cma_ops_;
+  std::size_t cap = 0;
+  if (const FaultRule* rule = fault_plan_.match(rank_, cma_ops_)) {
+    if (rule->action == FaultRule::Action::kExit) {
+      ::_exit(42);
+    }
+    if (rule->action == FaultRule::Action::kShort) {
+      cap = rule->cap;
+    }
+    if (rule->action == FaultRule::Action::kErrno) {
+      try {
+        throw SyscallError("process_vm_writev (injected)", rule->err);
+      } catch (const SyscallError& e) {
+        handle_cma_error(e, dst);
+      }
+      fallback_write(dst, remote_addr, local, bytes);
+      return;
+    }
+  }
+  if (cma_disabled_) {
+    fallback_write(dst, remote_addr, local, bytes);
+    return;
+  }
+  try {
+    cma::write_to(pids_[static_cast<std::size_t>(dst)], remote_addr, local,
+                  bytes, cap);
+  } catch (const SyscallError& e) {
+    handle_cma_error(e, dst);
+    fallback_write(dst, remote_addr, local, bytes);
+  }
 }
 
 void NativeComm::local_copy(void* dst, const void* src, std::size_t bytes) {
@@ -55,35 +240,37 @@ void NativeComm::compute_charge(std::size_t bytes) {
 }
 
 void NativeComm::ctrl_bcast(void* buf, std::size_t bytes, int root) {
-  ctrl_.bcast(buf, bytes, root);
+  ctrl_.bcast(buf, bytes, root, wait_ctx("ctrl_bcast"));
 }
 
 void NativeComm::ctrl_gather(const void* send, void* recv, std::size_t bytes,
                              int root) {
-  ctrl_.gather(send, recv, bytes, root);
+  ctrl_.gather(send, recv, bytes, root, wait_ctx("ctrl_gather"));
 }
 
 void NativeComm::ctrl_allgather(const void* send, void* recv,
                                 std::size_t bytes) {
-  ctrl_.allgather(send, recv, bytes);
+  ctrl_.allgather(send, recv, bytes, wait_ctx("ctrl_allgather"));
 }
 
 void NativeComm::signal(int dst) { signals_.signal(dst); }
 
-void NativeComm::wait_signal(int src) { signals_.wait_signal(src); }
+void NativeComm::wait_signal(int src) {
+  signals_.wait_signal(src, wait_ctx("wait_signal"));
+}
 
-void NativeComm::barrier() { barrier_impl_.wait(); }
+void NativeComm::barrier() { barrier_impl_.wait(wait_ctx("barrier")); }
 
 void NativeComm::shm_send(int dst, const void* buf, std::size_t bytes) {
-  pipes_.send(dst, buf, bytes);
+  pipes_.send(dst, buf, bytes, wait_ctx("shm_send"));
 }
 
 void NativeComm::shm_recv(int src, void* buf, std::size_t bytes) {
-  pipes_.recv(src, buf, bytes);
+  pipes_.recv(src, buf, bytes, wait_ctx("shm_recv"));
 }
 
 void NativeComm::shm_bcast(void* buf, std::size_t bytes, int root) {
-  bcast_pipe_.bcast(buf, bytes, root);
+  bcast_pipe_.bcast(buf, bytes, root, wait_ctx("shm_bcast"));
 }
 
 double NativeComm::now_us() {

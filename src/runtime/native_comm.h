@@ -1,11 +1,20 @@
 // Native communicator: forked processes, real shared memory, real CMA
 // syscalls. Functional mirror of SimComm for correctness testing and
 // host-machine measurements.
+//
+// Fault tolerance: every blocking wait carries a Deadline and a progress
+// hook. The hook (a) observes peer liveness words maintained by the team
+// parent and raises PeerDiedError the moment a sibling crashes, and
+// (b) services CMA->ChunkPipe degradation requests from peers whose
+// process_vm_readv/writev stopped working (EPERM mid-run under yama,
+// seccomp). Deterministic fault injection is driven by KACC_FAULT.
 #pragma once
 
 #include <chrono>
 #include <memory>
 
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "runtime/comm.h"
 #include "shm/arena.h"
 #include "shm/barrier.h"
@@ -16,11 +25,19 @@
 
 namespace kacc {
 
-class NativeComm final : public Comm {
+/// Robustness knobs for the native runtime.
+struct NativeCommConfig {
+  /// Per blocking-wait deadline; <= 0 means wait forever (old behaviour).
+  /// Overridden by KACC_DEADLINE_MS when set.
+  double op_deadline_ms = 30'000.0;
+};
+
+class NativeComm final : public Comm, public shm::ProgressHook {
 public:
   /// Constructed inside each forked rank over the inherited arena.
   /// Registers the rank's PID and waits for the whole team.
-  NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank, int nranks);
+  NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank, int nranks,
+             NativeCommConfig cfg = {});
 
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int size() const override { return nranks_; }
@@ -48,7 +65,39 @@ public:
 
   double now_us() override;
 
+  /// Progress hook: heartbeat + dead-peer check + fallback servicing.
+  /// Invoked from every blocking shm spin; throws PeerDiedError when the
+  /// team parent marked a sibling dead.
+  void poll() override;
+
+  /// True once a permission failure permanently degraded CMA to the
+  /// two-copy path for this rank.
+  [[nodiscard]] bool cma_degraded() const { return cma_disabled_; }
+
+  /// Number of data-plane ops served through the ChunkPipe fallback
+  /// (either requested by this rank or injected mid-run).
+  [[nodiscard]] std::uint64_t fallback_count() const { return fallback_ops_; }
+
 private:
+  [[nodiscard]] shm::WaitContext wait_ctx(const char* what);
+
+  /// Decides what to do with a failed CMA syscall: returns (fall back) for
+  /// permission errors, throws PeerDiedError for a vanished peer, rethrows
+  /// everything else.
+  void handle_cma_error(const SyscallError& e, int peer);
+
+  /// Two-copy substitutes for cma_read/cma_write: post a request in the
+  /// (rank_, owner) service slot and move the bytes through ChunkPipe while
+  /// the owner services the other end from its blocking waits.
+  void fallback_read(int src, std::uint64_t remote_addr, void* local,
+                     std::size_t bytes);
+  void fallback_write(int dst, std::uint64_t remote_addr, const void* local,
+                      std::size_t bytes);
+
+  /// Serves pending peer requests against this rank's memory (called from
+  /// poll(); re-entrance guarded).
+  void service_fallback_requests();
+
   const shm::ShmArena* arena_;
   ArchSpec spec_;
   int rank_;
@@ -60,6 +109,13 @@ private:
   shm::ChunkPipe pipes_;
   shm::BcastPipe bcast_pipe_;
   std::chrono::steady_clock::time_point epoch_;
+
+  NativeCommConfig cfg_;
+  FaultPlan fault_plan_;
+  std::uint64_t cma_ops_ = 0;      ///< data-plane ops issued (1-based ids)
+  std::uint64_t fallback_ops_ = 0; ///< ops served via ChunkPipe fallback
+  bool cma_disabled_ = false;      ///< sticky CMA->shm degradation
+  bool in_service_ = false;        ///< re-entrance guard for the hook
 };
 
 } // namespace kacc

@@ -1,9 +1,11 @@
 #include "runtime/process_team.h"
 
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/error.h"
@@ -13,6 +15,15 @@
 #include "shm/arena.h"
 
 namespace kacc {
+namespace {
+
+void nap_1ms() {
+  struct timespec ts {};
+  ts.tv_nsec = 1'000'000;
+  ::nanosleep(&ts, nullptr);
+}
+
+} // namespace
 
 bool TeamResult::all_ok() const {
   if (ranks.empty()) {
@@ -39,6 +50,12 @@ std::string TeamResult::first_failure() const {
 
 TeamResult run_native_team(const ArchSpec& spec, int nranks,
                            const std::function<void(Comm&)>& body) {
+  return run_native_team(spec, nranks, body, TeamOptions{});
+}
+
+TeamResult run_native_team(const ArchSpec& spec, int nranks,
+                           const std::function<void(Comm&)>& body,
+                           const TeamOptions& opts) {
   KACC_CHECK_MSG(nranks >= 1 && nranks <= 256,
                  "run_native_team: nranks in [1, 256]");
   const shm::ArenaLayout layout =
@@ -61,9 +78,12 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
     if (pid == 0) {
       int code = 0;
       try {
-        NativeComm comm(arena, spec, rank, nranks);
+        NativeCommConfig cfg;
+        cfg.op_deadline_ms = opts.op_deadline_ms;
+        NativeComm comm(arena, spec, rank, nranks, cfg);
         body(comm);
         arena.report_result(rank, true, "");
+        arena.set_liveness(rank, shm::Liveness::kExited);
       } catch (const std::exception& e) {
         arena.report_result(rank, false, e.what());
         code = 1;
@@ -78,26 +98,89 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
 
   TeamResult result;
   result.ranks.resize(static_cast<std::size_t>(nranks));
-  for (int rank = 0; rank < nranks; ++rank) {
-    int status = 0;
-    const pid_t waited =
-        ::waitpid(children[static_cast<std::size_t>(rank)], &status, 0);
+  std::vector<bool> reaped(static_cast<std::size_t>(nranks), false);
+
+  // Records one reaped child and, on abnormal termination, marks the rank
+  // dead in the arena so blocked survivors raise PeerDiedError promptly.
+  const auto record = [&](int rank, int status) {
     TeamRankResult& rr = result.ranks[static_cast<std::size_t>(rank)];
-    if (waited < 0) {
-      rr.ok = false;
-      rr.message = std::string("waitpid: ") + std::strerror(errno);
-      continue;
-    }
     if (WIFEXITED(status)) {
       rr.exit_code = WEXITSTATUS(status);
     } else if (WIFSIGNALED(status)) {
       rr.exit_code = 128 + WTERMSIG(status);
-      rr.message = std::string("killed by signal ") +
-                   std::to_string(WTERMSIG(status));
+      rr.message =
+          std::string("killed by signal ") + std::to_string(WTERMSIG(status));
     }
-    rr.ok = arena.result_ok(rank) && rr.exit_code == 0;
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!clean) {
+      arena.set_liveness(rank, shm::Liveness::kDead);
+    }
+    rr.ok = clean && arena.result_ok(rank);
     if (!rr.ok && rr.message.empty()) {
-      rr.message = arena.result_message(rank);
+      const char* reported = arena.result_message(rank);
+      rr.message = (reported != nullptr && reported[0] != '\0')
+                       ? reported
+                       : "exited with code " + std::to_string(rr.exit_code) +
+                             " before reporting a result";
+    }
+    reaped[static_cast<std::size_t>(rank)] = true;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  int live = nranks;
+  bool killed_on_timeout = false;
+  while (live > 0) {
+    bool progressed = false;
+    for (int rank = 0; rank < nranks; ++rank) {
+      if (reaped[static_cast<std::size_t>(rank)]) {
+        continue;
+      }
+      int status = 0;
+      const pid_t w = ::waitpid(children[static_cast<std::size_t>(rank)],
+                                &status, WNOHANG);
+      if (w == 0) {
+        continue; // still running
+      }
+      progressed = true;
+      --live;
+      if (w < 0) {
+        TeamRankResult& rr = result.ranks[static_cast<std::size_t>(rank)];
+        rr.ok = false;
+        rr.message = std::string("waitpid: ") + std::strerror(errno);
+        reaped[static_cast<std::size_t>(rank)] = true;
+        arena.set_liveness(rank, shm::Liveness::kDead);
+        continue;
+      }
+      record(rank, status);
+    }
+    if (live == 0) {
+      break;
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (opts.team_timeout_ms > 0 && elapsed_ms > opts.team_timeout_ms &&
+        !killed_on_timeout) {
+      killed_on_timeout = true;
+      KACC_LOG_WARN("team timeout after " << elapsed_ms
+                                          << " ms; killing stragglers");
+      for (int rank = 0; rank < nranks; ++rank) {
+        if (!reaped[static_cast<std::size_t>(rank)]) {
+          ::kill(children[static_cast<std::size_t>(rank)], SIGKILL);
+        }
+      }
+    }
+    if (!progressed) {
+      nap_1ms();
+    }
+  }
+  if (killed_on_timeout) {
+    for (int rank = 0; rank < nranks; ++rank) {
+      TeamRankResult& rr = result.ranks[static_cast<std::size_t>(rank)];
+      if (!rr.ok && rr.message.find("killed by signal 9") == 0) {
+        rr.message += " (team timeout)";
+      }
     }
   }
   return result;

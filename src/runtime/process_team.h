@@ -2,6 +2,11 @@
 // shared arena, forks one child per rank, and each child runs the body over
 // a NativeComm. Children report pass/fail plus a message through the arena;
 // exceptions never cross the fork boundary.
+//
+// The parent reaps with WNOHANG polling instead of blocking waitpid: the
+// moment any child terminates abnormally it is marked dead in the arena, so
+// surviving ranks blocked on it raise PeerDiedError instead of hanging. A
+// team-level timeout SIGKILLs stragglers as a last resort.
 #pragma once
 
 #include <functional>
@@ -27,10 +32,22 @@ struct TeamResult {
   [[nodiscard]] std::string first_failure() const;
 };
 
+/// Robustness knobs for a native team run.
+struct TeamOptions {
+  /// Per blocking-wait deadline inside each rank; <= 0 waits forever.
+  double op_deadline_ms = 30'000.0;
+  /// Wall-clock budget for the whole team; the parent SIGKILLs leftover
+  /// children once it expires. <= 0 disables the backstop.
+  double team_timeout_ms = 120'000.0;
+};
+
 /// Runs `body(comm)` in `nranks` forked processes. Safe to call from tests;
 /// gtest assertions must not be used inside `body` (throw instead — the
 /// harness converts exceptions into failed rank results).
 TeamResult run_native_team(const ArchSpec& spec, int nranks,
                            const std::function<void(Comm&)>& body);
+TeamResult run_native_team(const ArchSpec& spec, int nranks,
+                           const std::function<void(Comm&)>& body,
+                           const TeamOptions& opts);
 
 } // namespace kacc

@@ -229,4 +229,34 @@ SimRunResult run_sim(const ArchSpec& spec, int nranks,
       spec, nranks, [&](SimComm& comm) { body(comm); }, move_data);
 }
 
+bool SimFaultResult::any(sim::RankOutcome::Kind kind) const {
+  for (const sim::RankOutcome& out : outcomes) {
+    if (out.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimFaultResult run_sim_fault(const ArchSpec& spec, int nranks,
+                             const sim::FaultInjector& faults,
+                             const std::function<void(Comm&)>& body,
+                             bool move_data) {
+  sim::SimEngine engine(spec, nranks);
+  engine.set_faults(faults);
+  SimTeamState team;
+  team.move_data = move_data;
+  team.ctrl_send.resize(static_cast<std::size_t>(nranks), nullptr);
+  team.ctrl_recv.resize(static_cast<std::size_t>(nranks), nullptr);
+  sim::WorldResult wr =
+      sim::run_world_outcomes(engine, [&](sim::SimEngine& eng, int rank) {
+        SimComm comm(eng, team, rank);
+        body(comm);
+      });
+  SimFaultResult result;
+  result.outcomes = std::move(wr.outcomes);
+  result.makespan_us = wr.makespan_us;
+  return result;
+}
+
 } // namespace kacc

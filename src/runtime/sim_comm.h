@@ -85,4 +85,22 @@ SimRunResult run_sim_ex(const ArchSpec& spec, int nranks,
                         const std::function<void(SimComm&)>& body,
                         bool move_data = true);
 
+/// Result of a simulated run under fault injection: per-rank fates plus
+/// the virtual makespan reached before the run unwound.
+struct SimFaultResult {
+  std::vector<sim::RankOutcome> outcomes;
+  double makespan_us = 0.0;
+
+  /// True iff any rank ended with the given outcome kind.
+  [[nodiscard]] bool any(sim::RankOutcome::Kind kind) const;
+};
+
+/// Runs `body(comm)` for every simulated rank under the given fault plan.
+/// Never throws for rank-level failures: inspect `outcomes`. Deterministic
+/// — the same plan yields the same fates and messages on every run.
+SimFaultResult run_sim_fault(const ArchSpec& spec, int nranks,
+                             const sim::FaultInjector& faults,
+                             const std::function<void(Comm&)>& body,
+                             bool move_data = true);
+
 } // namespace kacc

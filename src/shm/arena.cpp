@@ -61,6 +61,17 @@ std::size_t results_region_bytes(int nranks) {
   return static_cast<std::size_t>(nranks) * kCacheLine * 5; // flag + 240B msg
 }
 
+// Liveness region: per rank, one cache line (state word + heartbeat epoch).
+std::size_t liveness_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) * kCacheLine;
+}
+
+// CMA service region: p*p request/ack slot pairs.
+std::size_t cmaserv_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks) *
+         sizeof(CmaServiceSlot);
+}
+
 std::atomic<std::uint32_t>* reg_counter(std::byte* base,
                                         const ArenaLayout& l) {
   return reinterpret_cast<std::atomic<std::uint32_t>*>(
@@ -102,6 +113,10 @@ ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
   off = align_up(off + bcast_region_bytes(pipe_chunk_bytes), 4096);
   l.results_off = off;
   off = align_up(off + results_region_bytes(nranks), 4096);
+  l.liveness_off = off;
+  off = align_up(off + liveness_region_bytes(nranks), 4096);
+  l.cmaserv_off = off;
+  off = align_up(off + cmaserv_region_bytes(nranks), 4096);
   l.total_bytes = off;
   return l;
 }
@@ -145,6 +160,7 @@ ShmArena& ShmArena::operator=(ShmArena&& other) noexcept {
 void ShmArena::register_rank(int rank) const {
   KACC_CHECK(valid());
   KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  set_liveness(rank, Liveness::kAlive);
   pid_slot(base_, layout_, rank)
       ->store(static_cast<std::int64_t>(::getpid()),
               std::memory_order_release);
@@ -152,18 +168,88 @@ void ShmArena::register_rank(int rank) const {
 }
 
 void ShmArena::wait_all_registered() const {
+  wait_all_registered(WaitContext{});
+}
+
+void ShmArena::wait_all_registered(const WaitContext& ctx) const {
   auto* counter = reg_counter(base_, layout_);
   const auto want = static_cast<std::uint32_t>(layout_.nranks);
-  spin_until([&] {
-    return counter->load(std::memory_order_acquire) >= want;
-  });
+  WaitContext named = ctx;
+  named.what = "arena registration";
+  spin_until(
+      [&] { return counter->load(std::memory_order_acquire) >= want; },
+      named);
 }
 
 pid_t ShmArena::pid_of(int rank) const {
+  return pid_of(rank, WaitContext{});
+}
+
+pid_t ShmArena::pid_of(int rank, const WaitContext& ctx) const {
   KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
   auto* slot = pid_slot(base_, layout_, rank);
-  spin_until([&] { return slot->load(std::memory_order_acquire) >= 0; });
+  WaitContext named = ctx;
+  named.what = "arena pid exchange";
+  spin_until([&] { return slot->load(std::memory_order_acquire) >= 0; },
+             named);
   return static_cast<pid_t>(slot->load(std::memory_order_acquire));
+}
+
+namespace {
+
+std::byte* liveness_line(std::byte* base, const ArenaLayout& l, int rank) {
+  return base + l.liveness_off + static_cast<std::size_t>(rank) * kCacheLine;
+}
+
+} // namespace
+
+void ShmArena::set_liveness(int rank, Liveness state) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  reinterpret_cast<std::atomic<std::int32_t>*>(
+      liveness_line(base_, layout_, rank))
+      ->store(static_cast<std::int32_t>(state), std::memory_order_release);
+}
+
+Liveness ShmArena::liveness(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  return static_cast<Liveness>(
+      reinterpret_cast<const std::atomic<std::int32_t>*>(
+          liveness_line(base_, layout_, rank))
+          ->load(std::memory_order_acquire));
+}
+
+int ShmArena::first_dead_rank() const {
+  for (int r = 0; r < layout_.nranks; ++r) {
+    if (liveness(r) == Liveness::kDead) {
+      return r;
+    }
+  }
+  return -1;
+}
+
+void ShmArena::heartbeat(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  reinterpret_cast<std::atomic<std::uint64_t>*>(
+      liveness_line(base_, layout_, rank) + 8)
+      ->fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t ShmArena::epoch_of(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  return reinterpret_cast<const std::atomic<std::uint64_t>*>(
+             liveness_line(base_, layout_, rank) + 8)
+      ->load(std::memory_order_acquire);
+}
+
+CmaServiceSlot* ShmArena::cma_service_slot(int requester, int owner) const {
+  KACC_CHECK_MSG(requester >= 0 && requester < layout_.nranks &&
+                     owner >= 0 && owner < layout_.nranks,
+                 "cma service slot rank out of range");
+  const std::size_t idx = static_cast<std::size_t>(requester) *
+                              static_cast<std::size_t>(layout_.nranks) +
+                          static_cast<std::size_t>(owner);
+  return reinterpret_cast<CmaServiceSlot*>(base_ + layout_.cmaserv_off +
+                                           idx * sizeof(CmaServiceSlot));
 }
 
 void ShmArena::report_result(int rank, bool ok, const char* message) const {

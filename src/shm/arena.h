@@ -4,9 +4,12 @@
 // one arena with a layout computed from the rank count.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <sys/types.h>
+
+#include "shm/spin.h"
 
 namespace kacc::shm {
 
@@ -23,12 +26,42 @@ struct ArenaLayout {
   std::size_t pipes_off = 0;
   std::size_t bcast_off = 0;
   std::size_t results_off = 0;
+  std::size_t liveness_off = 0;
+  std::size_t cmaserv_off = 0;
   std::size_t total_bytes = 0;
 
   /// Computes a layout for `nranks` ranks with the given pipe geometry.
   static ArenaLayout compute(int nranks, std::size_t pipe_chunk_bytes,
                              std::size_t pipe_slots);
 };
+
+/// Per-rank liveness word. Written by the rank itself (alive / exited) and
+/// by the team parent (dead, after an abnormal waitpid reap). Surviving
+/// ranks read these from their spin-wait progress hooks so a crashed peer
+/// surfaces as PeerDiedError within one polling interval.
+enum class Liveness : std::int32_t {
+  kUnregistered = 0,
+  kAlive = 1,
+  kExited = 2, ///< clean exit after reporting a result
+  kDead = 3,   ///< abnormal termination observed by the parent
+};
+
+/// One request slot of the CMA->ChunkPipe degradation protocol, per
+/// (requester, owner) pair. When a requester's process_vm_readv/writev is
+/// denied (EPERM mid-run, yama, seccomp), it posts the op here; the owner
+/// services it from its own blocking waits by moving the bytes through the
+/// two-copy ChunkPipe instead. req/ack are monotonic so slots are reusable.
+struct CmaServiceSlot {
+  std::atomic<std::uint64_t> req; ///< requests posted by the requester
+  std::uint32_t op;               ///< 0 = read (owner sends), 1 = write
+  std::uint32_t pad0;
+  std::uint64_t addr;  ///< target address in the owner's address space
+  std::uint64_t bytes; ///< transfer length
+  char pad1[64 - 4 * sizeof(std::uint64_t)];
+  std::atomic<std::uint64_t> ack; ///< requests fully serviced by the owner
+  char pad2[64 - sizeof(std::uint64_t)];
+};
+static_assert(sizeof(CmaServiceSlot) == 128);
 
 /// Arena header: rank registration (PID exchange happens here — the paper's
 /// "each process exchanges their PID during initialization").
@@ -55,15 +88,30 @@ public:
   [[nodiscard]] const ArenaLayout& layout() const { return layout_; }
   [[nodiscard]] bool valid() const { return base_ != nullptr; }
 
-  /// Registers the calling process as `rank` (stores its PID). Called by
-  /// each child after fork.
+  /// Registers the calling process as `rank` (stores its PID and marks it
+  /// alive). Called by each child after fork.
   void register_rank(int rank) const;
 
   /// Blocks until all ranks registered, then returns the PID of `rank`.
   [[nodiscard]] pid_t pid_of(int rank) const;
+  [[nodiscard]] pid_t pid_of(int rank, const WaitContext& ctx) const;
 
   /// Blocks until every rank has registered.
   void wait_all_registered() const;
+  void wait_all_registered(const WaitContext& ctx) const;
+
+  // --- per-rank liveness (dead-peer detection) ---
+  void set_liveness(int rank, Liveness state) const;
+  [[nodiscard]] Liveness liveness(int rank) const;
+  /// First rank marked kDead, or -1 when everyone is live/clean.
+  [[nodiscard]] int first_dead_rank() const;
+  /// Bumps the rank's heartbeat epoch (called from progress hooks).
+  void heartbeat(int rank) const;
+  [[nodiscard]] std::uint64_t epoch_of(int rank) const;
+
+  /// The (requester, owner) slot of the CMA degradation protocol.
+  [[nodiscard]] CmaServiceSlot* cma_service_slot(int requester,
+                                                 int owner) const;
 
   // --- per-rank result reporting (used by the team harness) ---
   static constexpr std::size_t kResultMsgBytes = 240;

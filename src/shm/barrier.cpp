@@ -16,7 +16,9 @@ ShmBarrier::ShmBarrier(const ShmArena& arena, int nranks) : nranks_(nranks) {
   sense_ = region + 64;
 }
 
-void ShmBarrier::wait() {
+void ShmBarrier::wait() { wait(WaitContext{}); }
+
+void ShmBarrier::wait(const WaitContext& ctx) {
   if (nranks_ == 1) {
     return;
   }
@@ -28,9 +30,11 @@ void ShmBarrier::wait() {
     count->store(0, std::memory_order_relaxed);
     sense->store(my_sense, std::memory_order_release);
   } else {
-    spin_until([&] {
-      return sense->load(std::memory_order_acquire) == my_sense;
-    });
+    WaitContext named = ctx;
+    named.what = "barrier";
+    spin_until(
+        [&] { return sense->load(std::memory_order_acquire) == my_sense; },
+        named);
   }
 }
 

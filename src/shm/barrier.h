@@ -16,6 +16,10 @@ public:
   /// Waits until all nranks processes arrive.
   void wait();
 
+  /// Deadline-aware wait: throws TimeoutError / whatever ctx.hook throws
+  /// (PeerDiedError) instead of spinning forever on a missing peer.
+  void wait(const WaitContext& ctx);
+
 private:
   void* count_ = nullptr; // std::atomic<int>*
   void* sense_ = nullptr; // std::atomic<int>*

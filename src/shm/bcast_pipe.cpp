@@ -51,11 +51,13 @@ BcastPipe::Slot* BcastPipe::slot(int parity) const {
                                      slot_stride);
 }
 
-void BcastPipe::bcast(void* buf, std::size_t bytes, int root) {
+void BcastPipe::bcast(void* buf, std::size_t bytes, int root,
+                      const WaitContext& ctx) {
   KACC_CHECK_MSG(root >= 0 && root < nranks_, "bcast pipe root");
   if (nranks_ == 1) {
     return;
   }
+  WaitContext named = ctx;
   const std::uint64_t chunks =
       bytes == 0 ? 1 : ceil_div(bytes, chunk_bytes_);
   auto* hdr = header();
@@ -73,9 +75,12 @@ void BcastPipe::bcast(void* buf, std::size_t bytes, int root) {
       // Reuse this parity only after every reader acked its previous use.
       const std::uint64_t prior = rounds_with_parity(round, parity) - 1;
       auto* acks = &s->acks;
-      spin_until([&] {
-        return acks->load(std::memory_order_acquire) >= prior * readers;
-      });
+      named.what = "shm bcast (slot reuse)";
+      spin_until(
+          [&] {
+            return acks->load(std::memory_order_acquire) >= prior * readers;
+          },
+          named);
       if (len > 0) {
         std::memcpy(reinterpret_cast<std::byte*>(s) + kCacheLine,
                     static_cast<const std::byte*>(buf) + off, len);
@@ -83,9 +88,10 @@ void BcastPipe::bcast(void* buf, std::size_t bytes, int root) {
       hdr->seq.store(round, std::memory_order_release);
     } else {
       auto* seq = &hdr->seq;
-      spin_until([&] {
-        return seq->load(std::memory_order_acquire) >= round;
-      });
+      named.what = "shm bcast (waiting root)";
+      spin_until(
+          [&] { return seq->load(std::memory_order_acquire) >= round; },
+          named);
       if (len > 0) {
         std::memcpy(static_cast<std::byte*>(buf) + off,
                     reinterpret_cast<const std::byte*>(s) + kCacheLine, len);

@@ -18,7 +18,8 @@ public:
 
   /// Collective: root's `bytes` from `buf` land in every rank's `buf`.
   /// All ranks must call with matching bytes/root (standard MPI ordering).
-  void bcast(void* buf, std::size_t bytes, int root);
+  void bcast(void* buf, std::size_t bytes, int root,
+             const WaitContext& ctx = {});
 
 private:
   struct Header;

@@ -44,13 +44,16 @@ ChunkPipe::Ring* ChunkPipe::ring(int src, int dst) const {
   return reinterpret_cast<Ring*>(region_ + idx * ring_stride_);
 }
 
-void ChunkPipe::send(int dst, const void* buf, std::size_t bytes) {
+void ChunkPipe::send(int dst, const void* buf, std::size_t bytes,
+                     const WaitContext& ctx) {
   KACC_CHECK_MSG(dst >= 0 && dst < nranks_, "pipe dst out of range");
   KACC_CHECK_MSG(dst != rank_, "pipe send to self");
   Ring* r = ring(rank_, dst);
   std::byte* slot_base = reinterpret_cast<std::byte*>(r) + kCacheLine;
   const std::size_t slot_stride =
       kCacheLine + align_up(chunk_bytes_, kCacheLine);
+  WaitContext named = ctx;
+  named.what = "pipe send (ring full)";
 
   const char* src_bytes = static_cast<const char*>(buf);
   std::size_t remaining = bytes;
@@ -59,9 +62,11 @@ void ChunkPipe::send(int dst, const void* buf, std::size_t bytes) {
   do {
     const std::size_t len = remaining < chunk_bytes_ ? remaining : chunk_bytes_;
     const std::uint64_t seq = r->tail.load(std::memory_order_relaxed);
-    spin_until([&] {
-      return seq - r->head.load(std::memory_order_acquire) < slots_;
-    });
+    spin_until(
+        [&] {
+          return seq - r->head.load(std::memory_order_acquire) < slots_;
+        },
+        named);
     std::byte* slot = slot_base + (seq % slots_) * slot_stride;
     *reinterpret_cast<std::uint64_t*>(slot + 8) = len;
     if (len > 0) {
@@ -73,13 +78,16 @@ void ChunkPipe::send(int dst, const void* buf, std::size_t bytes) {
   } while (remaining > 0);
 }
 
-void ChunkPipe::recv(int src, void* buf, std::size_t bytes) {
+void ChunkPipe::recv(int src, void* buf, std::size_t bytes,
+                     const WaitContext& ctx) {
   KACC_CHECK_MSG(src >= 0 && src < nranks_, "pipe src out of range");
   KACC_CHECK_MSG(src != rank_, "pipe recv from self");
   Ring* r = ring(src, rank_);
   std::byte* slot_base = reinterpret_cast<std::byte*>(r) + kCacheLine;
   const std::size_t slot_stride =
       kCacheLine + align_up(chunk_bytes_, kCacheLine);
+  WaitContext named = ctx;
+  named.what = "pipe recv";
 
   char* dst_bytes = static_cast<char*>(buf);
   std::size_t received = 0;
@@ -87,9 +95,9 @@ void ChunkPipe::recv(int src, void* buf, std::size_t bytes) {
   while (first || received < bytes) {
     first = false;
     const std::uint64_t seq = r->head.load(std::memory_order_relaxed);
-    spin_until([&] {
-      return r->tail.load(std::memory_order_acquire) > seq;
-    });
+    spin_until(
+        [&] { return r->tail.load(std::memory_order_acquire) > seq; },
+        named);
     std::byte* slot = slot_base + (seq % slots_) * slot_stride;
     const std::uint64_t len = *reinterpret_cast<std::uint64_t*>(slot + 8);
     KACC_CHECK_MSG(received + len <= bytes,

@@ -19,11 +19,15 @@ public:
   ChunkPipe(const ShmArena& arena, int rank, int nranks);
 
   /// Copies `bytes` to the (rank_ -> dst) ring, chunk by chunk. Blocks when
-  /// the ring is full (receiver not keeping up).
-  void send(int dst, const void* buf, std::size_t bytes);
+  /// the ring is full (receiver not keeping up). The WaitContext bounds the
+  /// wait for ring space per chunk — forward progress (a drained chunk)
+  /// restarts the clock, so large messages are not penalized.
+  void send(int dst, const void* buf, std::size_t bytes,
+            const WaitContext& ctx = {});
 
   /// Receives exactly `bytes` from the (src -> rank_) ring.
-  void recv(int src, void* buf, std::size_t bytes);
+  void recv(int src, void* buf, std::size_t bytes,
+            const WaitContext& ctx = {});
 
   [[nodiscard]] std::size_t chunk_bytes() const { return chunk_bytes_; }
 

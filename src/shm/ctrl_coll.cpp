@@ -43,7 +43,7 @@ std::uint64_t* CtrlBoard::done_counter(int rank) const {
       region_ + static_cast<std::size_t>(rank) * kPerRank + 2 * kParityBytes);
 }
 
-void CtrlBoard::begin_round() {
+void CtrlBoard::begin_round(const WaitContext& ctx) {
   ++round_; // round_ is now the id of the in-flight round (1-based)
   if (round_ <= 2) {
     return;
@@ -51,9 +51,12 @@ void CtrlBoard::begin_round() {
   // Slot parity is reused every 2 rounds: wait until everyone finished the
   // round that last used this parity.
   const std::uint64_t need = round_ - 2;
+  WaitContext named = ctx;
+  named.what = "ctrl round reuse";
   for (int q = 0; q < nranks_; ++q) {
     auto* done = reinterpret_cast<std::atomic<std::uint64_t>*>(done_counter(q));
-    spin_until([&] { return done->load(std::memory_order_acquire) >= need; });
+    spin_until([&] { return done->load(std::memory_order_acquire) >= need; },
+               named);
   }
 }
 
@@ -63,11 +66,14 @@ void CtrlBoard::publish(const void* data, std::size_t bytes) {
   s->seq.store(round_, std::memory_order_release);
 }
 
-void CtrlBoard::read_slot(int src, void* out, std::size_t bytes) {
+void CtrlBoard::read_slot(int src, void* out, std::size_t bytes,
+                          const WaitContext& ctx) {
   Slot* s = slot(src, static_cast<int>(round_ % 2));
-  spin_until([&] {
-    return s->seq.load(std::memory_order_acquire) >= round_;
-  });
+  WaitContext named = ctx;
+  named.what = "ctrl slot read";
+  spin_until(
+      [&] { return s->seq.load(std::memory_order_acquire) >= round_; },
+      named);
   std::memcpy(out, s->payload, bytes);
 }
 
@@ -76,44 +82,46 @@ void CtrlBoard::end_round() {
       ->store(round_, std::memory_order_release);
 }
 
-void CtrlBoard::bcast(void* buf, std::size_t bytes, int root) {
+void CtrlBoard::bcast(void* buf, std::size_t bytes, int root,
+                      const WaitContext& ctx) {
   KACC_CHECK_MSG(bytes <= kMaxPayload, "ctrl bcast payload too large");
   KACC_CHECK_MSG(root >= 0 && root < nranks_, "ctrl bcast root");
-  begin_round();
+  begin_round(ctx);
   if (rank_ == root) {
     publish(buf, bytes);
   } else {
-    read_slot(root, buf, bytes);
+    read_slot(root, buf, bytes, ctx);
   }
   end_round();
 }
 
 void CtrlBoard::gather(const void* send, void* recv, std::size_t bytes,
-                       int root) {
+                       int root, const WaitContext& ctx) {
   KACC_CHECK_MSG(bytes <= kMaxPayload, "ctrl gather payload too large");
   KACC_CHECK_MSG(root >= 0 && root < nranks_, "ctrl gather root");
-  begin_round();
+  begin_round(ctx);
   publish(send, bytes);
   if (rank_ == root) {
     KACC_CHECK_MSG(recv != nullptr, "ctrl gather: root needs recv buffer");
     for (int q = 0; q < nranks_; ++q) {
       read_slot(q, static_cast<std::byte*>(recv) +
                        static_cast<std::size_t>(q) * bytes,
-                bytes);
+                bytes, ctx);
     }
   }
   end_round();
 }
 
-void CtrlBoard::allgather(const void* send, void* recv, std::size_t bytes) {
+void CtrlBoard::allgather(const void* send, void* recv, std::size_t bytes,
+                          const WaitContext& ctx) {
   KACC_CHECK_MSG(bytes <= kMaxPayload, "ctrl allgather payload too large");
   KACC_CHECK_MSG(recv != nullptr, "ctrl allgather needs recv buffer");
-  begin_round();
+  begin_round(ctx);
   publish(send, bytes);
   for (int q = 0; q < nranks_; ++q) {
     read_slot(q, static_cast<std::byte*>(recv) +
                      static_cast<std::size_t>(q) * bytes,
-              bytes);
+              bytes, ctx);
   }
   end_round();
 }

@@ -26,14 +26,17 @@ public:
   CtrlBoard(const ShmArena& arena, int rank, int nranks);
 
   /// Root's `bytes` (<= 256) land in every rank's `buf`.
-  void bcast(void* buf, std::size_t bytes, int root);
+  void bcast(void* buf, std::size_t bytes, int root,
+             const WaitContext& ctx = {});
 
   /// Every rank contributes `bytes`; root receives nranks*bytes, rank-major.
   /// Non-roots pass recv == nullptr.
-  void gather(const void* send, void* recv, std::size_t bytes, int root);
+  void gather(const void* send, void* recv, std::size_t bytes, int root,
+              const WaitContext& ctx = {});
 
   /// Every rank contributes and receives all contributions.
-  void allgather(const void* send, void* recv, std::size_t bytes);
+  void allgather(const void* send, void* recv, std::size_t bytes,
+                 const WaitContext& ctx = {});
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int nranks() const { return nranks_; }
@@ -43,9 +46,10 @@ private:
   Slot* slot(int rank, int parity) const;
   std::uint64_t* done_counter(int rank) const;
 
-  void begin_round();
+  void begin_round(const WaitContext& ctx);
   void publish(const void* data, std::size_t bytes);
-  void read_slot(int src, void* out, std::size_t bytes);
+  void read_slot(int src, void* out, std::size_t bytes,
+                 const WaitContext& ctx);
   void end_round();
 
   std::byte* region_ = nullptr;

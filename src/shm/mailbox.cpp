@@ -36,10 +36,17 @@ void SignalBoard::signal(int dst) {
 }
 
 void SignalBoard::wait_signal(int src) {
+  wait_signal(src, WaitContext{});
+}
+
+void SignalBoard::wait_signal(int src, const WaitContext& ctx) {
   KACC_CHECK_MSG(src >= 0 && src < nranks_, "signal src out of range");
   const std::uint64_t need = ++consumed_[static_cast<std::size_t>(src)];
   auto* ctr = static_cast<std::atomic<std::uint64_t>*>(counter(src, rank_));
-  spin_until([&] { return ctr->load(std::memory_order_acquire) >= need; });
+  WaitContext named = ctx;
+  named.what = "wait_signal";
+  spin_until([&] { return ctr->load(std::memory_order_acquire) >= need; },
+             named);
 }
 
 bool SignalBoard::poll(int src) const {

@@ -22,6 +22,9 @@ public:
   /// ahead of the waiter.
   void wait_signal(int src);
 
+  /// Deadline-aware variant; fails fast when the sender is gone.
+  void wait_signal(int src, const WaitContext& ctx);
+
   /// True when an unconsumed signal from src is pending (does not consume).
   [[nodiscard]] bool poll(int src) const;
 

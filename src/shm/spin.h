@@ -1,12 +1,46 @@
 // Cooperative spin-waiting. The native runtime may run many ranks on few
 // cores (CI containers), so every busy-wait yields the CPU after a short
 // burst of polling and eventually sleeps.
+//
+// Two flavours exist:
+//   * spin_until(pred)      -- legacy wait-forever loop, kept for callers
+//                              that own both sides of the condition
+//                              (single-process unit tests).
+//   * spin_until(pred, ctx) -- deadline-aware wait. While spinning it
+//                              (a) throws TimeoutError when ctx.deadline
+//                              expires, and (b) invokes ctx.hook on every
+//                              slow-path iteration so the runtime can
+//                              detect dead peers (throwing PeerDiedError)
+//                              and service CMA-fallback requests from
+//                              peers that lost kernel-copy access.
 #pragma once
 
 #include <sched.h>
 #include <time.h>
 
+#include <string>
+
+#include "common/deadline.h"
+#include "common/error.h"
+
 namespace kacc::shm {
+
+/// Side services consulted while a rank is blocked in shared memory.
+/// `poll()` runs on the waiter's thread; it may throw (PeerDiedError) to
+/// abort the wait, and it is where the CMA->ChunkPipe degradation path
+/// services incoming two-copy requests while the owner is parked.
+class ProgressHook {
+public:
+  virtual ~ProgressHook() = default;
+  virtual void poll() = 0;
+};
+
+/// Everything a blocking shm wait needs to fail fast instead of hanging.
+struct WaitContext {
+  Deadline deadline = Deadline::never();
+  ProgressHook* hook = nullptr;
+  const char* what = "shm wait"; ///< names the wait in TimeoutError text
+};
 
 /// Spins until `pred()` is true. Polls hot for a burst, then yields, then
 /// naps in 50us steps so oversubscribed nodes still make progress.
@@ -27,6 +61,41 @@ void spin_until(Pred&& pred) {
     0, 50'000
   };
   while (!pred()) {
+    ::nanosleep(&nap, nullptr);
+  }
+}
+
+/// Deadline-aware spin: same backoff shape, but every slow-path iteration
+/// checks the deadline and runs the progress hook. Throws TimeoutError on
+/// expiry; propagates whatever the hook throws (PeerDiedError).
+template <typename Pred>
+void spin_until(Pred&& pred, const WaitContext& ctx) {
+  for (int i = 0; i < 1024; ++i) {
+    if (pred()) {
+      return;
+    }
+  }
+  auto slow_step = [&] {
+    if (ctx.hook != nullptr) {
+      ctx.hook->poll();
+    }
+    if (ctx.deadline.expired()) {
+      throw TimeoutError(std::string("timeout in ") + ctx.what +
+                         ": no progress before deadline");
+    }
+  };
+  for (int i = 0; i < 256; ++i) {
+    if (pred()) {
+      return;
+    }
+    slow_step();
+    ::sched_yield();
+  }
+  struct timespec nap {
+    0, 50'000
+  };
+  while (!pred()) {
+    slow_step();
     ::nanosleep(&nap, nullptr);
   }
 }

@@ -13,6 +13,7 @@ SimEngine::SimEngine(ArchSpec spec, int nranks)
   spec_.validate();
   KACC_CHECK_MSG(nranks >= 1, "SimEngine needs at least one rank");
   ranks_.resize(static_cast<std::size_t>(nranks));
+  cma_ops_.resize(static_cast<std::size_t>(nranks), 0);
   resources_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     resources_.push_back(
@@ -47,9 +48,67 @@ ContendedResource::RerateFn SimEngine::make_rerate_locked() {
   };
 }
 
+void SimEngine::set_faults(FaultInjector faults) {
+  std::unique_lock<std::mutex> lk(mu_);
+  KACC_CHECK_MSG(unstarted_ == nranks_,
+                 "set_faults: must be installed before rank threads start");
+  faults_ = std::move(faults);
+  kill_at_.assign(static_cast<std::size_t>(nranks_),
+                  std::numeric_limits<double>::infinity());
+  rank_killed_.assign(static_cast<std::size_t>(nranks_), false);
+  for (const FaultInjector::Kill& k : faults_.kills) {
+    KACC_CHECK_MSG(k.rank >= 0 && k.rank < nranks_, "kill: rank out of range");
+    kill_at_[static_cast<std::size_t>(k.rank)] =
+        std::min(kill_at_[static_cast<std::size_t>(k.rank)], k.at_us);
+  }
+}
+
+std::vector<int> SimEngine::dead_ranks() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return dead_ranks_;
+}
+
 void SimEngine::check_poisoned_locked() const {
-  if (poisoned_) {
-    throw DeadlockError("simulation aborted: " + poison_reason_);
+  if (!poisoned_) {
+    return;
+  }
+  if (poison_peer_rank_ >= 0) {
+    throw PeerDiedError("simulation aborted: " + poison_reason_,
+                        poison_peer_rank_);
+  }
+  throw DeadlockError("simulation aborted: " + poison_reason_);
+}
+
+void SimEngine::maybe_kill_locked(int rank) {
+  if (kill_at_.empty()) {
+    return;
+  }
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  if (rank_killed_[static_cast<std::size_t>(rank)] ||
+      st.clock < kill_at_[static_cast<std::size_t>(rank)]) {
+    return;
+  }
+  rank_killed_[static_cast<std::size_t>(rank)] = true;
+  dead_ranks_.push_back(rank);
+  st.state = State::kDone;
+  if (active_ == rank) {
+    schedule_next_locked();
+  }
+  throw RankKilled{rank};
+}
+
+void SimEngine::apply_cma_faults(int rank, std::uint64_t op_ordinal) {
+  for (const FaultInjector::CmaDelay& d : faults_.cma_delays) {
+    if (d.rank == rank && d.kth == op_ordinal) {
+      advance(rank, d.delay_us);
+    }
+  }
+  for (const FaultInjector::CmaErrno& f : faults_.cma_errnos) {
+    if (f.rank == rank && f.kth == op_ordinal) {
+      throw SyscallError("process_vm transfer (simulated fault, op " +
+                             std::to_string(op_ordinal) + ")",
+                         f.err);
+    }
   }
 }
 
@@ -91,9 +150,17 @@ void SimEngine::schedule_next_locked() {
   active_ = -1;
   if (any_blocked && !poisoned_) {
     poisoned_ = true;
-    poison_reason_ =
-        "deadlock: every live rank is blocked on a receive or collective "
-        "that can never complete";
+    if (!dead_ranks_.empty()) {
+      // The stall is explained by an injected death: surface it as a
+      // peer-died failure (deterministic: the first kill to fire wins).
+      poison_peer_rank_ = dead_ranks_.front();
+      poison_reason_ = "rank " + std::to_string(poison_peer_rank_) +
+                       " died; every surviving rank is blocked on it";
+    } else {
+      poison_reason_ =
+          "deadlock: every live rank is blocked on a receive or collective "
+          "that can never complete";
+    }
     for (RankState& st : ranks_) {
       st.cv->notify_all();
     }
@@ -107,6 +174,7 @@ void SimEngine::park_and_wait(std::unique_lock<std::mutex>& lk, int rank) {
   RankState& st = ranks_[static_cast<std::size_t>(rank)];
   st.state = State::kRunning;
   st.clock = std::max(st.clock, st.wake);
+  maybe_kill_locked(rank);
 }
 
 void SimEngine::start(int rank) {
@@ -164,6 +232,8 @@ Breakdown SimEngine::cma_transfer(int rank, int owner, std::uint64_t bytes,
                                   double beta_mult, bool cross,
                                   bool with_copy) {
   KACC_CHECK_MSG(owner >= 0 && owner < nranks_, "cma_transfer: bad owner");
+  // Per-rank ordinal drives deterministic CMA fault injection.
+  apply_cma_faults(rank, ++cma_ops_[static_cast<std::size_t>(rank)]);
   // alpha: syscall entry + permission check, uncontended.
   advance(rank, spec_.alpha_us());
 

@@ -24,6 +24,7 @@
 
 #include "sim/breakdown.h"
 #include "sim/channel.h"
+#include "sim/fault.h"
 #include "sim/resource.h"
 #include "topo/arch_spec.h"
 
@@ -38,6 +39,15 @@ public:
 
   [[nodiscard]] const ArchSpec& spec() const { return spec_; }
   [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// Installs a deterministic fault plan. Must be called before any rank
+  /// thread starts. Kills unwind the target's thread with RankKilled and,
+  /// once every survivor is blocked on the dead rank, poison the engine so
+  /// the survivors raise PeerDiedError instead of DeadlockError.
+  void set_faults(FaultInjector faults);
+
+  /// Ranks marked dead by a Kill fault so far (scheduling order).
+  [[nodiscard]] std::vector<int> dead_ranks() const;
 
   // ----- thread lifecycle (called from rank threads) -----
 
@@ -130,10 +140,19 @@ private:
   [[nodiscard]] ContendedResource::RerateFn make_rerate_locked();
 
   /// Parks the calling rank until it is scheduled again; on resume sets
-  /// its clock to its wake time. Throws if the engine is poisoned.
+  /// its clock to its wake time. Throws if the engine is poisoned, or
+  /// RankKilled when a kill fault's time has been reached.
   void park_and_wait(std::unique_lock<std::mutex>& lk, int rank);
 
   void check_poisoned_locked() const;
+
+  /// Fires a pending kill fault for `rank` (throws RankKilled) once its
+  /// clock has reached the kill time.
+  void maybe_kill_locked(int rank);
+
+  /// Applies per-rank CMA delay/errno faults for the op ordinal just
+  /// issued (called at the top of cma_transfer, outside the lock).
+  void apply_cma_faults(int rank, std::uint64_t op_ordinal);
 
   ArchSpec spec_;
   int nranks_;
@@ -150,6 +169,14 @@ private:
 
   bool poisoned_ = false;
   std::string poison_reason_;
+  int poison_peer_rank_ = -1; ///< >= 0: poison means "this rank died"
+
+  // Fault-injection state (immutable after set_faults).
+  FaultInjector faults_;
+  std::vector<double> kill_at_;          ///< per rank; +inf = never
+  std::vector<bool> rank_killed_;        ///< kill already fired
+  std::vector<std::uint64_t> cma_ops_;   ///< per-rank CMA op ordinals
+  std::vector<int> dead_ranks_;          ///< ranks killed, in firing order
 
   // Rendezvous state (single global collective context; Comm-level code
   // guarantees matching order).

@@ -1,0 +1,31 @@
+#include "sim/fault.h"
+
+#include "common/error.h"
+
+namespace kacc::sim {
+
+FaultInjector& FaultInjector::kill_rank(int rank, double at_us) {
+  KACC_CHECK_MSG(rank >= 0, "kill_rank: bad rank");
+  KACC_CHECK_MSG(at_us >= 0.0, "kill_rank: negative time");
+  kills.push_back(Kill{rank, at_us});
+  return *this;
+}
+
+FaultInjector& FaultInjector::fail_cma(int rank, std::uint64_t kth, int err) {
+  KACC_CHECK_MSG(rank >= 0, "fail_cma: bad rank");
+  KACC_CHECK_MSG(kth >= 1, "fail_cma: op ordinals are 1-based");
+  KACC_CHECK_MSG(err > 0, "fail_cma: errno must be positive");
+  cma_errnos.push_back(CmaErrno{rank, kth, err});
+  return *this;
+}
+
+FaultInjector& FaultInjector::delay_cma(int rank, std::uint64_t kth,
+                                        double delay_us) {
+  KACC_CHECK_MSG(rank >= 0, "delay_cma: bad rank");
+  KACC_CHECK_MSG(kth >= 1, "delay_cma: op ordinals are 1-based");
+  KACC_CHECK_MSG(delay_us >= 0.0, "delay_cma: negative delay");
+  cma_delays.push_back(CmaDelay{rank, kth, delay_us});
+  return *this;
+}
+
+} // namespace kacc::sim

@@ -1,0 +1,55 @@
+// Deterministic fault injection for the simulation engine. Faults are
+// declared up front and trigger at exact virtual times / op ordinals, so a
+// failure scenario replays identically on every run — the property that
+// makes the recovery paths testable at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kacc::sim {
+
+/// A declarative fault plan, installed with SimEngine::set_faults before
+/// any rank thread starts.
+struct FaultInjector {
+  /// Rank dies the first time its virtual clock reaches `at_us` (checked at
+  /// every scheduling point, so death lands on a primitive boundary).
+  struct Kill {
+    int rank = -1;
+    double at_us = 0.0;
+  };
+
+  /// The rank's `kth` CMA transfer (1-based, counted per rank) fails with
+  /// `err` instead of running.
+  struct CmaErrno {
+    int rank = -1;
+    std::uint64_t kth = 0;
+    int err = 0;
+  };
+
+  /// The rank's `kth` CMA transfer is preceded by `delay_us` of stall
+  /// (models an interrupted/migrated syscall).
+  struct CmaDelay {
+    int rank = -1;
+    std::uint64_t kth = 0;
+    double delay_us = 0.0;
+  };
+
+  FaultInjector& kill_rank(int rank, double at_us);
+  FaultInjector& fail_cma(int rank, std::uint64_t kth, int err);
+  FaultInjector& delay_cma(int rank, std::uint64_t kth, double delay_us);
+
+  std::vector<Kill> kills;
+  std::vector<CmaErrno> cma_errnos;
+  std::vector<CmaDelay> cma_delays;
+};
+
+/// Internal unwind token thrown through a killed rank's body so its host
+/// thread exits without running any more rank code. Deliberately not a
+/// kacc::Error: rank bodies must not be able to catch their own death with
+/// a catch (const std::exception&).
+struct RankKilled {
+  int rank = -1;
+};
+
+} // namespace kacc::sim

@@ -1,5 +1,6 @@
 #include "sim/world.h"
 
+#include <algorithm>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -7,27 +8,39 @@
 #include "common/error.h"
 
 namespace kacc::sim {
+namespace {
 
-WorldResult run_world(SimEngine& engine,
-                      const std::function<void(SimEngine&, int)>& body) {
+WorldResult run_world_impl(SimEngine& engine,
+                           const std::function<void(SimEngine&, int)>& body,
+                           bool rethrow) {
   const int n = engine.nranks();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
 
   std::mutex err_mu;
   std::exception_ptr first_error;
+  std::vector<RankOutcome> outcomes(static_cast<std::size_t>(n));
 
   for (int rank = 0; rank < n; ++rank) {
     threads.emplace_back([&, rank] {
+      RankOutcome& out = outcomes[static_cast<std::size_t>(rank)];
       bool started = false;
       try {
         engine.start(rank);
         started = true;
         body(engine, rank);
         engine.finish(rank);
-      } catch (const DeadlockError&) {
-        // Poisoned engine: some rank already recorded the root cause (or
-        // this is the deadlock itself, recorded by the engine). Unwind.
+      } catch (const RankKilled&) {
+        // An injected kill removed this rank: the engine already marked it
+        // done. Not an error of the rank body.
+        out.kind = RankOutcome::Kind::kKilled;
+        out.message = "killed by fault injection";
+      } catch (const PeerDiedError& e) {
+        // A peer's death stalled this rank; the engine surfaced it from a
+        // blocking primitive. Record, don't re-poison.
+        out.kind = RankOutcome::Kind::kPeerDied;
+        out.message = e.what();
+        out.failed_rank = e.failed_rank();
         if (started) {
           engine.finish(rank);
         }
@@ -35,7 +48,34 @@ WorldResult run_world(SimEngine& engine,
         if (!first_error) {
           first_error = std::current_exception();
         }
+      } catch (const DeadlockError& e) {
+        // Poisoned engine: some rank already recorded the root cause (or
+        // this is the deadlock itself, recorded by the engine). Unwind.
+        out.kind = RankOutcome::Kind::kDeadlock;
+        out.message = e.what();
+        if (started) {
+          engine.finish(rank);
+        }
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      } catch (const std::exception& e) {
+        out.kind = RankOutcome::Kind::kError;
+        out.message = e.what();
+        {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        engine.abort("rank " + std::to_string(rank) + " threw: " + e.what());
+        if (started) {
+          engine.finish(rank);
+        }
       } catch (...) {
+        out.kind = RankOutcome::Kind::kError;
+        out.message = "unknown exception";
         {
           std::lock_guard<std::mutex> lk(err_mu);
           if (!first_error) {
@@ -52,7 +92,7 @@ WorldResult run_world(SimEngine& engine,
   for (auto& t : threads) {
     t.join();
   }
-  if (first_error) {
+  if (rethrow && first_error) {
     std::rethrow_exception(first_error);
   }
 
@@ -64,7 +104,21 @@ WorldResult run_world(SimEngine& engine,
         std::max(result.makespan_us,
                  result.final_clock_us[static_cast<std::size_t>(rank)]);
   }
+  result.outcomes = std::move(outcomes);
   return result;
+}
+
+} // namespace
+
+WorldResult run_world(SimEngine& engine,
+                      const std::function<void(SimEngine&, int)>& body) {
+  return run_world_impl(engine, body, /*rethrow=*/true);
+}
+
+WorldResult
+run_world_outcomes(SimEngine& engine,
+                   const std::function<void(SimEngine&, int)>& body) {
+  return run_world_impl(engine, body, /*rethrow=*/false);
 }
 
 } // namespace kacc::sim

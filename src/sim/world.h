@@ -4,24 +4,49 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/engine.h"
 
 namespace kacc::sim {
 
+/// What happened to one simulated rank during a (possibly faulty) run.
+struct RankOutcome {
+  enum class Kind {
+    kOk,       ///< body returned normally
+    kKilled,   ///< removed by an injected kill fault
+    kPeerDied, ///< raised PeerDiedError (failed_rank says who)
+    kDeadlock, ///< raised DeadlockError
+    kError,    ///< any other exception escaped the body
+  };
+  Kind kind = Kind::kOk;
+  std::string message;
+  int failed_rank = -1; ///< peer blamed by a kPeerDied outcome
+};
+
 struct WorldResult {
   /// Final virtual clock of each rank (us).
   std::vector<double> final_clock_us;
   /// max over ranks — the virtual makespan of the run.
   double makespan_us = 0.0;
+  /// Per-rank outcome; only populated by run_world_outcomes.
+  std::vector<RankOutcome> outcomes;
 };
 
 /// Runs `body(engine, rank)` for every rank on its own thread under the
 /// engine's cooperative scheduler. start()/finish() are called by the
 /// world; bodies only use the timed primitives. Rethrows the first body
-/// exception after all threads join.
+/// exception after all threads join. An injected kill is not itself an
+/// error, but the PeerDiedError it causes in the survivors is.
 WorldResult run_world(SimEngine& engine,
                       const std::function<void(SimEngine&, int)>& body);
+
+/// Fault-tolerant variant: never rethrows. Every rank's fate (ok, killed,
+/// peer-died, deadlocked, errored) is reported in WorldResult::outcomes —
+/// the observation point for fault-injection tests.
+WorldResult
+run_world_outcomes(SimEngine& engine,
+                   const std::function<void(SimEngine&, int)>& body);
 
 } // namespace kacc::sim

@@ -1,0 +1,500 @@
+// Fault-tolerance tests: progress deadlines, dead-peer detection, CMA
+// degradation, and the deterministic fault-injection harness (sim + native
+// KACC_FAULT). Failure handling is product behaviour here, so these tests
+// kill ranks, revoke CMA, and starve waits on purpose.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "cma/endpoint.h"
+#include "cma/probe.h"
+#include "coll_verifiers.h"
+#include "common/deadline.h"
+#include "common/error.h"
+#include "common/fault.h"
+#include "runtime/native_comm.h"
+#include "runtime/process_team.h"
+#include "runtime/sim_comm.h"
+#include "shm/arena.h"
+#include "shm/spin.h"
+#include "sim/fault.h"
+#include "topo/detect.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using testing::verify_bcast;
+using testing::verify_gather;
+
+// ---------------------------------------------------------------------------
+// KACC_FAULT plan parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesErrnoRule) {
+  const FaultPlan plan = FaultPlan::parse("rank:3,op:5,errno:EPERM");
+  ASSERT_EQ(plan.rules().size(), 1u);
+  const FaultRule* hit = plan.match(3, 5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action, FaultRule::Action::kErrno);
+  EXPECT_EQ(hit->err, EPERM);
+  EXPECT_EQ(plan.match(3, 4), nullptr); // errno rules fire exactly once
+  EXPECT_EQ(plan.match(3, 6), nullptr);
+  EXPECT_EQ(plan.match(2, 5), nullptr);
+}
+
+TEST(FaultPlan, ShortRuleIsARegimeNotAnEvent) {
+  const FaultPlan plan = FaultPlan::parse("rank:0,op:2,short:100");
+  EXPECT_EQ(plan.match(0, 1), nullptr);
+  const FaultRule* hit = plan.match(0, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cap, 100u);
+  EXPECT_NE(plan.match(0, 7), nullptr); // every op >= 2 stays capped
+}
+
+TEST(FaultPlan, ParsesMultipleRules) {
+  const FaultPlan plan =
+      FaultPlan::parse("rank:1,op:2,action:exit;rank:0,op:1,errno:ESRCH");
+  ASSERT_EQ(plan.rules().size(), 2u);
+  ASSERT_NE(plan.match(1, 2), nullptr);
+  EXPECT_EQ(plan.match(1, 2)->action, FaultRule::Action::kExit);
+  ASSERT_NE(plan.match(0, 1), nullptr);
+  EXPECT_EQ(plan.match(0, 1)->err, ESRCH);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("nonsense"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:1,errno:EPERM"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:0,errno:EPERM"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:2,action:explode"),
+               InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:2,short:0"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:2,errno:EBOGUS"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:x,op:2,errno:EPERM"), InvalidArgument);
+}
+
+TEST(FaultPlan, ErrnoNamesAndNumbers) {
+  EXPECT_EQ(errno_from_name("EPERM"), EPERM);
+  EXPECT_EQ(errno_from_name("ESRCH"), ESRCH);
+  EXPECT_EQ(errno_from_name("17"), 17);
+  EXPECT_THROW(errno_from_name("EBOGUS"), InvalidArgument);
+}
+
+TEST(FaultPlan, FromEnvRoundTrip) {
+  ::setenv("KACC_FAULT", "rank:2,op:1,errno:EPERM", 1);
+  EXPECT_FALSE(FaultPlan::from_env().empty());
+  ::unsetenv("KACC_FAULT");
+  EXPECT_TRUE(FaultPlan::from_env().empty());
+}
+
+// ---------------------------------------------------------------------------
+// CMA errno classification and the resumable transfer loop
+// ---------------------------------------------------------------------------
+
+TEST(CmaErrno, Classification) {
+  EXPECT_EQ(cma::classify_errno(EINTR), cma::ErrnoClass::kRetryable);
+  EXPECT_EQ(cma::classify_errno(EAGAIN), cma::ErrnoClass::kRetryable);
+  EXPECT_EQ(cma::classify_errno(EPERM), cma::ErrnoClass::kPermission);
+  EXPECT_EQ(cma::classify_errno(EACCES), cma::ErrnoClass::kPermission);
+  EXPECT_EQ(cma::classify_errno(ESRCH), cma::ErrnoClass::kPeerGone);
+  EXPECT_EQ(cma::classify_errno(EFAULT), cma::ErrnoClass::kFatal);
+  EXPECT_EQ(cma::classify_errno(EINVAL), cma::ErrnoClass::kFatal);
+}
+
+// Fake process_vm_* driver: TransferFn is a plain function pointer, so the
+// knobs live in file-scope state reset by each test.
+struct FakeTransfer {
+  int eintr_left = 0;        // fail this many leading calls with EINTR
+  std::size_t max_chunk = 0; // 0 = unlimited; else short transfers
+  int fail_errno = 0;        // non-zero: fail every call with this errno
+  bool no_progress = false;  // return 0 (no bytes moved)
+  int calls = 0;
+};
+FakeTransfer g_fake;
+
+ssize_t fake_transfer(pid_t /*pid*/, const struct iovec* liov,
+                      unsigned long /*liovcnt*/, const struct iovec* riov,
+                      unsigned long /*riovcnt*/, unsigned long /*flags*/) {
+  ++g_fake.calls;
+  if (g_fake.eintr_left > 0) {
+    --g_fake.eintr_left;
+    errno = EINTR;
+    return -1;
+  }
+  if (g_fake.fail_errno != 0) {
+    errno = g_fake.fail_errno;
+    return -1;
+  }
+  if (g_fake.no_progress) {
+    return 0;
+  }
+  std::size_t len = liov->iov_len;
+  if (g_fake.max_chunk != 0 && len > g_fake.max_chunk) {
+    len = g_fake.max_chunk;
+  }
+  std::memcpy(liov->iov_base, riov->iov_base, len);
+  return static_cast<ssize_t>(len);
+}
+
+class TransferLoopTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    g_fake = FakeTransfer{};
+    for (std::size_t i = 0; i < kBytes; ++i) {
+      src_[i] = static_cast<char>((i * 131 + 7) & 0xff);
+    }
+    std::memset(dst_, 0, kBytes);
+  }
+
+  void run_loop(std::size_t max_per_call = 0) {
+    cma::detail::transfer_loop(0, reinterpret_cast<std::uint64_t>(src_), dst_,
+                               kBytes, &fake_transfer, "fake transfer",
+                               max_per_call);
+  }
+
+  static constexpr std::size_t kBytes = 1000;
+  char src_[kBytes];
+  char dst_[kBytes];
+};
+
+TEST_F(TransferLoopTest, PartialTransfersResumeFromDone) {
+  // Each syscall moves at most 333 bytes: the loop must resume from the
+  // completed prefix, never restart, or the tail would be corrupt.
+  g_fake.max_chunk = 333;
+  run_loop();
+  EXPECT_EQ(std::memcmp(dst_, src_, kBytes), 0);
+  EXPECT_EQ(g_fake.calls, 4); // 333+333+333+1
+}
+
+TEST_F(TransferLoopTest, RetriesEintrInPlace) {
+  g_fake.eintr_left = 3;
+  run_loop();
+  EXPECT_EQ(std::memcmp(dst_, src_, kBytes), 0);
+  EXPECT_EQ(g_fake.calls, 4); // 3 interrupted + 1 success
+}
+
+TEST_F(TransferLoopTest, MaxPerCallCapsEachSyscall) {
+  run_loop(/*max_per_call=*/100);
+  EXPECT_EQ(std::memcmp(dst_, src_, kBytes), 0);
+  EXPECT_EQ(g_fake.calls, 10);
+}
+
+TEST_F(TransferLoopTest, NoProgressIsAnIoError) {
+  g_fake.no_progress = true;
+  try {
+    run_loop();
+    FAIL() << "expected SyscallError";
+  } catch (const SyscallError& e) {
+    EXPECT_EQ(e.sys_errno(), EIO);
+  }
+}
+
+TEST_F(TransferLoopTest, FatalErrnoPropagates) {
+  g_fake.fail_errno = EFAULT;
+  try {
+    run_loop();
+    FAIL() << "expected SyscallError";
+  } catch (const SyscallError& e) {
+    EXPECT_EQ(e.sys_errno(), EFAULT);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-aware spinning
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineSpin, ExpiryThrowsNamedTimeout) {
+  shm::WaitContext ctx;
+  ctx.deadline = Deadline::after_ms(30);
+  ctx.what = "unit wait";
+  try {
+    shm::spin_until([] { return false; }, ctx);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("unit wait"), std::string::npos);
+  }
+}
+
+TEST(DeadlineSpin, HookRunsOnSlowPathAndCanSatisfyPred) {
+  struct CountHook : shm::ProgressHook {
+    int polls = 0;
+    void poll() override { ++polls; }
+  };
+  CountHook hook;
+  shm::WaitContext ctx;
+  ctx.deadline = Deadline::after_ms(5000);
+  ctx.hook = &hook;
+  shm::spin_until([&] { return hook.polls >= 3; }, ctx);
+  EXPECT_GE(hook.polls, 3);
+}
+
+TEST(DeadlineSpin, NeverDeadlineReportsUnbounded) {
+  EXPECT_TRUE(Deadline::never().is_never());
+  EXPECT_FALSE(Deadline::never().expired());
+  EXPECT_FALSE(Deadline::after_ms(60000).expired());
+  EXPECT_GT(ProgressBudget(10.0).next().remaining_us(), 0.0);
+  EXPECT_TRUE(ProgressBudget().next().is_never());
+}
+
+// ---------------------------------------------------------------------------
+// Arena liveness words
+// ---------------------------------------------------------------------------
+
+TEST(ArenaLiveness, StatesAndHeartbeats) {
+  const shm::ArenaLayout layout = shm::ArenaLayout::compute(2, 512, 2);
+  shm::ShmArena arena(layout);
+  EXPECT_EQ(arena.liveness(0), shm::Liveness::kUnregistered);
+  arena.register_rank(0);
+  arena.register_rank(1);
+  arena.wait_all_registered();
+  EXPECT_EQ(arena.liveness(0), shm::Liveness::kAlive);
+  EXPECT_EQ(arena.first_dead_rank(), -1);
+  const std::uint64_t before = arena.epoch_of(0);
+  arena.heartbeat(0);
+  EXPECT_EQ(arena.epoch_of(0), before + 1);
+  arena.set_liveness(1, shm::Liveness::kDead);
+  EXPECT_EQ(arena.first_dead_rank(), 1);
+  shm::CmaServiceSlot* a = arena.cma_service_slot(0, 1);
+  shm::CmaServiceSlot* b = arena.cma_service_slot(1, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->req.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated fault injection (deterministic, no CMA kernel support needed)
+// ---------------------------------------------------------------------------
+
+TEST(SimFault, KillMidBcastSurvivorsRaisePeerDied) {
+  sim::FaultInjector faults;
+  faults.kill_rank(2, 40.0);
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 4, faults, [](Comm& comm) {
+        for (int i = 0; i < 200; ++i) {
+          verify_bcast(comm, 4096, 0, coll::BcastAlgo::kDirectRead);
+        }
+      });
+  ASSERT_EQ(res.outcomes.size(), 4u);
+  EXPECT_EQ(res.outcomes[2].kind, sim::RankOutcome::Kind::kKilled);
+  for (int r : {0, 1, 3}) {
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+              sim::RankOutcome::Kind::kPeerDied)
+        << "rank " << r << ": " << res.outcomes[static_cast<std::size_t>(r)].message;
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(r)].failed_rank, 2);
+  }
+}
+
+TEST(SimFault, KillIsDeterministic) {
+  const auto run_once = [] {
+    sim::FaultInjector faults;
+    faults.kill_rank(1, 25.0);
+    return run_sim_fault(broadwell(), 4, faults, [](Comm& comm) {
+      for (int i = 0; i < 200; ++i) {
+        verify_gather(comm, 4096, 0, coll::GatherAlgo::kParallelWrite);
+      }
+    });
+  };
+  const SimFaultResult a = run_once();
+  const SimFaultResult b = run_once();
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t r = 0; r < a.outcomes.size(); ++r) {
+    EXPECT_EQ(a.outcomes[r].kind, b.outcomes[r].kind) << "rank " << r;
+    EXPECT_EQ(a.outcomes[r].failed_rank, b.outcomes[r].failed_rank);
+    EXPECT_EQ(a.outcomes[r].message, b.outcomes[r].message);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.outcomes[1].kind, sim::RankOutcome::Kind::kKilled);
+}
+
+TEST(SimFault, InjectedCmaErrnoSurfacesOnTheFaultedRank) {
+  sim::FaultInjector faults;
+  faults.fail_cma(1, 1, EPERM);
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 4, faults, [](Comm& comm) {
+        verify_gather(comm, 8192, 0, coll::GatherAlgo::kParallelWrite);
+      });
+  EXPECT_EQ(res.outcomes[1].kind, sim::RankOutcome::Kind::kError);
+  EXPECT_NE(res.outcomes[1].message.find("simulated fault"),
+            std::string::npos);
+  EXPECT_FALSE(res.any(sim::RankOutcome::Kind::kOk));
+}
+
+TEST(SimFault, CmaDelayStretchesTheMakespan) {
+  const auto run_with = [](double delay_us) {
+    sim::FaultInjector faults;
+    if (delay_us > 0) {
+      faults.delay_cma(1, 1, delay_us);
+    }
+    return run_sim_fault(broadwell(), 4, faults, [](Comm& comm) {
+      verify_gather(comm, 65536, 0, coll::GatherAlgo::kParallelWrite);
+    });
+  };
+  const double base = run_with(0.0).makespan_us;
+  // The delayed write also dodges contention from its peers, so the
+  // makespan grows by a bit less than the injected stall.
+  const double delayed = run_with(2000.0).makespan_us;
+  EXPECT_GE(delayed, base + 1000.0);
+}
+
+TEST(SimFault, NoFaultsMeansEveryRankOk) {
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 4, sim::FaultInjector{}, [](Comm& comm) {
+        verify_bcast(comm, 4096, 0, coll::BcastAlgo::kDirectRead);
+      });
+  for (const sim::RankOutcome& out : res.outcomes) {
+    EXPECT_EQ(out.kind, sim::RankOutcome::Kind::kOk) << out.message;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Native runtime: dead peers, deadlines, CMA degradation
+// ---------------------------------------------------------------------------
+
+class NativeFaultTest : public ::testing::Test {
+protected:
+  void SetUp() override { spec_ = detect_host(); }
+
+  static TeamOptions fast_opts() {
+    TeamOptions opts;
+    opts.op_deadline_ms = 10'000.0;
+    opts.team_timeout_ms = 60'000.0;
+    return opts;
+  }
+
+  ArchSpec spec_;
+};
+
+// A scoped KACC_FAULT setting: the child ranks inherit it through fork.
+class ScopedFaultEnv {
+public:
+  explicit ScopedFaultEnv(const char* spec) {
+    ::setenv("KACC_FAULT", spec, 1);
+  }
+  ~ScopedFaultEnv() { ::unsetenv("KACC_FAULT"); }
+};
+
+TEST_F(NativeFaultTest, ChildExitMidCollectiveIsDetected) {
+  // Rank 1 vanishes with _exit before the barrier; the parent's WNOHANG
+  // reaper marks it dead and both survivors unblock with PeerDiedError
+  // instead of spinning for the full deadline.
+  const TeamResult result = run_native_team(
+      spec_, 3,
+      [](Comm& comm) {
+        if (comm.rank() == 1) {
+          ::_exit(7);
+        }
+        comm.barrier();
+      },
+      fast_opts());
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_EQ(result.ranks[1].exit_code, 7);
+  EXPECT_NE(result.ranks[1].message.find("before reporting a result"),
+            std::string::npos);
+  for (int r : {0, 2}) {
+    EXPECT_FALSE(result.ranks[static_cast<std::size_t>(r)].ok);
+    EXPECT_NE(result.ranks[static_cast<std::size_t>(r)].message.find(
+                  "death of rank 1"),
+              std::string::npos)
+        << result.ranks[static_cast<std::size_t>(r)].message;
+  }
+}
+
+TEST_F(NativeFaultTest, DeadlineTurnsAHangIntoTimeoutError) {
+  // Rank 0 waits for a signal that never comes; rank 1 exits cleanly (a
+  // finished rank is not a dead rank). The per-op deadline converts the
+  // infinite wait into a named TimeoutError.
+  TeamOptions opts = fast_opts();
+  opts.op_deadline_ms = 400.0;
+  const TeamResult result = run_native_team(
+      spec_, 2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.wait_signal(1);
+        }
+      },
+      opts);
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_TRUE(result.ranks[1].ok) << result.ranks[1].message;
+  EXPECT_NE(result.ranks[0].message.find("timeout in wait_signal"),
+            std::string::npos)
+      << result.ranks[0].message;
+}
+
+TEST_F(NativeFaultTest, InjectedExitViaEnvKillsMidTransfer) {
+  if (!cma::available()) {
+    GTEST_SKIP() << "CMA unavailable: " << cma::unavailable_reason();
+  }
+  // Rank 2 _exits inside its first data-plane op (KACC_FAULT action:exit);
+  // the rest of the team reports PeerDiedError instead of hanging.
+  ScopedFaultEnv env("rank:2,op:1,action:exit");
+  const TeamResult result = run_native_team(
+      spec_, 4,
+      [](Comm& comm) {
+        verify_gather(comm, 16384, 0, coll::GatherAlgo::kParallelWrite);
+      },
+      fast_opts());
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_EQ(result.ranks[2].exit_code, 42);
+  bool someone_blamed_rank2 = false;
+  for (int r : {0, 1, 3}) {
+    someone_blamed_rank2 =
+        someone_blamed_rank2 ||
+        result.ranks[static_cast<std::size_t>(r)].message.find(
+            "death of rank 2") != std::string::npos;
+  }
+  EXPECT_TRUE(someone_blamed_rank2) << result.first_failure();
+}
+
+TEST_F(NativeFaultTest, InjectedEpermDegradesToChunkPipeFallback) {
+  if (!cma::available()) {
+    GTEST_SKIP() << "CMA unavailable: " << cma::unavailable_reason();
+  }
+  // Rank 1's first CMA op is denied: it must permanently degrade to the
+  // two-copy ChunkPipe protocol and the collective must still be correct.
+  ScopedFaultEnv env("rank:1,op:1,errno:EPERM");
+  const TeamResult result = run_native_team(
+      spec_, 4,
+      [](Comm& comm) {
+        verify_gather(comm, 16384, 0, coll::GatherAlgo::kParallelWrite);
+        verify_gather(comm, 16384, 0, coll::GatherAlgo::kParallelWrite);
+        auto* native = dynamic_cast<NativeComm*>(&comm);
+        if (native == nullptr) {
+          throw Error("expected a NativeComm");
+        }
+        if (comm.rank() == 1) {
+          if (!native->cma_degraded()) {
+            throw Error("rank 1 should be CMA-degraded after EPERM");
+          }
+          if (native->fallback_count() < 2) {
+            throw Error("rank 1 should have used the fallback for every op");
+          }
+        } else if (native->cma_degraded()) {
+          throw Error("degradation leaked to a healthy rank");
+        }
+      },
+      fast_opts());
+  EXPECT_TRUE(result.all_ok()) << result.first_failure();
+}
+
+TEST_F(NativeFaultTest, ShortTransferRegimeStillCorrect) {
+  if (!cma::available()) {
+    GTEST_SKIP() << "CMA unavailable: " << cma::unavailable_reason();
+  }
+  // Every CMA syscall of rank 1 moves at most 64 bytes: the partial-resume
+  // path runs hundreds of times per op and must stay byte-exact.
+  ScopedFaultEnv env("rank:1,op:1,short:64");
+  const TeamResult result = run_native_team(
+      spec_, 4,
+      [](Comm& comm) {
+        verify_bcast(comm, 10000, 0, coll::BcastAlgo::kDirectRead);
+        verify_gather(comm, 10000, 2, coll::GatherAlgo::kSequentialRead);
+      },
+      fast_opts());
+  EXPECT_TRUE(result.all_ok()) << result.first_failure();
+}
+
+} // namespace
+} // namespace kacc

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -233,7 +234,7 @@ TEST_P(ChunkPipeTest, TransfersExactBytes) {
       pipe.recv(0, out.data(), bytes);
     }
   });
-  EXPECT_EQ(std::memcmp(in.data(), out.data(), bytes), 0);
+  EXPECT_TRUE(std::equal(in.begin(), in.end(), out.begin()));
 }
 
 TEST(ChunkPipeStress, ManyMessagesBothDirections) {
@@ -284,7 +285,7 @@ TEST_P(BcastPipeTest, DeliversRootPayloadToAll) {
       buf = truth;
     }
     pipe.bcast(buf.data(), bytes, /*root=*/2);
-    ASSERT_EQ(std::memcmp(buf.data(), truth.data(), bytes), 0)
+    ASSERT_TRUE(std::equal(buf.begin(), buf.end(), truth.begin()))
         << "rank " << rank;
   });
 }
