@@ -30,7 +30,8 @@ ArchSpec without_contention(ArchSpec s) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner(
       "Ablation: lock contention vs contention-aware algorithms",
       "design-choice ablation (DESIGN.md §5b; paper §II motivation)");
@@ -64,7 +65,8 @@ int main() {
     }
     t.print();
   }
-  std::cout << "\nReading: 'nolock' is the XPMEM-style counterfactual "
+  if (!bench::json_mode())
+    std::cout << "\nReading: 'nolock' is the XPMEM-style counterfactual "
                "(attach-once, no per-page\nlock). The contention-aware "
                "algorithms recover most of that gap in software,\nwhich is "
                "the paper's central claim.\n";

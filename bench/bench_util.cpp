@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 
 #include "baseline/library.h"
@@ -15,6 +17,117 @@
 #include "runtime/sim_comm.h"
 
 namespace kacc::bench {
+namespace {
+
+struct SeriesData {
+  std::string arch;
+  std::string algorithm;
+  std::vector<std::uint64_t> sizes;
+  std::vector<double> latencies_us;
+};
+
+struct JsonState {
+  bool enabled = false;
+  std::string exp;
+  std::vector<SeriesData> series; ///< insertion order
+};
+
+JsonState& json_state() {
+  static JsonState state;
+  return state;
+}
+
+void flush_json_series() {
+  const JsonState& st = json_state();
+  if (!st.enabled) {
+    return;
+  }
+  for (const SeriesData& s : st.series) {
+    std::printf("{\"exp\":\"%s\",\"arch\":\"%s\",\"algorithm\":\"%s\","
+                "\"sizes\":[",
+                st.exp.c_str(), s.arch.c_str(), s.algorithm.c_str());
+    for (std::size_t i = 0; i < s.sizes.size(); ++i) {
+      std::printf("%s%llu", i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(s.sizes[i]));
+    }
+    std::printf("],\"latencies_us\":[");
+    for (std::size_t i = 0; i < s.latencies_us.size(); ++i) {
+      std::printf("%s%.3f", i == 0 ? "" : ",", s.latencies_us[i]);
+    }
+    std::printf("]}\n");
+  }
+  std::fflush(stdout);
+}
+
+/// Stable label for an AlgoRun: collective, algorithm (or baseline library
+/// stand-in), and the tuning knob when set.
+std::string run_label(const AlgoRun& run) {
+  std::string label = coll_name(run.coll);
+  label += "/";
+  if (run.lib_index >= 0) {
+    static const char* kLibs[] = {"shmem-lib", "pt2pt-cma-lib",
+                                  "knem-style-lib"};
+    label += run.lib_index < 3 ? kLibs[run.lib_index] : "lib?";
+    return label;
+  }
+  switch (run.coll) {
+    case Coll::kScatter: label += coll::to_string(run.scatter); break;
+    case Coll::kGather: label += coll::to_string(run.gather); break;
+    case Coll::kAlltoall: label += coll::to_string(run.alltoall); break;
+    case Coll::kAllgather: label += coll::to_string(run.allgather); break;
+    case Coll::kBcast: label += coll::to_string(run.bcast); break;
+  }
+  if (run.opts.throttle > 0) {
+    label += " t=" + std::to_string(run.opts.throttle);
+  }
+  if (run.opts.ring_stride > 1) {
+    label += " stride=" + std::to_string(run.opts.ring_stride);
+  }
+  return label;
+}
+
+} // namespace
+
+void bench_init(int argc, char** argv) {
+  JsonState& st = json_state();
+  if (argc > 0) {
+    st.exp = argv[0];
+    const std::size_t slash = st.exp.find_last_of('/');
+    if (slash != std::string::npos) {
+      st.exp = st.exp.substr(slash + 1);
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      st.enabled = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json]\n",
+                   argc > 0 ? argv[0] : "bench");
+      std::exit(2);
+    }
+  }
+  std::atexit(&flush_json_series);
+}
+
+bool json_mode() { return json_state().enabled; }
+
+void record_point(const std::string& arch, const std::string& algorithm,
+                  std::uint64_t size_bytes, double latency_us) {
+  JsonState& st = json_state();
+  for (auto it = st.series.rbegin(); it != st.series.rend(); ++it) {
+    if (it->arch == arch && it->algorithm == algorithm) {
+      it->sizes.push_back(size_bytes);
+      it->latencies_us.push_back(latency_us);
+      return;
+    }
+  }
+  SeriesData s;
+  s.arch = arch;
+  s.algorithm = algorithm;
+  s.sizes.push_back(size_bytes);
+  s.latencies_us.push_back(latency_us);
+  st.series.push_back(std::move(s));
+}
 
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
@@ -24,6 +137,9 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 void Table::print(std::ostream& os) const {
+  if (json_mode()) {
+    return; // stdout carries only the JSON series
+  }
   std::vector<std::size_t> widths(columns_.size());
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     widths[c] = columns_[c].size();
@@ -175,7 +291,10 @@ double measure_us(const ArchSpec& spec, int p, const AlgoRun& run,
         break;
     }
   };
-  return run_sim(spec, p, body, /*move_data=*/false).makespan_us;
+  const double us = run_sim(spec, p, body, /*move_data=*/false).makespan_us;
+  record_point(spec.name + " p=" + std::to_string(p), run_label(run), bytes,
+               us);
+  return us;
 }
 
 std::vector<std::uint64_t> size_sweep(std::uint64_t lo, std::uint64_t hi,
@@ -203,6 +322,9 @@ std::string format_speedup(double ratio) {
 }
 
 void banner(const std::string& what, const std::string& paper_ref) {
+  if (json_mode()) {
+    return;
+  }
   std::cout << "#############################################################"
                "##\n# "
             << what << "\n# Reproduces: " << paper_ref

@@ -16,6 +16,23 @@
 
 namespace kacc::bench {
 
+/// Parses the shared benchmark CLI (call first in every bench main).
+/// Flags: --json — suppress the human tables and print one JSON object per
+/// measured series on stdout instead ({"exp","arch","algorithm","sizes",
+/// "latencies_us"}), the BENCH_*.json trajectory format. The experiment id
+/// is the binary's basename. Unknown flags print usage and exit(2).
+void bench_init(int argc, char** argv);
+
+/// True after bench_init saw --json.
+[[nodiscard]] bool json_mode();
+
+/// Appends one measured point to a series keyed by (arch, algorithm).
+/// measure_us() records automatically; benches with bespoke measurement
+/// loops (timed_cma sweeps) call this directly. Points keep insertion
+/// order; series are flushed as JSON at exit when --json is on.
+void record_point(const std::string& arch, const std::string& algorithm,
+                  std::uint64_t size_bytes, double latency_us);
+
 /// Aligned text table, printed the way the paper's figures are tabulated:
 /// first column is the message size, one column per series.
 class Table {

@@ -19,7 +19,7 @@ namespace {
 double reduce_us(const ArchSpec& spec, int p, std::uint64_t bytes,
                  coll::ReduceAlgo algo) {
   const std::size_t count = bytes / sizeof(double);
-  return run_sim(
+  const double us = run_sim(
              spec, p,
              [&](Comm& comm) {
                AlignedBuffer send(bytes, 4096, false);
@@ -33,12 +33,16 @@ double reduce_us(const ArchSpec& spec, int p, std::uint64_t bytes,
              },
              /*move_data=*/false)
       .makespan_us;
+  bench::record_point(spec.name + " p=" + std::to_string(p),
+                      std::string("Reduce/") + coll::to_string(algo), bytes,
+                      us);
+  return us;
 }
 
 double allreduce_us(const ArchSpec& spec, int p, std::uint64_t bytes,
                     coll::AllreduceAlgo algo) {
   const std::size_t count = bytes / sizeof(double);
-  return run_sim(
+  const double us = run_sim(
              spec, p,
              [&](Comm& comm) {
                AlignedBuffer send(bytes, 4096, false);
@@ -50,11 +54,16 @@ double allreduce_us(const ArchSpec& spec, int p, std::uint64_t bytes,
              },
              /*move_data=*/false)
       .makespan_us;
+  bench::record_point(spec.name + " p=" + std::to_string(p),
+                      std::string("Allreduce/") + coll::to_string(algo),
+                      bytes, us);
+  return us;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Extension: contention-aware Reduce / Allreduce",
                 "paper §IX (future work)");
   for (const ArchSpec& spec : all_presets()) {

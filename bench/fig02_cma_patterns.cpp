@@ -36,7 +36,8 @@ double all_to_all_us(const ArchSpec& spec, int pairs, std::uint64_t bytes) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("CMA read latency under three access patterns (KNL)",
                 "Fig 2 (a)-(c)");
   const ArchSpec spec = knl();
@@ -52,7 +53,9 @@ int main() {
     for (std::uint64_t bytes : sizes) {
       std::vector<std::string> row = {format_bytes(bytes)};
       for (int c : readers) {
-        row.push_back(format_us(fn(c, bytes)));
+        const double us = fn(c, bytes);
+        bench::record_point(title, std::to_string(c) + " readers", bytes, us);
+        row.push_back(format_us(us));
       }
       t.add_row(std::move(row));
     }

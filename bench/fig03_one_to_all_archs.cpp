@@ -25,7 +25,8 @@ double one_to_all_us(const ArchSpec& spec, int readers, std::uint64_t bytes) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("One-to-all CMA read latency vs concurrency, three archs",
                 "Fig 3 (a)-(c)");
   const auto sizes = pow2_sizes(4096, 4u << 20);
@@ -44,7 +45,10 @@ int main() {
     for (std::uint64_t bytes : sizes) {
       std::vector<std::string> row = {format_bytes(bytes)};
       for (int c : readers) {
-        row.push_back(format_us(one_to_all_us(spec, c, bytes)));
+        const double us = one_to_all_us(spec, c, bytes);
+        bench::record_point(spec.name, std::to_string(c) + " readers", bytes,
+                            us);
+        row.push_back(format_us(us));
       }
       t.add_row(std::move(row));
     }

@@ -36,7 +36,8 @@ sim::Breakdown one_reader_breakdown(const ArchSpec& spec, int readers,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner(
       "Breakdown of one-to-all CMA read phases on Broadwell (ftrace-style)",
       "Fig 4");
@@ -52,6 +53,13 @@ int main() {
                     "total"});
     for (std::uint64_t pages : page_counts) {
       const sim::Breakdown bd = one_reader_breakdown(spec, readers, pages);
+      const std::uint64_t bytes = pages * spec.page_size;
+      bench::record_point(label, "syscall", bytes, bd.syscall_us);
+      bench::record_point(label, "permcheck", bytes, bd.permcheck_us);
+      bench::record_point(label, "lock", bytes, bd.lock_us);
+      bench::record_point(label, "pin", bytes, bd.pin_us);
+      bench::record_point(label, "copy", bytes, bd.copy_us);
+      bench::record_point(label, "total", bytes, bd.total_us());
       t.add_row({std::to_string(pages), format_us(bd.syscall_us),
                  format_us(bd.permcheck_us), format_us(bd.lock_us),
                  format_us(bd.pin_us), format_us(bd.copy_us),
@@ -59,7 +67,8 @@ int main() {
     }
     t.print();
   }
-  std::cout << "\nNote: the lock phase is the only one that grows with "
+  if (!bench::json_mode())
+    std::cout << "\nNote: the lock phase is the only one that grows with "
                "contention —\nthe paper's root cause (get_user_pages page-"
                "table lock).\n";
   return 0;

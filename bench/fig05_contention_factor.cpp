@@ -13,7 +13,8 @@
 
 using namespace kacc;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Contention factor gamma(c): samples and NLLS best fit",
                 "Fig 5 (a)-(c)");
   for (const ArchSpec& spec : all_presets()) {
@@ -48,6 +49,9 @@ int main() {
                                       spec.cores_per_socket))});
     }
     t.print();
+    if (bench::json_mode()) {
+      continue;
+    }
     std::printf("fit: gamma(c) = max(1, %.4f c^2 + %.4f c + %.4f"
                 " + %.4f (c - %d)^+), rms(log) = %.3f, converged=%s\n",
                 est.gamma_fit.coeffs.quad, est.gamma_fit.coeffs.lin,
@@ -55,7 +59,8 @@ int main() {
                 spec.cores_per_socket, est.gamma_fit.rms_error,
                 est.gamma_fit.converged ? "yes" : "no");
   }
-  std::cout << "\nNote: columns agree across page counts — gamma depends on "
+  if (!bench::json_mode())
+    std::cout << "\nNote: columns agree across page counts — gamma depends on "
                "concurrency only\n(the paper's Fig 5 observation); the knee "
                "sits at one socket's core count.\n";
   return 0;

@@ -33,7 +33,8 @@ double rel_throughput(const ArchSpec& spec, int readers, std::uint64_t bytes) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner(
       "Relative one-to-all read throughput (vs single reader) per size",
       "Fig 6 (a)-(c)");
@@ -54,13 +55,17 @@ int main() {
     for (std::uint64_t bytes : sizes) {
       std::vector<std::string> row = {format_bytes(bytes)};
       for (int c : readers) {
-        row.push_back(format_us(rel_throughput(spec, c, bytes)));
+        const double rel = rel_throughput(spec, c, bytes);
+        bench::record_point(spec.name, std::to_string(c) + " readers", bytes,
+                            rel);
+        row.push_back(format_us(rel));
       }
       t.add_row(std::move(row));
     }
     t.print();
   }
-  std::cout << "\nNote: the per-size maximum concurrency is the throttled "
+  if (!bench::json_mode())
+    std::cout << "\nNote: the per-size maximum concurrency is the throttled "
                "algorithms' sweet spot\n(KNL ~8, Broadwell ~4, POWER8 ~10 = "
                "one socket).\n";
   return 0;

@@ -9,7 +9,8 @@
 using namespace kacc;
 using bench::AlgoRun;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Scatter algorithms: parallel / sequential / throttled-k",
                 "Fig 7 (a)-(c)");
   struct ArchCase {

@@ -9,7 +9,8 @@
 using namespace kacc;
 using bench::AlgoRun;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Gather algorithms: parallel / sequential / throttled-k",
                 "Fig 8 (a)-(c)");
   struct ArchCase {

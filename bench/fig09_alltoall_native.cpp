@@ -11,7 +11,8 @@
 using namespace kacc;
 using bench::AlgoRun;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Pairwise Alltoall: SHMEM vs CMA-pt2pt vs CMA-coll",
                 "Fig 9 (a)-(b)");
   const ArchSpec archs[] = {knl(), broadwell()};
@@ -38,7 +39,8 @@ int main() {
     }
     t.print();
   }
-  std::cout << "\nNote: CMA-coll's win over CMA-pt2pt shrinks for very large "
+  if (!bench::json_mode())
+    std::cout << "\nNote: CMA-coll's win over CMA-pt2pt shrinks for very large "
                "messages — the\nRTS/CTS overhead amortizes (paper §IV-C3).\n";
   return 0;
 }

@@ -11,7 +11,8 @@
 using namespace kacc;
 using bench::AlgoRun;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Allgather algorithms", "Fig 10 (a)-(c)");
   for (const ArchSpec& spec : all_presets()) {
     const int p = spec.default_ranks;
@@ -55,7 +56,8 @@ int main() {
     }
     t.print();
   }
-  std::cout << "\nNote (Broadwell): Neighbor-1 beats Neighbor-5 — fewer "
+  if (!bench::json_mode())
+    std::cout << "\nNote (Broadwell): Neighbor-1 beats Neighbor-5 — fewer "
                "concurrent inter-socket\ntransfers share the QPI link; "
                "recursive doubling's final cross-socket exchange\nmakes it "
                "lose for large messages (paper §V-A5).\n";

@@ -9,7 +9,8 @@
 using namespace kacc;
 using bench::AlgoRun;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Broadcast algorithms", "Fig 11 (a)-(c)");
   struct ArchCase {
     ArchSpec spec;
@@ -46,7 +47,8 @@ int main() {
     }
     t.print();
   }
-  std::cout << "\nNote: k-nomial beats the direct algorithms everywhere; "
+  if (!bench::json_mode())
+    std::cout << "\nNote: k-nomial beats the direct algorithms everywhere; "
                "scatter-allgather wins\nfor the largest messages by avoiding "
                "contention entirely (paper §V-B4).\n";
   return 0;

@@ -13,7 +13,8 @@
 using namespace kacc;
 using bench::AlgoRun;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Model validation: predicted vs simulated Bcast latency",
                 "Fig 12 (a)-(b)");
   const ArchSpec archs[] = {knl(), broadwell()};
@@ -52,8 +53,10 @@ int main() {
       }
       t.print();
     }
-    std::printf("%s worst relative error: %.1f%%\n", spec.name.c_str(),
-                worst_err * 100.0);
+    if (!bench::json_mode()) {
+      std::printf("%s worst relative error: %.1f%%\n", spec.name.c_str(),
+                  worst_err * 100.0);
+    }
   }
   return 0;
 }

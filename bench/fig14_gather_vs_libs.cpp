@@ -7,7 +7,8 @@
 
 using namespace kacc;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Gather vs state-of-the-art libraries", "Fig 14 (a)-(c)");
   for (const ArchSpec& spec : all_presets()) {
     // Intel MPI was not available on the paper's OpenPOWER system.

@@ -7,7 +7,8 @@
 
 using namespace kacc;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Allgather vs state-of-the-art libraries", "Fig 16 (a)-(b)");
   bench::vs_libs_table(knl(), bench::Coll::kAllgather, 1024, 1u << 20, true);
   bench::vs_libs_table(broadwell(), bench::Coll::kAllgather, 1024, 1u << 20, true);

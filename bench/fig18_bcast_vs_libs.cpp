@@ -7,7 +7,8 @@
 
 using namespace kacc;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Bcast vs state-of-the-art libraries", "Fig 18 (a)-(b)");
   bench::vs_libs_table(broadwell(), bench::Coll::kBcast, 1024, 16u << 20, false);
   bench::vs_libs_table(power8(), bench::Coll::kBcast, 1024, 16u << 20, false,

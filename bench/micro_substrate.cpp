@@ -3,7 +3,9 @@
 // and the native CMA path where available.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "cma/endpoint.h"
 #include "cma/probe.h"
@@ -12,6 +14,7 @@
 #include "common/pattern.h"
 #include "coll/bcast.h"
 #include "model/estimator.h"
+#include "obs/trace.h"
 #include "model/gamma.h"
 #include "model/nlls.h"
 #include "runtime/sim_comm.h"
@@ -146,3 +149,77 @@ void BM_NativeCmaRead(benchmark::State& state) {
 BENCHMARK(BM_NativeCmaRead)->Arg(1)->Arg(64)->Arg(1024);
 
 } // namespace
+
+// -- Observability overhead guards ------------------------------------------
+// The acceptance bar for kacc::obs: with tracing disabled, the per-op Span
+// cost on the CMA hot path must be a few branches — no allocations, no
+// syscalls, no clock reads. Compare BM_ObsSpanDisabled against
+// BM_ObsSpanRingEmit to see the disabled/enabled gap.
+
+namespace {
+
+double fake_clock(void* ctx) {
+  auto* t = static_cast<double*>(ctx);
+  *t += 0.001;
+  return *t;
+}
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::CounterBlock block;
+  obs::Recorder rec;
+  rec.counters.bind(&block);
+  // No sink, no clock: the Span constructor/destructor must take the
+  // null-recorder fast path.
+  for (auto _ : state) {
+    obs::Span span(rec, obs::SpanName::kCmaRead, 4096, 1);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanRingEmit(benchmark::State& state) {
+  obs::CounterBlock block;
+  obs::Recorder rec;
+  rec.counters.bind(&block);
+  const std::size_t slots = 1024;
+  AlignedBuffer ring(obs::trace_ring_bytes(slots), 4096, /*zero_init=*/true);
+  obs::ShmRingSink sink;
+  sink.bind(ring.data(), slots);
+  double t = 0.0;
+  rec.sink = &sink;
+  rec.clock = &fake_clock;
+  rec.clock_ctx = &t;
+  std::vector<obs::TraceRecord> drained;
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    obs::Span span(rec, obs::SpanName::kCmaRead, 4096, 1);
+    benchmark::DoNotOptimize(&span);
+    if (++ops % (slots / 2) == 0) {
+      drained.clear();
+      obs::drain_trace_ring(ring.data(), slots, drained);
+    }
+  }
+}
+BENCHMARK(BM_ObsSpanRingEmit);
+
+} // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): accept the repo-wide --json flag
+// (alias for --benchmark_format=json) so every bench binary shares one CLI.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char json_flag[] = "--benchmark_format=json";
+  for (char*& a : args) {
+    if (std::strcmp(a, "--json") == 0) {
+      a = json_flag;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

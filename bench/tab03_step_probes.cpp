@@ -30,7 +30,8 @@ void print_steps(const std::string& title, StepTimes (*measure)(void*, std::uint
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("CMA step triggering via partial iovec counts",
                 "Table III");
   const std::vector<std::uint64_t> pages = {1, 16, 64, 256, 1024};
@@ -56,7 +57,9 @@ int main() {
         },
         nullptr, pages);
   } else {
-    std::printf("\nnative probe skipped: %s\n", cma::unavailable_reason());
+    if (!bench::json_mode()) {
+      std::printf("\nnative probe skipped: %s\n", cma::unavailable_reason());
+    }
   }
   return 0;
 }

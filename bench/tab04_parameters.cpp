@@ -9,7 +9,8 @@
 
 using namespace kacc;
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner("Model parameters per architecture (estimator round trip)",
                 "Table IV");
   bench::Table t("alpha / beta / l / s per architecture",
@@ -67,7 +68,8 @@ int main() {
         return std::string(buf);
       });
   t.print();
-  std::cout << "\nNote: gamma fits the *effective* multiplier on l "
+  if (!bench::json_mode())
+    std::cout << "\nNote: gamma fits the *effective* multiplier on l "
                "(lock*gamma + pin)/l, which is\nwhat lock-time measurements "
                "observe; see DESIGN.md §2 on the reconstruction.\n";
   return 0;

@@ -32,7 +32,8 @@ const Sweep kSweeps[] = {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
   bench::banner(
       "Maximum speedup of the proposed designs vs each library stand-in",
       "Table VI");
@@ -69,7 +70,8 @@ int main() {
     }
     t.print();
   }
-  std::cout << "\nPaper reference (Table VI): personalized collectives up to "
+  if (!bench::json_mode())
+    std::cout << "\nPaper reference (Table VI): personalized collectives up to "
                "~50x,\nnon-personalized up to ~5x, depending on architecture "
                "and library.\n";
   return 0;

@@ -18,31 +18,31 @@ public:
     return "kernel-naive (OpenMPI-style)";
   }
 
-  void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_scatter(Comm& comm, const void* sendbuf, void* recvbuf,
                std::size_t bytes, int root) override {
     coll::scatter(comm, sendbuf, recvbuf, bytes, root,
                   coll::ScatterAlgo::kParallelRead);
   }
 
-  void gather(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_gather(Comm& comm, const void* sendbuf, void* recvbuf,
               std::size_t bytes, int root) override {
     coll::gather(comm, sendbuf, recvbuf, bytes, root,
                  coll::GatherAlgo::kParallelWrite);
   }
 
-  void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
                 std::size_t bytes) override {
     coll::alltoall(comm, sendbuf, recvbuf, bytes,
                    coll::AlltoallAlgo::kPairwisePt2pt);
   }
 
-  void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_allgather(Comm& comm, const void* sendbuf, void* recvbuf,
                  std::size_t bytes) override {
     coll::allgather(comm, sendbuf, recvbuf, bytes,
                     coll::AllgatherAlgo::kRecursiveDoubling);
   }
 
-  void bcast(Comm& comm, void* buf, std::size_t bytes, int root) override {
+  void do_bcast(Comm& comm, void* buf, std::size_t bytes, int root) override {
     coll::bcast(comm, buf, bytes, root, coll::BcastAlgo::kDirectRead);
   }
 };

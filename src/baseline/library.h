@@ -31,15 +31,61 @@ public:
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  virtual void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
-                       std::size_t bytes, int root) = 0;
-  virtual void gather(Comm& comm, const void* sendbuf, void* recvbuf,
-                      std::size_t bytes, int root) = 0;
-  virtual void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
-                        std::size_t bytes) = 0;
-  virtual void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
-                         std::size_t bytes) = 0;
-  virtual void bcast(Comm& comm, void* buf, std::size_t bytes, int root) = 0;
+  // Public entry points wrap the implementations with a collective-launch
+  // span (tag = library name) so baseline runs trace like kacc's own
+  // collectives. name() is only materialized when tracing is on.
+
+  void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+               std::size_t bytes, int root) {
+    comm.recorder().counters.add(obs::Counter::kCollLaunches);
+    obs::Span span(comm.recorder(), obs::SpanName::kScatter,
+                   static_cast<std::int64_t>(bytes), root,
+                   comm.recorder().tracing() ? name().c_str() : nullptr);
+    do_scatter(comm, sendbuf, recvbuf, bytes, root);
+  }
+  void gather(Comm& comm, const void* sendbuf, void* recvbuf,
+              std::size_t bytes, int root) {
+    comm.recorder().counters.add(obs::Counter::kCollLaunches);
+    obs::Span span(comm.recorder(), obs::SpanName::kGather,
+                   static_cast<std::int64_t>(bytes), root,
+                   comm.recorder().tracing() ? name().c_str() : nullptr);
+    do_gather(comm, sendbuf, recvbuf, bytes, root);
+  }
+  void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+                std::size_t bytes) {
+    comm.recorder().counters.add(obs::Counter::kCollLaunches);
+    obs::Span span(comm.recorder(), obs::SpanName::kAlltoall,
+                   static_cast<std::int64_t>(bytes), -1,
+                   comm.recorder().tracing() ? name().c_str() : nullptr);
+    do_alltoall(comm, sendbuf, recvbuf, bytes);
+  }
+  void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+                 std::size_t bytes) {
+    comm.recorder().counters.add(obs::Counter::kCollLaunches);
+    obs::Span span(comm.recorder(), obs::SpanName::kAllgather,
+                   static_cast<std::int64_t>(bytes), -1,
+                   comm.recorder().tracing() ? name().c_str() : nullptr);
+    do_allgather(comm, sendbuf, recvbuf, bytes);
+  }
+  void bcast(Comm& comm, void* buf, std::size_t bytes, int root) {
+    comm.recorder().counters.add(obs::Counter::kCollLaunches);
+    obs::Span span(comm.recorder(), obs::SpanName::kBcast,
+                   static_cast<std::int64_t>(bytes), root,
+                   comm.recorder().tracing() ? name().c_str() : nullptr);
+    do_bcast(comm, buf, bytes, root);
+  }
+
+protected:
+  virtual void do_scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+                          std::size_t bytes, int root) = 0;
+  virtual void do_gather(Comm& comm, const void* sendbuf, void* recvbuf,
+                         std::size_t bytes, int root) = 0;
+  virtual void do_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+                           std::size_t bytes) = 0;
+  virtual void do_allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+                            std::size_t bytes) = 0;
+  virtual void do_bcast(Comm& comm, void* buf, std::size_t bytes,
+                        int root) = 0;
 };
 
 /// Two-copy shared-memory library (MVAPICH2-2.3a-style stand-in).

@@ -45,7 +45,7 @@ public:
     return "cma-pt2pt (IntelMPI-style)";
   }
 
-  void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_scatter(Comm& comm, const void* sendbuf, void* recvbuf,
                std::size_t bytes, int root) override {
     const int p = comm.size();
     if (comm.rank() == root) {
@@ -73,7 +73,7 @@ public:
     }
   }
 
-  void gather(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_gather(Comm& comm, const void* sendbuf, void* recvbuf,
               std::size_t bytes, int root) override {
     const int p = comm.size();
     if (comm.rank() == root) {
@@ -93,13 +93,13 @@ public:
     }
   }
 
-  void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
                 std::size_t bytes) override {
     coll::alltoall(comm, sendbuf, recvbuf, bytes,
                    coll::AlltoallAlgo::kPairwisePt2pt);
   }
 
-  void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_allgather(Comm& comm, const void* sendbuf, void* recvbuf,
                  std::size_t bytes) override {
     // Ring of pt2pt messages: RTS both ways first, then the copies.
     const int p = comm.size();
@@ -125,7 +125,7 @@ public:
     }
   }
 
-  void bcast(Comm& comm, void* buf, std::size_t bytes, int root) override {
+  void do_bcast(Comm& comm, void* buf, std::size_t bytes, int root) override {
     // Binomial tree of pt2pt messages.
     const int p = comm.size();
     const int relative = pmod(comm.rank() - root, p);

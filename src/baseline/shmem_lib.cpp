@@ -16,7 +16,7 @@ public:
     return "shmem-2copy (MVAPICH2-style)";
   }
 
-  void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_scatter(Comm& comm, const void* sendbuf, void* recvbuf,
                std::size_t bytes, int root) override {
     const int p = comm.size();
     if (comm.rank() == root) {
@@ -38,7 +38,7 @@ public:
     }
   }
 
-  void gather(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_gather(Comm& comm, const void* sendbuf, void* recvbuf,
               std::size_t bytes, int root) override {
     const int p = comm.size();
     if (comm.rank() == root) {
@@ -59,13 +59,13 @@ public:
     }
   }
 
-  void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
                 std::size_t bytes) override {
     coll::alltoall(comm, sendbuf, recvbuf, bytes,
                    coll::AlltoallAlgo::kPairwiseShmem);
   }
 
-  void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+  void do_allgather(Comm& comm, const void* sendbuf, void* recvbuf,
                  std::size_t bytes) override {
     // Classic shm ring: pass blocks around, two copies per hop.
     const int p = comm.size();
@@ -100,7 +100,7 @@ public:
     }
   }
 
-  void bcast(Comm& comm, void* buf, std::size_t bytes, int root) override {
+  void do_bcast(Comm& comm, void* buf, std::size_t bytes, int root) override {
     coll::bcast(comm, buf, bytes, root, coll::BcastAlgo::kShmemSlot);
   }
 };

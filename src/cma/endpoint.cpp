@@ -14,7 +14,15 @@ namespace {
 // the kernel caps per-iovec, and partial completion stays easy to resume.
 constexpr std::size_t kMaxSegment = 1ull << 30;
 
+thread_local std::uint64_t t_retries = 0;
+
 } // namespace
+
+std::uint64_t take_retry_count() {
+  const std::uint64_t n = t_retries;
+  t_retries = 0;
+  return n;
+}
 
 ErrnoClass classify_errno(int err) {
   switch (err) {
@@ -52,6 +60,7 @@ void transfer_loop(pid_t pid, std::uint64_t remote_addr, char* local,
     if (n < 0) {
       const int err = errno;
       if (classify_errno(err) == ErrnoClass::kRetryable) {
+        ++t_retries;
         continue; // interrupted by a signal: same offset, same request
       }
       throw SyscallError(what, err);

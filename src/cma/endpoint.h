@@ -23,6 +23,11 @@ enum class ErrnoClass {
 /// Classifies an errno from process_vm_readv/writev.
 ErrnoClass classify_errno(int err);
 
+/// EINTR/EAGAIN retries performed by this thread's transfer loops since the
+/// previous call; reading consumes the count (thread-local). NativeComm
+/// drains it into the obs "cma_retries" counter after each data-plane op.
+std::uint64_t take_retry_count();
+
 /// Reads `bytes` from `remote_addr` in the address space of `pid` into
 /// `local`. Loops until complete, resuming partial transfers and retrying
 /// EINTR; throws SyscallError on any other failure. `max_per_call` (when

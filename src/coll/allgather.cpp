@@ -256,6 +256,11 @@ void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
     }
   }
 
+  comm.recorder().counters.add(obs::Counter::kCollLaunches);
+  obs::Span span(comm.recorder(), obs::SpanName::kAllgather,
+                 static_cast<std::int64_t>(bytes), -1,
+                 to_string(algo).c_str());
+
   if (p == 1) {
     if (!eff.in_place) {
       comm.local_copy(recvbuf, sendbuf, bytes);

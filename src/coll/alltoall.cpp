@@ -221,6 +221,11 @@ void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
     algo = Tuner().alltoall(comm.arch(), p, bytes).alltoall;
   }
 
+  comm.recorder().counters.add(obs::Counter::kCollLaunches);
+  obs::Span span(comm.recorder(), obs::SpanName::kAlltoall,
+                 static_cast<std::int64_t>(bytes), -1,
+                 to_string(algo).c_str());
+
   if (p == 1) {
     if (!opts.in_place) {
       comm.local_copy(recvbuf, sendbuf, bytes);

@@ -248,6 +248,11 @@ void bcast(Comm& comm, void* buf, std::size_t bytes, int root,
     }
   }
 
+  comm.recorder().counters.add(obs::Counter::kCollLaunches);
+  obs::Span span(comm.recorder(), obs::SpanName::kBcast,
+                 static_cast<std::int64_t>(bytes), root,
+                 to_string(algo).c_str());
+
   if (p == 1) {
     return;
   }

@@ -130,6 +130,11 @@ void gather(Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
     }
   }
 
+  comm.recorder().counters.add(obs::Counter::kCollLaunches);
+  obs::Span span(comm.recorder(), obs::SpanName::kGather,
+                 static_cast<std::int64_t>(bytes), root,
+                 to_string(algo).c_str());
+
   if (p == 1) {
     if (!eff.in_place) {
       comm.local_copy(recvbuf, sendbuf, bytes);

@@ -339,6 +339,10 @@ void reduce(Comm& comm, const double* send, double* recv, std::size_t count,
   if (algo == ReduceAlgo::kAuto) {
     algo = Tuner().reduce(comm.arch(), p, count * kElem).reduce;
   }
+  comm.recorder().counters.add(obs::Counter::kCollLaunches);
+  obs::Span span(comm.recorder(), obs::SpanName::kReduce,
+                 static_cast<std::int64_t>(count * kElem), root,
+                 to_string(algo).c_str());
   if (p == 1) {
     comm.local_copy(recv, send, count * kElem);
     return;
@@ -373,6 +377,10 @@ void allreduce(Comm& comm, const double* send, double* recv,
   if (algo == AllreduceAlgo::kAuto) {
     algo = Tuner().allreduce(comm.arch(), p, count * kElem).allreduce;
   }
+  comm.recorder().counters.add(obs::Counter::kCollLaunches);
+  obs::Span span(comm.recorder(), obs::SpanName::kAllreduce,
+                 static_cast<std::int64_t>(count * kElem), -1,
+                 to_string(algo).c_str());
   if (p == 1) {
     comm.local_copy(recv, send, count * kElem);
     return;

@@ -141,6 +141,11 @@ void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
     }
   }
 
+  comm.recorder().counters.add(obs::Counter::kCollLaunches);
+  obs::Span span(comm.recorder(), obs::SpanName::kScatter,
+                 static_cast<std::int64_t>(bytes), root,
+                 to_string(algo).c_str());
+
   if (p == 1) {
     if (!eff.in_place) {
       comm.local_copy(recvbuf, sendbuf, bytes);

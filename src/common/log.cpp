@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <ctime>
 #include <unistd.h>
 
 namespace kacc {
@@ -37,6 +37,11 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+std::atomic<int>& rank_storage() {
+  static std::atomic<int> rank{-1};
+  return rank;
+}
+
 } // namespace
 
 LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
@@ -45,12 +50,47 @@ void set_log_level(LogLevel level) {
   level_storage().store(static_cast<int>(level));
 }
 
+void log_set_rank(int rank) { rank_storage().store(rank); }
+
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
-  // A single fprintf keeps lines whole across forked rank processes.
-  std::fprintf(stderr, "[kacc %s pid=%d] %s\n", level_name(level),
-               static_cast<int>(::getpid()), message.c_str());
+  // Wall-clock timestamp with millisecond resolution; localtime_r keeps the
+  // formatter signal/thread-safe enough for diagnostics.
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_buf {};
+  ::localtime_r(&ts.tv_sec, &tm_buf);
+
+  char prefix[128];
+  const int rank = rank_storage().load();
+  int n;
+  if (rank >= 0) {
+    n = std::snprintf(prefix, sizeof(prefix),
+                      "[kacc %02d:%02d:%02d.%03ld %s pid=%d rank=%d] ",
+                      tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                      ts.tv_nsec / 1'000'000, level_name(level),
+                      static_cast<int>(::getpid()), rank);
+  } else {
+    n = std::snprintf(prefix, sizeof(prefix),
+                      "[kacc %02d:%02d:%02d.%03ld %s pid=%d] ",
+                      tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                      ts.tv_nsec / 1'000'000, level_name(level),
+                      static_cast<int>(::getpid()));
+  }
+  if (n < 0) {
+    n = 0;
+  }
+
+  // One write(2) per line: forked rank processes share stderr, and a single
+  // syscall is the only way their lines never interleave mid-line.
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + message.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(n));
+  line.append(message);
+  line.push_back('\n');
+  ssize_t ignored = ::write(STDERR_FILENO, line.data(), line.size());
+  (void)ignored;
 }
 
 } // namespace detail

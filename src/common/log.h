@@ -18,7 +18,15 @@ LogLevel log_level();
 /// Overrides the global log level.
 void set_log_level(LogLevel level);
 
+/// Tags this process's log lines with a rank (forked native ranks call this
+/// once after fork). Lines read "... pid=1234 rank=2] ..."; unset (< 0, the
+/// default) omits the rank field.
+void log_set_rank(int rank);
+
 namespace detail {
+/// Formats "[kacc <ts> LEVEL pid=<pid>[ rank=<r>]] <message>\n" into one
+/// buffer and hands it to a single write(2), so lines from forked rank
+/// processes never interleave mid-line.
 void log_emit(LogLevel level, const std::string& message);
 } // namespace detail
 

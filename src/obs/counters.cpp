@@ -1,0 +1,109 @@
+#include "obs/counters.h"
+
+#include <cstdio>
+
+namespace kacc::obs {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kCmaReadOps: return "cma_read_ops";
+    case Counter::kCmaReadBytes: return "cma_read_bytes";
+    case Counter::kCmaWriteOps: return "cma_write_ops";
+    case Counter::kCmaWriteBytes: return "cma_write_bytes";
+    case Counter::kCmaRetries: return "cma_retries";
+    case Counter::kFallbackActivations: return "fallback_activations";
+    case Counter::kFallbackReadOps: return "fallback_read_ops";
+    case Counter::kFallbackWriteOps: return "fallback_write_ops";
+    case Counter::kFallbackBytes: return "fallback_bytes";
+    case Counter::kFallbackServedOps: return "fallback_served_ops";
+    case Counter::kPipeSendOps: return "pipe_send_ops";
+    case Counter::kPipeSendBytes: return "pipe_send_bytes";
+    case Counter::kPipeRecvOps: return "pipe_recv_ops";
+    case Counter::kPipeRecvBytes: return "pipe_recv_bytes";
+    case Counter::kShmBcastOps: return "shm_bcast_ops";
+    case Counter::kShmBcastBytes: return "shm_bcast_bytes";
+    case Counter::kCtrlBcasts: return "ctrl_bcasts";
+    case Counter::kCtrlGathers: return "ctrl_gathers";
+    case Counter::kCtrlAllgathers: return "ctrl_allgathers";
+    case Counter::kSignalsPosted: return "signals_posted";
+    case Counter::kSignalsWaited: return "signals_waited";
+    case Counter::kBarriers: return "barriers";
+    case Counter::kLocalCopyBytes: return "local_copy_bytes";
+    case Counter::kComputeBytes: return "compute_bytes";
+    case Counter::kSpinSlowWaits: return "spin_slow_waits";
+    case Counter::kTraceDrops: return "trace_drops";
+    case Counter::kCollLaunches: return "coll_launches";
+    case Counter::kSimRerateEvents: return "sim_rerate_events";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+CounterSnapshot snapshot(const CounterBlock& block) {
+  CounterSnapshot out{};
+  for (int i = 0; i < kCounterCount; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        block.v[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void accumulate(CounterSnapshot& dst, const CounterSnapshot& src) {
+  for (int i = 0; i < kCounterCount; ++i) {
+    dst[static_cast<std::size_t>(i)] += src[static_cast<std::size_t>(i)];
+  }
+}
+
+std::string metrics_json(const std::string& runtime,
+                         const CounterSnapshot& totals,
+                         const std::vector<CounterSnapshot>& per_rank) {
+  std::string out = "{\"runtime\":\"" + runtime +
+                    "\",\"ranks\":" + std::to_string(per_rank.size()) +
+                    ",\"totals\":{";
+  bool first = true;
+  for (int i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t v = get(totals, c);
+    if (v == 0) {
+      continue; // keep the line scannable: only counters that fired
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += counter_name(c);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"per_rank\":{";
+  first = true;
+  for (int i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    std::uint64_t any = 0;
+    for (const CounterSnapshot& s : per_rank) {
+      any |= get(s, c);
+    }
+    if (any == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += counter_name(c);
+    out += "\":[";
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      if (r != 0) {
+        out += ',';
+      }
+      out += std::to_string(get(per_rank[r], c));
+    }
+    out += ']';
+  }
+  out += "}}";
+  return out;
+}
+
+} // namespace kacc::obs

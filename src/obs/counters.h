@@ -1,0 +1,133 @@
+// Lock-free per-rank counters (kacc::obs). Every transport and every
+// runtime health event in the repo is attributed to one of the counters
+// below; ranks bump them with relaxed atomic adds into a fixed-size
+// CounterBlock, and the team harness aggregates blocks at teardown.
+//
+// Placement: native ranks publish into a typed carve-out of the ShmArena
+// (the parent snapshots after reaping), sim ranks into per-rank heap blocks
+// owned by the world. The block is memset(0)-compatible by design, like
+// every other arena region.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kacc::obs {
+
+/// Counter inventory. Keep names in counters.cpp in sync; append only (the
+/// trace/metrics schema is consumed by external tooling).
+enum class Counter : int {
+  // Kernel-assisted data plane (successful process_vm_readv/writev ops).
+  kCmaReadOps = 0,
+  kCmaReadBytes,
+  kCmaWriteOps,
+  kCmaWriteBytes,
+  kCmaRetries, ///< EINTR/EAGAIN retries inside the endpoint transfer loop
+
+  // CMA -> two-copy degradation (sticky EPERM fallback, PR 1).
+  kFallbackActivations, ///< 0 or 1 per rank: CMA permanently degraded
+  kFallbackReadOps,     ///< data-plane reads served via ChunkPipe
+  kFallbackWriteOps,    ///< data-plane writes served via ChunkPipe
+  kFallbackBytes,
+  kFallbackServedOps, ///< peer requests this rank serviced from poll()
+
+  // Two-copy shared-memory data plane (SHMEM baselines + fallback bytes).
+  kPipeSendOps,
+  kPipeSendBytes,
+  kPipeRecvOps,
+  kPipeRecvBytes,
+  kShmBcastOps,
+  kShmBcastBytes,
+
+  // Control plane.
+  kCtrlBcasts,
+  kCtrlGathers,
+  kCtrlAllgathers,
+  kSignalsPosted,
+  kSignalsWaited,
+  kBarriers,
+
+  // Local work charged through the Comm interface.
+  kLocalCopyBytes,
+  kComputeBytes,
+
+  // Runtime health.
+  kSpinSlowWaits, ///< blocking shm waits that left the hot spin burst
+  kTraceDrops,    ///< trace records dropped on a full ring
+
+  // Collective launches (any algorithm, any transport).
+  kCollLaunches,
+
+  // Simulator: page-lock/link re-rate events (membership changes that
+  // re-published in-flight op finish times). World-level, not per rank.
+  kSimRerateEvents,
+
+  kCount
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::kCount);
+
+/// Stable short name ("cma_read_ops", ...) used by metrics/trace output.
+const char* counter_name(Counter c);
+
+/// One rank's counter storage: a cache-line-aligned array of atomics that
+/// lives either in shared memory (native) or on the heap (sim). All-zero
+/// bytes is a valid initial state.
+struct alignas(64) CounterBlock {
+  std::atomic<std::uint64_t> v[kCounterCount];
+};
+
+/// Per-rank writer view. `add` is a relaxed fetch_add — lock-free, no
+/// allocation, no syscalls — and a no-op until bound to a block.
+class CounterRegistry {
+public:
+  CounterRegistry() = default;
+
+  void bind(CounterBlock* block) { block_ = block; }
+  [[nodiscard]] bool bound() const { return block_ != nullptr; }
+
+  void add(Counter c, std::uint64_t n = 1) const {
+    if (block_ != nullptr) {
+      block_->v[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value(Counter c) const {
+    return block_ == nullptr
+               ? 0
+               : block_->v[static_cast<int>(c)].load(
+                     std::memory_order_relaxed);
+  }
+
+  /// Raw cell pointer, for hot paths that cannot afford the enum lookup
+  /// per event (the spin-wait slow path holds this across iterations).
+  [[nodiscard]] std::atomic<std::uint64_t>* cell(Counter c) const {
+    return block_ == nullptr ? nullptr : &block_->v[static_cast<int>(c)];
+  }
+
+private:
+  CounterBlock* block_ = nullptr;
+};
+
+/// Plain (non-atomic) copy of one block, for aggregation and reporting.
+using CounterSnapshot = std::array<std::uint64_t, kCounterCount>;
+
+[[nodiscard]] CounterSnapshot snapshot(const CounterBlock& block);
+
+/// dst += src, element-wise.
+void accumulate(CounterSnapshot& dst, const CounterSnapshot& src);
+
+[[nodiscard]] inline std::uint64_t get(const CounterSnapshot& s, Counter c) {
+  return s[static_cast<std::size_t>(static_cast<int>(c))];
+}
+
+/// One JSON object (single line) with totals and per-rank values —
+/// the KACC_METRICS dump format.
+[[nodiscard]] std::string
+metrics_json(const std::string& runtime, const CounterSnapshot& totals,
+             const std::vector<CounterSnapshot>& per_rank);
+
+} // namespace kacc::obs

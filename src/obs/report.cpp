@@ -1,0 +1,289 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/log.h"
+
+namespace kacc::obs {
+namespace {
+
+/// Locale-independent fixed-point microsecond formatting: Perfetto wants
+/// numbers, determinism wants one canonical rendering per value.
+void append_us(std::string& out, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out += buf;
+}
+
+void append_event(std::string& out, const TraceRecord& r, int pid,
+                  int tid) {
+  out += "{\"name\":\"";
+  out += span_name(static_cast<SpanName>(r.name));
+  out += "\",\"cat\":\"kacc\",\"ph\":\"X\",\"ts\":";
+  append_us(out, r.ts_us);
+  out += ",\"dur\":";
+  append_us(out, r.dur_us < 0.0 ? 0.0 : r.dur_us);
+  out += ",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid);
+  bool args_open = false;
+  auto arg_key = [&](const char* key) {
+    out += args_open ? "," : ",\"args\":{";
+    args_open = true;
+    out += '"';
+    out += key;
+    out += "\":";
+  };
+  if (r.bytes >= 0) {
+    arg_key("bytes");
+    out += std::to_string(r.bytes);
+  }
+  if (r.peer >= 0) {
+    arg_key("peer");
+    out += std::to_string(r.peer);
+  }
+  if (r.tag[0] != '\0') {
+    arg_key("tag");
+    out += '"';
+    // Tags are short identifiers from our own tables; escape conservatively
+    // anyway so the JSON stays valid whatever lands here.
+    for (std::size_t i = 0; i < sizeof(r.tag) && r.tag[i] != '\0'; ++i) {
+      const char c = r.tag[i];
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      if (static_cast<unsigned char>(c) >= 0x20) {
+        out += c;
+      }
+    }
+    out += '"';
+  }
+  if (r.has_phases != 0) {
+    static const char* kPhase[5] = {"syscall_us", "permcheck_us", "lock_us",
+                                    "pin_us", "copy_us"};
+    for (int i = 0; i < 5; ++i) {
+      arg_key(kPhase[i]);
+      append_us(out, static_cast<double>(r.phase[i]));
+    }
+  }
+  if (args_open) {
+    out += '}';
+  }
+  out += '}';
+}
+
+void append_meta(std::string& out, const char* what, int pid, int tid,
+                 const std::string& name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  if (tid >= 0) {
+    out += ",\"tid\":" + std::to_string(tid);
+  }
+  out += ",\"args\":{\"name\":\"" + name + "\"}}";
+}
+
+/// One published run held by the global collector.
+struct RunEntry {
+  std::string label;
+  std::vector<RankTrace> ranks;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<RunEntry> runs;
+  std::size_t stored_records = 0;
+  std::uint64_t truncated_runs = 0;
+  bool atexit_registered = false;
+};
+
+Collector& collector() {
+  static Collector c;
+  return c;
+}
+
+std::size_t max_events() {
+  static const std::size_t cap = [] {
+    const char* s = std::getenv("KACC_TRACE_MAX_EVENTS");
+    if (s == nullptr || *s == '\0') {
+      return static_cast<std::size_t>(262144);
+    }
+    const long long v = std::atoll(s);
+    return v > 0 ? static_cast<std::size_t>(v) : static_cast<std::size_t>(0);
+  }();
+  return cap;
+}
+
+} // namespace
+
+std::string trace_json(const std::vector<RankTrace>& ranks, int pid,
+                       const std::string& label) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+  sep();
+  append_meta(out, "process_name", pid, -1, label);
+  for (const RankTrace& rt : ranks) {
+    sep();
+    append_meta(out, "thread_name", pid, rt.rank,
+                "rank " + std::to_string(rt.rank));
+  }
+  for (const RankTrace& rt : ranks) {
+    // Sort by start time, widest span first on ties, so enclosing spans
+    // precede the spans they contain. Emission order (the fallback key via
+    // stable_sort) is deterministic per rank.
+    std::vector<const TraceRecord*> order;
+    order.reserve(rt.records.size());
+    for (const TraceRecord& r : rt.records) {
+      order.push_back(&r);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const TraceRecord* a, const TraceRecord* b) {
+                       if (a->ts_us != b->ts_us) {
+                         return a->ts_us < b->ts_us;
+                       }
+                       return a->dur_us > b->dur_us;
+                     });
+    for (const TraceRecord* r : order) {
+      sep();
+      append_event(out, *r, pid, rt.rank);
+    }
+    if (rt.dropped != 0) {
+      sep();
+      append_meta(out, "process_labels", pid, -1,
+                  "dropped " + std::to_string(rt.dropped) +
+                      " records (ring full, rank " +
+                      std::to_string(rt.rank) + ")");
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool trace_enabled() { return !trace_path().empty(); }
+
+const std::string& trace_path() {
+  static const std::string path = [] {
+    const char* s = std::getenv("KACC_TRACE");
+    return std::string(s != nullptr ? s : "");
+  }();
+  return path;
+}
+
+void publish_trace(const std::vector<RankTrace>& ranks,
+                   const std::string& label) {
+  if (!trace_enabled()) {
+    return;
+  }
+  std::size_t records = 0;
+  for (const RankTrace& rt : ranks) {
+    records += rt.records.size();
+  }
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lk(c.mu);
+  if (!c.atexit_registered) {
+    c.atexit_registered = true;
+    std::atexit(flush_trace);
+  }
+  if (c.stored_records + records > max_events()) {
+    ++c.truncated_runs; // keep the file bounded; note the omission
+    return;
+  }
+  c.stored_records += records;
+  c.runs.push_back(RunEntry{label, ranks});
+}
+
+void flush_trace() {
+  if (!trace_enabled()) {
+    return;
+  }
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lk(c.mu);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+  for (std::size_t run = 0; run < c.runs.size(); ++run) {
+    const RunEntry& entry = c.runs[run];
+    const int pid = static_cast<int>(run);
+    // Reuse the single-run renderer's event stream by inlining its body:
+    // cheaper than string-splicing two documents together.
+    sep();
+    append_meta(out, "process_name", pid, -1,
+                std::to_string(run) + ": " + entry.label);
+    for (const RankTrace& rt : entry.ranks) {
+      sep();
+      append_meta(out, "thread_name", pid, rt.rank,
+                  "rank " + std::to_string(rt.rank));
+    }
+    for (const RankTrace& rt : entry.ranks) {
+      std::vector<const TraceRecord*> order;
+      order.reserve(rt.records.size());
+      for (const TraceRecord& r : rt.records) {
+        order.push_back(&r);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [](const TraceRecord* a, const TraceRecord* b) {
+                         if (a->ts_us != b->ts_us) {
+                           return a->ts_us < b->ts_us;
+                         }
+                         return a->dur_us > b->dur_us;
+                       });
+      for (const TraceRecord* r : order) {
+        sep();
+        append_event(out, *r, pid, rt.rank);
+      }
+    }
+  }
+  if (c.truncated_runs != 0) {
+    sep();
+    append_meta(out, "process_name", static_cast<int>(c.runs.size()), -1,
+                "truncated: " + std::to_string(c.truncated_runs) +
+                    " later runs dropped (KACC_TRACE_MAX_EVENTS)");
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+
+  std::FILE* f = std::fopen(trace_path().c_str(), "w");
+  if (f == nullptr) {
+    KACC_LOG_ERROR("KACC_TRACE: cannot open " << trace_path());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+void maybe_dump_metrics(const TeamObs& obs, const std::string& runtime) {
+  static const std::string dest = [] {
+    const char* s = std::getenv("KACC_METRICS");
+    return std::string(s != nullptr ? s : "");
+  }();
+  if (dest.empty()) {
+    return;
+  }
+  const std::string line =
+      metrics_json(runtime, obs.totals, obs.per_rank) + "\n";
+  if (dest == "-" || dest == "stderr") {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    return;
+  }
+  std::FILE* f = std::fopen(dest.c_str(), "a");
+  if (f == nullptr) {
+    KACC_LOG_ERROR("KACC_METRICS: cannot open " << dest);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
+}
+
+} // namespace kacc::obs

@@ -1,0 +1,76 @@
+// Team-level observability results and export (kacc::obs).
+//
+// Every team run — simulated or native — ends with a TeamObs: per-rank
+// counter snapshots, their aggregate, and (when tracing) per-rank span
+// records. trace_json() renders records as Chrome trace-event / Perfetto
+// JSON ("X" complete events, one tid per rank); the rendering is fully
+// deterministic, so a deterministic run produces byte-identical JSON.
+//
+// Environment:
+//   KACC_TRACE=<file>    collect every run's spans and write one Perfetto
+//                        JSON file at process exit (pid = run ordinal).
+//   KACC_METRICS=<file>  append one JSON line of counters per team run
+//                        ("-" or "stderr" for stderr).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace kacc::obs {
+
+/// Spans of one rank, in emission order, plus its ring overflow count.
+struct RankTrace {
+  int rank = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceRecord> records;
+};
+
+/// Observability outcome of one team run.
+struct TeamObs {
+  std::vector<CounterSnapshot> per_rank;
+  CounterSnapshot totals{};
+  /// Empty when tracing was disabled for the run.
+  std::vector<RankTrace> traces;
+
+  [[nodiscard]] std::uint64_t total(Counter c) const {
+    return get(totals, c);
+  }
+  [[nodiscard]] std::uint64_t rank_value(int rank, Counter c) const {
+    return get(per_rank[static_cast<std::size_t>(rank)], c);
+  }
+};
+
+/// Renders rank traces as a complete Chrome trace-event JSON document
+/// ({"traceEvents":[...]}). Events are sorted per rank by (ts, -dur) so
+/// enclosing spans precede nested ones; formatting is locale-independent
+/// and deterministic. `pid` labels the run; `label` names the process row.
+[[nodiscard]] std::string trace_json(const std::vector<RankTrace>& ranks,
+                                     int pid = 0,
+                                     const std::string& label = "kacc");
+
+/// True when KACC_TRACE names an output file (cached at first use).
+[[nodiscard]] bool trace_enabled();
+/// The KACC_TRACE path ("" when unset).
+[[nodiscard]] const std::string& trace_path();
+
+/// Appends one run's traces to the process-global collector (no-op unless
+/// trace_enabled()). The collector writes trace_path() at process exit;
+/// run ordinals become Perfetto pids, so repeated identical runs produce
+/// byte-identical files. `label` tags the run's process row, e.g.
+/// "sim knl p=64". Runs beyond KACC_TRACE_MAX_EVENTS total records are
+/// counted but not stored (the file notes the truncation).
+void publish_trace(const std::vector<RankTrace>& ranks,
+                   const std::string& label);
+
+/// Flushes the global collector to trace_path() immediately (also runs at
+/// exit; calling it twice writes the file twice, which is idempotent).
+void flush_trace();
+
+/// Emits the KACC_METRICS line for one team run (no-op when unset).
+void maybe_dump_metrics(const TeamObs& obs, const std::string& runtime);
+
+} // namespace kacc::obs

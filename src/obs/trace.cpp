@@ -1,0 +1,76 @@
+#include "obs/trace.h"
+
+namespace kacc::obs {
+
+const char* span_name(SpanName n) {
+  switch (n) {
+    case SpanName::kCmaRead: return "cma_read";
+    case SpanName::kCmaWrite: return "cma_write";
+    case SpanName::kFallbackRead: return "fallback_read";
+    case SpanName::kFallbackWrite: return "fallback_write";
+    case SpanName::kFallbackServe: return "fallback_serve";
+    case SpanName::kLocalCopy: return "local_copy";
+    case SpanName::kShmSend: return "shm_send";
+    case SpanName::kShmRecv: return "shm_recv";
+    case SpanName::kShmBcast: return "shm_bcast";
+    case SpanName::kCtrlBcast: return "ctrl_bcast";
+    case SpanName::kCtrlGather: return "ctrl_gather";
+    case SpanName::kCtrlAllgather: return "ctrl_allgather";
+    case SpanName::kWaitSignal: return "wait_signal";
+    case SpanName::kBarrier: return "barrier";
+    case SpanName::kCompute: return "compute";
+    case SpanName::kScatter: return "scatter";
+    case SpanName::kGather: return "gather";
+    case SpanName::kAlltoall: return "alltoall";
+    case SpanName::kAllgather: return "allgather";
+    case SpanName::kBcast: return "bcast";
+    case SpanName::kReduce: return "reduce";
+    case SpanName::kAllreduce: return "allreduce";
+    case SpanName::kCount: break;
+  }
+  return "?";
+}
+
+void ShmRingSink::bind(void* ring_base, std::size_t slots) {
+  hdr_ = static_cast<TraceRingHeader*>(ring_base);
+  slots_ = reinterpret_cast<TraceRecord*>(hdr_ + 1);
+  cap_ = slots;
+  // Both sides compute the same capacity from the arena layout; writing it
+  // here is idempotent and keeps the header self-describing.
+  hdr_->capacity = slots;
+}
+
+void ShmRingSink::emit(const TraceRecord& rec) {
+  if (hdr_ == nullptr || cap_ == 0) {
+    return;
+  }
+  const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+  if (head - tail >= cap_) {
+    hdr_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return; // never block the rank for the sake of a trace record
+  }
+  slots_[head % cap_] = rec;
+  hdr_->head.store(head + 1, std::memory_order_release);
+}
+
+std::size_t drain_trace_ring(void* ring_base, std::size_t slots,
+                             std::vector<TraceRecord>& out) {
+  auto* hdr = static_cast<TraceRingHeader*>(ring_base);
+  auto* recs = reinterpret_cast<TraceRecord*>(hdr + 1);
+  const std::uint64_t head = hdr->head.load(std::memory_order_acquire);
+  std::uint64_t tail = hdr->tail.load(std::memory_order_relaxed);
+  const std::size_t n = static_cast<std::size_t>(head - tail);
+  for (; tail != head; ++tail) {
+    out.push_back(recs[tail % slots]);
+  }
+  hdr->tail.store(tail, std::memory_order_release);
+  return n;
+}
+
+std::uint64_t trace_ring_dropped(void* ring_base) {
+  return static_cast<TraceRingHeader*>(ring_base)
+      ->dropped.load(std::memory_order_relaxed);
+}
+
+} // namespace kacc::obs

@@ -1,0 +1,190 @@
+// Span tracing (kacc::obs): fixed-size trace records emitted by RAII spans
+// into either a per-rank vector (simulation — deterministic, virtual time)
+// or a fixed-size SPSC ring buffer in shared memory (native — the parent
+// drains concurrently, so tracing never allocates or syscalls on a rank's
+// hot path). Records export as Chrome trace-event / Perfetto JSON
+// (obs/report.h); the sim attaches the five-phase CMA Breakdown as span
+// args so Fig-4-style attribution is available for any collective.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "obs/counters.h"
+#include "sim/breakdown.h"
+
+namespace kacc::obs {
+
+/// Span identities. Stable names live in trace.cpp; append only.
+enum class SpanName : std::uint32_t {
+  // Transport spans (Comm-level operations).
+  kCmaRead = 0,
+  kCmaWrite,
+  kFallbackRead,
+  kFallbackWrite,
+  kFallbackServe,
+  kLocalCopy,
+  kShmSend,
+  kShmRecv,
+  kShmBcast,
+  kCtrlBcast,
+  kCtrlGather,
+  kCtrlAllgather,
+  kWaitSignal,
+  kBarrier,
+  kCompute,
+  // Collective entry points (tag carries the algorithm / library name).
+  kScatter,
+  kGather,
+  kAlltoall,
+  kAllgather,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kCount
+};
+
+const char* span_name(SpanName n);
+
+/// One completed span. Fixed-size and self-contained (no pointers) so it
+/// can cross the shared-memory ring between a rank and the team parent.
+struct TraceRecord {
+  double ts_us = 0.0;          ///< start time (virtual or wall, per clock)
+  double dur_us = 0.0;         ///< duration (Chrome "X" complete event)
+  std::int64_t bytes = -1;     ///< payload size; -1 = not applicable
+  std::uint32_t name = 0;      ///< SpanName
+  std::int32_t peer = -1;      ///< peer rank; -1 = not applicable
+  char tag[16] = {};           ///< optional detail (algorithm, library)
+  float phase[5] = {};         ///< syscall/permcheck/lock/pin/copy (us)
+  std::uint32_t has_phases = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(TraceRecord) == 80, "ring layout depends on this");
+
+/// Where spans go. emit() must be cheap; ring sinks must not allocate.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceRecord& rec) = 0;
+};
+
+/// Simulation sink: appends in emission order (deterministic under the
+/// engine's total order of events).
+class VectorSink final : public TraceSink {
+public:
+  void emit(const TraceRecord& rec) override { records.push_back(rec); }
+  std::vector<TraceRecord> records;
+};
+
+/// Header of one per-rank SPSC trace ring in shared memory. The rank is
+/// the producer, the team parent the consumer; `dropped` counts records
+/// lost to a full ring (tracing never blocks the rank).
+struct TraceRingHeader {
+  std::atomic<std::uint64_t> head;    ///< next slot the producer writes
+  std::atomic<std::uint64_t> tail;    ///< next slot the consumer reads
+  std::atomic<std::uint64_t> dropped; ///< records discarded on overflow
+  std::uint64_t capacity;             ///< slot count (set by both sides)
+  char pad[32];
+};
+static_assert(sizeof(TraceRingHeader) == 64);
+
+/// Bytes one ring occupies for `slots` records.
+[[nodiscard]] constexpr std::size_t trace_ring_bytes(std::size_t slots) {
+  return sizeof(TraceRingHeader) + slots * sizeof(TraceRecord);
+}
+
+/// Producer side of a shared-memory ring. emit() is wait-free: a full ring
+/// drops the record and bumps `dropped`.
+class ShmRingSink final : public TraceSink {
+public:
+  ShmRingSink() = default;
+
+  /// Attaches to a zero-initialized ring region of trace_ring_bytes(slots).
+  void bind(void* ring_base, std::size_t slots);
+
+  void emit(const TraceRecord& rec) override;
+
+private:
+  TraceRingHeader* hdr_ = nullptr;
+  TraceRecord* slots_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
+/// Consumer side: moves every completed record out of the ring into `out`.
+/// Returns the number drained. Safe to call repeatedly while the producer
+/// is live (SPSC).
+std::size_t drain_trace_ring(void* ring_base, std::size_t slots,
+                             std::vector<TraceRecord>& out);
+
+/// Producer-reported overflow count of a ring.
+std::uint64_t trace_ring_dropped(void* ring_base);
+
+/// Everything a rank needs to observe itself: its counters, its trace sink
+/// (null = tracing disabled), and the clock spans read. The clock is a
+/// plain function pointer so obs stays below the runtime layer.
+struct Recorder {
+  CounterRegistry counters;
+  TraceSink* sink = nullptr;
+  double (*clock)(void*) = nullptr;
+  void* clock_ctx = nullptr;
+  int rank = 0;
+
+  [[nodiscard]] bool tracing() const { return sink != nullptr; }
+  [[nodiscard]] double now_us() const {
+    return clock != nullptr ? clock(clock_ctx) : 0.0;
+  }
+};
+
+/// RAII span: reads the clock at construction and destruction and emits one
+/// TraceRecord. When tracing is disabled the constructor is a null check
+/// and nothing else — no clock reads, no allocation, no syscalls.
+class Span {
+public:
+  Span(Recorder& rec, SpanName name, std::int64_t bytes = -1, int peer = -1,
+       const char* tag = nullptr)
+      : rec_(rec.tracing() ? &rec : nullptr) {
+    if (rec_ == nullptr) {
+      return;
+    }
+    record_.ts_us = rec.now_us();
+    record_.name = static_cast<std::uint32_t>(name);
+    record_.bytes = bytes;
+    record_.peer = peer;
+    if (tag != nullptr) {
+      std::strncpy(record_.tag, tag, sizeof(record_.tag) - 1);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches the sim's five-phase CMA breakdown as span args.
+  void set_phases(const sim::Breakdown& bd) {
+    if (rec_ == nullptr) {
+      return;
+    }
+    record_.phase[0] = static_cast<float>(bd.syscall_us);
+    record_.phase[1] = static_cast<float>(bd.permcheck_us);
+    record_.phase[2] = static_cast<float>(bd.lock_us);
+    record_.phase[3] = static_cast<float>(bd.pin_us);
+    record_.phase[4] = static_cast<float>(bd.copy_us);
+    record_.has_phases = 1;
+  }
+
+  ~Span() {
+    if (rec_ == nullptr) {
+      return;
+    }
+    record_.dur_us = rec_->now_us() - record_.ts_us;
+    rec_->sink->emit(record_);
+  }
+
+private:
+  Recorder* rec_;
+  TraceRecord record_{};
+};
+
+} // namespace kacc::obs

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/trace.h"
 #include "topo/arch_spec.h"
 
 namespace kacc {
@@ -23,6 +24,11 @@ namespace kacc {
 class Comm {
 public:
   virtual ~Comm() = default;
+
+  /// The rank's observability state: lock-free counters plus the span
+  /// tracer (see src/obs). Bound by each implementation's constructor;
+  /// collective algorithms and benchmarks instrument through this.
+  [[nodiscard]] obs::Recorder& recorder() { return recorder_; }
 
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int size() const = 0;
@@ -88,6 +94,9 @@ public:
   [[nodiscard]] std::uint64_t expose(const void* p) const {
     return reinterpret_cast<std::uint64_t>(p);
   }
+
+protected:
+  obs::Recorder recorder_;
 };
 
 } // namespace kacc

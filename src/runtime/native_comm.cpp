@@ -8,6 +8,7 @@
 
 #include "cma/endpoint.h"
 #include "common/error.h"
+#include "common/log.h"
 
 namespace kacc {
 namespace {
@@ -25,6 +26,10 @@ double deadline_ms_from_env(double fallback) {
   return v;
 }
 
+double native_clock_cb(void* ctx) {
+  return static_cast<NativeComm*>(ctx)->now_us();
+}
+
 } // namespace
 
 NativeComm::NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank,
@@ -37,6 +42,15 @@ NativeComm::NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank,
       fault_plan_(FaultPlan::from_env()) {
   KACC_CHECK_MSG(rank >= 0 && rank < nranks, "NativeComm rank out of range");
   cfg_.op_deadline_ms = deadline_ms_from_env(cfg_.op_deadline_ms);
+  log_set_rank(rank);
+  recorder_.rank = rank;
+  recorder_.counters.bind(arena.counter_block(rank));
+  recorder_.clock = &native_clock_cb;
+  recorder_.clock_ctx = this;
+  if (void* ring = arena.trace_ring(rank)) {
+    ring_sink_.bind(ring, arena.layout().trace_slots);
+    recorder_.sink = &ring_sink_;
+  }
   arena.register_rank(rank);
   arena.wait_all_registered(wait_ctx("arena registration"));
   pids_.reserve(static_cast<std::size_t>(nranks));
@@ -52,6 +66,8 @@ shm::WaitContext NativeComm::wait_ctx(const char* what) {
                      : Deadline::never();
   ctx.hook = this;
   ctx.what = what;
+  ctx.slow_wait_counter =
+      recorder_.counters.cell(obs::Counter::kSpinSlowWaits);
   return ctx;
 }
 
@@ -86,13 +102,18 @@ void NativeComm::service_fallback_requests() {
       // store of req) visible.
       void* owned = reinterpret_cast<void*>(slot->addr);
       const std::size_t bytes = slot->bytes;
-      if (slot->op == 0) {
-        // Peer wanted to CMA-read our memory: send it the bytes instead.
-        pipes_.send(q, owned, bytes, wait_ctx("cma fallback serve (read)"));
-      } else {
-        // Peer wanted to CMA-write into us: receive into our own memory.
-        pipes_.recv(q, owned, bytes, wait_ctx("cma fallback serve (write)"));
+      {
+        obs::Span span(recorder_, obs::SpanName::kFallbackServe,
+                       static_cast<std::int64_t>(bytes), q);
+        if (slot->op == 0) {
+          // Peer wanted to CMA-read our memory: send it the bytes instead.
+          pipes_.send(q, owned, bytes, wait_ctx("cma fallback serve (read)"));
+        } else {
+          // Peer wanted to CMA-write into us: receive into our own memory.
+          pipes_.recv(q, owned, bytes, wait_ctx("cma fallback serve (write)"));
+        }
       }
+      recorder_.counters.add(obs::Counter::kFallbackServedOps);
       slot->ack.store(ack + 1, std::memory_order_release);
     }
   } catch (...) {
@@ -102,12 +123,19 @@ void NativeComm::service_fallback_requests() {
   in_service_ = false;
 }
 
-void NativeComm::handle_cma_error(const SyscallError& e, int peer) {
+void NativeComm::handle_cma_error(const SyscallError& e, int peer,
+                                  const char* opname) {
   switch (cma::classify_errno(e.sys_errno())) {
     case cma::ErrnoClass::kPermission:
       // Kernel policy revoked CMA (yama ptrace_scope, seccomp). Sticky:
       // every later data-plane op goes through the two-copy path.
-      cma_disabled_ = true;
+      if (!cma_disabled_) {
+        cma_disabled_ = true;
+        recorder_.counters.add(obs::Counter::kFallbackActivations);
+        KACC_LOG_WARN("CMA degraded to two-copy path after "
+                      << opname << " op " << cma_ops_ << " peer " << peer
+                      << ": " << e.what());
+      }
       return;
     case cma::ErrnoClass::kPeerGone:
       throw PeerDiedError("rank " + std::to_string(rank_) +
@@ -116,14 +144,23 @@ void NativeComm::handle_cma_error(const SyscallError& e, int peer) {
                           peer);
     case cma::ErrnoClass::kRetryable: // endpoint retries these internally
     case cma::ErrnoClass::kFatal:
-      throw e;
+      break;
   }
-  throw e; // unreachable
+  // Rethrow enriched with where in the op stream it happened, so a repro
+  // rule (KACC_FAULT=rank:R,op:K,...) can be written straight from the text.
+  throw SyscallError(std::string(opname) + " (rank " + std::to_string(rank_) +
+                         ", data-plane op " + std::to_string(cma_ops_) +
+                         ", peer " + std::to_string(peer) + ")",
+                     e.sys_errno());
 }
 
 void NativeComm::fallback_read(int src, std::uint64_t remote_addr, void* local,
                                std::size_t bytes) {
   ++fallback_ops_;
+  recorder_.counters.add(obs::Counter::kFallbackReadOps);
+  recorder_.counters.add(obs::Counter::kFallbackBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kFallbackRead,
+                 static_cast<std::int64_t>(bytes), src);
   shm::CmaServiceSlot* slot = arena_->cma_service_slot(rank_, src);
   slot->op = 0;
   slot->addr = remote_addr;
@@ -140,6 +177,10 @@ void NativeComm::fallback_read(int src, std::uint64_t remote_addr, void* local,
 void NativeComm::fallback_write(int dst, std::uint64_t remote_addr,
                                 const void* local, std::size_t bytes) {
   ++fallback_ops_;
+  recorder_.counters.add(obs::Counter::kFallbackWriteOps);
+  recorder_.counters.add(obs::Counter::kFallbackBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kFallbackWrite,
+                 static_cast<std::int64_t>(bytes), dst);
   shm::CmaServiceSlot* slot = arena_->cma_service_slot(rank_, dst);
   slot->op = 1;
   slot->addr = remote_addr;
@@ -156,6 +197,7 @@ void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
                           std::size_t bytes) {
   KACC_CHECK_MSG(src >= 0 && src < nranks_, "cma_read src out of range");
   if (src == rank_) {
+    recorder_.counters.add(obs::Counter::kLocalCopyBytes, bytes);
     std::memcpy(local, reinterpret_cast<const void*>(remote_addr), bytes);
     return;
   }
@@ -172,7 +214,7 @@ void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
       try {
         throw SyscallError("process_vm_readv (injected)", rule->err);
       } catch (const SyscallError& e) {
-        handle_cma_error(e, src);
+        handle_cma_error(e, src, "process_vm_readv");
       }
       fallback_read(src, remote_addr, local, bytes);
       return;
@@ -183,18 +225,29 @@ void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
     return;
   }
   try {
+    obs::Span span(recorder_, obs::SpanName::kCmaRead,
+                   static_cast<std::int64_t>(bytes), src);
     cma::read_from(pids_[static_cast<std::size_t>(src)], remote_addr, local,
                    bytes, cap);
   } catch (const SyscallError& e) {
-    handle_cma_error(e, src); // throws unless degradation applies
+    recorder_.counters.add(obs::Counter::kCmaRetries,
+                           cma::take_retry_count());
+    handle_cma_error(e, src, "process_vm_readv"); // throws unless degrading
     fallback_read(src, remote_addr, local, bytes);
+    return;
   }
+  // Successful kernel-copy op: count it (failed/degraded ops must not move
+  // the CMA counters — the fault tests assert they freeze).
+  recorder_.counters.add(obs::Counter::kCmaReadOps);
+  recorder_.counters.add(obs::Counter::kCmaReadBytes, bytes);
+  recorder_.counters.add(obs::Counter::kCmaRetries, cma::take_retry_count());
 }
 
 void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
                            const void* local, std::size_t bytes) {
   KACC_CHECK_MSG(dst >= 0 && dst < nranks_, "cma_write dst out of range");
   if (dst == rank_) {
+    recorder_.counters.add(obs::Counter::kLocalCopyBytes, bytes);
     std::memcpy(reinterpret_cast<void*>(remote_addr), local, bytes);
     return;
   }
@@ -211,7 +264,7 @@ void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
       try {
         throw SyscallError("process_vm_writev (injected)", rule->err);
       } catch (const SyscallError& e) {
-        handle_cma_error(e, dst);
+        handle_cma_error(e, dst, "process_vm_writev");
       }
       fallback_write(dst, remote_addr, local, bytes);
       return;
@@ -222,54 +275,93 @@ void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
     return;
   }
   try {
+    obs::Span span(recorder_, obs::SpanName::kCmaWrite,
+                   static_cast<std::int64_t>(bytes), dst);
     cma::write_to(pids_[static_cast<std::size_t>(dst)], remote_addr, local,
                   bytes, cap);
   } catch (const SyscallError& e) {
-    handle_cma_error(e, dst);
+    recorder_.counters.add(obs::Counter::kCmaRetries,
+                           cma::take_retry_count());
+    handle_cma_error(e, dst, "process_vm_writev");
     fallback_write(dst, remote_addr, local, bytes);
+    return;
   }
+  recorder_.counters.add(obs::Counter::kCmaWriteOps);
+  recorder_.counters.add(obs::Counter::kCmaWriteBytes, bytes);
+  recorder_.counters.add(obs::Counter::kCmaRetries, cma::take_retry_count());
 }
 
 void NativeComm::local_copy(void* dst, const void* src, std::size_t bytes) {
+  recorder_.counters.add(obs::Counter::kLocalCopyBytes, bytes);
   std::memmove(dst, src, bytes);
 }
 
 void NativeComm::compute_charge(std::size_t bytes) {
   // Native combines run for real; the wall clock measures them.
-  (void)bytes;
+  recorder_.counters.add(obs::Counter::kComputeBytes, bytes);
 }
 
 void NativeComm::ctrl_bcast(void* buf, std::size_t bytes, int root) {
+  recorder_.counters.add(obs::Counter::kCtrlBcasts);
+  obs::Span span(recorder_, obs::SpanName::kCtrlBcast,
+                 static_cast<std::int64_t>(bytes), root);
   ctrl_.bcast(buf, bytes, root, wait_ctx("ctrl_bcast"));
 }
 
 void NativeComm::ctrl_gather(const void* send, void* recv, std::size_t bytes,
                              int root) {
+  recorder_.counters.add(obs::Counter::kCtrlGathers);
+  obs::Span span(recorder_, obs::SpanName::kCtrlGather,
+                 static_cast<std::int64_t>(bytes), root);
   ctrl_.gather(send, recv, bytes, root, wait_ctx("ctrl_gather"));
 }
 
 void NativeComm::ctrl_allgather(const void* send, void* recv,
                                 std::size_t bytes) {
+  recorder_.counters.add(obs::Counter::kCtrlAllgathers);
+  obs::Span span(recorder_, obs::SpanName::kCtrlAllgather,
+                 static_cast<std::int64_t>(bytes));
   ctrl_.allgather(send, recv, bytes, wait_ctx("ctrl_allgather"));
 }
 
-void NativeComm::signal(int dst) { signals_.signal(dst); }
+void NativeComm::signal(int dst) {
+  recorder_.counters.add(obs::Counter::kSignalsPosted);
+  signals_.signal(dst);
+}
 
 void NativeComm::wait_signal(int src) {
+  recorder_.counters.add(obs::Counter::kSignalsWaited);
+  obs::Span span(recorder_, obs::SpanName::kWaitSignal, -1, src);
   signals_.wait_signal(src, wait_ctx("wait_signal"));
 }
 
-void NativeComm::barrier() { barrier_impl_.wait(wait_ctx("barrier")); }
+void NativeComm::barrier() {
+  recorder_.counters.add(obs::Counter::kBarriers);
+  obs::Span span(recorder_, obs::SpanName::kBarrier);
+  barrier_impl_.wait(wait_ctx("barrier"));
+}
 
 void NativeComm::shm_send(int dst, const void* buf, std::size_t bytes) {
+  recorder_.counters.add(obs::Counter::kPipeSendOps);
+  recorder_.counters.add(obs::Counter::kPipeSendBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kShmSend,
+                 static_cast<std::int64_t>(bytes), dst);
   pipes_.send(dst, buf, bytes, wait_ctx("shm_send"));
 }
 
 void NativeComm::shm_recv(int src, void* buf, std::size_t bytes) {
+  recorder_.counters.add(obs::Counter::kPipeRecvOps);
+  recorder_.counters.add(obs::Counter::kPipeRecvBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kShmRecv,
+                 static_cast<std::int64_t>(bytes), src);
   pipes_.recv(src, buf, bytes, wait_ctx("shm_recv"));
 }
 
 void NativeComm::shm_bcast(void* buf, std::size_t bytes, int root) {
+  recorder_.counters.add(obs::Counter::kShmBcastOps);
+  recorder_.counters.add(obs::Counter::kShmBcastBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kShmBcast,
+                 static_cast<std::int64_t>(bytes), root);
   bcast_pipe_.bcast(buf, bytes, root, wait_ctx("shm_bcast"));
 }
 

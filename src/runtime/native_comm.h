@@ -15,6 +15,7 @@
 
 #include "common/deadline.h"
 #include "common/fault.h"
+#include "obs/trace.h"
 #include "runtime/comm.h"
 #include "shm/arena.h"
 #include "shm/barrier.h"
@@ -82,9 +83,10 @@ private:
   [[nodiscard]] shm::WaitContext wait_ctx(const char* what);
 
   /// Decides what to do with a failed CMA syscall: returns (fall back) for
-  /// permission errors, throws PeerDiedError for a vanished peer, rethrows
-  /// everything else.
-  void handle_cma_error(const SyscallError& e, int peer);
+  /// permission errors, throws PeerDiedError for a vanished peer, and
+  /// rethrows everything else enriched with the data-plane op index and
+  /// peer rank so KACC_FAULT repro reports are self-describing.
+  void handle_cma_error(const SyscallError& e, int peer, const char* opname);
 
   /// Two-copy substitutes for cma_read/cma_write: post a request in the
   /// (rank_, owner) service slot and move the bytes through ChunkPipe while
@@ -112,6 +114,7 @@ private:
 
   NativeCommConfig cfg_;
   FaultPlan fault_plan_;
+  obs::ShmRingSink ring_sink_;     ///< bound when the arena carries rings
   std::uint64_t cma_ops_ = 0;      ///< data-plane ops issued (1-based ids)
   std::uint64_t fallback_ops_ = 0; ///< ops served via ChunkPipe fallback
   bool cma_disabled_ = false;      ///< sticky CMA->shm degradation

@@ -58,8 +58,10 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
                            const TeamOptions& opts) {
   KACC_CHECK_MSG(nranks >= 1 && nranks <= 256,
                  "run_native_team: nranks in [1, 256]");
-  const shm::ArenaLayout layout =
-      shm::ArenaLayout::compute(nranks, kShmChunkBytes, /*pipe_slots=*/4);
+  const std::size_t trace_slots =
+      obs::trace_enabled() ? opts.trace_slots : 0;
+  const shm::ArenaLayout layout = shm::ArenaLayout::compute(
+      nranks, kShmChunkBytes, /*pipe_slots=*/4, trace_slots);
   shm::ShmArena arena(layout);
 
   std::vector<pid_t> children;
@@ -126,11 +128,27 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
     reaped[static_cast<std::size_t>(rank)] = true;
   };
 
+  // Per-rank span accumulation: the parent drains each rank's shm trace
+  // ring concurrently with the run so a ring only needs to absorb the
+  // burst between two reap-loop passes.
+  std::vector<std::vector<obs::TraceRecord>> rank_spans(
+      static_cast<std::size_t>(nranks));
+  const auto drain_rings = [&] {
+    if (trace_slots == 0) {
+      return;
+    }
+    for (int rank = 0; rank < nranks; ++rank) {
+      obs::drain_trace_ring(arena.trace_ring(rank), trace_slots,
+                            rank_spans[static_cast<std::size_t>(rank)]);
+    }
+  };
+
   const auto start = std::chrono::steady_clock::now();
   int live = nranks;
   bool killed_on_timeout = false;
   while (live > 0) {
     bool progressed = false;
+    drain_rings();
     for (int rank = 0; rank < nranks; ++rank) {
       if (reaped[static_cast<std::size_t>(rank)]) {
         continue;
@@ -183,6 +201,26 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
       }
     }
   }
+
+  // Team teardown: final ring drain (children are gone, the mapping is
+  // still ours), counter aggregation, and export.
+  drain_rings();
+  for (int rank = 0; rank < nranks; ++rank) {
+    result.obs.per_rank.push_back(obs::snapshot(*arena.counter_block(rank)));
+    obs::accumulate(result.obs.totals, result.obs.per_rank.back());
+  }
+  if (trace_slots != 0) {
+    for (int rank = 0; rank < nranks; ++rank) {
+      obs::RankTrace rt;
+      rt.rank = rank;
+      rt.dropped = obs::trace_ring_dropped(arena.trace_ring(rank));
+      rt.records = std::move(rank_spans[static_cast<std::size_t>(rank)]);
+      result.obs.traces.push_back(std::move(rt));
+    }
+    obs::publish_trace(result.obs.traces,
+                       "native p=" + std::to_string(nranks));
+  }
+  obs::maybe_dump_metrics(result.obs, "native");
   return result;
 }
 

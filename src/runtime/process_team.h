@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
 #include "runtime/comm.h"
 #include "topo/arch_spec.h"
 
@@ -26,6 +27,9 @@ struct TeamRankResult {
 
 struct TeamResult {
   std::vector<TeamRankResult> ranks;
+  /// Counters aggregated from the arena carve-out after the reap, plus
+  /// per-rank wall-clock spans when tracing was on (see TeamOptions).
+  obs::TeamObs obs;
 
   [[nodiscard]] bool all_ok() const;
   /// First failure message (for test diagnostics), or "".
@@ -39,6 +43,10 @@ struct TeamOptions {
   /// Wall-clock budget for the whole team; the parent SIGKILLs leftover
   /// children once it expires. <= 0 disables the backstop.
   double team_timeout_ms = 120'000.0;
+  /// Per-rank trace-ring capacity (records) when tracing. 0 disables rings
+  /// even under KACC_TRACE; the default is applied only when KACC_TRACE is
+  /// set (no rings are carved out otherwise).
+  std::size_t trace_slots = 4096;
 };
 
 /// Runs `body(comm)` in `nranks` forked processes. Safe to call from tests;

@@ -8,11 +8,41 @@
 #include "model/cost_model.h"
 
 namespace kacc {
+namespace {
+
+double sim_clock_cb(void* ctx) {
+  return static_cast<SimComm*>(ctx)->now_us();
+}
+
+} // namespace
+
+void SimTeamState::init_obs(int nranks) {
+  counter_blocks.resize(static_cast<std::size_t>(nranks));
+  for (auto& block : counter_blocks) {
+    block = std::make_unique<obs::CounterBlock>();
+    for (auto& cell : block->v) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (obs::trace_enabled()) {
+    trace_sinks.resize(static_cast<std::size_t>(nranks));
+  }
+}
 
 SimComm::SimComm(sim::SimEngine& engine, SimTeamState& team, int rank)
     : engine_(&engine), team_(&team), rank_(rank) {
   KACC_CHECK_MSG(rank >= 0 && rank < engine.nranks(),
                  "SimComm rank out of range");
+  recorder_.rank = rank;
+  recorder_.clock = &sim_clock_cb;
+  recorder_.clock_ctx = this;
+  const auto r = static_cast<std::size_t>(rank);
+  if (r < team.counter_blocks.size() && team.counter_blocks[r] != nullptr) {
+    recorder_.counters.bind(team.counter_blocks[r].get());
+  }
+  if (r < team.trace_sinks.size()) {
+    recorder_.sink = &team.trace_sinks[r];
+  }
 }
 
 void SimComm::cma_read(int src, std::uint64_t remote_addr, void* local,
@@ -21,7 +51,13 @@ void SimComm::cma_read(int src, std::uint64_t remote_addr, void* local,
   const bool cross = s.crosses_socket(rank_, src, size());
   const double mult =
       s.beta_between(rank_, src, size()) / s.beta_us_per_byte();
-  engine_->cma_transfer(rank_, src, bytes, mult, cross, /*with_copy=*/true);
+  recorder_.counters.add(obs::Counter::kCmaReadOps);
+  recorder_.counters.add(obs::Counter::kCmaReadBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kCmaRead,
+                 static_cast<std::int64_t>(bytes), src);
+  const sim::Breakdown bd =
+      engine_->cma_transfer(rank_, src, bytes, mult, cross, /*with_copy=*/true);
+  span.set_phases(bd);
   if (team_->move_data) {
     // Rank threads share the address space: the token is a real pointer.
     std::memcpy(local, reinterpret_cast<const void*>(remote_addr), bytes);
@@ -34,13 +70,22 @@ void SimComm::cma_write(int dst, std::uint64_t remote_addr, const void* local,
   const bool cross = s.crosses_socket(rank_, dst, size());
   const double mult =
       s.beta_between(rank_, dst, size()) / s.beta_us_per_byte();
-  engine_->cma_transfer(rank_, dst, bytes, mult, cross, /*with_copy=*/true);
+  recorder_.counters.add(obs::Counter::kCmaWriteOps);
+  recorder_.counters.add(obs::Counter::kCmaWriteBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kCmaWrite,
+                 static_cast<std::int64_t>(bytes), dst);
+  const sim::Breakdown bd =
+      engine_->cma_transfer(rank_, dst, bytes, mult, cross, /*with_copy=*/true);
+  span.set_phases(bd);
   if (team_->move_data) {
     std::memcpy(reinterpret_cast<void*>(remote_addr), local, bytes);
   }
 }
 
 void SimComm::local_copy(void* dst, const void* src, std::size_t bytes) {
+  recorder_.counters.add(obs::Counter::kLocalCopyBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kLocalCopy,
+                 static_cast<std::int64_t>(bytes));
   engine_->advance(rank_,
                    static_cast<double>(bytes) * arch().beta_us_per_byte());
   if (team_->move_data) {
@@ -49,6 +94,9 @@ void SimComm::local_copy(void* dst, const void* src, std::size_t bytes) {
 }
 
 void SimComm::compute_charge(std::size_t bytes) {
+  recorder_.counters.add(obs::Counter::kComputeBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kCompute,
+                 static_cast<std::int64_t>(bytes));
   engine_->advance(rank_,
                    static_cast<double>(bytes) / arch().combine_bw_Bus);
 }
@@ -56,6 +104,9 @@ void SimComm::compute_charge(std::size_t bytes) {
 void SimComm::ctrl_bcast(void* buf, std::size_t bytes, int root) {
   KACC_CHECK_MSG(bytes <= 256, "ctrl payload too large");
   KACC_CHECK_MSG(root >= 0 && root < size(), "ctrl_bcast root");
+  recorder_.counters.add(obs::Counter::kCtrlBcasts);
+  obs::Span span(recorder_, obs::SpanName::kCtrlBcast,
+                 static_cast<std::int64_t>(bytes), root);
   team_->ctrl_send[static_cast<std::size_t>(rank_)] = buf;
   team_->ctrl_recv[static_cast<std::size_t>(rank_)] = buf;
   const int p = size();
@@ -76,6 +127,9 @@ void SimComm::ctrl_gather(const void* send, void* recv, std::size_t bytes,
   KACC_CHECK_MSG(root >= 0 && root < size(), "ctrl_gather root");
   KACC_CHECK_MSG(rank_ != root || recv != nullptr,
                  "ctrl_gather: root needs recv");
+  recorder_.counters.add(obs::Counter::kCtrlGathers);
+  obs::Span span(recorder_, obs::SpanName::kCtrlGather,
+                 static_cast<std::int64_t>(bytes), root);
   team_->ctrl_send[static_cast<std::size_t>(rank_)] = send;
   team_->ctrl_recv[static_cast<std::size_t>(rank_)] = recv;
   const int p = size();
@@ -94,6 +148,9 @@ void SimComm::ctrl_allgather(const void* send, void* recv,
                              std::size_t bytes) {
   KACC_CHECK_MSG(bytes <= 256, "ctrl payload too large");
   KACC_CHECK_MSG(recv != nullptr, "ctrl_allgather needs recv");
+  recorder_.counters.add(obs::Counter::kCtrlAllgathers);
+  obs::Span span(recorder_, obs::SpanName::kCtrlAllgather,
+                 static_cast<std::int64_t>(bytes));
   team_->ctrl_send[static_cast<std::size_t>(rank_)] = send;
   team_->ctrl_recv[static_cast<std::size_t>(rank_)] = recv;
   const int p = size();
@@ -111,19 +168,28 @@ void SimComm::ctrl_allgather(const void* send, void* recv,
 }
 
 void SimComm::signal(int dst) {
+  recorder_.counters.add(obs::Counter::kSignalsPosted);
   engine_->post(rank_, dst, sim::ChannelTag::kSignal, {},
                 arch().shm_signal_us);
 }
 
 void SimComm::wait_signal(int src) {
+  recorder_.counters.add(obs::Counter::kSignalsWaited);
+  obs::Span span(recorder_, obs::SpanName::kWaitSignal, -1, src);
   engine_->receive(rank_, src, sim::ChannelTag::kSignal, 0.0);
 }
 
 void SimComm::barrier() {
+  recorder_.counters.add(obs::Counter::kBarriers);
+  obs::Span span(recorder_, obs::SpanName::kBarrier);
   engine_->rendezvous(rank_, arch().shm_coll_us(size()), nullptr);
 }
 
 void SimComm::shm_send(int dst, const void* buf, std::size_t bytes) {
+  recorder_.counters.add(obs::Counter::kPipeSendOps);
+  recorder_.counters.add(obs::Counter::kPipeSendBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kShmSend,
+                 static_cast<std::int64_t>(bytes), dst);
   const ArchSpec& s = arch();
   const auto chunks = ceil_div(bytes == 0 ? 1 : bytes, kShmChunkBytes);
   // Sender side of the two-copy path: copy-in every byte (cache-speed
@@ -139,6 +205,10 @@ void SimComm::shm_send(int dst, const void* buf, std::size_t bytes) {
 }
 
 void SimComm::shm_recv(int src, void* buf, std::size_t bytes) {
+  recorder_.counters.add(obs::Counter::kPipeRecvOps);
+  recorder_.counters.add(obs::Counter::kPipeRecvBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kShmRecv,
+                 static_cast<std::int64_t>(bytes), src);
   // Receiver side: wait for the staged chunks, then copy out. The copy-out
   // is a lockless transfer against the sender's socket: it shares the
   // memory system (beyond the cache threshold) and, for cross-socket
@@ -158,6 +228,10 @@ void SimComm::shm_recv(int src, void* buf, std::size_t bytes) {
 
 void SimComm::shm_bcast(void* buf, std::size_t bytes, int root) {
   KACC_CHECK_MSG(root >= 0 && root < size(), "shm_bcast root");
+  recorder_.counters.add(obs::Counter::kShmBcastOps);
+  recorder_.counters.add(obs::Counter::kShmBcastBytes, bytes);
+  obs::Span span(recorder_, obs::SpanName::kShmBcast,
+                 static_cast<std::int64_t>(bytes), root);
   const ArchSpec& s = arch();
   const int p = size();
   // Slot bcast, socket-leader style: one copy-in by the root; one pull of
@@ -207,6 +281,38 @@ sim::Breakdown SimComm::timed_cma(int owner, std::uint64_t bytes,
   return engine_->cma_transfer(rank_, owner, bytes, 1.0, cross, with_copy);
 }
 
+namespace {
+
+/// Snapshots the team's counter blocks, folds in the engine's world-level
+/// counters, and moves collected spans out of the sinks.
+obs::TeamObs collect_sim_obs(SimTeamState& team, const sim::SimEngine& engine,
+                             int nranks) {
+  obs::TeamObs out;
+  out.per_rank.reserve(static_cast<std::size_t>(nranks));
+  for (const auto& block : team.counter_blocks) {
+    out.per_rank.push_back(obs::snapshot(*block));
+    obs::accumulate(out.totals, out.per_rank.back());
+  }
+  out.totals[static_cast<std::size_t>(obs::Counter::kSimRerateEvents)] +=
+      engine.rerate_events();
+  for (std::size_t r = 0; r < team.trace_sinks.size(); ++r) {
+    obs::RankTrace rt;
+    rt.rank = static_cast<int>(r);
+    rt.records = std::move(team.trace_sinks[r].records);
+    out.traces.push_back(std::move(rt));
+  }
+  return out;
+}
+
+void report_sim_obs(const obs::TeamObs& obs, int nranks) {
+  if (!obs.traces.empty()) {
+    obs::publish_trace(obs.traces, "sim p=" + std::to_string(nranks));
+  }
+  obs::maybe_dump_metrics(obs, "sim");
+}
+
+} // namespace
+
 SimRunResult run_sim_ex(const ArchSpec& spec, int nranks,
                         const std::function<void(SimComm&)>& body,
                         bool move_data) {
@@ -215,12 +321,16 @@ SimRunResult run_sim_ex(const ArchSpec& spec, int nranks,
   team.move_data = move_data;
   team.ctrl_send.resize(static_cast<std::size_t>(nranks), nullptr);
   team.ctrl_recv.resize(static_cast<std::size_t>(nranks), nullptr);
+  team.init_obs(nranks);
   sim::WorldResult wr =
       sim::run_world(engine, [&](sim::SimEngine& eng, int rank) {
         SimComm comm(eng, team, rank);
         body(comm);
       });
-  return SimRunResult{std::move(wr.final_clock_us), wr.makespan_us};
+  SimRunResult result{std::move(wr.final_clock_us), wr.makespan_us, {}};
+  result.obs = collect_sim_obs(team, engine, nranks);
+  report_sim_obs(result.obs, nranks);
+  return result;
 }
 
 SimRunResult run_sim(const ArchSpec& spec, int nranks,
@@ -248,6 +358,7 @@ SimFaultResult run_sim_fault(const ArchSpec& spec, int nranks,
   team.move_data = move_data;
   team.ctrl_send.resize(static_cast<std::size_t>(nranks), nullptr);
   team.ctrl_recv.resize(static_cast<std::size_t>(nranks), nullptr);
+  team.init_obs(nranks);
   sim::WorldResult wr =
       sim::run_world_outcomes(engine, [&](sim::SimEngine& eng, int rank) {
         SimComm comm(eng, team, rank);
@@ -256,6 +367,8 @@ SimFaultResult run_sim_fault(const ArchSpec& spec, int nranks,
   SimFaultResult result;
   result.outcomes = std::move(wr.outcomes);
   result.makespan_us = wr.makespan_us;
+  result.obs = collect_sim_obs(team, engine, nranks);
+  report_sim_obs(result.obs, nranks);
   return result;
 }
 

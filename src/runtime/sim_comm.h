@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/report.h"
 #include "runtime/comm.h"
 #include "sim/engine.h"
 #include "sim/world.h"
@@ -23,6 +24,15 @@ struct SimTeamState {
   /// payloads still are). Benchmarks use this so timing sweeps over
   /// multi-megabyte buffers never touch the pages.
   bool move_data = true;
+
+  /// Per-rank obs state, sized by the run_sim launchers before rank
+  /// threads start. Left empty (ranks stay unbound: counters no-op,
+  /// tracing off) when a test constructs SimComm directly.
+  std::vector<std::unique_ptr<obs::CounterBlock>> counter_blocks;
+  std::vector<obs::VectorSink> trace_sinks;
+
+  /// Sizes counter blocks (always) and trace sinks (when KACC_TRACE set).
+  void init_obs(int nranks);
 };
 
 class SimComm final : public Comm {
@@ -71,6 +81,8 @@ private:
 struct SimRunResult {
   std::vector<double> final_clock_us;
   double makespan_us = 0.0;
+  /// Aggregated counters (+ per-rank virtual-time spans when KACC_TRACE).
+  obs::TeamObs obs;
 };
 
 /// Convenience launcher: builds an engine for (spec, nranks), runs
@@ -90,6 +102,7 @@ SimRunResult run_sim_ex(const ArchSpec& spec, int nranks,
 struct SimFaultResult {
   std::vector<sim::RankOutcome> outcomes;
   double makespan_us = 0.0;
+  obs::TeamObs obs;
 
   /// True iff any rank ended with the given outcome kind.
   [[nodiscard]] bool any(sim::RankOutcome::Kind kind) const;

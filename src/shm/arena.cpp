@@ -72,6 +72,20 @@ std::size_t cmaserv_region_bytes(int nranks) {
          sizeof(CmaServiceSlot);
 }
 
+// Observability regions: one counter block per rank, and (when tracing)
+// one SPSC trace ring per rank.
+std::size_t counters_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) * sizeof(obs::CounterBlock);
+}
+
+std::size_t trace_region_bytes(int nranks, std::size_t trace_slots) {
+  if (trace_slots == 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(nranks) *
+         align_up(obs::trace_ring_bytes(trace_slots), kCacheLine);
+}
+
 std::atomic<std::uint32_t>* reg_counter(std::byte* base,
                                         const ArenaLayout& l) {
   return reinterpret_cast<std::atomic<std::uint32_t>*>(
@@ -88,7 +102,8 @@ std::atomic<std::int64_t>* pid_slot(std::byte* base, const ArenaLayout& l,
 } // namespace
 
 ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
-                                 std::size_t pipe_slots) {
+                                 std::size_t pipe_slots,
+                                 std::size_t trace_slots) {
   KACC_CHECK_MSG(nranks >= 1 && nranks <= 1024, "nranks in [1, 1024]");
   KACC_CHECK_MSG(pipe_chunk_bytes >= 64 && pipe_slots >= 1,
                  "pipe geometry too small");
@@ -96,6 +111,7 @@ ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
   l.nranks = nranks;
   l.pipe_chunk_bytes = pipe_chunk_bytes;
   l.pipe_slots = pipe_slots;
+  l.trace_slots = trace_slots;
 
   std::size_t off = 0;
   l.header_off = off;
@@ -117,6 +133,10 @@ ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
   off = align_up(off + liveness_region_bytes(nranks), 4096);
   l.cmaserv_off = off;
   off = align_up(off + cmaserv_region_bytes(nranks), 4096);
+  l.counters_off = off;
+  off = align_up(off + counters_region_bytes(nranks), 4096);
+  l.trace_off = off;
+  off = align_up(off + trace_region_bytes(nranks, trace_slots), 4096);
   l.total_bytes = off;
   return l;
 }
@@ -250,6 +270,23 @@ CmaServiceSlot* ShmArena::cma_service_slot(int requester, int owner) const {
                           static_cast<std::size_t>(owner);
   return reinterpret_cast<CmaServiceSlot*>(base_ + layout_.cmaserv_off +
                                            idx * sizeof(CmaServiceSlot));
+}
+
+obs::CounterBlock* ShmArena::counter_block(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  return reinterpret_cast<obs::CounterBlock*>(
+      base_ + layout_.counters_off +
+      static_cast<std::size_t>(rank) * sizeof(obs::CounterBlock));
+}
+
+void* ShmArena::trace_ring(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  if (layout_.trace_slots == 0) {
+    return nullptr;
+  }
+  const std::size_t stride =
+      align_up(obs::trace_ring_bytes(layout_.trace_slots), kCacheLine);
+  return base_ + layout_.trace_off + static_cast<std::size_t>(rank) * stride;
 }
 
 void ShmArena::report_result(int rank, bool ok, const char* message) const {

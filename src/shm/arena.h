@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <sys/types.h>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "shm/spin.h"
 
 namespace kacc::shm {
@@ -18,6 +20,8 @@ struct ArenaLayout {
   int nranks = 0;
   std::size_t pipe_chunk_bytes = 0;
   std::size_t pipe_slots = 0;
+  /// Per-rank trace-ring record capacity; 0 = tracing disabled (no rings).
+  std::size_t trace_slots = 0;
 
   std::size_t header_off = 0;
   std::size_t barrier_off = 0;
@@ -28,11 +32,15 @@ struct ArenaLayout {
   std::size_t results_off = 0;
   std::size_t liveness_off = 0;
   std::size_t cmaserv_off = 0;
+  std::size_t counters_off = 0;
+  std::size_t trace_off = 0;
   std::size_t total_bytes = 0;
 
   /// Computes a layout for `nranks` ranks with the given pipe geometry.
+  /// `trace_slots` > 0 adds one per-rank trace ring of that many records.
   static ArenaLayout compute(int nranks, std::size_t pipe_chunk_bytes,
-                             std::size_t pipe_slots);
+                             std::size_t pipe_slots,
+                             std::size_t trace_slots = 0);
 };
 
 /// Per-rank liveness word. Written by the rank itself (alive / exited) and
@@ -112,6 +120,15 @@ public:
   /// The (requester, owner) slot of the CMA degradation protocol.
   [[nodiscard]] CmaServiceSlot* cma_service_slot(int requester,
                                                  int owner) const;
+
+  // --- observability carve-out (kacc::obs) ---
+
+  /// The rank's lock-free counter block (always present).
+  [[nodiscard]] obs::CounterBlock* counter_block(int rank) const;
+
+  /// Base of the rank's trace ring, or nullptr when the layout was
+  /// computed without rings (trace_slots == 0).
+  [[nodiscard]] void* trace_ring(int rank) const;
 
   // --- per-rank result reporting (used by the team harness) ---
   static constexpr std::size_t kResultMsgBytes = 240;

@@ -18,6 +18,8 @@
 #include <sched.h>
 #include <time.h>
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "common/deadline.h"
@@ -40,6 +42,9 @@ struct WaitContext {
   Deadline deadline = Deadline::never();
   ProgressHook* hook = nullptr;
   const char* what = "shm wait"; ///< names the wait in TimeoutError text
+  /// When set, bumped once per wait that leaves the hot spin burst (the
+  /// obs "spin_slow_waits" counter cell of the waiting rank).
+  std::atomic<std::uint64_t>* slow_wait_counter = nullptr;
 };
 
 /// Spins until `pred()` is true. Polls hot for a burst, then yields, then
@@ -74,6 +79,9 @@ void spin_until(Pred&& pred, const WaitContext& ctx) {
     if (pred()) {
       return;
     }
+  }
+  if (ctx.slow_wait_counter != nullptr) {
+    ctx.slow_wait_counter->fetch_add(1, std::memory_order_relaxed);
   }
   auto slow_step = [&] {
     if (ctx.hook != nullptr) {

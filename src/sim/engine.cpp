@@ -31,6 +31,7 @@ void SimEngine::sync_all_resources_locked(double now) {
 
 void SimEngine::notify_all_resources_locked(
     const ContendedResource::RerateFn& fn) {
+  ++rerate_events_;
   for (auto& res : resources_) {
     if (!res->idle()) {
       res->notify_finishes(fn);

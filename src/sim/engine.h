@@ -49,6 +49,11 @@ public:
   /// Ranks marked dead by a Kill fault so far (scheduling order).
   [[nodiscard]] std::vector<int> dead_ranks() const;
 
+  /// Page-lock/link re-rate events so far: membership changes that
+  /// re-published in-flight op finish times (the obs "sim_rerate_events"
+  /// counter — world-level, attributed to no single rank).
+  [[nodiscard]] std::uint64_t rerate_events() const { return rerate_events_; }
+
   // ----- thread lifecycle (called from rank threads) -----
 
   /// First call of a rank thread: blocks until the engine schedules it.
@@ -165,6 +170,7 @@ private:
   int active_ = -1;
   int next_op_id_ = 1;
   int active_cross_ops_ = 0; ///< transfers currently crossing sockets
+  std::uint64_t rerate_events_ = 0; ///< membership-change re-publishes
   int unstarted_ = 0;        ///< rank threads that have not called start()
 
   bool poisoned_ = false;

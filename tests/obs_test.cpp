@@ -1,0 +1,394 @@
+// Observability tests (kacc::obs): counter correctness across transports
+// and under fault injection, sim trace determinism (byte-identical JSON),
+// trace-event JSON validity, and the native shm trace rings.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cma/probe.h"
+#include "coll_verifiers.h"
+#include "obs/report.h"
+#include "runtime/process_team.h"
+#include "runtime/sim_comm.h"
+#include "sim/fault.h"
+#include "topo/detect.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using obs::Counter;
+using testing::verify_bcast;
+using testing::verify_gather;
+
+// Tracing is latched at first use (obs::trace_enabled caches KACC_TRACE),
+// so turn it on before anything in this binary can query it. The path only
+// matters at process exit; events are inspected in-memory via TeamObs.
+const bool kTraceEnv = [] {
+  ::setenv("KACC_TRACE", "/tmp/kacc_obs_test_exit_trace.json", 1);
+  return true;
+}();
+
+// ---------------------------------------------------------------------------
+// Minimal trace-event JSON checks (no JSON library in the toolchain; the
+// schema is ours, so structural validation is enough).
+// ---------------------------------------------------------------------------
+
+/// Whole-document syntax scan: strings/escapes honoured, braces and
+/// brackets balanced and properly nested, document ends at depth zero.
+bool json_syntax_ok(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+/// Extracts the numeric field `key` from one event object, NAN if absent.
+double event_field(const std::string& event, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = event.find(needle);
+  if (pos == std::string::npos) {
+    return std::nan("");
+  }
+  return std::strtod(event.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Splits the trace document into event objects (",\n"-separated by
+/// construction in trace_json).
+std::vector<std::string> split_events(const std::string& doc) {
+  std::vector<std::string> out;
+  std::size_t pos = doc.find('[');
+  EXPECT_NE(pos, std::string::npos);
+  ++pos;
+  while (true) {
+    const std::size_t next = doc.find(",\n", pos);
+    if (next == std::string::npos) {
+      const std::size_t end = doc.rfind("\n]");
+      if (end != std::string::npos && end > pos) {
+        out.push_back(doc.substr(pos, end - pos));
+      }
+      break;
+    }
+    out.push_back(doc.substr(pos, next - pos));
+    pos = next + 2;
+  }
+  return out;
+}
+
+SimRunResult bcast_sim(int p, std::size_t bytes) {
+  return run_sim(
+      broadwell(), p,
+      [&](Comm& comm) {
+        verify_bcast(comm, bytes, 0, coll::BcastAlgo::kDirectRead);
+      },
+      /*move_data=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated runtime: counters
+// ---------------------------------------------------------------------------
+
+TEST(SimObsCounters, DirectReadBcastCountsEveryTransport) {
+  const int p = 4;
+  const std::size_t bytes = 8192;
+  const SimRunResult res = bcast_sim(p, bytes);
+
+  // Every rank enters the collective once.
+  EXPECT_EQ(res.obs.total(Counter::kCollLaunches), 4u);
+  // Direct-read: the three non-root ranks read the root's buffer once.
+  EXPECT_EQ(res.obs.total(Counter::kCmaReadOps), 3u);
+  EXPECT_EQ(res.obs.total(Counter::kCmaReadBytes), 3u * bytes);
+  EXPECT_EQ(res.obs.rank_value(0, Counter::kCmaReadOps), 0u);
+  // Address distribution runs over the control plane.
+  EXPECT_GE(res.obs.total(Counter::kCtrlBcasts), 1u);
+  // Direct-read's FIN is a control-plane gather of tokens, not a barrier.
+  EXPECT_EQ(res.obs.total(Counter::kCtrlGathers), 4u);
+  // A healthy run never touches the degraded path.
+  EXPECT_EQ(res.obs.total(Counter::kFallbackActivations), 0u);
+  EXPECT_EQ(res.obs.total(Counter::kFallbackBytes), 0u);
+  ASSERT_EQ(res.obs.per_rank.size(), 4u);
+}
+
+TEST(SimObsCounters, TwoCopyBcastUsesSharedMemoryNotCma) {
+  const SimRunResult res = run_sim(broadwell(), 4, [](Comm& comm) {
+    verify_bcast(comm, 4096, 0, coll::BcastAlgo::kShmemSlot);
+  });
+  EXPECT_EQ(res.obs.total(Counter::kCmaReadOps), 0u);
+  EXPECT_EQ(res.obs.total(Counter::kCmaWriteOps), 0u);
+  EXPECT_EQ(res.obs.total(Counter::kShmBcastOps), 4u);
+  EXPECT_EQ(res.obs.total(Counter::kShmBcastBytes), 4u * 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated runtime: span traces
+// ---------------------------------------------------------------------------
+
+TEST(SimObsTrace, VirtualTimeTraceIsByteIdenticalAcrossRuns) {
+  const SimRunResult a = bcast_sim(8, 65536);
+  const SimRunResult b = bcast_sim(8, 65536);
+  ASSERT_FALSE(a.obs.traces.empty());
+  const std::string ja = obs::trace_json(a.obs.traces, 0, "run");
+  const std::string jb = obs::trace_json(b.obs.traces, 0, "run");
+  EXPECT_FALSE(ja.empty());
+  EXPECT_EQ(ja, jb); // byte-identical, not merely equivalent
+}
+
+TEST(SimObsTrace, TraceJsonIsValidAndMonotonePerThread) {
+  const SimRunResult res = bcast_sim(4, 16384);
+  ASSERT_FALSE(res.obs.traces.empty());
+  const std::string doc = obs::trace_json(res.obs.traces, 3, "validity");
+  ASSERT_TRUE(json_syntax_ok(doc));
+
+  const std::vector<std::string> events = split_events(doc);
+  ASSERT_FALSE(events.empty());
+  std::map<int, double> last_ts;
+  std::size_t complete = 0;
+  for (const std::string& ev : events) {
+    if (ev.find("\"ph\":\"M\"") != std::string::npos) {
+      continue; // metadata rows carry no clock
+    }
+    ASSERT_NE(ev.find("\"ph\":\"X\""), std::string::npos) << ev;
+    ++complete;
+    const double ts = event_field(ev, "ts");
+    const double dur = event_field(ev, "dur");
+    const double pid = event_field(ev, "pid");
+    const double tid = event_field(ev, "tid");
+    ASSERT_FALSE(std::isnan(ts)) << ev;
+    ASSERT_FALSE(std::isnan(dur)) << ev;
+    EXPECT_GE(dur, 0.0) << ev;
+    EXPECT_EQ(pid, 3.0) << ev;
+    ASSERT_FALSE(std::isnan(tid)) << ev;
+    const int t = static_cast<int>(tid);
+    const auto it = last_ts.find(t);
+    if (it != last_ts.end()) {
+      EXPECT_LE(it->second, ts) << "ts regressed on tid " << t;
+    }
+    last_ts[t] = ts;
+  }
+  EXPECT_GT(complete, 0u);
+  // Every rank produced at least one span (bcast entry, at minimum).
+  EXPECT_EQ(last_ts.size(), 4u);
+}
+
+TEST(SimObsTrace, CmaSpansCarryTheFivePhaseBreakdown) {
+  const SimRunResult res = bcast_sim(4, 32768);
+  ASSERT_FALSE(res.obs.traces.empty());
+  bool found = false;
+  for (const obs::RankTrace& rt : res.obs.traces) {
+    for (const obs::TraceRecord& r : rt.records) {
+      if (static_cast<obs::SpanName>(r.name) != obs::SpanName::kCmaRead) {
+        continue;
+      }
+      found = true;
+      EXPECT_EQ(r.has_phases, 1u);
+      double sum = 0.0;
+      for (const float ph : r.phase) {
+        EXPECT_GE(ph, 0.0f);
+        sum += ph;
+      }
+      EXPECT_GT(sum, 0.0);
+      EXPECT_EQ(r.bytes, 32768);
+    }
+  }
+  EXPECT_TRUE(found) << "no cma_read span in a direct-read bcast";
+}
+
+TEST(SimObsTrace, CollectiveSpanTagsTheAlgorithm) {
+  const SimRunResult res = bcast_sim(4, 4096);
+  ASSERT_FALSE(res.obs.traces.empty());
+  bool tagged = false;
+  for (const obs::RankTrace& rt : res.obs.traces) {
+    for (const obs::TraceRecord& r : rt.records) {
+      if (static_cast<obs::SpanName>(r.name) == obs::SpanName::kBcast) {
+        EXPECT_STREQ(r.tag, "direct-read");
+        tagged = true;
+      }
+    }
+  }
+  EXPECT_TRUE(tagged);
+}
+
+// ---------------------------------------------------------------------------
+// Native runtime: counters in the shared arena, rings drained by the parent
+// ---------------------------------------------------------------------------
+
+class NativeObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!cma::available()) {
+      GTEST_SKIP() << "CMA unavailable: " << cma::unavailable_reason();
+    }
+    spec_ = detect_host();
+  }
+
+  static TeamOptions fast_opts() {
+    TeamOptions opts;
+    opts.op_deadline_ms = 10'000.0;
+    opts.team_timeout_ms = 60'000.0;
+    return opts;
+  }
+
+  ArchSpec spec_;
+};
+
+class ScopedFaultEnv {
+public:
+  explicit ScopedFaultEnv(const char* spec) {
+    ::setenv("KACC_FAULT", spec, 1);
+  }
+  ~ScopedFaultEnv() { ::unsetenv("KACC_FAULT"); }
+};
+
+TEST_F(NativeObsTest, HealthyRunCountsCmaAndNeverActivatesFallback) {
+  const TeamResult result = run_native_team(
+      spec_, 4,
+      [](Comm& comm) {
+        verify_gather(comm, 16384, 0, coll::GatherAlgo::kParallelWrite);
+      },
+      fast_opts());
+  ASSERT_TRUE(result.all_ok()) << result.first_failure();
+  // Parallel-write gather: the three non-root ranks each write once.
+  EXPECT_EQ(result.obs.total(Counter::kCmaWriteOps), 3u);
+  EXPECT_EQ(result.obs.total(Counter::kCmaWriteBytes), 3u * 16384u);
+  EXPECT_EQ(result.obs.total(Counter::kFallbackActivations), 0u);
+  EXPECT_EQ(result.obs.total(Counter::kFallbackBytes), 0u);
+  EXPECT_EQ(result.obs.total(Counter::kCollLaunches), 4u);
+  // Parallel-write's FIN token runs over the control plane.
+  EXPECT_EQ(result.obs.total(Counter::kCtrlGathers), 4u);
+}
+
+TEST_F(NativeObsTest, EpermFreezesCmaCountersWhileFallbackAdvances) {
+  // Rank 1's first CMA op is denied with EPERM: exactly one fallback
+  // activation, its CMA op counters stay frozen at zero, and the chunk-pipe
+  // fallback counters advance for every subsequent data-plane op.
+  ScopedFaultEnv env("rank:1,op:1,errno:EPERM");
+  const TeamResult result = run_native_team(
+      spec_, 4,
+      [](Comm& comm) {
+        verify_gather(comm, 16384, 0, coll::GatherAlgo::kParallelWrite);
+        verify_gather(comm, 16384, 0, coll::GatherAlgo::kParallelWrite);
+      },
+      fast_opts());
+  ASSERT_TRUE(result.all_ok()) << result.first_failure();
+
+  EXPECT_EQ(result.obs.rank_value(1, Counter::kFallbackActivations), 1u);
+  EXPECT_EQ(result.obs.total(Counter::kFallbackActivations), 1u);
+  // Frozen: the denied op never completed, and every later op bypasses CMA.
+  EXPECT_EQ(result.obs.rank_value(1, Counter::kCmaWriteOps), 0u);
+  EXPECT_EQ(result.obs.rank_value(1, Counter::kCmaWriteBytes), 0u);
+  EXPECT_EQ(result.obs.rank_value(1, Counter::kCmaReadOps), 0u);
+  // Advancing: both gathers route rank 1's block through the chunk pipe.
+  EXPECT_EQ(result.obs.rank_value(1, Counter::kFallbackWriteOps), 2u);
+  EXPECT_EQ(result.obs.rank_value(1, Counter::kFallbackBytes), 2u * 16384u);
+  // The root served those transfers on its control thread.
+  EXPECT_GE(result.obs.rank_value(0, Counter::kFallbackServedOps), 2u);
+  // Healthy ranks keep using CMA (two gathers = two writes each).
+  for (int r : {2, 3}) {
+    EXPECT_EQ(result.obs.rank_value(r, Counter::kFallbackActivations), 0u);
+    EXPECT_EQ(result.obs.rank_value(r, Counter::kCmaWriteOps), 2u);
+  }
+}
+
+TEST_F(NativeObsTest, ParentDrainsSpansFromTheSharedRings) {
+  const TeamResult result = run_native_team(
+      spec_, 4,
+      [](Comm& comm) {
+        verify_bcast(comm, 16384, 0, coll::BcastAlgo::kDirectRead);
+      },
+      fast_opts());
+  ASSERT_TRUE(result.all_ok()) << result.first_failure();
+  ASSERT_EQ(result.obs.traces.size(), 4u);
+
+  int bcast_spans = 0;
+  for (const obs::RankTrace& rt : result.obs.traces) {
+    EXPECT_EQ(rt.dropped, 0u);
+    EXPECT_FALSE(rt.records.empty()) << "rank " << rt.rank << " traced 0";
+    double last_end = -1.0;
+    for (const obs::TraceRecord& r : rt.records) {
+      EXPECT_GE(r.dur_us, 0.0);
+      // Spans emit at completion: end times are nondecreasing per rank
+      // (an enclosing span lands after the spans it contains).
+      EXPECT_GE(r.ts_us + r.dur_us, last_end);
+      last_end = r.ts_us + r.dur_us;
+      if (static_cast<obs::SpanName>(r.name) == obs::SpanName::kBcast) {
+        ++bcast_spans;
+      }
+    }
+  }
+  EXPECT_EQ(bcast_spans, 4);
+
+  const std::string doc = obs::trace_json(result.obs.traces, 0, "native");
+  EXPECT_TRUE(json_syntax_ok(doc));
+}
+
+TEST_F(NativeObsTest, TinyRingOverflowsGracefully) {
+  // A 4-slot ring cannot hold a collective's span stream: records must be
+  // dropped (never blocking the rank) and the loss must be reported.
+  TeamOptions opts = fast_opts();
+  opts.trace_slots = 4;
+  const TeamResult result = run_native_team(
+      spec_, 4,
+      [](Comm& comm) {
+        verify_gather(comm, 32768, 0, coll::GatherAlgo::kSequentialRead);
+      },
+      opts);
+  ASSERT_TRUE(result.all_ok()) << result.first_failure();
+  std::uint64_t dropped = 0;
+  for (const obs::RankTrace& rt : result.obs.traces) {
+    dropped += rt.dropped;
+  }
+  EXPECT_GT(dropped, 0u);
+  // Counters are independent of the trace rings: still exact.
+  EXPECT_EQ(result.obs.total(Counter::kCollLaunches), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected sim runs keep coherent counters too
+// ---------------------------------------------------------------------------
+
+TEST(SimObsFault, SimCountersSurviveInjectedFailure) {
+  sim::FaultInjector inj;
+  inj.kill_rank(2, /*at_us=*/5.0);
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 4, inj, [](Comm& comm) {
+        verify_bcast(comm, 8192, 0, coll::BcastAlgo::kDirectRead);
+      });
+  EXPECT_TRUE(res.any(sim::RankOutcome::Kind::kKilled));
+  // The dead rank still launched its collective before dying.
+  EXPECT_EQ(res.obs.total(Counter::kCollLaunches), 4u);
+  ASSERT_EQ(res.obs.per_rank.size(), 4u);
+}
+
+} // namespace
+} // namespace kacc
