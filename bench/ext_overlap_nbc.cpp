@@ -1,0 +1,182 @@
+// Extension (kacc::nbc): the two properties the nonblocking subsystem
+// exists to deliver. Part 1 measures communication/computation overlap —
+// an ibcast progressed from test() between compute quanta vs the blocking
+// bcast followed by the same compute. Part 2 measures the cross-operation
+// admission governor on two concurrent same-root broadcasts: the model cap
+// vs naive unthrottled issue, next to the model's own drain-cost arithmetic
+// (paper §IV-A3 lifted to node-wide admission).
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "coll/bcast.h"
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "nbc/governor.h"
+#include "nbc/nbc.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Part 1: overlap ratio
+// ---------------------------------------------------------------------------
+
+struct OverlapPoint {
+  double coll_us = 0.0;    ///< blocking bcast alone
+  double serial_us = 0.0;  ///< blocking bcast, then compute
+  double overlap_us = 0.0; ///< ibcast progressed between compute quanta
+};
+
+// Both sides run the same explicit algorithm: blocking kAuto picks the
+// shared-memory lowerings on some archs, which have no nonblocking
+// counterpart, and an algorithm mismatch would masquerade as (negative)
+// overlap.
+constexpr auto kAlgo = coll::BcastAlgo::kKnomialRead;
+
+double bcast_alone_us(const ArchSpec& spec, int p, std::uint64_t bytes) {
+  return run_sim(
+             spec, p,
+             [bytes](Comm& comm) {
+               AlignedBuffer buf(bytes, 4096, false);
+               coll::bcast(comm, buf.data(), bytes, 0, kAlgo);
+             },
+             /*move_data=*/false)
+      .makespan_us;
+}
+
+// Compute work sized to the communication time (the max-overlap regime):
+// compute_bytes / combine_bw == t_coll.
+OverlapPoint overlap_point(const ArchSpec& spec, int p, std::uint64_t bytes) {
+  OverlapPoint pt;
+  pt.coll_us = bcast_alone_us(spec, p, bytes);
+  const auto compute_bytes =
+      static_cast<std::size_t>(pt.coll_us * spec.combine_bw_Bus);
+  const std::size_t quantum =
+      std::max<std::size_t>(1024, compute_bytes / 256);
+
+  pt.serial_us = run_sim(
+                     spec, p,
+                     [bytes, compute_bytes](Comm& comm) {
+                       AlignedBuffer buf(bytes, 4096, false);
+                       coll::bcast(comm, buf.data(), bytes, 0, kAlgo);
+                       comm.compute_charge(compute_bytes);
+                     },
+                     /*move_data=*/false)
+                     .makespan_us;
+
+  pt.overlap_us =
+      run_sim(
+          spec, p,
+          [bytes, compute_bytes, quantum](Comm& comm) {
+            AlignedBuffer buf(bytes, 4096, false);
+            nbc::Request r = nbc::ibcast(comm, buf.data(), bytes, 0, kAlgo);
+            std::size_t charged = 0;
+            while (!nbc::test(r)) {
+              comm.compute_charge(quantum);
+              charged += quantum;
+            }
+            if (charged < compute_bytes) {
+              comm.compute_charge(compute_bytes - charged);
+            }
+          },
+          /*move_data=*/false)
+          .makespan_us;
+  return pt;
+}
+
+void run_overlap(const ArchSpec& spec) {
+  const int p = spec.default_ranks;
+  bench::Table t(spec.name + ", " + std::to_string(p) +
+                     " processes — bcast/compute overlap (us)",
+                 {"size", "bcast", "bcast+compute", "ibcast||compute",
+                  "hidden"});
+  for (std::uint64_t bytes : bench::size_sweep(64 * 1024, 8u << 20, p,
+                                               false)) {
+    const OverlapPoint pt = overlap_point(spec, p, bytes);
+    // Fraction of the communication time hidden behind compute.
+    const double hidden = (pt.serial_us - pt.overlap_us) / pt.coll_us;
+    const std::string arch = spec.name + " p=" + std::to_string(p);
+    bench::record_point(arch, "Bcast/blocking+compute", bytes, pt.serial_us);
+    bench::record_point(arch, "Ibcast/overlapped", bytes, pt.overlap_us);
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.0f%%", 100.0 * hidden);
+    t.add_row({format_bytes(bytes), format_us(pt.coll_us),
+               format_us(pt.serial_us), format_us(pt.overlap_us), pct});
+  }
+  t.print();
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: cross-operation admission
+// ---------------------------------------------------------------------------
+
+double two_bcast_us(const ArchSpec& spec, int p, std::uint64_t bytes,
+                    bool governed) {
+  return run_sim(
+             spec, p,
+             [bytes, governed](Comm& comm) {
+               AlignedBuffer a(bytes, 4096, false);
+               AlignedBuffer b(bytes, 4096, false);
+               nbc::Options nopts;
+               nopts.governed = governed;
+               nopts.chunk_bytes = 256 * 1024;
+               std::array<nbc::Request, 2> reqs = {
+                   nbc::ibcast(comm, a.data(), bytes, 0,
+                               coll::BcastAlgo::kDirectRead, {}, nopts),
+                   nbc::ibcast(comm, b.data(), bytes, 0,
+                               coll::BcastAlgo::kDirectRead, {}, nopts),
+               };
+               nbc::wait_all(reqs);
+             },
+             /*move_data=*/false)
+      .makespan_us;
+}
+
+void run_governor(const ArchSpec& spec) {
+  const int p = spec.default_ranks;
+  const std::uint64_t chunk = 256 * 1024;
+  bench::Table t(spec.name + ", " + std::to_string(p) +
+                     " processes — two same-root ibcasts (us)",
+                 {"size", "naive", "governed", "speedup", "cap*",
+                  "model naive", "model governed"});
+  for (std::uint64_t bytes :
+       bench::size_sweep(512 * 1024, 8u << 20, p, false)) {
+    const double naive = two_bcast_us(spec, p, bytes, /*governed=*/false);
+    const double governed = two_bcast_us(spec, p, bytes, /*governed=*/true);
+    const int cap = nbc::optimal_admission_cap(spec, chunk, p);
+    // Both requests read root 0: the source sees 2*(p-1) chunk waves.
+    const int transfers =
+        2 * (p - 1) *
+        static_cast<int>((bytes + chunk - 1) / chunk);
+    const std::string arch = spec.name + " p=" + std::to_string(p);
+    bench::record_point(arch, "2xIbcast/naive", bytes, naive);
+    bench::record_point(arch, "2xIbcast/governed", bytes, governed);
+    t.add_row({format_bytes(bytes), format_us(naive), format_us(governed),
+               bench::format_speedup(naive / governed), std::to_string(cap),
+               format_us(nbc::drain_cost_us(spec, chunk, transfers,
+                                            transfers)),
+               format_us(nbc::drain_cost_us(spec, chunk, transfers, cap))});
+  }
+  t.print();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
+  bench::banner("Extension: nonblocking collectives — overlap and "
+                "cross-operation admission",
+                "tentpole kacc::nbc; paper §IV-A3 throttling, node-wide");
+  for (const ArchSpec& spec : all_presets()) {
+    run_overlap(spec);
+    run_governor(spec);
+  }
+  return 0;
+}

@@ -1,6 +1,28 @@
 #include "coll/algo.h"
 
+#include "common/error.h"
+#include "common/mathutil.h"
+
 namespace kacc::coll {
+
+void validate_options(const CollOptions& opts) {
+  if (opts.throttle < 0) {
+    throw InvalidArgument("CollOptions: throttle must be >= 0 (0 = auto)");
+  }
+  if (opts.ring_stride < 0) {
+    throw InvalidArgument("CollOptions: ring_stride must be >= 0 (0 = auto)");
+  }
+}
+
+void validate_ring_stride(int p, int ring_stride) {
+  const int j = ring_stride > 0 ? ring_stride : 1;
+  if (gcd_u64(static_cast<std::uint64_t>(p),
+              static_cast<std::uint64_t>(pmod(j, p))) != 1) {
+    throw InvalidArgument(
+        "allgather: ring_stride must be coprime with the team size "
+        "(gcd(p, j) == 1)");
+  }
+}
 
 std::string to_string(ScatterAlgo a) {
   switch (a) {

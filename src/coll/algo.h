@@ -59,6 +59,15 @@ struct CollOptions {
   bool in_place = false;
 };
 
+/// Validates the option invariants shared by every entry point: negative
+/// knobs are programming errors. Raises InvalidArgument (not
+/// InternalError) because this guards caller input, not kacc state.
+void validate_options(const CollOptions& opts);
+
+/// Validates a Ring-Neighbor stride against the team size: the ring only
+/// visits every block when gcd(p, j mod p) == 1. Raises InvalidArgument.
+void validate_ring_stride(int p, int ring_stride);
+
 std::string to_string(ScatterAlgo a);
 std::string to_string(GatherAlgo a);
 std::string to_string(AlltoallAlgo a);

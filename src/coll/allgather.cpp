@@ -1,244 +1,16 @@
 #include "coll/allgather.h"
 
-#include <algorithm>
-#include <cstdint>
-#include <vector>
-
 #include "coll/tuner.h"
-#include "common/buffer.h"
 #include "common/error.h"
-#include "common/mathutil.h"
+#include "nbc/compile.h"
 
 namespace kacc::coll {
-namespace {
-
-std::byte* block(void* recvbuf, int idx, std::size_t bytes) {
-  return static_cast<std::byte*>(recvbuf) +
-         static_cast<std::size_t>(idx) * bytes;
-}
-
-void place_own_block(Comm& comm, const void* sendbuf, void* recvbuf,
-                     std::size_t bytes, bool in_place) {
-  if (!in_place) {
-    comm.local_copy(block(recvbuf, comm.rank(), bytes), sendbuf, bytes);
-  }
-}
-
-/// Exchanges everyone's recvbuf address after the own-block copy, so every
-/// rank may read any already-valid block of any peer.
-std::vector<std::uint64_t> exchange_recv_addrs(Comm& comm, void* recvbuf) {
-  std::uint64_t my_addr = comm.expose(recvbuf);
-  std::vector<std::uint64_t> addrs(static_cast<std::size_t>(comm.size()));
-  comm.ctrl_allgather(&my_addr, addrs.data(), sizeof(my_addr));
-  return addrs;
-}
-
-/// Ring-Source (§V-A2): step i reads block (rank - i) directly from its
-/// original source. Every source block is valid after the address
-/// exchange, so no per-step synchronization is needed, and the rotation
-/// keeps sources distinct — contention free.
-void allgather_ring_source_read(Comm& comm, const void* sendbuf,
-                                void* recvbuf, std::size_t bytes,
-                                bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  place_own_block(comm, sendbuf, recvbuf, bytes, in_place);
-  const std::vector<std::uint64_t> addrs = exchange_recv_addrs(comm, recvbuf);
-  for (int step = 1; step < p; ++step) {
-    const int src = pmod(rank - step, p);
-    comm.cma_read(src,
-                  addrs[static_cast<std::size_t>(src)] +
-                      static_cast<std::uint64_t>(src) * bytes,
-                  block(recvbuf, src, bytes), bytes);
-  }
-  comm.barrier();
-}
-
-/// Write flavor: step i writes our block into (rank + i)'s recvbuf.
-void allgather_ring_source_write(Comm& comm, const void* sendbuf,
-                                 void* recvbuf, std::size_t bytes,
-                                 bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  place_own_block(comm, sendbuf, recvbuf, bytes, in_place);
-  const std::vector<std::uint64_t> addrs = exchange_recv_addrs(comm, recvbuf);
-  for (int step = 1; step < p; ++step) {
-    const int dst = pmod(rank + step, p);
-    comm.cma_write(dst,
-                   addrs[static_cast<std::size_t>(dst)] +
-                       static_cast<std::uint64_t>(rank) * bytes,
-                   block(recvbuf, rank, bytes), bytes);
-  }
-  comm.barrier();
-}
-
-/// Ring-Neighbor-j (§V-A1): every step reads one block from the fixed
-/// neighbor (rank - j); the block travels around the ring. Correct only
-/// when gcd(p, j) == 1. Per-step notifications tell the downstream
-/// neighbor that our latest block is ready.
-void allgather_ring_neighbor(Comm& comm, const void* sendbuf, void* recvbuf,
-                             std::size_t bytes, int j, bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  KACC_CHECK_MSG(gcd_u64(static_cast<std::uint64_t>(p),
-                         static_cast<std::uint64_t>(pmod(j, p))) == 1,
-                 "ring-neighbor allgather requires gcd(p, j) == 1");
-  place_own_block(comm, sendbuf, recvbuf, bytes, in_place);
-  const std::vector<std::uint64_t> addrs = exchange_recv_addrs(comm, recvbuf);
-
-  const int up = pmod(rank - j, p);   // we read from up
-  const int down = pmod(rank + j, p); // down reads from us
-  for (int step = 1; step < p; ++step) {
-    const int blk = pmod(rank - step * j, p);
-    if (step >= 2) {
-      // Wait for the neighbor to have finished step-1 (its copy of blk).
-      comm.wait_signal(up);
-    }
-    comm.cma_read(up,
-                  addrs[static_cast<std::size_t>(up)] +
-                      static_cast<std::uint64_t>(blk) * bytes,
-                  block(recvbuf, blk, bytes), bytes);
-    if (step <= p - 2) {
-      comm.signal(down);
-    }
-  }
-  comm.barrier();
-}
-
-/// Recursive doubling (§V-A3): lg p pairwise exchanges of doubling extent.
-/// Non-power-of-two counts get a fold-in pre-step and a replication
-/// post-step around the power-of-two core.
-void allgather_recursive_doubling(Comm& comm, const void* sendbuf,
-                                  void* recvbuf, std::size_t bytes,
-                                  bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  place_own_block(comm, sendbuf, recvbuf, bytes, in_place);
-  const std::vector<std::uint64_t> addrs = exchange_recv_addrs(comm, recvbuf);
-
-  int r = 1;
-  while (r * 2 <= p) {
-    r *= 2; // largest power of two <= p
-  }
-  const int extra = p - r;
-
-  // Pre-step: ranks >= r park their block at partner (rank - r), which
-  // then represents both.
-  if (rank >= r) {
-    comm.signal(rank - r);
-  } else if (rank + r < p) {
-    comm.wait_signal(rank + r);
-    const int src = rank + r;
-    comm.cma_read(src,
-                  addrs[static_cast<std::size_t>(src)] +
-                      static_cast<std::uint64_t>(src) * bytes,
-                  block(recvbuf, src, bytes), bytes);
-  }
-
-  if (rank < r) {
-    // Core butterfly among the low r ranks. After step k each rank holds
-    // the blocks of its 2^k-aligned group, plus the group's shadow blocks
-    // (idx + r) where they exist.
-    for (int dist = 1; dist < r; dist *= 2) {
-      const int partner = rank ^ dist;
-      // Group base of the partner at this level: partner with the low
-      // log2(dist) bits cleared.
-      const int base = partner & ~(dist - 1);
-      comm.signal(partner);
-      comm.wait_signal(partner);
-      // Primary region: partner's group blocks [base, base + dist).
-      comm.cma_read(partner,
-                    addrs[static_cast<std::size_t>(partner)] +
-                        static_cast<std::uint64_t>(base) * bytes,
-                    block(recvbuf, base, bytes),
-                    static_cast<std::size_t>(dist) * bytes);
-      // Shadow region: the folded blocks [base + r, min(base + dist, extra) + r).
-      const int shadow_lo = base;
-      const int shadow_hi = std::min(base + dist, extra);
-      if (shadow_hi > shadow_lo) {
-        comm.cma_read(partner,
-                      addrs[static_cast<std::size_t>(partner)] +
-                          static_cast<std::uint64_t>(shadow_lo + r) * bytes,
-                      block(recvbuf, shadow_lo + r, bytes),
-                      static_cast<std::size_t>(shadow_hi - shadow_lo) * bytes);
-      }
-      // FIN so the partner may proceed to the next level knowing we no
-      // longer read this level's state.
-      comm.signal(partner);
-      comm.wait_signal(partner);
-    }
-  }
-
-  // Post-step: folded ranks pull the complete result from their partner.
-  if (rank < r && rank + r < p) {
-    comm.signal(rank + r);
-  } else if (rank >= r) {
-    const int src = rank - r;
-    comm.wait_signal(src);
-    // Read everything except our own block (already in place).
-    // Two contiguous regions around our block index.
-    if (rank > 0) {
-      comm.cma_read(src, addrs[static_cast<std::size_t>(src)],
-                    block(recvbuf, 0, bytes),
-                    static_cast<std::size_t>(rank) * bytes);
-    }
-    if (rank + 1 < p) {
-      comm.cma_read(src,
-                    addrs[static_cast<std::size_t>(src)] +
-                        static_cast<std::uint64_t>(rank + 1) * bytes,
-                    block(recvbuf, rank + 1, bytes),
-                    static_cast<std::size_t>(p - rank - 1) * bytes);
-    }
-  }
-  comm.barrier();
-}
-
-/// Bruck allgather (§V-A4): gather into a rotated staging buffer with
-/// doubling reads from (rank + 2^k), then shift into place.
-void allgather_bruck(Comm& comm, const void* sendbuf, void* recvbuf,
-                     std::size_t bytes, bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-
-  AlignedBuffer tmp(static_cast<std::size_t>(p) * bytes);
-  const void* own = in_place
-                        ? static_cast<const void*>(block(recvbuf, rank, bytes))
-                        : sendbuf;
-  comm.local_copy(tmp.data(), own, bytes);
-
-  std::uint64_t tmp_addr = comm.expose(tmp.data());
-  std::vector<std::uint64_t> addrs(static_cast<std::size_t>(p));
-  comm.ctrl_allgather(&tmp_addr, addrs.data(), sizeof(tmp_addr));
-
-  int have = 1;
-  while (have < p) {
-    const int take = std::min(have, p - have);
-    const int from = pmod(rank + have, p); // we read from
-    const int to = pmod(rank - have, p);   // reads from us
-    comm.signal(to);
-    comm.wait_signal(from);
-    comm.cma_read(from, addrs[static_cast<std::size_t>(from)],
-                  tmp.data() + static_cast<std::size_t>(have) * bytes,
-                  static_cast<std::size_t>(take) * bytes);
-    comm.signal(from);
-    comm.wait_signal(to);
-    have += take;
-  }
-
-  // tmp[j] holds block (rank + j) mod p; shift down by rank blocks.
-  for (int j = 0; j < p; ++j) {
-    comm.local_copy(block(recvbuf, pmod(rank + j, p), bytes),
-                    tmp.data() + static_cast<std::size_t>(j) * bytes, bytes);
-  }
-  comm.barrier();
-}
-
-} // namespace
 
 void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
                std::size_t bytes, AllgatherAlgo algo,
                const CollOptions& opts) {
   const int p = comm.size();
+  validate_options(opts);
   if (bytes == 0) {
     comm.barrier();
     return;
@@ -255,42 +27,18 @@ void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
       eff.ring_stride = c.ring_stride;
     }
   }
+  if (algo == AllgatherAlgo::kRingNeighbor) {
+    validate_ring_stride(p, eff.ring_stride);
+  }
 
   comm.recorder().counters.add(obs::Counter::kCollLaunches);
   obs::Span span(comm.recorder(), obs::SpanName::kAllgather,
                  static_cast<std::int64_t>(bytes), -1,
                  to_string(algo).c_str());
 
-  if (p == 1) {
-    if (!eff.in_place) {
-      comm.local_copy(recvbuf, sendbuf, bytes);
-    }
-    return;
-  }
-
-  switch (algo) {
-    case AllgatherAlgo::kRingSourceRead:
-      allgather_ring_source_read(comm, sendbuf, recvbuf, bytes, eff.in_place);
-      break;
-    case AllgatherAlgo::kRingSourceWrite:
-      allgather_ring_source_write(comm, sendbuf, recvbuf, bytes,
-                                  eff.in_place);
-      break;
-    case AllgatherAlgo::kRingNeighbor:
-      allgather_ring_neighbor(comm, sendbuf, recvbuf, bytes,
-                              eff.ring_stride > 0 ? eff.ring_stride : 1,
-                              eff.in_place);
-      break;
-    case AllgatherAlgo::kRecursiveDoubling:
-      allgather_recursive_doubling(comm, sendbuf, recvbuf, bytes,
-                                   eff.in_place);
-      break;
-    case AllgatherAlgo::kBruck:
-      allgather_bruck(comm, sendbuf, recvbuf, bytes, eff.in_place);
-      break;
-    case AllgatherAlgo::kAuto:
-      throw InternalError("allgather: tuner returned kAuto");
-  }
+  auto sched =
+      nbc::compile_allgather(comm, sendbuf, recvbuf, bytes, algo, eff, {});
+  nbc::drain(comm, *sched);
 }
 
 } // namespace kacc::coll

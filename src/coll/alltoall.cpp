@@ -1,214 +1,15 @@
 #include "coll/alltoall.h"
 
-#include <cstdint>
-#include <cstring>
-#include <vector>
-
 #include "coll/tuner.h"
-#include "common/buffer.h"
 #include "common/error.h"
-#include "common/mathutil.h"
+#include "nbc/compile.h"
 
 namespace kacc::coll {
-namespace {
-
-/// Peer of `rank` at pairwise step i: XOR schedule when p is a power of
-/// two (symmetric pairs), modular otherwise. Both guarantee each process
-/// is the source of exactly one reader per step — no lock contention.
-int pairwise_read_peer(int rank, int step, int p) {
-  if (is_pow2(static_cast<std::uint64_t>(p))) {
-    return rank ^ step;
-  }
-  return pmod(rank - step, p);
-}
-
-void copy_own_block(Comm& comm, const void* sendbuf, void* recvbuf,
-                    std::size_t bytes, bool in_place) {
-  if (!in_place) {
-    comm.local_copy(static_cast<std::byte*>(recvbuf) +
-                        static_cast<std::size_t>(comm.rank()) * bytes,
-                    static_cast<const std::byte*>(sendbuf) +
-                        static_cast<std::size_t>(comm.rank()) * bytes,
-                    bytes);
-  }
-}
-
-/// Native CMA pairwise: one upfront address allgather, then p-1
-/// contention-free reads. This is the paper's CMA-coll design: no RTS/CTS
-/// control messages per transfer.
-void alltoall_pairwise(Comm& comm, const void* sendbuf, void* recvbuf,
-                       std::size_t bytes, bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  copy_own_block(comm, sendbuf, recvbuf, bytes, in_place);
-
-  std::uint64_t my_addr = comm.expose(sendbuf);
-  std::vector<std::uint64_t> addrs(static_cast<std::size_t>(p));
-  comm.ctrl_allgather(&my_addr, addrs.data(), sizeof(my_addr));
-
-  for (int step = 1; step < p; ++step) {
-    const int peer = pairwise_read_peer(rank, step, p);
-    if (peer == rank) {
-      continue; // XOR schedule never hits this; modular cannot either
-    }
-    comm.cma_read(peer,
-                  addrs[static_cast<std::size_t>(peer)] +
-                      static_cast<std::uint64_t>(rank) * bytes,
-                  static_cast<std::byte*>(recvbuf) +
-                      static_cast<std::size_t>(peer) * bytes,
-                  bytes);
-  }
-  // Peers keep reading from our sendbuf until their last step; do not
-  // return (and let the caller reuse buffers) before everyone is done.
-  comm.barrier();
-}
-
-/// Pairwise over point-to-point CMA: same schedule, but each transfer pays
-/// the RTS ("my buffer is ready") / FIN ("done reading") handshake that a
-/// pt2pt rendezvous protocol needs.
-void alltoall_pairwise_pt2pt(Comm& comm, const void* sendbuf, void* recvbuf,
-                             std::size_t bytes, bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  copy_own_block(comm, sendbuf, recvbuf, bytes, in_place);
-
-  std::uint64_t my_addr = comm.expose(sendbuf);
-  std::vector<std::uint64_t> addrs(static_cast<std::size_t>(p));
-  comm.ctrl_allgather(&my_addr, addrs.data(), sizeof(my_addr));
-
-  for (int step = 1; step < p; ++step) {
-    const int read_peer = pairwise_read_peer(rank, step, p);
-    // The rank that reads *from us* this step.
-    const int reader = is_pow2(static_cast<std::uint64_t>(p))
-                           ? (rank ^ step)
-                           : pmod(rank + step, p);
-    if (read_peer == rank) {
-      continue;
-    }
-    comm.signal(reader);          // RTS: my block for you is ready
-    comm.wait_signal(read_peer);  // their RTS
-    comm.cma_read(read_peer,
-                  addrs[static_cast<std::size_t>(read_peer)] +
-                      static_cast<std::uint64_t>(rank) * bytes,
-                  static_cast<std::byte*>(recvbuf) +
-                      static_cast<std::size_t>(read_peer) * bytes,
-                  bytes);
-    comm.signal(read_peer);   // FIN: done with their buffer
-    comm.wait_signal(reader); // their FIN before the next step reuses state
-  }
-  comm.barrier();
-}
-
-/// Pairwise over the two-copy shared-memory pipe (the SHMEM baseline).
-void alltoall_pairwise_shmem(Comm& comm, const void* sendbuf, void* recvbuf,
-                             std::size_t bytes, bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  copy_own_block(comm, sendbuf, recvbuf, bytes, in_place);
-
-  for (int step = 1; step < p; ++step) {
-    const int dst = pmod(rank + step, p);
-    const int src = pmod(rank - step, p);
-    // Deadlock avoidance on the bounded pipes: the minimum rank of each
-    // send cycle (cycles of stride `step` are the residues mod gcd(p,
-    // step)) receives first, breaking the circular wait.
-    const int cycle_min =
-        rank % static_cast<int>(gcd_u64(static_cast<std::uint64_t>(p),
-                                        static_cast<std::uint64_t>(step)));
-    const bool recv_first = rank == cycle_min;
-    auto do_send = [&] {
-      comm.shm_send(dst,
-                    static_cast<const std::byte*>(sendbuf) +
-                        static_cast<std::size_t>(dst) * bytes,
-                    bytes);
-    };
-    auto do_recv = [&] {
-      comm.shm_recv(src,
-                    static_cast<std::byte*>(recvbuf) +
-                        static_cast<std::size_t>(src) * bytes,
-                    bytes);
-    };
-    if (recv_first) {
-      do_recv();
-      do_send();
-    } else {
-      do_send();
-      do_recv();
-    }
-  }
-}
-
-/// Bruck's algorithm: ceil(log2 p) steps, each moving the blocks whose
-/// index has the step bit set. Pays pack/unpack copies per step.
-void alltoall_bruck(Comm& comm, const void* sendbuf, void* recvbuf,
-                    std::size_t bytes, bool in_place) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  (void)in_place; // Bruck always stages through tmp; in-place is free
-
-  // Phase 1: local rotation tmp[j] = send[(rank + j) mod p].
-  AlignedBuffer tmp(static_cast<std::size_t>(p) * bytes);
-  AlignedBuffer pack(static_cast<std::size_t>(p) * bytes);
-  AlignedBuffer unpack(static_cast<std::size_t>(p) * bytes);
-  const auto* send_bytes = static_cast<const std::byte*>(sendbuf);
-  for (int j = 0; j < p; ++j) {
-    comm.local_copy(tmp.data() + static_cast<std::size_t>(j) * bytes,
-                    send_bytes +
-                        static_cast<std::size_t>(pmod(rank + j, p)) * bytes,
-                    bytes);
-  }
-
-  std::uint64_t pack_addr = comm.expose(pack.data());
-  std::vector<std::uint64_t> pack_addrs(static_cast<std::size_t>(p));
-  comm.ctrl_allgather(&pack_addr, pack_addrs.data(), sizeof(pack_addr));
-
-  for (int bit = 1; bit < p; bit <<= 1) {
-    const int to = pmod(rank + bit, p);   // rank that reads our pack
-    const int from = pmod(rank - bit, p); // rank whose pack we read
-    // Pack blocks with this bit set.
-    std::size_t count = 0;
-    for (int j = bit; j < p; ++j) {
-      if ((j & bit) != 0) {
-        comm.local_copy(pack.data() + count * bytes,
-                        tmp.data() + static_cast<std::size_t>(j) * bytes,
-                        bytes);
-        ++count;
-      }
-    }
-    // Handshake: tell our reader the pack is ready; wait for our source.
-    comm.signal(to);
-    comm.wait_signal(from);
-    comm.cma_read(from, pack_addrs[static_cast<std::size_t>(from)],
-                  unpack.data(), count * bytes);
-    // Unpack into the same block slots.
-    std::size_t idx = 0;
-    for (int j = bit; j < p; ++j) {
-      if ((j & bit) != 0) {
-        comm.local_copy(tmp.data() + static_cast<std::size_t>(j) * bytes,
-                        unpack.data() + idx * bytes, bytes);
-        ++idx;
-      }
-    }
-    // FIN: our source may repack once we are done with its pack buffer.
-    comm.signal(from);
-    comm.wait_signal(to);
-  }
-
-  // Phase 3: inverse rotation recv[(rank - j) mod p] = tmp[j].
-  auto* recv_bytes = static_cast<std::byte*>(recvbuf);
-  for (int j = 0; j < p; ++j) {
-    comm.local_copy(recv_bytes +
-                        static_cast<std::size_t>(pmod(rank - j, p)) * bytes,
-                    tmp.data() + static_cast<std::size_t>(j) * bytes, bytes);
-  }
-  comm.barrier();
-}
-
-} // namespace
 
 void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
               std::size_t bytes, AlltoallAlgo algo, const CollOptions& opts) {
   const int p = comm.size();
+  validate_options(opts);
   if (bytes == 0) {
     comm.barrier();
     return;
@@ -226,29 +27,9 @@ void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
                  static_cast<std::int64_t>(bytes), -1,
                  to_string(algo).c_str());
 
-  if (p == 1) {
-    if (!opts.in_place) {
-      comm.local_copy(recvbuf, sendbuf, bytes);
-    }
-    return;
-  }
-
-  switch (algo) {
-    case AlltoallAlgo::kPairwise:
-      alltoall_pairwise(comm, sendbuf, recvbuf, bytes, opts.in_place);
-      break;
-    case AlltoallAlgo::kPairwisePt2pt:
-      alltoall_pairwise_pt2pt(comm, sendbuf, recvbuf, bytes, opts.in_place);
-      break;
-    case AlltoallAlgo::kPairwiseShmem:
-      alltoall_pairwise_shmem(comm, sendbuf, recvbuf, bytes, opts.in_place);
-      break;
-    case AlltoallAlgo::kBruck:
-      alltoall_bruck(comm, sendbuf, recvbuf, bytes, opts.in_place);
-      break;
-    case AlltoallAlgo::kAuto:
-      throw InternalError("alltoall: tuner returned kAuto");
-  }
+  auto sched =
+      nbc::compile_alltoall(comm, sendbuf, recvbuf, bytes, algo, opts, {});
+  nbc::drain(comm, *sched);
 }
 
 } // namespace kacc::coll

@@ -1,238 +1,19 @@
 #include "coll/bcast.h"
 
-#include <algorithm>
-#include <cstdint>
-#include <vector>
-
 #include "coll/tuner.h"
 #include "common/error.h"
-#include "common/mathutil.h"
+#include "nbc/compile.h"
 
 namespace kacc::coll {
-namespace {
-
-/// k-nomial tree bookkeeping over virtual ranks (vrank 0 is the root).
-/// A vrank's parent clears its lowest nonzero digit in base (k+1); its
-/// children set one digit below that position.
-struct KnomialNode {
-  int parent = -1;          ///< vrank of parent (-1 for the root)
-  std::vector<int> children; ///< vranks, coarsest level first
-};
-
-KnomialNode knomial_node(int vrank, int p, int k) {
-  const int radix = k + 1;
-  KnomialNode node;
-  // Lowest nonzero digit position of vrank (or the highest level for 0).
-  int d_low = 0;
-  if (vrank > 0) {
-    int v = vrank;
-    while (v % radix == 0) {
-      v /= radix;
-      ++d_low;
-    }
-    std::int64_t unit = 1;
-    for (int i = 0; i < d_low; ++i) {
-      unit *= radix;
-    }
-    node.parent = vrank - (v % radix) * static_cast<int>(unit);
-  } else {
-    std::int64_t unit = 1;
-    while (unit < p) {
-      unit *= radix;
-      ++d_low;
-    }
-  }
-  // Children: digits below d_low, coarsest first.
-  std::int64_t unit = 1;
-  for (int i = 1; i < d_low; ++i) {
-    unit *= radix;
-  }
-  for (int d = d_low - 1; d >= 0; --d) {
-    for (int a = 1; a <= k; ++a) {
-      const std::int64_t c = vrank + static_cast<std::int64_t>(a) * unit;
-      if (c < p) {
-        node.children.push_back(static_cast<int>(c));
-      }
-    }
-    unit /= radix;
-  }
-  return node;
-}
-
-void bcast_direct_read(Comm& comm, void* buf, std::size_t bytes, int root) {
-  std::uint64_t root_addr = comm.rank() == root ? comm.expose(buf) : 0;
-  comm.ctrl_bcast(&root_addr, sizeof(root_addr), root);
-  char token = 0;
-  if (comm.rank() == root) {
-    std::vector<char> tokens(static_cast<std::size_t>(comm.size()));
-    comm.ctrl_gather(&token, tokens.data(), 1, root);
-  } else {
-    comm.cma_read(root, root_addr, buf, bytes);
-    comm.ctrl_gather(&token, nullptr, 1, root);
-  }
-}
-
-void bcast_direct_write(Comm& comm, void* buf, std::size_t bytes, int root) {
-  std::uint64_t my_addr = comm.expose(buf);
-  char token = 0;
-  if (comm.rank() == root) {
-    std::vector<std::uint64_t> addrs(static_cast<std::size_t>(comm.size()));
-    comm.ctrl_gather(&my_addr, addrs.data(), sizeof(my_addr), root);
-    for (int q = 0; q < comm.size(); ++q) {
-      if (q != root) {
-        comm.cma_write(q, addrs[static_cast<std::size_t>(q)], buf, bytes);
-      }
-    }
-    comm.ctrl_bcast(&token, 1, root);
-  } else {
-    comm.ctrl_gather(&my_addr, nullptr, sizeof(my_addr), root);
-    comm.ctrl_bcast(&token, 1, root);
-  }
-}
-
-/// k-nomial read tree (§V-B2): up to k children read a parent's buffer
-/// concurrently per round — the broadcast analogue of throttled reads.
-void bcast_knomial_read(Comm& comm, void* buf, std::size_t bytes, int root,
-                        int k) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  const int vrank = pmod(rank - root, p);
-  auto actual = [&](int v) { return pmod(v + root, p); };
-
-  std::uint64_t my_addr = comm.expose(buf);
-  std::vector<std::uint64_t> addrs(static_cast<std::size_t>(p));
-  comm.ctrl_allgather(&my_addr, addrs.data(), sizeof(my_addr));
-
-  const KnomialNode node = knomial_node(vrank, p, k);
-  if (node.parent >= 0) {
-    const int parent = actual(node.parent);
-    comm.wait_signal(parent);
-    comm.cma_read(parent, addrs[static_cast<std::size_t>(parent)], buf,
-                  bytes);
-    comm.signal(parent); // FIN: parent's buffer no longer needed by us
-  }
-  // Serve children one level at a time: signal a wave of <= k readers,
-  // then collect their FINs before releasing the next wave. This keeps the
-  // concurrency at this buffer bounded by k.
-  std::size_t i = 0;
-  while (i < node.children.size()) {
-    const std::size_t wave_end = std::min(i + static_cast<std::size_t>(k),
-                                          node.children.size());
-    for (std::size_t c = i; c < wave_end; ++c) {
-      comm.signal(actual(node.children[c]));
-    }
-    for (std::size_t c = i; c < wave_end; ++c) {
-      comm.wait_signal(actual(node.children[c]));
-    }
-    i = wave_end;
-  }
-}
-
-/// k-nomial write tree: parents push into children's buffers; no FIN
-/// needed because the writer owns the pacing.
-void bcast_knomial_write(Comm& comm, void* buf, std::size_t bytes, int root,
-                         int k) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  const int vrank = pmod(rank - root, p);
-  auto actual = [&](int v) { return pmod(v + root, p); };
-
-  std::uint64_t my_addr = comm.expose(buf);
-  std::vector<std::uint64_t> addrs(static_cast<std::size_t>(p));
-  comm.ctrl_allgather(&my_addr, addrs.data(), sizeof(my_addr));
-
-  const KnomialNode node = knomial_node(vrank, p, k);
-  if (node.parent >= 0) {
-    comm.wait_signal(actual(node.parent));
-  }
-  for (int child_v : node.children) {
-    const int child = actual(child_v);
-    comm.cma_write(child, addrs[static_cast<std::size_t>(child)], buf, bytes);
-    comm.signal(child);
-  }
-  // Readers of our buffer: none (write-based); safe to return. A final
-  // barrier is still required so the root cannot overwrite `buf` while a
-  // descendant is mid-copy of... (writes are parent-owned, so no: every
-  // byte a child sees was pushed by its parent). No barrier needed.
-}
-
-/// Van de Geijn scatter-allgather (§V-B3): sequential-write scatter of
-/// eta/p chunks, then a contention-free ring-source allgather of chunks.
-void bcast_scatter_allgather(Comm& comm, void* buf, std::size_t bytes,
-                             int root) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-
-  // Balanced block distribution of the message across ranks.
-  const std::size_t base = bytes / static_cast<std::size_t>(p);
-  const std::size_t rem = bytes % static_cast<std::size_t>(p);
-  auto count_of = [&](int q) {
-    return base + (static_cast<std::size_t>(q) < rem ? 1 : 0);
-  };
-  auto off_of = [&](int q) {
-    const auto uq = static_cast<std::size_t>(q);
-    return uq * base + std::min(uq, rem);
-  };
-
-  std::uint64_t my_addr = comm.expose(buf);
-  std::vector<std::uint64_t> addrs(static_cast<std::size_t>(p));
-  comm.ctrl_allgather(&my_addr, addrs.data(), sizeof(my_addr));
-
-  // Phase 1: root writes chunk q into rank q's buffer (no contention).
-  if (rank == root) {
-    for (int q = 0; q < p; ++q) {
-      if (q == root || count_of(q) == 0) {
-        continue;
-      }
-      comm.cma_write(q, addrs[static_cast<std::size_t>(q)] + off_of(q),
-                     static_cast<const std::byte*>(buf) + off_of(q),
-                     count_of(q));
-    }
-  }
-  comm.barrier();
-
-  // Phase 2: ring-source allgather of the chunks.
-  for (int step = 1; step < p; ++step) {
-    const int src = pmod(rank - step, p);
-    if (count_of(src) == 0) {
-      continue;
-    }
-    comm.cma_read(src, addrs[static_cast<std::size_t>(src)] + off_of(src),
-                  static_cast<std::byte*>(buf) + off_of(src), count_of(src));
-  }
-  comm.barrier();
-}
-
-/// Binomial tree over the two-copy shm pipes — the classic small-message
-/// shared-memory broadcast the tuner prefers below the CMA crossover.
-void bcast_shmem_tree(Comm& comm, void* buf, std::size_t bytes, int root) {
-  const int p = comm.size();
-  const int relative = pmod(comm.rank() - root, p);
-  auto actual = [&](int v) { return pmod(v + root, p); };
-
-  int mask = 1;
-  while (mask < p) {
-    if ((relative & mask) != 0) {
-      comm.shm_recv(actual(relative - mask), buf, bytes);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (relative + mask < p) {
-      comm.shm_send(actual(relative + mask), buf, bytes);
-    }
-    mask >>= 1;
-  }
-}
-
-} // namespace
 
 void bcast(Comm& comm, void* buf, std::size_t bytes, int root,
            BcastAlgo algo, const CollOptions& opts) {
   const int p = comm.size();
   KACC_CHECK_MSG(root >= 0 && root < p, "bcast: root out of range");
+  validate_options(opts);
+  if (opts.in_place) {
+    throw InvalidArgument("bcast: in_place is not defined for bcast");
+  }
   if (bytes == 0) {
     comm.barrier();
     return;
@@ -253,39 +34,8 @@ void bcast(Comm& comm, void* buf, std::size_t bytes, int root,
                  static_cast<std::int64_t>(bytes), root,
                  to_string(algo).c_str());
 
-  if (p == 1) {
-    return;
-  }
-
-  switch (algo) {
-    case BcastAlgo::kDirectRead:
-      bcast_direct_read(comm, buf, bytes, root);
-      break;
-    case BcastAlgo::kDirectWrite:
-      bcast_direct_write(comm, buf, bytes, root);
-      break;
-    case BcastAlgo::kKnomialRead: {
-      const int k = std::min(eff.throttle > 0 ? eff.throttle : 4, p - 1);
-      bcast_knomial_read(comm, buf, bytes, root, k);
-      break;
-    }
-    case BcastAlgo::kKnomialWrite: {
-      const int k = std::min(eff.throttle > 0 ? eff.throttle : 4, p - 1);
-      bcast_knomial_write(comm, buf, bytes, root, k);
-      break;
-    }
-    case BcastAlgo::kScatterAllgather:
-      bcast_scatter_allgather(comm, buf, bytes, root);
-      break;
-    case BcastAlgo::kShmemTree:
-      bcast_shmem_tree(comm, buf, bytes, root);
-      break;
-    case BcastAlgo::kShmemSlot:
-      comm.shm_bcast(buf, bytes, root);
-      break;
-    case BcastAlgo::kAuto:
-      throw InternalError("bcast: tuner returned kAuto");
-  }
+  auto sched = nbc::compile_bcast(comm, buf, bytes, root, algo, eff, {});
+  nbc::drain(comm, *sched);
 }
 
 } // namespace kacc::coll

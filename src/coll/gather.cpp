@@ -1,117 +1,16 @@
 #include "coll/gather.h"
 
-#include <algorithm>
-#include <cstdint>
-#include <vector>
-
 #include "coll/tuner.h"
 #include "common/error.h"
+#include "nbc/compile.h"
 
 namespace kacc::coll {
-namespace {
-
-int nonroot_pos(int rank, int root) { return rank < root ? rank : rank - 1; }
-int nonroot_rank(int pos, int root) { return pos < root ? pos : pos + 1; }
-
-int last_wave_size(int p, int k) {
-  const int writers = p - 1;
-  const int rem = writers % k;
-  return rem == 0 ? std::min(k, writers) : rem;
-}
-
-void gather_parallel_write(Comm& comm, const void* sendbuf, void* recvbuf,
-                           std::size_t bytes, int root, bool in_place) {
-  std::uint64_t root_addr = comm.rank() == root ? comm.expose(recvbuf) : 0;
-  comm.ctrl_bcast(&root_addr, sizeof(root_addr), root);
-  char token = 0;
-  if (comm.rank() == root) {
-    if (!in_place) {
-      comm.local_copy(static_cast<std::byte*>(recvbuf) +
-                          static_cast<std::size_t>(root) * bytes,
-                      sendbuf, bytes);
-    }
-    std::vector<char> tokens(static_cast<std::size_t>(comm.size()));
-    comm.ctrl_gather(&token, tokens.data(), 1, root);
-  } else {
-    comm.cma_write(root,
-                   root_addr + static_cast<std::uint64_t>(comm.rank()) * bytes,
-                   sendbuf, bytes);
-    comm.ctrl_gather(&token, nullptr, 1, root);
-  }
-}
-
-void gather_sequential_read(Comm& comm, const void* sendbuf, void* recvbuf,
-                            std::size_t bytes, int root, bool in_place) {
-  std::uint64_t my_addr = comm.expose(sendbuf);
-  char token = 0;
-  if (comm.rank() == root) {
-    std::vector<std::uint64_t> addrs(static_cast<std::size_t>(comm.size()));
-    comm.ctrl_gather(&my_addr, addrs.data(), sizeof(my_addr), root);
-    if (!in_place) {
-      comm.local_copy(static_cast<std::byte*>(recvbuf) +
-                          static_cast<std::size_t>(root) * bytes,
-                      sendbuf, bytes);
-    }
-    for (int q = 0; q < comm.size(); ++q) {
-      if (q == root) {
-        continue;
-      }
-      comm.cma_read(q, addrs[static_cast<std::size_t>(q)],
-                    static_cast<std::byte*>(recvbuf) +
-                        static_cast<std::size_t>(q) * bytes,
-                    bytes);
-    }
-    comm.ctrl_bcast(&token, 1, root);
-  } else {
-    comm.ctrl_gather(&my_addr, nullptr, sizeof(my_addr), root);
-    comm.ctrl_bcast(&token, 1, root);
-  }
-}
-
-void gather_throttled_write(Comm& comm, const void* sendbuf, void* recvbuf,
-                            std::size_t bytes, int root, int k,
-                            bool in_place) {
-  const int p = comm.size();
-  KACC_CHECK_MSG(k >= 1, "throttled gather: k >= 1");
-  std::uint64_t root_addr = comm.rank() == root ? comm.expose(recvbuf) : 0;
-  comm.ctrl_bcast(&root_addr, sizeof(root_addr), root);
-
-  if (comm.rank() == root) {
-    if (!in_place) {
-      comm.local_copy(static_cast<std::byte*>(recvbuf) +
-                          static_cast<std::size_t>(root) * bytes,
-                      sendbuf, bytes);
-    }
-    const int lw = last_wave_size(p, k);
-    for (int i = 0; i < lw; ++i) {
-      const int pos = (p - 1) - lw + i;
-      comm.wait_signal(nonroot_rank(pos, root));
-    }
-    return;
-  }
-
-  const int pos = nonroot_pos(comm.rank(), root);
-  if (pos - k >= 0) {
-    comm.wait_signal(nonroot_rank(pos - k, root));
-  }
-  comm.cma_write(root,
-                 root_addr + static_cast<std::uint64_t>(comm.rank()) * bytes,
-                 sendbuf, bytes);
-  if (pos + k <= p - 2) {
-    comm.signal(nonroot_rank(pos + k, root));
-  }
-  const int lw = last_wave_size(p, k);
-  if (pos >= (p - 1) - lw) {
-    comm.signal(root);
-  }
-}
-
-} // namespace
 
 void gather(Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
             int root, GatherAlgo algo, const CollOptions& opts) {
   const int p = comm.size();
   KACC_CHECK_MSG(root >= 0 && root < p, "gather: root out of range");
+  validate_options(opts);
   if (bytes == 0) {
     comm.barrier();
     return;
@@ -135,31 +34,9 @@ void gather(Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
                  static_cast<std::int64_t>(bytes), root,
                  to_string(algo).c_str());
 
-  if (p == 1) {
-    if (!eff.in_place) {
-      comm.local_copy(recvbuf, sendbuf, bytes);
-    }
-    return;
-  }
-
-  switch (algo) {
-    case GatherAlgo::kParallelWrite:
-      gather_parallel_write(comm, sendbuf, recvbuf, bytes, root,
-                            eff.in_place);
-      break;
-    case GatherAlgo::kSequentialRead:
-      gather_sequential_read(comm, sendbuf, recvbuf, bytes, root,
-                             eff.in_place);
-      break;
-    case GatherAlgo::kThrottledWrite: {
-      const int k = eff.throttle > 0 ? eff.throttle : 4;
-      gather_throttled_write(comm, sendbuf, recvbuf, bytes, root,
-                             std::min(k, p - 1), eff.in_place);
-      break;
-    }
-    case GatherAlgo::kAuto:
-      throw InternalError("gather: tuner returned kAuto");
-  }
+  auto sched =
+      nbc::compile_gather(comm, sendbuf, recvbuf, bytes, root, algo, eff, {});
+  nbc::drain(comm, *sched);
 }
 
 } // namespace kacc::coll

@@ -1,128 +1,17 @@
 #include "coll/scatter.h"
 
-#include <cstdint>
-
 #include "coll/tuner.h"
 #include "common/error.h"
-#include "common/mathutil.h"
+#include "nbc/compile.h"
 
 namespace kacc::coll {
-namespace {
-
-/// Position of a non-root rank in the 0..p-2 wave ordering.
-int nonroot_pos(int rank, int root) { return rank < root ? rank : rank - 1; }
-
-/// Inverse of nonroot_pos.
-int nonroot_rank(int pos, int root) { return pos < root ? pos : pos + 1; }
-
-/// Ranks in the last wave of a k-throttled schedule over p-1 readers.
-int last_wave_size(int p, int k) {
-  const int readers = p - 1;
-  const int rem = readers % k;
-  return rem == 0 ? std::min(k, readers) : rem;
-}
-
-void scatter_parallel_read(Comm& comm, const void* sendbuf, void* recvbuf,
-                           std::size_t bytes, int root, bool in_place) {
-  std::uint64_t root_addr = comm.rank() == root ? comm.expose(sendbuf) : 0;
-  comm.ctrl_bcast(&root_addr, sizeof(root_addr), root);
-  char token = 0;
-  if (comm.rank() == root) {
-    if (!in_place) {
-      comm.local_copy(recvbuf,
-                      static_cast<const std::byte*>(sendbuf) +
-                          static_cast<std::size_t>(root) * bytes,
-                      bytes);
-    }
-    std::vector<char> tokens(static_cast<std::size_t>(comm.size()));
-    comm.ctrl_gather(&token, tokens.data(), 1, root);
-  } else {
-    comm.cma_read(root,
-                  root_addr + static_cast<std::uint64_t>(comm.rank()) * bytes,
-                  recvbuf, bytes);
-    comm.ctrl_gather(&token, nullptr, 1, root);
-  }
-}
-
-void scatter_sequential_write(Comm& comm, const void* sendbuf, void* recvbuf,
-                              std::size_t bytes, int root, bool in_place) {
-  // Order of the address exchange is reversed vs parallel read: the root
-  // gathers every receive-buffer address, then notifies on completion.
-  std::uint64_t my_addr = comm.expose(recvbuf);
-  char token = 0;
-  if (comm.rank() == root) {
-    std::vector<std::uint64_t> addrs(static_cast<std::size_t>(comm.size()));
-    comm.ctrl_gather(&my_addr, addrs.data(), sizeof(my_addr), root);
-    if (!in_place) {
-      comm.local_copy(recvbuf,
-                      static_cast<const std::byte*>(sendbuf) +
-                          static_cast<std::size_t>(root) * bytes,
-                      bytes);
-    }
-    for (int q = 0; q < comm.size(); ++q) {
-      if (q == root) {
-        continue;
-      }
-      comm.cma_write(q, addrs[static_cast<std::size_t>(q)],
-                     static_cast<const std::byte*>(sendbuf) +
-                         static_cast<std::size_t>(q) * bytes,
-                     bytes);
-    }
-    comm.ctrl_bcast(&token, 1, root);
-  } else {
-    comm.ctrl_gather(&my_addr, nullptr, sizeof(my_addr), root);
-    comm.ctrl_bcast(&token, 1, root);
-  }
-}
-
-void scatter_throttled_read(Comm& comm, const void* sendbuf, void* recvbuf,
-                            std::size_t bytes, int root, int k,
-                            bool in_place) {
-  const int p = comm.size();
-  KACC_CHECK_MSG(k >= 1, "throttled scatter: k >= 1");
-  std::uint64_t root_addr = comm.rank() == root ? comm.expose(sendbuf) : 0;
-  comm.ctrl_bcast(&root_addr, sizeof(root_addr), root);
-
-  if (comm.rank() == root) {
-    if (!in_place) {
-      comm.local_copy(recvbuf,
-                      static_cast<const std::byte*>(sendbuf) +
-                          static_cast<std::size_t>(root) * bytes,
-                      bytes);
-    }
-    // The final-wave readers each acknowledge: a single ack from the last
-    // rank is not enough because k reads complete concurrently (§IV-A3).
-    const int lw = last_wave_size(p, k);
-    for (int i = 0; i < lw; ++i) {
-      const int pos = (p - 1) - lw + i;
-      comm.wait_signal(nonroot_rank(pos, root));
-    }
-    return;
-  }
-
-  const int pos = nonroot_pos(comm.rank(), root);
-  if (pos - k >= 0) {
-    comm.wait_signal(nonroot_rank(pos - k, root));
-  }
-  comm.cma_read(root,
-                root_addr + static_cast<std::uint64_t>(comm.rank()) * bytes,
-                recvbuf, bytes);
-  if (pos + k <= p - 2) {
-    comm.signal(nonroot_rank(pos + k, root));
-  }
-  const int lw = last_wave_size(p, k);
-  if (pos >= (p - 1) - lw) {
-    comm.signal(root);
-  }
-}
-
-} // namespace
 
 void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
              std::size_t bytes, int root, ScatterAlgo algo,
              const CollOptions& opts) {
   const int p = comm.size();
   KACC_CHECK_MSG(root >= 0 && root < p, "scatter: root out of range");
+  validate_options(opts);
   if (bytes == 0) {
     comm.barrier();
     return;
@@ -146,31 +35,9 @@ void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
                  static_cast<std::int64_t>(bytes), root,
                  to_string(algo).c_str());
 
-  if (p == 1) {
-    if (!eff.in_place) {
-      comm.local_copy(recvbuf, sendbuf, bytes);
-    }
-    return;
-  }
-
-  switch (algo) {
-    case ScatterAlgo::kParallelRead:
-      scatter_parallel_read(comm, sendbuf, recvbuf, bytes, root,
-                            eff.in_place);
-      break;
-    case ScatterAlgo::kSequentialWrite:
-      scatter_sequential_write(comm, sendbuf, recvbuf, bytes, root,
-                               eff.in_place);
-      break;
-    case ScatterAlgo::kThrottledRead: {
-      const int k = eff.throttle > 0 ? eff.throttle : 4;
-      scatter_throttled_read(comm, sendbuf, recvbuf, bytes, root,
-                             std::min(k, p - 1), eff.in_place);
-      break;
-    }
-    case ScatterAlgo::kAuto:
-      throw InternalError("scatter: tuner returned kAuto");
-  }
+  auto sched =
+      nbc::compile_scatter(comm, sendbuf, recvbuf, bytes, root, algo, eff, {});
+  nbc::drain(comm, *sched);
 }
 
 } // namespace kacc::coll

@@ -1,0 +1,1014 @@
+// Lowers the CMA collective algorithms to Schedule IR. The algorithm
+// bodies here are the single source of truth: the blocking entry points in
+// src/coll compile + drain, the nonblocking API compiles + hands off to
+// the progress engine. Blocking mode replays the historical per-rank comm
+// call sequence exactly (same ops, same order, same sizes) so counters,
+// spans, simulated virtual times and fault-injection op ordinals are
+// unchanged by the refactor.
+#include "nbc/compile.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "runtime/comm.h"
+
+namespace kacc::nbc {
+namespace {
+
+using coll::CollOptions;
+
+std::byte* bptr(void* p, std::size_t off) {
+  return static_cast<std::byte*>(p) + off;
+}
+const std::byte* bptr(const void* p, std::size_t off) {
+  return static_cast<const std::byte*>(p) + off;
+}
+
+// ---- wave/tree bookkeeping shared by scatter/gather/bcast lowerings ----
+
+/// Position of a non-root rank in the 0..p-2 wave ordering.
+int nonroot_pos(int rank, int root) { return rank < root ? rank : rank - 1; }
+
+/// Inverse of nonroot_pos.
+int nonroot_rank(int pos, int root) { return pos < root ? pos : pos + 1; }
+
+/// Ranks in the last wave of a k-throttled schedule over p-1 movers.
+int last_wave_size(int p, int k) {
+  const int movers = p - 1;
+  const int rem = movers % k;
+  return rem == 0 ? std::min(k, movers) : rem;
+}
+
+/// k-nomial tree bookkeeping over virtual ranks (vrank 0 is the root).
+/// A vrank's parent clears its lowest nonzero digit in base (k+1); its
+/// children set one digit below that position.
+struct KnomialNode {
+  int parent = -1;           ///< vrank of parent (-1 for the root)
+  std::vector<int> children; ///< vranks, coarsest level first
+};
+
+KnomialNode knomial_node(int vrank, int p, int k) {
+  const int radix = k + 1;
+  KnomialNode node;
+  int d_low = 0;
+  if (vrank > 0) {
+    int v = vrank;
+    while (v % radix == 0) {
+      v /= radix;
+      ++d_low;
+    }
+    std::int64_t unit = 1;
+    for (int i = 0; i < d_low; ++i) {
+      unit *= radix;
+    }
+    node.parent = vrank - (v % radix) * static_cast<int>(unit);
+  } else {
+    std::int64_t unit = 1;
+    while (unit < p) {
+      unit *= radix;
+      ++d_low;
+    }
+  }
+  std::int64_t unit = 1;
+  for (int i = 1; i < d_low; ++i) {
+    unit *= radix;
+  }
+  for (int d = d_low - 1; d >= 0; --d) {
+    for (int a = 1; a <= k; ++a) {
+      const std::int64_t c = vrank + static_cast<std::int64_t>(a) * unit;
+      if (c < p) {
+        node.children.push_back(static_cast<int>(c));
+      }
+    }
+    unit /= radix;
+  }
+  return node;
+}
+
+/// Peer of `rank` at pairwise step i: XOR schedule when p is a power of
+/// two (symmetric pairs), modular otherwise.
+int pairwise_read_peer(int rank, int step, int p) {
+  if (is_pow2(static_cast<std::uint64_t>(p))) {
+    return rank ^ step;
+  }
+  return pmod(rank - step, p);
+}
+
+// ---- the emitter ----
+
+/// One per compile call: appends steps to the schedule, choosing between
+/// the blocking replay and the nonblocking (eager-exchange, tagged-signal,
+/// chunked) lowering of each primitive.
+struct Lower {
+  Comm& comm;
+  Schedule& s;
+  Mode mode;
+  int tag;
+  std::size_t chunk;
+  int rank;
+  int p;
+
+  Lower(Comm& c, Schedule& sched, const CompileParams& params)
+      : comm(c), s(sched), mode(params.mode), tag(params.tag),
+        chunk(params.chunk_bytes), rank(c.rank()), p(c.size()) {
+    if (mode == Mode::kNonblocking) {
+      KACC_CHECK_MSG(tag >= 0 && tag < Comm::kNbcTags,
+                     "nbc signal lane out of range");
+    }
+  }
+
+  [[nodiscard]] bool blocking() const { return mode == Mode::kBlocking; }
+
+  Step& push(StepKind kind) {
+    s.steps.emplace_back();
+    Step& st = s.steps.back();
+    st.kind = kind;
+    return st;
+  }
+
+  void cma(StepKind kind, int peer, int slot, std::uint64_t off, void* dst,
+           const void* src, std::size_t n) {
+    const std::size_t grain = (!blocking() && chunk > 0) ? chunk : n;
+    std::size_t done = 0;
+    do {
+      const std::size_t piece = std::min(grain, n - done);
+      Step& st = push(kind);
+      st.peer = peer;
+      st.slot = slot;
+      st.remote_off = off + done;
+      st.dst = dst == nullptr ? nullptr : bptr(dst, done);
+      st.src = src == nullptr ? nullptr : bptr(src, done);
+      st.bytes = piece;
+      done += piece;
+    } while (done < n);
+  }
+  void cma_read(int peer, int slot, std::uint64_t off, void* dst,
+                std::size_t n) {
+    cma(StepKind::kCmaRead, peer, slot, off, dst, nullptr, n);
+  }
+  void cma_write(int peer, int slot, std::uint64_t off, const void* src,
+                 std::size_t n) {
+    cma(StepKind::kCmaWrite, peer, slot, off, nullptr, src, n);
+  }
+  void local_copy(void* dst, const void* src, std::size_t n) {
+    Step& st = push(StepKind::kLocalCopy);
+    st.dst = dst;
+    st.src = src;
+    st.bytes = n;
+  }
+  void signal(int peer) {
+    Step& st = push(StepKind::kSignal);
+    st.peer = peer;
+    st.tag = blocking() ? -1 : tag;
+  }
+  void wait_signal(int peer) {
+    Step& st = push(StepKind::kWaitSignal);
+    st.peer = peer;
+    st.tag = blocking() ? -1 : tag;
+  }
+
+  // --- control exchanges: steps when blocking, eager otherwise ---
+
+  /// Broadcasts s.addrs[root] (prefilled at the root) to every rank.
+  void addr_bcast(int root) {
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlBcast);
+      st.peer = root;
+      st.dst = &s.addrs[static_cast<std::size_t>(root)];
+      st.bytes = sizeof(std::uint64_t);
+    } else {
+      comm.ctrl_bcast(&s.addrs[static_cast<std::size_t>(root)],
+                      sizeof(std::uint64_t), root);
+    }
+  }
+
+  /// Gathers every rank's s.self_addr into the root's s.addrs.
+  void addr_gather(int root) {
+    void* recv = rank == root ? static_cast<void*>(s.addrs.data()) : nullptr;
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlGather);
+      st.peer = root;
+      st.src = &s.self_addr;
+      st.dst = recv;
+      st.bytes = sizeof(std::uint64_t);
+    } else {
+      comm.ctrl_gather(&s.self_addr, recv, sizeof(std::uint64_t), root);
+    }
+  }
+
+  /// Allgathers every rank's s.self_addr into s.addrs.
+  void addr_allgather() {
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlAllgather);
+      st.src = &s.self_addr;
+      st.dst = s.addrs.data();
+      st.bytes = sizeof(std::uint64_t);
+    } else {
+      comm.ctrl_allgather(&s.self_addr, s.addrs.data(),
+                          sizeof(std::uint64_t));
+    }
+  }
+
+  /// Completion fan-in: non-roots notify the root (a 1-byte token gather
+  /// in blocking mode, p-1 tagged signals otherwise).
+  void completion_fan_in(int root) {
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlGather);
+      st.peer = root;
+      st.src = &s.token;
+      st.dst = rank == root ? static_cast<void*>(s.tokens.data()) : nullptr;
+      st.bytes = 1;
+    } else if (rank == root) {
+      for (int q = 0; q < p; ++q) {
+        if (q != root) {
+          wait_signal(q);
+        }
+      }
+    } else {
+      signal(root);
+    }
+  }
+
+  /// Completion fan-out: the root releases every non-root.
+  void completion_fan_out(int root) {
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlBcast);
+      st.peer = root;
+      st.dst = &s.token;
+      st.bytes = 1;
+    } else if (rank == root) {
+      for (int q = 0; q < p; ++q) {
+        if (q != root) {
+          signal(q);
+        }
+      }
+    } else {
+      wait_signal(root);
+    }
+  }
+
+  /// Full barrier: one step when blocking; dissemination rounds over the
+  /// request's counting lane otherwise (ceil(log2 p) signal/wait pairs).
+  void barrier() {
+    if (blocking()) {
+      push(StepKind::kBarrier);
+      return;
+    }
+    for (int d = 1; d < p; d <<= 1) {
+      signal(pmod(rank + d, p));
+      wait_signal(pmod(rank - d, p));
+    }
+  }
+
+  // --- two-copy shm data plane: blocking only ---
+
+  void shm_send(int dst, const void* buf, std::size_t n) {
+    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
+    Step& st = push(StepKind::kShmSend);
+    st.peer = dst;
+    st.src = buf;
+    st.bytes = n;
+  }
+  void shm_recv(int src, void* buf, std::size_t n) {
+    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
+    Step& st = push(StepKind::kShmRecv);
+    st.peer = src;
+    st.dst = buf;
+    st.bytes = n;
+  }
+  void shm_bcast(void* buf, std::size_t n, int root) {
+    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
+    Step& st = push(StepKind::kShmBcast);
+    st.peer = root;
+    st.dst = buf;
+    st.bytes = n;
+  }
+};
+
+std::unique_ptr<Schedule> make_schedule(Comm& comm) {
+  auto s = std::make_unique<Schedule>();
+  s->rank = comm.rank();
+  s->size = comm.size();
+  s->addrs.assign(static_cast<std::size_t>(comm.size()), 0);
+  s->tokens.assign(static_cast<std::size_t>(comm.size()), 0);
+  return s;
+}
+
+int throttle_k(const CollOptions& eff, int p) {
+  return std::min(eff.throttle > 0 ? eff.throttle : 4, p - 1);
+}
+
+} // namespace
+
+// ---- Scatter (§IV-A) ----
+
+std::unique_ptr<Schedule> compile_scatter(Comm& comm, const void* sendbuf,
+                                          void* recvbuf, std::size_t bytes,
+                                          int root, coll::ScatterAlgo algo,
+                                          const CollOptions& eff,
+                                          const CompileParams& params) {
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int p = lo.p;
+  const int rank = lo.rank;
+  if (p == 1) {
+    if (!eff.in_place) {
+      lo.local_copy(recvbuf, sendbuf, bytes);
+    }
+    return sched;
+  }
+
+  switch (algo) {
+    case coll::ScatterAlgo::kParallelRead: {
+      if (rank == root) {
+        sched->addrs[static_cast<std::size_t>(root)] = comm.expose(sendbuf);
+      }
+      lo.addr_bcast(root);
+      if (rank == root) {
+        if (!eff.in_place) {
+          lo.local_copy(recvbuf,
+                        bptr(sendbuf, static_cast<std::size_t>(root) * bytes),
+                        bytes);
+        }
+      } else {
+        lo.cma_read(root, root, static_cast<std::uint64_t>(rank) * bytes,
+                    recvbuf, bytes);
+      }
+      lo.completion_fan_in(root);
+      break;
+    }
+    case coll::ScatterAlgo::kSequentialWrite: {
+      // Order of the address exchange is reversed vs parallel read: the
+      // root gathers every receive-buffer address, then notifies on
+      // completion.
+      sched->self_addr = comm.expose(recvbuf);
+      lo.addr_gather(root);
+      if (rank == root) {
+        if (!eff.in_place) {
+          lo.local_copy(recvbuf,
+                        bptr(sendbuf, static_cast<std::size_t>(root) * bytes),
+                        bytes);
+        }
+        for (int q = 0; q < p; ++q) {
+          if (q == root) {
+            continue;
+          }
+          lo.cma_write(q, q, 0,
+                       bptr(sendbuf, static_cast<std::size_t>(q) * bytes),
+                       bytes);
+        }
+      }
+      lo.completion_fan_out(root);
+      break;
+    }
+    case coll::ScatterAlgo::kThrottledRead: {
+      const int k = throttle_k(eff, p);
+      KACC_CHECK_MSG(k >= 1, "throttled scatter: k >= 1");
+      if (rank == root) {
+        sched->addrs[static_cast<std::size_t>(root)] = comm.expose(sendbuf);
+      }
+      lo.addr_bcast(root);
+      if (rank == root) {
+        if (!eff.in_place) {
+          lo.local_copy(recvbuf,
+                        bptr(sendbuf, static_cast<std::size_t>(root) * bytes),
+                        bytes);
+        }
+        // The final-wave readers each acknowledge: a single ack from the
+        // last rank is not enough because k reads complete concurrently
+        // (§IV-A3).
+        const int lw = last_wave_size(p, k);
+        for (int i = 0; i < lw; ++i) {
+          const int pos = (p - 1) - lw + i;
+          lo.wait_signal(nonroot_rank(pos, root));
+        }
+        break;
+      }
+      const int pos = nonroot_pos(rank, root);
+      if (pos - k >= 0) {
+        lo.wait_signal(nonroot_rank(pos - k, root));
+      }
+      lo.cma_read(root, root, static_cast<std::uint64_t>(rank) * bytes,
+                  recvbuf, bytes);
+      if (pos + k <= p - 2) {
+        lo.signal(nonroot_rank(pos + k, root));
+      }
+      const int lw = last_wave_size(p, k);
+      if (pos >= (p - 1) - lw) {
+        lo.signal(root);
+      }
+      break;
+    }
+    case coll::ScatterAlgo::kAuto:
+      throw InternalError("compile_scatter: unresolved kAuto");
+  }
+  return sched;
+}
+
+// ---- Gather (§IV-B) ----
+
+std::unique_ptr<Schedule> compile_gather(Comm& comm, const void* sendbuf,
+                                         void* recvbuf, std::size_t bytes,
+                                         int root, coll::GatherAlgo algo,
+                                         const CollOptions& eff,
+                                         const CompileParams& params) {
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int p = lo.p;
+  const int rank = lo.rank;
+  if (p == 1) {
+    if (!eff.in_place) {
+      lo.local_copy(recvbuf, sendbuf, bytes);
+    }
+    return sched;
+  }
+
+  switch (algo) {
+    case coll::GatherAlgo::kParallelWrite: {
+      if (rank == root) {
+        sched->addrs[static_cast<std::size_t>(root)] = comm.expose(recvbuf);
+      }
+      lo.addr_bcast(root);
+      if (rank == root) {
+        if (!eff.in_place) {
+          lo.local_copy(bptr(recvbuf, static_cast<std::size_t>(root) * bytes),
+                        sendbuf, bytes);
+        }
+      } else {
+        lo.cma_write(root, root, static_cast<std::uint64_t>(rank) * bytes,
+                     sendbuf, bytes);
+      }
+      lo.completion_fan_in(root);
+      break;
+    }
+    case coll::GatherAlgo::kSequentialRead: {
+      sched->self_addr = comm.expose(sendbuf);
+      lo.addr_gather(root);
+      if (rank == root) {
+        if (!eff.in_place) {
+          lo.local_copy(bptr(recvbuf, static_cast<std::size_t>(root) * bytes),
+                        sendbuf, bytes);
+        }
+        for (int q = 0; q < p; ++q) {
+          if (q == root) {
+            continue;
+          }
+          lo.cma_read(q, q, 0,
+                      bptr(recvbuf, static_cast<std::size_t>(q) * bytes),
+                      bytes);
+        }
+      }
+      lo.completion_fan_out(root);
+      break;
+    }
+    case coll::GatherAlgo::kThrottledWrite: {
+      const int k = throttle_k(eff, p);
+      KACC_CHECK_MSG(k >= 1, "throttled gather: k >= 1");
+      if (rank == root) {
+        sched->addrs[static_cast<std::size_t>(root)] = comm.expose(recvbuf);
+      }
+      lo.addr_bcast(root);
+      if (rank == root) {
+        if (!eff.in_place) {
+          lo.local_copy(bptr(recvbuf, static_cast<std::size_t>(root) * bytes),
+                        sendbuf, bytes);
+        }
+        const int lw = last_wave_size(p, k);
+        for (int i = 0; i < lw; ++i) {
+          const int pos = (p - 1) - lw + i;
+          lo.wait_signal(nonroot_rank(pos, root));
+        }
+        break;
+      }
+      const int pos = nonroot_pos(rank, root);
+      if (pos - k >= 0) {
+        lo.wait_signal(nonroot_rank(pos - k, root));
+      }
+      lo.cma_write(root, root, static_cast<std::uint64_t>(rank) * bytes,
+                   sendbuf, bytes);
+      if (pos + k <= p - 2) {
+        lo.signal(nonroot_rank(pos + k, root));
+      }
+      const int lw = last_wave_size(p, k);
+      if (pos >= (p - 1) - lw) {
+        lo.signal(root);
+      }
+      break;
+    }
+    case coll::GatherAlgo::kAuto:
+      throw InternalError("compile_gather: unresolved kAuto");
+  }
+  return sched;
+}
+
+// ---- Bcast (§V-B) ----
+
+std::unique_ptr<Schedule> compile_bcast(Comm& comm, void* buf,
+                                        std::size_t bytes, int root,
+                                        coll::BcastAlgo algo,
+                                        const CollOptions& eff,
+                                        const CompileParams& params) {
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int p = lo.p;
+  const int rank = lo.rank;
+  if (p == 1) {
+    return sched;
+  }
+
+  switch (algo) {
+    case coll::BcastAlgo::kDirectRead: {
+      if (rank == root) {
+        sched->addrs[static_cast<std::size_t>(root)] = comm.expose(buf);
+      }
+      lo.addr_bcast(root);
+      if (rank != root) {
+        lo.cma_read(root, root, 0, buf, bytes);
+      }
+      lo.completion_fan_in(root);
+      break;
+    }
+    case coll::BcastAlgo::kDirectWrite: {
+      sched->self_addr = comm.expose(buf);
+      lo.addr_gather(root);
+      if (rank == root) {
+        for (int q = 0; q < p; ++q) {
+          if (q != root) {
+            lo.cma_write(q, q, 0, buf, bytes);
+          }
+        }
+      }
+      lo.completion_fan_out(root);
+      break;
+    }
+    case coll::BcastAlgo::kKnomialRead: {
+      // k-nomial read tree (§V-B2): up to k children read a parent's
+      // buffer concurrently per round.
+      const int k = throttle_k(eff, p);
+      const int vrank = pmod(rank - root, p);
+      auto actual = [&](int v) { return pmod(v + root, p); };
+      sched->self_addr = comm.expose(buf);
+      lo.addr_allgather();
+      const KnomialNode node = knomial_node(vrank, p, k);
+      if (node.parent >= 0) {
+        const int parent = actual(node.parent);
+        lo.wait_signal(parent);
+        lo.cma_read(parent, parent, 0, buf, bytes);
+        lo.signal(parent); // FIN: parent's buffer no longer needed by us
+      }
+      // Serve children one level at a time: signal a wave of <= k readers,
+      // then collect their FINs before releasing the next wave.
+      std::size_t i = 0;
+      while (i < node.children.size()) {
+        const std::size_t wave_end = std::min(
+            i + static_cast<std::size_t>(k), node.children.size());
+        for (std::size_t c = i; c < wave_end; ++c) {
+          lo.signal(actual(node.children[c]));
+        }
+        for (std::size_t c = i; c < wave_end; ++c) {
+          lo.wait_signal(actual(node.children[c]));
+        }
+        i = wave_end;
+      }
+      break;
+    }
+    case coll::BcastAlgo::kKnomialWrite: {
+      // k-nomial write tree: parents push into children's buffers; no FIN
+      // needed because the writer owns the pacing.
+      const int k = throttle_k(eff, p);
+      const int vrank = pmod(rank - root, p);
+      auto actual = [&](int v) { return pmod(v + root, p); };
+      sched->self_addr = comm.expose(buf);
+      lo.addr_allgather();
+      const KnomialNode node = knomial_node(vrank, p, k);
+      if (node.parent >= 0) {
+        lo.wait_signal(actual(node.parent));
+      }
+      for (int child_v : node.children) {
+        const int child = actual(child_v);
+        lo.cma_write(child, child, 0, buf, bytes);
+        lo.signal(child);
+      }
+      break;
+    }
+    case coll::BcastAlgo::kScatterAllgather: {
+      // Van de Geijn (§V-B3): sequential-write scatter of eta/p chunks,
+      // then a contention-free ring-source allgather of the chunks.
+      const std::size_t base = bytes / static_cast<std::size_t>(p);
+      const std::size_t rem = bytes % static_cast<std::size_t>(p);
+      auto count_of = [&](int q) {
+        return base + (static_cast<std::size_t>(q) < rem ? 1 : 0);
+      };
+      auto off_of = [&](int q) {
+        const auto uq = static_cast<std::size_t>(q);
+        return uq * base + std::min(uq, rem);
+      };
+      sched->self_addr = comm.expose(buf);
+      lo.addr_allgather();
+      if (rank == root) {
+        for (int q = 0; q < p; ++q) {
+          if (q == root || count_of(q) == 0) {
+            continue;
+          }
+          lo.cma_write(q, q, off_of(q), bptr(buf, off_of(q)), count_of(q));
+        }
+      }
+      lo.barrier();
+      for (int step = 1; step < p; ++step) {
+        const int src = pmod(rank - step, p);
+        if (count_of(src) == 0) {
+          continue;
+        }
+        lo.cma_read(src, src, off_of(src), bptr(buf, off_of(src)),
+                    count_of(src));
+      }
+      lo.barrier();
+      break;
+    }
+    case coll::BcastAlgo::kShmemTree: {
+      const int relative = pmod(rank - root, p);
+      auto actual = [&](int v) { return pmod(v + root, p); };
+      int mask = 1;
+      while (mask < p) {
+        if ((relative & mask) != 0) {
+          lo.shm_recv(actual(relative - mask), buf, bytes);
+          break;
+        }
+        mask <<= 1;
+      }
+      mask >>= 1;
+      while (mask > 0) {
+        if (relative + mask < p) {
+          lo.shm_send(actual(relative + mask), buf, bytes);
+        }
+        mask >>= 1;
+      }
+      break;
+    }
+    case coll::BcastAlgo::kShmemSlot:
+      lo.shm_bcast(buf, bytes, root);
+      break;
+    case coll::BcastAlgo::kAuto:
+      throw InternalError("compile_bcast: unresolved kAuto");
+  }
+  return sched;
+}
+
+// ---- Allgather (§V-A) ----
+
+std::unique_ptr<Schedule> compile_allgather(Comm& comm, const void* sendbuf,
+                                            void* recvbuf, std::size_t bytes,
+                                            coll::AllgatherAlgo algo,
+                                            const CollOptions& eff,
+                                            const CompileParams& params) {
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int p = lo.p;
+  const int rank = lo.rank;
+  auto block = [&](int idx) {
+    return bptr(recvbuf, static_cast<std::size_t>(idx) * bytes);
+  };
+  auto place_own_block = [&] {
+    if (!eff.in_place) {
+      lo.local_copy(block(rank), sendbuf, bytes);
+    }
+  };
+  // Exchanges everyone's recvbuf address after the own-block copy, so
+  // every rank may read any already-valid block of any peer.
+  auto exchange_recv_addrs = [&] {
+    sched->self_addr = comm.expose(recvbuf);
+    lo.addr_allgather();
+  };
+  if (p == 1) {
+    if (!eff.in_place) {
+      lo.local_copy(recvbuf, sendbuf, bytes);
+    }
+    return sched;
+  }
+
+  switch (algo) {
+    case coll::AllgatherAlgo::kRingSourceRead: {
+      // Ring-Source (§V-A2): step i reads block (rank - i) directly from
+      // its original source — contention free, no per-step sync.
+      place_own_block();
+      exchange_recv_addrs();
+      for (int step = 1; step < p; ++step) {
+        const int src = pmod(rank - step, p);
+        lo.cma_read(src, src, static_cast<std::uint64_t>(src) * bytes,
+                    block(src), bytes);
+      }
+      lo.barrier();
+      break;
+    }
+    case coll::AllgatherAlgo::kRingSourceWrite: {
+      place_own_block();
+      exchange_recv_addrs();
+      for (int step = 1; step < p; ++step) {
+        const int dst = pmod(rank + step, p);
+        lo.cma_write(dst, dst, static_cast<std::uint64_t>(rank) * bytes,
+                     block(rank), bytes);
+      }
+      lo.barrier();
+      break;
+    }
+    case coll::AllgatherAlgo::kRingNeighbor: {
+      // Ring-Neighbor-j (§V-A1): every step reads one block from the fixed
+      // neighbor (rank - j). Correct only when gcd(p, j) == 1.
+      const int j = eff.ring_stride > 0 ? eff.ring_stride : 1;
+      KACC_CHECK_MSG(gcd_u64(static_cast<std::uint64_t>(p),
+                             static_cast<std::uint64_t>(pmod(j, p))) == 1,
+                     "ring-neighbor allgather requires gcd(p, j) == 1");
+      place_own_block();
+      exchange_recv_addrs();
+      const int up = pmod(rank - j, p);   // we read from up
+      const int down = pmod(rank + j, p); // down reads from us
+      for (int step = 1; step < p; ++step) {
+        const int blk = pmod(rank - step * j, p);
+        if (step >= 2) {
+          // Wait for the neighbor to have finished step-1.
+          lo.wait_signal(up);
+        }
+        lo.cma_read(up, up, static_cast<std::uint64_t>(blk) * bytes,
+                    block(blk), bytes);
+        if (step <= p - 2) {
+          lo.signal(down);
+        }
+      }
+      lo.barrier();
+      break;
+    }
+    case coll::AllgatherAlgo::kRecursiveDoubling: {
+      // §V-A3: lg p pairwise exchanges of doubling extent; non-power-of-two
+      // counts get a fold-in pre-step and a replication post-step.
+      place_own_block();
+      exchange_recv_addrs();
+      int r = 1;
+      while (r * 2 <= p) {
+        r *= 2; // largest power of two <= p
+      }
+      const int extra = p - r;
+
+      if (rank >= r) {
+        lo.signal(rank - r);
+      } else if (rank + r < p) {
+        lo.wait_signal(rank + r);
+        const int src = rank + r;
+        lo.cma_read(src, src, static_cast<std::uint64_t>(src) * bytes,
+                    block(src), bytes);
+      }
+
+      if (rank < r) {
+        for (int dist = 1; dist < r; dist *= 2) {
+          const int partner = rank ^ dist;
+          const int base = partner & ~(dist - 1);
+          lo.signal(partner);
+          lo.wait_signal(partner);
+          // Primary region: partner's group blocks [base, base + dist).
+          lo.cma_read(partner, partner,
+                      static_cast<std::uint64_t>(base) * bytes, block(base),
+                      static_cast<std::size_t>(dist) * bytes);
+          // Shadow region: the folded blocks above r.
+          const int shadow_lo = base;
+          const int shadow_hi = std::min(base + dist, extra);
+          if (shadow_hi > shadow_lo) {
+            lo.cma_read(partner, partner,
+                        static_cast<std::uint64_t>(shadow_lo + r) * bytes,
+                        block(shadow_lo + r),
+                        static_cast<std::size_t>(shadow_hi - shadow_lo) *
+                            bytes);
+          }
+          // FIN so the partner may proceed to the next level.
+          lo.signal(partner);
+          lo.wait_signal(partner);
+        }
+      }
+
+      if (rank < r && rank + r < p) {
+        lo.signal(rank + r);
+      } else if (rank >= r) {
+        const int src = rank - r;
+        lo.wait_signal(src);
+        if (rank > 0) {
+          lo.cma_read(src, src, 0, block(0),
+                      static_cast<std::size_t>(rank) * bytes);
+        }
+        if (rank + 1 < p) {
+          lo.cma_read(src, src, static_cast<std::uint64_t>(rank + 1) * bytes,
+                      block(rank + 1),
+                      static_cast<std::size_t>(p - rank - 1) * bytes);
+        }
+      }
+      lo.barrier();
+      break;
+    }
+    case coll::AllgatherAlgo::kBruck: {
+      // §V-A4: gather into a rotated staging buffer with doubling reads
+      // from (rank + 2^k), then shift into place.
+      sched->scratch.emplace_back(static_cast<std::size_t>(p) * bytes);
+      std::byte* tmp = sched->scratch.back().data();
+      const void* own =
+          eff.in_place ? static_cast<const void*>(block(rank)) : sendbuf;
+      lo.local_copy(tmp, own, bytes);
+      sched->self_addr = comm.expose(tmp);
+      lo.addr_allgather();
+
+      int have = 1;
+      while (have < p) {
+        const int take = std::min(have, p - have);
+        const int from = pmod(rank + have, p); // we read from
+        const int to = pmod(rank - have, p);   // reads from us
+        lo.signal(to);
+        lo.wait_signal(from);
+        lo.cma_read(from, from, 0,
+                    tmp + static_cast<std::size_t>(have) * bytes,
+                    static_cast<std::size_t>(take) * bytes);
+        lo.signal(from);
+        lo.wait_signal(to);
+        have += take;
+      }
+      // tmp[j] holds block (rank + j) mod p; shift down by rank blocks.
+      for (int j = 0; j < p; ++j) {
+        lo.local_copy(block(pmod(rank + j, p)),
+                      tmp + static_cast<std::size_t>(j) * bytes, bytes);
+      }
+      lo.barrier();
+      break;
+    }
+    case coll::AllgatherAlgo::kAuto:
+      throw InternalError("compile_allgather: unresolved kAuto");
+  }
+  return sched;
+}
+
+// ---- Alltoall (§IV-C) ----
+
+std::unique_ptr<Schedule> compile_alltoall(Comm& comm, const void* sendbuf,
+                                           void* recvbuf, std::size_t bytes,
+                                           coll::AlltoallAlgo algo,
+                                           const CollOptions& eff,
+                                           const CompileParams& params) {
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int p = lo.p;
+  const int rank = lo.rank;
+  auto copy_own_block = [&] {
+    if (!eff.in_place) {
+      lo.local_copy(bptr(recvbuf, static_cast<std::size_t>(rank) * bytes),
+                    bptr(sendbuf, static_cast<std::size_t>(rank) * bytes),
+                    bytes);
+    }
+  };
+  if (p == 1) {
+    if (!eff.in_place) {
+      lo.local_copy(recvbuf, sendbuf, bytes);
+    }
+    return sched;
+  }
+
+  switch (algo) {
+    case coll::AlltoallAlgo::kPairwise: {
+      // Native CMA pairwise (§IV-C1): one upfront address allgather, then
+      // p-1 contention-free reads from distinct peers.
+      copy_own_block();
+      sched->self_addr = comm.expose(sendbuf);
+      lo.addr_allgather();
+      for (int step = 1; step < p; ++step) {
+        const int peer = pairwise_read_peer(rank, step, p);
+        if (peer == rank) {
+          continue; // XOR schedule never hits this; modular cannot either
+        }
+        lo.cma_read(peer, peer, static_cast<std::uint64_t>(rank) * bytes,
+                    bptr(recvbuf, static_cast<std::size_t>(peer) * bytes),
+                    bytes);
+      }
+      // Peers keep reading from our sendbuf until their last step.
+      lo.barrier();
+      break;
+    }
+    case coll::AlltoallAlgo::kPairwisePt2pt: {
+      // Same schedule, plus the RTS/FIN handshake a pt2pt rendezvous
+      // protocol pays per transfer.
+      copy_own_block();
+      sched->self_addr = comm.expose(sendbuf);
+      lo.addr_allgather();
+      for (int step = 1; step < p; ++step) {
+        const int read_peer = pairwise_read_peer(rank, step, p);
+        const int reader = is_pow2(static_cast<std::uint64_t>(p))
+                               ? (rank ^ step)
+                               : pmod(rank + step, p);
+        if (read_peer == rank) {
+          continue;
+        }
+        lo.signal(reader);         // RTS: my block for you is ready
+        lo.wait_signal(read_peer); // their RTS
+        lo.cma_read(read_peer, read_peer,
+                    static_cast<std::uint64_t>(rank) * bytes,
+                    bptr(recvbuf,
+                         static_cast<std::size_t>(read_peer) * bytes),
+                    bytes);
+        lo.signal(read_peer);  // FIN: done with their buffer
+        lo.wait_signal(reader); // their FIN before the next step
+      }
+      lo.barrier();
+      break;
+    }
+    case coll::AlltoallAlgo::kPairwiseShmem: {
+      copy_own_block();
+      for (int step = 1; step < p; ++step) {
+        const int dst = pmod(rank + step, p);
+        const int src = pmod(rank - step, p);
+        // Deadlock avoidance on the bounded pipes: the minimum rank of
+        // each send cycle receives first, breaking the circular wait.
+        const int cycle_min =
+            rank % static_cast<int>(gcd_u64(static_cast<std::uint64_t>(p),
+                                            static_cast<std::uint64_t>(step)));
+        const bool recv_first = rank == cycle_min;
+        auto do_send = [&] {
+          lo.shm_send(dst, bptr(sendbuf, static_cast<std::size_t>(dst) * bytes),
+                      bytes);
+        };
+        auto do_recv = [&] {
+          lo.shm_recv(src, bptr(recvbuf, static_cast<std::size_t>(src) * bytes),
+                      bytes);
+        };
+        if (recv_first) {
+          do_recv();
+          do_send();
+        } else {
+          do_send();
+          do_recv();
+        }
+      }
+      break;
+    }
+    case coll::AlltoallAlgo::kBruck: {
+      // §IV-C2: ceil(log2 p) steps, each moving the blocks whose index has
+      // the step bit set; pays pack/unpack copies per step. Always stages
+      // through tmp, so in-place is free.
+      sched->scratch.emplace_back(static_cast<std::size_t>(p) * bytes);
+      sched->scratch.emplace_back(static_cast<std::size_t>(p) * bytes);
+      sched->scratch.emplace_back(static_cast<std::size_t>(p) * bytes);
+      std::byte* tmp = sched->scratch[0].data();
+      std::byte* pack = sched->scratch[1].data();
+      std::byte* unpack = sched->scratch[2].data();
+
+      // Phase 1: local rotation tmp[j] = send[(rank + j) mod p].
+      for (int j = 0; j < p; ++j) {
+        lo.local_copy(tmp + static_cast<std::size_t>(j) * bytes,
+                      bptr(sendbuf,
+                           static_cast<std::size_t>(pmod(rank + j, p)) *
+                               bytes),
+                      bytes);
+      }
+      sched->self_addr = comm.expose(pack);
+      lo.addr_allgather();
+
+      for (int bit = 1; bit < p; bit <<= 1) {
+        const int to = pmod(rank + bit, p);   // rank that reads our pack
+        const int from = pmod(rank - bit, p); // rank whose pack we read
+        std::size_t count = 0;
+        for (int j = bit; j < p; ++j) {
+          if ((j & bit) != 0) {
+            lo.local_copy(pack + count * bytes,
+                          tmp + static_cast<std::size_t>(j) * bytes, bytes);
+            ++count;
+          }
+        }
+        // Handshake: tell our reader the pack is ready; wait for our
+        // source.
+        lo.signal(to);
+        lo.wait_signal(from);
+        lo.cma_read(from, from, 0, unpack, count * bytes);
+        std::size_t idx = 0;
+        for (int j = bit; j < p; ++j) {
+          if ((j & bit) != 0) {
+            lo.local_copy(tmp + static_cast<std::size_t>(j) * bytes,
+                          unpack + idx * bytes, bytes);
+            ++idx;
+          }
+        }
+        // FIN: our source may repack once we are done with its pack.
+        lo.signal(from);
+        lo.wait_signal(to);
+      }
+
+      // Phase 3: inverse rotation recv[(rank - j) mod p] = tmp[j].
+      for (int j = 0; j < p; ++j) {
+        lo.local_copy(bptr(recvbuf,
+                           static_cast<std::size_t>(pmod(rank - j, p)) *
+                               bytes),
+                      tmp + static_cast<std::size_t>(j) * bytes, bytes);
+      }
+      lo.barrier();
+      break;
+    }
+    case coll::AlltoallAlgo::kAuto:
+      throw InternalError("compile_alltoall: unresolved kAuto");
+  }
+  return sched;
+}
+
+} // namespace kacc::nbc

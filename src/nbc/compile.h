@@ -1,0 +1,79 @@
+// The schedule compiler: lowers every CMA collective algorithm in
+// src/coll into a Schedule (see schedule.h). Two modes:
+//
+//   * kBlocking    — the lowering replays the historical blocking
+//                    implementation step for step: identical comm calls in
+//                    identical order, so counters, spans, virtual times and
+//                    fault-injection op ordinals are unchanged. Control
+//                    exchanges are steps, executed at drain time.
+//   * kNonblocking — control exchanges run eagerly at compile time (init is
+//                    collective), point-to-point sync uses a counting
+//                    signal lane (`tag`), barriers lower to dissemination
+//                    rounds over the same lane, and large CMA transfers are
+//                    chunked to `chunk_bytes` so the progress engine can
+//                    pipeline and the governor can throttle mid-message.
+//
+// The lane-sharing correctness argument: for a fixed (src, dst) pair all
+// posts and waits a schedule emits are totally ordered by program order on
+// both sides, and the counting lane unblocks the k-th wait exactly after
+// the k-th post — so data signals and dissemination-barrier rounds can
+// share one lane per request without aliasing.
+//
+// Callers resolve kAuto, validate options, and handle bytes == 0 before
+// compiling. Shared-memory algorithms (kShmemTree/kShmemSlot/
+// kPairwiseShmem) compile in blocking mode only.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "coll/algo.h"
+#include "nbc/schedule.h"
+
+namespace kacc {
+class Comm;
+} // namespace kacc
+
+namespace kacc::nbc {
+
+enum class Mode { kBlocking, kNonblocking };
+
+struct CompileParams {
+  Mode mode = Mode::kBlocking;
+  /// Counting signal lane for nonblocking sync; ignored in blocking mode.
+  int tag = -1;
+  /// Pipelining grain for nonblocking CMA steps; 0 = never split.
+  std::size_t chunk_bytes = 0;
+};
+
+std::unique_ptr<Schedule> compile_scatter(Comm& comm, const void* sendbuf,
+                                          void* recvbuf, std::size_t bytes,
+                                          int root, coll::ScatterAlgo algo,
+                                          const coll::CollOptions& eff,
+                                          const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_gather(Comm& comm, const void* sendbuf,
+                                         void* recvbuf, std::size_t bytes,
+                                         int root, coll::GatherAlgo algo,
+                                         const coll::CollOptions& eff,
+                                         const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_bcast(Comm& comm, void* buf,
+                                        std::size_t bytes, int root,
+                                        coll::BcastAlgo algo,
+                                        const coll::CollOptions& eff,
+                                        const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_allgather(Comm& comm, const void* sendbuf,
+                                            void* recvbuf, std::size_t bytes,
+                                            coll::AllgatherAlgo algo,
+                                            const coll::CollOptions& eff,
+                                            const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_alltoall(Comm& comm, const void* sendbuf,
+                                           void* recvbuf, std::size_t bytes,
+                                           coll::AlltoallAlgo algo,
+                                           const coll::CollOptions& eff,
+                                           const CompileParams& params);
+
+} // namespace kacc::nbc

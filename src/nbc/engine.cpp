@@ -1,0 +1,204 @@
+#include "nbc/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "nbc/governor.h"
+
+namespace kacc::nbc::detail {
+namespace {
+
+/// Backstop for silent deadlock (a missing signal with every peer alive):
+/// after this many consecutive unproductive passes — far beyond any real
+/// schedule's latency at the yield backoff's longest quantum — give up.
+constexpr int kIdlePassLimit = 1'000'000;
+
+} // namespace
+
+Engine& Engine::for_comm(Comm& comm) {
+  auto* st = dynamic_cast<Engine*>(comm.nbc_state());
+  if (st == nullptr) {
+    auto owned = std::make_unique<Engine>(comm);
+    st = owned.get();
+    comm.set_nbc_state(std::move(owned));
+  }
+  return *st;
+}
+
+int Engine::claim_lane() {
+  const int lane = static_cast<int>(
+      next_seq_++ % static_cast<std::uint64_t>(Comm::kNbcTags));
+  const std::shared_ptr<RequestState> owner =
+      lane_owner_[static_cast<std::size_t>(lane)].lock();
+  if (owner != nullptr && !(owner->completed && !owner->persistent)) {
+    throw InvalidArgument(
+        "nbc: too many outstanding requests (all " +
+        std::to_string(Comm::kNbcTags) +
+        " signal lanes are held by active or persistent requests)");
+  }
+  return lane;
+}
+
+std::shared_ptr<RequestState> Engine::adopt(std::unique_ptr<Schedule> sched,
+                                            int tag, const Options& nopts,
+                                            const char* kind,
+                                            std::int64_t bytes, int root,
+                                            bool persistent) {
+  KACC_CHECK(sched != nullptr && tag >= 0 && tag < Comm::kNbcTags);
+  auto r = std::make_shared<RequestState>();
+  r->sched = std::move(sched);
+  r->id = next_id_++;
+  r->tag = tag;
+  r->persistent = persistent;
+  r->governed = nopts.governed;
+  r->bytes = bytes;
+  r->root = root;
+  std::snprintf(r->label, sizeof(r->label), "%s#%llu", kind,
+                static_cast<unsigned long long>(r->id));
+  if (nopts.admission_cap > 0) {
+    r->cap = nopts.admission_cap;
+  } else {
+    // The governed per-source concurrency optimum for this request's
+    // typical transfer grain.
+    std::uint64_t grain = static_cast<std::uint64_t>(
+        nopts.chunk_bytes > 0 ? nopts.chunk_bytes : bytes);
+    if (bytes > 0) {
+      grain = std::min(grain, static_cast<std::uint64_t>(bytes));
+    }
+    r->cap = optimal_admission_cap(comm_->arch(), grain, comm_->size());
+  }
+  lane_owner_[static_cast<std::size_t>(tag)] = r;
+  return r;
+}
+
+void Engine::start(const std::shared_ptr<RequestState>& r) {
+  KACC_CHECK(r != nullptr && r->sched != nullptr);
+  if (r->started && !r->completed) {
+    throw InvalidArgument("nbc start: request is already active");
+  }
+  r->sched->pc = 0;
+  r->started = true;
+  r->completed = false;
+  r->consumed = false;
+  r->start_ts = comm_->now_us();
+  active_.push_back(r);
+  auto& ctrs = comm_->recorder().counters;
+  ctrs.add(obs::Counter::kNbcRequestsStarted);
+  ctrs.max_update(obs::Counter::kNbcRequestsHwm, active_.size());
+}
+
+void Engine::complete(const std::shared_ptr<RequestState>& r) {
+  r->completed = true;
+  active_.erase(std::remove(active_.begin(), active_.end(), r),
+                active_.end());
+  obs::Recorder& rec = comm_->recorder();
+  if (rec.tracing()) {
+    // The request-lifetime span, emitted by hand because the interval is
+    // held open across many progress passes (obs::Span is scope-bound).
+    obs::TraceRecord tr;
+    tr.ts_us = r->start_ts;
+    tr.dur_us = comm_->now_us() - r->start_ts;
+    tr.bytes = r->bytes;
+    tr.name = static_cast<std::uint32_t>(obs::SpanName::kNbcRequest);
+    tr.peer = r->root;
+    std::snprintf(tr.tag, sizeof(tr.tag), "%s", r->label);
+    rec.sink->emit(tr);
+  }
+}
+
+bool Engine::progress_once() {
+  if (active_.empty()) {
+    return false;
+  }
+  // Snapshot: complete() edits active_, and the rotation keeps one
+  // runnable request from starving the others across passes.
+  const std::vector<std::shared_ptr<RequestState>> snap = active_;
+  const std::size_t n = snap.size();
+  const std::size_t first = static_cast<std::size_t>(rr_++) % n;
+  auto& ctrs = comm_->recorder().counters;
+  bool progressed = false;
+  bool deferred = false;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::shared_ptr<RequestState>& r = snap[(first + i) % n];
+    if (r->completed) {
+      continue;
+    }
+    Schedule& s = *r->sched;
+    while (!s.done()) {
+      const Step& st = s.steps[s.pc];
+      if (st.kind == StepKind::kWaitSignal && st.tag >= 0) {
+        if (!comm_->nbc_try_wait(st.peer, st.tag)) {
+          break; // parked until the peer's signal lands
+        }
+        ++s.pc;
+        progressed = true;
+        continue;
+      }
+      if (is_data_step(st.kind)) {
+        if (r->governed && comm_->nbc_inflight(st.peer) >= r->cap) {
+          ctrs.add(obs::Counter::kNbcStepsDeferred);
+          deferred = true;
+          break;
+        }
+        comm_->nbc_inflight_add(st.peer, +1);
+        ctrs.max_update(
+            obs::Counter::kNbcInflightHwm,
+            static_cast<std::uint64_t>(comm_->nbc_inflight(st.peer)));
+        try {
+          execute_step(*comm_, s, st);
+        } catch (...) {
+          comm_->nbc_inflight_add(st.peer, -1);
+          throw;
+        }
+        comm_->nbc_inflight_add(st.peer, -1);
+        ++s.pc;
+        ctrs.add(obs::Counter::kNbcStepsIssued);
+        progressed = true;
+        break; // one data step per request per pass, then re-admit
+      }
+      // Control-plane and local steps run greedily.
+      execute_step(*comm_, s, st);
+      ++s.pc;
+      progressed = true;
+    }
+    if (s.done()) {
+      complete(r);
+    }
+  }
+  if (!progressed && deferred) {
+    ctrs.add(obs::Counter::kNbcAdmissionStalls);
+  }
+  return progressed;
+}
+
+void Engine::progress_until(const std::function<bool()>& done) {
+  int idle = 0;
+  double last_progress_us = comm_->now_us();
+  while (!done()) {
+    if (progress_once()) {
+      idle = 0;
+      last_progress_us = comm_->now_us();
+      continue;
+    }
+    ++idle;
+    const double deadline_us = comm_->nbc_deadline_us();
+    if (deadline_us > 0 &&
+        comm_->now_us() - last_progress_us > deadline_us) {
+      throw TimeoutError("nbc progress: no progress before the deadline "
+                         "(peer stuck or request never started?)");
+    }
+    if (idle > kIdlePassLimit) {
+      throw DeadlockError(
+          "nbc progress: no progress after " +
+          std::to_string(kIdlePassLimit) +
+          " idle passes; outstanding requests cannot complete");
+    }
+    comm_->nbc_yield(idle);
+  }
+}
+
+} // namespace kacc::nbc::detail

@@ -1,0 +1,96 @@
+// The per-rank nbc progress engine. Parked in Comm::nbc_state(), so each
+// communicator owns exactly one engine and its request/lane bookkeeping.
+//
+// State machine per request:
+//
+//   compiled --start()--> active --[pc reaches end]--> completed
+//      ^                                                  |
+//      +------------- start() (persistent only) ----------+
+//
+// A progress pass (progress_once) visits every active request starting at
+// a rotating offset. Control/local steps run greedily; a tagged wait that
+// cannot be consumed parks the request until the signal arrives; a data
+// step runs at most once per request per pass and only when the admission
+// governor's per-source in-flight cap allows it. Blocking waits
+// (progress_until) back off through Comm::nbc_yield, which performs
+// dead-peer detection in both runtimes and advances virtual time in the
+// sim; a native deadline (Comm::nbc_deadline_us) and an idle-pass backstop
+// convert a wedged team into TimeoutError/DeadlockError.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nbc/nbc.h"
+#include "nbc/schedule.h"
+#include "runtime/comm.h"
+
+namespace kacc::nbc::detail {
+
+struct RequestState {
+  std::unique_ptr<Schedule> sched;
+  std::uint64_t id = 0;
+  int tag = -1; ///< the request's counting signal lane
+  bool persistent = false;
+  bool started = false;
+  bool completed = false;
+  bool consumed = false; ///< returned by wait_any; reset by start()
+  bool governed = true;
+  int cap = 1; ///< per-source in-flight cap while this request issues
+  double start_ts = 0.0;
+  char label[16] = {}; ///< e.g. "ibcast#3"; span tag of the lifetime span
+  std::int64_t bytes = -1;
+  int root = -1;
+};
+
+class Engine final : public Comm::NbcState {
+public:
+  explicit Engine(Comm& comm) : comm_(&comm) {}
+
+  /// The communicator's engine, installing one on first use.
+  static Engine& for_comm(Comm& comm);
+
+  /// Allocates the next request's signal lane. Called once per init in
+  /// SPMD order, so the round-robin sequence (and hence the lane) agrees
+  /// across ranks without communication. Throws InvalidArgument when the
+  /// lane's previous owner is still outstanding.
+  int claim_lane();
+
+  /// Registers a compiled schedule as a request owning lane `tag`.
+  std::shared_ptr<RequestState> adopt(std::unique_ptr<Schedule> sched,
+                                      int tag, const Options& nopts,
+                                      const char* kind, std::int64_t bytes,
+                                      int root, bool persistent);
+
+  /// Activates a request (resetting its program counter — persistent
+  /// restart). Throws InvalidArgument when it is already active.
+  void start(const std::shared_ptr<RequestState>& r);
+
+  /// One pass over all active requests; returns true iff any step ran.
+  bool progress_once();
+
+  /// Progresses until `done()` holds; yields, enforces the native
+  /// deadline, and backstops against silent deadlock.
+  void progress_until(const std::function<bool()>& done);
+
+  [[nodiscard]] Comm& comm() const { return *comm_; }
+
+  /// Rotation counter for wait_any fairness (owned here so it is shared
+  /// by every wait_any call on this communicator).
+  std::uint64_t any_rr_ = 0;
+
+private:
+  void complete(const std::shared_ptr<RequestState>& r);
+
+  Comm* comm_;
+  std::vector<std::shared_ptr<RequestState>> active_;
+  std::array<std::weak_ptr<RequestState>, Comm::kNbcTags> lane_owner_;
+  std::uint64_t next_seq_ = 0; ///< lane round-robin (SPMD-synchronized)
+  std::uint64_t next_id_ = 1;
+  std::uint64_t rr_ = 0; ///< progress-pass rotation
+};
+
+} // namespace kacc::nbc::detail

@@ -1,0 +1,45 @@
+#include "nbc/governor.h"
+
+#include <algorithm>
+
+#include "coll/tuner.h"
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "model/predict.h"
+
+namespace kacc::nbc {
+
+double drain_cost_us(const ArchSpec& s, std::uint64_t chunk_bytes,
+                     int transfers, int cap) {
+  KACC_CHECK(transfers >= 0 && cap >= 1);
+  if (transfers == 0) {
+    return 0.0;
+  }
+  const auto waves = static_cast<double>(
+      ceil_div(static_cast<std::uint64_t>(transfers),
+               static_cast<std::uint64_t>(cap)));
+  const int c = std::min(cap, transfers);
+  return waves * predict::cma_transfer(s, chunk_bytes, c);
+}
+
+int optimal_admission_cap(const ArchSpec& s, std::uint64_t chunk_bytes,
+                          int p) {
+  if (p <= 2) {
+    return 1;
+  }
+  // Worst-case standing load on one source: every other rank has a chunk
+  // in flight against it (two same-root bcasts reach exactly this).
+  const int transfers = p - 1;
+  int best_c = 1;
+  double best_cost = drain_cost_us(s, chunk_bytes, transfers, 1);
+  for (int c : coll::Tuner::throttle_candidates(s, p)) {
+    const double cost = drain_cost_us(s, chunk_bytes, transfers, c);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+} // namespace kacc::nbc

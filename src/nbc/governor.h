@@ -1,0 +1,34 @@
+// Cross-operation contention-aware admission: the progress engine caps the
+// aggregate number of in-flight data-plane steps against any one source
+// process, across every outstanding request, at the model's per-arch
+// optimum. The argument mirrors the paper's throttling (§IV-A3) lifted
+// from one collective to the whole node: gamma_c in the cost model
+// alpha + n*beta + (n/s)*l*gamma_c depends on the TOTAL number of
+// concurrent readers/writers of one process's pages — the kernel
+// serializes them on that process's page-table lock regardless of which
+// collective issued them. A per-request throttle therefore under-throttles
+// the moment two requests target the same source; the governor enforces
+// the optimum on the shared count instead (Comm::nbc_inflight).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/arch_spec.h"
+
+namespace kacc::nbc {
+
+/// The admission cap c*: argmin over the tuner's throttle candidates of
+/// ceil((p-1)/c) * T_cma(chunk_bytes, c) — the makespan of draining p-1
+/// chunk transfers from one source in waves of c, each paying the model's
+/// c-way contention factor.
+[[nodiscard]] int optimal_admission_cap(const ArchSpec& s,
+                                        std::uint64_t chunk_bytes, int p);
+
+/// Model cost (us) of draining `transfers` chunk moves against one source
+/// with at most `cap` in flight. Exposed so benchmarks/tests can show the
+/// governed-vs-naive gap with the same arithmetic the governor uses.
+[[nodiscard]] double drain_cost_us(const ArchSpec& s,
+                                   std::uint64_t chunk_bytes, int transfers,
+                                   int cap);
+
+} // namespace kacc::nbc

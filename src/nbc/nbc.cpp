@@ -1,0 +1,445 @@
+#include "nbc/nbc.h"
+
+#include <utility>
+
+#include "coll/tuner.h"
+#include "common/error.h"
+#include "nbc/compile.h"
+#include "nbc/engine.h"
+#include "runtime/comm.h"
+
+namespace kacc::nbc {
+
+namespace detail {
+
+struct Access {
+  static Request make(Comm& comm, std::shared_ptr<RequestState> st) {
+    Request r;
+    r.st_ = std::move(st);
+    r.comm_ = &comm;
+    return r;
+  }
+  static const std::shared_ptr<RequestState>& state(const Request& r) {
+    return r.st_;
+  }
+  static Comm* comm(const Request& r) { return r.comm_; }
+  static void reset(Request& r) {
+    r.st_.reset();
+    r.comm_ = nullptr;
+  }
+};
+
+} // namespace detail
+
+using detail::Access;
+using detail::Engine;
+using detail::RequestState;
+
+bool Request::completed() const { return st_ != nullptr && st_->completed; }
+
+std::uint64_t Request::id() const { return st_ == nullptr ? 0 : st_->id; }
+
+namespace {
+
+CompileParams nb_params(int tag, const Options& nopts) {
+  CompileParams p;
+  p.mode = Mode::kNonblocking;
+  p.tag = tag;
+  p.chunk_bytes = nopts.chunk_bytes;
+  return p;
+}
+
+void validate_nopts(const Options& nopts) {
+  if (nopts.admission_cap < 0) {
+    throw InvalidArgument("nbc: admission_cap must be >= 0 (0 = model)");
+  }
+}
+
+std::unique_ptr<Schedule> empty_schedule(Comm& comm) {
+  auto s = std::make_unique<Schedule>();
+  s->rank = comm.rank();
+  s->size = comm.size();
+  return s;
+}
+
+Request finish(Comm& comm, Engine& eng, std::unique_ptr<Schedule> sched,
+               int tag, const Options& nopts, const char* kind,
+               std::size_t bytes, int root, bool persistent,
+               bool immediate) {
+  std::shared_ptr<RequestState> st =
+      eng.adopt(std::move(sched), tag, nopts, kind,
+                static_cast<std::int64_t>(bytes), root, persistent);
+  Request r = Access::make(comm, std::move(st));
+  if (immediate) {
+    eng.start(Access::state(r));
+  }
+  return r;
+}
+
+// ----- per-collective validation + kAuto resolution + compile -----
+
+Request make_scatter(Comm& comm, const void* sendbuf, void* recvbuf,
+                     std::size_t bytes, int root, coll::ScatterAlgo algo,
+                     const coll::CollOptions& opts, const Options& nopts,
+                     bool persistent, bool immediate) {
+  const int p = comm.size();
+  if (root < 0 || root >= p) {
+    throw InvalidArgument("iscatter: root out of range");
+  }
+  coll::validate_options(opts);
+  validate_nopts(nopts);
+  Engine& eng = Engine::for_comm(comm);
+  const int tag = eng.claim_lane();
+  if (bytes == 0) {
+    return finish(comm, eng, empty_schedule(comm), tag, nopts, "iscatter",
+                  bytes, root, persistent, immediate);
+  }
+  if (recvbuf == nullptr && !(opts.in_place && comm.rank() == root)) {
+    throw InvalidArgument("iscatter: recvbuf required");
+  }
+  if (comm.rank() == root && sendbuf == nullptr) {
+    throw InvalidArgument("iscatter: root needs sendbuf");
+  }
+  coll::CollOptions eff = opts;
+  if (algo == coll::ScatterAlgo::kAuto) {
+    const coll::Tuner::Choice c = coll::Tuner().scatter(comm.arch(), p, bytes);
+    algo = c.scatter;
+    if (eff.throttle == 0) {
+      eff.throttle = c.throttle;
+    }
+  }
+  auto sched = compile_scatter(comm, sendbuf, recvbuf, bytes, root, algo, eff,
+                               nb_params(tag, nopts));
+  return finish(comm, eng, std::move(sched), tag, nopts, "iscatter", bytes,
+                root, persistent, immediate);
+}
+
+Request make_gather(Comm& comm, const void* sendbuf, void* recvbuf,
+                    std::size_t bytes, int root, coll::GatherAlgo algo,
+                    const coll::CollOptions& opts, const Options& nopts,
+                    bool persistent, bool immediate) {
+  const int p = comm.size();
+  if (root < 0 || root >= p) {
+    throw InvalidArgument("igather: root out of range");
+  }
+  coll::validate_options(opts);
+  validate_nopts(nopts);
+  Engine& eng = Engine::for_comm(comm);
+  const int tag = eng.claim_lane();
+  if (bytes == 0) {
+    return finish(comm, eng, empty_schedule(comm), tag, nopts, "igather",
+                  bytes, root, persistent, immediate);
+  }
+  if (comm.rank() == root && recvbuf == nullptr) {
+    throw InvalidArgument("igather: root needs recvbuf");
+  }
+  if (sendbuf == nullptr && !(opts.in_place && comm.rank() == root)) {
+    throw InvalidArgument("igather: sendbuf required");
+  }
+  coll::CollOptions eff = opts;
+  if (algo == coll::GatherAlgo::kAuto) {
+    const coll::Tuner::Choice c = coll::Tuner().gather(comm.arch(), p, bytes);
+    algo = c.gather;
+    if (eff.throttle == 0) {
+      eff.throttle = c.throttle;
+    }
+  }
+  auto sched = compile_gather(comm, sendbuf, recvbuf, bytes, root, algo, eff,
+                              nb_params(tag, nopts));
+  return finish(comm, eng, std::move(sched), tag, nopts, "igather", bytes,
+                root, persistent, immediate);
+}
+
+Request make_bcast(Comm& comm, void* buf, std::size_t bytes, int root,
+                   coll::BcastAlgo algo, const coll::CollOptions& opts,
+                   const Options& nopts, bool persistent, bool immediate) {
+  const int p = comm.size();
+  if (root < 0 || root >= p) {
+    throw InvalidArgument("ibcast: root out of range");
+  }
+  coll::validate_options(opts);
+  if (opts.in_place) {
+    throw InvalidArgument("bcast: in_place is not defined for bcast");
+  }
+  validate_nopts(nopts);
+  Engine& eng = Engine::for_comm(comm);
+  const int tag = eng.claim_lane();
+  if (bytes == 0) {
+    return finish(comm, eng, empty_schedule(comm), tag, nopts, "ibcast",
+                  bytes, root, persistent, immediate);
+  }
+  if (buf == nullptr) {
+    throw InvalidArgument("ibcast: buf required");
+  }
+  coll::CollOptions eff = opts;
+  if (algo == coll::BcastAlgo::kAuto) {
+    const coll::Tuner::Choice c = coll::Tuner().bcast(comm.arch(), p, bytes);
+    algo = c.bcast;
+    if (eff.throttle == 0) {
+      eff.throttle = c.throttle;
+    }
+    // The two-copy shm designs have no nonblocking lowering; take the
+    // closest CMA algorithm instead.
+    if (algo == coll::BcastAlgo::kShmemSlot ||
+        algo == coll::BcastAlgo::kShmemTree) {
+      algo = coll::BcastAlgo::kKnomialRead;
+    }
+  } else if (algo == coll::BcastAlgo::kShmemSlot ||
+             algo == coll::BcastAlgo::kShmemTree) {
+    throw InvalidArgument(
+        "ibcast: shared-memory algorithms have no nonblocking lowering");
+  }
+  auto sched = compile_bcast(comm, buf, bytes, root, algo, eff,
+                             nb_params(tag, nopts));
+  return finish(comm, eng, std::move(sched), tag, nopts, "ibcast", bytes,
+                root, persistent, immediate);
+}
+
+Request make_allgather(Comm& comm, const void* sendbuf, void* recvbuf,
+                       std::size_t bytes, coll::AllgatherAlgo algo,
+                       const coll::CollOptions& opts, const Options& nopts,
+                       bool persistent, bool immediate) {
+  const int p = comm.size();
+  coll::validate_options(opts);
+  validate_nopts(nopts);
+  Engine& eng = Engine::for_comm(comm);
+  const int tag = eng.claim_lane();
+  if (bytes == 0) {
+    return finish(comm, eng, empty_schedule(comm), tag, nopts, "iallgather",
+                  bytes, -1, persistent, immediate);
+  }
+  if (recvbuf == nullptr) {
+    throw InvalidArgument("iallgather: recvbuf required");
+  }
+  if (sendbuf == nullptr && !opts.in_place) {
+    throw InvalidArgument("iallgather: sendbuf required");
+  }
+  coll::CollOptions eff = opts;
+  if (algo == coll::AllgatherAlgo::kAuto) {
+    const coll::Tuner::Choice c =
+        coll::Tuner().allgather(comm.arch(), p, bytes);
+    algo = c.allgather;
+    if (eff.ring_stride <= 0) {
+      eff.ring_stride = c.ring_stride;
+    }
+  }
+  if (algo == coll::AllgatherAlgo::kRingNeighbor) {
+    coll::validate_ring_stride(p, eff.ring_stride);
+  }
+  auto sched = compile_allgather(comm, sendbuf, recvbuf, bytes, algo, eff,
+                                 nb_params(tag, nopts));
+  return finish(comm, eng, std::move(sched), tag, nopts, "iallgather", bytes,
+                -1, persistent, immediate);
+}
+
+Request make_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+                      std::size_t bytes, coll::AlltoallAlgo algo,
+                      const coll::CollOptions& opts, const Options& nopts,
+                      bool persistent, bool immediate) {
+  const int p = comm.size();
+  coll::validate_options(opts);
+  validate_nopts(nopts);
+  Engine& eng = Engine::for_comm(comm);
+  const int tag = eng.claim_lane();
+  if (bytes == 0) {
+    return finish(comm, eng, empty_schedule(comm), tag, nopts, "ialltoall",
+                  bytes, -1, persistent, immediate);
+  }
+  if (recvbuf == nullptr) {
+    throw InvalidArgument("ialltoall: recvbuf required");
+  }
+  if (sendbuf == nullptr && !opts.in_place) {
+    throw InvalidArgument("ialltoall: sendbuf required");
+  }
+  if (algo == coll::AlltoallAlgo::kAuto) {
+    algo = coll::Tuner().alltoall(comm.arch(), p, bytes).alltoall;
+    if (algo == coll::AlltoallAlgo::kPairwiseShmem) {
+      algo = coll::AlltoallAlgo::kPairwise;
+    }
+  } else if (algo == coll::AlltoallAlgo::kPairwiseShmem) {
+    throw InvalidArgument(
+        "ialltoall: pairwise-shmem has no nonblocking lowering");
+  }
+  auto sched = compile_alltoall(comm, sendbuf, recvbuf, bytes, algo, opts,
+                                nb_params(tag, nopts));
+  return finish(comm, eng, std::move(sched), tag, nopts, "ialltoall", bytes,
+                -1, persistent, immediate);
+}
+
+} // namespace
+
+// ----- public entry points -----
+
+Request scatter_init(Comm& comm, const void* sendbuf, void* recvbuf,
+                     std::size_t bytes, int root, coll::ScatterAlgo algo,
+                     const coll::CollOptions& opts, const Options& nopts) {
+  return make_scatter(comm, sendbuf, recvbuf, bytes, root, algo, opts, nopts,
+                      /*persistent=*/true, /*immediate=*/false);
+}
+
+Request gather_init(Comm& comm, const void* sendbuf, void* recvbuf,
+                    std::size_t bytes, int root, coll::GatherAlgo algo,
+                    const coll::CollOptions& opts, const Options& nopts) {
+  return make_gather(comm, sendbuf, recvbuf, bytes, root, algo, opts, nopts,
+                     /*persistent=*/true, /*immediate=*/false);
+}
+
+Request bcast_init(Comm& comm, void* buf, std::size_t bytes, int root,
+                   coll::BcastAlgo algo, const coll::CollOptions& opts,
+                   const Options& nopts) {
+  return make_bcast(comm, buf, bytes, root, algo, opts, nopts,
+                    /*persistent=*/true, /*immediate=*/false);
+}
+
+Request allgather_init(Comm& comm, const void* sendbuf, void* recvbuf,
+                       std::size_t bytes, coll::AllgatherAlgo algo,
+                       const coll::CollOptions& opts, const Options& nopts) {
+  return make_allgather(comm, sendbuf, recvbuf, bytes, algo, opts, nopts,
+                        /*persistent=*/true, /*immediate=*/false);
+}
+
+Request alltoall_init(Comm& comm, const void* sendbuf, void* recvbuf,
+                      std::size_t bytes, coll::AlltoallAlgo algo,
+                      const coll::CollOptions& opts, const Options& nopts) {
+  return make_alltoall(comm, sendbuf, recvbuf, bytes, algo, opts, nopts,
+                       /*persistent=*/true, /*immediate=*/false);
+}
+
+Request iscatter(Comm& comm, const void* sendbuf, void* recvbuf,
+                 std::size_t bytes, int root, coll::ScatterAlgo algo,
+                 const coll::CollOptions& opts, const Options& nopts) {
+  return make_scatter(comm, sendbuf, recvbuf, bytes, root, algo, opts, nopts,
+                      /*persistent=*/false, /*immediate=*/true);
+}
+
+Request igather(Comm& comm, const void* sendbuf, void* recvbuf,
+                std::size_t bytes, int root, coll::GatherAlgo algo,
+                const coll::CollOptions& opts, const Options& nopts) {
+  return make_gather(comm, sendbuf, recvbuf, bytes, root, algo, opts, nopts,
+                     /*persistent=*/false, /*immediate=*/true);
+}
+
+Request ibcast(Comm& comm, void* buf, std::size_t bytes, int root,
+               coll::BcastAlgo algo, const coll::CollOptions& opts,
+               const Options& nopts) {
+  return make_bcast(comm, buf, bytes, root, algo, opts, nopts,
+                    /*persistent=*/false, /*immediate=*/true);
+}
+
+Request iallgather(Comm& comm, const void* sendbuf, void* recvbuf,
+                   std::size_t bytes, coll::AllgatherAlgo algo,
+                   const coll::CollOptions& opts, const Options& nopts) {
+  return make_allgather(comm, sendbuf, recvbuf, bytes, algo, opts, nopts,
+                        /*persistent=*/false, /*immediate=*/true);
+}
+
+Request ialltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+                  std::size_t bytes, coll::AlltoallAlgo algo,
+                  const coll::CollOptions& opts, const Options& nopts) {
+  return make_alltoall(comm, sendbuf, recvbuf, bytes, algo, opts, nopts,
+                       /*persistent=*/false, /*immediate=*/true);
+}
+
+// ----- progress & completion -----
+
+void start(Request& req) {
+  if (!req.valid()) {
+    throw InvalidArgument("nbc start: invalid request");
+  }
+  const std::shared_ptr<RequestState>& st = Access::state(req);
+  if (!st->persistent) {
+    throw InvalidArgument("nbc start: request is not persistent");
+  }
+  Engine::for_comm(*Access::comm(req)).start(st);
+}
+
+bool test(Request& req) {
+  if (!req.valid()) {
+    throw InvalidArgument("nbc test: invalid request");
+  }
+  const std::shared_ptr<RequestState>& st = Access::state(req);
+  if (!st->started) {
+    throw InvalidArgument("nbc test: request was never started");
+  }
+  if (st->completed) {
+    return true;
+  }
+  Engine::for_comm(*Access::comm(req)).progress_once();
+  return st->completed;
+}
+
+void wait(Request& req) {
+  if (!req.valid()) {
+    throw InvalidArgument("nbc wait: invalid request");
+  }
+  const std::shared_ptr<RequestState> st = Access::state(req);
+  if (!st->started) {
+    throw InvalidArgument("nbc wait: request was never started");
+  }
+  if (st->completed) {
+    return;
+  }
+  Engine::for_comm(*Access::comm(req))
+      .progress_until([&] { return st->completed; });
+}
+
+void wait_all(std::span<Request> reqs) {
+  for (Request& r : reqs) {
+    if (r.valid()) {
+      wait(r);
+    }
+  }
+}
+
+std::size_t wait_any(std::span<Request> reqs) {
+  Engine* eng = nullptr;
+  bool any_candidate = false;
+  for (const Request& r : reqs) {
+    if (!r.valid()) {
+      continue;
+    }
+    if (Access::state(r)->started && !Access::state(r)->consumed) {
+      any_candidate = true;
+    }
+    Engine& e = Engine::for_comm(*Access::comm(r));
+    if (eng == nullptr) {
+      eng = &e;
+    } else if (eng != &e) {
+      throw InvalidArgument(
+          "nbc wait_any: requests span multiple communicators");
+    }
+  }
+  if (eng == nullptr || !any_candidate) {
+    throw InvalidArgument("nbc wait_any: no waitable request");
+  }
+  const std::size_t n = reqs.size();
+  // Rotate the scan start so that, when several candidates are already
+  // complete, repeated calls return them round-robin instead of always
+  // favouring the lowest index.
+  auto completed_index = [&]() -> std::ptrdiff_t {
+    const std::size_t first = static_cast<std::size_t>(eng->any_rr_ % n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = (first + i) % n;
+      const Request& r = reqs[idx];
+      if (r.valid() && Access::state(r)->started &&
+          !Access::state(r)->consumed && Access::state(r)->completed) {
+        return static_cast<std::ptrdiff_t>(idx);
+      }
+    }
+    return -1;
+  };
+  eng->progress_until([&] { return completed_index() >= 0; });
+  const std::ptrdiff_t idx = completed_index();
+  ++eng->any_rr_;
+  Request& winner = reqs[static_cast<std::size_t>(idx)];
+  // MPI_Waitany semantics: the returned request is consumed so further
+  // wait_any calls never report it again. Non-persistent handles become
+  // invalid (MPI_REQUEST_NULL); persistent ones stay valid for restart.
+  Access::state(winner)->consumed = true;
+  if (!Access::state(winner)->persistent) {
+    Access::reset(winner);
+  }
+  return static_cast<std::size_t>(idx);
+}
+
+} // namespace kacc::nbc

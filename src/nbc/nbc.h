@@ -1,0 +1,162 @@
+// kacc::nbc — nonblocking and persistent collectives.
+//
+//   Request r = nbc::ibcast(comm, buf, bytes, root);   // init + start
+//   ... overlap compute, or start more collectives ...
+//   nbc::wait(r);                                      // progress + block
+//
+// Persistent variants (*_init) compile the schedule once and return an
+// inactive Request; nbc::start() (re)launches it, any number of times.
+// Buffers, counts and roots are committed at init; per the MPI persistent
+// contract the caller may change buffer *contents* between rounds but not
+// the buffers themselves.
+//
+// Progress happens inside test/wait/wait_all/wait_any: a per-rank engine
+// advances every outstanding schedule, one data step per request per pass
+// (fairness), throttled by the contention-aware admission governor
+// (src/nbc/governor.h). Up to Comm::kNbcTags requests can be outstanding
+// per communicator; init calls are collective and must be issued in the
+// same order on every rank (SPMD), like every other collective here.
+//
+// bytes == 0 compiles to an empty schedule that completes at the first
+// test/wait — unlike the blocking entry points, no barrier is implied.
+// Shared-memory algorithms (kShmemTree/kShmemSlot/kPairwiseShmem) have no
+// nonblocking lowering: kAuto choices fall back to a CMA algorithm,
+// explicit requests raise InvalidArgument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "coll/algo.h"
+
+namespace kacc {
+class Comm;
+} // namespace kacc
+
+namespace kacc::nbc {
+
+namespace detail {
+struct RequestState;
+struct Access;
+} // namespace detail
+
+/// Per-request knobs. Zero/default values mean "model decides".
+struct Options {
+  /// Pipelining grain: CMA transfers larger than this are split so the
+  /// progress engine can interleave requests and the governor can throttle
+  /// mid-message. 0 = never split.
+  std::size_t chunk_bytes = 256 * 1024;
+  /// When false, the admission governor only accounts (for observability)
+  /// but never defers this request's data steps.
+  bool governed = true;
+  /// > 0 overrides the model-derived per-source admission cap.
+  int admission_cap = 0;
+};
+
+/// Handle to one nonblocking/persistent collective. Cheap to copy; all
+/// copies refer to the same underlying operation.
+class Request {
+public:
+  Request() = default;
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+  /// True once the operation has completed (persistent requests: the
+  /// latest round).
+  [[nodiscard]] bool completed() const;
+  [[nodiscard]] std::uint64_t id() const;
+
+private:
+  friend struct detail::Access;
+  std::shared_ptr<detail::RequestState> st_;
+  Comm* comm_ = nullptr;
+};
+
+// ----- persistent inits (compile once, start many times) -----
+
+Request scatter_init(Comm& comm, const void* sendbuf, void* recvbuf,
+                     std::size_t bytes, int root,
+                     coll::ScatterAlgo algo = coll::ScatterAlgo::kAuto,
+                     const coll::CollOptions& opts = {},
+                     const Options& nopts = {});
+
+Request gather_init(Comm& comm, const void* sendbuf, void* recvbuf,
+                    std::size_t bytes, int root,
+                    coll::GatherAlgo algo = coll::GatherAlgo::kAuto,
+                    const coll::CollOptions& opts = {},
+                    const Options& nopts = {});
+
+Request bcast_init(Comm& comm, void* buf, std::size_t bytes, int root,
+                   coll::BcastAlgo algo = coll::BcastAlgo::kAuto,
+                   const coll::CollOptions& opts = {},
+                   const Options& nopts = {});
+
+Request allgather_init(Comm& comm, const void* sendbuf, void* recvbuf,
+                       std::size_t bytes,
+                       coll::AllgatherAlgo algo = coll::AllgatherAlgo::kAuto,
+                       const coll::CollOptions& opts = {},
+                       const Options& nopts = {});
+
+Request alltoall_init(Comm& comm, const void* sendbuf, void* recvbuf,
+                      std::size_t bytes,
+                      coll::AlltoallAlgo algo = coll::AlltoallAlgo::kAuto,
+                      const coll::CollOptions& opts = {},
+                      const Options& nopts = {});
+
+// ----- immediate nonblocking starts (init + start) -----
+
+Request iscatter(Comm& comm, const void* sendbuf, void* recvbuf,
+                 std::size_t bytes, int root,
+                 coll::ScatterAlgo algo = coll::ScatterAlgo::kAuto,
+                 const coll::CollOptions& opts = {},
+                 const Options& nopts = {});
+
+Request igather(Comm& comm, const void* sendbuf, void* recvbuf,
+                std::size_t bytes, int root,
+                coll::GatherAlgo algo = coll::GatherAlgo::kAuto,
+                const coll::CollOptions& opts = {},
+                const Options& nopts = {});
+
+Request ibcast(Comm& comm, void* buf, std::size_t bytes, int root,
+               coll::BcastAlgo algo = coll::BcastAlgo::kAuto,
+               const coll::CollOptions& opts = {},
+               const Options& nopts = {});
+
+Request iallgather(Comm& comm, const void* sendbuf, void* recvbuf,
+                   std::size_t bytes,
+                   coll::AllgatherAlgo algo = coll::AllgatherAlgo::kAuto,
+                   const coll::CollOptions& opts = {},
+                   const Options& nopts = {});
+
+Request ialltoall(Comm& comm, const void* sendbuf, void* recvbuf,
+                  std::size_t bytes,
+                  coll::AlltoallAlgo algo = coll::AlltoallAlgo::kAuto,
+                  const coll::CollOptions& opts = {},
+                  const Options& nopts = {});
+
+// ----- progress & completion -----
+
+/// (Re)starts a persistent request made by *_init. InvalidArgument when
+/// the request is invalid, still active, or not persistent.
+void start(Request& req);
+
+/// One progress pass; returns true iff the request has completed.
+bool test(Request& req);
+
+/// Blocks (while progressing every outstanding request) until complete.
+/// Raises PeerDiedError/TimeoutError/DeadlockError like the blocking
+/// collectives when the team fails mid-operation.
+void wait(Request& req);
+
+/// Waits for all of the given requests. Invalid handles are skipped.
+void wait_all(std::span<Request> reqs);
+
+/// Waits until at least one request completes and returns its index,
+/// round-robin across completed candidates so repeated calls are fair.
+/// The returned request is consumed (MPI_Waitany): it is never reported
+/// again, and a non-persistent handle is reset to invalid — persistent
+/// handles stay valid and become waitable again after start(). Raises
+/// InvalidArgument when no started, unconsumed request is present.
+std::size_t wait_any(std::span<Request> reqs);
+
+} // namespace kacc::nbc

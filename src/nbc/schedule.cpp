@@ -1,0 +1,70 @@
+#include "nbc/schedule.h"
+
+#include "common/error.h"
+#include "runtime/comm.h"
+
+namespace kacc::nbc {
+
+void execute_step(Comm& comm, Schedule& s, const Step& st) {
+  switch (st.kind) {
+  case StepKind::kCmaRead:
+    KACC_CHECK(st.slot >= 0 &&
+               st.slot < static_cast<int>(s.addrs.size()));
+    comm.cma_read(st.peer, s.addrs[static_cast<std::size_t>(st.slot)] +
+                               st.remote_off,
+                  st.dst, st.bytes);
+    break;
+  case StepKind::kCmaWrite:
+    KACC_CHECK(st.slot >= 0 &&
+               st.slot < static_cast<int>(s.addrs.size()));
+    comm.cma_write(st.peer, s.addrs[static_cast<std::size_t>(st.slot)] +
+                                st.remote_off,
+                   st.src, st.bytes);
+    break;
+  case StepKind::kLocalCopy:
+    comm.local_copy(st.dst, st.src, st.bytes);
+    break;
+  case StepKind::kSignal:
+    if (st.tag < 0) {
+      comm.signal(st.peer);
+    } else {
+      comm.nbc_signal(st.peer, st.tag);
+    }
+    break;
+  case StepKind::kWaitSignal:
+    KACC_CHECK_MSG(st.tag < 0,
+                   "tagged waits belong to the nbc progress engine");
+    comm.wait_signal(st.peer);
+    break;
+  case StepKind::kCtrlBcast:
+    comm.ctrl_bcast(st.dst, st.bytes, st.peer);
+    break;
+  case StepKind::kCtrlGather:
+    comm.ctrl_gather(st.src, st.dst, st.bytes, st.peer);
+    break;
+  case StepKind::kCtrlAllgather:
+    comm.ctrl_allgather(st.src, st.dst, st.bytes);
+    break;
+  case StepKind::kBarrier:
+    comm.barrier();
+    break;
+  case StepKind::kShmSend:
+    comm.shm_send(st.peer, st.src, st.bytes);
+    break;
+  case StepKind::kShmRecv:
+    comm.shm_recv(st.peer, st.dst, st.bytes);
+    break;
+  case StepKind::kShmBcast:
+    comm.shm_bcast(st.dst, st.bytes, st.peer);
+    break;
+  }
+}
+
+void drain(Comm& comm, Schedule& s) {
+  while (!s.done()) {
+    execute_step(comm, s, s.steps[s.pc]);
+    ++s.pc;
+  }
+}
+
+} // namespace kacc::nbc

@@ -1,0 +1,86 @@
+// Schedule IR: every CMA collective lowers to an explicit per-rank list of
+// steps (CMA reads/writes, local copies, signals, control exchanges). The
+// blocking collectives compile a schedule and drain it synchronously; the
+// nonblocking API (src/nbc/nbc.h) hands compiled schedules to the progress
+// engine, which interleaves many of them under the admission governor.
+//
+// A Step never owns memory. CMA steps reference peer buffers indirectly
+// through `slot`, an index into Schedule::addrs — in blocking mode those
+// slots are filled by earlier kCtrl* steps at drain time, in nonblocking
+// mode by the eager control exchange at compile time. Pointers into
+// Schedule-owned staging (addrs/self_addr/token/tokens/scratch) stay valid
+// across moves because Schedule is handled by unique_ptr only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace kacc {
+class Comm;
+} // namespace kacc
+
+namespace kacc::nbc {
+
+enum class StepKind : std::uint8_t {
+  kCmaRead,       ///< cma_read(peer, addrs[slot] + remote_off, dst, bytes)
+  kCmaWrite,      ///< cma_write(peer, addrs[slot] + remote_off, src, bytes)
+  kLocalCopy,     ///< local_copy(dst, src, bytes)
+  kSignal,        ///< tag < 0: signal(peer); tag >= 0: nbc_signal(peer, tag)
+  kWaitSignal,    ///< tag < 0: wait_signal(peer); tag >= 0: counting lane
+  kCtrlBcast,     ///< ctrl_bcast(dst, bytes, peer)         [blocking only]
+  kCtrlGather,    ///< ctrl_gather(src, dst, bytes, peer)   [blocking only]
+  kCtrlAllgather, ///< ctrl_allgather(src, dst, bytes)      [blocking only]
+  kBarrier,       ///< barrier()                            [blocking only]
+  kShmSend,       ///< shm_send(peer, src, bytes)           [blocking only]
+  kShmRecv,       ///< shm_recv(peer, dst, bytes)           [blocking only]
+  kShmBcast,      ///< shm_bcast(dst, bytes, peer)          [blocking only]
+};
+
+/// True for steps that contend on a peer's page-table lock (the governor
+/// throttles these; everything else is control plane or local work).
+[[nodiscard]] constexpr bool is_data_step(StepKind k) {
+  return k == StepKind::kCmaRead || k == StepKind::kCmaWrite;
+}
+
+struct Step {
+  StepKind kind = StepKind::kBarrier;
+  int peer = -1; ///< remote rank (or root for ctrl/shm_bcast steps)
+  int slot = -1; ///< index into Schedule::addrs for CMA base addresses
+  std::uint64_t remote_off = 0;
+  void* dst = nullptr;
+  const void* src = nullptr;
+  std::size_t bytes = 0;
+  int tag = -1; ///< >= 0 selects a counting nbc signal lane
+};
+
+struct Schedule {
+  int rank = 0;
+  int size = 1;
+  std::vector<Step> steps;
+
+  // ---- staging owned by the schedule; steps point into these ----
+  std::vector<std::uint64_t> addrs; ///< exchanged CMA base addresses
+  /// Separate send-side staging for address gathers: ctrl payloads must
+  /// not alias `addrs` (ASan flags self-overlapping memcpy in the sim).
+  std::uint64_t self_addr = 0;
+  char token = 0;           ///< completion-token send staging
+  std::vector<char> tokens; ///< completion-token recv staging (root)
+  std::vector<AlignedBuffer> scratch; ///< Bruck rotation buffers etc.
+
+  std::size_t pc = 0; ///< next step to execute
+  [[nodiscard]] bool done() const { return pc >= steps.size(); }
+};
+
+/// Executes one step against `comm`. Tagged kWaitSignal steps are the
+/// progress engine's job (nbc_try_wait) and are rejected here.
+void execute_step(Comm& comm, Schedule& s, const Step& st);
+
+/// Runs a blocking-mode schedule to completion in program order. The
+/// blocking collective entry points compile + drain; this is the single
+/// execution path shared with the nonblocking engine.
+void drain(Comm& comm, Schedule& s);
+
+} // namespace kacc::nbc

@@ -34,6 +34,12 @@ const char* counter_name(Counter c) {
     case Counter::kTraceDrops: return "trace_drops";
     case Counter::kCollLaunches: return "coll_launches";
     case Counter::kSimRerateEvents: return "sim_rerate_events";
+    case Counter::kNbcRequestsStarted: return "nbc_requests_started";
+    case Counter::kNbcRequestsHwm: return "nbc_requests_hwm";
+    case Counter::kNbcStepsIssued: return "nbc_steps_issued";
+    case Counter::kNbcStepsDeferred: return "nbc_steps_deferred";
+    case Counter::kNbcAdmissionStalls: return "nbc_admission_stalls";
+    case Counter::kNbcInflightHwm: return "nbc_inflight_hwm";
     case Counter::kCount: break;
   }
   return "?";

@@ -65,6 +65,16 @@ enum class Counter : int {
   // re-published in-flight op finish times). World-level, not per rank.
   kSimRerateEvents,
 
+  // Nonblocking collectives (kacc::nbc). High-water counters are per-rank
+  // maxima (max_update); their team totals are sums of per-rank maxima and
+  // only the per-rank values are individually meaningful.
+  kNbcRequestsStarted, ///< requests activated (start / i* entry)
+  kNbcRequestsHwm,     ///< max requests simultaneously active on this rank
+  kNbcStepsIssued,     ///< data-plane schedule steps executed
+  kNbcStepsDeferred,   ///< data-plane steps postponed by the governor
+  kNbcAdmissionStalls, ///< progress passes where only deferrals remained
+  kNbcInflightHwm,     ///< max per-source in-flight count observed at issue
+
   kCount
 };
 
@@ -106,6 +116,19 @@ public:
   /// per event (the spin-wait slow path holds this across iterations).
   [[nodiscard]] std::atomic<std::uint64_t>* cell(Counter c) const {
     return block_ == nullptr ? nullptr : &block_->v[static_cast<int>(c)];
+  }
+
+  /// Raises a high-water counter to `v` if it is currently lower (CAS
+  /// loop; relaxed — high-water marks need no ordering).
+  void max_update(Counter c, std::uint64_t v) const {
+    if (block_ == nullptr) {
+      return;
+    }
+    auto& cell = block_->v[static_cast<int>(c)];
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
   }
 
 private:

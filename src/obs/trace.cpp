@@ -26,6 +26,7 @@ const char* span_name(SpanName n) {
     case SpanName::kBcast: return "bcast";
     case SpanName::kReduce: return "reduce";
     case SpanName::kAllreduce: return "allreduce";
+    case SpanName::kNbcRequest: return "nbc_request";
     case SpanName::kCount: break;
   }
   return "?";

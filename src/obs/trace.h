@@ -44,6 +44,9 @@ enum class SpanName : std::uint32_t {
   kBcast,
   kReduce,
   kAllreduce,
+  // Nonblocking-request lifetime (start -> completion; tag carries the
+  // request label, e.g. "ibcast#3").
+  kNbcRequest,
   kCount
 };
 

@@ -15,6 +15,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "obs/trace.h"
 #include "topo/arch_spec.h"
@@ -95,8 +97,54 @@ public:
     return reinterpret_cast<std::uint64_t>(p);
   }
 
+  // ----- nonblocking-collective support (kacc::nbc) -----
+
+  /// Signal lanes available to concurrently outstanding requests. Each
+  /// lane is a counting (src, dst) channel isolated from the blocking
+  /// signal board and from every other lane.
+  static constexpr int kNbcTags = 16;
+
+  /// Posts one signal to dst on lane `tag` (non-blocking).
+  virtual void nbc_signal(int dst, int tag) = 0;
+
+  /// Consumes one signal from src on lane `tag` iff one is pending;
+  /// never blocks.
+  virtual bool nbc_try_wait(int src, int tag) = 0;
+
+  /// Cooperative pause between unproductive progress passes. `idle_rounds`
+  /// counts consecutive unproductive passes so implementations can back
+  /// off. Performs dead-peer detection (throws PeerDiedError) in both
+  /// runtimes; in simulation it also advances virtual time so posted
+  /// signals become visible.
+  virtual void nbc_yield(int idle_rounds) = 0;
+
+  /// Shared count of data-plane steps currently in flight against
+  /// `source`'s page-lock domain, aggregated across all ranks' requests.
+  [[nodiscard]] virtual int nbc_inflight(int source) = 0;
+
+  /// Adjusts the shared in-flight count for `source` by `delta`.
+  virtual void nbc_inflight_add(int source, int delta) = 0;
+
+  /// Progress deadline for nonblocking waits in microseconds; 0 = none
+  /// (simulation relies on the engine's deadlock detection instead).
+  [[nodiscard]] virtual double nbc_deadline_us() const { return 0.0; }
+
+  /// Opaque per-communicator extension slot; the nbc progress engine
+  /// parks its per-rank state here so Comm stays below the nbc layer.
+  class NbcState {
+  public:
+    virtual ~NbcState() = default;
+  };
+  [[nodiscard]] NbcState* nbc_state() const { return nbc_state_.get(); }
+  void set_nbc_state(std::unique_ptr<NbcState> st) {
+    nbc_state_ = std::move(st);
+  }
+
 protected:
   obs::Recorder recorder_;
+
+private:
+  std::unique_ptr<NbcState> nbc_state_;
 };
 
 } // namespace kacc

@@ -11,6 +11,10 @@
 #include "common/log.h"
 
 namespace kacc {
+
+static_assert(Comm::kNbcTags == shm::kNbcSignalTags,
+              "arena lane count must match the Comm tag space");
+
 namespace {
 
 double deadline_ms_from_env(double fallback) {
@@ -36,7 +40,8 @@ NativeComm::NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank,
                        int nranks, NativeCommConfig cfg)
     : arena_(&arena), spec_(std::move(spec)), rank_(rank), nranks_(nranks),
       barrier_impl_(arena, nranks), ctrl_(arena, rank, nranks),
-      signals_(arena, rank, nranks), pipes_(arena, rank, nranks),
+      signals_(arena, rank, nranks), nbc_signals_(arena, rank, nranks),
+      pipes_(arena, rank, nranks),
       bcast_pipe_(arena, rank, nranks),
       epoch_(std::chrono::steady_clock::now()), cfg_(cfg),
       fault_plan_(FaultPlan::from_env()) {
@@ -369,6 +374,52 @@ double NativeComm::now_us() {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - epoch_)
       .count();
+}
+
+void NativeComm::nbc_signal(int dst, int tag) {
+  recorder_.counters.add(obs::Counter::kSignalsPosted);
+  nbc_signals_.signal(dst, tag);
+}
+
+bool NativeComm::nbc_try_wait(int src, int tag) {
+  if (!nbc_signals_.try_consume(src, tag)) {
+    return false;
+  }
+  recorder_.counters.add(obs::Counter::kSignalsWaited);
+  return true;
+}
+
+void NativeComm::nbc_yield(int idle_rounds) {
+  // Run the progress hook (heartbeat + dead-peer detection + fallback
+  // servicing) regularly, but not on every pass — the hook scans p slots.
+  if (idle_rounds % 64 == 0) {
+    poll();
+  }
+  // Same backoff shape as shm::spin_until: hot burst, then yield, then nap.
+  if (idle_rounds < 1024) {
+    return;
+  }
+  if (idle_rounds < 4096) {
+    ::sched_yield();
+    return;
+  }
+  struct timespec nap {
+    0, 50'000
+  };
+  ::nanosleep(&nap, nullptr);
+}
+
+int NativeComm::nbc_inflight(int source) {
+  return static_cast<int>(
+      arena_->nbc_admission(source)->load(std::memory_order_acquire));
+}
+
+void NativeComm::nbc_inflight_add(int source, int delta) {
+  arena_->nbc_admission(source)->fetch_add(delta, std::memory_order_acq_rel);
+}
+
+double NativeComm::nbc_deadline_us() const {
+  return cfg_.op_deadline_ms > 0 ? cfg_.op_deadline_ms * 1000.0 : 0.0;
 }
 
 } // namespace kacc

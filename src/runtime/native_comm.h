@@ -66,6 +66,13 @@ public:
 
   double now_us() override;
 
+  void nbc_signal(int dst, int tag) override;
+  bool nbc_try_wait(int src, int tag) override;
+  void nbc_yield(int idle_rounds) override;
+  [[nodiscard]] int nbc_inflight(int source) override;
+  void nbc_inflight_add(int source, int delta) override;
+  [[nodiscard]] double nbc_deadline_us() const override;
+
   /// Progress hook: heartbeat + dead-peer check + fallback servicing.
   /// Invoked from every blocking shm spin; throws PeerDiedError when the
   /// team parent marked a sibling dead.
@@ -108,6 +115,7 @@ private:
   shm::ShmBarrier barrier_impl_;
   shm::CtrlBoard ctrl_;
   shm::SignalBoard signals_;
+  shm::TagSignalBoard nbc_signals_;
   shm::ChunkPipe pipes_;
   shm::BcastPipe bcast_pipe_;
   std::chrono::steady_clock::time_point epoch_;

@@ -115,7 +115,7 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
     }
     const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
     if (!clean) {
-      arena.set_liveness(rank, shm::Liveness::kDead);
+      arena.mark_dead(rank);
     }
     rr.ok = clean && arena.result_ok(rank);
     if (!rr.ok && rr.message.empty()) {
@@ -166,7 +166,7 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
         rr.ok = false;
         rr.message = std::string("waitpid: ") + std::strerror(errno);
         reaped[static_cast<std::size_t>(rank)] = true;
-        arena.set_liveness(rank, shm::Liveness::kDead);
+        arena.mark_dead(rank);
         continue;
       }
       record(rank, status);

@@ -33,6 +33,10 @@ SimComm::SimComm(sim::SimEngine& engine, SimTeamState& team, int rank)
     : engine_(&engine), team_(&team), rank_(rank) {
   KACC_CHECK_MSG(rank >= 0 && rank < engine.nranks(),
                  "SimComm rank out of range");
+  if (team.nbc_inflight.size() < static_cast<std::size_t>(engine.nranks())) {
+    // Token-serialized (rank threads construct their comms one at a time).
+    team.nbc_inflight.resize(static_cast<std::size_t>(engine.nranks()), 0);
+  }
   recorder_.rank = rank;
   recorder_.clock = &sim_clock_cb;
   recorder_.clock_ctx = this;
@@ -274,6 +278,52 @@ void SimComm::shm_bcast(void* buf, std::size_t bytes, int root) {
 }
 
 double SimComm::now_us() { return engine_->now(rank_); }
+
+void SimComm::nbc_signal(int dst, int tag) {
+  KACC_CHECK_MSG(tag >= 0 && tag < kNbcTags, "nbc_signal tag out of range");
+  recorder_.counters.add(obs::Counter::kSignalsPosted);
+  engine_->post(rank_, dst, sim::nbc_signal_tag(tag), {},
+                arch().shm_signal_us);
+}
+
+bool SimComm::nbc_try_wait(int src, int tag) {
+  KACC_CHECK_MSG(tag >= 0 && tag < kNbcTags, "nbc_try_wait tag out of range");
+  if (!engine_->try_receive(rank_, src, sim::nbc_signal_tag(tag))) {
+    return false;
+  }
+  recorder_.counters.add(obs::Counter::kSignalsWaited);
+  return true;
+}
+
+void SimComm::nbc_yield(int idle_rounds) {
+  // A polling rank that has observed a dead peer must not unwind on its
+  // own: a peer parked mid-transfer still holds raw pointers into this
+  // rank's buffers and would resume into a stale memcpy after the unwind
+  // frees them. Block in the engine instead — death then surfaces through
+  // poisoning once every live rank is parked (the blocking-path
+  // discipline), or an incoming signal wakes us and we re-poll.
+  for (int dead : engine_->dead_ranks()) {
+    if (dead != rank_) {
+      engine_->block_for_any_post(rank_);
+      return;
+    }
+  }
+  // Adaptive quantum: start well under a signal delivery, back off to a
+  // coarse tick so idle pollers do not dominate the event schedule.
+  const int shift = std::min(idle_rounds, 6);
+  const double quantum = std::min(0.25 * static_cast<double>(1 << shift), 16.0);
+  engine_->advance(rank_, quantum);
+}
+
+int SimComm::nbc_inflight(int source) {
+  KACC_CHECK_MSG(source >= 0 && source < size(), "nbc_inflight source");
+  return team_->nbc_inflight[static_cast<std::size_t>(source)];
+}
+
+void SimComm::nbc_inflight_add(int source, int delta) {
+  KACC_CHECK_MSG(source >= 0 && source < size(), "nbc_inflight source");
+  team_->nbc_inflight[static_cast<std::size_t>(source)] += delta;
+}
 
 sim::Breakdown SimComm::timed_cma(int owner, std::uint64_t bytes,
                                   bool with_copy) {

@@ -31,6 +31,11 @@ struct SimTeamState {
   std::vector<std::unique_ptr<obs::CounterBlock>> counter_blocks;
   std::vector<obs::VectorSink> trace_sinks;
 
+  /// Shared per-source in-flight counts of the nbc admission governor
+  /// (token-serialized like ctrl_send/ctrl_recv; lazily sized by the
+  /// first SimComm constructed).
+  std::vector<int> nbc_inflight;
+
   /// Sizes counter blocks (always) and trace sinks (when KACC_TRACE set).
   void init_obs(int nranks);
 };
@@ -66,6 +71,12 @@ public:
   void shm_bcast(void* buf, std::size_t bytes, int root) override;
 
   double now_us() override;
+
+  void nbc_signal(int dst, int tag) override;
+  bool nbc_try_wait(int src, int tag) override;
+  void nbc_yield(int idle_rounds) override;
+  [[nodiscard]] int nbc_inflight(int source) override;
+  void nbc_inflight_add(int source, int delta) override;
 
   /// Timing-only contended transfer with phase accounting (powers the
   /// Fig 2-6 microbenchmarks and the simulated ProbeBackend).

@@ -63,13 +63,30 @@ std::size_t results_region_bytes(int nranks) {
 
 // Liveness region: per rank, one cache line (state word + heartbeat epoch).
 std::size_t liveness_region_bytes(int nranks) {
-  return static_cast<std::size_t>(nranks) * kCacheLine;
+  // One line per rank plus a team-global line holding the first-death
+  // word (rank+1 of the first rank the parent marked dead, 0 = none).
+  return static_cast<std::size_t>(nranks + 1) * kCacheLine;
 }
 
 // CMA service region: p*p request/ack slot pairs.
 std::size_t cmaserv_region_bytes(int nranks) {
   return static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks) *
          sizeof(CmaServiceSlot);
+}
+
+// Nonblocking-collective tagged signals: p*p pairs of kNbcSignalTags
+// monotonic counters (two cache lines per pair at 16 tags x 8B).
+constexpr std::size_t kNbcLaneBytes =
+    static_cast<std::size_t>(kNbcSignalTags) * sizeof(std::uint64_t);
+
+std::size_t nbcsig_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks) *
+         kNbcLaneBytes;
+}
+
+// Nonblocking-collective admission: one cache line per rank.
+std::size_t nbcadm_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) * kCacheLine;
 }
 
 // Observability regions: one counter block per rank, and (when tracing)
@@ -133,6 +150,10 @@ ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
   off = align_up(off + liveness_region_bytes(nranks), 4096);
   l.cmaserv_off = off;
   off = align_up(off + cmaserv_region_bytes(nranks), 4096);
+  l.nbcsig_off = off;
+  off = align_up(off + nbcsig_region_bytes(nranks), 4096);
+  l.nbcadm_off = off;
+  off = align_up(off + nbcadm_region_bytes(nranks), 4096);
   l.counters_off = off;
   off = align_up(off + counters_region_bytes(nranks), 4096);
   l.trace_off = off;
@@ -238,7 +259,25 @@ Liveness ShmArena::liveness(int rank) const {
           ->load(std::memory_order_acquire));
 }
 
+void ShmArena::mark_dead(int rank) const {
+  set_liveness(rank, Liveness::kDead);
+  // First marker wins: cascade victims (survivors that exit unclean
+  // *because* the first death unwound them) must not steal attribution.
+  auto* word = reinterpret_cast<std::atomic<std::int32_t>*>(
+      liveness_line(base_, layout_, layout_.nranks));
+  std::int32_t expected = 0;
+  word->compare_exchange_strong(expected, rank + 1,
+                                std::memory_order_acq_rel);
+}
+
 int ShmArena::first_dead_rank() const {
+  const auto* word = reinterpret_cast<const std::atomic<std::int32_t>*>(
+      liveness_line(base_, layout_, layout_.nranks));
+  const std::int32_t first = word->load(std::memory_order_acquire);
+  if (first > 0) {
+    return first - 1;
+  }
+  // Fallback scan covers deaths recorded via bare set_liveness.
   for (int r = 0; r < layout_.nranks; ++r) {
     if (liveness(r) == Liveness::kDead) {
       return r;
@@ -270,6 +309,24 @@ CmaServiceSlot* ShmArena::cma_service_slot(int requester, int owner) const {
                           static_cast<std::size_t>(owner);
   return reinterpret_cast<CmaServiceSlot*>(base_ + layout_.cmaserv_off +
                                            idx * sizeof(CmaServiceSlot));
+}
+
+std::atomic<std::uint64_t>* ShmArena::nbc_signal_lanes(int src,
+                                                       int dst) const {
+  KACC_CHECK_MSG(src >= 0 && src < layout_.nranks && dst >= 0 &&
+                     dst < layout_.nranks,
+                 "nbc signal lane rank out of range");
+  const std::size_t idx = static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(layout_.nranks) +
+                          static_cast<std::size_t>(dst);
+  return reinterpret_cast<std::atomic<std::uint64_t>*>(
+      base_ + layout_.nbcsig_off + idx * kNbcLaneBytes);
+}
+
+std::atomic<std::int64_t>* ShmArena::nbc_admission(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  return reinterpret_cast<std::atomic<std::int64_t>*>(
+      base_ + layout_.nbcadm_off + static_cast<std::size_t>(rank) * kCacheLine);
 }
 
 obs::CounterBlock* ShmArena::counter_block(int rank) const {

@@ -15,6 +15,10 @@
 
 namespace kacc::shm {
 
+/// Tagged-signal lanes per (src, dst) pair for nonblocking collectives.
+/// Must match kacc::Comm::kNbcTags (static_asserted in native_comm.cpp).
+inline constexpr int kNbcSignalTags = 16;
+
 /// Byte offsets of each arena region; computed once from the team shape.
 struct ArenaLayout {
   int nranks = 0;
@@ -32,6 +36,8 @@ struct ArenaLayout {
   std::size_t results_off = 0;
   std::size_t liveness_off = 0;
   std::size_t cmaserv_off = 0;
+  std::size_t nbcsig_off = 0;  ///< p*p tagged-signal lanes (kacc::nbc)
+  std::size_t nbcadm_off = 0;  ///< per-rank in-flight admission counters
   std::size_t counters_off = 0;
   std::size_t trace_off = 0;
   std::size_t total_bytes = 0;
@@ -111,6 +117,10 @@ public:
   // --- per-rank liveness (dead-peer detection) ---
   void set_liveness(int rank, Liveness state) const;
   [[nodiscard]] Liveness liveness(int rank) const;
+  /// Marks `rank` dead and records it as the team's first death unless
+  /// one was already recorded. first_dead_rank() then names the original
+  /// casualty even after survivors exit unclean in the ensuing cascade.
+  void mark_dead(int rank) const;
   /// First rank marked kDead, or -1 when everyone is live/clean.
   [[nodiscard]] int first_dead_rank() const;
   /// Bumps the rank's heartbeat epoch (called from progress hooks).
@@ -120,6 +130,18 @@ public:
   /// The (requester, owner) slot of the CMA degradation protocol.
   [[nodiscard]] CmaServiceSlot* cma_service_slot(int requester,
                                                  int owner) const;
+
+  // --- nonblocking-collective carve-outs (kacc::nbc) ---
+
+  /// Base of the (src, dst) tagged-signal lane block: kNbcSignalTags
+  /// monotonic uint64 counters (two cache lines per pair).
+  [[nodiscard]] std::atomic<std::uint64_t>* nbc_signal_lanes(int src,
+                                                             int dst) const;
+
+  /// The rank's shared in-flight admission counter (one cache line each;
+  /// every rank increments the counter of the peer whose pages it is
+  /// reading or writing).
+  [[nodiscard]] std::atomic<std::int64_t>* nbc_admission(int rank) const;
 
   // --- observability carve-out (kacc::obs) ---
 

@@ -56,4 +56,36 @@ bool SignalBoard::poll(int src) const {
          consumed_[static_cast<std::size_t>(src)];
 }
 
+TagSignalBoard::TagSignalBoard(const ShmArena& arena, int rank, int nranks)
+    : arena_(&arena), rank_(rank), nranks_(nranks),
+      consumed_(static_cast<std::size_t>(nranks) * kNbcSignalTags, 0) {
+  KACC_CHECK(arena.valid());
+  KACC_CHECK_MSG(nranks >= 1 && nranks <= arena.layout().nranks,
+                 "tag signal nranks exceeds arena");
+  KACC_CHECK_MSG(rank >= 0 && rank < nranks, "tag signal rank out of range");
+}
+
+std::atomic<std::uint64_t>* TagSignalBoard::lane(int src, int dst,
+                                                 int tag) const {
+  KACC_CHECK_MSG(tag >= 0 && tag < kNbcSignalTags, "nbc tag out of range");
+  return arena_->nbc_signal_lanes(src, dst) + tag;
+}
+
+void TagSignalBoard::signal(int dst, int tag) {
+  KACC_CHECK_MSG(dst >= 0 && dst < nranks_, "signal dst out of range");
+  lane(rank_, dst, tag)->fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool TagSignalBoard::try_consume(int src, int tag) {
+  KACC_CHECK_MSG(src >= 0 && src < nranks_, "signal src out of range");
+  std::uint64_t& seen =
+      consumed_[static_cast<std::size_t>(src) * kNbcSignalTags +
+                static_cast<std::size_t>(tag)];
+  if (lane(src, rank_, tag)->load(std::memory_order_acquire) <= seen) {
+    return false;
+  }
+  ++seen;
+  return true;
+}
+
 } // namespace kacc::shm

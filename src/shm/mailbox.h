@@ -37,4 +37,28 @@ private:
   std::vector<std::uint64_t> consumed_; // per source, process-local
 };
 
+/// Tagged monotonic signal lanes for nonblocking collectives: each
+/// (src, dst) pair owns kNbcSignalTags independent counters so several
+/// outstanding requests can synchronize without cross-talk. try_consume is
+/// the polling analogue of SignalBoard::wait_signal — counting, so a lane
+/// can be reused by the same request (or a later one, once balanced).
+class TagSignalBoard {
+public:
+  TagSignalBoard(const ShmArena& arena, int rank, int nranks);
+
+  /// Posts one signal on lane `tag` to `dst` (non-blocking).
+  void signal(int dst, int tag);
+
+  /// Consumes one signal from `src` on lane `tag` iff one is pending.
+  [[nodiscard]] bool try_consume(int src, int tag);
+
+private:
+  std::atomic<std::uint64_t>* lane(int src, int dst, int tag) const;
+
+  const ShmArena* arena_ = nullptr;
+  int rank_ = 0;
+  int nranks_ = 0;
+  std::vector<std::uint64_t> consumed_; // per (source, tag), process-local
+};
+
 } // namespace kacc::shm

@@ -11,8 +11,17 @@
 namespace kacc::sim {
 
 /// Channel classes. Signals are the paper's 0-byte sync messages; Ctrl
-/// carries address exchanges; Data carries two-copy shm payloads.
+/// carries address exchanges; Data carries two-copy shm payloads. Tags
+/// >= kNbcTagBase are tagged signal lanes for nonblocking collectives
+/// (one lane per kacc::nbc request slot).
 enum class ChannelTag : int { kSignal = 0, kCtrl = 1, kData = 2 };
+
+inline constexpr int kNbcTagBase = 3;
+
+/// Channel tag of nonblocking-collective signal lane `t` (t >= 0).
+[[nodiscard]] inline ChannelTag nbc_signal_tag(int t) {
+  return static_cast<ChannelTag>(kNbcTagBase + t);
+}
 
 struct Message {
   std::vector<std::byte> payload;

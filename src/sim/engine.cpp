@@ -349,8 +349,10 @@ void SimEngine::post(int rank, int dst, ChannelTag tag,
 
   RankState& receiver = ranks_[static_cast<std::size_t>(dst)];
   const bool wakes_receiver =
-      receiver.state == State::kBlockedRecv && receiver.wait_src == rank &&
-      receiver.wait_tag == static_cast<int>(tag);
+      receiver.state == State::kBlockedRecv &&
+      (receiver.wait_src == kAnySource ||
+       (receiver.wait_src == rank &&
+        receiver.wait_tag == static_cast<int>(tag)));
   const double avail = msg.avail_us;
   channels_.push(rank, dst, tag, std::move(msg));
   if (wakes_receiver) {
@@ -390,6 +392,36 @@ std::vector<std::byte> SimEngine::receive(int rank, int src, ChannelTag tag,
   KACC_CHECK_MSG(channels_.has(src, rank, tag),
                  "receive resumed without a queued message");
   return channels_.pop(src, rank, tag).payload;
+}
+
+bool SimEngine::try_receive(int rank, int src, ChannelTag tag) {
+  KACC_CHECK_MSG(src >= 0 && src < nranks_, "try_receive: bad src");
+  std::unique_lock<std::mutex> lk(mu_);
+  check_poisoned_locked();
+  if (!channels_.has(src, rank, tag)) {
+    return false;
+  }
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  Message msg = channels_.pop(src, rank, tag);
+  if (msg.avail_us > st.clock) {
+    // Still in flight at the poller's clock: leave it queued so a later
+    // poll (after the caller advances) observes it.
+    channels_.push_front(src, rank, tag, std::move(msg));
+    return false;
+  }
+  return true;
+}
+
+void SimEngine::block_for_any_post(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_poisoned_locked();
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  st.state = State::kBlockedRecv;
+  st.wait_src = kAnySource;
+  st.wait_tag = -1;
+  st.recv_cost = 0.0;
+  schedule_next_locked();
+  park_and_wait(lk, rank);
 }
 
 void SimEngine::rendezvous(int rank, double extra_us,

@@ -101,6 +101,23 @@ public:
   std::vector<std::byte> receive(int rank, int src, ChannelTag tag,
                                  double recv_cost_us);
 
+  /// Non-blocking receive: consumes the head (src, rank, tag) message iff
+  /// one exists and is already visible at `rank`'s current clock. Charges
+  /// no virtual time and never parks (the caller keeps the execution
+  /// token), so polling loops stay deterministic. Returns false when the
+  /// lane is empty or the head message is still in flight.
+  bool try_receive(int rank, int src, ChannelTag tag);
+
+  /// Parks `rank` until any message is posted to it (any source, any tag)
+  /// or the engine is poisoned. Used by the nbc progress loop once it has
+  /// observed a dead peer: a polling rank must not unwind on its own —
+  /// a peer parked mid-transfer still holds raw pointers into this rank's
+  /// buffers and would resume into a stale memcpy. Blocking here means
+  /// peer death surfaces through poisoning exactly like the blocking
+  /// path: only once every live rank is parked. Returns normally when a
+  /// post arrives (the caller re-polls its lanes).
+  void block_for_any_post(int rank);
+
   /// Synchronizing collective among all nranks: everyone leaves at
   /// max(entry times) + extra_us. The last rank to arrive runs
   /// `data_move` (may be empty) exactly once while all peers are parked —
@@ -111,6 +128,10 @@ public:
 private:
   enum class State { kUnstarted, kRunning, kReady, kBlockedRecv,
                      kBlockedColl, kDone };
+
+  /// wait_src sentinel for block_for_any_post: any post to the rank,
+  /// regardless of sender or tag, wakes it.
+  static constexpr int kAnySource = -2;
 
   struct RankState {
     State state = State::kUnstarted;
