@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iomanip>
 
 #include "baseline/library.h"
@@ -37,15 +38,33 @@ JsonState& json_state() {
   return state;
 }
 
+#ifndef KACC_GIT_SHA
+#define KACC_GIT_SHA "unknown"
+#endif
+
+/// ISO-8601 UTC wall-clock time ("2026-08-05T12:34:56Z"). Provenance
+/// metadata only — the measured latencies stay deterministic.
+std::string iso_utc_now() {
+  char buf[32];
+  const std::time_t t = std::time(nullptr);
+  struct tm tmv {};
+  gmtime_r(&t, &tmv);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tmv);
+  return buf;
+}
+
 void flush_json_series() {
   const JsonState& st = json_state();
   if (!st.enabled) {
     return;
   }
+  const std::string stamp = iso_utc_now();
   for (const SeriesData& s : st.series) {
-    std::printf("{\"exp\":\"%s\",\"arch\":\"%s\",\"algorithm\":\"%s\","
+    std::printf("{\"exp\":\"%s\",\"git_sha\":\"%s\",\"timestamp\":\"%s\","
+                "\"arch\":\"%s\",\"algorithm\":\"%s\","
                 "\"sizes\":[",
-                st.exp.c_str(), s.arch.c_str(), s.algorithm.c_str());
+                st.exp.c_str(), KACC_GIT_SHA, stamp.c_str(), s.arch.c_str(),
+                s.algorithm.c_str());
     for (std::size_t i = 0; i < s.sizes.size(); ++i) {
       std::printf("%s%llu", i == 0 ? "" : ",",
                   static_cast<unsigned long long>(s.sizes[i]));

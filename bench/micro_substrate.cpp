@@ -14,6 +14,8 @@
 #include "common/pattern.h"
 #include "coll/bcast.h"
 #include "model/estimator.h"
+#include "obs/flight.h"
+#include "obs/hist.h"
 #include "obs/trace.h"
 #include "model/gamma.h"
 #include "model/nlls.h"
@@ -201,6 +203,48 @@ void BM_ObsSpanRingEmit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsSpanRingEmit);
+
+// The v2 additions share the same bar: one relaxed fetch_add per histogram
+// sample and one slot write + release store per flight event, so sampling
+// every CMA transfer stays within the <= 2% hot-path budget.
+
+void BM_ObsHistRecord(benchmark::State& state) {
+  static obs::HistBlock block{};
+  obs::HistRegistry hists;
+  hists.bind(&block);
+  std::uint64_t ns = 12345;
+  for (auto _ : state) {
+    hists.record_ns(obs::cma_hist(false, 4), ns);
+    // Cheap LCG so consecutive samples land in different buckets.
+    ns = ns * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(ns);
+  }
+}
+BENCHMARK(BM_ObsHistRecord);
+
+void BM_ObsHistDisabled(benchmark::State& state) {
+  obs::HistRegistry hists; // unbound: the no-op fast path
+  std::uint64_t ns = 12345;
+  for (auto _ : state) {
+    hists.record_ns(obs::cma_hist(false, 4), ns);
+    ns = ns * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(ns);
+  }
+}
+BENCHMARK(BM_ObsHistDisabled);
+
+void BM_ObsFlightEmit(benchmark::State& state) {
+  const std::size_t slots = 256;
+  AlignedBuffer ring(obs::flight_ring_bytes(slots), 64, /*zero_init=*/true);
+  obs::FlightRecorder fr;
+  fr.bind(ring.data(), slots);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.001;
+    fr.emit(t, obs::FlightKind::kStepIssued, 1, 4096, "bench");
+  }
+}
+BENCHMARK(BM_ObsFlightEmit);
 
 } // namespace
 

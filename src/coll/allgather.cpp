@@ -35,6 +35,8 @@ void allgather(Comm& comm, const void* sendbuf, void* recvbuf,
   obs::Span span(comm.recorder(), obs::SpanName::kAllgather,
                  static_cast<std::int64_t>(bytes), -1,
                  to_string(algo).c_str());
+  obs::CollScope coll(comm.recorder(), static_cast<std::int64_t>(bytes), -1,
+                      to_string(algo).c_str());
 
   auto sched =
       nbc::compile_allgather(comm, sendbuf, recvbuf, bytes, algo, eff, {});

@@ -26,6 +26,8 @@ void alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
   obs::Span span(comm.recorder(), obs::SpanName::kAlltoall,
                  static_cast<std::int64_t>(bytes), -1,
                  to_string(algo).c_str());
+  obs::CollScope coll(comm.recorder(), static_cast<std::int64_t>(bytes), -1,
+                      to_string(algo).c_str());
 
   auto sched =
       nbc::compile_alltoall(comm, sendbuf, recvbuf, bytes, algo, opts, {});

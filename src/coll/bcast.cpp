@@ -33,6 +33,8 @@ void bcast(Comm& comm, void* buf, std::size_t bytes, int root,
   obs::Span span(comm.recorder(), obs::SpanName::kBcast,
                  static_cast<std::int64_t>(bytes), root,
                  to_string(algo).c_str());
+  obs::CollScope coll(comm.recorder(), static_cast<std::int64_t>(bytes),
+                      root, to_string(algo).c_str());
 
   auto sched = nbc::compile_bcast(comm, buf, bytes, root, algo, eff, {});
   nbc::drain(comm, *sched);

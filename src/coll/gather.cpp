@@ -33,6 +33,8 @@ void gather(Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
   obs::Span span(comm.recorder(), obs::SpanName::kGather,
                  static_cast<std::int64_t>(bytes), root,
                  to_string(algo).c_str());
+  obs::CollScope coll(comm.recorder(), static_cast<std::int64_t>(bytes),
+                      root, to_string(algo).c_str());
 
   auto sched =
       nbc::compile_gather(comm, sendbuf, recvbuf, bytes, root, algo, eff, {});

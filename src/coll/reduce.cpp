@@ -343,6 +343,9 @@ void reduce(Comm& comm, const double* send, double* recv, std::size_t count,
   obs::Span span(comm.recorder(), obs::SpanName::kReduce,
                  static_cast<std::int64_t>(count * kElem), root,
                  to_string(algo).c_str());
+  obs::CollScope coll(comm.recorder(),
+                      static_cast<std::int64_t>(count * kElem), root,
+                      to_string(algo).c_str());
   if (p == 1) {
     comm.local_copy(recv, send, count * kElem);
     return;
@@ -381,6 +384,9 @@ void allreduce(Comm& comm, const double* send, double* recv,
   obs::Span span(comm.recorder(), obs::SpanName::kAllreduce,
                  static_cast<std::int64_t>(count * kElem), -1,
                  to_string(algo).c_str());
+  obs::CollScope coll(comm.recorder(),
+                      static_cast<std::int64_t>(count * kElem), -1,
+                      to_string(algo).c_str());
   if (p == 1) {
     comm.local_copy(recv, send, count * kElem);
     return;

@@ -34,6 +34,8 @@ void scatter(Comm& comm, const void* sendbuf, void* recvbuf,
   obs::Span span(comm.recorder(), obs::SpanName::kScatter,
                  static_cast<std::int64_t>(bytes), root,
                  to_string(algo).c_str());
+  obs::CollScope coll(comm.recorder(), static_cast<std::int64_t>(bytes),
+                      root, to_string(algo).c_str());
 
   auto sched =
       nbc::compile_scatter(comm, sendbuf, recvbuf, bytes, root, algo, eff, {});

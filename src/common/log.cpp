@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <map>
+#include <mutex>
 #include <unistd.h>
 
 namespace kacc {
@@ -51,6 +53,27 @@ void set_log_level(LogLevel level) {
 }
 
 void log_set_rank(int rank) { rank_storage().store(rank); }
+
+bool log_should_emit(const char* key, double interval_ms) {
+  // Monotonic clock: rate limiting must not jump with wall-time changes.
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  const double now_ms = static_cast<double>(ts.tv_sec) * 1000.0 +
+                        static_cast<double>(ts.tv_nsec) / 1'000'000.0;
+
+  static std::mutex mu;
+  static std::map<std::string, double> last_emit;
+  std::lock_guard<std::mutex> lk(mu);
+  auto [it, inserted] = last_emit.try_emplace(key, now_ms);
+  if (inserted) {
+    return true;
+  }
+  if (now_ms - it->second < interval_ms) {
+    return false;
+  }
+  it->second = now_ms;
+  return true;
+}
 
 namespace detail {
 

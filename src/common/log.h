@@ -23,6 +23,12 @@ void set_log_level(LogLevel level);
 /// default) omits the rank field.
 void log_set_rank(int rank);
 
+/// Rate limiter for repetitive diagnostics (spin-wait warnings, drift
+/// alarms, fallback chatter): returns true at most once per `interval_ms`
+/// per `key`, measured on the monotonic clock. Keys are interned in a
+/// process-local table, so pass stable short strings.
+bool log_should_emit(const char* key, double interval_ms);
+
 namespace detail {
 /// Formats "[kacc <ts> LEVEL pid=<pid>[ rank=<r>]] <message>\n" into one
 /// buffer and hands it to a single write(2), so lines from forked rank
@@ -45,3 +51,18 @@ void log_emit(LogLevel level, const std::string& message);
 #define KACC_LOG_WARN(s) KACC_LOG(::kacc::LogLevel::kWarn, s)
 #define KACC_LOG_INFO(s) KACC_LOG(::kacc::LogLevel::kInfo, s)
 #define KACC_LOG_DEBUG(s) KACC_LOG(::kacc::LogLevel::kDebug, s)
+
+/// Warn at most once per interval_ms per key — for hot paths that would
+/// otherwise flood stderr (spin slow-waits, repeated drift alarms). The
+/// level check runs first so a suppressed level never touches the limiter.
+#define KACC_LOG_WARN_RL(key, interval_ms, s)                                 \
+  do {                                                                        \
+    if (static_cast<int>(::kacc::LogLevel::kWarn) <=                          \
+            static_cast<int>(::kacc::log_level()) &&                          \
+        ::kacc::log_should_emit((key), (interval_ms))) {                      \
+      std::ostringstream kacc_log_os_;                                        \
+      kacc_log_os_ << s;                                                      \
+      ::kacc::detail::log_emit(::kacc::LogLevel::kWarn,                       \
+                               kacc_log_os_.str());                           \
+    }                                                                         \
+  } while (0)

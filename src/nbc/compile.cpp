@@ -323,6 +323,7 @@ std::unique_ptr<Schedule> compile_scatter(Comm& comm, const void* sendbuf,
 
   switch (algo) {
     case coll::ScatterAlgo::kParallelRead: {
+      sched->conc_hint = p - 1; // every non-root reads the root at once
       if (rank == root) {
         sched->addrs[static_cast<std::size_t>(root)] = comm.expose(sendbuf);
       }
@@ -367,6 +368,7 @@ std::unique_ptr<Schedule> compile_scatter(Comm& comm, const void* sendbuf,
     case coll::ScatterAlgo::kThrottledRead: {
       const int k = throttle_k(eff, p);
       KACC_CHECK_MSG(k >= 1, "throttled scatter: k >= 1");
+      sched->conc_hint = k;
       if (rank == root) {
         sched->addrs[static_cast<std::size_t>(root)] = comm.expose(sendbuf);
       }
@@ -428,6 +430,7 @@ std::unique_ptr<Schedule> compile_gather(Comm& comm, const void* sendbuf,
 
   switch (algo) {
     case coll::GatherAlgo::kParallelWrite: {
+      sched->conc_hint = p - 1; // every non-root writes the root at once
       if (rank == root) {
         sched->addrs[static_cast<std::size_t>(root)] = comm.expose(recvbuf);
       }
@@ -467,6 +470,7 @@ std::unique_ptr<Schedule> compile_gather(Comm& comm, const void* sendbuf,
     case coll::GatherAlgo::kThrottledWrite: {
       const int k = throttle_k(eff, p);
       KACC_CHECK_MSG(k >= 1, "throttled gather: k >= 1");
+      sched->conc_hint = k;
       if (rank == root) {
         sched->addrs[static_cast<std::size_t>(root)] = comm.expose(recvbuf);
       }
@@ -521,6 +525,7 @@ std::unique_ptr<Schedule> compile_bcast(Comm& comm, void* buf,
 
   switch (algo) {
     case coll::BcastAlgo::kDirectRead: {
+      sched->conc_hint = p - 1; // every non-root reads the root at once
       if (rank == root) {
         sched->addrs[static_cast<std::size_t>(root)] = comm.expose(buf);
       }
@@ -548,6 +553,7 @@ std::unique_ptr<Schedule> compile_bcast(Comm& comm, void* buf,
       // k-nomial read tree (§V-B2): up to k children read a parent's
       // buffer concurrently per round.
       const int k = throttle_k(eff, p);
+      sched->conc_hint = k;
       const int vrank = pmod(rank - root, p);
       auto actual = [&](int v) { return pmod(v + root, p); };
       sched->self_addr = comm.expose(buf);

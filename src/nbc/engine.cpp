@@ -69,6 +69,17 @@ std::shared_ptr<RequestState> Engine::adopt(std::unique_ptr<Schedule> sched,
       grain = std::min(grain, static_cast<std::uint64_t>(bytes));
     }
     r->cap = optimal_admission_cap(comm_->arch(), grain, comm_->size());
+    // When the drift monitor has declared the model stale, re-derive the
+    // cap from observed T_cma instead; keep the model answer until the
+    // monitor has at least one full window of data for some candidate c.
+    const obs::DriftMonitor& drift = comm_->recorder().drift;
+    if (drift.bound() && drift.stale()) {
+      const int oc = optimal_admission_cap_observed(drift, comm_->arch(),
+                                                    grain, comm_->size());
+      if (oc >= 1) {
+        r->cap = oc;
+      }
+    }
   }
   lane_owner_[static_cast<std::size_t>(tag)] = r;
   return r;
@@ -85,9 +96,10 @@ void Engine::start(const std::shared_ptr<RequestState>& r) {
   r->consumed = false;
   r->start_ts = comm_->now_us();
   active_.push_back(r);
-  auto& ctrs = comm_->recorder().counters;
-  ctrs.add(obs::Counter::kNbcRequestsStarted);
-  ctrs.max_update(obs::Counter::kNbcRequestsHwm, active_.size());
+  obs::Recorder& rec = comm_->recorder();
+  rec.counters.add(obs::Counter::kNbcRequestsStarted);
+  rec.counters.max_update(obs::Counter::kNbcRequestsHwm, active_.size());
+  rec.flight_event(obs::FlightKind::kNbcStart, r->root, r->bytes, r->label);
 }
 
 void Engine::complete(const std::shared_ptr<RequestState>& r) {
@@ -95,6 +107,8 @@ void Engine::complete(const std::shared_ptr<RequestState>& r) {
   active_.erase(std::remove(active_.begin(), active_.end(), r),
                 active_.end());
   obs::Recorder& rec = comm_->recorder();
+  rec.flight_event(obs::FlightKind::kNbcComplete, r->root, r->bytes,
+                   r->label);
   if (rec.tracing()) {
     // The request-lifetime span, emitted by hand because the interval is
     // held open across many progress passes (obs::Span is scope-bound).
@@ -118,7 +132,8 @@ bool Engine::progress_once() {
   const std::vector<std::shared_ptr<RequestState>> snap = active_;
   const std::size_t n = snap.size();
   const std::size_t first = static_cast<std::size_t>(rr_++) % n;
-  auto& ctrs = comm_->recorder().counters;
+  obs::Recorder& rec = comm_->recorder();
+  auto& ctrs = rec.counters;
   bool progressed = false;
   bool deferred = false;
 
@@ -145,16 +160,26 @@ bool Engine::progress_once() {
           break;
         }
         comm_->nbc_inflight_add(st.peer, +1);
-        ctrs.max_update(
-            obs::Counter::kNbcInflightHwm,
-            static_cast<std::uint64_t>(comm_->nbc_inflight(st.peer)));
+        const int inflight = comm_->nbc_inflight(st.peer);
+        ctrs.max_update(obs::Counter::kNbcInflightHwm,
+                        static_cast<std::uint64_t>(inflight));
+        rec.flight_event(obs::FlightKind::kStepIssued, st.peer,
+                         static_cast<std::int64_t>(st.bytes), r->label);
+        const double t0 = comm_->now_us();
         try {
+          // The live shared in-flight count at this source is the believed
+          // concurrency for the duration of the step.
+          obs::ConcHintScope conc(rec, inflight);
           execute_step(*comm_, s, st);
         } catch (...) {
           comm_->nbc_inflight_add(st.peer, -1);
           throw;
         }
         comm_->nbc_inflight_add(st.peer, -1);
+        rec.hists.record_us(obs::Hist::kNbcStepLatency,
+                            comm_->now_us() - t0);
+        rec.flight_event(obs::FlightKind::kStepCompleted, st.peer,
+                         static_cast<std::int64_t>(st.bytes), r->label);
         ++s.pc;
         ctrs.add(obs::Counter::kNbcStepsIssued);
         progressed = true;
@@ -169,8 +194,18 @@ bool Engine::progress_once() {
       complete(r);
     }
   }
-  if (!progressed && deferred) {
+  if (progressed) {
+    if (stall_since_ >= 0.0) {
+      // The stall ended: its whole duration is one histogram sample.
+      rec.hists.record_us(obs::Hist::kNbcAdmissionStall,
+                          comm_->now_us() - stall_since_);
+      stall_since_ = -1.0;
+    }
+  } else if (deferred) {
     ctrs.add(obs::Counter::kNbcAdmissionStalls);
+    if (stall_since_ < 0.0) {
+      stall_since_ = comm_->now_us();
+    }
   }
   return progressed;
 }

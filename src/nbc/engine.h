@@ -91,6 +91,11 @@ private:
   std::uint64_t next_seq_ = 0; ///< lane round-robin (SPMD-synchronized)
   std::uint64_t next_id_ = 1;
   std::uint64_t rr_ = 0; ///< progress-pass rotation
+  /// When >= 0: the timestamp the engine first became admission-stalled
+  /// (every pass since deferred a data step and ran nothing else). The
+  /// stall's total duration lands in the kNbcAdmissionStall histogram at
+  /// the next productive pass.
+  double stall_since_ = -1.0;
 };
 
 } // namespace kacc::nbc::detail

@@ -22,6 +22,51 @@ double drain_cost_us(const ArchSpec& s, std::uint64_t chunk_bytes,
   return waves * predict::cma_transfer(s, chunk_bytes, c);
 }
 
+double observed_drain_cost_us(const obs::DriftMonitor& drift,
+                              const ArchSpec& s, std::uint64_t chunk_bytes,
+                              int transfers, int cap) {
+  KACC_CHECK(transfers >= 0 && cap >= 1);
+  if (transfers == 0) {
+    return 0.0;
+  }
+  const auto waves = static_cast<double>(
+      ceil_div(static_cast<std::uint64_t>(transfers),
+               static_cast<std::uint64_t>(cap)));
+  const int c = std::min(cap, transfers);
+  double t = drift.observed_T_cma(chunk_bytes, c);
+  if (t < 0.0) {
+    t = predict::cma_transfer(s, chunk_bytes, c);
+  }
+  return waves * t;
+}
+
+int optimal_admission_cap_observed(const obs::DriftMonitor& drift,
+                                   const ArchSpec& s,
+                                   std::uint64_t chunk_bytes, int p) {
+  if (p <= 2) {
+    // Degenerate as in the model path, but only claim an observed answer
+    // when the c=1 cell actually has data.
+    return drift.observed_T_cma(chunk_bytes, 1) >= 0.0 ? 1 : 0;
+  }
+  const int transfers = p - 1;
+  bool any_observed = drift.observed_T_cma(chunk_bytes, 1) >= 0.0;
+  int best_c = 1;
+  double best_cost =
+      observed_drain_cost_us(drift, s, chunk_bytes, transfers, 1);
+  for (int c : coll::Tuner::throttle_candidates(s, p)) {
+    if (drift.observed_T_cma(chunk_bytes, std::min(c, transfers)) >= 0.0) {
+      any_observed = true;
+    }
+    const double cost =
+        observed_drain_cost_us(drift, s, chunk_bytes, transfers, c);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_c = c;
+    }
+  }
+  return any_observed ? best_c : 0;
+}
+
 int optimal_admission_cap(const ArchSpec& s, std::uint64_t chunk_bytes,
                           int p) {
   if (p <= 2) {

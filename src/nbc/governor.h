@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "obs/drift.h"
 #include "topo/arch_spec.h"
 
 namespace kacc::nbc {
@@ -30,5 +31,23 @@ namespace kacc::nbc {
 [[nodiscard]] double drain_cost_us(const ArchSpec& s,
                                    std::uint64_t chunk_bytes, int transfers,
                                    int cap);
+
+/// drain_cost_us with T_cma taken from the drift monitor's observed means
+/// where a full window of samples exists, falling back to the model
+/// prediction for concurrency levels the run has not yet exercised.
+[[nodiscard]] double observed_drain_cost_us(const obs::DriftMonitor& drift,
+                                            const ArchSpec& s,
+                                            std::uint64_t chunk_bytes,
+                                            int transfers, int cap);
+
+/// optimal_admission_cap recomputed from observed latencies: the argmin
+/// over {1} and the tuner's throttle candidates of the observed drain
+/// makespan. Returns 0 when the monitor has no full-window cell for any
+/// candidate — the caller keeps the model-derived cap then. Consulted by
+/// the progress engine when the drift monitor has declared the model
+/// stale.
+[[nodiscard]] int optimal_admission_cap_observed(
+    const obs::DriftMonitor& drift, const ArchSpec& s,
+    std::uint64_t chunk_bytes, int p);
 
 } // namespace kacc::nbc

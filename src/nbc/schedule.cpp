@@ -61,6 +61,9 @@ void execute_step(Comm& comm, Schedule& s, const Step& st) {
 }
 
 void drain(Comm& comm, Schedule& s) {
+  // Publish the compiled concurrency for the duration of the drain (RAII:
+  // restored even when a step throws).
+  obs::ConcHintScope conc(comm.recorder(), s.conc_hint);
   while (!s.done()) {
     execute_step(comm, s, s.steps[s.pc]);
     ++s.pc;

@@ -60,6 +60,13 @@ struct Schedule {
   int rank = 0;
   int size = 1;
   std::vector<Step> steps;
+  /// Expected concurrent CMA peers at any source this schedule touches —
+  /// the `c` the compiler designed for (p-1 for parallel fan-in/out, the
+  /// throttle k for throttled algorithms, 1 for sequential/pairwise).
+  /// drain() publishes it as the Recorder's conc hint so (op, c)-keyed
+  /// latency histograms and the drift monitor attribute samples to the
+  /// right contention cell.
+  int conc_hint = 1;
 
   // ---- staging owned by the schedule; steps point into these ----
   std::vector<std::uint64_t> addrs; ///< exchanged CMA base addresses

@@ -40,6 +40,7 @@ const char* counter_name(Counter c) {
     case Counter::kNbcStepsDeferred: return "nbc_steps_deferred";
     case Counter::kNbcAdmissionStalls: return "nbc_admission_stalls";
     case Counter::kNbcInflightHwm: return "nbc_inflight_hwm";
+    case Counter::kModelDriftAlarms: return "model_drift_alarms";
     case Counter::kCount: break;
   }
   return "?";

@@ -75,6 +75,9 @@ enum class Counter : int {
   kNbcAdmissionStalls, ///< progress passes where only deferrals remained
   kNbcInflightHwm,     ///< max per-source in-flight count observed at issue
 
+  // Model health (kacc::obs drift monitor, obs/drift.h).
+  kModelDriftAlarms, ///< K-consecutive-window residual breaches raised
+
   kCount
 };
 

@@ -1,0 +1,149 @@
+#include "obs/drift.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace kacc::obs {
+
+const char* drift_size_class_name(int sc) {
+  switch (sc) {
+    case 0: return "<1K";
+    case 1: return "1-4K";
+    case 2: return "4-16K";
+    case 3: return "16-64K";
+    case 4: return "64-256K";
+    case 5: return "256K-1M";
+    case 6: return "1-4M";
+    case 7: return ">=4M";
+    default: return "?";
+  }
+}
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  return (end == s || v <= 0.0) ? fallback : v;
+}
+
+std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') {
+    return fallback;
+  }
+  const long long v = std::atoll(s);
+  return v > 0 ? static_cast<std::uint32_t>(v) : fallback;
+}
+
+} // namespace
+
+DriftConfig DriftConfig::from_env() {
+  DriftConfig cfg;
+  cfg.threshold = env_double("KACC_DRIFT_THRESHOLD", cfg.threshold);
+  cfg.window = env_u32("KACC_DRIFT_WINDOW", cfg.window);
+  cfg.consecutive = env_u32("KACC_DRIFT_K", cfg.consecutive);
+  return cfg;
+}
+
+bool DriftMonitor::observe(std::uint64_t bytes, int c, double observed_us,
+                          double predicted_us) {
+  if (block_ == nullptr || observed_us < 0.0 || predicted_us <= 0.0) {
+    return false;
+  }
+  DriftCell& cell =
+      block_->cells[drift_size_class(bytes)][conc_bucket(c)];
+  // Streaming Welford update of the observed moments.
+  ++cell.count;
+  const double delta = observed_us - cell.mean;
+  cell.mean += delta / static_cast<double>(cell.count);
+  cell.m2 += delta * (observed_us - cell.mean);
+  cell.pred_mean +=
+      (predicted_us - cell.pred_mean) / static_cast<double>(cell.count);
+
+  // Windowed alarm: compare window means, not single samples, so one
+  // interrupted syscall cannot breach.
+  cell.win_obs += observed_us;
+  cell.win_pred += predicted_us;
+  ++cell.win_n;
+  if (cell.win_n < cfg_.window) {
+    return false;
+  }
+  const double obs_mean = cell.win_obs / static_cast<double>(cell.win_n);
+  const double pred_mean = cell.win_pred / static_cast<double>(cell.win_n);
+  cell.win_obs = 0.0;
+  cell.win_pred = 0.0;
+  cell.win_n = 0;
+  const double residual =
+      pred_mean > 0.0 ? std::fabs(obs_mean - pred_mean) / pred_mean : 0.0;
+  if (residual <= cfg_.threshold) {
+    cell.breaches = 0;
+    return false;
+  }
+  if (++cell.breaches < cfg_.consecutive) {
+    return false;
+  }
+  cell.breaches = 0;
+  block_->stale.store(1, std::memory_order_relaxed);
+  block_->alarms.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double DriftMonitor::observed_T_cma(std::uint64_t bytes, int c) const {
+  if (block_ == nullptr) {
+    return -1.0;
+  }
+  const DriftCell& cell =
+      block_->cells[drift_size_class(bytes)][conc_bucket(c)];
+  if (cell.count < cfg_.window) {
+    return -1.0;
+  }
+  return cell.mean;
+}
+
+double DriftMonitor::drift_score(std::uint64_t bytes, int c) const {
+  if (block_ == nullptr) {
+    return -1.0;
+  }
+  const DriftCell& cell =
+      block_->cells[drift_size_class(bytes)][conc_bucket(c)];
+  if (cell.count == 0 || cell.pred_mean <= 0.0) {
+    return -1.0;
+  }
+  return std::fabs(cell.mean - cell.pred_mean) / cell.pred_mean;
+}
+
+DriftSnapshot drift_snapshot(const DriftBlock& block) {
+  DriftSnapshot out;
+  out.stale = block.stale.load(std::memory_order_relaxed) != 0;
+  out.alarms = block.alarms.load(std::memory_order_relaxed);
+  for (int sc = 0; sc < kDriftSizeClasses; ++sc) {
+    for (int cb = 0; cb < kConcBuckets; ++cb) {
+      const DriftCell& cell = block.cells[sc][cb];
+      if (cell.count == 0) {
+        continue;
+      }
+      DriftCellSnapshot snap;
+      snap.size_class = sc;
+      snap.conc = cb;
+      snap.count = cell.count;
+      snap.mean_us = cell.mean;
+      snap.stddev_us =
+          cell.count > 1
+              ? std::sqrt(cell.m2 / static_cast<double>(cell.count - 1))
+              : 0.0;
+      snap.pred_mean_us = cell.pred_mean;
+      snap.score = cell.pred_mean > 0.0
+                       ? std::fabs(cell.mean - cell.pred_mean) / cell.pred_mean
+                       : 0.0;
+      out.cells.push_back(snap);
+    }
+  }
+  return out;
+}
+
+} // namespace kacc::obs

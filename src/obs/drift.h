@@ -1,0 +1,135 @@
+// Online contention-model residual monitoring (kacc::obs). For every
+// instrumented CMA transfer a rank feeds (observed latency, predicted
+// T_cma) into a per-(size-class, concurrency) grid of streaming Welford
+// cells. When the window-mean normalized residual |obs - pred| / pred
+// exceeds a threshold for K consecutive windows the model is declared
+// stale: a sticky flag the tuner and the nbc admission governor consult
+// to re-derive decisions from observed rather than predicted T_cma.
+//
+// Layer discipline: obs sits below model/, so predicted values arrive as
+// plain arguments — the runtimes call predict::cma_transfer themselves.
+// A rank is the only writer of its DriftBlock (plain fields; the sticky
+// flag and alarm count are atomics so the team parent can read them from
+// shared memory at teardown without a race).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/hist.h"
+
+namespace kacc::obs {
+
+/// Size classes of the residual grid (log4 over the CMA-relevant range).
+inline constexpr int kDriftSizeClasses = 8;
+
+/// Maps a transfer size to its class: <1K, 1-4K, 4-16K, 16-64K, 64-256K,
+/// 256K-1M, 1-4M, >=4M.
+[[nodiscard]] constexpr int drift_size_class(std::uint64_t bytes) {
+  if (bytes < (1u << 10)) return 0;
+  if (bytes < (1u << 12)) return 1;
+  if (bytes < (1u << 14)) return 2;
+  if (bytes < (1u << 16)) return 3;
+  if (bytes < (1u << 18)) return 4;
+  if (bytes < (1u << 20)) return 5;
+  if (bytes < (1u << 22)) return 6;
+  return 7;
+}
+
+/// Stable label ("<1K", "1-4K", ...) of a size class.
+const char* drift_size_class_name(int sc);
+
+/// Alarm tuning. Defaults are deliberately tolerant: alarms mean
+/// "consistently off", not "one noisy sample".
+struct DriftConfig {
+  double threshold = 0.5;        ///< normalized window residual to breach
+  std::uint32_t window = 64;     ///< samples per residual window
+  std::uint32_t consecutive = 3; ///< breaching windows before the alarm
+  /// Reads KACC_DRIFT_THRESHOLD / KACC_DRIFT_WINDOW / KACC_DRIFT_K on
+  /// every call (not cached, so tests can retune between runs).
+  static DriftConfig from_env();
+};
+
+/// One (size-class, concurrency) cell: streaming Welford moments of the
+/// observed latency, the running predicted mean, and the windowed alarm
+/// state. Single-writer; all-zero bytes is a valid initial state.
+struct DriftCell {
+  std::uint64_t count;
+  double mean;      ///< observed mean (us)
+  double m2;        ///< Welford sum of squared deviations
+  double pred_mean; ///< predicted mean (us)
+  double win_obs;   ///< current window: observed sum
+  double win_pred;  ///< current window: predicted sum
+  std::uint32_t win_n;
+  std::uint32_t breaches; ///< consecutive breaching windows
+};
+
+/// One rank's residual grid (ShmArena carve-out natively, heap in sim).
+struct alignas(64) DriftBlock {
+  DriftCell cells[kDriftSizeClasses][kConcBuckets];
+  std::atomic<std::uint32_t> stale;  ///< sticky "model is stale" flag
+  std::atomic<std::uint64_t> alarms; ///< alarm edges raised by this rank
+};
+
+/// Per-rank writer view; a no-op until bound (CounterRegistry contract).
+class DriftMonitor {
+public:
+  DriftMonitor() = default;
+
+  void bind(DriftBlock* block, const DriftConfig& cfg) {
+    block_ = block;
+    cfg_ = cfg;
+    if (cfg_.window == 0) cfg_.window = 1;
+    if (cfg_.consecutive == 0) cfg_.consecutive = 1;
+  }
+  [[nodiscard]] bool bound() const { return block_ != nullptr; }
+  [[nodiscard]] const DriftConfig& config() const { return cfg_; }
+
+  /// Feeds one observed-vs-predicted CMA latency (us) for a transfer of
+  /// `bytes` at believed concurrency `c`. Returns true exactly when this
+  /// sample completed the K-th consecutive breaching window (the alarm
+  /// edge — the caller bumps kModelDriftAlarms and logs).
+  bool observe(std::uint64_t bytes, int c, double observed_us,
+               double predicted_us);
+
+  /// True once any alarm fired on this rank (sticky).
+  [[nodiscard]] bool stale() const {
+    return block_ != nullptr &&
+           block_->stale.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Observed mean CMA latency (us) for (bytes, c), or a negative value
+  /// when the matching cell has fewer than one window of samples — the
+  /// governor falls back to the model prediction then.
+  [[nodiscard]] double observed_T_cma(std::uint64_t bytes, int c) const;
+
+  /// Normalized drift score |obs_mean - pred_mean| / pred_mean of the
+  /// matching cell; negative when the cell is empty.
+  [[nodiscard]] double drift_score(std::uint64_t bytes, int c) const;
+
+private:
+  DriftBlock* block_ = nullptr;
+  DriftConfig cfg_;
+};
+
+/// Plain copy of one rank's grid for aggregation and reporting.
+struct DriftCellSnapshot {
+  int size_class = 0;
+  int conc = 0;
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  double stddev_us = 0.0;
+  double pred_mean_us = 0.0;
+  double score = 0.0; ///< |mean - pred_mean| / pred_mean
+};
+
+struct DriftSnapshot {
+  std::vector<DriftCellSnapshot> cells; ///< non-empty cells, grid order
+  bool stale = false;
+  std::uint64_t alarms = 0;
+};
+
+[[nodiscard]] DriftSnapshot drift_snapshot(const DriftBlock& block);
+
+} // namespace kacc::obs

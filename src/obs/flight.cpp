@@ -1,0 +1,90 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace kacc::obs {
+
+const char* flight_kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::kCollBegin: return "coll_begin";
+    case FlightKind::kCollEnd: return "coll_end";
+    case FlightKind::kStepIssued: return "step_issued";
+    case FlightKind::kStepCompleted: return "step_completed";
+    case FlightKind::kSignalPost: return "signal_post";
+    case FlightKind::kSignalWait: return "signal_wait";
+    case FlightKind::kSpinSlowWait: return "spin_slow_wait";
+    case FlightKind::kErrnoClassified: return "errno_classified";
+    case FlightKind::kFallbackActivated: return "fallback_activated";
+    case FlightKind::kDriftAlarm: return "drift_alarm";
+    case FlightKind::kNbcStart: return "nbc_start";
+    case FlightKind::kNbcComplete: return "nbc_complete";
+    case FlightKind::kCount: break;
+  }
+  return "?";
+}
+
+std::size_t flight_slots_from_env() {
+  const char* s = std::getenv("KACC_FLIGHT_SLOTS");
+  if (s == nullptr || *s == '\0') {
+    return 256;
+  }
+  const long long v = std::atoll(s);
+  return v <= 0 ? 0 : static_cast<std::size_t>(v);
+}
+
+void FlightRecorder::bind(void* ring_base, std::size_t slots) {
+  if (ring_base == nullptr || slots == 0) {
+    hdr_ = nullptr;
+    slots_ = nullptr;
+    cap_ = 0;
+    return;
+  }
+  hdr_ = static_cast<FlightRingHeader*>(ring_base);
+  slots_ = reinterpret_cast<FlightRecord*>(hdr_ + 1);
+  cap_ = slots;
+  // The region arrives zeroed; publish the capacity for the drain side.
+  hdr_->capacity = slots;
+}
+
+void FlightRecorder::emit(double ts_us, FlightKind kind, int peer,
+                          std::int64_t arg, const char* tag) {
+  if (hdr_ == nullptr) {
+    return;
+  }
+  const std::uint64_t pos = hdr_->pos.load(std::memory_order_relaxed);
+  FlightRecord& slot = slots_[pos % cap_];
+  slot.ts_us = ts_us;
+  slot.seq = pos;
+  slot.kind = static_cast<std::uint32_t>(kind);
+  slot.peer = peer;
+  slot.arg = arg;
+  if (tag != nullptr) {
+    std::strncpy(slot.tag, tag, sizeof(slot.tag) - 1);
+    slot.tag[sizeof(slot.tag) - 1] = '\0';
+  } else {
+    slot.tag[0] = '\0';
+  }
+  hdr_->pos.store(pos + 1, std::memory_order_release);
+}
+
+void drain_flight_ring(const void* ring_base,
+                       std::vector<FlightRecord>& out) {
+  if (ring_base == nullptr) {
+    return;
+  }
+  const auto* hdr = static_cast<const FlightRingHeader*>(ring_base);
+  const std::uint64_t pos = hdr->pos.load(std::memory_order_acquire);
+  const std::uint64_t cap = hdr->capacity;
+  if (pos == 0 || cap == 0) {
+    return;
+  }
+  const auto* slots = reinterpret_cast<const FlightRecord*>(hdr + 1);
+  const std::uint64_t n = std::min(pos, cap);
+  out.reserve(out.size() + n);
+  for (std::uint64_t i = pos - n; i < pos; ++i) {
+    out.push_back(slots[i % cap]);
+  }
+}
+
+} // namespace kacc::obs

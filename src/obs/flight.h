@@ -1,0 +1,103 @@
+// Always-on black-box flight recorder (kacc::obs). Each rank owns a
+// fixed-size ring of compact binary event records and overwrites the
+// oldest on wrap — unlike the trace ring (which drops NEW records so the
+// Perfetto stream stays contiguous), the black box keeps the LAST events
+// before a death. Writes are wait-free: one slot memcpy plus one release
+// store of the position; the team parent only reads a rank's ring after
+// that rank has quiesced or died, so records below `pos` are complete.
+//
+// On TimeoutError / PeerDiedError / a fatal signal the parent drains all
+// rings and dumps them, merged and time-sorted, alongside counters,
+// histograms and drift cells to the KACC_POSTMORTEM bundle
+// (obs/postmortem.h).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace kacc::obs {
+
+/// Event identities. Stable names live in flight.cpp; append only.
+enum class FlightKind : std::uint32_t {
+  kCollBegin = 0,     ///< collective entry (arg = bytes, tag = algorithm)
+  kCollEnd,           ///< collective return
+  kStepIssued,        ///< nbc data step issued (arg = bytes, tag = label)
+  kStepCompleted,     ///< nbc data step completed
+  kSignalPost,        ///< signal/nbc_signal posted (peer = dst)
+  kSignalWait,        ///< signal consumed (peer = src)
+  kSpinSlowWait,      ///< blocking wait left the hot burst (tag = site)
+  kErrnoClassified,   ///< CMA errno classified (arg = errno, tag = op)
+  kFallbackActivated, ///< sticky CMA -> two-copy degradation engaged
+  kDriftAlarm,        ///< model-residual alarm edge (arg = bytes)
+  kNbcStart,          ///< nbc request activated (tag = label)
+  kNbcComplete,       ///< nbc request completed (tag = label)
+  kCount
+};
+
+const char* flight_kind_name(FlightKind k);
+
+/// One event. Fixed-size, pointer-free, shm-safe.
+struct FlightRecord {
+  double ts_us = 0.0;     ///< rank clock (virtual in sim, wall native)
+  std::uint64_t seq = 0;  ///< per-rank emission ordinal
+  std::uint32_t kind = 0; ///< FlightKind
+  std::int32_t peer = -1;
+  std::int64_t arg = -1; ///< bytes / errno / kind-specific detail
+  char tag[16] = {};
+};
+static_assert(sizeof(FlightRecord) == 48, "ring layout depends on this");
+
+/// Ring header: a single-writer overwrite ring. `pos` counts emissions
+/// forever; slot = pos % capacity. Stored with release AFTER the record
+/// so a post-quiesce reader sees only complete records.
+struct FlightRingHeader {
+  std::atomic<std::uint64_t> pos;
+  std::uint64_t capacity;
+  char pad[48];
+};
+static_assert(sizeof(FlightRingHeader) == 64);
+
+/// Bytes one ring occupies for `slots` records.
+[[nodiscard]] constexpr std::size_t flight_ring_bytes(std::size_t slots) {
+  return sizeof(FlightRingHeader) + slots * sizeof(FlightRecord);
+}
+
+/// Per-rank ring slot count: KACC_FLIGHT_SLOTS (0 disables the recorder),
+/// default 256. Read on every call so tests can retune between teams.
+[[nodiscard]] std::size_t flight_slots_from_env();
+
+/// Producer side. A no-op until bound (CounterRegistry contract).
+class FlightRecorder {
+public:
+  FlightRecorder() = default;
+
+  /// Attaches to a zero-initialized region of flight_ring_bytes(slots).
+  void bind(void* ring_base, std::size_t slots);
+
+  [[nodiscard]] bool bound() const { return hdr_ != nullptr; }
+
+  /// Records one event; wait-free, overwrites the oldest slot on wrap.
+  void emit(double ts_us, FlightKind kind, int peer, std::int64_t arg,
+            const char* tag);
+
+private:
+  FlightRingHeader* hdr_ = nullptr;
+  FlightRecord* slots_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
+/// Reader side: appends the surviving (last min(pos, capacity)) records in
+/// emission order. Only valid after the producer has quiesced or died.
+void drain_flight_ring(const void* ring_base,
+                       std::vector<FlightRecord>& out);
+
+/// One rank's surviving events, for TeamObs and the post-mortem bundle.
+struct RankFlight {
+  int rank = 0;
+  std::vector<FlightRecord> events;
+};
+
+} // namespace kacc::obs

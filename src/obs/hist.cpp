@@ -1,0 +1,190 @@
+#include "obs/hist.h"
+
+#include <cstdio>
+
+namespace kacc::obs {
+
+const char* conc_bucket_name(int bucket) {
+  switch (bucket) {
+    case 0: return "c1";
+    case 1: return "c2";
+    case 2: return "c4";
+    case 3: return "c8";
+    case 4: return "c16";
+    case 5: return "c32+";
+    default: return "c?";
+  }
+}
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kCmaReadC1: return "cma_read_ns_c1";
+    case Hist::kCmaReadC2: return "cma_read_ns_c2";
+    case Hist::kCmaReadC4: return "cma_read_ns_c4";
+    case Hist::kCmaReadC8: return "cma_read_ns_c8";
+    case Hist::kCmaReadC16: return "cma_read_ns_c16";
+    case Hist::kCmaReadC32: return "cma_read_ns_c32p";
+    case Hist::kCmaWriteC1: return "cma_write_ns_c1";
+    case Hist::kCmaWriteC2: return "cma_write_ns_c2";
+    case Hist::kCmaWriteC4: return "cma_write_ns_c4";
+    case Hist::kCmaWriteC8: return "cma_write_ns_c8";
+    case Hist::kCmaWriteC16: return "cma_write_ns_c16";
+    case Hist::kCmaWriteC32: return "cma_write_ns_c32p";
+    case Hist::kCollLatency: return "coll_latency_ns";
+    case Hist::kNbcStepLatency: return "nbc_step_ns";
+    case Hist::kNbcAdmissionStall: return "nbc_admission_stall_ns";
+    case Hist::kCount: break;
+  }
+  return "?";
+}
+
+HistSnapshot hist_snapshot(const HistBlock& block) {
+  HistSnapshot out{};
+  for (int h = 0; h < kHistCount; ++h) {
+    for (int b = 0; b < kHistBuckets; ++b) {
+      out[static_cast<std::size_t>(h)][static_cast<std::size_t>(b)] =
+          block.b[h][b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void accumulate(HistSnapshot& dst, const HistSnapshot& src) {
+  for (int h = 0; h < kHistCount; ++h) {
+    for (int b = 0; b < kHistBuckets; ++b) {
+      dst[static_cast<std::size_t>(h)][static_cast<std::size_t>(b)] +=
+          src[static_cast<std::size_t>(h)][static_cast<std::size_t>(b)];
+    }
+  }
+}
+
+std::uint64_t hist_count(const HistSnapshot& s, Hist h) {
+  std::uint64_t n = 0;
+  for (std::uint64_t v : s[static_cast<std::size_t>(static_cast<int>(h))]) {
+    n += v;
+  }
+  return n;
+}
+
+double hist_quantile_ns(const HistSnapshot& s, Hist h, double q) {
+  const auto& row = s[static_cast<std::size_t>(static_cast<int>(h))];
+  const std::uint64_t total = hist_count(s, h);
+  if (total == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil) in cumulative bucket counts.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.999999);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    seen += row[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      return bucket_mid_ns(b);
+    }
+  }
+  return bucket_mid_ns(kHistBuckets - 1);
+}
+
+double hist_sum_ns(const HistSnapshot& s, Hist h) {
+  const auto& row = s[static_cast<std::size_t>(static_cast<int>(h))];
+  double sum = 0.0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    const std::uint64_t n = row[static_cast<std::size_t>(b)];
+    if (n != 0) {
+      sum += static_cast<double>(n) * bucket_mid_ns(b);
+    }
+  }
+  return sum;
+}
+
+namespace {
+
+/// Canonical fixed-point rendering shared by the JSON and prom writers so
+/// identical snapshots produce byte-identical text.
+void append_fixed(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  out += buf;
+}
+
+} // namespace
+
+std::string hist_summary_json(const HistSnapshot& s) {
+  std::string out = "{";
+  bool first = true;
+  for (int h = 0; h < kHistCount; ++h) {
+    const auto hist = static_cast<Hist>(h);
+    const std::uint64_t n = hist_count(s, hist);
+    if (n == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += hist_name(hist);
+    out += "\":{\"count\":";
+    out += std::to_string(n);
+    out += ",\"p50_ns\":";
+    append_fixed(out, hist_quantile_ns(s, hist, 0.5));
+    out += ",\"p99_ns\":";
+    append_fixed(out, hist_quantile_ns(s, hist, 0.99));
+    out += ",\"max_ns\":";
+    // Upper edge of the highest non-empty bucket: a conservative max.
+    int top = 0;
+    const auto& row = s[static_cast<std::size_t>(h)];
+    for (int b = 0; b < kHistBuckets; ++b) {
+      if (row[static_cast<std::size_t>(b)] != 0) {
+        top = b;
+      }
+    }
+    out += std::to_string(top >= kHistBuckets - 1
+                              ? bucket_lower_ns(kHistBuckets - 1)
+                              : bucket_lower_ns(top + 1));
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+std::string hist_prom_text(const HistSnapshot& s,
+                           const std::string& runtime) {
+  std::string out;
+  for (int h = 0; h < kHistCount; ++h) {
+    const auto hist = static_cast<Hist>(h);
+    const auto& row = s[static_cast<std::size_t>(h)];
+    const std::uint64_t total = hist_count(s, hist);
+    if (total == 0) {
+      continue;
+    }
+    const std::string metric = std::string("kacc_") + hist_name(hist);
+    out += "# TYPE " + metric + " histogram\n";
+    int top = 0;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      if (row[static_cast<std::size_t>(b)] != 0) {
+        top = b;
+      }
+    }
+    std::uint64_t cum = 0;
+    for (int b = 0; b <= top; ++b) {
+      cum += row[static_cast<std::size_t>(b)];
+      out += metric + "_bucket{runtime=\"" + runtime + "\",le=\"" +
+             std::to_string(b >= kHistBuckets - 1
+                                ? bucket_lower_ns(kHistBuckets - 1)
+                                : bucket_lower_ns(b + 1)) +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    out += metric + "_bucket{runtime=\"" + runtime + "\",le=\"+Inf\"} " +
+           std::to_string(total) + "\n";
+    out += metric + "_sum{runtime=\"" + runtime + "\"} ";
+    append_fixed(out, hist_sum_ns(s, hist));
+    out += "\n" + metric + "_count{runtime=\"" + runtime + "\"} " +
+           std::to_string(total) + "\n";
+  }
+  return out;
+}
+
+} // namespace kacc::obs

@@ -1,0 +1,161 @@
+// Lock-free log2-bucket latency histograms (kacc::obs). HDR-style with a
+// fixed 64-bucket layout: bucket i >= 1 holds nanosecond values in
+// [2^(i-1), 2^i), bucket 0 holds exactly 0, bucket 63 absorbs everything
+// from 2^62 up. Recording a sample is one relaxed fetch_add into the
+// rank's HistBlock — no locks, no allocation, no syscalls — so the hot
+// CMA path can sample every transfer.
+//
+// Placement mirrors CounterBlock: a typed ShmArena carve-out per native
+// rank (the parent snapshots at teardown), heap blocks per sim rank.
+// All-zero bytes is a valid initial state.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace kacc::obs {
+
+/// Concurrency buckets for (op, c)-keyed CMA latency: believed concurrent
+/// readers/writers at the source process, the `c` of the paper's gamma_c.
+inline constexpr int kConcBuckets = 6; // 1, 2, 3-4, 5-8, 9-16, 17+
+
+/// Maps a concurrency level to its bucket index [0, kConcBuckets).
+[[nodiscard]] constexpr int conc_bucket(int c) {
+  if (c <= 1) return 0;
+  if (c == 2) return 1;
+  if (c <= 4) return 2;
+  if (c <= 8) return 3;
+  if (c <= 16) return 4;
+  return 5;
+}
+
+/// Stable label of a concurrency bucket ("c1", "c2", "c4", ...).
+const char* conc_bucket_name(int bucket);
+
+/// Histogram inventory. Keep names in hist.cpp in sync; append only (the
+/// metrics schema is consumed by external tooling).
+enum class Hist : int {
+  // CMA transfer latency keyed by (op, concurrency bucket).
+  kCmaReadC1 = 0,
+  kCmaReadC2,
+  kCmaReadC4,
+  kCmaReadC8,
+  kCmaReadC16,
+  kCmaReadC32,
+  kCmaWriteC1,
+  kCmaWriteC2,
+  kCmaWriteC4,
+  kCmaWriteC8,
+  kCmaWriteC16,
+  kCmaWriteC32,
+  // Collective end-to-end latency (any algorithm, any transport).
+  kCollLatency,
+  // Nonblocking collectives: data-step issue -> complete, and the length
+  // of whole-pass admission stalls (every runnable step deferred).
+  kNbcStepLatency,
+  kNbcAdmissionStall,
+
+  kCount
+};
+
+inline constexpr int kHistCount = static_cast<int>(Hist::kCount);
+inline constexpr int kHistBuckets = 64;
+
+/// Stable short name ("cma_read_ns_c1", ...) used by metrics output.
+const char* hist_name(Hist h);
+
+/// The (op, concurrency) CMA histogram for a believed concurrency `c`.
+[[nodiscard]] constexpr Hist cma_hist(bool write, int c) {
+  const int base = write ? static_cast<int>(Hist::kCmaWriteC1)
+                         : static_cast<int>(Hist::kCmaReadC1);
+  return static_cast<Hist>(base + conc_bucket(c));
+}
+
+/// Bucket index for a nanosecond value: 0 -> 0, otherwise bit_width
+/// clamped to 63 (so bucket i covers [2^(i-1), 2^i) for i in [1, 62]).
+[[nodiscard]] constexpr int bucket_of(std::uint64_t ns) {
+  const int b = std::bit_width(ns);
+  return b > kHistBuckets - 1 ? kHistBuckets - 1 : b;
+}
+
+/// Inclusive lower bound (ns) of a bucket.
+[[nodiscard]] constexpr std::uint64_t bucket_lower_ns(int bucket) {
+  return bucket <= 0 ? 0 : (std::uint64_t{1} << (bucket - 1));
+}
+
+/// Representative value (ns) of a bucket: the geometric-ish midpoint used
+/// for quantile and sum estimation (bucket 0 is exactly 0).
+[[nodiscard]] constexpr double bucket_mid_ns(int bucket) {
+  return bucket <= 0 ? 0.0
+                     : 1.5 * static_cast<double>(bucket_lower_ns(bucket));
+}
+
+/// One rank's histogram storage: kHistCount x 64 relaxed atomic buckets.
+struct alignas(64) HistBlock {
+  std::atomic<std::uint64_t> b[kHistCount][kHistBuckets];
+};
+
+/// Per-rank writer view; a no-op until bound (same contract as
+/// CounterRegistry). record_* is exactly one fetch_add per sample.
+class HistRegistry {
+public:
+  HistRegistry() = default;
+
+  void bind(HistBlock* block) { block_ = block; }
+  [[nodiscard]] bool bound() const { return block_ != nullptr; }
+
+  void record_ns(Hist h, std::uint64_t ns) const {
+    if (block_ != nullptr) {
+      block_->b[static_cast<int>(h)][bucket_of(ns)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Microsecond convenience for callers on the us-denominated clocks.
+  void record_us(Hist h, double us) const {
+    if (block_ != nullptr) {
+      const double ns = us * 1000.0;
+      record_ns(h, ns <= 0.0 ? 0
+                             : static_cast<std::uint64_t>(ns + 0.5));
+    }
+  }
+
+private:
+  HistBlock* block_ = nullptr;
+};
+
+/// Plain copy of one block, for aggregation and reporting.
+using HistSnapshot =
+    std::array<std::array<std::uint64_t, kHistBuckets>, kHistCount>;
+
+[[nodiscard]] HistSnapshot hist_snapshot(const HistBlock& block);
+
+/// dst += src, element-wise.
+void accumulate(HistSnapshot& dst, const HistSnapshot& src);
+
+/// Total sample count of one histogram.
+[[nodiscard]] std::uint64_t
+hist_count(const HistSnapshot& s, Hist h);
+
+/// Bucket-midpoint quantile estimate in ns (q in [0, 1]); 0 when empty.
+[[nodiscard]] double hist_quantile_ns(const HistSnapshot& s, Hist h,
+                                      double q);
+
+/// Midpoint-weighted sample sum in ns (the Prometheus `_sum` estimate).
+[[nodiscard]] double hist_sum_ns(const HistSnapshot& s, Hist h);
+
+/// Compact JSON object ({"<name>":{"count":..,"p50_ns":..,...},...})
+/// covering only histograms with samples; "{}" when all are empty.
+/// Deterministic, locale-independent formatting.
+[[nodiscard]] std::string hist_summary_json(const HistSnapshot& s);
+
+/// Prometheus text exposition of every non-empty histogram (cumulative
+/// `le` buckets, `_sum`, `_count`), prefixed `kacc_`. `runtime` becomes a
+/// label on every series.
+[[nodiscard]] std::string hist_prom_text(const HistSnapshot& s,
+                                         const std::string& runtime);
+
+} // namespace kacc::obs

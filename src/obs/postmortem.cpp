@@ -1,0 +1,224 @@
+#include "obs/postmortem.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace kacc::obs {
+namespace {
+
+/// Canonical fixed-point formatting shared with the trace renderer so
+/// identical inputs render byte-identically.
+void append_us(std::string& out, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out += buf;
+}
+
+/// Conservative JSON string escaping: quote/backslash escaped, other
+/// control bytes dropped (reasons and tags are our own short strings).
+void append_escaped(std::string& out, const char* s, std::size_t max_len) {
+  for (std::size_t i = 0; i < max_len && s[i] != '\0'; ++i) {
+    const char c = s[i];
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+}
+
+void append_flight_event(std::string& out, int rank,
+                         const FlightRecord& e) {
+  out += "{\"ts_us\":";
+  append_us(out, e.ts_us);
+  out += ",\"rank\":" + std::to_string(rank) +
+         ",\"seq\":" + std::to_string(e.seq) + ",\"kind\":\"";
+  out += flight_kind_name(static_cast<FlightKind>(e.kind));
+  out += "\",\"peer\":" + std::to_string(e.peer) +
+         ",\"arg\":" + std::to_string(e.arg) + ",\"tag\":\"";
+  append_escaped(out, e.tag, sizeof(e.tag));
+  out += "\"}";
+}
+
+} // namespace
+
+bool postmortem_enabled() {
+  const char* s = std::getenv("KACC_POSTMORTEM");
+  return s != nullptr && *s != '\0';
+}
+
+std::string postmortem_json(const TeamObs& obs, const std::string& runtime,
+                            const std::string& reason, int failing_rank) {
+  std::string out = "{\"runtime\":\"" + runtime + "\",\"reason\":\"";
+  append_escaped(out, reason.c_str(), reason.size());
+  out += "\",\"failing_rank\":" + std::to_string(failing_rank) +
+         ",\"nranks\":" + std::to_string(obs.per_rank.size());
+
+  // Every surviving black-box event, merged and time-sorted. The (ts,
+  // rank, seq) key totally orders deterministic inputs.
+  struct Tagged {
+    int rank;
+    const FlightRecord* rec;
+  };
+  std::vector<Tagged> merged;
+  for (const RankFlight& rf : obs.flights) {
+    for (const FlightRecord& e : rf.events) {
+      merged.push_back(Tagged{rf.rank, &e});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Tagged& a, const Tagged& b) {
+              if (a.rec->ts_us != b.rec->ts_us) {
+                return a.rec->ts_us < b.rec->ts_us;
+              }
+              if (a.rank != b.rank) {
+                return a.rank < b.rank;
+              }
+              return a.rec->seq < b.rec->seq;
+            });
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (i != 0) {
+      out += ",\n";
+    }
+    append_flight_event(out, merged[i].rank, *merged[i].rec);
+  }
+  out += ']';
+
+  // The failing rank's own tail, in emission order: the first thing a
+  // human reads. Up to the last 64 events.
+  out += ",\"failing_rank_last_events\":[";
+  for (const RankFlight& rf : obs.flights) {
+    if (rf.rank != failing_rank) {
+      continue;
+    }
+    const std::size_t n = rf.events.size();
+    const std::size_t from = n > 64 ? n - 64 : 0;
+    for (std::size_t i = from; i < n; ++i) {
+      if (i != from) {
+        out += ",\n";
+      }
+      append_flight_event(out, rf.rank, rf.events[i]);
+    }
+    break;
+  }
+  out += ']';
+
+  out += ",\"counters\":" +
+         metrics_json(runtime, obs.totals, obs.per_rank);
+
+  // Non-empty histograms with their raw non-zero buckets, so a reader can
+  // recompute any quantile offline.
+  out += ",\"histograms\":{";
+  bool first_hist = true;
+  for (int h = 0; h < kHistCount; ++h) {
+    const auto hist = static_cast<Hist>(h);
+    const std::uint64_t n = hist_count(obs.hist_totals, hist);
+    if (n == 0) {
+      continue;
+    }
+    if (!first_hist) {
+      out += ',';
+    }
+    first_hist = false;
+    out += '"';
+    out += hist_name(hist);
+    out += "\":{\"count\":" + std::to_string(n) + ",\"buckets\":[";
+    const auto& row = obs.hist_totals[static_cast<std::size_t>(h)];
+    bool first_bucket = true;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      const std::uint64_t v = row[static_cast<std::size_t>(b)];
+      if (v == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out += ',';
+      }
+      first_bucket = false;
+      out += '[' + std::to_string(bucket_lower_ns(b)) + ',' +
+             std::to_string(v) + ']';
+    }
+    out += "]}";
+  }
+  out += '}';
+
+  // Drift state: aggregate alarms/staleness plus every non-empty cell.
+  std::uint64_t alarms = 0;
+  std::string stale_ranks;
+  for (std::size_t r = 0; r < obs.drift_per_rank.size(); ++r) {
+    alarms += obs.drift_per_rank[r].alarms;
+    if (obs.drift_per_rank[r].stale) {
+      if (!stale_ranks.empty()) {
+        stale_ranks += ',';
+      }
+      stale_ranks += std::to_string(r);
+    }
+  }
+  out += ",\"drift\":{\"alarms\":" + std::to_string(alarms) +
+         ",\"stale_ranks\":[" + stale_ranks + "],\"cells\":[";
+  bool first_cell = true;
+  for (std::size_t r = 0; r < obs.drift_per_rank.size(); ++r) {
+    for (const DriftCellSnapshot& cell : obs.drift_per_rank[r].cells) {
+      if (!first_cell) {
+        out += ",\n";
+      }
+      first_cell = false;
+      out += "{\"rank\":" + std::to_string(r) + ",\"size_class\":\"";
+      out += drift_size_class_name(cell.size_class);
+      out += "\",\"c\":\"";
+      out += conc_bucket_name(cell.conc);
+      out += "\",\"count\":" + std::to_string(cell.count) + ",\"mean_us\":";
+      append_us(out, cell.mean_us);
+      out += ",\"stddev_us\":";
+      append_us(out, cell.stddev_us);
+      out += ",\"pred_mean_us\":";
+      append_us(out, cell.pred_mean_us);
+      out += ",\"score\":";
+      append_us(out, cell.score);
+      out += '}';
+    }
+  }
+  out += "]}}\n";
+  return out;
+}
+
+std::string maybe_dump_postmortem(const TeamObs& obs,
+                                  const std::string& runtime,
+                                  const std::string& reason,
+                                  int failing_rank) {
+  // Read per call so tests can point each run at a fresh directory.
+  const char* dir = std::getenv("KACC_POSTMORTEM");
+  if (dir == nullptr || *dir == '\0') {
+    return "";
+  }
+  ::mkdir(dir, 0755); // best-effort; EEXIST is the common case
+
+  // Process-wide ordinal in the filename only — the document body stays
+  // deterministic across identical runs.
+  static std::atomic<int> ordinal{0};
+  const int n = ordinal.fetch_add(1, std::memory_order_relaxed);
+  const std::string path =
+      std::string(dir) + "/postmortem_" + std::to_string(n) + ".json";
+
+  const std::string doc = postmortem_json(obs, runtime, reason, failing_rank);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    KACC_LOG_ERROR("KACC_POSTMORTEM: cannot open " << path);
+    return "";
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  KACC_LOG_WARN("post-mortem bundle written: " << path
+                                               << " (reason: " << reason
+                                               << ")");
+  return path;
+}
+
+} // namespace kacc::obs

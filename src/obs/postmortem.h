@@ -1,0 +1,38 @@
+// Post-mortem bundles (kacc::obs). When a team run dies — TimeoutError,
+// PeerDiedError, a rank killed by a signal — the surviving parent (native)
+// or the harness (sim) merges every rank's flight-recorder events,
+// counters, histograms and drift cells into one JSON document and writes
+// it under KACC_POSTMORTEM=<dir> as postmortem_<n>.json (n = process-wide
+// dump ordinal, in the filename only so the document itself stays
+// deterministic). In the simulator, identical failing runs produce
+// byte-identical bundles.
+#pragma once
+
+#include <string>
+
+#include "obs/report.h"
+
+namespace kacc::obs {
+
+/// True when KACC_POSTMORTEM names a directory (read per call).
+[[nodiscard]] bool postmortem_enabled();
+
+/// Renders the bundle document. Deterministic for deterministic inputs:
+/// events are merged across ranks and sorted by (ts_us, rank, seq), all
+/// numbers use locale-independent fixed-point formatting, and nothing
+/// process-specific (pids, ordinals, wall dates) enters the body.
+/// `reason` is the failure description (JSON-escaped here); `failing_rank`
+/// is the rank blamed for the death, or -1 when unknown.
+[[nodiscard]] std::string postmortem_json(const TeamObs& obs,
+                                          const std::string& runtime,
+                                          const std::string& reason,
+                                          int failing_rank);
+
+/// Writes the bundle when KACC_POSTMORTEM is set (creating the directory
+/// best-effort). Returns the path written, or "" when disabled/failed.
+std::string maybe_dump_postmortem(const TeamObs& obs,
+                                  const std::string& runtime,
+                                  const std::string& reason,
+                                  int failing_rank);
+
+} // namespace kacc::obs

@@ -118,6 +118,32 @@ std::size_t max_events() {
 
 } // namespace
 
+std::string trace_drop_summary(const std::vector<RankTrace>& ranks,
+                               std::size_t slots) {
+  std::uint64_t total = 0;
+  std::uint64_t worst = 0;
+  std::string per_rank;
+  for (const RankTrace& rt : ranks) {
+    if (rt.dropped == 0) {
+      continue;
+    }
+    total += rt.dropped;
+    worst = std::max(worst, rt.dropped);
+    if (!per_rank.empty()) {
+      per_rank += ", ";
+    }
+    per_rank += "rank " + std::to_string(rt.rank) + ": " +
+                std::to_string(rt.dropped);
+  }
+  if (total == 0) {
+    return "";
+  }
+  return "trace ring overflow: " + std::to_string(total) +
+         " span records dropped (" + per_rank + "); raise trace_slots to >= " +
+         std::to_string(slots + worst) + " (currently " +
+         std::to_string(slots) + ") or lower trace volume";
+}
+
 std::string trace_json(const std::vector<RankTrace>& ranks, int pid,
                        const std::string& label) {
   std::string out = "{\"traceEvents\":[";
@@ -271,8 +297,25 @@ void maybe_dump_metrics(const TeamObs& obs, const std::string& runtime) {
   if (dest.empty()) {
     return;
   }
-  const std::string line =
-      metrics_json(runtime, obs.totals, obs.per_rank) + "\n";
+  std::string line = metrics_json(runtime, obs.totals, obs.per_rank);
+  // Splice histogram summaries and drift state into the same one-line
+  // object: drop the closing brace, append the extra members.
+  line.pop_back();
+  line += ",\"hists\":";
+  line += hist_summary_json(obs.hist_totals);
+  std::uint64_t alarms = 0;
+  std::string stale_ranks;
+  for (std::size_t r = 0; r < obs.drift_per_rank.size(); ++r) {
+    alarms += obs.drift_per_rank[r].alarms;
+    if (obs.drift_per_rank[r].stale) {
+      if (!stale_ranks.empty()) {
+        stale_ranks += ',';
+      }
+      stale_ranks += std::to_string(r);
+    }
+  }
+  line += ",\"drift\":{\"alarms\":" + std::to_string(alarms) +
+          ",\"stale_ranks\":[" + stale_ranks + "]}}\n";
   if (dest == "-" || dest == "stderr") {
     std::fwrite(line.data(), 1, line.size(), stderr);
     return;
@@ -283,6 +326,24 @@ void maybe_dump_metrics(const TeamObs& obs, const std::string& runtime) {
     return;
   }
   std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
+}
+
+void maybe_dump_metrics_prom(const TeamObs& obs,
+                             const std::string& runtime) {
+  // Read per call (unlike KACC_METRICS): the snapshot semantics are
+  // overwrite-latest, so tests retarget it between runs.
+  const char* dest = std::getenv("KACC_METRICS_PROM");
+  if (dest == nullptr || *dest == '\0') {
+    return;
+  }
+  const std::string text = hist_prom_text(obs.hist_totals, runtime);
+  std::FILE* f = std::fopen(dest, "w");
+  if (f == nullptr) {
+    KACC_LOG_ERROR("KACC_METRICS_PROM: cannot open " << dest);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
 }
 

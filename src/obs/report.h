@@ -9,8 +9,12 @@
 // Environment:
 //   KACC_TRACE=<file>    collect every run's spans and write one Perfetto
 //                        JSON file at process exit (pid = run ordinal).
-//   KACC_METRICS=<file>  append one JSON line of counters per team run
-//                        ("-" or "stderr" for stderr).
+//   KACC_METRICS=<file>  append one JSON line of counters (plus histogram
+//                        summaries and drift state) per team run ("-" or
+//                        "stderr" for stderr).
+//   KACC_METRICS_PROM=<file>  overwrite <file> with a Prometheus text
+//                        snapshot of the team-total latency histograms
+//                        after each run (read per run, not cached).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +39,14 @@ struct TeamObs {
   CounterSnapshot totals{};
   /// Empty when tracing was disabled for the run.
   std::vector<RankTrace> traces;
+  /// Latency histograms (obs/hist.h); empty when the runtime predates them.
+  std::vector<HistSnapshot> hist_per_rank;
+  HistSnapshot hist_totals{};
+  /// Model-residual grids (obs/drift.h), one per rank when collected.
+  std::vector<DriftSnapshot> drift_per_rank;
+  /// Surviving flight-recorder events per rank (obs/flight.h); empty when
+  /// the recorder was disabled (KACC_FLIGHT_SLOTS=0).
+  std::vector<RankFlight> flights;
 
   [[nodiscard]] std::uint64_t total(Counter c) const {
     return get(totals, c);
@@ -43,6 +55,13 @@ struct TeamObs {
     return get(per_rank[static_cast<std::size_t>(rank)], c);
   }
 };
+
+/// One-line teardown summary of trace-ring overflow, or "" when no rank
+/// dropped records: per-rank drop counts plus a ring-size suggestion (a
+/// lower bound — the parent drains concurrently, so `slots + max dropped`
+/// is the least capacity that could have held the worst burst).
+[[nodiscard]] std::string
+trace_drop_summary(const std::vector<RankTrace>& ranks, std::size_t slots);
 
 /// Renders rank traces as a complete Chrome trace-event JSON document
 /// ({"traceEvents":[...]}). Events are sorted per rank by (ts, -dur) so
@@ -72,5 +91,10 @@ void flush_trace();
 
 /// Emits the KACC_METRICS line for one team run (no-op when unset).
 void maybe_dump_metrics(const TeamObs& obs, const std::string& runtime);
+
+/// Overwrites KACC_METRICS_PROM with a Prometheus text snapshot of the
+/// team-total histograms (no-op when unset; the env is read on every call
+/// so tests can point it at a temp file per run).
+void maybe_dump_metrics_prom(const TeamObs& obs, const std::string& runtime);
 
 } // namespace kacc::obs

@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "obs/drift.h"
+#include "obs/flight.h"
+#include "obs/hist.h"
 #include "sim/breakdown.h"
 
 namespace kacc::obs {
@@ -130,15 +133,78 @@ std::uint64_t trace_ring_dropped(void* ring_base);
 /// plain function pointer so obs stays below the runtime layer.
 struct Recorder {
   CounterRegistry counters;
+  HistRegistry hists;
+  DriftMonitor drift;
+  FlightRecorder flight;
   TraceSink* sink = nullptr;
   double (*clock)(void*) = nullptr;
   void* clock_ctx = nullptr;
   int rank = 0;
+  /// Believed concurrent CMA peers at the source right now (the `c` of
+  /// gamma_c). Set by whoever knows the schedule shape — the nbc engine
+  /// from live in-flight counts, blocking drains from the compiled
+  /// algorithm's fan-out — via ConcHintScope.
+  int conc_hint = 1;
 
   [[nodiscard]] bool tracing() const { return sink != nullptr; }
   [[nodiscard]] double now_us() const {
     return clock != nullptr ? clock(clock_ctx) : 0.0;
   }
+
+  /// Black-box event; a single wait-free slot write when the flight
+  /// recorder is bound, nothing otherwise.
+  void flight_event(FlightKind kind, int peer = -1, std::int64_t arg = -1,
+                    const char* tag = nullptr) {
+    if (flight.bound()) {
+      flight.emit(now_us(), kind, peer, arg, tag);
+    }
+  }
+};
+
+/// RAII around one collective call: records end-to-end latency into
+/// Hist::kCollLatency and brackets the call with coll_begin / coll_end
+/// flight events.
+class CollScope {
+public:
+  CollScope(Recorder& rec, std::int64_t bytes, int root, const char* tag)
+      : rec_(rec), bytes_(bytes), root_(root) {
+    if (tag != nullptr) {
+      std::strncpy(tag_, tag, sizeof(tag_) - 1);
+    }
+    t0_ = rec_.now_us();
+    rec_.flight_event(FlightKind::kCollBegin, root_, bytes_, tag_);
+  }
+
+  CollScope(const CollScope&) = delete;
+  CollScope& operator=(const CollScope&) = delete;
+
+  ~CollScope() {
+    const double dt = rec_.now_us() - t0_;
+    rec_.hists.record_us(Hist::kCollLatency, dt);
+    rec_.flight_event(FlightKind::kCollEnd, root_, bytes_, tag_);
+  }
+
+private:
+  Recorder& rec_;
+  double t0_ = 0.0;
+  std::int64_t bytes_;
+  int root_;
+  char tag_[16] = {};
+};
+
+/// Scoped override of Recorder::conc_hint (exception-safe restore).
+class ConcHintScope {
+public:
+  ConcHintScope(Recorder& rec, int hint) : rec_(rec), prev_(rec.conc_hint) {
+    rec_.conc_hint = hint > 1 ? hint : 1;
+  }
+  ConcHintScope(const ConcHintScope&) = delete;
+  ConcHintScope& operator=(const ConcHintScope&) = delete;
+  ~ConcHintScope() { rec_.conc_hint = prev_; }
+
+private:
+  Recorder& rec_;
+  int prev_;
 };
 
 /// RAII span: reads the clock at construction and destruction and emits one

@@ -9,6 +9,7 @@
 #include "cma/endpoint.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "model/predict.h"
 
 namespace kacc {
 
@@ -56,6 +57,11 @@ NativeComm::NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank,
     ring_sink_.bind(ring, arena.layout().trace_slots);
     recorder_.sink = &ring_sink_;
   }
+  recorder_.hists.bind(arena.hist_block(rank));
+  recorder_.drift.bind(arena.drift_block(rank), obs::DriftConfig::from_env());
+  if (void* fr = arena.flight_ring(rank)) {
+    recorder_.flight.bind(fr, arena.layout().flight_slots);
+  }
   arena.register_rank(rank);
   arena.wait_all_registered(wait_ctx("arena registration"));
   pids_.reserve(static_cast<std::size_t>(nranks));
@@ -73,7 +79,28 @@ shm::WaitContext NativeComm::wait_ctx(const char* what) {
   ctx.what = what;
   ctx.slow_wait_counter =
       recorder_.counters.cell(obs::Counter::kSpinSlowWaits);
+  ctx.recorder = &recorder_;
   return ctx;
+}
+
+int NativeComm::believed_conc() const {
+  const int limit = nranks_ > 1 ? nranks_ - 1 : 1;
+  const int c = recorder_.conc_hint;
+  return c < 1 ? 1 : (c > limit ? limit : c);
+}
+
+void NativeComm::on_drift_alarm(std::uint64_t bytes, int c) {
+  recorder_.counters.add(obs::Counter::kModelDriftAlarms);
+  recorder_.flight_event(obs::FlightKind::kDriftAlarm, -1,
+                         static_cast<std::int64_t>(bytes));
+  KACC_LOG_WARN_RL(
+      "model_drift", 5000.0,
+      "contention model drifting: observed CMA latency off prediction ("
+          << obs::drift_size_class_name(
+                 obs::drift_size_class(bytes))
+          << ", c=" << c
+          << ", score=" << recorder_.drift.drift_score(bytes, c)
+          << "); tuner/governor switching to observed T_cma");
 }
 
 void NativeComm::poll() {
@@ -130,6 +157,8 @@ void NativeComm::service_fallback_requests() {
 
 void NativeComm::handle_cma_error(const SyscallError& e, int peer,
                                   const char* opname) {
+  recorder_.flight_event(obs::FlightKind::kErrnoClassified, peer,
+                         e.sys_errno(), opname);
   switch (cma::classify_errno(e.sys_errno())) {
     case cma::ErrnoClass::kPermission:
       // Kernel policy revoked CMA (yama ptrace_scope, seccomp). Sticky:
@@ -137,9 +166,12 @@ void NativeComm::handle_cma_error(const SyscallError& e, int peer,
       if (!cma_disabled_) {
         cma_disabled_ = true;
         recorder_.counters.add(obs::Counter::kFallbackActivations);
-        KACC_LOG_WARN("CMA degraded to two-copy path after "
-                      << opname << " op " << cma_ops_ << " peer " << peer
-                      << ": " << e.what());
+        recorder_.flight_event(obs::FlightKind::kFallbackActivated, peer,
+                               static_cast<std::int64_t>(cma_ops_), opname);
+        KACC_LOG_WARN_RL("cma_degrade", 5000.0,
+                         "CMA degraded to two-copy path after "
+                             << opname << " op " << cma_ops_ << " peer "
+                             << peer << ": " << e.what());
       }
       return;
     case cma::ErrnoClass::kPeerGone:
@@ -229,6 +261,7 @@ void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
     fallback_read(src, remote_addr, local, bytes);
     return;
   }
+  const double t0 = now_us();
   try {
     obs::Span span(recorder_, obs::SpanName::kCmaRead,
                    static_cast<std::int64_t>(bytes), src);
@@ -246,6 +279,13 @@ void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
   recorder_.counters.add(obs::Counter::kCmaReadOps);
   recorder_.counters.add(obs::Counter::kCmaReadBytes, bytes);
   recorder_.counters.add(obs::Counter::kCmaRetries, cma::take_retry_count());
+  const double dt = now_us() - t0;
+  const int c = believed_conc();
+  recorder_.hists.record_us(obs::cma_hist(false, c), dt);
+  if (recorder_.drift.observe(bytes, c, dt,
+                              predict::cma_transfer(spec_, bytes, c))) {
+    on_drift_alarm(bytes, c);
+  }
 }
 
 void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
@@ -279,6 +319,7 @@ void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
     fallback_write(dst, remote_addr, local, bytes);
     return;
   }
+  const double t0 = now_us();
   try {
     obs::Span span(recorder_, obs::SpanName::kCmaWrite,
                    static_cast<std::int64_t>(bytes), dst);
@@ -294,6 +335,13 @@ void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
   recorder_.counters.add(obs::Counter::kCmaWriteOps);
   recorder_.counters.add(obs::Counter::kCmaWriteBytes, bytes);
   recorder_.counters.add(obs::Counter::kCmaRetries, cma::take_retry_count());
+  const double dt = now_us() - t0;
+  const int c = believed_conc();
+  recorder_.hists.record_us(obs::cma_hist(true, c), dt);
+  if (recorder_.drift.observe(bytes, c, dt,
+                              predict::cma_transfer(spec_, bytes, c))) {
+    on_drift_alarm(bytes, c);
+  }
 }
 
 void NativeComm::local_copy(void* dst, const void* src, std::size_t bytes) {
@@ -331,6 +379,7 @@ void NativeComm::ctrl_allgather(const void* send, void* recv,
 
 void NativeComm::signal(int dst) {
   recorder_.counters.add(obs::Counter::kSignalsPosted);
+  recorder_.flight_event(obs::FlightKind::kSignalPost, dst);
   signals_.signal(dst);
 }
 
@@ -338,6 +387,7 @@ void NativeComm::wait_signal(int src) {
   recorder_.counters.add(obs::Counter::kSignalsWaited);
   obs::Span span(recorder_, obs::SpanName::kWaitSignal, -1, src);
   signals_.wait_signal(src, wait_ctx("wait_signal"));
+  recorder_.flight_event(obs::FlightKind::kSignalWait, src);
 }
 
 void NativeComm::barrier() {
@@ -378,6 +428,7 @@ double NativeComm::now_us() {
 
 void NativeComm::nbc_signal(int dst, int tag) {
   recorder_.counters.add(obs::Counter::kSignalsPosted);
+  recorder_.flight_event(obs::FlightKind::kSignalPost, dst, tag);
   nbc_signals_.signal(dst, tag);
 }
 
@@ -386,6 +437,7 @@ bool NativeComm::nbc_try_wait(int src, int tag) {
     return false;
   }
   recorder_.counters.add(obs::Counter::kSignalsWaited);
+  recorder_.flight_event(obs::FlightKind::kSignalWait, src, tag);
   return true;
 }
 

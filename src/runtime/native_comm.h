@@ -107,6 +107,13 @@ private:
   /// poll(); re-entrance guarded).
   void service_fallback_requests();
 
+  /// The believed concurrency `c` of the current data-plane op, clamped
+  /// to [1, p-1] (the range the cost model is defined over).
+  [[nodiscard]] int believed_conc() const;
+
+  /// One drift-alarm edge: counter, flight event, rate-limited warning.
+  void on_drift_alarm(std::uint64_t bytes, int c);
+
   const shm::ShmArena* arena_;
   ArchSpec spec_;
   int rank_;

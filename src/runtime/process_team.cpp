@@ -11,6 +11,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "model/cost_model.h"
+#include "obs/postmortem.h"
 #include "runtime/native_comm.h"
 #include "shm/arena.h"
 
@@ -60,8 +61,9 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
                  "run_native_team: nranks in [1, 256]");
   const std::size_t trace_slots =
       obs::trace_enabled() ? opts.trace_slots : 0;
+  const std::size_t flight_slots = obs::flight_slots_from_env();
   const shm::ArenaLayout layout = shm::ArenaLayout::compute(
-      nranks, kShmChunkBytes, /*pipe_slots=*/4, trace_slots);
+      nranks, kShmChunkBytes, /*pipe_slots=*/4, trace_slots, flight_slots);
   shm::ShmArena arena(layout);
 
   std::vector<pid_t> children;
@@ -209,18 +211,59 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
     result.obs.per_rank.push_back(obs::snapshot(*arena.counter_block(rank)));
     obs::accumulate(result.obs.totals, result.obs.per_rank.back());
   }
+  for (int rank = 0; rank < nranks; ++rank) {
+    result.obs.hist_per_rank.push_back(
+        obs::hist_snapshot(*arena.hist_block(rank)));
+    obs::accumulate(result.obs.hist_totals, result.obs.hist_per_rank.back());
+    result.obs.drift_per_rank.push_back(
+        obs::drift_snapshot(*arena.drift_block(rank)));
+  }
+  if (flight_slots != 0) {
+    for (int rank = 0; rank < nranks; ++rank) {
+      obs::RankFlight rf;
+      rf.rank = rank;
+      obs::drain_flight_ring(arena.flight_ring(rank), rf.events);
+      result.obs.flights.push_back(std::move(rf));
+    }
+  }
   if (trace_slots != 0) {
+    const auto drops_idx =
+        static_cast<std::size_t>(obs::Counter::kTraceDrops);
     for (int rank = 0; rank < nranks; ++rank) {
       obs::RankTrace rt;
       rt.rank = rank;
       rt.dropped = obs::trace_ring_dropped(arena.trace_ring(rank));
       rt.records = std::move(rank_spans[static_cast<std::size_t>(rank)]);
+      // Fold ring overflow into the counter snapshots so KACC_METRICS
+      // surfaces it alongside everything else.
+      result.obs.per_rank[static_cast<std::size_t>(rank)][drops_idx] +=
+          rt.dropped;
+      result.obs.totals[drops_idx] += rt.dropped;
       result.obs.traces.push_back(std::move(rt));
+    }
+    const std::string drops =
+        obs::trace_drop_summary(result.obs.traces, trace_slots);
+    if (!drops.empty()) {
+      KACC_LOG_WARN(drops);
     }
     obs::publish_trace(result.obs.traces,
                        "native p=" + std::to_string(nranks));
   }
   obs::maybe_dump_metrics(result.obs, "native");
+  obs::maybe_dump_metrics_prom(result.obs, "native");
+  if (!result.all_ok() && obs::postmortem_enabled()) {
+    int failing = arena.first_dead_rank();
+    if (failing < 0) {
+      for (std::size_t r = 0; r < result.ranks.size(); ++r) {
+        if (!result.ranks[r].ok) {
+          failing = static_cast<int>(r);
+          break;
+        }
+      }
+    }
+    obs::maybe_dump_postmortem(result.obs, "native",
+                               result.first_failure(), failing);
+  }
   return result;
 }
 

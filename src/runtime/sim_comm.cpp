@@ -4,8 +4,11 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/log.h"
 #include "common/mathutil.h"
 #include "model/cost_model.h"
+#include "model/predict.h"
+#include "obs/postmortem.h"
 
 namespace kacc {
 namespace {
@@ -22,6 +25,36 @@ void SimTeamState::init_obs(int nranks) {
     block = std::make_unique<obs::CounterBlock>();
     for (auto& cell : block->v) {
       cell.store(0, std::memory_order_relaxed);
+    }
+  }
+  hist_blocks.resize(static_cast<std::size_t>(nranks));
+  for (auto& block : hist_blocks) {
+    block = std::make_unique<obs::HistBlock>();
+    for (auto& row : block->b) {
+      for (auto& cell : row) {
+        cell.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  drift_blocks.resize(static_cast<std::size_t>(nranks));
+  for (auto& block : drift_blocks) {
+    block = std::make_unique<obs::DriftBlock>();
+    for (auto& row : block->cells) {
+      for (auto& cell : row) {
+        cell = obs::DriftCell{};
+      }
+    }
+    block->stale.store(0, std::memory_order_relaxed);
+    block->alarms.store(0, std::memory_order_relaxed);
+  }
+  flight_slots = obs::flight_slots_from_env();
+  if (flight_slots > 0) {
+    flight_rings.resize(static_cast<std::size_t>(nranks));
+    for (auto& ring : flight_rings) {
+      // make_unique<std::byte[]> value-initializes: an all-zero ring is
+      // exactly the state FlightRecorder::bind expects.
+      ring = std::make_unique<std::byte[]>(
+          obs::flight_ring_bytes(flight_slots));
     }
   }
   if (obs::trace_enabled()) {
@@ -44,9 +77,39 @@ SimComm::SimComm(sim::SimEngine& engine, SimTeamState& team, int rank)
   if (r < team.counter_blocks.size() && team.counter_blocks[r] != nullptr) {
     recorder_.counters.bind(team.counter_blocks[r].get());
   }
+  if (r < team.hist_blocks.size() && team.hist_blocks[r] != nullptr) {
+    recorder_.hists.bind(team.hist_blocks[r].get());
+  }
+  if (r < team.drift_blocks.size() && team.drift_blocks[r] != nullptr) {
+    recorder_.drift.bind(team.drift_blocks[r].get(),
+                         obs::DriftConfig::from_env());
+  }
+  if (r < team.flight_rings.size() && team.flight_rings[r] != nullptr) {
+    recorder_.flight.bind(team.flight_rings[r].get(), team.flight_slots);
+  }
   if (r < team.trace_sinks.size()) {
     recorder_.sink = &team.trace_sinks[r];
   }
+}
+
+int SimComm::believed_conc() const {
+  const int p = engine_->nranks();
+  const int limit = p > 1 ? p - 1 : 1;
+  const int c = recorder_.conc_hint;
+  return c < 1 ? 1 : (c > limit ? limit : c);
+}
+
+void SimComm::on_drift_alarm(std::uint64_t bytes, int c) {
+  recorder_.counters.add(obs::Counter::kModelDriftAlarms);
+  recorder_.flight_event(obs::FlightKind::kDriftAlarm, -1,
+                         static_cast<std::int64_t>(bytes));
+  KACC_LOG_WARN_RL(
+      "model_drift", 5000.0,
+      "contention model drifting: observed CMA latency off prediction ("
+          << obs::drift_size_class_name(obs::drift_size_class(bytes))
+          << ", c=" << c
+          << ", score=" << recorder_.drift.drift_score(bytes, c)
+          << "); tuner/governor switching to observed T_cma");
 }
 
 void SimComm::cma_read(int src, std::uint64_t remote_addr, void* local,
@@ -59,9 +122,17 @@ void SimComm::cma_read(int src, std::uint64_t remote_addr, void* local,
   recorder_.counters.add(obs::Counter::kCmaReadBytes, bytes);
   obs::Span span(recorder_, obs::SpanName::kCmaRead,
                  static_cast<std::int64_t>(bytes), src);
+  const double t0 = now_us();
   const sim::Breakdown bd =
       engine_->cma_transfer(rank_, src, bytes, mult, cross, /*with_copy=*/true);
   span.set_phases(bd);
+  const double dt = now_us() - t0;
+  const int c = believed_conc();
+  recorder_.hists.record_us(obs::cma_hist(false, c), dt);
+  if (recorder_.drift.observe(bytes, c, dt,
+                              predict::cma_transfer(arch(), bytes, c))) {
+    on_drift_alarm(bytes, c);
+  }
   if (team_->move_data) {
     // Rank threads share the address space: the token is a real pointer.
     std::memcpy(local, reinterpret_cast<const void*>(remote_addr), bytes);
@@ -78,9 +149,17 @@ void SimComm::cma_write(int dst, std::uint64_t remote_addr, const void* local,
   recorder_.counters.add(obs::Counter::kCmaWriteBytes, bytes);
   obs::Span span(recorder_, obs::SpanName::kCmaWrite,
                  static_cast<std::int64_t>(bytes), dst);
+  const double t0 = now_us();
   const sim::Breakdown bd =
       engine_->cma_transfer(rank_, dst, bytes, mult, cross, /*with_copy=*/true);
   span.set_phases(bd);
+  const double dt = now_us() - t0;
+  const int c = believed_conc();
+  recorder_.hists.record_us(obs::cma_hist(true, c), dt);
+  if (recorder_.drift.observe(bytes, c, dt,
+                              predict::cma_transfer(arch(), bytes, c))) {
+    on_drift_alarm(bytes, c);
+  }
   if (team_->move_data) {
     std::memcpy(reinterpret_cast<void*>(remote_addr), local, bytes);
   }
@@ -173,6 +252,7 @@ void SimComm::ctrl_allgather(const void* send, void* recv,
 
 void SimComm::signal(int dst) {
   recorder_.counters.add(obs::Counter::kSignalsPosted);
+  recorder_.flight_event(obs::FlightKind::kSignalPost, dst);
   engine_->post(rank_, dst, sim::ChannelTag::kSignal, {},
                 arch().shm_signal_us);
 }
@@ -181,6 +261,7 @@ void SimComm::wait_signal(int src) {
   recorder_.counters.add(obs::Counter::kSignalsWaited);
   obs::Span span(recorder_, obs::SpanName::kWaitSignal, -1, src);
   engine_->receive(rank_, src, sim::ChannelTag::kSignal, 0.0);
+  recorder_.flight_event(obs::FlightKind::kSignalWait, src);
 }
 
 void SimComm::barrier() {
@@ -282,6 +363,7 @@ double SimComm::now_us() { return engine_->now(rank_); }
 void SimComm::nbc_signal(int dst, int tag) {
   KACC_CHECK_MSG(tag >= 0 && tag < kNbcTags, "nbc_signal tag out of range");
   recorder_.counters.add(obs::Counter::kSignalsPosted);
+  recorder_.flight_event(obs::FlightKind::kSignalPost, dst, tag);
   engine_->post(rank_, dst, sim::nbc_signal_tag(tag), {},
                 arch().shm_signal_us);
 }
@@ -292,6 +374,7 @@ bool SimComm::nbc_try_wait(int src, int tag) {
     return false;
   }
   recorder_.counters.add(obs::Counter::kSignalsWaited);
+  recorder_.flight_event(obs::FlightKind::kSignalWait, src, tag);
   return true;
 }
 
@@ -345,6 +428,19 @@ obs::TeamObs collect_sim_obs(SimTeamState& team, const sim::SimEngine& engine,
   }
   out.totals[static_cast<std::size_t>(obs::Counter::kSimRerateEvents)] +=
       engine.rerate_events();
+  for (const auto& block : team.hist_blocks) {
+    out.hist_per_rank.push_back(obs::hist_snapshot(*block));
+    obs::accumulate(out.hist_totals, out.hist_per_rank.back());
+  }
+  for (const auto& block : team.drift_blocks) {
+    out.drift_per_rank.push_back(obs::drift_snapshot(*block));
+  }
+  for (std::size_t r = 0; r < team.flight_rings.size(); ++r) {
+    obs::RankFlight rf;
+    rf.rank = static_cast<int>(r);
+    obs::drain_flight_ring(team.flight_rings[r].get(), rf.events);
+    out.flights.push_back(std::move(rf));
+  }
   for (std::size_t r = 0; r < team.trace_sinks.size(); ++r) {
     obs::RankTrace rt;
     rt.rank = static_cast<int>(r);
@@ -359,6 +455,7 @@ void report_sim_obs(const obs::TeamObs& obs, int nranks) {
     obs::publish_trace(obs.traces, "sim p=" + std::to_string(nranks));
   }
   obs::maybe_dump_metrics(obs, "sim");
+  obs::maybe_dump_metrics_prom(obs, "sim");
 }
 
 } // namespace
@@ -419,6 +516,32 @@ SimFaultResult run_sim_fault(const ArchSpec& spec, int nranks,
   result.makespan_us = wr.makespan_us;
   result.obs = collect_sim_obs(team, engine, nranks);
   report_sim_obs(result.obs, nranks);
+  // Fatal run: dump the black box. Blame the killed rank when there is
+  // one; a kPeerDied observer blames its failed_rank; otherwise the first
+  // failing rank (deterministic — outcomes are indexed by rank).
+  int failing = -1;
+  std::string reason;
+  for (std::size_t r = 0; r < result.outcomes.size(); ++r) {
+    const sim::RankOutcome& out = result.outcomes[r];
+    if (out.kind == sim::RankOutcome::Kind::kOk) {
+      continue;
+    }
+    if (failing < 0) {
+      failing = (out.kind == sim::RankOutcome::Kind::kPeerDied &&
+                 out.failed_rank >= 0)
+                    ? out.failed_rank
+                    : static_cast<int>(r);
+      reason = out.message.empty() ? "rank failed" : out.message;
+    }
+    if (out.kind == sim::RankOutcome::Kind::kKilled) {
+      failing = static_cast<int>(r);
+      reason = out.message.empty() ? "rank killed" : out.message;
+      break;
+    }
+  }
+  if (failing >= 0) {
+    obs::maybe_dump_postmortem(result.obs, "sim", reason, failing);
+  }
   return result;
 }
 

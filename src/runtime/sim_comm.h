@@ -30,13 +30,20 @@ struct SimTeamState {
   /// tracing off) when a test constructs SimComm directly.
   std::vector<std::unique_ptr<obs::CounterBlock>> counter_blocks;
   std::vector<obs::VectorSink> trace_sinks;
+  std::vector<std::unique_ptr<obs::HistBlock>> hist_blocks;
+  std::vector<std::unique_ptr<obs::DriftBlock>> drift_blocks;
+  /// Raw flight-ring storage (header + slots), zeroed; empty when the
+  /// black box is disabled (KACC_FLIGHT_SLOTS=0).
+  std::vector<std::unique_ptr<std::byte[]>> flight_rings;
+  std::size_t flight_slots = 0;
 
   /// Shared per-source in-flight counts of the nbc admission governor
   /// (token-serialized like ctrl_send/ctrl_recv; lazily sized by the
   /// first SimComm constructed).
   std::vector<int> nbc_inflight;
 
-  /// Sizes counter blocks (always) and trace sinks (when KACC_TRACE set).
+  /// Sizes counter/hist/drift blocks (always), flight rings (unless
+  /// disabled), and trace sinks (when KACC_TRACE set).
   void init_obs(int nranks);
 };
 
@@ -83,6 +90,13 @@ public:
   sim::Breakdown timed_cma(int owner, std::uint64_t bytes, bool with_copy);
 
 private:
+  /// The believed concurrency `c` of the current data-plane op, clamped
+  /// to [1, p-1] (the range the cost model is defined over).
+  [[nodiscard]] int believed_conc() const;
+
+  /// One drift-alarm edge: counter, flight event, rate-limited warning.
+  void on_drift_alarm(std::uint64_t bytes, int c);
+
   sim::SimEngine* engine_;
   SimTeamState* team_;
   int rank_;

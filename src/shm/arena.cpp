@@ -103,6 +103,26 @@ std::size_t trace_region_bytes(int nranks, std::size_t trace_slots) {
          align_up(obs::trace_ring_bytes(trace_slots), kCacheLine);
 }
 
+// Latency histograms and model-residual grids: one block per rank, always
+// present (recording is one relaxed fetch_add / a few plain stores).
+std::size_t hist_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) * sizeof(obs::HistBlock);
+}
+
+std::size_t drift_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) *
+         align_up(sizeof(obs::DriftBlock), kCacheLine);
+}
+
+// Flight-recorder rings: one overwrite ring per rank when enabled.
+std::size_t flight_region_bytes(int nranks, std::size_t flight_slots) {
+  if (flight_slots == 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(nranks) *
+         align_up(obs::flight_ring_bytes(flight_slots), kCacheLine);
+}
+
 std::atomic<std::uint32_t>* reg_counter(std::byte* base,
                                         const ArenaLayout& l) {
   return reinterpret_cast<std::atomic<std::uint32_t>*>(
@@ -120,7 +140,8 @@ std::atomic<std::int64_t>* pid_slot(std::byte* base, const ArenaLayout& l,
 
 ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
                                  std::size_t pipe_slots,
-                                 std::size_t trace_slots) {
+                                 std::size_t trace_slots,
+                                 std::size_t flight_slots) {
   KACC_CHECK_MSG(nranks >= 1 && nranks <= 1024, "nranks in [1, 1024]");
   KACC_CHECK_MSG(pipe_chunk_bytes >= 64 && pipe_slots >= 1,
                  "pipe geometry too small");
@@ -129,6 +150,7 @@ ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
   l.pipe_chunk_bytes = pipe_chunk_bytes;
   l.pipe_slots = pipe_slots;
   l.trace_slots = trace_slots;
+  l.flight_slots = flight_slots;
 
   std::size_t off = 0;
   l.header_off = off;
@@ -158,6 +180,12 @@ ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
   off = align_up(off + counters_region_bytes(nranks), 4096);
   l.trace_off = off;
   off = align_up(off + trace_region_bytes(nranks, trace_slots), 4096);
+  l.hist_off = off;
+  off = align_up(off + hist_region_bytes(nranks), 4096);
+  l.drift_off = off;
+  off = align_up(off + drift_region_bytes(nranks), 4096);
+  l.flight_off = off;
+  off = align_up(off + flight_region_bytes(nranks, flight_slots), 4096);
   l.total_bytes = off;
   return l;
 }
@@ -344,6 +372,30 @@ void* ShmArena::trace_ring(int rank) const {
   const std::size_t stride =
       align_up(obs::trace_ring_bytes(layout_.trace_slots), kCacheLine);
   return base_ + layout_.trace_off + static_cast<std::size_t>(rank) * stride;
+}
+
+obs::HistBlock* ShmArena::hist_block(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  return reinterpret_cast<obs::HistBlock*>(
+      base_ + layout_.hist_off +
+      static_cast<std::size_t>(rank) * sizeof(obs::HistBlock));
+}
+
+obs::DriftBlock* ShmArena::drift_block(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  const std::size_t stride = align_up(sizeof(obs::DriftBlock), kCacheLine);
+  return reinterpret_cast<obs::DriftBlock*>(
+      base_ + layout_.drift_off + static_cast<std::size_t>(rank) * stride);
+}
+
+void* ShmArena::flight_ring(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  if (layout_.flight_slots == 0) {
+    return nullptr;
+  }
+  const std::size_t stride =
+      align_up(obs::flight_ring_bytes(layout_.flight_slots), kCacheLine);
+  return base_ + layout_.flight_off + static_cast<std::size_t>(rank) * stride;
 }
 
 void ShmArena::report_result(int rank, bool ok, const char* message) const {

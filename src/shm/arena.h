@@ -26,6 +26,8 @@ struct ArenaLayout {
   std::size_t pipe_slots = 0;
   /// Per-rank trace-ring record capacity; 0 = tracing disabled (no rings).
   std::size_t trace_slots = 0;
+  /// Per-rank flight-recorder ring capacity; 0 = black box disabled.
+  std::size_t flight_slots = 0;
 
   std::size_t header_off = 0;
   std::size_t barrier_off = 0;
@@ -40,13 +42,18 @@ struct ArenaLayout {
   std::size_t nbcadm_off = 0;  ///< per-rank in-flight admission counters
   std::size_t counters_off = 0;
   std::size_t trace_off = 0;
+  std::size_t hist_off = 0;   ///< per-rank latency histograms (kacc::obs)
+  std::size_t drift_off = 0;  ///< per-rank model-residual grids
+  std::size_t flight_off = 0; ///< per-rank flight-recorder rings
   std::size_t total_bytes = 0;
 
   /// Computes a layout for `nranks` ranks with the given pipe geometry.
-  /// `trace_slots` > 0 adds one per-rank trace ring of that many records.
+  /// `trace_slots` > 0 adds one per-rank trace ring of that many records;
+  /// `flight_slots` > 0 adds one per-rank flight-recorder ring.
   static ArenaLayout compute(int nranks, std::size_t pipe_chunk_bytes,
                              std::size_t pipe_slots,
-                             std::size_t trace_slots = 0);
+                             std::size_t trace_slots = 0,
+                             std::size_t flight_slots = 256);
 };
 
 /// Per-rank liveness word. Written by the rank itself (alive / exited) and
@@ -151,6 +158,16 @@ public:
   /// Base of the rank's trace ring, or nullptr when the layout was
   /// computed without rings (trace_slots == 0).
   [[nodiscard]] void* trace_ring(int rank) const;
+
+  /// The rank's latency-histogram block (always present).
+  [[nodiscard]] obs::HistBlock* hist_block(int rank) const;
+
+  /// The rank's model-residual grid (always present).
+  [[nodiscard]] obs::DriftBlock* drift_block(int rank) const;
+
+  /// Base of the rank's flight-recorder ring, or nullptr when the layout
+  /// was computed without one (flight_slots == 0).
+  [[nodiscard]] void* flight_ring(int rank) const;
 
   // --- per-rank result reporting (used by the team harness) ---
   static constexpr std::size_t kResultMsgBytes = 240;

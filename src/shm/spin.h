@@ -24,6 +24,8 @@
 
 #include "common/deadline.h"
 #include "common/error.h"
+#include "common/log.h"
+#include "obs/trace.h"
 
 namespace kacc::shm {
 
@@ -45,6 +47,10 @@ struct WaitContext {
   /// When set, bumped once per wait that leaves the hot spin burst (the
   /// obs "spin_slow_waits" counter cell of the waiting rank).
   std::atomic<std::uint64_t>* slow_wait_counter = nullptr;
+  /// When set, the slow path drops a spin_slow_wait event into the rank's
+  /// flight recorder and rate-limit-warns if the wait reaches the nap tier
+  /// for a long stretch.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Spins until `pred()` is true. Polls hot for a burst, then yields, then
@@ -83,6 +89,10 @@ void spin_until(Pred&& pred, const WaitContext& ctx) {
   if (ctx.slow_wait_counter != nullptr) {
     ctx.slow_wait_counter->fetch_add(1, std::memory_order_relaxed);
   }
+  if (ctx.recorder != nullptr) {
+    ctx.recorder->flight_event(obs::FlightKind::kSpinSlowWait, -1, 0,
+                               ctx.what);
+  }
   auto slow_step = [&] {
     if (ctx.hook != nullptr) {
       ctx.hook->poll();
@@ -102,9 +112,18 @@ void spin_until(Pred&& pred, const WaitContext& ctx) {
   struct timespec nap {
     0, 50'000
   };
+  std::uint64_t naps = 0;
   while (!pred()) {
     slow_step();
     ::nanosleep(&nap, nullptr);
+    // ~250ms of napping on one wait is worth a (rate-limited) heads-up:
+    // either a peer is slow or the team is about to hit its deadline.
+    if (++naps == 5000) {
+      naps = 0;
+      KACC_LOG_WARN_RL(ctx.what, 5000.0,
+                       "slow shm wait in " << ctx.what
+                                           << " (peer slow or wedged)");
+    }
   }
 }
 

@@ -1,0 +1,734 @@
+// kacc::obs v2 tests: log2-bucket latency histograms (bucket math, merge,
+// Prometheus export), the online model-drift monitor (alarm under injected
+// delay, silence without, governor flip to observed T_cma), the black-box
+// flight recorder (overwrite-ring semantics), and the post-mortem bundle
+// (valid JSON on an injected kill, byte-identical in the simulator).
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cma/probe.h"
+#include "coll_verifiers.h"
+#include "common/buffer.h"
+#include "common/log.h"
+#include "model/predict.h"
+#include "nbc/governor.h"
+#include "nbc/nbc.h"
+#include "obs/drift.h"
+#include "obs/flight.h"
+#include "obs/hist.h"
+#include "obs/postmortem.h"
+#include "obs/report.h"
+#include "runtime/process_team.h"
+#include "runtime/sim_comm.h"
+#include "sim/fault.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using obs::Counter;
+using obs::Hist;
+using testing::verify_gather;
+using testing::verify_scatter;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Scoped setenv/restore so per-call env knobs (KACC_DRIFT_*, KACC_FLIGHT_
+/// SLOTS, KACC_POSTMORTEM, KACC_METRICS_PROM, KACC_FAULT) never leak
+/// between tests.
+class ScopedEnv {
+public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+/// Fresh temp directory for a post-mortem bundle.
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/kacc_obs2_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string("/tmp") : std::string(dir);
+}
+
+std::vector<std::string> list_files(const std::string& dir,
+                                    const std::string& prefix) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return out;
+  }
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind(prefix, 0) == 0) {
+      out.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Whole-document syntax scan (same approach as obs_test.cpp: the schema is
+/// ours and no JSON library is in the toolchain, so structural validation
+/// is enough).
+bool json_syntax_ok(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math
+// ---------------------------------------------------------------------------
+
+TEST(HistBucketMath, EdgeCases) {
+  EXPECT_EQ(obs::bucket_of(0), 0);
+  EXPECT_EQ(obs::bucket_of(1), 1);
+  EXPECT_EQ(obs::bucket_of(2), 2);
+  EXPECT_EQ(obs::bucket_of(3), 2);
+  EXPECT_EQ(obs::bucket_of(4), 3);
+  EXPECT_EQ(obs::bucket_of((1ull << 62) - 1), 62);
+  EXPECT_EQ(obs::bucket_of(1ull << 62), 63);
+  EXPECT_EQ(obs::bucket_of(~0ull), 63);
+
+  EXPECT_EQ(obs::bucket_lower_ns(0), 0u);
+  EXPECT_EQ(obs::bucket_lower_ns(1), 1u);
+  EXPECT_EQ(obs::bucket_lower_ns(5), 16u);
+  EXPECT_DOUBLE_EQ(obs::bucket_mid_ns(0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::bucket_mid_ns(3), 6.0); // 1.5 * 4
+
+  // Every value lands in the bucket whose range contains it.
+  for (int b = 1; b < obs::kHistBuckets - 1; ++b) {
+    EXPECT_EQ(obs::bucket_of(obs::bucket_lower_ns(b)), b);
+    EXPECT_EQ(obs::bucket_of(obs::bucket_lower_ns(b + 1) - 1), b);
+  }
+}
+
+TEST(HistBucketMath, ConcurrencyBuckets) {
+  EXPECT_EQ(obs::conc_bucket(0), 0);
+  EXPECT_EQ(obs::conc_bucket(1), 0);
+  EXPECT_EQ(obs::conc_bucket(2), 1);
+  EXPECT_EQ(obs::conc_bucket(3), 2);
+  EXPECT_EQ(obs::conc_bucket(4), 2);
+  EXPECT_EQ(obs::conc_bucket(5), 3);
+  EXPECT_EQ(obs::conc_bucket(8), 3);
+  EXPECT_EQ(obs::conc_bucket(9), 4);
+  EXPECT_EQ(obs::conc_bucket(16), 4);
+  EXPECT_EQ(obs::conc_bucket(17), 5);
+  EXPECT_EQ(obs::conc_bucket(1000), 5);
+
+  EXPECT_EQ(obs::cma_hist(false, 1), Hist::kCmaReadC1);
+  EXPECT_EQ(obs::cma_hist(false, 7), Hist::kCmaReadC8);
+  EXPECT_EQ(obs::cma_hist(true, 2), Hist::kCmaWriteC2);
+  EXPECT_EQ(obs::cma_hist(true, 100), Hist::kCmaWriteC32);
+
+  EXPECT_STREQ(obs::conc_bucket_name(0), "c1");
+  EXPECT_STREQ(obs::conc_bucket_name(5), "c32+");
+}
+
+TEST(HistRegistry, RecordsQuantilesAndSums) {
+  auto block = std::make_unique<obs::HistBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::HistBlock));
+  obs::HistRegistry hists;
+  hists.bind(block.get());
+
+  for (int i = 0; i < 100; ++i) {
+    hists.record_ns(Hist::kCollLatency, 1000); // bucket 10: [512, 1024)
+  }
+  hists.record_us(Hist::kCollLatency, 1.0); // also 1000 ns
+  hists.record_ns(Hist::kCollLatency, 1ull << 20);
+
+  const obs::HistSnapshot s = obs::hist_snapshot(*block);
+  EXPECT_EQ(obs::hist_count(s, Hist::kCollLatency), 102u);
+  EXPECT_EQ(obs::hist_count(s, Hist::kNbcStepLatency), 0u);
+  // p50 sits in the 1000ns bucket; midpoint estimate = 1.5 * 512.
+  EXPECT_DOUBLE_EQ(obs::hist_quantile_ns(s, Hist::kCollLatency, 0.5), 768.0);
+  EXPECT_GT(obs::hist_quantile_ns(s, Hist::kCollLatency, 0.999), 1e6);
+  EXPECT_GT(obs::hist_sum_ns(s, Hist::kCollLatency), 101 * 768.0);
+
+  // Unbound registry: recording is a no-op, not a crash.
+  obs::HistRegistry unbound;
+  unbound.record_ns(Hist::kCollLatency, 1234);
+  EXPECT_FALSE(unbound.bound());
+}
+
+TEST(HistRegistry, SummaryJsonAndPromText) {
+  auto block = std::make_unique<obs::HistBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::HistBlock));
+  obs::HistRegistry hists;
+  hists.bind(block.get());
+
+  obs::HistSnapshot empty = obs::hist_snapshot(*block);
+  EXPECT_EQ(obs::hist_summary_json(empty), "{}");
+  EXPECT_EQ(obs::hist_prom_text(empty, "test"), "");
+
+  for (int i = 0; i < 10; ++i) {
+    hists.record_ns(Hist::kCollLatency, 4096);
+    hists.record_ns(obs::cma_hist(false, 4), 100 + i);
+  }
+  const obs::HistSnapshot s = obs::hist_snapshot(*block);
+
+  const std::string json = obs::hist_summary_json(s);
+  EXPECT_TRUE(json_syntax_ok(json));
+  EXPECT_NE(json.find("\"coll_latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"cma_read_ns_c4\""), std::string::npos);
+  EXPECT_EQ(json.find("cma_write"), std::string::npos); // empty: omitted
+
+  const std::string prom = obs::hist_prom_text(s, "test");
+  EXPECT_NE(prom.find("# TYPE kacc_coll_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("kacc_coll_latency_ns_count{runtime=\"test\"} 10"),
+            std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\"} 10"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite helpers: rate-limited logging, trace-ring drop summary
+// ---------------------------------------------------------------------------
+
+TEST(RateLimitedLog, EmitsOncePerIntervalPerKey) {
+  // A day-long interval: the second query within it must be suppressed.
+  EXPECT_TRUE(log_should_emit("obs2-test-key-a", 86'400'000.0));
+  EXPECT_FALSE(log_should_emit("obs2-test-key-a", 86'400'000.0));
+  // Keys are independent.
+  EXPECT_TRUE(log_should_emit("obs2-test-key-b", 86'400'000.0));
+}
+
+TEST(TraceDropSummary, NamesRanksAndSuggestsCapacity) {
+  std::vector<obs::RankTrace> ranks(3);
+  for (int r = 0; r < 3; ++r) {
+    ranks[static_cast<std::size_t>(r)].rank = r;
+  }
+  EXPECT_EQ(obs::trace_drop_summary(ranks, 128), "");
+
+  ranks[1].dropped = 5;
+  ranks[2].dropped = 41;
+  const std::string msg = obs::trace_drop_summary(ranks, 128);
+  EXPECT_NE(msg.find("46 span records dropped"), std::string::npos);
+  EXPECT_NE(msg.find("rank 1: 5"), std::string::npos);
+  EXPECT_NE(msg.find("rank 2: 41"), std::string::npos);
+  EXPECT_NE(msg.find(">= 169"), std::string::npos); // 128 + worst(41)
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder ring semantics
+// ---------------------------------------------------------------------------
+
+TEST(FlightRing, OverwriteKeepsLastEvents) {
+  const std::size_t slots = 16;
+  AlignedBuffer ring(obs::flight_ring_bytes(slots), 64, /*zero_init=*/true);
+  obs::FlightRecorder fr;
+  fr.bind(ring.data(), slots);
+  ASSERT_TRUE(fr.bound());
+
+  for (int i = 0; i < 40; ++i) {
+    fr.emit(static_cast<double>(i), obs::FlightKind::kStepIssued, i, i * 10,
+            "wrap");
+  }
+  std::vector<obs::FlightRecord> out;
+  obs::drain_flight_ring(ring.data(), out);
+  ASSERT_EQ(out.size(), slots); // black box keeps the LAST 16, not first
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].seq, 24 + i);
+    EXPECT_EQ(out[i].peer, static_cast<std::int32_t>(24 + i));
+    EXPECT_STREQ(out[i].tag, "wrap");
+  }
+}
+
+TEST(FlightRing, UnderfilledRingDrainsInOrder) {
+  const std::size_t slots = 64;
+  AlignedBuffer ring(obs::flight_ring_bytes(slots), 64, /*zero_init=*/true);
+  obs::FlightRecorder fr;
+  fr.bind(ring.data(), slots);
+  fr.emit(1.0, obs::FlightKind::kCollBegin, 0, 4096, "bcast");
+  fr.emit(2.0, obs::FlightKind::kCollEnd, 0, 4096, "bcast");
+
+  std::vector<obs::FlightRecord> out;
+  obs::drain_flight_ring(ring.data(), out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, static_cast<std::uint32_t>(obs::FlightKind::kCollBegin));
+  EXPECT_EQ(out[1].kind, static_cast<std::uint32_t>(obs::FlightKind::kCollEnd));
+  EXPECT_DOUBLE_EQ(out[0].ts_us, 1.0);
+  EXPECT_STREQ(obs::flight_kind_name(obs::FlightKind::kCollBegin),
+               "coll_begin");
+}
+
+TEST(FlightRing, SlotCountFromEnv) {
+  {
+    ScopedEnv unset("KACC_FLIGHT_SLOTS", nullptr);
+    EXPECT_EQ(obs::flight_slots_from_env(), 256u);
+  }
+  {
+    ScopedEnv env("KACC_FLIGHT_SLOTS", "32");
+    EXPECT_EQ(obs::flight_slots_from_env(), 32u);
+  }
+  {
+    ScopedEnv env("KACC_FLIGHT_SLOTS", "0");
+    EXPECT_EQ(obs::flight_slots_from_env(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated runs populate histograms and flight events deterministically
+// ---------------------------------------------------------------------------
+
+TEST(SimObs2, CollectivesPopulateHistograms) {
+  const int p = 8;
+  const SimRunResult result = run_sim(knl(), p, [](Comm& comm) {
+    verify_scatter(comm, 4096, 0, coll::ScatterAlgo::kParallelRead);
+  });
+
+  // Every rank records one end-to-end collective latency.
+  EXPECT_GE(obs::hist_count(result.obs.hist_totals, Hist::kCollLatency),
+            static_cast<std::uint64_t>(p));
+  // Parallel-read scatter: p-1 = 7 concurrent readers against the root, so
+  // the compiled conc hint files CMA reads under the c8 bucket.
+  EXPECT_GT(obs::hist_count(result.obs.hist_totals, Hist::kCmaReadC8), 0u);
+  EXPECT_EQ(obs::hist_count(result.obs.hist_totals, Hist::kCmaReadC1), 0u);
+
+  // The flight recorder bracketed the collective on every rank.
+  ASSERT_EQ(result.obs.flights.size(), static_cast<std::size_t>(p));
+  for (const obs::RankFlight& rf : result.obs.flights) {
+    const auto begins = std::count_if(
+        rf.events.begin(), rf.events.end(), [](const obs::FlightRecord& e) {
+          return e.kind ==
+                 static_cast<std::uint32_t>(obs::FlightKind::kCollBegin);
+        });
+    EXPECT_GE(begins, 1) << "rank " << rf.rank;
+  }
+}
+
+TEST(SimObs2, HistogramsAreDeterministic) {
+  const auto body = [](Comm& comm) {
+    verify_scatter(comm, 8192, 0, coll::ScatterAlgo::kThrottledRead);
+    verify_gather(comm, 4096, 0, coll::GatherAlgo::kThrottledWrite);
+  };
+  const SimRunResult a = run_sim(broadwell(), 8, body);
+  const SimRunResult b = run_sim(broadwell(), 8, body);
+
+  EXPECT_EQ(a.obs.hist_totals, b.obs.hist_totals);
+  EXPECT_EQ(obs::hist_summary_json(a.obs.hist_totals),
+            obs::hist_summary_json(b.obs.hist_totals));
+  ASSERT_EQ(a.obs.flights.size(), b.obs.flights.size());
+  for (std::size_t r = 0; r < a.obs.flights.size(); ++r) {
+    ASSERT_EQ(a.obs.flights[r].events.size(), b.obs.flights[r].events.size());
+    for (std::size_t i = 0; i < a.obs.flights[r].events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.obs.flights[r].events[i].ts_us,
+                       b.obs.flights[r].events[i].ts_us);
+      EXPECT_EQ(a.obs.flights[r].events[i].seq, b.obs.flights[r].events[i].seq);
+    }
+  }
+}
+
+TEST(SimObs2, FlightRecorderDisabledByEnv) {
+  ScopedEnv env("KACC_FLIGHT_SLOTS", "0");
+  const SimRunResult result = run_sim(broadwell(), 4, [](Comm& comm) {
+    verify_gather(comm, 1024, 0, coll::GatherAlgo::kSequentialRead);
+  });
+  EXPECT_TRUE(result.obs.flights.empty());
+  // Histograms are independent of the flight recorder and stay on.
+  EXPECT_GT(obs::hist_count(result.obs.hist_totals, Hist::kCollLatency), 0u);
+}
+
+TEST(SimObs2, PromSnapshotWritten) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/metrics.prom";
+  ScopedEnv env("KACC_METRICS_PROM", path.c_str());
+  run_sim(broadwell(), 4, [](Comm& comm) {
+    verify_scatter(comm, 4096, 0, coll::ScatterAlgo::kSequentialWrite);
+  });
+  const std::string prom = read_file(path);
+  EXPECT_NE(prom.find("# TYPE kacc_coll_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("runtime=\"sim\""), std::string::npos);
+  EXPECT_NE(prom.find("kacc_coll_latency_ns_count"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Drift monitor: unit behaviour and end-to-end alarm under injected delay
+// ---------------------------------------------------------------------------
+
+TEST(DriftMonitor, AlarmAfterKConsecutiveBreachingWindows) {
+  auto block = std::make_unique<obs::DriftBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::DriftBlock));
+  obs::DriftMonitor mon;
+  obs::DriftConfig cfg;
+  cfg.threshold = 0.5;
+  cfg.window = 4;
+  cfg.consecutive = 2;
+  mon.bind(block.get(), cfg);
+
+  // Window 1 breaches (observed 10x predicted): no alarm yet (K=2).
+  bool edge = false;
+  for (int i = 0; i < 4; ++i) {
+    edge = mon.observe(4096, 1, 100.0, 10.0);
+  }
+  EXPECT_FALSE(edge);
+  EXPECT_FALSE(mon.stale());
+  // Window 2 breaches: the 8th sample is the alarm edge.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(mon.observe(4096, 1, 100.0, 10.0));
+  }
+  EXPECT_TRUE(mon.observe(4096, 1, 100.0, 10.0));
+  EXPECT_TRUE(mon.stale());
+  EXPECT_GT(mon.drift_score(4096, 1), 0.5);
+  EXPECT_GT(mon.observed_T_cma(4096, 1), 0.0);
+  // Cells with fewer than one window of samples report "unknown".
+  EXPECT_LT(mon.observed_T_cma(4096, 8), 0.0);
+
+  const obs::DriftSnapshot snap = obs::drift_snapshot(*block);
+  EXPECT_TRUE(snap.stale);
+  EXPECT_EQ(snap.alarms, 1u);
+  ASSERT_EQ(snap.cells.size(), 1u);
+  EXPECT_EQ(snap.cells[0].count, 8u);
+}
+
+TEST(DriftMonitor, AccurateModelNeverAlarms) {
+  auto block = std::make_unique<obs::DriftBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::DriftBlock));
+  obs::DriftMonitor mon;
+  obs::DriftConfig cfg;
+  cfg.window = 4;
+  cfg.consecutive = 1;
+  mon.bind(block.get(), cfg);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(mon.observe(65536, 4, 101.0, 100.0));
+  }
+  EXPECT_FALSE(mon.stale());
+  EXPECT_NEAR(mon.observed_T_cma(65536, 4), 101.0, 1e-9);
+}
+
+TEST(SimDrift, AlarmFiresUnderInjectedDelay) {
+  ScopedEnv w("KACC_DRIFT_WINDOW", "8");
+  ScopedEnv k("KACC_DRIFT_K", "2");
+  // Delay every CMA op on rank 0 by 2ms: observed latency dwarfs the
+  // model's prediction for a 4KB write, breaching every window.
+  sim::FaultInjector faults;
+  for (int op = 1; op <= 60; ++op) {
+    faults.delay_cma(0, op, 2000.0);
+  }
+  const SimFaultResult result = run_sim_fault(
+      knl(), 4, faults, [](Comm& comm) {
+        for (int i = 0; i < 12; ++i) {
+          verify_scatter(comm, 4096, 0, coll::ScatterAlgo::kSequentialWrite);
+        }
+      });
+  for (const sim::RankOutcome& out : result.outcomes) {
+    EXPECT_EQ(out.kind, sim::RankOutcome::Kind::kOk) << out.message;
+  }
+  EXPECT_GE(result.obs.total(Counter::kModelDriftAlarms), 1u);
+  ASSERT_EQ(result.obs.drift_per_rank.size(), 4u);
+  EXPECT_TRUE(result.obs.drift_per_rank[0].stale);
+  EXPECT_GE(result.obs.drift_per_rank[0].alarms, 1u);
+
+  // The alarm edge is also a flight-recorder event on the drifting rank.
+  ASSERT_EQ(result.obs.flights.size(), 4u);
+  const auto& ev = result.obs.flights[0].events;
+  EXPECT_TRUE(std::any_of(ev.begin(), ev.end(), [](const obs::FlightRecord& e) {
+    return e.kind == static_cast<std::uint32_t>(obs::FlightKind::kDriftAlarm);
+  }));
+}
+
+TEST(SimDrift, SilentWithoutInjectedDelay) {
+  ScopedEnv w("KACC_DRIFT_WINDOW", "8");
+  ScopedEnv k("KACC_DRIFT_K", "2");
+  const SimRunResult result = run_sim(knl(), 4, [](Comm& comm) {
+    for (int i = 0; i < 12; ++i) {
+      verify_scatter(comm, 4096, 0, coll::ScatterAlgo::kSequentialWrite);
+    }
+  });
+  EXPECT_EQ(result.obs.total(Counter::kModelDriftAlarms), 0u);
+  for (const obs::DriftSnapshot& d : result.obs.drift_per_rank) {
+    EXPECT_FALSE(d.stale);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Governor: observed-T_cma admission caps once the model goes stale
+// ---------------------------------------------------------------------------
+
+TEST(Governor, ObservedCapFallsBackWhenUnobserved) {
+  auto block = std::make_unique<obs::DriftBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::DriftBlock));
+  obs::DriftMonitor mon;
+  obs::DriftConfig cfg;
+  cfg.window = 4;
+  mon.bind(block.get(), cfg);
+
+  // No observations at all: the caller must keep the model cap.
+  EXPECT_EQ(nbc::optimal_admission_cap_observed(mon, knl(), 65536, 8), 0);
+  // With no full-window cell, observed cost == model cost exactly.
+  EXPECT_DOUBLE_EQ(nbc::observed_drain_cost_us(mon, knl(), 65536, 7, 2),
+                   nbc::drain_cost_us(knl(), 65536, 7, 2));
+}
+
+TEST(Governor, ObservedCapPrefersMeasuredSerialDrain) {
+  auto block = std::make_unique<obs::DriftBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::DriftBlock));
+  obs::DriftMonitor mon;
+  obs::DriftConfig cfg;
+  cfg.window = 4;
+  mon.bind(block.get(), cfg);
+
+  // Reality on this machine: serial transfers are fast, any concurrency is
+  // catastrophic (say, a pathological page-table-lock convoy the model
+  // never predicted). Feed full windows for every candidate bucket.
+  for (int i = 0; i < 8; ++i) {
+    mon.observe(65536, 1, 10.0, 10.0);
+    for (const int c : {2, 3, 5, 9, 17}) {
+      mon.observe(65536, c, 5000.0, 10.0);
+    }
+  }
+  EXPECT_EQ(nbc::optimal_admission_cap_observed(mon, knl(), 65536, 8), 1);
+  EXPECT_LT(nbc::observed_drain_cost_us(mon, knl(), 65536, 7, 1),
+            nbc::observed_drain_cost_us(mon, knl(), 65536, 7, 4));
+}
+
+TEST(Governor, StaleModelFlipsEngineToObservedCap) {
+  ScopedEnv w("KACC_DRIFT_WINDOW", "4");
+  ScopedEnv k("KACC_DRIFT_K", "1");
+  const int p = 8;
+  const std::uint64_t bytes = 64;
+
+  // Premise: for a tiny (alpha-dominated) grain the model says "overlap
+  // freely" — the cap the engine would use without drift intervention.
+  const int cap_model = nbc::optimal_admission_cap(knl(), bytes, p);
+  ASSERT_GT(cap_model, 1);
+
+  const auto run = [&](bool poison) {
+    return run_sim(knl(), p, [&, poison](Comm& comm) {
+      if (poison) {
+        // Teach the monitor that concurrency is catastrophically slow on
+        // this "machine" (obs >> pred trips the window alarm immediately,
+        // flagging the model stale), while serial transfers match.
+        obs::DriftMonitor& drift = comm.recorder().drift;
+        for (int i = 0; i < 8; ++i) {
+          drift.observe(bytes, 1, 10.0, 10.0);
+          for (const int c : {2, 3, 5, 9, 17}) {
+            drift.observe(bytes, c, 5000.0, 10.0);
+          }
+        }
+      }
+      AlignedBuffer buf(bytes);
+      nbc::Request r = nbc::ibcast(comm, buf.data(), bytes, 0,
+                                   coll::BcastAlgo::kDirectRead);
+      nbc::wait(r);
+    });
+  };
+
+  const SimRunResult stale = run(/*poison=*/true);
+  const SimRunResult fresh = run(/*poison=*/false);
+
+  // Poisoned run: every rank is stale, the engine re-derives the cap from
+  // observed T_cma (serial wins), and no source ever sees 2 in flight.
+  for (int r = 0; r < p; ++r) {
+    EXPECT_TRUE(stale.obs.drift_per_rank[static_cast<std::size_t>(r)].stale);
+    EXPECT_LE(stale.obs.rank_value(r, Counter::kNbcInflightHwm), 1u);
+  }
+  EXPECT_EQ(stale.obs.total(Counter::kNbcInflightHwm),
+            static_cast<std::uint64_t>(p - 1));
+  // Control run: the model-derived cap admits overlap against the root.
+  EXPECT_GT(fresh.obs.total(Counter::kNbcInflightHwm),
+            static_cast<std::uint64_t>(p - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Post-mortem bundles
+// ---------------------------------------------------------------------------
+
+TEST(Postmortem, SimKillProducesValidBundle) {
+  const std::string dir = make_temp_dir();
+  ScopedEnv env("KACC_POSTMORTEM", dir.c_str());
+
+  sim::FaultInjector faults;
+  faults.kill_rank(1, 10.0);
+  const SimFaultResult result = run_sim_fault(
+      broadwell(), 4, faults, [](Comm& comm) {
+        for (int i = 0; i < 50; ++i) {
+          verify_gather(comm, 65536, 0, coll::GatherAlgo::kParallelWrite);
+        }
+      });
+  ASSERT_TRUE(result.any(sim::RankOutcome::Kind::kKilled));
+
+  const std::vector<std::string> bundles = list_files(dir, "postmortem_");
+  ASSERT_EQ(bundles.size(), 1u);
+  const std::string doc = read_file(bundles[0]);
+  EXPECT_TRUE(json_syntax_ok(doc));
+  EXPECT_NE(doc.find("\"runtime\":\"sim\""), std::string::npos);
+  EXPECT_NE(doc.find("\"failing_rank\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"nranks\":4"), std::string::npos);
+  for (const char* key :
+       {"\"events\":", "\"failing_rank_last_events\":", "\"counters\":",
+        "\"histograms\":", "\"drift\":"}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key;
+  }
+  // The black box names the victim's last recorded activity.
+  EXPECT_NE(doc.find("\"kind\":\"coll_begin\""), std::string::npos);
+}
+
+TEST(Postmortem, SimBundleIsByteIdentical) {
+  const auto run = [] {
+    sim::FaultInjector faults;
+    faults.kill_rank(2, 25.0);
+    return run_sim_fault(broadwell(), 4, faults, [](Comm& comm) {
+      for (int i = 0; i < 50; ++i) {
+        verify_scatter(comm, 32768, 0, coll::ScatterAlgo::kParallelRead);
+      }
+    });
+  };
+  const SimFaultResult a = run();
+  const SimFaultResult b = run();
+  ASSERT_TRUE(a.any(sim::RankOutcome::Kind::kKilled));
+  // Render directly (the filename ordinal is process state; the document
+  // itself must be deterministic).
+  const std::string da = obs::postmortem_json(a.obs, "sim", "rank killed", 2);
+  const std::string db = obs::postmortem_json(b.obs, "sim", "rank killed", 2);
+  EXPECT_EQ(da, db);
+  EXPECT_TRUE(json_syntax_ok(da));
+}
+
+TEST(Postmortem, EventsAreTimeSorted) {
+  const std::string dir = make_temp_dir();
+  ScopedEnv env("KACC_POSTMORTEM", dir.c_str());
+  sim::FaultInjector faults;
+  faults.kill_rank(1, 10.0);
+  run_sim_fault(broadwell(), 4, faults, [](Comm& comm) {
+    for (int i = 0; i < 50; ++i) {
+      verify_gather(comm, 65536, 0, coll::GatherAlgo::kParallelWrite);
+    }
+  });
+  const std::vector<std::string> bundles = list_files(dir, "postmortem_");
+  ASSERT_EQ(bundles.size(), 1u);
+  const std::string doc = read_file(bundles[0]);
+
+  // Walk the merged "events" array: ts_us must be non-decreasing.
+  const std::size_t start = doc.find("\"events\":[");
+  ASSERT_NE(start, std::string::npos);
+  double prev = -1.0;
+  int seen = 0;
+  std::size_t pos = start;
+  const std::size_t stop = doc.find("\"failing_rank_last_events\"");
+  while (true) {
+    pos = doc.find("{\"ts_us\":", pos);
+    if (pos == std::string::npos || pos >= stop) {
+      break;
+    }
+    pos += std::strlen("{\"ts_us\":");
+    const double ts = std::strtod(doc.c_str() + pos, nullptr);
+    EXPECT_GE(ts, prev);
+    prev = ts;
+    ++seen;
+  }
+  EXPECT_GT(seen, 4);
+}
+
+TEST(Postmortem, NativeInjectedExitNamesFailingRank) {
+  if (!cma::available()) {
+    GTEST_SKIP() << "CMA unavailable";
+  }
+  const std::string dir = make_temp_dir();
+  ScopedEnv pm("KACC_POSTMORTEM", dir.c_str());
+  // Rank 1 exits without cleanup at its first CMA op.
+  ScopedEnv fault("KACC_FAULT", "rank:1,op:1,action:exit");
+
+  TeamOptions opts;
+  opts.op_deadline_ms = 10'000.0;
+  opts.team_timeout_ms = 60'000.0;
+  const TeamResult result = run_native_team(
+      broadwell(), 4,
+      [](Comm& comm) {
+        verify_gather(comm, 8192, 0, coll::GatherAlgo::kParallelWrite);
+      },
+      opts);
+  ASSERT_FALSE(result.all_ok());
+  EXPECT_EQ(result.ranks[1].exit_code, 42);
+
+  const std::vector<std::string> bundles = list_files(dir, "postmortem_");
+  ASSERT_EQ(bundles.size(), 1u);
+  const std::string doc = read_file(bundles[0]);
+  EXPECT_TRUE(json_syntax_ok(doc));
+  EXPECT_NE(doc.find("\"runtime\":\"native\""), std::string::npos);
+  EXPECT_NE(doc.find("\"failing_rank\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"failing_rank_last_events\":["), std::string::npos);
+}
+
+TEST(Postmortem, DisabledWithoutEnv) {
+  ScopedEnv env("KACC_POSTMORTEM", nullptr);
+  EXPECT_FALSE(obs::postmortem_enabled());
+  obs::TeamObs empty;
+  EXPECT_EQ(obs::maybe_dump_postmortem(empty, "sim", "reason", 0), "");
+}
+
+} // namespace
+} // namespace kacc
