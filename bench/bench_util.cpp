@@ -29,6 +29,7 @@ struct SeriesData {
 
 struct JsonState {
   bool enabled = false;
+  bool executed = false;
   std::string exp;
   std::vector<SeriesData> series; ///< insertion order
 };
@@ -119,8 +120,10 @@ void bench_init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       st.enabled = true;
+    } else if (std::strcmp(argv[i], "--executed") == 0) {
+      st.executed = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--json]\n",
+      std::fprintf(stderr, "usage: %s [--json] [--executed]\n",
                    argc > 0 ? argv[0] : "bench");
       std::exit(2);
     }
@@ -129,6 +132,8 @@ void bench_init(int argc, char** argv) {
 }
 
 bool json_mode() { return json_state().enabled; }
+
+bool executed_mode() { return json_state().executed; }
 
 void record_point(const std::string& arch, const std::string& algorithm,
                   std::uint64_t size_bytes, double latency_us) {

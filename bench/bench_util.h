@@ -26,6 +26,11 @@ void bench_init(int argc, char** argv);
 /// True after bench_init saw --json.
 [[nodiscard]] bool json_mode();
 
+/// True after bench_init saw --executed. Benches that model a composed
+/// design analytically (fig17) use this to also run the executable
+/// counterpart in the simulator and report the model-vs-measured residual.
+[[nodiscard]] bool executed_mode();
+
 /// Appends one measured point to a series keyed by (arch, algorithm).
 /// measure_us() records automatically; benches with bespoke measurement
 /// loops (timed_cma sweeps) call this directly. Points keep insertion

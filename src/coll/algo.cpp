@@ -30,6 +30,7 @@ std::string to_string(ScatterAlgo a) {
     case ScatterAlgo::kParallelRead: return "parallel-read";
     case ScatterAlgo::kSequentialWrite: return "sequential-write";
     case ScatterAlgo::kThrottledRead: return "throttled-read";
+    case ScatterAlgo::kTwoLevel: return "two-level";
   }
   return "?";
 }
@@ -40,6 +41,7 @@ std::string to_string(GatherAlgo a) {
     case GatherAlgo::kParallelWrite: return "parallel-write";
     case GatherAlgo::kSequentialRead: return "sequential-read";
     case GatherAlgo::kThrottledWrite: return "throttled-write";
+    case GatherAlgo::kTwoLevel: return "two-level";
   }
   return "?";
 }
@@ -63,6 +65,7 @@ std::string to_string(AllgatherAlgo a) {
     case AllgatherAlgo::kRingSourceWrite: return "ring-source-write";
     case AllgatherAlgo::kRecursiveDoubling: return "recursive-doubling";
     case AllgatherAlgo::kBruck: return "bruck";
+    case AllgatherAlgo::kTwoLevel: return "two-level";
   }
   return "?";
 }
@@ -77,6 +80,7 @@ std::string to_string(BcastAlgo a) {
     case BcastAlgo::kScatterAllgather: return "scatter-allgather";
     case BcastAlgo::kShmemTree: return "shmem-tree";
     case BcastAlgo::kShmemSlot: return "shmem-slot";
+    case BcastAlgo::kTwoLevel: return "two-level";
   }
   return "?";
 }

@@ -10,6 +10,7 @@ enum class ScatterAlgo {
   kParallelRead,    ///< all non-roots read concurrently (§IV-A1)
   kSequentialWrite, ///< root writes one block at a time (§IV-A2)
   kThrottledRead,   ///< k concurrent readers, chained signals (§IV-A3)
+  kTwoLevel,        ///< socket leaders fan out, then tuned intra-socket
 };
 
 enum class GatherAlgo {
@@ -17,6 +18,7 @@ enum class GatherAlgo {
   kParallelWrite,  ///< §IV-B1
   kSequentialRead, ///< §IV-B2
   kThrottledWrite, ///< §IV-B3
+  kTwoLevel,       ///< tuned intra-socket gather, then leaders to root
 };
 
 enum class AlltoallAlgo {
@@ -34,6 +36,7 @@ enum class AllgatherAlgo {
   kRingSourceWrite,   ///< write own block to (rank + i) (§V-A2)
   kRecursiveDoubling, ///< §V-A3
   kBruck,             ///< §V-A4
+  kTwoLevel,          ///< intra gather, leader slab exchange, intra bcast
 };
 
 enum class BcastAlgo {
@@ -47,6 +50,7 @@ enum class BcastAlgo {
   kShmemSlot,        ///< slotted shared-buffer bcast: one copy-in, p-1
                      ///< concurrent copy-outs (MVAPICH2-style; the
                      ///< small-message design the tuner falls back to)
+  kTwoLevel,         ///< leader tree crosses sockets once, tuned intra
 };
 
 /// Per-call knobs. Zero values mean "let the algorithm/tuner choose".

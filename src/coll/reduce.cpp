@@ -2,15 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstring>
-#include <vector>
 
-#include "coll/bcast.h"
-#include "coll/gather.h"
 #include "coll/tuner.h"
-#include "common/buffer.h"
 #include "common/error.h"
-#include "common/mathutil.h"
+#include "nbc/compile.h"
 
 namespace kacc::coll {
 
@@ -28,6 +23,7 @@ std::string to_string(ReduceAlgo a) {
     case ReduceAlgo::kGatherCombine: return "gather-combine";
     case ReduceAlgo::kBinomialRead: return "binomial-read";
     case ReduceAlgo::kReduceScatterGather: return "reduce-scatter-gather";
+    case ReduceAlgo::kTwoLevel: return "two-level";
   }
   return "?";
 }
@@ -38,6 +34,7 @@ std::string to_string(AllreduceAlgo a) {
     case AllreduceAlgo::kReduceBcast: return "reduce-bcast";
     case AllreduceAlgo::kRecursiveDoubling: return "recursive-doubling";
     case AllreduceAlgo::kRabenseifner: return "rabenseifner";
+    case AllreduceAlgo::kTwoLevel: return "two-level";
   }
   return "?";
 }
@@ -57,272 +54,6 @@ void combine(ReduceOp op, double* acc, const double* in, std::size_t count) {
   }
 }
 
-namespace {
-
-constexpr std::size_t kElem = sizeof(double);
-
-/// Balanced chunk boundaries for the reduce-scatter phases.
-struct Chunking {
-  std::size_t base;
-  std::size_t rem;
-
-  explicit Chunking(std::size_t count, int p)
-      : base(count / static_cast<std::size_t>(p)),
-        rem(count % static_cast<std::size_t>(p)) {}
-
-  [[nodiscard]] std::size_t count_of(int q) const {
-    return base + (static_cast<std::size_t>(q) < rem ? 1 : 0);
-  }
-  [[nodiscard]] std::size_t offset_of(int q) const {
-    const auto uq = static_cast<std::size_t>(q);
-    return uq * base + std::min(uq, rem);
-  }
-};
-
-/// Exchanges the address of each rank's accumulator buffer.
-std::vector<std::uint64_t> exchange_addrs(Comm& comm, const double* buf) {
-  std::uint64_t mine = comm.expose(buf);
-  std::vector<std::uint64_t> addrs(static_cast<std::size_t>(comm.size()));
-  comm.ctrl_allgather(&mine, addrs.data(), sizeof(mine));
-  return addrs;
-}
-
-void charge_and_combine(Comm& comm, ReduceOp op, double* acc,
-                        const double* in, std::size_t count) {
-  combine(op, acc, in, count);
-  comm.compute_charge(count * kElem);
-}
-
-/// Tuned gather of full vectors followed by a root-side combine — the
-/// write-based, contention-aware design (the gather phase reuses the
-/// throttled writes of §IV-B).
-void reduce_gather_combine(Comm& comm, const double* send, double* recv,
-                           std::size_t count, ReduceOp op, int root) {
-  const int p = comm.size();
-  const std::size_t bytes = count * kElem;
-  AlignedBuffer staging(comm.rank() == root
-                            ? bytes * static_cast<std::size_t>(p)
-                            : 0);
-  gather(comm, send, staging.empty() ? nullptr : staging.data(), bytes, root,
-         GatherAlgo::kAuto);
-  if (comm.rank() == root) {
-    const auto* blocks = reinterpret_cast<const double*>(staging.data());
-    comm.local_copy(recv, blocks, bytes);
-    for (int q = 1; q < p; ++q) {
-      charge_and_combine(comm, op, recv,
-                         blocks + static_cast<std::size_t>(q) * count, count);
-    }
-  }
-}
-
-/// Binomial read tree: parents pull each child's accumulator (distinct
-/// sources per round — no page-lock contention) and combine.
-void reduce_binomial_read(Comm& comm, const double* send, double* recv,
-                          std::size_t count, ReduceOp op, int root) {
-  const int p = comm.size();
-  const int vrank = pmod(comm.rank() - root, p);
-  auto actual = [&](int v) { return pmod(v + root, p); };
-  const std::size_t bytes = count * kElem;
-
-  AlignedBuffer acc_buf(bytes);
-  auto* acc = reinterpret_cast<double*>(acc_buf.data());
-  comm.local_copy(acc, send, bytes);
-  AlignedBuffer tmp_buf(bytes);
-  auto* tmp = reinterpret_cast<double*>(tmp_buf.data());
-
-  const std::vector<std::uint64_t> addrs = exchange_addrs(comm, acc);
-
-  for (int mask = 1; mask < p; mask <<= 1) {
-    if ((vrank & mask) != 0) {
-      // Contribute to the parent, then hold the buffer until it is read.
-      const int parent = actual(vrank - mask);
-      comm.signal(parent);      // acc ready
-      comm.wait_signal(parent); // parent finished reading
-      break;
-    }
-    if (vrank + mask < p) {
-      const int child = actual(vrank + mask);
-      comm.wait_signal(child);
-      comm.cma_read(child, addrs[static_cast<std::size_t>(child)], tmp,
-                    bytes);
-      charge_and_combine(comm, op, acc, tmp, count);
-      comm.signal(child); // child may release its buffer
-    }
-  }
-  if (comm.rank() == root) {
-    comm.local_copy(recv, acc, bytes);
-  }
-  // acc buffers are function-local: nobody may still be reading them.
-  comm.barrier();
-}
-
-/// Ring reduce-scatter: after p-1 chained steps, rank r holds the fully
-/// reduced chunk (r+1) mod p. Pairwise-disjoint reads keep it contention
-/// free, like the Alltoall pairwise exchange.
-void ring_reduce_scatter(Comm& comm, double* acc, ReduceOp op,
-                         const Chunking& ch,
-                         const std::vector<std::uint64_t>& addrs,
-                         AlignedBuffer& tmp_buf) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  const int up = pmod(rank - 1, p);
-  const int down = pmod(rank + 1, p);
-  auto* tmp = reinterpret_cast<double*>(tmp_buf.data());
-  for (int step = 1; step < p; ++step) {
-    const int c = pmod(rank - step, p);
-    if (step >= 2) {
-      comm.wait_signal(up); // up finished accumulating chunk c last step
-    }
-    comm.cma_read(up,
-                  addrs[static_cast<std::size_t>(up)] +
-                      ch.offset_of(c) * kElem,
-                  tmp, ch.count_of(c) * kElem);
-    charge_and_combine(comm, op, acc + ch.offset_of(c), tmp, ch.count_of(c));
-    if (step <= p - 2) {
-      comm.signal(down);
-    }
-  }
-}
-
-/// Owner of chunk q after the ring reduce-scatter.
-int chunk_holder(int chunk, int p) { return pmod(chunk - 1, p); }
-
-/// Reduce-scatter + sequential chunk gather at the root.
-void reduce_rsg(Comm& comm, const double* send, double* recv,
-                std::size_t count, ReduceOp op, int root) {
-  const int p = comm.size();
-  const std::size_t bytes = count * kElem;
-  const Chunking ch(count, p);
-
-  AlignedBuffer acc_buf(bytes);
-  auto* acc = reinterpret_cast<double*>(acc_buf.data());
-  comm.local_copy(acc, send, bytes);
-  AlignedBuffer tmp_buf((ch.base + 1) * kElem);
-  const std::vector<std::uint64_t> addrs = exchange_addrs(comm, acc);
-
-  ring_reduce_scatter(comm, acc, op, ch, addrs, tmp_buf);
-  comm.barrier(); // every chunk fully reduced
-
-  if (comm.rank() == root) {
-    for (int c = 0; c < p; ++c) {
-      const int holder = chunk_holder(c, p);
-      if (ch.count_of(c) == 0) {
-        continue;
-      }
-      if (holder == root) {
-        comm.local_copy(recv + ch.offset_of(c), acc + ch.offset_of(c),
-                        ch.count_of(c) * kElem);
-      } else {
-        comm.cma_read(holder,
-                      addrs[static_cast<std::size_t>(holder)] +
-                          ch.offset_of(c) * kElem,
-                      recv + ch.offset_of(c), ch.count_of(c) * kElem);
-      }
-    }
-  }
-  comm.barrier(); // holders keep acc alive until the root has read
-}
-
-/// Recursive-doubling allreduce with fold-in/out for non-powers-of-two.
-void allreduce_rd(Comm& comm, const double* send, double* recv,
-                  std::size_t count, ReduceOp op) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  const std::size_t bytes = count * kElem;
-
-  AlignedBuffer acc_buf(bytes);
-  auto* acc = reinterpret_cast<double*>(acc_buf.data());
-  comm.local_copy(acc, send, bytes);
-  AlignedBuffer tmp_buf(bytes);
-  auto* tmp = reinterpret_cast<double*>(tmp_buf.data());
-  const std::vector<std::uint64_t> addrs = exchange_addrs(comm, acc);
-
-  int r = 1;
-  while (r * 2 <= p) {
-    r *= 2;
-  }
-
-  // Fold-in: ranks >= r contribute to (rank - r).
-  if (rank >= r) {
-    comm.signal(rank - r);
-    comm.wait_signal(rank - r);
-  } else if (rank + r < p) {
-    const int src = rank + r;
-    comm.wait_signal(src);
-    comm.cma_read(src, addrs[static_cast<std::size_t>(src)], tmp, bytes);
-    charge_and_combine(comm, op, acc, tmp, count);
-    comm.signal(src);
-  }
-
-  if (rank < r) {
-    for (int mask = 1; mask < r; mask <<= 1) {
-      const int partner = rank ^ mask;
-      // Both sides read the peer's current accumulator, then combine only
-      // after both reads completed (read-ready / read-done handshake).
-      comm.signal(partner);
-      comm.wait_signal(partner);
-      comm.cma_read(partner, addrs[static_cast<std::size_t>(partner)], tmp,
-                    bytes);
-      comm.signal(partner);
-      comm.wait_signal(partner);
-      charge_and_combine(comm, op, acc, tmp, count);
-    }
-  }
-
-  // Fold-out: ranks >= r pull the final vector.
-  if (rank < r && rank + r < p) {
-    comm.signal(rank + r);
-  } else if (rank >= r) {
-    const int src = rank - r;
-    comm.wait_signal(src);
-    comm.cma_read(src, addrs[static_cast<std::size_t>(src)], acc, bytes);
-  }
-  comm.local_copy(recv, acc, bytes);
-  comm.barrier();
-}
-
-/// Rabenseifner: ring reduce-scatter, then every rank pulls each reduced
-/// chunk straight from its holder (ring-source allgather — contention
-/// free).
-void allreduce_rabenseifner(Comm& comm, const double* send, double* recv,
-                            std::size_t count, ReduceOp op) {
-  const int p = comm.size();
-  const int rank = comm.rank();
-  const std::size_t bytes = count * kElem;
-  const Chunking ch(count, p);
-
-  AlignedBuffer acc_buf(bytes);
-  auto* acc = reinterpret_cast<double*>(acc_buf.data());
-  comm.local_copy(acc, send, bytes);
-  AlignedBuffer tmp_buf((ch.base + 1) * kElem);
-  const std::vector<std::uint64_t> addrs = exchange_addrs(comm, acc);
-
-  ring_reduce_scatter(comm, acc, op, ch, addrs, tmp_buf);
-  comm.barrier();
-
-  // Allgather phase: rotate over distinct holders.
-  const int own_chunk = pmod(rank + 1, p);
-  if (ch.count_of(own_chunk) > 0) {
-    comm.local_copy(recv + ch.offset_of(own_chunk),
-                    acc + ch.offset_of(own_chunk),
-                    ch.count_of(own_chunk) * kElem);
-  }
-  for (int step = 1; step < p; ++step) {
-    const int holder = pmod(rank - step, p);
-    const int c = pmod(holder + 1, p);
-    if (ch.count_of(c) == 0) {
-      continue;
-    }
-    comm.cma_read(holder,
-                  addrs[static_cast<std::size_t>(holder)] +
-                      ch.offset_of(c) * kElem,
-                  recv + ch.offset_of(c), ch.count_of(c) * kElem);
-  }
-  comm.barrier();
-}
-
-} // namespace
-
 void reduce(Comm& comm, const double* send, double* recv, std::size_t count,
             ReduceOp op, int root, ReduceAlgo algo, const CollOptions& opts) {
   const int p = comm.size();
@@ -337,32 +68,18 @@ void reduce(Comm& comm, const double* send, double* recv, std::size_t count,
   (void)opts;
 
   if (algo == ReduceAlgo::kAuto) {
-    algo = Tuner().reduce(comm.arch(), p, count * kElem).reduce;
+    algo = Tuner().reduce(comm.arch(), p, count * sizeof(double)).reduce;
   }
   comm.recorder().counters.add(obs::Counter::kCollLaunches);
   obs::Span span(comm.recorder(), obs::SpanName::kReduce,
-                 static_cast<std::int64_t>(count * kElem), root,
+                 static_cast<std::int64_t>(count * sizeof(double)), root,
                  to_string(algo).c_str());
   obs::CollScope coll(comm.recorder(),
-                      static_cast<std::int64_t>(count * kElem), root,
+                      static_cast<std::int64_t>(count * sizeof(double)), root,
                       to_string(algo).c_str());
-  if (p == 1) {
-    comm.local_copy(recv, send, count * kElem);
-    return;
-  }
-  switch (algo) {
-    case ReduceAlgo::kGatherCombine:
-      reduce_gather_combine(comm, send, recv, count, op, root);
-      break;
-    case ReduceAlgo::kBinomialRead:
-      reduce_binomial_read(comm, send, recv, count, op, root);
-      break;
-    case ReduceAlgo::kReduceScatterGather:
-      reduce_rsg(comm, send, recv, count, op, root);
-      break;
-    case ReduceAlgo::kAuto:
-      throw InternalError("reduce: tuner returned kAuto");
-  }
+  auto sched =
+      nbc::compile_reduce(comm, send, recv, count, op, root, algo, opts, {});
+  nbc::drain(comm, *sched);
 }
 
 void allreduce(Comm& comm, const double* send, double* recv,
@@ -378,33 +95,18 @@ void allreduce(Comm& comm, const double* send, double* recv,
   (void)opts;
 
   if (algo == AllreduceAlgo::kAuto) {
-    algo = Tuner().allreduce(comm.arch(), p, count * kElem).allreduce;
+    algo = Tuner().allreduce(comm.arch(), p, count * sizeof(double)).allreduce;
   }
   comm.recorder().counters.add(obs::Counter::kCollLaunches);
   obs::Span span(comm.recorder(), obs::SpanName::kAllreduce,
-                 static_cast<std::int64_t>(count * kElem), -1,
+                 static_cast<std::int64_t>(count * sizeof(double)), -1,
                  to_string(algo).c_str());
   obs::CollScope coll(comm.recorder(),
-                      static_cast<std::int64_t>(count * kElem), -1,
+                      static_cast<std::int64_t>(count * sizeof(double)), -1,
                       to_string(algo).c_str());
-  if (p == 1) {
-    comm.local_copy(recv, send, count * kElem);
-    return;
-  }
-  switch (algo) {
-    case AllreduceAlgo::kReduceBcast:
-      reduce(comm, send, recv, count, op, 0, ReduceAlgo::kAuto);
-      bcast(comm, recv, count * kElem, 0, BcastAlgo::kAuto);
-      break;
-    case AllreduceAlgo::kRecursiveDoubling:
-      allreduce_rd(comm, send, recv, count, op);
-      break;
-    case AllreduceAlgo::kRabenseifner:
-      allreduce_rabenseifner(comm, send, recv, count, op);
-      break;
-    case AllreduceAlgo::kAuto:
-      throw InternalError("allreduce: tuner returned kAuto");
-  }
+  auto sched =
+      nbc::compile_allreduce(comm, send, recv, count, op, algo, opts, {});
+  nbc::drain(comm, *sched);
 }
 
 } // namespace kacc::coll

@@ -29,6 +29,7 @@ enum class ReduceAlgo {
   kGatherCombine,        ///< tuned (throttled) gather + root combines all
   kBinomialRead,         ///< log p rounds of contention-free child reads
   kReduceScatterGather,  ///< recursive halving, then chunk gather to root
+  kTwoLevel,             ///< intra-socket reduce, then leaders to root
 };
 
 enum class AllreduceAlgo {
@@ -36,6 +37,7 @@ enum class AllreduceAlgo {
   kReduceBcast,       ///< tuned reduce followed by tuned bcast
   kRecursiveDoubling, ///< lg p full-vector exchanges, everyone combines
   kRabenseifner,      ///< reduce-scatter + allgather (bandwidth optimal)
+  kTwoLevel,          ///< intra reduce, leader allreduce, intra bcast
 };
 
 std::string to_string(ReduceOp op);

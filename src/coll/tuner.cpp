@@ -22,6 +22,19 @@ struct Best {
   }
 };
 
+/// True when the leader decomposition is non-trivial on this arch/p: at
+/// least two domains with at least two ranks each side of the split.
+/// Matches topo::Hierarchy::from_arch(s, p).trivial() under the block
+/// distribution without building the hierarchy.
+bool two_level_applicable(const ArchSpec& s, int p) {
+  if (s.sockets <= 1 || p <= 2) {
+    return false;
+  }
+  const int per = predict::two_level_domain_ranks(s, p);
+  const int nd = predict::two_level_domains(s, p);
+  return nd >= 2 && per >= 2;
+}
+
 } // namespace
 
 std::vector<int> Tuner::throttle_candidates(const ArchSpec& s, int p) {
@@ -59,6 +72,11 @@ Tuner::Choice Tuner::scatter(const ArchSpec& s, int p,
       choice.throttle = k;
     }
   }
+  if (two_level_applicable(s, p) &&
+      best.offer(predict::two_level_scatter(s, p, bytes))) {
+    choice.scatter = ScatterAlgo::kTwoLevel;
+    choice.throttle = 0;
+  }
   choice.predicted_us = best.cost;
   return choice;
 }
@@ -80,6 +98,11 @@ Tuner::Choice Tuner::gather(const ArchSpec& s, int p,
       choice.gather = GatherAlgo::kThrottledWrite;
       choice.throttle = k;
     }
+  }
+  if (two_level_applicable(s, p) &&
+      best.offer(predict::two_level_gather(s, p, bytes))) {
+    choice.gather = GatherAlgo::kTwoLevel;
+    choice.throttle = 0;
   }
   choice.predicted_us = best.cost;
   return choice;
@@ -117,6 +140,11 @@ Tuner::Choice Tuner::allgather(const ArchSpec& s, int p,
   if (best.offer(predict::allgather_bruck(s, p, bytes))) {
     choice.allgather = AllgatherAlgo::kBruck;
   }
+  if (two_level_applicable(s, p) &&
+      best.offer(predict::two_level_allgather(s, p, bytes))) {
+    choice.allgather = AllgatherAlgo::kTwoLevel;
+    choice.ring_stride = 1;
+  }
   choice.predicted_us = best.cost;
   return choice;
 }
@@ -149,6 +177,11 @@ Tuner::Choice Tuner::bcast(const ArchSpec& s, int p,
     choice.bcast = BcastAlgo::kShmemSlot;
     choice.throttle = 0;
   }
+  if (two_level_applicable(s, p) &&
+      best.offer(predict::two_level_bcast(s, p, bytes))) {
+    choice.bcast = BcastAlgo::kTwoLevel;
+    choice.throttle = 0;
+  }
   choice.predicted_us = best.cost;
   return choice;
 }
@@ -166,6 +199,10 @@ Tuner::Choice Tuner::reduce(const ArchSpec& s, int p,
   if (best.offer(predict::reduce_rsg(s, p, bytes))) {
     choice.reduce = ReduceAlgo::kReduceScatterGather;
   }
+  if (two_level_applicable(s, p) &&
+      best.offer(predict::two_level_reduce(s, p, bytes))) {
+    choice.reduce = ReduceAlgo::kTwoLevel;
+  }
   choice.predicted_us = best.cost;
   return choice;
 }
@@ -182,6 +219,10 @@ Tuner::Choice Tuner::allreduce(const ArchSpec& s, int p,
   }
   if (best.offer(predict::allreduce_rabenseifner(s, p, bytes))) {
     choice.allreduce = AllreduceAlgo::kRabenseifner;
+  }
+  if (two_level_applicable(s, p) &&
+      best.offer(predict::two_level_allreduce(s, p, bytes))) {
+    choice.allreduce = AllreduceAlgo::kTwoLevel;
   }
   choice.predicted_us = best.cost;
   return choice;

@@ -492,4 +492,198 @@ double allreduce_rabenseifner(const ArchSpec& s, int p, std::uint64_t eta) {
          static_cast<double>(p - 1) * ag_step + s.shm_coll_us(p);
 }
 
+// ---------------- Two-level (hierarchy-aware) ----------------
+
+namespace {
+
+/// Best CMA-only flat scatter over the candidate set the compiler can
+/// actually lower (mirrors Tuner::scatter minus two-level itself).
+double best_flat_scatter(const ArchSpec& s, int p, std::uint64_t eta) {
+  return std::min({scatter_parallel_read(s, p, eta),
+                   scatter_sequential_write(s, p, eta),
+                   scatter_throttled_read(s, p, eta, 2),
+                   scatter_throttled_read(s, p, eta, 4),
+                   scatter_throttled_read(s, p, eta, 8),
+                   scatter_throttled_read(s, p, eta, 16)});
+}
+
+double best_flat_gather(const ArchSpec& s, int p, std::uint64_t eta) {
+  return std::min({gather_parallel_write(s, p, eta),
+                   gather_sequential_read(s, p, eta),
+                   gather_throttled_write(s, p, eta, 2),
+                   gather_throttled_write(s, p, eta, 4),
+                   gather_throttled_write(s, p, eta, 8),
+                   gather_throttled_write(s, p, eta, 16)});
+}
+
+/// Best CMA-only flat bcast. Excludes the shmem algorithms: they have no
+/// schedule lowering, so the composed intra phase can never run them.
+double best_flat_bcast(const ArchSpec& s, int p, std::uint64_t eta) {
+  return std::min({bcast_direct_read(s, p, eta),
+                   bcast_direct_write(s, p, eta),
+                   bcast_knomial(s, p, eta, 2), bcast_knomial(s, p, eta, 4),
+                   bcast_knomial(s, p, eta, 8),
+                   bcast_scatter_allgather(s, p, eta)});
+}
+
+double best_flat_reduce(const ArchSpec& s, int p, std::uint64_t eta) {
+  return std::min({reduce_gather_combine(s, p, eta),
+                   reduce_binomial_read(s, p, eta), reduce_rsg(s, p, eta)});
+}
+
+/// True when the leader decomposition is non-trivial: at least two domains
+/// with at least two ranks in the root's domain.
+bool two_level_shape(const ArchSpec& s, int p, int* per_out, int* nd_out) {
+  if (s.sockets <= 1 || p <= 2) {
+    return false;
+  }
+  const int per = ranks_per_socket(s, p);
+  const int nd = (p + per - 1) / per;
+  *per_out = per;
+  *nd_out = nd;
+  return nd >= 2 && per >= 2;
+}
+
+} // namespace
+
+ArchSpec single_socket_view(const ArchSpec& s) {
+  ArchSpec v = s;
+  v.sockets = 1;
+  v.inter_socket_beta_mult = 1.0;
+  v.inter_socket_bw_Bus = 1e12;
+  // One socket's worth of capacity, so the view passes validation.
+  v.default_ranks = std::min(v.default_ranks, v.total_cores());
+  return v;
+}
+
+int two_level_domain_ranks(const ArchSpec& s, int p) {
+  check_args(p);
+  return ranks_per_socket(s, p);
+}
+
+int two_level_domains(const ArchSpec& s, int p) {
+  check_args(p);
+  const int per = ranks_per_socket(s, p);
+  return (p + per - 1) / per;
+}
+
+double two_level_scatter(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  int per = 0;
+  int nd = 0;
+  if (!two_level_shape(s, p, &per, &nd)) {
+    return best_flat_scatter(s, p, eta);
+  }
+  const ArchSpec v = single_socket_view(s);
+  const std::uint64_t slab = eta * static_cast<std::uint64_t>(per);
+  // Leaders pull whole domain slabs concurrently across the link, signal
+  // the root, then fan out inside their socket on the tuned flat design.
+  const double leader_reads =
+      cma_transfer(s, slab, nd - 1) +
+      static_cast<double>(slab) *
+          (cross_beta_shared(s, nd - 1) - s.beta_us_per_byte());
+  return s.shm_coll_us(p) + leader_reads + 2.0 * s.shm_signal_us +
+         best_flat_scatter(v, per, eta);
+}
+
+double two_level_gather(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  int per = 0;
+  int nd = 0;
+  if (!two_level_shape(s, p, &per, &nd)) {
+    return best_flat_gather(s, p, eta);
+  }
+  const ArchSpec v = single_socket_view(s);
+  const std::uint64_t slab = eta * static_cast<std::uint64_t>(per);
+  const double leader_writes =
+      cma_transfer(s, slab, nd - 1) +
+      static_cast<double>(slab) *
+          (cross_beta_shared(s, nd - 1) - s.beta_us_per_byte());
+  return s.shm_coll_us(p) + best_flat_gather(v, per, eta) + leader_writes +
+         2.0 * s.shm_signal_us;
+}
+
+double two_level_bcast(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  int per = 0;
+  int nd = 0;
+  if (!two_level_shape(s, p, &per, &nd)) {
+    return best_flat_bcast(s, p, eta);
+  }
+  const ArchSpec v = single_socket_view(s);
+  // Leader tree: each round one serial cross-link pull of the full vector.
+  const auto rounds = static_cast<double>(ilog2_ceil(nd));
+  const double leader_hop =
+      cma_transfer(s, eta, 1) +
+      static_cast<double>(eta) *
+          (cross_beta_serial(s) - s.beta_us_per_byte()) +
+      s.shm_signal_us;
+  return s.shm_coll_us(nd) + rounds * leader_hop + s.shm_signal_us +
+         best_flat_bcast(v, per, eta);
+}
+
+double two_level_allgather(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  int per = 0;
+  int nd = 0;
+  if (!two_level_shape(s, p, &per, &nd)) {
+    return std::min({allgather_ring_source(s, p, eta),
+                     allgather_recursive_doubling(s, p, eta),
+                     allgather_bruck(s, p, eta)});
+  }
+  const ArchSpec v = single_socket_view(s);
+  const std::uint64_t slab = eta * static_cast<std::uint64_t>(per);
+  // Rotating leader exchange: every leader pulls the other nd-1 slabs, all
+  // nd leaders active at once on the shared link.
+  const double slab_step =
+      cma_transfer(s, slab, 1) +
+      static_cast<double>(slab) *
+          (cross_beta_shared(s, nd) - s.beta_us_per_byte());
+  const double full = eta * static_cast<double>(p);
+  return best_flat_gather(v, per, eta) + s.shm_coll_us(p) +
+         static_cast<double>(nd - 1) * (slab_step + s.shm_signal_us) +
+         s.shm_signal_us +
+         best_flat_bcast(v, per, static_cast<std::uint64_t>(full)) +
+         s.shm_coll_us(p);
+}
+
+double two_level_reduce(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  int per = 0;
+  int nd = 0;
+  if (!two_level_shape(s, p, &per, &nd)) {
+    return best_flat_reduce(s, p, eta);
+  }
+  const ArchSpec v = single_socket_view(s);
+  const auto rounds = static_cast<double>(ilog2_ceil(nd));
+  const double leader_hop =
+      cma_transfer(s, eta, 1) +
+      static_cast<double>(eta) *
+          (cross_beta_serial(s) - s.beta_us_per_byte()) +
+      combine_us(s, eta) + 2.0 * s.shm_signal_us;
+  return best_flat_reduce(v, per, eta) + rounds * leader_hop +
+         s.shm_coll_us(nd);
+}
+
+double two_level_allreduce(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  int per = 0;
+  int nd = 0;
+  if (!two_level_shape(s, p, &per, &nd)) {
+    return std::min({allreduce_reduce_bcast(s, p, eta),
+                     allreduce_recursive_doubling(s, p, eta),
+                     allreduce_rabenseifner(s, p, eta)});
+  }
+  const ArchSpec v = single_socket_view(s);
+  const auto rounds = static_cast<double>(ilog2_ceil(nd));
+  const double leader_hop =
+      cma_transfer(s, eta, 1) +
+      static_cast<double>(eta) *
+          (cross_beta_serial(s) - s.beta_us_per_byte()) +
+      combine_us(s, eta) + 2.0 * s.shm_signal_us;
+  return best_flat_reduce(v, per, eta) + rounds * leader_hop +
+         s.shm_coll_us(nd) + s.shm_signal_us +
+         best_flat_bcast(v, per, eta);
+}
+
 } // namespace kacc::predict

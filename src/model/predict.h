@@ -104,6 +104,44 @@ double allreduce_recursive_doubling(const ArchSpec& s, int p,
                                     std::uint64_t eta);
 double allreduce_rabenseifner(const ArchSpec& s, int p, std::uint64_t eta);
 
+// ----- Hierarchy-aware two-level algorithms (leader composition) -----
+//
+// Each term prices the composed algorithm in src/nbc/compile_two_level.cpp:
+// a tuned flat phase inside every socket (costed on the single-socket view
+// of the arch, so no phantom cross-socket penalties), plus a leader phase
+// whose transfers all cross the socket link. When the hierarchy is trivial
+// (one socket, or fewer than two non-trivial domains) the terms fall back
+// to the best flat candidate, so they are total functions.
+
+/// Single-socket view of `s`: same per-core constants, sockets = 1, no
+/// inter-socket penalty. Cost basis for the intra-domain phases.
+ArchSpec single_socket_view(const ArchSpec& s);
+
+/// Ranks per domain (socket) under block distribution: ceil(p / sockets).
+int two_level_domain_ranks(const ArchSpec& s, int p);
+
+/// Number of (non-empty) leader domains for p ranks on s.
+int two_level_domains(const ArchSpec& s, int p);
+
+/// Root -> leader slab reads across the link, then tuned intra scatter.
+double two_level_scatter(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Tuned intra gather into leader slabs, then leader -> root slab writes.
+double two_level_gather(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Binomial leader tree (one cross-link hop per round), tuned intra bcast.
+double two_level_bcast(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Intra gather + rotating leader slab exchange + intra bcast of the full
+/// vector.
+double two_level_allgather(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Tuned intra reduce, then a binomial read tree over the leaders.
+double two_level_reduce(const ArchSpec& s, int p, std::uint64_t eta);
+
+/// Intra reduce, leader allreduce, tuned intra bcast of the result.
+double two_level_allreduce(const ArchSpec& s, int p, std::uint64_t eta);
+
 // ----- shared building blocks (exposed for tests) -----
 
 /// Cost of one CMA transfer of eta bytes with c concurrent peers at the

@@ -13,42 +13,10 @@
 
 #include "common/error.h"
 #include "common/mathutil.h"
+#include "nbc/lower.h"
 #include "runtime/comm.h"
 
-namespace kacc::nbc {
-namespace {
-
-using coll::CollOptions;
-
-std::byte* bptr(void* p, std::size_t off) {
-  return static_cast<std::byte*>(p) + off;
-}
-const std::byte* bptr(const void* p, std::size_t off) {
-  return static_cast<const std::byte*>(p) + off;
-}
-
-// ---- wave/tree bookkeeping shared by scatter/gather/bcast lowerings ----
-
-/// Position of a non-root rank in the 0..p-2 wave ordering.
-int nonroot_pos(int rank, int root) { return rank < root ? rank : rank - 1; }
-
-/// Inverse of nonroot_pos.
-int nonroot_rank(int pos, int root) { return pos < root ? pos : pos + 1; }
-
-/// Ranks in the last wave of a k-throttled schedule over p-1 movers.
-int last_wave_size(int p, int k) {
-  const int movers = p - 1;
-  const int rem = movers % k;
-  return rem == 0 ? std::min(k, movers) : rem;
-}
-
-/// k-nomial tree bookkeeping over virtual ranks (vrank 0 is the root).
-/// A vrank's parent clears its lowest nonzero digit in base (k+1); its
-/// children set one digit below that position.
-struct KnomialNode {
-  int parent = -1;           ///< vrank of parent (-1 for the root)
-  std::vector<int> children; ///< vranks, coarsest level first
-};
+namespace kacc::nbc::detail {
 
 KnomialNode knomial_node(int vrank, int p, int k) {
   const int radix = k + 1;
@@ -88,206 +56,6 @@ KnomialNode knomial_node(int vrank, int p, int k) {
   return node;
 }
 
-/// Peer of `rank` at pairwise step i: XOR schedule when p is a power of
-/// two (symmetric pairs), modular otherwise.
-int pairwise_read_peer(int rank, int step, int p) {
-  if (is_pow2(static_cast<std::uint64_t>(p))) {
-    return rank ^ step;
-  }
-  return pmod(rank - step, p);
-}
-
-// ---- the emitter ----
-
-/// One per compile call: appends steps to the schedule, choosing between
-/// the blocking replay and the nonblocking (eager-exchange, tagged-signal,
-/// chunked) lowering of each primitive.
-struct Lower {
-  Comm& comm;
-  Schedule& s;
-  Mode mode;
-  int tag;
-  std::size_t chunk;
-  int rank;
-  int p;
-
-  Lower(Comm& c, Schedule& sched, const CompileParams& params)
-      : comm(c), s(sched), mode(params.mode), tag(params.tag),
-        chunk(params.chunk_bytes), rank(c.rank()), p(c.size()) {
-    if (mode == Mode::kNonblocking) {
-      KACC_CHECK_MSG(tag >= 0 && tag < Comm::kNbcTags,
-                     "nbc signal lane out of range");
-    }
-  }
-
-  [[nodiscard]] bool blocking() const { return mode == Mode::kBlocking; }
-
-  Step& push(StepKind kind) {
-    s.steps.emplace_back();
-    Step& st = s.steps.back();
-    st.kind = kind;
-    return st;
-  }
-
-  void cma(StepKind kind, int peer, int slot, std::uint64_t off, void* dst,
-           const void* src, std::size_t n) {
-    const std::size_t grain = (!blocking() && chunk > 0) ? chunk : n;
-    std::size_t done = 0;
-    do {
-      const std::size_t piece = std::min(grain, n - done);
-      Step& st = push(kind);
-      st.peer = peer;
-      st.slot = slot;
-      st.remote_off = off + done;
-      st.dst = dst == nullptr ? nullptr : bptr(dst, done);
-      st.src = src == nullptr ? nullptr : bptr(src, done);
-      st.bytes = piece;
-      done += piece;
-    } while (done < n);
-  }
-  void cma_read(int peer, int slot, std::uint64_t off, void* dst,
-                std::size_t n) {
-    cma(StepKind::kCmaRead, peer, slot, off, dst, nullptr, n);
-  }
-  void cma_write(int peer, int slot, std::uint64_t off, const void* src,
-                 std::size_t n) {
-    cma(StepKind::kCmaWrite, peer, slot, off, nullptr, src, n);
-  }
-  void local_copy(void* dst, const void* src, std::size_t n) {
-    Step& st = push(StepKind::kLocalCopy);
-    st.dst = dst;
-    st.src = src;
-    st.bytes = n;
-  }
-  void signal(int peer) {
-    Step& st = push(StepKind::kSignal);
-    st.peer = peer;
-    st.tag = blocking() ? -1 : tag;
-  }
-  void wait_signal(int peer) {
-    Step& st = push(StepKind::kWaitSignal);
-    st.peer = peer;
-    st.tag = blocking() ? -1 : tag;
-  }
-
-  // --- control exchanges: steps when blocking, eager otherwise ---
-
-  /// Broadcasts s.addrs[root] (prefilled at the root) to every rank.
-  void addr_bcast(int root) {
-    if (blocking()) {
-      Step& st = push(StepKind::kCtrlBcast);
-      st.peer = root;
-      st.dst = &s.addrs[static_cast<std::size_t>(root)];
-      st.bytes = sizeof(std::uint64_t);
-    } else {
-      comm.ctrl_bcast(&s.addrs[static_cast<std::size_t>(root)],
-                      sizeof(std::uint64_t), root);
-    }
-  }
-
-  /// Gathers every rank's s.self_addr into the root's s.addrs.
-  void addr_gather(int root) {
-    void* recv = rank == root ? static_cast<void*>(s.addrs.data()) : nullptr;
-    if (blocking()) {
-      Step& st = push(StepKind::kCtrlGather);
-      st.peer = root;
-      st.src = &s.self_addr;
-      st.dst = recv;
-      st.bytes = sizeof(std::uint64_t);
-    } else {
-      comm.ctrl_gather(&s.self_addr, recv, sizeof(std::uint64_t), root);
-    }
-  }
-
-  /// Allgathers every rank's s.self_addr into s.addrs.
-  void addr_allgather() {
-    if (blocking()) {
-      Step& st = push(StepKind::kCtrlAllgather);
-      st.src = &s.self_addr;
-      st.dst = s.addrs.data();
-      st.bytes = sizeof(std::uint64_t);
-    } else {
-      comm.ctrl_allgather(&s.self_addr, s.addrs.data(),
-                          sizeof(std::uint64_t));
-    }
-  }
-
-  /// Completion fan-in: non-roots notify the root (a 1-byte token gather
-  /// in blocking mode, p-1 tagged signals otherwise).
-  void completion_fan_in(int root) {
-    if (blocking()) {
-      Step& st = push(StepKind::kCtrlGather);
-      st.peer = root;
-      st.src = &s.token;
-      st.dst = rank == root ? static_cast<void*>(s.tokens.data()) : nullptr;
-      st.bytes = 1;
-    } else if (rank == root) {
-      for (int q = 0; q < p; ++q) {
-        if (q != root) {
-          wait_signal(q);
-        }
-      }
-    } else {
-      signal(root);
-    }
-  }
-
-  /// Completion fan-out: the root releases every non-root.
-  void completion_fan_out(int root) {
-    if (blocking()) {
-      Step& st = push(StepKind::kCtrlBcast);
-      st.peer = root;
-      st.dst = &s.token;
-      st.bytes = 1;
-    } else if (rank == root) {
-      for (int q = 0; q < p; ++q) {
-        if (q != root) {
-          signal(q);
-        }
-      }
-    } else {
-      wait_signal(root);
-    }
-  }
-
-  /// Full barrier: one step when blocking; dissemination rounds over the
-  /// request's counting lane otherwise (ceil(log2 p) signal/wait pairs).
-  void barrier() {
-    if (blocking()) {
-      push(StepKind::kBarrier);
-      return;
-    }
-    for (int d = 1; d < p; d <<= 1) {
-      signal(pmod(rank + d, p));
-      wait_signal(pmod(rank - d, p));
-    }
-  }
-
-  // --- two-copy shm data plane: blocking only ---
-
-  void shm_send(int dst, const void* buf, std::size_t n) {
-    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
-    Step& st = push(StepKind::kShmSend);
-    st.peer = dst;
-    st.src = buf;
-    st.bytes = n;
-  }
-  void shm_recv(int src, void* buf, std::size_t n) {
-    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
-    Step& st = push(StepKind::kShmRecv);
-    st.peer = src;
-    st.dst = buf;
-    st.bytes = n;
-  }
-  void shm_bcast(void* buf, std::size_t n, int root) {
-    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
-    Step& st = push(StepKind::kShmBcast);
-    st.peer = root;
-    st.dst = buf;
-    st.bytes = n;
-  }
-};
-
 std::unique_ptr<Schedule> make_schedule(Comm& comm) {
   auto s = std::make_unique<Schedule>();
   s->rank = comm.rank();
@@ -297,11 +65,37 @@ std::unique_ptr<Schedule> make_schedule(Comm& comm) {
   return s;
 }
 
-int throttle_k(const CollOptions& eff, int p) {
-  return std::min(eff.throttle > 0 ? eff.throttle : 4, p - 1);
+void splice(Schedule& parent, std::shared_ptr<Comm> team,
+            std::unique_ptr<Schedule> sub) {
+  KACC_CHECK(sub != nullptr);
+  // Re-home nested phases the sub-schedule spliced itself (e.g. the gather
+  // inside a reduce inside an allreduce): indices shift by the parent's
+  // current count, and a phase that ran on the sub's own comm now runs on
+  // `team`.
+  const int base = static_cast<int>(parent.nested.size());
+  for (Schedule::NestedTeam& nt : sub->nested) {
+    if (nt.team == nullptr) {
+      nt.team = team;
+    }
+    parent.nested.push_back(std::move(nt));
+  }
+  sub->nested.clear();
+  const int self = static_cast<int>(parent.nested.size());
+  for (const Step& st : sub->steps) {
+    Step& out = parent.steps.emplace_back();
+    out = st;
+    out.nest = st.nest >= 0 ? base + st.nest : self;
+  }
+  sub->steps.clear(); // executed via the parent's copies
+  parent.nested.push_back({std::move(team), std::move(sub)});
 }
 
-} // namespace
+} // namespace kacc::nbc::detail
+
+namespace kacc::nbc {
+
+using coll::CollOptions;
+using namespace detail;
 
 // ---- Scatter (§IV-A) ----
 
@@ -404,6 +198,9 @@ std::unique_ptr<Schedule> compile_scatter(Comm& comm, const void* sendbuf,
       }
       break;
     }
+    case coll::ScatterAlgo::kTwoLevel:
+      return compile_two_level_scatter(comm, sendbuf, recvbuf, bytes, root,
+                                       eff, params);
     case coll::ScatterAlgo::kAuto:
       throw InternalError("compile_scatter: unresolved kAuto");
   }
@@ -502,6 +299,9 @@ std::unique_ptr<Schedule> compile_gather(Comm& comm, const void* sendbuf,
       }
       break;
     }
+    case coll::GatherAlgo::kTwoLevel:
+      return compile_two_level_gather(comm, sendbuf, recvbuf, bytes, root,
+                                      eff, params);
     case coll::GatherAlgo::kAuto:
       throw InternalError("compile_gather: unresolved kAuto");
   }
@@ -657,6 +457,8 @@ std::unique_ptr<Schedule> compile_bcast(Comm& comm, void* buf,
     case coll::BcastAlgo::kShmemSlot:
       lo.shm_bcast(buf, bytes, root);
       break;
+    case coll::BcastAlgo::kTwoLevel:
+      return compile_two_level_bcast(comm, buf, bytes, root, eff, params);
     case coll::BcastAlgo::kAuto:
       throw InternalError("compile_bcast: unresolved kAuto");
   }
@@ -843,6 +645,9 @@ std::unique_ptr<Schedule> compile_allgather(Comm& comm, const void* sendbuf,
       lo.barrier();
       break;
     }
+    case coll::AllgatherAlgo::kTwoLevel:
+      return compile_two_level_allgather(comm, sendbuf, recvbuf, bytes, eff,
+                                         params);
     case coll::AllgatherAlgo::kAuto:
       throw InternalError("compile_allgather: unresolved kAuto");
   }

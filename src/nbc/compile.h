@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "coll/algo.h"
+#include "coll/reduce.h"
 #include "nbc/schedule.h"
 
 namespace kacc {
@@ -75,5 +76,56 @@ std::unique_ptr<Schedule> compile_alltoall(Comm& comm, const void* sendbuf,
                                            coll::AlltoallAlgo algo,
                                            const coll::CollOptions& eff,
                                            const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_reduce(Comm& comm, const double* send,
+                                         double* recv, std::size_t count,
+                                         coll::ReduceOp op, int root,
+                                         coll::ReduceAlgo algo,
+                                         const coll::CollOptions& eff,
+                                         const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_allreduce(Comm& comm, const double* send,
+                                            double* recv, std::size_t count,
+                                            coll::ReduceOp op,
+                                            coll::AllreduceAlgo algo,
+                                            const coll::CollOptions& eff,
+                                            const CompileParams& params);
+
+// ---- Hierarchy-aware two-level compositions (compile_two_level.cpp) ----
+//
+// Each composition partitions the team into socket domains
+// (topo::Hierarchy::from_arch), runs a tuned flat algorithm inside every
+// domain on a SubComm view, and bridges domains through the leaders. The
+// sub-team phases are compiled recursively and spliced into one parent
+// schedule, so the result drains blocking, runs nonblocking, and restarts
+// persistent exactly like any flat schedule. On a trivial hierarchy the
+// compositions fall back to the tuned flat algorithm. Normally reached via
+// the k*Algo::kTwoLevel cases of the compile_* dispatchers above.
+
+std::unique_ptr<Schedule> compile_two_level_scatter(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    int root, const coll::CollOptions& eff, const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_two_level_gather(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    int root, const coll::CollOptions& eff, const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_two_level_bcast(
+    Comm& comm, void* buf, std::size_t bytes, int root,
+    const coll::CollOptions& eff, const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_two_level_allgather(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    const coll::CollOptions& eff, const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_two_level_reduce(
+    Comm& comm, const double* send, double* recv, std::size_t count,
+    coll::ReduceOp op, int root, const coll::CollOptions& eff,
+    const CompileParams& params);
+
+std::unique_ptr<Schedule> compile_two_level_allreduce(
+    Comm& comm, const double* send, double* recv, std::size_t count,
+    coll::ReduceOp op, const coll::CollOptions& eff,
+    const CompileParams& params);
 
 } // namespace kacc::nbc

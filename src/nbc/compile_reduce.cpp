@@ -1,0 +1,396 @@
+// Lowers the reduction collectives (§ the conclusion's "extend these
+// designs to other collectives") to Schedule IR. Blocking mode replays the
+// historical src/coll/reduce.cpp bodies step for step — including the
+// nested tuned gather/reduce/bcast entry-point calls of the composite
+// algorithms, preserved as kNested thunks so their tuner resolution,
+// counters and spans are unchanged. Nonblocking mode splices the composite
+// phases as sub-schedules on the request's counting lane and replaces the
+// nested entry points with the equivalent compiled phases plus an explicit
+// dissemination gate.
+#include <cstdint>
+#include <vector>
+
+#include "coll/bcast.h"
+#include "coll/gather.h"
+#include "coll/reduce.h"
+#include "coll/tuner.h"
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "nbc/compile.h"
+#include "nbc/lower.h"
+#include "runtime/comm.h"
+
+namespace kacc::nbc {
+
+using coll::AllreduceAlgo;
+using coll::BcastAlgo;
+using coll::CollOptions;
+using coll::GatherAlgo;
+using coll::ReduceAlgo;
+using coll::ReduceOp;
+using namespace detail;
+
+namespace {
+
+constexpr std::size_t kElem = sizeof(double);
+
+/// Balanced chunk boundaries for the reduce-scatter phases.
+struct Chunking {
+  std::size_t base;
+  std::size_t rem;
+
+  explicit Chunking(std::size_t count, int p)
+      : base(count / static_cast<std::size_t>(p)),
+        rem(count % static_cast<std::size_t>(p)) {}
+
+  [[nodiscard]] std::size_t count_of(int q) const {
+    return base + (static_cast<std::size_t>(q) < rem ? 1 : 0);
+  }
+  [[nodiscard]] std::size_t offset_of(int q) const {
+    const auto uq = static_cast<std::size_t>(q);
+    return uq * base + std::min(uq, rem);
+  }
+};
+
+/// Owner of chunk q after the ring reduce-scatter.
+int chunk_holder(int chunk, int p) { return pmod(chunk - 1, p); }
+
+/// Allocates a schedule-owned accumulator/staging buffer and returns its
+/// (heap-stable) element pointer.
+double* scratch_doubles(Schedule& s, std::size_t bytes) {
+  s.scratch.emplace_back(bytes);
+  return reinterpret_cast<double*>(s.scratch.back().data());
+}
+
+/// Emits the acc initialization + accumulator address allgather shared by
+/// the read-based algorithms (replays exchange_addrs after the local
+/// copy, as the historical bodies did).
+void init_acc_and_addrs(Lower& lo, Schedule& s, double* acc,
+                        const double* send, std::size_t bytes) {
+  lo.local_copy(acc, send, bytes);
+  s.self_addr = lo.comm.expose(acc);
+  lo.addr_allgather();
+  if (!lo.blocking()) {
+    // Blocking replay synchronizes here through the ctrl-plane allgather
+    // itself; nonblocking compiles run that exchange eagerly, so a peer
+    // could read acc before this rank's init copy executed. Gate it.
+    lo.barrier();
+  }
+}
+
+/// Ring reduce-scatter: after p-1 chained steps, rank r holds the fully
+/// reduced chunk (r+1) mod p. Pairwise-disjoint reads keep it contention
+/// free, like the Alltoall pairwise exchange.
+void lower_ring_reduce_scatter(Lower& lo, double* acc, double* tmp,
+                               ReduceOp op, const Chunking& ch) {
+  const int p = lo.p;
+  const int rank = lo.rank;
+  const int up = pmod(rank - 1, p);
+  const int down = pmod(rank + 1, p);
+  for (int step = 1; step < p; ++step) {
+    const int c = pmod(rank - step, p);
+    if (step >= 2) {
+      lo.wait_signal(up); // up finished accumulating chunk c last step
+    }
+    lo.cma_read(up, up, ch.offset_of(c) * kElem, tmp,
+                ch.count_of(c) * kElem);
+    lo.combine(static_cast<int>(op), acc + ch.offset_of(c), tmp,
+               ch.count_of(c) * kElem);
+    if (step <= p - 2) {
+      lo.signal(down);
+    }
+  }
+}
+
+/// Tuned gather of full vectors followed by a root-side combine — the
+/// write-based, contention-aware design (the gather phase reuses the
+/// throttled writes of §IV-B).
+void lower_gather_combine(Lower& lo, Schedule& s, const double* send,
+                          double* recv, std::size_t count, ReduceOp op,
+                          int root, const CompileParams& params) {
+  Comm& comm = lo.comm;
+  const int p = lo.p;
+  const std::size_t bytes = count * kElem;
+  s.scratch.emplace_back(lo.rank == root
+                             ? bytes * static_cast<std::size_t>(p)
+                             : 0);
+  std::byte* staging =
+      s.scratch.back().empty() ? nullptr : s.scratch.back().data();
+  if (lo.blocking()) {
+    lo.nested([send, staging, bytes, root](Comm& c) {
+      coll::gather(c, send, staging, bytes, root, GatherAlgo::kAuto);
+    });
+  } else {
+    CollOptions geff;
+    const coll::Tuner::Choice c = coll::Tuner().gather(comm.arch(), p, bytes);
+    geff.throttle = c.throttle;
+    splice(s, nullptr,
+           compile_gather(comm, send, staging, bytes, root, c.gather, geff,
+                          params));
+  }
+  if (lo.rank == root) {
+    const auto* blocks = reinterpret_cast<const double*>(staging);
+    lo.local_copy(recv, blocks, bytes);
+    for (int q = 1; q < p; ++q) {
+      lo.combine(static_cast<int>(op), recv,
+                 blocks + static_cast<std::size_t>(q) * count, bytes);
+    }
+  }
+}
+
+/// Binomial read tree: parents pull each child's accumulator (distinct
+/// sources per round — no page-lock contention) and combine.
+void lower_binomial_read(Lower& lo, Schedule& s, const double* send,
+                         double* recv, std::size_t count, ReduceOp op,
+                         int root) {
+  const int p = lo.p;
+  const int vrank = pmod(lo.rank - root, p);
+  auto actual = [&](int v) { return pmod(v + root, p); };
+  const std::size_t bytes = count * kElem;
+
+  double* acc = scratch_doubles(s, bytes);
+  double* tmp = scratch_doubles(s, bytes);
+  init_acc_and_addrs(lo, s, acc, send, bytes);
+
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((vrank & mask) != 0) {
+      // Contribute to the parent, then hold the buffer until it is read.
+      const int parent = actual(vrank - mask);
+      lo.signal(parent);      // acc ready
+      lo.wait_signal(parent); // parent finished reading
+      break;
+    }
+    if (vrank + mask < p) {
+      const int child = actual(vrank + mask);
+      lo.wait_signal(child);
+      lo.cma_read(child, child, 0, tmp, bytes);
+      lo.combine(static_cast<int>(op), acc, tmp, bytes);
+      lo.signal(child); // child may release its buffer
+    }
+  }
+  if (lo.rank == root) {
+    lo.local_copy(recv, acc, bytes);
+  }
+  // acc buffers live in the schedule, but peers may still be reading them
+  // until everyone is through — same fence the historical body had.
+  lo.barrier();
+}
+
+/// Reduce-scatter + sequential chunk gather at the root.
+void lower_rsg(Lower& lo, Schedule& s, const double* send, double* recv,
+               std::size_t count, ReduceOp op, int root) {
+  const int p = lo.p;
+  const std::size_t bytes = count * kElem;
+  const Chunking ch(count, p);
+
+  double* acc = scratch_doubles(s, bytes);
+  double* tmp = scratch_doubles(s, (ch.base + 1) * kElem);
+  init_acc_and_addrs(lo, s, acc, send, bytes);
+
+  lower_ring_reduce_scatter(lo, acc, tmp, op, ch);
+  lo.barrier(); // every chunk fully reduced
+
+  if (lo.rank == root) {
+    for (int c = 0; c < p; ++c) {
+      const int holder = chunk_holder(c, p);
+      if (ch.count_of(c) == 0) {
+        continue;
+      }
+      if (holder == root) {
+        lo.local_copy(recv + ch.offset_of(c), acc + ch.offset_of(c),
+                      ch.count_of(c) * kElem);
+      } else {
+        lo.cma_read(holder, holder, ch.offset_of(c) * kElem,
+                    recv + ch.offset_of(c), ch.count_of(c) * kElem);
+      }
+    }
+  }
+  lo.barrier(); // holders keep acc alive until the root has read
+}
+
+/// Recursive-doubling allreduce with fold-in/out for non-powers-of-two.
+void lower_allreduce_rd(Lower& lo, Schedule& s, const double* send,
+                        double* recv, std::size_t count, ReduceOp op) {
+  const int p = lo.p;
+  const int rank = lo.rank;
+  const std::size_t bytes = count * kElem;
+
+  double* acc = scratch_doubles(s, bytes);
+  double* tmp = scratch_doubles(s, bytes);
+  init_acc_and_addrs(lo, s, acc, send, bytes);
+
+  int r = 1;
+  while (r * 2 <= p) {
+    r *= 2;
+  }
+
+  // Fold-in: ranks >= r contribute to (rank - r).
+  if (rank >= r) {
+    lo.signal(rank - r);
+    lo.wait_signal(rank - r);
+  } else if (rank + r < p) {
+    const int src = rank + r;
+    lo.wait_signal(src);
+    lo.cma_read(src, src, 0, tmp, bytes);
+    lo.combine(static_cast<int>(op), acc, tmp, bytes);
+    lo.signal(src);
+  }
+
+  if (rank < r) {
+    for (int mask = 1; mask < r; mask <<= 1) {
+      const int partner = rank ^ mask;
+      // Both sides read the peer's current accumulator, then combine only
+      // after both reads completed (read-ready / read-done handshake).
+      lo.signal(partner);
+      lo.wait_signal(partner);
+      lo.cma_read(partner, partner, 0, tmp, bytes);
+      lo.signal(partner);
+      lo.wait_signal(partner);
+      lo.combine(static_cast<int>(op), acc, tmp, bytes);
+    }
+  }
+
+  // Fold-out: ranks >= r pull the final vector.
+  if (rank < r && rank + r < p) {
+    lo.signal(rank + r);
+  } else if (rank >= r) {
+    const int src = rank - r;
+    lo.wait_signal(src);
+    lo.cma_read(src, src, 0, acc, bytes);
+  }
+  lo.local_copy(recv, acc, bytes);
+  lo.barrier();
+}
+
+/// Rabenseifner: ring reduce-scatter, then every rank pulls each reduced
+/// chunk straight from its holder (ring-source allgather — contention
+/// free).
+void lower_allreduce_rabenseifner(Lower& lo, Schedule& s, const double* send,
+                                  double* recv, std::size_t count,
+                                  ReduceOp op) {
+  const int p = lo.p;
+  const int rank = lo.rank;
+  const std::size_t bytes = count * kElem;
+  const Chunking ch(count, p);
+
+  double* acc = scratch_doubles(s, bytes);
+  double* tmp = scratch_doubles(s, (ch.base + 1) * kElem);
+  init_acc_and_addrs(lo, s, acc, send, bytes);
+
+  lower_ring_reduce_scatter(lo, acc, tmp, op, ch);
+  lo.barrier();
+
+  // Allgather phase: rotate over distinct holders.
+  const int own_chunk = pmod(rank + 1, p);
+  if (ch.count_of(own_chunk) > 0) {
+    lo.local_copy(recv + ch.offset_of(own_chunk),
+                  acc + ch.offset_of(own_chunk),
+                  ch.count_of(own_chunk) * kElem);
+  }
+  for (int step = 1; step < p; ++step) {
+    const int holder = pmod(rank - step, p);
+    const int c = pmod(holder + 1, p);
+    if (ch.count_of(c) == 0) {
+      continue;
+    }
+    lo.cma_read(holder, holder, ch.offset_of(c) * kElem,
+                recv + ch.offset_of(c), ch.count_of(c) * kElem);
+  }
+  lo.barrier();
+}
+
+} // namespace
+
+std::unique_ptr<Schedule> compile_reduce(Comm& comm, const double* send,
+                                         double* recv, std::size_t count,
+                                         ReduceOp op, int root,
+                                         ReduceAlgo algo,
+                                         const CollOptions& eff,
+                                         const CompileParams& params) {
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  (void)eff;
+  if (lo.p == 1) {
+    lo.local_copy(recv, send, count * kElem);
+    return sched;
+  }
+  switch (algo) {
+    case ReduceAlgo::kGatherCombine:
+      lower_gather_combine(lo, *sched, send, recv, count, op, root, params);
+      break;
+    case ReduceAlgo::kBinomialRead:
+      lower_binomial_read(lo, *sched, send, recv, count, op, root);
+      break;
+    case ReduceAlgo::kReduceScatterGather:
+      lower_rsg(lo, *sched, send, recv, count, op, root);
+      break;
+    case ReduceAlgo::kTwoLevel:
+      return compile_two_level_reduce(comm, send, recv, count, op, root, eff,
+                                      params);
+    case ReduceAlgo::kAuto:
+      throw InternalError("compile_reduce: unresolved kAuto");
+  }
+  return sched;
+}
+
+std::unique_ptr<Schedule> compile_allreduce(Comm& comm, const double* send,
+                                            double* recv, std::size_t count,
+                                            ReduceOp op, AllreduceAlgo algo,
+                                            const CollOptions& eff,
+                                            const CompileParams& params) {
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const std::size_t bytes = count * kElem;
+  if (lo.p == 1) {
+    lo.local_copy(recv, send, bytes);
+    return sched;
+  }
+  switch (algo) {
+    case AllreduceAlgo::kReduceBcast:
+      if (lo.blocking()) {
+        // Replays the historical composite exactly: the nested entry
+        // points resolve their own algorithms and emit their own spans.
+        lo.nested([send, recv, count, op](Comm& c) {
+          coll::reduce(c, send, recv, count, op, 0, ReduceAlgo::kAuto);
+        });
+        lo.nested([recv, bytes](Comm& c) {
+          coll::bcast(c, recv, bytes, 0, BcastAlgo::kAuto);
+        });
+      } else {
+        // Nonblocking: compile both tuned phases onto this request's lane
+        // with a dissemination gate between them — the bcast's control
+        // exchange ran eagerly at compile time, so without the gate a
+        // non-root could read root's recv before the combines landed.
+        const ReduceAlgo ralgo =
+            coll::Tuner().reduce(comm.arch(), lo.p, bytes).reduce;
+        splice(*sched, nullptr,
+               compile_reduce(comm, send, recv, count, op, 0, ralgo, eff,
+                              params));
+        lo.barrier();
+        CollOptions beff;
+        coll::Tuner::Choice c = coll::Tuner().bcast(comm.arch(), lo.p, bytes);
+        beff.throttle = c.throttle;
+        BcastAlgo balgo = c.bcast;
+        if (balgo == BcastAlgo::kShmemSlot || balgo == BcastAlgo::kShmemTree) {
+          balgo = BcastAlgo::kKnomialRead;
+        }
+        splice(*sched, nullptr,
+               compile_bcast(comm, recv, bytes, 0, balgo, beff, params));
+      }
+      break;
+    case AllreduceAlgo::kRecursiveDoubling:
+      lower_allreduce_rd(lo, *sched, send, recv, count, op);
+      break;
+    case AllreduceAlgo::kRabenseifner:
+      lower_allreduce_rabenseifner(lo, *sched, send, recv, count, op);
+      break;
+    case AllreduceAlgo::kTwoLevel:
+      return compile_two_level_allreduce(comm, send, recv, count, op, eff,
+                                         params);
+    case AllreduceAlgo::kAuto:
+      throw InternalError("compile_allreduce: unresolved kAuto");
+  }
+  return sched;
+}
+
+} // namespace kacc::nbc

@@ -1,0 +1,566 @@
+// Hierarchy-aware two-level compositions: every collective is rebuilt as a
+// leader phase bridging socket domains plus tuned flat phases inside each
+// domain, running on SubComm views and spliced into one parent schedule.
+// The intra-domain algorithm is chosen by the Tuner on the single-socket
+// view of the arch (so the model prices it without phantom cross-socket
+// penalties); the leader algorithm is chosen on the full arch with one
+// rank per socket. Downward phases (a leader handing data to its domain)
+// carry an explicit leader -> member gate because the spliced phase's
+// control exchange runs eagerly at nonblocking compile time; the gate is
+// emitted in blocking mode too so both modes execute the same dependence
+// structure. Block distribution makes every domain a contiguous global
+// rank range, so a domain's blocks form one contiguous slab of the root
+// buffer and the leader bridge is a single CMA transfer per domain.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coll/tuner.h"
+#include "common/error.h"
+#include "model/predict.h"
+#include "nbc/compile.h"
+#include "nbc/lower.h"
+#include "runtime/comm.h"
+#include "runtime/sub_comm.h"
+#include "topo/hierarchy.h"
+
+namespace kacc::nbc {
+
+using coll::AllgatherAlgo;
+using coll::AllreduceAlgo;
+using coll::BcastAlgo;
+using coll::CollOptions;
+using coll::GatherAlgo;
+using coll::ReduceAlgo;
+using coll::ReduceOp;
+using coll::ScatterAlgo;
+using coll::Tuner;
+using namespace detail;
+
+namespace {
+
+constexpr std::size_t kElem = sizeof(double);
+
+std::byte* scratch_bytes(Schedule& s, std::size_t n) {
+  s.scratch.emplace_back(n);
+  return s.scratch.back().data();
+}
+
+/// This rank's view of the leader decomposition.
+struct Teams {
+  topo::Hierarchy h;
+  int my_dom = 0;
+  int dsize = 0;
+  int first = 0;      ///< lowest global rank of my domain (contiguous)
+  int leader = 0;     ///< global rank of my domain's leader
+  int leader_pos = 0; ///< leader's view rank inside the domain
+  std::shared_ptr<Comm> dteam; ///< my domain view (every rank)
+  std::shared_ptr<Comm> lteam; ///< leader view (leaders only, else null)
+};
+
+Teams make_teams(Comm& comm, topo::Hierarchy h) {
+  Teams t{std::move(h)};
+  const int rank = comm.rank();
+  t.my_dom = t.h.domain_of(rank);
+  const topo::Domain& dom = t.h.domain(t.my_dom);
+  t.dsize = static_cast<int>(dom.members.size());
+  t.first = dom.members.front();
+  t.leader = dom.leader;
+  for (std::size_t i = 0; i < dom.members.size(); ++i) {
+    if (dom.members[i] == t.leader) {
+      t.leader_pos = static_cast<int>(i);
+    }
+  }
+  t.dteam = std::make_shared<SubComm>(comm, dom.members);
+  if (t.leader == rank) {
+    t.lteam = std::make_shared<SubComm>(comm, t.h.leaders());
+  }
+  return t;
+}
+
+/// Leader -> member release inside one domain, on the parent frame. Used
+/// before every spliced downward phase.
+void domain_gate(Lower& lo, const Teams& t) {
+  if (t.dsize <= 1) {
+    return;
+  }
+  if (lo.rank == t.leader) {
+    for (int m : t.h.domain(t.my_dom).members) {
+      if (m != lo.rank) {
+        lo.signal(m);
+      }
+    }
+  } else {
+    lo.wait_signal(t.leader);
+  }
+}
+
+// Tuner picks with the recursion/lowering guards the compositions need:
+// kTwoLevel can never be chosen for a sub-phase (the intra view has one
+// socket and the leader team one rank per socket, so the applicability
+// guard rejects both), but remap it defensively, and route shm bcast
+// choices to knomial-read so both compile modes lower the same family.
+
+Tuner::Choice pick_scatter(const ArchSpec& s, int p, std::size_t bytes) {
+  Tuner::Choice c = Tuner().scatter(s, p, bytes);
+  if (c.scatter == ScatterAlgo::kTwoLevel) {
+    c.scatter = ScatterAlgo::kThrottledRead;
+    c.throttle = 4;
+  }
+  return c;
+}
+
+Tuner::Choice pick_gather(const ArchSpec& s, int p, std::size_t bytes) {
+  Tuner::Choice c = Tuner().gather(s, p, bytes);
+  if (c.gather == GatherAlgo::kTwoLevel) {
+    c.gather = GatherAlgo::kThrottledWrite;
+    c.throttle = 4;
+  }
+  return c;
+}
+
+Tuner::Choice pick_bcast(const ArchSpec& s, int p, std::size_t bytes) {
+  Tuner::Choice c = Tuner().bcast(s, p, bytes);
+  if (c.bcast == BcastAlgo::kShmemSlot || c.bcast == BcastAlgo::kShmemTree ||
+      c.bcast == BcastAlgo::kTwoLevel) {
+    c.bcast = BcastAlgo::kKnomialRead;
+    if (c.throttle <= 0) {
+      c.throttle = 4;
+    }
+  }
+  return c;
+}
+
+Tuner::Choice pick_allgather(const ArchSpec& s, int p, std::size_t bytes) {
+  Tuner::Choice c = Tuner().allgather(s, p, bytes);
+  if (c.allgather == AllgatherAlgo::kTwoLevel) {
+    c.allgather = AllgatherAlgo::kRingSourceRead;
+    c.ring_stride = 1;
+  }
+  return c;
+}
+
+Tuner::Choice pick_reduce(const ArchSpec& s, int p, std::size_t bytes) {
+  Tuner::Choice c = Tuner().reduce(s, p, bytes);
+  if (c.reduce == ReduceAlgo::kTwoLevel) {
+    c.reduce = ReduceAlgo::kBinomialRead;
+  }
+  return c;
+}
+
+Tuner::Choice pick_allreduce(const ArchSpec& s, int p, std::size_t bytes) {
+  Tuner::Choice c = Tuner().allreduce(s, p, bytes);
+  if (c.allreduce == AllreduceAlgo::kTwoLevel) {
+    c.allreduce = AllreduceAlgo::kRecursiveDoubling;
+  }
+  return c;
+}
+
+/// Intra-phase options: honor an explicit caller throttle, otherwise take
+/// the tuner's.
+CollOptions sub_options(const CollOptions& eff, const Tuner::Choice& c) {
+  CollOptions o;
+  o.throttle = eff.throttle > 0 ? eff.throttle : c.throttle;
+  o.ring_stride = c.ring_stride;
+  return o;
+}
+
+} // namespace
+
+// ---- Scatter ----
+
+std::unique_ptr<Schedule> compile_two_level_scatter(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    int root, const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  topo::Hierarchy h = topo::Hierarchy::from_arch(comm.arch(), p);
+  h.elect_root_affine(root);
+  if (p == 1 || h.trivial()) {
+    const Tuner::Choice c = pick_scatter(comm.arch(), p, bytes);
+    return compile_scatter(comm, sendbuf, recvbuf, bytes, root, c.scatter,
+                           sub_options(eff, c), params);
+  }
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  Teams t = make_teams(comm, std::move(h));
+  const int nd = t.h.ndomains();
+  const int rd = t.h.domain_of(root);
+  sched->conc_hint = nd - 1; // concurrent leader slab reads off the root
+
+  if (rank == root) {
+    sched->addrs[static_cast<std::size_t>(root)] = comm.expose(sendbuf);
+  }
+  lo.addr_bcast(root);
+
+  const std::size_t slab_bytes = static_cast<std::size_t>(t.dsize) * bytes;
+  const std::uint64_t slab_off = static_cast<std::uint64_t>(t.first) * bytes;
+
+  // What this domain's intra phase fans out from: the root's domain reads
+  // sendbuf in place; other leaders pull their slab across the link first.
+  const void* slab_src = nullptr;
+  if (t.my_dom == rd) {
+    if (rank == root) {
+      slab_src = bptr(sendbuf, static_cast<std::size_t>(slab_off));
+    }
+  } else if (rank == t.leader) {
+    std::byte* slab =
+        t.dsize == 1 ? static_cast<std::byte*>(recvbuf)
+                     : scratch_bytes(*sched, slab_bytes);
+    lo.cma_read(root, root, slab_off, slab, slab_bytes);
+    lo.signal(root); // root may release sendbuf's slab
+    slab_src = slab;
+  }
+
+  if (t.my_dom != rd) {
+    domain_gate(lo, t); // members must not read the slab before it lands
+  }
+
+  if (t.dsize > 1) {
+    const ArchSpec view = predict::single_socket_view(comm.arch());
+    const Tuner::Choice ic = pick_scatter(view, t.dsize, bytes);
+    CollOptions ieff = sub_options(eff, ic);
+    ieff.in_place = eff.in_place && t.my_dom == rd;
+    auto sub = compile_scatter(*t.dteam, slab_src, recvbuf, bytes,
+                               t.leader_pos, ic.scatter, ieff, params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.dteam, std::move(sub));
+  } else if (rank == root && !eff.in_place) {
+    lo.local_copy(recvbuf,
+                  bptr(sendbuf, static_cast<std::size_t>(root) * bytes),
+                  bytes);
+  }
+
+  if (rank == root) {
+    for (int d = 0; d < nd; ++d) {
+      if (d != rd) {
+        lo.wait_signal(t.h.domain(d).leader);
+      }
+    }
+  }
+  return sched;
+}
+
+// ---- Gather ----
+
+std::unique_ptr<Schedule> compile_two_level_gather(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    int root, const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  topo::Hierarchy h = topo::Hierarchy::from_arch(comm.arch(), p);
+  h.elect_root_affine(root);
+  if (p == 1 || h.trivial()) {
+    const Tuner::Choice c = pick_gather(comm.arch(), p, bytes);
+    return compile_gather(comm, sendbuf, recvbuf, bytes, root, c.gather,
+                          sub_options(eff, c), params);
+  }
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  Teams t = make_teams(comm, std::move(h));
+  const int nd = t.h.ndomains();
+  const int rd = t.h.domain_of(root);
+
+  if (rank == root) {
+    sched->addrs[static_cast<std::size_t>(root)] = comm.expose(recvbuf);
+  }
+  lo.addr_bcast(root);
+
+  const std::size_t slab_bytes = static_cast<std::size_t>(t.dsize) * bytes;
+  const std::uint64_t slab_off = static_cast<std::uint64_t>(t.first) * bytes;
+
+  // The leader's assembled domain slab: the root's domain gathers straight
+  // into recvbuf; other leaders stage (or forward sendbuf when alone).
+  const void* slab_out = nullptr;
+  void* slab_recv = nullptr;
+  if (t.my_dom == rd) {
+    if (rank == root) {
+      slab_recv = bptr(recvbuf, static_cast<std::size_t>(slab_off));
+    }
+  } else if (rank == t.leader) {
+    if (t.dsize == 1) {
+      slab_out = sendbuf;
+    } else {
+      slab_recv = scratch_bytes(*sched, slab_bytes);
+      slab_out = slab_recv;
+    }
+  }
+
+  if (t.dsize > 1) {
+    const ArchSpec view = predict::single_socket_view(comm.arch());
+    const Tuner::Choice ic = pick_gather(view, t.dsize, bytes);
+    CollOptions ieff = sub_options(eff, ic);
+    ieff.in_place = eff.in_place && t.my_dom == rd;
+    auto sub = compile_gather(*t.dteam, sendbuf, slab_recv, bytes,
+                              t.leader_pos, ic.gather, ieff, params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.dteam, std::move(sub));
+  } else if (rank == root && !eff.in_place) {
+    lo.local_copy(bptr(recvbuf, static_cast<std::size_t>(root) * bytes),
+                  sendbuf, bytes);
+  }
+
+  // Inter phase: every non-root-domain leader pushes its slab to the root.
+  if (rank == t.leader && t.my_dom != rd) {
+    lo.conc_hint(nd - 1);
+    lo.cma_write(root, root, slab_off, slab_out, slab_bytes);
+    lo.signal(root);
+  }
+  if (rank == root) {
+    lo.conc_hint(nd - 1);
+    for (int d = 0; d < nd; ++d) {
+      if (d != rd) {
+        lo.wait_signal(t.h.domain(d).leader);
+      }
+    }
+  }
+  return sched;
+}
+
+// ---- Bcast ----
+
+std::unique_ptr<Schedule> compile_two_level_bcast(
+    Comm& comm, void* buf, std::size_t bytes, int root,
+    const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  topo::Hierarchy h = topo::Hierarchy::from_arch(comm.arch(), p);
+  h.elect_root_affine(root);
+  if (p == 1 || h.trivial()) {
+    const Tuner::Choice c = pick_bcast(comm.arch(), p, bytes);
+    return compile_bcast(comm, buf, bytes, root, c.bcast,
+                         sub_options(eff, c), params);
+  }
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  Teams t = make_teams(comm, std::move(h));
+  const int nd = t.h.ndomains();
+  const int rd = t.h.domain_of(root);
+
+  // Leader phase: relay the vector across sockets, one leader per socket.
+  if (rank == t.leader) {
+    const Tuner::Choice lc = pick_bcast(comm.arch(), nd, bytes);
+    auto sub = compile_bcast(*t.lteam, buf, bytes, rd, lc.bcast,
+                             sub_options(eff, lc), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.lteam, std::move(sub));
+  }
+
+  // Intra phase behind a gate: members must not pull before the leader's
+  // copy of the vector is complete.
+  if (t.dsize > 1) {
+    domain_gate(lo, t);
+    const ArchSpec view = predict::single_socket_view(comm.arch());
+    const Tuner::Choice ic = pick_bcast(view, t.dsize, bytes);
+    auto sub = compile_bcast(*t.dteam, buf, bytes, t.leader_pos, ic.bcast,
+                             sub_options(eff, ic), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.dteam, std::move(sub));
+  }
+  return sched;
+}
+
+// ---- Allgather ----
+
+std::unique_ptr<Schedule> compile_two_level_allgather(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  const topo::Hierarchy h = topo::Hierarchy::from_arch(comm.arch(), p);
+  if (p == 1 || h.trivial()) {
+    const Tuner::Choice c = pick_allgather(comm.arch(), p, bytes);
+    return compile_allgather(comm, sendbuf, recvbuf, bytes, c.allgather,
+                             sub_options(eff, c), params);
+  }
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  Teams t = make_teams(comm, h);
+  const int nd = t.h.ndomains();
+  const std::uint64_t slab_off = static_cast<std::uint64_t>(t.first) * bytes;
+
+  // Phase 1: gather the domain's blocks into the leader's region of the
+  // final layout (recvbuf + slab_off), so the leader exchange moves
+  // finished slabs.
+  if (t.dsize > 1) {
+    const ArchSpec view = predict::single_socket_view(comm.arch());
+    const Tuner::Choice ic = pick_gather(view, t.dsize, bytes);
+    CollOptions geff = sub_options(eff, ic);
+    geff.in_place = eff.in_place;
+    const void* src =
+        eff.in_place ? bptr(recvbuf, static_cast<std::size_t>(rank) * bytes)
+                     : sendbuf;
+    void* slab_recv =
+        rank == t.leader
+            ? bptr(recvbuf, static_cast<std::size_t>(slab_off))
+            : nullptr;
+    auto sub = compile_gather(*t.dteam, src, slab_recv, bytes, t.leader_pos,
+                              ic.gather, geff, params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.dteam, std::move(sub));
+  } else if (!eff.in_place) {
+    lo.local_copy(bptr(recvbuf, static_cast<std::size_t>(rank) * bytes),
+                  sendbuf, bytes);
+  }
+
+  // Phase 2: rotating leader slab exchange. Each leader announces its slab
+  // (ready-to-send to every other leader), then pulls the remaining nd-1
+  // slabs starting at its successor so sources are visited staggered.
+  sched->self_addr = comm.expose(recvbuf);
+  lo.addr_allgather();
+  if (rank == t.leader) {
+    lo.conc_hint(1); // rotation: one reader per source at a time
+    for (int d = 0; d < nd; ++d) {
+      if (d != t.my_dom) {
+        lo.signal(t.h.domain(d).leader);
+      }
+    }
+    for (int i = 1; i < nd; ++i) {
+      const topo::Domain& ed = t.h.domain((t.my_dom + i) % nd);
+      const auto ed_size = static_cast<std::size_t>(ed.members.size());
+      lo.wait_signal(ed.leader);
+      lo.cma_read(ed.leader, ed.leader,
+                  static_cast<std::uint64_t>(ed.members.front()) * bytes,
+                  bptr(recvbuf,
+                       static_cast<std::size_t>(ed.members.front()) * bytes),
+                  ed_size * bytes);
+    }
+  }
+
+  // Phase 3: leaders fan the assembled vector out inside their domain.
+  if (t.dsize > 1) {
+    domain_gate(lo, t);
+    const ArchSpec view = predict::single_socket_view(comm.arch());
+    const Tuner::Choice ic =
+        pick_bcast(view, t.dsize, static_cast<std::size_t>(p) * bytes);
+    auto sub = compile_bcast(*t.dteam, recvbuf,
+                             static_cast<std::size_t>(p) * bytes,
+                             t.leader_pos, ic.bcast, sub_options(eff, ic),
+                             params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.dteam, std::move(sub));
+  }
+  // Other leaders may still be reading this rank's slab region.
+  lo.barrier();
+  return sched;
+}
+
+// ---- Reduce ----
+
+std::unique_ptr<Schedule> compile_two_level_reduce(
+    Comm& comm, const double* send, double* recv, std::size_t count,
+    ReduceOp op, int root, const CollOptions& eff,
+    const CompileParams& params) {
+  const int p = comm.size();
+  const std::size_t bytes = count * kElem;
+  topo::Hierarchy h = topo::Hierarchy::from_arch(comm.arch(), p);
+  h.elect_root_affine(root);
+  if (p == 1 || h.trivial()) {
+    const Tuner::Choice c = pick_reduce(comm.arch(), p, bytes);
+    return compile_reduce(comm, send, recv, count, op, root, c.reduce,
+                          sub_options(eff, c), params);
+  }
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  Teams t = make_teams(comm, std::move(h));
+  const int rd = t.h.domain_of(root);
+
+  // Phase 1: every domain reduces into its leader's partial vector.
+  const double* lsend = send;
+  if (t.dsize > 1) {
+    double* partial =
+        rank == t.leader
+            ? reinterpret_cast<double*>(scratch_bytes(*sched, bytes))
+            : nullptr;
+    const ArchSpec view = predict::single_socket_view(comm.arch());
+    const Tuner::Choice ic = pick_reduce(view, t.dsize, bytes);
+    auto sub = compile_reduce(*t.dteam, send, partial, count, op,
+                              t.leader_pos, ic.reduce, sub_options(eff, ic),
+                              params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.dteam, std::move(sub));
+    lsend = partial;
+  }
+
+  // Phase 2: leaders reduce the partials to the root (root leads its own
+  // domain, so no extra hop).
+  if (rank == t.leader) {
+    const Tuner::Choice lc =
+        pick_reduce(comm.arch(), t.h.ndomains(), bytes);
+    auto sub = compile_reduce(*t.lteam, lsend, rank == root ? recv : nullptr,
+                              count, op, rd, lc.reduce, sub_options(eff, lc),
+                              params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.lteam, std::move(sub));
+  }
+  return sched;
+}
+
+// ---- Allreduce ----
+
+std::unique_ptr<Schedule> compile_two_level_allreduce(
+    Comm& comm, const double* send, double* recv, std::size_t count,
+    ReduceOp op, const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  const std::size_t bytes = count * kElem;
+  const topo::Hierarchy h = topo::Hierarchy::from_arch(comm.arch(), p);
+  if (p == 1 || h.trivial()) {
+    const Tuner::Choice c = pick_allreduce(comm.arch(), p, bytes);
+    return compile_allreduce(comm, send, recv, count, op, c.allreduce,
+                             sub_options(eff, c), params);
+  }
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  Teams t = make_teams(comm, h);
+
+  // Phase 1: domain reduce into the leader's partial.
+  const double* lsend = send;
+  if (t.dsize > 1) {
+    double* partial =
+        rank == t.leader
+            ? reinterpret_cast<double*>(scratch_bytes(*sched, bytes))
+            : nullptr;
+    const ArchSpec view = predict::single_socket_view(comm.arch());
+    const Tuner::Choice ic = pick_reduce(view, t.dsize, bytes);
+    auto sub = compile_reduce(*t.dteam, send, partial, count, op,
+                              t.leader_pos, ic.reduce, sub_options(eff, ic),
+                              params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.dteam, std::move(sub));
+    lsend = partial;
+  }
+
+  // Phase 2: allreduce across the leaders — every leader ends up with the
+  // full result in recv.
+  if (rank == t.leader) {
+    const Tuner::Choice lc =
+        pick_allreduce(comm.arch(), t.h.ndomains(), bytes);
+    auto sub = compile_allreduce(*t.lteam, lsend, recv, count, op,
+                                 lc.allreduce, sub_options(eff, lc), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.lteam, std::move(sub));
+  }
+
+  // Phase 3: leaders fan the result out inside their domain.
+  if (t.dsize > 1) {
+    domain_gate(lo, t);
+    const ArchSpec view = predict::single_socket_view(comm.arch());
+    const Tuner::Choice ic = pick_bcast(view, t.dsize, bytes);
+    auto sub = compile_bcast(*t.dteam, recv, bytes, t.leader_pos, ic.bcast,
+                             sub_options(eff, ic), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.dteam, std::move(sub));
+  }
+  return sched;
+}
+
+} // namespace kacc::nbc

@@ -145,8 +145,12 @@ bool Engine::progress_once() {
     Schedule& s = *r->sched;
     while (!s.done()) {
       const Step& st = s.steps[s.pc];
+      // Spliced two-level steps carry sub-team-local peers: the view
+      // translates them for the tagged lanes and the shared in-flight
+      // counts, which are keyed by parent rank.
+      Comm& scomm = step_comm(*comm_, s, st);
       if (st.kind == StepKind::kWaitSignal && st.tag >= 0) {
-        if (!comm_->nbc_try_wait(st.peer, st.tag)) {
+        if (!scomm.nbc_try_wait(st.peer, st.tag)) {
           break; // parked until the peer's signal lands
         }
         ++s.pc;
@@ -154,13 +158,13 @@ bool Engine::progress_once() {
         continue;
       }
       if (is_data_step(st.kind)) {
-        if (r->governed && comm_->nbc_inflight(st.peer) >= r->cap) {
+        if (r->governed && scomm.nbc_inflight(st.peer) >= r->cap) {
           ctrs.add(obs::Counter::kNbcStepsDeferred);
           deferred = true;
           break;
         }
-        comm_->nbc_inflight_add(st.peer, +1);
-        const int inflight = comm_->nbc_inflight(st.peer);
+        scomm.nbc_inflight_add(st.peer, +1);
+        const int inflight = scomm.nbc_inflight(st.peer);
         ctrs.max_update(obs::Counter::kNbcInflightHwm,
                         static_cast<std::uint64_t>(inflight));
         rec.flight_event(obs::FlightKind::kStepIssued, st.peer,
@@ -172,10 +176,10 @@ bool Engine::progress_once() {
           obs::ConcHintScope conc(rec, inflight);
           execute_step(*comm_, s, st);
         } catch (...) {
-          comm_->nbc_inflight_add(st.peer, -1);
+          scomm.nbc_inflight_add(st.peer, -1);
           throw;
         }
-        comm_->nbc_inflight_add(st.peer, -1);
+        scomm.nbc_inflight_add(st.peer, -1);
         rec.hists.record_us(obs::Hist::kNbcStepLatency,
                             comm_->now_us() - t0);
         rec.flight_event(obs::FlightKind::kStepCompleted, st.peer,

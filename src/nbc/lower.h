@@ -1,0 +1,294 @@
+// The shared lowering emitter behind the schedule compiler. One `Lower`
+// per compile call: it appends steps to a Schedule, choosing between the
+// blocking replay and the nonblocking (eager-exchange, tagged-signal,
+// chunked) lowering of each primitive. Split out of compile.cpp so the
+// reduce and two-level compile units emit through the identical primitives
+// (and therefore inherit the lane-sharing correctness argument documented
+// in compile.h).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coll/algo.h"
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "nbc/compile.h"
+#include "nbc/schedule.h"
+#include "runtime/comm.h"
+
+namespace kacc::nbc::detail {
+
+inline std::byte* bptr(void* p, std::size_t off) {
+  return static_cast<std::byte*>(p) + off;
+}
+inline const std::byte* bptr(const void* p, std::size_t off) {
+  return static_cast<const std::byte*>(p) + off;
+}
+
+// ---- wave/tree bookkeeping shared by scatter/gather/bcast lowerings ----
+
+/// Position of a non-root rank in the 0..p-2 wave ordering.
+inline int nonroot_pos(int rank, int root) {
+  return rank < root ? rank : rank - 1;
+}
+
+/// Inverse of nonroot_pos.
+inline int nonroot_rank(int pos, int root) {
+  return pos < root ? pos : pos + 1;
+}
+
+/// Ranks in the last wave of a k-throttled schedule over p-1 movers.
+inline int last_wave_size(int p, int k) {
+  const int movers = p - 1;
+  const int rem = movers % k;
+  return rem == 0 ? std::min(k, movers) : rem;
+}
+
+/// k-nomial tree bookkeeping over virtual ranks (vrank 0 is the root).
+/// A vrank's parent clears its lowest nonzero digit in base (k+1); its
+/// children set one digit below that position.
+struct KnomialNode {
+  int parent = -1;           ///< vrank of parent (-1 for the root)
+  std::vector<int> children; ///< vranks, coarsest level first
+};
+
+KnomialNode knomial_node(int vrank, int p, int k);
+
+/// Peer of `rank` at pairwise step i: XOR schedule when p is a power of
+/// two (symmetric pairs), modular otherwise.
+inline int pairwise_read_peer(int rank, int step, int p) {
+  if (is_pow2(static_cast<std::uint64_t>(p))) {
+    return rank ^ step;
+  }
+  return pmod(rank - step, p);
+}
+
+// ---- the emitter ----
+
+struct Lower {
+  Comm& comm;
+  Schedule& s;
+  Mode mode;
+  int tag;
+  std::size_t chunk;
+  int rank;
+  int p;
+
+  Lower(Comm& c, Schedule& sched, const CompileParams& params)
+      : comm(c), s(sched), mode(params.mode), tag(params.tag),
+        chunk(params.chunk_bytes), rank(c.rank()), p(c.size()) {
+    if (mode == Mode::kNonblocking) {
+      KACC_CHECK_MSG(tag >= 0 && tag < Comm::kNbcTags,
+                     "nbc signal lane out of range");
+    }
+  }
+
+  [[nodiscard]] bool blocking() const { return mode == Mode::kBlocking; }
+
+  Step& push(StepKind kind) {
+    s.steps.emplace_back();
+    Step& st = s.steps.back();
+    st.kind = kind;
+    return st;
+  }
+
+  void cma(StepKind kind, int peer, int slot, std::uint64_t off, void* dst,
+           const void* src, std::size_t n) {
+    const std::size_t grain = (!blocking() && chunk > 0) ? chunk : n;
+    std::size_t done = 0;
+    do {
+      const std::size_t piece = std::min(grain, n - done);
+      Step& st = push(kind);
+      st.peer = peer;
+      st.slot = slot;
+      st.remote_off = off + done;
+      st.dst = dst == nullptr ? nullptr : bptr(dst, done);
+      st.src = src == nullptr ? nullptr : bptr(src, done);
+      st.bytes = piece;
+      done += piece;
+    } while (done < n);
+  }
+  void cma_read(int peer, int slot, std::uint64_t off, void* dst,
+                std::size_t n) {
+    cma(StepKind::kCmaRead, peer, slot, off, dst, nullptr, n);
+  }
+  void cma_write(int peer, int slot, std::uint64_t off, const void* src,
+                 std::size_t n) {
+    cma(StepKind::kCmaWrite, peer, slot, off, nullptr, src, n);
+  }
+  void local_copy(void* dst, const void* src, std::size_t n) {
+    Step& st = push(StepKind::kLocalCopy);
+    st.dst = dst;
+    st.src = src;
+    st.bytes = n;
+  }
+  /// combine(op, acc, operand, n/8) followed by the model's compute charge
+  /// — the step form of coll's charge_and_combine.
+  void combine(int op, void* acc, const void* operand, std::size_t n) {
+    Step& st = push(StepKind::kCombine);
+    st.aux = op;
+    st.dst = acc;
+    st.src = operand;
+    st.bytes = n;
+  }
+  /// Embeds a blocking collective entry point as one step, preserving its
+  /// own tuner resolution, counters and spans at drain time.
+  void nested(std::function<void(Comm&)> fn) {
+    KACC_CHECK_MSG(blocking(), "nested collective steps are blocking-only");
+    s.thunks.push_back(std::move(fn));
+    Step& st = push(StepKind::kNested);
+    st.slot = static_cast<int>(s.thunks.size()) - 1;
+  }
+  /// Publishes a per-level concurrency hint mid-schedule (kConcHint).
+  void conc_hint(int c) {
+    Step& st = push(StepKind::kConcHint);
+    st.peer = c;
+  }
+  void signal(int peer) {
+    Step& st = push(StepKind::kSignal);
+    st.peer = peer;
+    st.tag = blocking() ? -1 : tag;
+  }
+  void wait_signal(int peer) {
+    Step& st = push(StepKind::kWaitSignal);
+    st.peer = peer;
+    st.tag = blocking() ? -1 : tag;
+  }
+
+  // --- control exchanges: steps when blocking, eager otherwise ---
+
+  /// Broadcasts s.addrs[root] (prefilled at the root) to every rank.
+  void addr_bcast(int root) {
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlBcast);
+      st.peer = root;
+      st.dst = &s.addrs[static_cast<std::size_t>(root)];
+      st.bytes = sizeof(std::uint64_t);
+    } else {
+      comm.ctrl_bcast(&s.addrs[static_cast<std::size_t>(root)],
+                      sizeof(std::uint64_t), root);
+    }
+  }
+
+  /// Gathers every rank's s.self_addr into the root's s.addrs.
+  void addr_gather(int root) {
+    void* recv = rank == root ? static_cast<void*>(s.addrs.data()) : nullptr;
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlGather);
+      st.peer = root;
+      st.src = &s.self_addr;
+      st.dst = recv;
+      st.bytes = sizeof(std::uint64_t);
+    } else {
+      comm.ctrl_gather(&s.self_addr, recv, sizeof(std::uint64_t), root);
+    }
+  }
+
+  /// Allgathers every rank's s.self_addr into s.addrs.
+  void addr_allgather() {
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlAllgather);
+      st.src = &s.self_addr;
+      st.dst = s.addrs.data();
+      st.bytes = sizeof(std::uint64_t);
+    } else {
+      comm.ctrl_allgather(&s.self_addr, s.addrs.data(),
+                          sizeof(std::uint64_t));
+    }
+  }
+
+  /// Completion fan-in: non-roots notify the root (a 1-byte token gather
+  /// in blocking mode, p-1 tagged signals otherwise).
+  void completion_fan_in(int root) {
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlGather);
+      st.peer = root;
+      st.src = &s.token;
+      st.dst = rank == root ? static_cast<void*>(s.tokens.data()) : nullptr;
+      st.bytes = 1;
+    } else if (rank == root) {
+      for (int q = 0; q < p; ++q) {
+        if (q != root) {
+          wait_signal(q);
+        }
+      }
+    } else {
+      signal(root);
+    }
+  }
+
+  /// Completion fan-out: the root releases every non-root.
+  void completion_fan_out(int root) {
+    if (blocking()) {
+      Step& st = push(StepKind::kCtrlBcast);
+      st.peer = root;
+      st.dst = &s.token;
+      st.bytes = 1;
+    } else if (rank == root) {
+      for (int q = 0; q < p; ++q) {
+        if (q != root) {
+          signal(q);
+        }
+      }
+    } else {
+      wait_signal(root);
+    }
+  }
+
+  /// Full barrier: one step when blocking; dissemination rounds over the
+  /// request's counting lane otherwise (ceil(log2 p) signal/wait pairs).
+  void barrier() {
+    if (blocking()) {
+      push(StepKind::kBarrier);
+      return;
+    }
+    for (int d = 1; d < p; d <<= 1) {
+      signal(pmod(rank + d, p));
+      wait_signal(pmod(rank - d, p));
+    }
+  }
+
+  // --- two-copy shm data plane: blocking only ---
+
+  void shm_send(int dst, const void* buf, std::size_t n) {
+    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
+    Step& st = push(StepKind::kShmSend);
+    st.peer = dst;
+    st.src = buf;
+    st.bytes = n;
+  }
+  void shm_recv(int src, void* buf, std::size_t n) {
+    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
+    Step& st = push(StepKind::kShmRecv);
+    st.peer = src;
+    st.dst = buf;
+    st.bytes = n;
+  }
+  void shm_bcast(void* buf, std::size_t n, int root) {
+    KACC_CHECK_MSG(blocking(), "shm steps are blocking-only");
+    Step& st = push(StepKind::kShmBcast);
+    st.peer = root;
+    st.dst = buf;
+    st.bytes = n;
+  }
+};
+
+std::unique_ptr<Schedule> make_schedule(Comm& comm);
+
+inline int throttle_k(const coll::CollOptions& eff, int p) {
+  return std::min(eff.throttle > 0 ? eff.throttle : 4, p - 1);
+}
+
+/// Appends every step of `sub` to `parent`, rerouted through a nested-team
+/// entry so peers/slots resolve in the sub-schedule's frame, and records
+/// the sub-schedule (with its addrs/scratch, kept alive) under the view it
+/// executes against. `team` may be nullptr for a phase compiled on the
+/// parent communicator itself.
+void splice(Schedule& parent, std::shared_ptr<Comm> team,
+            std::unique_ptr<Schedule> sub);
+
+} // namespace kacc::nbc::detail

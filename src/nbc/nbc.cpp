@@ -66,6 +66,36 @@ Request finish(Comm& comm, Engine& eng, std::unique_ptr<Schedule> sched,
                int tag, const Options& nopts, const char* kind,
                std::size_t bytes, int root, bool persistent,
                bool immediate) {
+  if (persistent && !sched->steps.empty()) {
+    // Persistent replay has no per-round control-plane rendezvous: the
+    // eager address exchange ran once, at compile time. Several lowerings
+    // read a peer's buffer the moment their own schedule starts
+    // (direct-read bcast, the allgather phase of scatter-allgather, the
+    // leader phase of the two-level compositions), which on a restart
+    // races that peer's refill between rounds. Replay a dissemination
+    // barrier at the head of every round so a rank's data steps only run
+    // once every other rank has re-started the request — i.e. after every
+    // refill. The signals share the request's counting lane; per
+    // (src, dst) pair the barrier adds exactly one post and one wait per
+    // round, at the head of both sides' program order, so lane counts
+    // stay matched with the payload protocol.
+    const int p = sched->size;
+    const int rank = sched->rank;
+    std::vector<Step> gate;
+    for (int d = 1; d < p; d <<= 1) {
+      Step sig;
+      sig.kind = StepKind::kSignal;
+      sig.peer = (rank + d) % p;
+      sig.tag = tag;
+      gate.push_back(sig);
+      Step wt;
+      wt.kind = StepKind::kWaitSignal;
+      wt.peer = ((rank - d) % p + p) % p;
+      wt.tag = tag;
+      gate.push_back(wt);
+    }
+    sched->steps.insert(sched->steps.begin(), gate.begin(), gate.end());
+  }
   std::shared_ptr<RequestState> st =
       eng.adopt(std::move(sched), tag, nopts, kind,
                 static_cast<std::int64_t>(bytes), root, persistent);
@@ -266,6 +296,65 @@ Request make_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
                 -1, persistent, immediate);
 }
 
+Request make_reduce(Comm& comm, const double* send, double* recv,
+                    std::size_t count, coll::ReduceOp op, int root,
+                    coll::ReduceAlgo algo, const coll::CollOptions& opts,
+                    const Options& nopts, bool persistent, bool immediate) {
+  const int p = comm.size();
+  if (root < 0 || root >= p) {
+    throw InvalidArgument("ireduce: root out of range");
+  }
+  coll::validate_options(opts);
+  validate_nopts(nopts);
+  Engine& eng = Engine::for_comm(comm);
+  const int tag = eng.claim_lane();
+  const std::size_t bytes = count * sizeof(double);
+  if (count == 0) {
+    return finish(comm, eng, empty_schedule(comm), tag, nopts, "ireduce",
+                  bytes, root, persistent, immediate);
+  }
+  if (send == nullptr) {
+    throw InvalidArgument("ireduce: send required");
+  }
+  if (comm.rank() == root && recv == nullptr) {
+    throw InvalidArgument("ireduce: root needs recv");
+  }
+  if (algo == coll::ReduceAlgo::kAuto) {
+    algo = coll::Tuner().reduce(comm.arch(), p, bytes).reduce;
+  }
+  auto sched = compile_reduce(comm, send, recv, count, op, root, algo, opts,
+                              nb_params(tag, nopts));
+  return finish(comm, eng, std::move(sched), tag, nopts, "ireduce", bytes,
+                root, persistent, immediate);
+}
+
+Request make_allreduce(Comm& comm, const double* send, double* recv,
+                       std::size_t count, coll::ReduceOp op,
+                       coll::AllreduceAlgo algo,
+                       const coll::CollOptions& opts, const Options& nopts,
+                       bool persistent, bool immediate) {
+  const int p = comm.size();
+  coll::validate_options(opts);
+  validate_nopts(nopts);
+  Engine& eng = Engine::for_comm(comm);
+  const int tag = eng.claim_lane();
+  const std::size_t bytes = count * sizeof(double);
+  if (count == 0) {
+    return finish(comm, eng, empty_schedule(comm), tag, nopts, "iallreduce",
+                  bytes, -1, persistent, immediate);
+  }
+  if (send == nullptr || recv == nullptr) {
+    throw InvalidArgument("iallreduce: send and recv required");
+  }
+  if (algo == coll::AllreduceAlgo::kAuto) {
+    algo = coll::Tuner().allreduce(comm.arch(), p, bytes).allreduce;
+  }
+  auto sched = compile_allreduce(comm, send, recv, count, op, algo, opts,
+                                 nb_params(tag, nopts));
+  return finish(comm, eng, std::move(sched), tag, nopts, "iallreduce", bytes,
+                -1, persistent, immediate);
+}
+
 } // namespace
 
 // ----- public entry points -----
@@ -305,6 +394,22 @@ Request alltoall_init(Comm& comm, const void* sendbuf, void* recvbuf,
                        /*persistent=*/true, /*immediate=*/false);
 }
 
+Request reduce_init(Comm& comm, const double* send, double* recv,
+                    std::size_t count, coll::ReduceOp op, int root,
+                    coll::ReduceAlgo algo, const coll::CollOptions& opts,
+                    const Options& nopts) {
+  return make_reduce(comm, send, recv, count, op, root, algo, opts, nopts,
+                     /*persistent=*/true, /*immediate=*/false);
+}
+
+Request allreduce_init(Comm& comm, const double* send, double* recv,
+                       std::size_t count, coll::ReduceOp op,
+                       coll::AllreduceAlgo algo, const coll::CollOptions& opts,
+                       const Options& nopts) {
+  return make_allreduce(comm, send, recv, count, op, algo, opts, nopts,
+                        /*persistent=*/true, /*immediate=*/false);
+}
+
 Request iscatter(Comm& comm, const void* sendbuf, void* recvbuf,
                  std::size_t bytes, int root, coll::ScatterAlgo algo,
                  const coll::CollOptions& opts, const Options& nopts) {
@@ -338,6 +443,22 @@ Request ialltoall(Comm& comm, const void* sendbuf, void* recvbuf,
                   const coll::CollOptions& opts, const Options& nopts) {
   return make_alltoall(comm, sendbuf, recvbuf, bytes, algo, opts, nopts,
                        /*persistent=*/false, /*immediate=*/true);
+}
+
+Request ireduce(Comm& comm, const double* send, double* recv,
+                std::size_t count, coll::ReduceOp op, int root,
+                coll::ReduceAlgo algo, const coll::CollOptions& opts,
+                const Options& nopts) {
+  return make_reduce(comm, send, recv, count, op, root, algo, opts, nopts,
+                     /*persistent=*/false, /*immediate=*/true);
+}
+
+Request iallreduce(Comm& comm, const double* send, double* recv,
+                   std::size_t count, coll::ReduceOp op,
+                   coll::AllreduceAlgo algo, const coll::CollOptions& opts,
+                   const Options& nopts) {
+  return make_allreduce(comm, send, recv, count, op, algo, opts, nopts,
+                        /*persistent=*/false, /*immediate=*/true);
 }
 
 // ----- progress & completion -----

@@ -30,6 +30,7 @@
 #include <span>
 
 #include "coll/algo.h"
+#include "coll/reduce.h"
 
 namespace kacc {
 class Comm;
@@ -103,6 +104,18 @@ Request alltoall_init(Comm& comm, const void* sendbuf, void* recvbuf,
                       const coll::CollOptions& opts = {},
                       const Options& nopts = {});
 
+Request reduce_init(Comm& comm, const double* send, double* recv,
+                    std::size_t count, coll::ReduceOp op, int root,
+                    coll::ReduceAlgo algo = coll::ReduceAlgo::kAuto,
+                    const coll::CollOptions& opts = {},
+                    const Options& nopts = {});
+
+Request allreduce_init(Comm& comm, const double* send, double* recv,
+                       std::size_t count, coll::ReduceOp op,
+                       coll::AllreduceAlgo algo = coll::AllreduceAlgo::kAuto,
+                       const coll::CollOptions& opts = {},
+                       const Options& nopts = {});
+
 // ----- immediate nonblocking starts (init + start) -----
 
 Request iscatter(Comm& comm, const void* sendbuf, void* recvbuf,
@@ -133,6 +146,18 @@ Request ialltoall(Comm& comm, const void* sendbuf, void* recvbuf,
                   coll::AlltoallAlgo algo = coll::AlltoallAlgo::kAuto,
                   const coll::CollOptions& opts = {},
                   const Options& nopts = {});
+
+Request ireduce(Comm& comm, const double* send, double* recv,
+                std::size_t count, coll::ReduceOp op, int root,
+                coll::ReduceAlgo algo = coll::ReduceAlgo::kAuto,
+                const coll::CollOptions& opts = {},
+                const Options& nopts = {});
+
+Request iallreduce(Comm& comm, const double* send, double* recv,
+                   std::size_t count, coll::ReduceOp op,
+                   coll::AllreduceAlgo algo = coll::AllreduceAlgo::kAuto,
+                   const coll::CollOptions& opts = {},
+                   const Options& nopts = {});
 
 // ----- progress & completion -----
 

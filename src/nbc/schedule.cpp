@@ -1,11 +1,31 @@
 #include "nbc/schedule.h"
 
+#include "coll/reduce.h"
 #include "common/error.h"
 #include "runtime/comm.h"
 
 namespace kacc::nbc {
 
+Comm& step_comm(Comm& comm, Schedule& s, const Step& st) {
+  if (st.nest < 0) {
+    return comm;
+  }
+  KACC_CHECK(st.nest < static_cast<int>(s.nested.size()));
+  Comm* team = s.nested[static_cast<std::size_t>(st.nest)].team.get();
+  return team != nullptr ? *team : comm;
+}
+
 void execute_step(Comm& comm, Schedule& s, const Step& st) {
+  if (st.nest >= 0) {
+    // Spliced sub-team step: run it against the nested view so peer ranks
+    // and address slots resolve in the phase's own frame.
+    KACC_CHECK(st.nest < static_cast<int>(s.nested.size()));
+    Schedule::NestedTeam& nt = s.nested[static_cast<std::size_t>(st.nest)];
+    Step inner = st;
+    inner.nest = -1;
+    execute_step(nt.team != nullptr ? *nt.team : comm, *nt.sched, inner);
+    return;
+  }
   switch (st.kind) {
   case StepKind::kCmaRead:
     KACC_CHECK(st.slot >= 0 &&
@@ -56,6 +76,24 @@ void execute_step(Comm& comm, Schedule& s, const Step& st) {
     break;
   case StepKind::kShmBcast:
     comm.shm_bcast(st.dst, st.bytes, st.peer);
+    break;
+  case StepKind::kCombine:
+    // Mirrors the historical charge_and_combine: apply, then charge the
+    // operand stream.
+    coll::combine(static_cast<coll::ReduceOp>(st.aux),
+                  static_cast<double*>(st.dst),
+                  static_cast<const double*>(st.src),
+                  st.bytes / sizeof(double));
+    comm.compute_charge(st.bytes);
+    break;
+  case StepKind::kConcHint:
+    // Per-level concurrency hint of a composed schedule. drain()'s scope
+    // restores the previous value when the schedule finishes.
+    comm.recorder().conc_hint = st.peer > 1 ? st.peer : 1;
+    break;
+  case StepKind::kNested:
+    KACC_CHECK(st.slot >= 0 && st.slot < static_cast<int>(s.thunks.size()));
+    s.thunks[static_cast<std::size_t>(st.slot)](comm);
     break;
   }
 }

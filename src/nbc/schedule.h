@@ -14,6 +14,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/buffer.h"
@@ -37,6 +39,10 @@ enum class StepKind : std::uint8_t {
   kShmSend,       ///< shm_send(peer, src, bytes)           [blocking only]
   kShmRecv,       ///< shm_recv(peer, dst, bytes)           [blocking only]
   kShmBcast,      ///< shm_bcast(dst, bytes, peer)          [blocking only]
+  kCombine,       ///< combine(aux, dst, src, bytes/8) + compute_charge
+  kConcHint,      ///< recorder().conc_hint = peer (per-level hint)
+  kNested,        ///< thunks[slot](comm): a blocking collective
+                  ///< [blocking only]
 };
 
 /// True for steps that contend on a peer's page-table lock (the governor
@@ -54,6 +60,12 @@ struct Step {
   const void* src = nullptr;
   std::size_t bytes = 0;
   int tag = -1; ///< >= 0 selects a counting nbc signal lane
+  /// >= 0 routes execution through Schedule::nested[nest]: the step's comm
+  /// calls go to the nested team view and its slot resolves against the
+  /// nested schedule's addrs. The two-level compositions splice sub-team
+  /// phases into one parent schedule this way.
+  int nest = -1;
+  int aux = 0; ///< kCombine: the ReduceOp
 };
 
 struct Schedule {
@@ -77,9 +89,26 @@ struct Schedule {
   std::vector<char> tokens; ///< completion-token recv staging (root)
   std::vector<AlignedBuffer> scratch; ///< Bruck rotation buffers etc.
 
+  /// A sub-team phase of a composed (two-level) schedule: the view the
+  /// spliced steps execute against (nullptr = the schedule's own comm) and
+  /// the phase's compiled schedule, kept alive for its addrs/scratch.
+  struct NestedTeam {
+    std::shared_ptr<Comm> team;
+    std::unique_ptr<Schedule> sched;
+  };
+  std::vector<NestedTeam> nested;
+
+  /// Blocking collectives embedded as steps (kNested), e.g. the tuned
+  /// gather inside reduce-gather-combine. Blocking mode only.
+  std::vector<std::function<void(Comm&)>> thunks;
+
   std::size_t pc = 0; ///< next step to execute
   [[nodiscard]] bool done() const { return pc >= steps.size(); }
 };
+
+/// The communicator a step must execute against: the nested team view for
+/// spliced sub-team steps, otherwise `comm` itself.
+[[nodiscard]] Comm& step_comm(Comm& comm, Schedule& s, const Step& st);
 
 /// Executes one step against `comm`. Tagged kWaitSignal steps are the
 /// progress engine's job (nbc_try_wait) and are rejected here.

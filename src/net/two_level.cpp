@@ -45,19 +45,43 @@ double flat_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,
   return remote + local;
 }
 
-double two_level_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,
-                           std::uint64_t eta) {
+TwoLevelBreakdown two_level_gather_breakdown(const ArchSpec& spec,
+                                             const MultiNodeShape& shape,
+                                             std::uint64_t eta) {
   check_shape(shape);
   const FabricModel fabric(spec);
+  TwoLevelBreakdown b;
   // Phase 1: every node runs the tuned intra-node gather concurrently.
-  const double intra =
-      coll::Tuner().gather(spec, shape.ranks_per_node, eta).predicted_us;
+  // The Tuner sweep covers the hierarchical (socket two-level) candidates
+  // too, so on multi-socket specs this term already reflects the best
+  // composed design, not just the flat algorithms.
+  b.intra_us = coll::Tuner().gather(spec, shape.ranks_per_node, eta)
+                   .predicted_us;
   // Phase 2: nodes-1 leaders each push rpn*eta to the global root,
   // serialized into the root's NIC.
   const std::uint64_t node_block =
       eta * static_cast<std::uint64_t>(shape.ranks_per_node);
-  const double inter = fabric.serialized_us(node_block, shape.nodes - 1);
-  return intra + inter;
+  b.inter_us = fabric.serialized_us(node_block, shape.nodes - 1);
+  return b;
+}
+
+TwoLevelBreakdown two_level_scatter_breakdown(const ArchSpec& spec,
+                                              const MultiNodeShape& shape,
+                                              std::uint64_t eta) {
+  check_shape(shape);
+  const FabricModel fabric(spec);
+  TwoLevelBreakdown b;
+  const std::uint64_t node_block =
+      eta * static_cast<std::uint64_t>(shape.ranks_per_node);
+  b.inter_us = fabric.serialized_us(node_block, shape.nodes - 1);
+  b.intra_us = coll::Tuner().scatter(spec, shape.ranks_per_node, eta)
+                   .predicted_us;
+  return b;
+}
+
+double two_level_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,
+                           std::uint64_t eta) {
+  return two_level_gather_breakdown(spec, shape, eta).total_us();
 }
 
 double two_level_gather_pipelined_us(const ArchSpec& spec,
@@ -89,14 +113,7 @@ double flat_scatter_us(const ArchSpec& spec, const MultiNodeShape& shape,
 
 double two_level_scatter_us(const ArchSpec& spec, const MultiNodeShape& shape,
                             std::uint64_t eta) {
-  check_shape(shape);
-  const FabricModel fabric(spec);
-  const std::uint64_t node_block =
-      eta * static_cast<std::uint64_t>(shape.ranks_per_node);
-  const double inter = fabric.serialized_us(node_block, shape.nodes - 1);
-  const double intra =
-      coll::Tuner().scatter(spec, shape.ranks_per_node, eta).predicted_us;
-  return inter + intra;
+  return two_level_scatter_breakdown(spec, shape, eta).total_us();
 }
 
 } // namespace kacc::net

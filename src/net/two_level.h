@@ -33,6 +33,27 @@ struct MultiNodeShape {
 double flat_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,
                       std::uint64_t eta, IntraKind intra);
 
+/// The two phases of a two-level composition, separately. The intra term
+/// is the Tuner's minimum over every intra-node candidate — including,
+/// since the hierarchical sweep landed, the socket-level two-level
+/// compositions themselves — and is therefore directly comparable to an
+/// executed simulation of the same tuned collective (bench/fig17
+/// --executed). The inter term stays analytic: the fabric is modeled, not
+/// simulated.
+struct TwoLevelBreakdown {
+  double intra_us = 0.0; ///< tuned intra-node phase, every node in parallel
+  double inter_us = 0.0; ///< leader blocks serialized into the root's NIC
+
+  [[nodiscard]] double total_us() const { return intra_us + inter_us; }
+};
+
+TwoLevelBreakdown two_level_gather_breakdown(const ArchSpec& spec,
+                                             const MultiNodeShape& shape,
+                                             std::uint64_t eta);
+TwoLevelBreakdown two_level_scatter_breakdown(const ArchSpec& spec,
+                                              const MultiNodeShape& shape,
+                                              std::uint64_t eta);
+
 /// Two-level gather: tuned intra-node gather on every node in parallel,
 /// then node leaders send their aggregated block to the global root.
 double two_level_gather_us(const ArchSpec& spec, const MultiNodeShape& shape,

@@ -30,7 +30,16 @@ public:
   /// The rank's observability state: lock-free counters plus the span
   /// tracer (see src/obs). Bound by each implementation's constructor;
   /// collective algorithms and benchmarks instrument through this.
-  [[nodiscard]] obs::Recorder& recorder() { return recorder_; }
+  /// Sub-team views override it to return the parent rank's recorder, so
+  /// subgroup collectives instrument into the same per-rank blocks.
+  [[nodiscard]] virtual obs::Recorder& recorder() { return recorder_; }
+
+  /// Collective over the full team: partitions ranks by `color` into
+  /// sub-team views (MPI_Comm_split semantics). Within a color, ranks are
+  /// ordered by (key, rank). Ranks passing color < 0 participate in the
+  /// exchange but receive nullptr. The view delegates to this communicator
+  /// with rank translation and stays valid while it is alive.
+  [[nodiscard]] std::unique_ptr<Comm> split(int color, int key = 0);
 
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int size() const = 0;

@@ -1,0 +1,187 @@
+#include "runtime/sub_comm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace kacc {
+
+SubComm::SubComm(Comm& parent, std::vector<int> members)
+    : parent_(&parent), members_(std::move(members)) {
+  KACC_CHECK_MSG(!members_.empty(), "sub_comm: empty member list");
+  const int p = parent.size();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const int m = members_[i];
+    KACC_CHECK_MSG(m >= 0 && m < p, "sub_comm: member out of range");
+    for (std::size_t j = i + 1; j < members_.size(); ++j) {
+      KACC_CHECK_MSG(members_[j] != m, "sub_comm: duplicate member");
+    }
+    if (m == parent.rank()) {
+      pos_ = static_cast<int>(i);
+    }
+  }
+  KACC_CHECK_MSG(pos_ >= 0, "sub_comm: calling rank is not a member");
+}
+
+int SubComm::global_rank(int r) const {
+  KACC_CHECK_MSG(r >= 0 && r < size(), "sub_comm: rank out of range");
+  return members_[static_cast<std::size_t>(r)];
+}
+
+void SubComm::cma_read(int src, std::uint64_t remote_addr, void* local,
+                       std::size_t bytes) {
+  parent_->cma_read(global_rank(src), remote_addr, local, bytes);
+}
+
+void SubComm::cma_write(int dst, std::uint64_t remote_addr, const void* local,
+                        std::size_t bytes) {
+  parent_->cma_write(global_rank(dst), remote_addr, local, bytes);
+}
+
+void SubComm::local_copy(void* dst, const void* src, std::size_t bytes) {
+  parent_->local_copy(dst, src, bytes);
+}
+
+void SubComm::compute_charge(std::size_t bytes) {
+  parent_->compute_charge(bytes);
+}
+
+void SubComm::ctrl_bcast(void* buf, std::size_t bytes, int root) {
+  KACC_CHECK_MSG(root >= 0 && root < size(), "sub ctrl_bcast: root");
+  if (size() == 1) {
+    return;
+  }
+  if (pos_ == root) {
+    for (int q = 0; q < size(); ++q) {
+      if (q != root) {
+        parent_->shm_send(global_rank(q), buf, bytes);
+      }
+    }
+  } else {
+    parent_->shm_recv(global_rank(root), buf, bytes);
+  }
+}
+
+void SubComm::ctrl_gather(const void* send, void* recv, std::size_t bytes,
+                          int root) {
+  KACC_CHECK_MSG(root >= 0 && root < size(), "sub ctrl_gather: root");
+  if (pos_ == root) {
+    auto* out = static_cast<std::byte*>(recv);
+    for (int q = 0; q < size(); ++q) {
+      std::byte* dst = out + static_cast<std::size_t>(q) * bytes;
+      if (q == root) {
+        std::memcpy(dst, send, bytes);
+      } else {
+        parent_->shm_recv(global_rank(q), dst, bytes);
+      }
+    }
+  } else {
+    parent_->shm_send(global_rank(root), send, bytes);
+  }
+}
+
+void SubComm::ctrl_allgather(const void* send, void* recv,
+                             std::size_t bytes) {
+  // Gather at view rank 0, then broadcast the assembled vector: two pipe
+  // sweeps, no slot reuse to police.
+  ctrl_gather(send, recv, bytes, 0);
+  ctrl_bcast(recv, bytes * static_cast<std::size_t>(size()), 0);
+}
+
+void SubComm::signal(int dst) { parent_->signal(global_rank(dst)); }
+
+void SubComm::wait_signal(int src) { parent_->wait_signal(global_rank(src)); }
+
+void SubComm::barrier() {
+  // Dissemination over the parent's per-pair signal lanes: the parent's
+  // own barrier is full-team and would deadlock a subgroup.
+  const int n = size();
+  for (int d = 1; d < n; d <<= 1) {
+    signal(pmod(pos_ + d, n));
+    wait_signal(pmod(pos_ - d, n));
+  }
+}
+
+void SubComm::shm_send(int dst, const void* buf, std::size_t bytes) {
+  parent_->shm_send(global_rank(dst), buf, bytes);
+}
+
+void SubComm::shm_recv(int src, void* buf, std::size_t bytes) {
+  parent_->shm_recv(global_rank(src), buf, bytes);
+}
+
+void SubComm::shm_bcast(void* buf, std::size_t bytes, int root) {
+  // The parent's slotted bcast is full-team; a binomial tree over the
+  // two-copy pipes has the same interface contract for a subgroup.
+  KACC_CHECK_MSG(root >= 0 && root < size(), "sub shm_bcast: root");
+  const int n = size();
+  const int relative = pmod(pos_ - root, n);
+  int mask = 1;
+  while (mask < n) {
+    if ((relative & mask) != 0) {
+      shm_recv(pmod(relative - mask + root, n), buf, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < n) {
+      shm_send(pmod(relative + mask + root, n), buf, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+double SubComm::now_us() { return parent_->now_us(); }
+
+void SubComm::nbc_signal(int dst, int tag) {
+  parent_->nbc_signal(global_rank(dst), tag);
+}
+
+bool SubComm::nbc_try_wait(int src, int tag) {
+  return parent_->nbc_try_wait(global_rank(src), tag);
+}
+
+void SubComm::nbc_yield(int idle_rounds) { parent_->nbc_yield(idle_rounds); }
+
+int SubComm::nbc_inflight(int source) {
+  return parent_->nbc_inflight(global_rank(source));
+}
+
+void SubComm::nbc_inflight_add(int source, int delta) {
+  parent_->nbc_inflight_add(global_rank(source), delta);
+}
+
+double SubComm::nbc_deadline_us() const { return parent_->nbc_deadline_us(); }
+
+std::unique_ptr<Comm> Comm::split(int color, int key) {
+  // Full-team collective: everyone contributes (color, key) and computes
+  // the same deterministic grouping.
+  struct Entry {
+    int color;
+    int key;
+  };
+  const Entry mine{color, key};
+  std::vector<Entry> all(static_cast<std::size_t>(size()));
+  ctrl_allgather(&mine, all.data(), sizeof(Entry));
+  if (color < 0) {
+    return nullptr;
+  }
+  std::vector<int> members;
+  for (int r = 0; r < size(); ++r) {
+    if (all[static_cast<std::size_t>(r)].color == color) {
+      members.push_back(r);
+    }
+  }
+  std::sort(members.begin(), members.end(), [&](int a, int b) {
+    return std::tuple(all[static_cast<std::size_t>(a)].key, a) <
+           std::tuple(all[static_cast<std::size_t>(b)].key, b);
+  });
+  return std::make_unique<SubComm>(*this, std::move(members));
+}
+
+} // namespace kacc

@@ -1,0 +1,85 @@
+// Sub-team view of a communicator: the member list (global parent ranks)
+// defines a smaller SPMD team, and every Comm operation delegates to the
+// parent with rank translation. Works identically over SimComm and
+// NativeComm because it only uses the parent's point-to-point primitives:
+//
+//   * data plane / signals / shm pipes — direct delegation (translated);
+//   * ctrl_bcast/gather/allgather      — rebuilt over the parent's shm
+//     pipes, because the parent's ctrl plane is a full-team collective
+//     (sim: one global rendezvous context; native: one CtrlBoard with
+//     full-team rounds) and cannot be entered by a subgroup;
+//   * barrier                          — dissemination rounds over the
+//     parent's per-pair signal lanes, for the same reason.
+//
+// Disjoint sub-teams never share a (src, dst) pair, so concurrent
+// collectives on disjoint views are safe; on one pair, parent and view
+// usage is totally ordered by SPMD program order like any other mix of
+// collectives. Construct views directly from a member list (no
+// communication), or collectively via Comm::split(color, key).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/comm.h"
+
+namespace kacc {
+
+class SubComm final : public Comm {
+public:
+  /// `members[i]` is the parent rank acting as view rank i; the parent's
+  /// own rank must appear exactly once. No communication — every member
+  /// must construct a view with the identical list (SPMD).
+  SubComm(Comm& parent, std::vector<int> members);
+
+  [[nodiscard]] int rank() const override { return pos_; }
+  [[nodiscard]] int size() const override {
+    return static_cast<int>(members_.size());
+  }
+  [[nodiscard]] const ArchSpec& arch() const override {
+    return parent_->arch();
+  }
+  [[nodiscard]] obs::Recorder& recorder() override {
+    return parent_->recorder();
+  }
+
+  /// Parent rank of view rank `r`.
+  [[nodiscard]] int global_rank(int r) const;
+  [[nodiscard]] Comm& parent() const { return *parent_; }
+
+  void cma_read(int src, std::uint64_t remote_addr, void* local,
+                std::size_t bytes) override;
+  void cma_write(int dst, std::uint64_t remote_addr, const void* local,
+                 std::size_t bytes) override;
+  void local_copy(void* dst, const void* src, std::size_t bytes) override;
+  void compute_charge(std::size_t bytes) override;
+
+  void ctrl_bcast(void* buf, std::size_t bytes, int root) override;
+  void ctrl_gather(const void* send, void* recv, std::size_t bytes,
+                   int root) override;
+  void ctrl_allgather(const void* send, void* recv,
+                      std::size_t bytes) override;
+  void signal(int dst) override;
+  void wait_signal(int src) override;
+  void barrier() override;
+
+  void shm_send(int dst, const void* buf, std::size_t bytes) override;
+  void shm_recv(int src, void* buf, std::size_t bytes) override;
+  void shm_bcast(void* buf, std::size_t bytes, int root) override;
+
+  double now_us() override;
+
+  void nbc_signal(int dst, int tag) override;
+  bool nbc_try_wait(int src, int tag) override;
+  void nbc_yield(int idle_rounds) override;
+  [[nodiscard]] int nbc_inflight(int source) override;
+  void nbc_inflight_add(int source, int delta) override;
+  [[nodiscard]] double nbc_deadline_us() const override;
+
+private:
+  Comm* parent_;
+  std::vector<int> members_; ///< view rank -> parent rank
+  int pos_ = -1;             ///< this rank's view rank
+};
+
+} // namespace kacc

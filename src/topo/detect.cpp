@@ -81,4 +81,40 @@ ArchSpec detect_host() {
   return s;
 }
 
+std::vector<int> detect_cpu_packages() {
+  const long nproc_onln = ::sysconf(_SC_NPROCESSORS_ONLN);
+  const int cpus = nproc_onln > 0 ? static_cast<int>(nproc_onln) : 1;
+  std::vector<int> packages(static_cast<std::size_t>(cpus), 0);
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    const int pkg = read_sysfs_int(base + "physical_package_id", 0);
+    packages[static_cast<std::size_t>(cpu)] = pkg < 0 ? 0 : pkg;
+  }
+  return packages;
+}
+
+topo::Hierarchy detect_hierarchy(int nranks, const ArchSpec& fallback) {
+  const std::vector<int> packages = detect_cpu_packages();
+  bool multi = false;
+  for (int pkg : packages) {
+    if (pkg != packages.front()) {
+      multi = true;
+      break;
+    }
+  }
+  if (!multi) {
+    // One package (or unreadable sysfs): the ArchSpec shape is the only
+    // socket information available. This is also the sim path, where the
+    // host's real topology is irrelevant by design.
+    return topo::Hierarchy::from_arch(fallback, nranks);
+  }
+  std::vector<int> per_rank(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    per_rank[static_cast<std::size_t>(r)] =
+        packages[static_cast<std::size_t>(r) % packages.size()];
+  }
+  return topo::Hierarchy::from_packages(per_rank);
+}
+
 } // namespace kacc

@@ -3,7 +3,10 @@
 // conservative defaults and can be refined with model::ParamEstimator.
 #pragma once
 
+#include <vector>
+
 #include "topo/arch_spec.h"
+#include "topo/hierarchy.h"
 
 namespace kacc {
 
@@ -11,5 +14,17 @@ namespace kacc {
 /// model parameters. Never throws; falls back to a single-socket shape when
 /// sysfs is unreadable.
 ArchSpec detect_host();
+
+/// Physical package id per online CPU, from
+/// /sys/devices/system/cpu/cpu*/topology/physical_package_id. CPUs whose
+/// id is unreadable report package 0, so the result is always usable as a
+/// Hierarchy key map. Never throws.
+std::vector<int> detect_cpu_packages();
+
+/// Hierarchy for `nranks` ranks on this host, assuming the usual identity
+/// pinning (rank r on CPU r, wrapping when oversubscribed). Falls back to
+/// the block distribution of `fallback` (the ArchSpec shape) when sysfs
+/// exposes no socket boundaries — the sim path always takes the fallback.
+topo::Hierarchy detect_hierarchy(int nranks, const ArchSpec& fallback);
 
 } // namespace kacc

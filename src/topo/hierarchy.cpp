@@ -1,0 +1,88 @@
+#include "topo/hierarchy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace kacc::topo {
+
+namespace {
+
+struct Grouped {
+  std::vector<Domain> domains;
+  std::vector<int> domain_of;
+};
+
+Grouped build(const std::vector<int>& key_of_rank) {
+  // Group ranks by key; domain order follows the smallest member so the
+  // leader team is deterministic regardless of key numbering.
+  std::map<int, std::vector<int>> groups;
+  for (int r = 0; r < static_cast<int>(key_of_rank.size()); ++r) {
+    groups[key_of_rank[static_cast<std::size_t>(r)]].push_back(r);
+  }
+  std::vector<Domain> domains;
+  domains.reserve(groups.size());
+  for (auto& [key, members] : groups) {
+    (void)key;
+    std::sort(members.begin(), members.end());
+    Domain d;
+    d.leader = members.front();
+    d.members = std::move(members);
+    domains.push_back(std::move(d));
+  }
+  std::sort(domains.begin(), domains.end(),
+            [](const Domain& a, const Domain& b) {
+              return a.members.front() < b.members.front();
+            });
+  std::vector<int> domain_of(key_of_rank.size(), 0);
+  for (int d = 0; d < static_cast<int>(domains.size()); ++d) {
+    for (int r : domains[static_cast<std::size_t>(d)].members) {
+      domain_of[static_cast<std::size_t>(r)] = d;
+    }
+  }
+  return {std::move(domains), std::move(domain_of)};
+}
+
+} // namespace
+
+Hierarchy Hierarchy::from_arch(const ArchSpec& spec, int nranks) {
+  KACC_CHECK_MSG(nranks >= 1, "hierarchy: nranks >= 1");
+  std::vector<int> keys(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    keys[static_cast<std::size_t>(r)] = spec.socket_of(r, nranks);
+  }
+  Grouped g = build(keys);
+  return {std::move(g.domains), std::move(g.domain_of)};
+}
+
+Hierarchy Hierarchy::from_packages(const std::vector<int>& package_of_rank) {
+  KACC_CHECK_MSG(!package_of_rank.empty(), "hierarchy: empty package map");
+  Grouped g = build(package_of_rank);
+  return {std::move(g.domains), std::move(g.domain_of)};
+}
+
+std::vector<int> Hierarchy::leaders() const {
+  std::vector<int> ls;
+  ls.reserve(domains_.size());
+  for (const Domain& d : domains_) {
+    ls.push_back(d.leader);
+  }
+  return ls;
+}
+
+bool Hierarchy::trivial() const {
+  if (domains_.size() <= 1) {
+    return true;
+  }
+  return std::all_of(domains_.begin(), domains_.end(), [](const Domain& d) {
+    return d.members.size() == 1;
+  });
+}
+
+void Hierarchy::elect_root_affine(int root) {
+  KACC_CHECK_MSG(root >= 0 && root < nranks(), "hierarchy: root out of range");
+  domains_[static_cast<std::size_t>(domain_of(root))].leader = root;
+}
+
+} // namespace kacc::topo

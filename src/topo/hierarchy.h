@@ -1,0 +1,70 @@
+// Socket/NUMA hierarchy over a team: partitions ranks into contiguous
+// domains (one per socket under the ArchSpec's block distribution, or per
+// detected physical package natively) and elects a leader per domain. The
+// two-level collectives (leader phase + intra-domain phase) and the Tuner's
+// hierarchical sweep are built on this.
+#pragma once
+
+#include <vector>
+
+#include "topo/arch_spec.h"
+
+namespace kacc::topo {
+
+/// One leader-rooted subgroup of the team. Members are global ranks in
+/// ascending order; the leader is always a member.
+struct Domain {
+  int leader = 0;
+  std::vector<int> members;
+};
+
+class Hierarchy {
+public:
+  /// Partition by ArchSpec::socket_of — the same block distribution the
+  /// simulator charges cross-socket costs with, so domain boundaries and
+  /// cost-model boundaries always agree.
+  static Hierarchy from_arch(const ArchSpec& spec, int nranks);
+
+  /// Partition by an explicit rank -> package-id map (native runtime, from
+  /// topo::detect_cpu_packages). Package ids need not be dense.
+  static Hierarchy from_packages(const std::vector<int>& package_of_rank);
+
+  [[nodiscard]] int ndomains() const {
+    return static_cast<int>(domains_.size());
+  }
+  [[nodiscard]] int nranks() const {
+    return static_cast<int>(domain_of_.size());
+  }
+  [[nodiscard]] const Domain& domain(int d) const {
+    return domains_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] int domain_of(int rank) const {
+    return domain_of_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] int leader_of(int rank) const {
+    return domain(domain_of(rank)).leader;
+  }
+  [[nodiscard]] bool is_leader(int rank) const {
+    return leader_of(rank) == rank;
+  }
+  /// Leaders in domain order (the leader team of the inter-domain phase).
+  [[nodiscard]] std::vector<int> leaders() const;
+
+  /// True when a two-level composition cannot beat a flat algorithm by
+  /// construction: a single domain, or every domain a singleton.
+  [[nodiscard]] bool trivial() const;
+
+  /// Re-elect `root` as the leader of its own domain, so rooted two-level
+  /// collectives never pay an extra leader <-> root hop. Leaders of other
+  /// domains are unchanged (lowest member).
+  void elect_root_affine(int root);
+
+private:
+  Hierarchy(std::vector<Domain> domains, std::vector<int> domain_of)
+      : domains_(std::move(domains)), domain_of_(std::move(domain_of)) {}
+
+  std::vector<Domain> domains_;
+  std::vector<int> domain_of_;
+};
+
+} // namespace kacc::topo

@@ -1,0 +1,331 @@
+// Hierarchy tests (ctest -L hier): collectives on socket-split subgroup
+// views stay byte-exact, the composed two-level algorithms match the flat
+// reference pattern on every preset, the Tuner's hierarchical/flat
+// crossover is pinned per arch, and the two-level predictions track
+// executed simulations within the fig12 model-validation tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "coll/reduce.h"
+#include "coll/tuner.h"
+#include "coll_verifiers.h"
+#include "common/error.h"
+#include "model/predict.h"
+#include "nbc/nbc.h"
+#include "runtime/sim_comm.h"
+#include "runtime/sub_comm.h"
+#include "topo/hierarchy.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using coll::AllreduceAlgo;
+using coll::BcastAlgo;
+using coll::ReduceAlgo;
+using coll::ReduceOp;
+using testing::verify_allgather;
+using testing::verify_alltoall;
+using testing::verify_bcast;
+using testing::verify_gather;
+using testing::verify_scatter;
+
+constexpr std::size_t kBytes = 6000; // multi-page, not page aligned
+
+/// Element i contributed by rank r: small integers, exactly summable, so
+/// floating-point reassociation across the two levels cannot blur checks.
+double contribution(int rank, std::size_t i) {
+  return static_cast<double>((rank + 1) * 3 + static_cast<int>(i % 17));
+}
+
+void verify_reduce(Comm& comm, std::size_t count, ReduceOp op, int root,
+                   ReduceAlgo algo) {
+  std::vector<double> send(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    send[i] = contribution(comm.rank(), i);
+  }
+  std::vector<double> recv(comm.rank() == root ? count : 0);
+  coll::reduce(comm, send.data(), recv.empty() ? nullptr : recv.data(),
+               count, op, root, algo);
+  if (comm.rank() != root) {
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    double want = contribution(0, i);
+    for (int r = 1; r < comm.size(); ++r) {
+      want = op == ReduceOp::kSum ? want + contribution(r, i)
+                                  : std::max(want, contribution(r, i));
+    }
+    if (recv[i] != want) {
+      throw Error("reduce(" + coll::to_string(algo) + ") wrong at " +
+                  std::to_string(i));
+    }
+  }
+}
+
+void verify_allreduce(Comm& comm, std::size_t count, ReduceOp op,
+                      AllreduceAlgo algo) {
+  std::vector<double> send(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    send[i] = contribution(comm.rank(), i);
+  }
+  std::vector<double> recv(count);
+  coll::allreduce(comm, send.data(), recv.data(), count, op, algo);
+  for (std::size_t i = 0; i < count; ++i) {
+    double want = contribution(0, i);
+    for (int r = 1; r < comm.size(); ++r) {
+      want = op == ReduceOp::kSum ? want + contribution(r, i)
+                                  : std::max(want, contribution(r, i));
+    }
+    if (recv[i] != want) {
+      throw Error("allreduce(" + coll::to_string(algo) + ") wrong at " +
+                  std::to_string(i) + " on rank " +
+                  std::to_string(comm.rank()));
+    }
+  }
+}
+
+/// Every collective, auto-tuned, inside the view. The verifiers only see
+/// the view's rank/size, so passing them a subgroup checks the full rank
+/// translation (data plane, ctrl plane, barriers) against the flat
+/// reference pattern.
+void verify_all_ops(Comm& view) {
+  verify_scatter(view, kBytes, 0, coll::ScatterAlgo::kAuto);
+  verify_gather(view, kBytes, view.size() - 1, coll::GatherAlgo::kAuto);
+  verify_bcast(view, kBytes, 0, coll::BcastAlgo::kAuto);
+  verify_allgather(view, kBytes, coll::AllgatherAlgo::kAuto);
+  verify_alltoall(view, kBytes, coll::AlltoallAlgo::kAuto);
+  verify_reduce(view, 513, ReduceOp::kSum, 0, ReduceAlgo::kAuto);
+  verify_allreduce(view, 513, ReduceOp::kMax, AllreduceAlgo::kAuto);
+}
+
+// ---------------------------------------------------------------------------
+// Subgroup views: every op on the socket split of every preset
+// ---------------------------------------------------------------------------
+
+TEST(HierSubgroup, EveryOpOnSocketSplitsOfEveryPreset) {
+  for (const ArchSpec& s : all_presets()) {
+    for (const int p : {7, 8}) {
+      run_sim(s, p, [&s, p](Comm& comm) {
+        const int color = s.socket_of(comm.rank(), p);
+        const auto view = comm.split(color);
+        ASSERT_NE(view, nullptr);
+        verify_all_ops(*view);
+      });
+    }
+  }
+}
+
+TEST(HierSubgroup, HierarchyDomainsMatchSplitMembership) {
+  const ArchSpec s = broadwell();
+  const int p = 8;
+  run_sim(s, p, [&s, p](Comm& comm) {
+    const topo::Hierarchy h = topo::Hierarchy::from_arch(s, p);
+    const auto view = comm.split(h.domain_of(comm.rank()));
+    ASSERT_NE(view, nullptr);
+    const auto& members = h.domain(h.domain_of(comm.rank())).members;
+    ASSERT_EQ(view->size(), static_cast<int>(members.size()));
+    auto& sub = dynamic_cast<SubComm&>(*view);
+    for (int r = 0; r < view->size(); ++r) {
+      EXPECT_EQ(sub.global_rank(r), members[static_cast<std::size_t>(r)]);
+    }
+  });
+}
+
+TEST(HierSubgroup, KeyReversesRankOrderAndNegativeColorOptsOut) {
+  run_sim(broadwell(), 6, [](Comm& comm) {
+    // Rank 5 opts out; the rest form one view in reversed order.
+    const auto view = comm.split(comm.rank() == 5 ? -1 : 0, -comm.rank());
+    if (comm.rank() == 5) {
+      EXPECT_EQ(view, nullptr);
+      return;
+    }
+    ASSERT_NE(view, nullptr);
+    ASSERT_EQ(view->size(), 5);
+    EXPECT_EQ(view->rank(), 4 - comm.rank());
+    verify_bcast(*view, kBytes, 0, coll::BcastAlgo::kAuto);
+    verify_allgather(*view, kBytes, coll::AllgatherAlgo::kAuto);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Composed two-level algorithms: byte-exact vs the flat reference pattern
+// ---------------------------------------------------------------------------
+
+void verify_two_level_ops(Comm& comm, int root) {
+  verify_scatter(comm, kBytes, root, coll::ScatterAlgo::kTwoLevel);
+  verify_gather(comm, kBytes, root, coll::GatherAlgo::kTwoLevel);
+  verify_bcast(comm, kBytes, root, coll::BcastAlgo::kTwoLevel);
+  verify_allgather(comm, kBytes, coll::AllgatherAlgo::kTwoLevel);
+  verify_reduce(comm, 771, ReduceOp::kSum, root, ReduceAlgo::kTwoLevel);
+  verify_allreduce(comm, 771, ReduceOp::kSum, AllreduceAlgo::kTwoLevel);
+}
+
+TEST(HierTwoLevel, ByteExactOnMultiSocketPresets) {
+  for (const ArchSpec& s : {broadwell(), power8()}) {
+    for (const int p : {4, 9, 12}) {
+      run_sim(s, p, [p](Comm& comm) {
+        verify_two_level_ops(comm, 0);
+        verify_two_level_ops(comm, p - 1); // root in the other socket
+      });
+    }
+  }
+}
+
+TEST(HierTwoLevel, FallsBackByteExactOnSingleSocket) {
+  // KNL has one socket: the hierarchy is trivial and every composed
+  // algorithm must degrade to the tuned flat pick, still byte-exact.
+  run_sim(knl(), 8, [](Comm& comm) { verify_two_level_ops(comm, 3); });
+}
+
+TEST(HierTwoLevel, TrivialTeamsAndMaxOp) {
+  run_sim(broadwell(), 2, [](Comm& comm) {
+    verify_two_level_ops(comm, 1);
+    verify_reduce(comm, 257, ReduceOp::kMax, 0, ReduceAlgo::kTwoLevel);
+    verify_allreduce(comm, 257, ReduceOp::kMax, AllreduceAlgo::kTwoLevel);
+  });
+  run_sim(broadwell(), 1, [](Comm& comm) { verify_two_level_ops(comm, 0); });
+}
+
+TEST(HierTwoLevel, InPlaceVariants) {
+  run_sim(broadwell(), 9, [](Comm& comm) {
+    coll::CollOptions opts;
+    opts.in_place = true;
+    verify_scatter(comm, kBytes, 4, coll::ScatterAlgo::kTwoLevel, opts);
+    verify_gather(comm, kBytes, 4, coll::GatherAlgo::kTwoLevel, opts);
+    verify_allgather(comm, kBytes, coll::AllgatherAlgo::kTwoLevel, opts);
+  });
+}
+
+TEST(HierTwoLevel, NonblockingAndPersistentComposedBcast) {
+  // The composed schedules lower through the same compiler as the flat
+  // ones, so the nonblocking and persistent variants come for free.
+  run_sim(broadwell(), 8, [](Comm& comm) {
+    const std::size_t bytes = kBytes;
+    AlignedBuffer buf(bytes);
+    if (comm.rank() == 1) {
+      pattern_fill(buf.span(), 1, 3);
+    }
+    nbc::Request r =
+        nbc::ibcast(comm, buf.data(), bytes, 1, coll::BcastAlgo::kTwoLevel);
+    nbc::wait(r);
+    testing::expect_block(buf.span(), 1, 3, "composed ibcast");
+
+    nbc::Request pers =
+        nbc::bcast_init(comm, buf.data(), bytes, 1,
+                        coll::BcastAlgo::kTwoLevel);
+    for (const int round : {5, 9}) {
+      if (comm.rank() == 1) {
+        pattern_fill(buf.span(), 1, round);
+      }
+      nbc::start(pers);
+      nbc::wait(pers);
+      testing::expect_block(buf.span(), 1, round,
+                            "composed persistent round " +
+                                std::to_string(round));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Tuner: golden hierarchical/flat crossover per arch
+// ---------------------------------------------------------------------------
+
+TEST(HierTuner, BroadwellAllreduceCrossesOverToHierarchical) {
+  const ArchSpec s = broadwell();
+  const int p = s.default_ranks;
+  // Small messages: latency-bound, a flat algorithm wins.
+  EXPECT_NE(coll::Tuner().allreduce(s, p, 4096).allreduce,
+            AllreduceAlgo::kTwoLevel);
+  // Large messages: the socket bridge amortizes; hierarchical wins and its
+  // prediction undercuts every flat candidate.
+  const auto big = coll::Tuner().allreduce(s, p, 1u << 20);
+  EXPECT_EQ(big.allreduce, AllreduceAlgo::kTwoLevel);
+  EXPECT_LT(big.predicted_us, predict::allreduce_reduce_bcast(s, p, 1u << 20));
+  EXPECT_LT(big.predicted_us,
+            predict::allreduce_recursive_doubling(s, p, 1u << 20));
+  EXPECT_LT(big.predicted_us, predict::allreduce_rabenseifner(s, p, 1u << 20));
+}
+
+TEST(HierTuner, BroadwellBcastCrossesOverToHierarchical) {
+  const ArchSpec s = broadwell();
+  const int p = s.default_ranks;
+  EXPECT_NE(coll::Tuner().bcast(s, p, 65536).bcast, BcastAlgo::kTwoLevel);
+  EXPECT_EQ(coll::Tuner().bcast(s, p, 4u << 20).bcast, BcastAlgo::kTwoLevel);
+}
+
+TEST(HierTuner, Power8ReducePrefersHierarchicalAtScale) {
+  const ArchSpec s = power8();
+  EXPECT_EQ(coll::Tuner().reduce(s, s.default_ranks, 1u << 20).reduce,
+            ReduceAlgo::kTwoLevel);
+}
+
+TEST(HierTuner, SingleSocketNeverPicksHierarchical) {
+  const ArchSpec s = knl();
+  const int p = s.default_ranks;
+  for (const std::uint64_t bytes : {std::uint64_t{4096}, std::uint64_t{1}
+                                                             << 20,
+                                    std::uint64_t{8} << 20}) {
+    EXPECT_NE(coll::Tuner().scatter(s, p, bytes).scatter,
+              coll::ScatterAlgo::kTwoLevel);
+    EXPECT_NE(coll::Tuner().gather(s, p, bytes).gather,
+              coll::GatherAlgo::kTwoLevel);
+    EXPECT_NE(coll::Tuner().allgather(s, p, bytes).allgather,
+              coll::AllgatherAlgo::kTwoLevel);
+    EXPECT_NE(coll::Tuner().bcast(s, p, bytes).bcast, BcastAlgo::kTwoLevel);
+    EXPECT_NE(coll::Tuner().reduce(s, p, bytes).reduce, ReduceAlgo::kTwoLevel);
+    EXPECT_NE(coll::Tuner().allreduce(s, p, bytes).allreduce,
+              AllreduceAlgo::kTwoLevel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model validation: predictions track executed simulations (fig12 style)
+// ---------------------------------------------------------------------------
+
+TEST(HierExecuted, AllreduceModelTracksSimWithin35Percent) {
+  const ArchSpec s = broadwell();
+  const int p = s.default_ranks; // the preset where the Tuner crosses over
+  for (const std::uint64_t bytes :
+       {std::uint64_t{65536}, std::uint64_t{1} << 20}) {
+    const std::size_t count = bytes / sizeof(double);
+    const double simulated =
+        run_sim(s, p,
+                [&](Comm& comm) {
+                  AlignedBuffer send(bytes);
+                  AlignedBuffer recv(bytes);
+                  coll::allreduce(comm,
+                                  reinterpret_cast<const double*>(send.data()),
+                                  reinterpret_cast<double*>(recv.data()),
+                                  count, ReduceOp::kSum,
+                                  AllreduceAlgo::kTwoLevel);
+                },
+                /*move_data=*/false)
+            .makespan_us;
+    const double predicted = predict::two_level_allreduce(s, p, bytes);
+    EXPECT_NEAR(predicted, simulated, simulated * 0.35)
+        << "allreduce bytes=" << bytes;
+  }
+}
+
+TEST(HierExecuted, BcastModelTracksSimWhereTheTunerPicksIt) {
+  const ArchSpec s = broadwell();
+  const int p = s.default_ranks;
+  const std::uint64_t bytes = 4u << 20; // past the crossover (HierTuner)
+  const double simulated =
+      run_sim(s, p,
+              [&](Comm& comm) {
+                AlignedBuffer buf(bytes);
+                coll::bcast(comm, buf.data(), bytes, 0,
+                            BcastAlgo::kTwoLevel);
+              },
+              /*move_data=*/false)
+          .makespan_us;
+  const double predicted = predict::two_level_bcast(s, p, bytes);
+  EXPECT_NEAR(predicted, simulated, simulated * 0.35);
+}
+
+} // namespace
+} // namespace kacc

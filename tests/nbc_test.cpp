@@ -14,6 +14,7 @@
 #include "cma/probe.h"
 #include "coll/allgather.h"
 #include "coll/bcast.h"
+#include "coll/reduce.h"
 #include "common/buffer.h"
 #include "common/error.h"
 #include "common/pattern.h"
@@ -483,6 +484,181 @@ TEST(NbcFault, KilledPeerSurfacesAsPeerDiedFromWait) {
       });
   EXPECT_TRUE(res.any(sim::RankOutcome::Kind::kKilled));
   EXPECT_TRUE(res.any(sim::RankOutcome::Kind::kPeerDied));
+}
+
+// ---------------------------------------------------------------------------
+// Reduce/Allreduce requests: same contracts as the other five operations
+// ---------------------------------------------------------------------------
+
+/// Element i contributed by rank r: small exactly-summable integers.
+double red_contribution(int rank, std::size_t i) {
+  return static_cast<double>((rank + 1) * 3 + static_cast<int>(i % 17));
+}
+
+double red_expected_sum(int p, std::size_t i) {
+  double s = 0.0;
+  for (int r = 0; r < p; ++r) {
+    s += red_contribution(r, i);
+  }
+  return s;
+}
+
+void fill_contributions(std::vector<double>& send, int rank) {
+  for (std::size_t i = 0; i < send.size(); ++i) {
+    send[i] = red_contribution(rank, i);
+  }
+}
+
+void expect_sums(const std::vector<double>& recv, int p,
+                 const std::string& what) {
+  for (std::size_t i = 0; i < recv.size(); ++i) {
+    if (recv[i] != red_expected_sum(p, i)) {
+      throw Error(what + ": wrong element " + std::to_string(i));
+    }
+  }
+}
+
+TEST(NbcReduce, IreduceAndIallreduceMatchTheBlockingContract) {
+  for (const std::size_t count : {std::size_t{1}, std::size_t{1024}}) {
+    run_sim(broadwell(), 8, [count](Comm& comm) {
+      const int p = comm.size();
+      std::vector<double> send(count);
+      fill_contributions(send, comm.rank());
+
+      std::vector<double> rrecv(comm.rank() == 3 ? count : 0);
+      nbc::Request r =
+          nbc::ireduce(comm, send.data(),
+                       rrecv.empty() ? nullptr : rrecv.data(), count,
+                       coll::ReduceOp::kSum, 3);
+      nbc::wait(r);
+      if (comm.rank() == 3) {
+        expect_sums(rrecv, p, "ireduce");
+      }
+
+      std::vector<double> arecv(count);
+      nbc::Request a = nbc::iallreduce(comm, send.data(), arecv.data(),
+                                       count, coll::ReduceOp::kSum);
+      nbc::wait(a);
+      expect_sums(arecv, p, "iallreduce");
+    });
+  }
+}
+
+TEST(NbcReduce, OverlapsWithOtherRequests) {
+  run_sim(broadwell(), 8, [](Comm& comm) {
+    const int p = comm.size();
+    const std::size_t bytes = 16384;
+    const std::size_t count = 1024;
+
+    AlignedBuffer bbuf(bytes);
+    if (comm.rank() == 0) {
+      pattern_fill(bbuf.span(), 0, 3);
+    }
+    std::vector<double> send(count);
+    fill_contributions(send, comm.rank());
+    std::vector<double> rrecv(comm.rank() == 1 ? count : 0);
+    std::vector<double> arecv(count);
+
+    std::array<nbc::Request, 3> reqs = {
+        nbc::ibcast(comm, bbuf.data(), bytes, 0),
+        nbc::ireduce(comm, send.data(),
+                     rrecv.empty() ? nullptr : rrecv.data(), count,
+                     coll::ReduceOp::kSum, 1),
+        nbc::iallreduce(comm, send.data(), arecv.data(), count,
+                        coll::ReduceOp::kSum),
+    };
+    nbc::wait_all(reqs);
+    expect_block(bbuf.span(), 0, 3, "overlapped ibcast beside reductions");
+    if (comm.rank() == 1) {
+      expect_sums(rrecv, p, "overlapped ireduce");
+    }
+    expect_sums(arecv, p, "overlapped iallreduce");
+  });
+}
+
+TEST(NbcReduce, WaitAnySurfacesReduceRequests) {
+  run_sim(broadwell(), 4, [](Comm& comm) {
+    const int p = comm.size();
+    const std::size_t count = 512;
+    std::vector<double> send(count);
+    fill_contributions(send, comm.rank());
+    std::array<std::vector<double>, 2> recvs = {std::vector<double>(count),
+                                                std::vector<double>(count)};
+    std::array<nbc::Request, 2> reqs = {
+        nbc::iallreduce(comm, send.data(), recvs[0].data(), count,
+                        coll::ReduceOp::kSum),
+        nbc::iallreduce(comm, send.data(), recvs[1].data(), count,
+                        coll::ReduceOp::kSum),
+    };
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 2; ++i) {
+      const std::size_t idx = nbc::wait_any(reqs);
+      ASSERT_LT(idx, reqs.size());
+      EXPECT_FALSE(reqs[idx].valid());
+      seen.insert(idx);
+    }
+    EXPECT_EQ(seen.size(), 2u);
+    for (const auto& recv : recvs) {
+      expect_sums(recv, p, "wait_any iallreduce");
+    }
+  });
+}
+
+TEST(NbcReduce, PersistentRestartObservesNewContents) {
+  run_sim(broadwell(), 6, [](Comm& comm) {
+    const std::size_t count = 768;
+    std::vector<double> send(count);
+    std::vector<double> recv(count);
+    nbc::Request r = nbc::allreduce_init(comm, send.data(), recv.data(),
+                                         count, coll::ReduceOp::kSum);
+    EXPECT_FALSE(r.completed());
+    for (const double scale : {1.0, 2.0, 4.0}) {
+      for (std::size_t i = 0; i < count; ++i) {
+        send[i] = scale * red_contribution(comm.rank(), i);
+      }
+      nbc::start(r);
+      nbc::wait(r);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (recv[i] != scale * red_expected_sum(comm.size(), i)) {
+          throw Error("persistent iallreduce: wrong element " +
+                      std::to_string(i) + " at scale " +
+                      std::to_string(scale));
+        }
+      }
+    }
+  });
+}
+
+TEST(NbcReduce, KilledPeerSurfacesAsPeerDiedFromWait) {
+  sim::FaultInjector inj;
+  inj.kill_rank(2, /*at_us=*/1.0);
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 4, inj, [](Comm& comm) {
+        const std::size_t count = (1 << 20) / sizeof(double);
+        std::vector<double> send(count, 1.0);
+        std::vector<double> recv(count);
+        nbc::Request r = nbc::iallreduce(comm, send.data(), recv.data(),
+                                         count, coll::ReduceOp::kSum);
+        nbc::wait(r); // survivors must not hang: PeerDiedError instead
+      });
+  EXPECT_TRUE(res.any(sim::RankOutcome::Kind::kKilled));
+  EXPECT_TRUE(res.any(sim::RankOutcome::Kind::kPeerDied));
+}
+
+TEST(NbcReduce, SharedValidatorsRejectBadOptions) {
+  run_sim(broadwell(), 1, [](Comm& comm) {
+    double x = 1.0;
+    double y = 0.0;
+    coll::CollOptions bad_throttle;
+    bad_throttle.throttle = -1;
+    EXPECT_THROW(nbc::ireduce(comm, &x, &y, 1, coll::ReduceOp::kSum, 0,
+                              coll::ReduceAlgo::kGatherCombine, bad_throttle),
+                 InvalidArgument);
+    EXPECT_THROW(nbc::iallreduce(comm, &x, &y, 1, coll::ReduceOp::kSum,
+                                 coll::AllreduceAlgo::kReduceBcast,
+                                 bad_throttle),
+                 InvalidArgument);
+  });
 }
 
 // ---------------------------------------------------------------------------
