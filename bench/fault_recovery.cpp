@@ -1,0 +1,97 @@
+// Recovery-latency trajectory: virtual time a survivor team spends healing
+// after a fail-stop peer death, by team size. One simulated rank is killed
+// mid-bcast; the survivors agree, shrink, and serve one more collective.
+// Deterministic (the simulator's virtual clock), so the committed
+// BENCH_fault_recovery.json snapshot gates regressions in CI via
+// tools/compare_bench.py.
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "bench_util.h"
+#include "coll/bcast.h"
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "runtime/sim_comm.h"
+#include "sim/fault.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+struct RecoveryPoint {
+  double shrink_us = 0.0;      ///< max survivor detect->committed-shrink
+  double first_coll_us = 0.0;  ///< max survivor first post-shrink bcast
+};
+
+/// Kills rank p/2 during a bcast loop and reports the slowest survivor's
+/// recovery and first-collective latencies (virtual microseconds).
+RecoveryPoint measure_recovery(const ArchSpec& spec, int p) {
+  RecoveryPoint point;
+  std::mutex mu;
+  sim::FaultInjector faults;
+  faults.kill_rank(p / 2, 40.0);
+  const SimFaultResult res =
+      run_sim_fault(spec, p, faults, [&](Comm& comm) {
+        AlignedBuffer buf(64 * 1024);
+        std::unique_ptr<Comm> owned;
+        try {
+          for (int i = 0; i < 500; ++i) {
+            coll::bcast(comm, buf.data(), buf.size(), 0,
+                        coll::BcastAlgo::kDirectRead);
+          }
+        } catch (const PeerDiedError&) {
+          const double t0 = comm.now_us();
+          owned = comm.shrink();
+          const double t1 = comm.now_us();
+          coll::bcast(*owned, buf.data(), buf.size(), 0,
+                      coll::BcastAlgo::kDirectRead);
+          const double t2 = owned->now_us();
+          const std::lock_guard<std::mutex> lock(mu);
+          point.shrink_us = std::max(point.shrink_us, t1 - t0);
+          point.first_coll_us = std::max(point.first_coll_us, t2 - t1);
+        }
+        if (owned == nullptr) {
+          throw Error("kill landed outside the loop: raise the iteration "
+                      "count");
+        }
+      });
+  for (int r = 0; r < p; ++r) {
+    if (r == p / 2) {
+      continue;
+    }
+    if (res.outcomes[static_cast<std::size_t>(r)].kind !=
+        sim::RankOutcome::Kind::kOk) {
+      throw Error("survivor rank " + std::to_string(r) + " failed: " +
+                  res.outcomes[static_cast<std::size_t>(r)].message);
+    }
+  }
+  return point;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
+  bench::banner("Fail-stop recovery latency by team size",
+                "robustness trajectory (not a paper figure)");
+  const ArchSpec spec = broadwell();
+  bench::Table t(spec.name + " — one mid-bcast kill, survivors shrink",
+                 {"ranks", "agree+shrink", "first collective"});
+  for (int p : {4, 8, 12, 16, 24, 32}) {
+    const RecoveryPoint point = measure_recovery(spec, p);
+    // The series key "size" carries the team size (not bytes) — the
+    // trajectory format only needs a monotone x-axis.
+    bench::record_point(spec.name, "recovery/shrink",
+                        static_cast<std::uint64_t>(p), point.shrink_us);
+    bench::record_point(spec.name, "recovery/first-collective",
+                        static_cast<std::uint64_t>(p), point.first_coll_us);
+    t.add_row({std::to_string(p), format_us(point.shrink_us),
+               format_us(point.first_coll_us)});
+  }
+  t.print();
+  return 0;
+}

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <string>
 
+#include "common/backoff.h"
 #include "common/error.h"
 
 namespace kacc::cma {
@@ -14,13 +16,28 @@ namespace {
 // the kernel caps per-iovec, and partial completion stays easy to resume.
 constexpr std::size_t kMaxSegment = 1ull << 30;
 
+// Transient-errno retry budget: the first kRetryHotTries retries per
+// contiguous failure run are served hot (signal storms resolve in a few
+// spins), after which each retry sleeps a jittered exponential delay. A
+// run that exhausts the sleep budget stops pretending the error is
+// transient and escalates it.
+constexpr BackoffPolicy kRetryPolicy = {/*hot_tries=*/8, /*base_us=*/1,
+                                        /*max_us=*/200, /*max_sleeps=*/64};
+
 thread_local std::uint64_t t_retries = 0;
+thread_local std::uint64_t t_backoff_sleeps = 0;
 
 } // namespace
 
 std::uint64_t take_retry_count() {
   const std::uint64_t n = t_retries;
   t_retries = 0;
+  return n;
+}
+
+std::uint64_t take_backoff_count() {
+  const std::uint64_t n = t_backoff_sleeps;
+  t_backoff_sleeps = 0;
   return n;
 }
 
@@ -45,6 +62,9 @@ void transfer_loop(pid_t pid, std::uint64_t remote_addr, char* local,
                    std::size_t bytes, TransferFn fn, const char* what,
                    std::size_t max_per_call) {
   std::size_t done = 0;
+  // Seed by pid so concurrent ranks retrying against the same source take
+  // decorrelated sleeps, deterministically per process.
+  Backoff backoff(kRetryPolicy, static_cast<std::uint64_t>(pid) + 1);
   while (done < bytes) {
     std::size_t chunk = std::min(bytes - done, kMaxSegment);
     if (max_per_call != 0) {
@@ -61,7 +81,17 @@ void transfer_loop(pid_t pid, std::uint64_t remote_addr, char* local,
       const int err = errno;
       if (classify_errno(err) == ErrnoClass::kRetryable) {
         ++t_retries;
-        continue; // interrupted by a signal: same offset, same request
+        const std::uint64_t before = backoff.sleeps();
+        if (backoff.step()) {
+          t_backoff_sleeps += backoff.sleeps() - before;
+          continue; // interrupted by a signal: same offset, same request
+        }
+        t_backoff_sleeps += backoff.sleeps() - before;
+        // A "transient" errno that survives the whole exponential budget
+        // is sticky; let the caller's errno classification escalate it.
+        throw SyscallError(std::string(what) +
+                               " (transient retry budget exhausted)",
+                           err);
       }
       throw SyscallError(what, err);
     }
@@ -71,6 +101,7 @@ void transfer_loop(pid_t pid, std::uint64_t remote_addr, char* local,
     // Partial completion (n < chunk) is normal: resume from `done`, never
     // restart — bytes already copied must not be copied again.
     done += static_cast<std::size_t>(n);
+    backoff.reset();
   }
 }
 

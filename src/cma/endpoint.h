@@ -28,6 +28,11 @@ ErrnoClass classify_errno(int err);
 /// drains it into the obs "cma_retries" counter after each data-plane op.
 std::uint64_t take_retry_count();
 
+/// Backoff sleeps taken by this thread's transfer loops since the previous
+/// call; reading consumes the count (thread-local). Drained into the obs
+/// "cma_backoff_sleeps" counter alongside take_retry_count.
+std::uint64_t take_backoff_count();
+
 /// Reads `bytes` from `remote_addr` in the address space of `pid` into
 /// `local`. Loops until complete, resuming partial transfers and retrying
 /// EINTR; throws SyscallError on any other failure. `max_per_call` (when

@@ -1,0 +1,102 @@
+// Bounded exponential backoff with deterministic jitter for transient-error
+// retry loops (EINTR/EAGAIN on CMA syscalls, full/empty ChunkPipe rings).
+// A Backoff separates the two costs a retry loop can pay — spinning (burns
+// the core, fastest reaction) and sleeping (frees the core, bounded by the
+// exponential schedule) — and budgets both against a Deadline so a sticky
+// condition escalates instead of looping forever.
+//
+// Jitter is a deterministic xorshift64 stream seeded by the caller (rank,
+// typically), never wall-clock: replaying a KACC_FAULT scenario must take
+// the same retry path every run.
+#pragma once
+
+#include <ctime>
+#include <cstdint>
+
+#include "common/deadline.h"
+
+namespace kacc {
+
+struct BackoffPolicy {
+  /// Retries served hot (no sleep, no yield) before the first sleep.
+  std::uint32_t hot_tries = 16;
+  /// First sleep duration; doubles per sleep up to max_us.
+  std::uint32_t base_us = 1;
+  /// Ceiling on a single sleep.
+  std::uint32_t max_us = 200;
+  /// Total sleeps allowed before the backoff reports exhaustion.
+  /// 0 = unbounded (only the Deadline stops it).
+  std::uint64_t max_sleeps = 0;
+};
+
+class Backoff {
+public:
+  explicit Backoff(BackoffPolicy policy = {}, std::uint64_t seed = 1)
+      : policy_(policy), rng_(seed != 0 ? seed : 1) {}
+
+  /// One retry attempt. Returns false when the budget is exhausted (the
+  /// deadline expired or max_sleeps was reached) — the caller escalates.
+  /// Returns true after consuming the attempt: the first hot_tries return
+  /// immediately, later attempts nanosleep a jittered exponential delay
+  /// clamped to the deadline's remaining budget.
+  bool step(const Deadline& dl = Deadline::never()) {
+    if (dl.expired()) {
+      return false;
+    }
+    if (attempts_++ < policy_.hot_tries) {
+      return true;
+    }
+    if (policy_.max_sleeps != 0 && sleeps_ >= policy_.max_sleeps) {
+      return false;
+    }
+    const std::uint32_t shift =
+        exp_ < 31 ? static_cast<std::uint32_t>(exp_) : 31;
+    std::uint64_t delay = static_cast<std::uint64_t>(policy_.base_us) << shift;
+    if (delay > policy_.max_us) {
+      delay = policy_.max_us;
+    }
+    // Jitter into [delay/2, delay] so retry storms decorrelate.
+    if (delay > 1) {
+      delay = delay / 2 + next_rand() % (delay / 2 + 1);
+    }
+    const double remaining = dl.remaining_us();
+    if (static_cast<double>(delay) > remaining) {
+      delay = static_cast<std::uint64_t>(remaining);
+    }
+    if (delay > 0) {
+      struct timespec nap {
+        static_cast<time_t>(delay / 1'000'000),
+        static_cast<long>((delay % 1'000'000) * 1'000)
+      };
+      ::nanosleep(&nap, nullptr);
+    }
+    ++sleeps_;
+    ++exp_;
+    return true;
+  }
+
+  /// Forgets accumulated escalation (call when the protected operation
+  /// makes progress); the sleep tally survives for accounting.
+  void reset() { attempts_ = 0; exp_ = 0; }
+
+  /// Sleeps taken since construction (monotone; reset() keeps it).
+  [[nodiscard]] std::uint64_t sleeps() const { return sleeps_; }
+
+private:
+  std::uint64_t next_rand() {
+    std::uint64_t x = rng_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_ = x;
+    return x;
+  }
+
+  BackoffPolicy policy_;
+  std::uint64_t rng_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t sleeps_ = 0;
+  std::uint64_t exp_ = 0;
+};
+
+} // namespace kacc

@@ -34,7 +34,14 @@ std::uint64_t parse_u64(const std::string& field, const std::string& value) {
                             "' for '" + field + "'");
     }
   }
-  return std::strtoull(value.c_str(), nullptr, 10);
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (errno == ERANGE || end != value.c_str() + value.size()) {
+    throw InvalidArgument("KACC_FAULT: value '" + value + "' for '" + field +
+                          "' does not fit in 64 bits");
+  }
+  return v;
 }
 
 } // namespace
@@ -78,26 +85,44 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       const std::string key = field.substr(0, colon);
       const std::string value = field.substr(colon + 1);
       if (key == "rank") {
-        rule.rank = static_cast<int>(parse_u64(key, value));
+        if (have_rank) {
+          throw InvalidArgument("KACC_FAULT: duplicate 'rank' in '" +
+                                rule_text + "'");
+        }
+        const std::uint64_t r = parse_u64(key, value);
+        if (r > 1'000'000) {
+          throw InvalidArgument("KACC_FAULT: implausible rank " + value);
+        }
+        rule.rank = static_cast<int>(r);
         have_rank = true;
       } else if (key == "op") {
+        if (have_op) {
+          throw InvalidArgument("KACC_FAULT: duplicate 'op' in '" +
+                                rule_text + "'");
+        }
         rule.op = parse_u64(key, value);
         have_op = true;
-      } else if (key == "errno") {
-        rule.action = FaultRule::Action::kErrno;
-        rule.err = errno_from_name(value);
-        have_effect = true;
-      } else if (key == "action") {
-        if (value != "exit") {
-          throw InvalidArgument("KACC_FAULT: unknown action '" + value + "'");
+      } else if (key == "errno" || key == "action" || key == "short") {
+        if (have_effect) {
+          throw InvalidArgument(
+              "KACC_FAULT: rule has more than one effect "
+              "(errno:/action:/short:) in '" + rule_text + "'");
         }
-        rule.action = FaultRule::Action::kExit;
-        have_effect = true;
-      } else if (key == "short") {
-        rule.action = FaultRule::Action::kShort;
-        rule.cap = static_cast<std::size_t>(parse_u64(key, value));
-        if (rule.cap == 0) {
-          throw InvalidArgument("KACC_FAULT: short cap must be > 0");
+        if (key == "errno") {
+          rule.action = FaultRule::Action::kErrno;
+          rule.err = errno_from_name(value);
+        } else if (key == "action") {
+          if (value != "exit") {
+            throw InvalidArgument("KACC_FAULT: unknown action '" + value +
+                                  "' (only 'exit' is supported)");
+          }
+          rule.action = FaultRule::Action::kExit;
+        } else {
+          rule.action = FaultRule::Action::kShort;
+          rule.cap = static_cast<std::size_t>(parse_u64(key, value));
+          if (rule.cap == 0) {
+            throw InvalidArgument("KACC_FAULT: short cap must be > 0");
+          }
         }
         have_effect = true;
       } else {

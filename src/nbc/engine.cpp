@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "nbc/governor.h"
+#include "runtime/sub_comm.h"
 
 namespace kacc::nbc::detail {
 namespace {
@@ -33,7 +34,11 @@ int Engine::claim_lane() {
       next_seq_++ % static_cast<std::uint64_t>(Comm::kNbcTags));
   const std::shared_ptr<RequestState> owner =
       lane_owner_[static_cast<std::size_t>(lane)].lock();
-  if (owner != nullptr && !(owner->completed && !owner->persistent)) {
+  // A lane is free when its previous owner finished (non-persistent) or
+  // was torn down by a shrink without a re-home path (poisoned
+  // non-persistent requests can only raise PeerDiedError from wait).
+  if (owner != nullptr && !(owner->completed && !owner->persistent) &&
+      !(owner->poisoned && !owner->persistent)) {
     throw InvalidArgument(
         "nbc: too many outstanding requests (all " +
         std::to_string(Comm::kNbcTags) +
@@ -87,8 +92,36 @@ std::shared_ptr<RequestState> Engine::adopt(std::unique_ptr<Schedule> sched,
 
 void Engine::start(const std::shared_ptr<RequestState>& r) {
   KACC_CHECK(r != nullptr && r->sched != nullptr);
-  if (r->started && !r->completed) {
+  if (r->started && !r->completed && !r->poisoned) {
     throw InvalidArgument("nbc start: request is already active");
+  }
+  if (r->poisoned) {
+    // Re-home against the shrunken team: recompile the schedule with the
+    // root translated to its survivor rank. Collective — every survivor
+    // restarts the request in the same SPMD order (the recompile's eager
+    // address exchange runs over the successor comm).
+    if (successor_ == nullptr || !r->recompile) {
+      throw PeerDiedError(
+          std::string("nbc start: request '") + r->label +
+              "' was torn down by a peer failure and cannot be re-homed",
+          r->poison_rank);
+    }
+    int new_root = r->root;
+    if (new_root >= 0) {
+      auto* view = dynamic_cast<SubComm*>(successor_);
+      new_root = view != nullptr ? view->view_rank_of(r->root) : r->root;
+      if (new_root < 0) {
+        throw PeerDiedError(
+            std::string("nbc start: request '") + r->label +
+                "' is rooted at a rank that died in the shrink",
+            r->root);
+      }
+    }
+    r->sched = r->recompile(*successor_, new_root);
+    r->root = new_root;
+    r->exec_comm = successor_;
+    r->poisoned = false;
+    r->poison_rank = -1;
   }
   r->sched->pc = 0;
   r->started = true;
@@ -139,16 +172,19 @@ bool Engine::progress_once() {
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::shared_ptr<RequestState>& r = snap[(first + i) % n];
-    if (r->completed) {
+    if (r->completed || r->poisoned) {
       continue;
     }
+    // Re-homed persistent requests execute against the successor team;
+    // everything else against this engine's comm.
+    Comm& rcomm = r->exec_comm != nullptr ? *r->exec_comm : *comm_;
     Schedule& s = *r->sched;
     while (!s.done()) {
       const Step& st = s.steps[s.pc];
       // Spliced two-level steps carry sub-team-local peers: the view
       // translates them for the tagged lanes and the shared in-flight
       // counts, which are keyed by parent rank.
-      Comm& scomm = step_comm(*comm_, s, st);
+      Comm& scomm = step_comm(rcomm, s, st);
       if (st.kind == StepKind::kWaitSignal && st.tag >= 0) {
         if (!scomm.nbc_try_wait(st.peer, st.tag)) {
           break; // parked until the peer's signal lands
@@ -174,7 +210,7 @@ bool Engine::progress_once() {
           // The live shared in-flight count at this source is the believed
           // concurrency for the duration of the step.
           obs::ConcHintScope conc(rec, inflight);
-          execute_step(*comm_, s, st);
+          execute_step(rcomm, s, st);
         } catch (...) {
           scomm.nbc_inflight_add(st.peer, -1);
           throw;
@@ -190,7 +226,7 @@ bool Engine::progress_once() {
         break; // one data step per request per pass, then re-admit
       }
       // Control-plane and local steps run greedily.
-      execute_step(*comm_, s, st);
+      execute_step(rcomm, s, st);
       ++s.pc;
       progressed = true;
     }
@@ -212,6 +248,42 @@ bool Engine::progress_once() {
     }
   }
   return progressed;
+}
+
+void Engine::on_team_shrink(Comm* successor) {
+  successor_ = successor;
+  // Blame the lowest-numbered rank absent from the survivor view.
+  int dead = -1;
+  auto* view = dynamic_cast<SubComm*>(successor);
+  if (view != nullptr) {
+    for (int r = 0; r < comm_->size(); ++r) {
+      if (view->view_rank_of(r) < 0) {
+        dead = r;
+        break;
+      }
+    }
+  }
+  obs::Recorder& rec = comm_->recorder();
+  for (auto& weak : lane_owner_) {
+    const std::shared_ptr<RequestState> r = weak.lock();
+    if (r == nullptr || r->poisoned) {
+      continue;
+    }
+    r->poisoned = true;
+    r->poison_rank = dead;
+    if (r->started && !r->completed) {
+      rec.counters.add(obs::Counter::kNbcPoisonedRequests);
+      rec.flight_event(obs::FlightKind::kNbcPoisoned, dead, r->bytes,
+                       r->label);
+    }
+  }
+  // In-flight requests drain to poisoned-but-safe: out of the active set
+  // (no further steps run against the retired epoch) with no admission
+  // credits held — a step that threw already returned its credit in
+  // progress_once's unwind path, and the comm's shrink reset the shared
+  // in-flight counts.
+  active_.clear();
+  stall_since_ = -1.0;
 }
 
 void Engine::progress_until(const std::function<bool()>& done) {

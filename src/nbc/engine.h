@@ -44,6 +44,19 @@ struct RequestState {
   char label[16] = {}; ///< e.g. "ibcast#3"; span tag of the lifetime span
   std::int64_t bytes = -1;
   int root = -1;
+  /// Torn down by a team shrink: the schedule references the retired
+  /// epoch. test/wait raise PeerDiedError; start() of a persistent
+  /// request re-homes it through `recompile`.
+  bool poisoned = false;
+  int poison_rank = -1; ///< the dead rank blamed for the teardown
+  /// Recompiles the schedule against a successor team after a shrink
+  /// (persistent requests only; set by the nbc front end at init). Args:
+  /// the successor comm and the translated root (-1 for rootless).
+  std::function<std::unique_ptr<Schedule>(Comm&, int)> recompile;
+  /// Execution comm after a re-home (non-owning: the successor returned
+  /// by Comm::shrink, which must outlive the request). nullptr = the
+  /// engine's own comm.
+  Comm* exec_comm = nullptr;
 };
 
 class Engine final : public Comm::NbcState {
@@ -76,6 +89,13 @@ public:
   /// deadline, and backstops against silent deadlock.
   void progress_until(const std::function<bool()>& done);
 
+  /// Recovery hook (Comm::NbcState): poisons every request compiled
+  /// against the retired team epoch — in-flight ones drain to a
+  /// poisoned-but-safe state with no leaked admission credits or orphaned
+  /// lane pairings — and records the successor so persistent requests
+  /// recompile against the shrunken team on their next start().
+  void on_team_shrink(Comm* successor) override;
+
   [[nodiscard]] Comm& comm() const { return *comm_; }
 
   /// Rotation counter for wait_any fairness (owned here so it is shared
@@ -86,6 +106,7 @@ private:
   void complete(const std::shared_ptr<RequestState>& r);
 
   Comm* comm_;
+  Comm* successor_ = nullptr; ///< survivor team after a shrink (non-owning)
   std::vector<std::shared_ptr<RequestState>> active_;
   std::array<std::weak_ptr<RequestState>, Comm::kNbcTags> lane_owner_;
   std::uint64_t next_seq_ = 0; ///< lane round-robin (SPMD-synchronized)

@@ -1,5 +1,7 @@
 #include "nbc/nbc.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "coll/tuner.h"
@@ -62,43 +64,62 @@ std::unique_ptr<Schedule> empty_schedule(Comm& comm) {
   return s;
 }
 
+/// Recompiles a persistent request's schedule against a successor team
+/// after a shrink: (successor comm, translated root) -> fresh schedule.
+using Recompile = std::function<std::unique_ptr<Schedule>(Comm&, int)>;
+
+void add_persistent_gate(Schedule& sched, int tag) {
+  if (sched.steps.empty()) {
+    return;
+  }
+  // Persistent replay has no per-round control-plane rendezvous: the
+  // eager address exchange ran once, at compile time. Several lowerings
+  // read a peer's buffer the moment their own schedule starts
+  // (direct-read bcast, the allgather phase of scatter-allgather, the
+  // leader phase of the two-level compositions), which on a restart
+  // races that peer's refill between rounds. Replay a dissemination
+  // barrier at the head of every round so a rank's data steps only run
+  // once every other rank has re-started the request — i.e. after every
+  // refill. The signals share the request's counting lane; per
+  // (src, dst) pair the barrier adds exactly one post and one wait per
+  // round, at the head of both sides' program order, so lane counts
+  // stay matched with the payload protocol.
+  const int p = sched.size;
+  const int rank = sched.rank;
+  std::vector<Step> gate;
+  for (int d = 1; d < p; d <<= 1) {
+    Step sig;
+    sig.kind = StepKind::kSignal;
+    sig.peer = (rank + d) % p;
+    sig.tag = tag;
+    gate.push_back(sig);
+    Step wt;
+    wt.kind = StepKind::kWaitSignal;
+    wt.peer = ((rank - d) % p + p) % p;
+    wt.tag = tag;
+    gate.push_back(wt);
+  }
+  sched.steps.insert(sched.steps.begin(), gate.begin(), gate.end());
+}
+
 Request finish(Comm& comm, Engine& eng, std::unique_ptr<Schedule> sched,
                int tag, const Options& nopts, const char* kind,
                std::size_t bytes, int root, bool persistent,
-               bool immediate) {
-  if (persistent && !sched->steps.empty()) {
-    // Persistent replay has no per-round control-plane rendezvous: the
-    // eager address exchange ran once, at compile time. Several lowerings
-    // read a peer's buffer the moment their own schedule starts
-    // (direct-read bcast, the allgather phase of scatter-allgather, the
-    // leader phase of the two-level compositions), which on a restart
-    // races that peer's refill between rounds. Replay a dissemination
-    // barrier at the head of every round so a rank's data steps only run
-    // once every other rank has re-started the request — i.e. after every
-    // refill. The signals share the request's counting lane; per
-    // (src, dst) pair the barrier adds exactly one post and one wait per
-    // round, at the head of both sides' program order, so lane counts
-    // stay matched with the payload protocol.
-    const int p = sched->size;
-    const int rank = sched->rank;
-    std::vector<Step> gate;
-    for (int d = 1; d < p; d <<= 1) {
-      Step sig;
-      sig.kind = StepKind::kSignal;
-      sig.peer = (rank + d) % p;
-      sig.tag = tag;
-      gate.push_back(sig);
-      Step wt;
-      wt.kind = StepKind::kWaitSignal;
-      wt.peer = ((rank - d) % p + p) % p;
-      wt.tag = tag;
-      gate.push_back(wt);
-    }
-    sched->steps.insert(sched->steps.begin(), gate.begin(), gate.end());
+               bool immediate, Recompile recompile = nullptr) {
+  if (persistent) {
+    add_persistent_gate(*sched, tag);
   }
   std::shared_ptr<RequestState> st =
       eng.adopt(std::move(sched), tag, nopts, kind,
                 static_cast<std::int64_t>(bytes), root, persistent);
+  if (persistent && recompile) {
+    st->recompile = [inner = std::move(recompile),
+                     tag](Comm& c, int new_root) {
+      std::unique_ptr<Schedule> s = inner(c, new_root);
+      add_persistent_gate(*s, tag);
+      return s;
+    };
+  }
   Request r = Access::make(comm, std::move(st));
   if (immediate) {
     eng.start(Access::state(r));
@@ -122,7 +143,8 @@ Request make_scatter(Comm& comm, const void* sendbuf, void* recvbuf,
   const int tag = eng.claim_lane();
   if (bytes == 0) {
     return finish(comm, eng, empty_schedule(comm), tag, nopts, "iscatter",
-                  bytes, root, persistent, immediate);
+                  bytes, root, persistent, immediate,
+                  [](Comm& c, int) { return empty_schedule(c); });
   }
   if (recvbuf == nullptr && !(opts.in_place && comm.rank() == root)) {
     throw InvalidArgument("iscatter: recvbuf required");
@@ -141,7 +163,12 @@ Request make_scatter(Comm& comm, const void* sendbuf, void* recvbuf,
   auto sched = compile_scatter(comm, sendbuf, recvbuf, bytes, root, algo, eff,
                                nb_params(tag, nopts));
   return finish(comm, eng, std::move(sched), tag, nopts, "iscatter", bytes,
-                root, persistent, immediate);
+                root, persistent, immediate,
+                [sendbuf, recvbuf, bytes, algo, eff, nopts,
+                 tag](Comm& c, int nr) {
+                  return compile_scatter(c, sendbuf, recvbuf, bytes, nr,
+                                         algo, eff, nb_params(tag, nopts));
+                });
 }
 
 Request make_gather(Comm& comm, const void* sendbuf, void* recvbuf,
@@ -158,7 +185,8 @@ Request make_gather(Comm& comm, const void* sendbuf, void* recvbuf,
   const int tag = eng.claim_lane();
   if (bytes == 0) {
     return finish(comm, eng, empty_schedule(comm), tag, nopts, "igather",
-                  bytes, root, persistent, immediate);
+                  bytes, root, persistent, immediate,
+                  [](Comm& c, int) { return empty_schedule(c); });
   }
   if (comm.rank() == root && recvbuf == nullptr) {
     throw InvalidArgument("igather: root needs recvbuf");
@@ -177,7 +205,12 @@ Request make_gather(Comm& comm, const void* sendbuf, void* recvbuf,
   auto sched = compile_gather(comm, sendbuf, recvbuf, bytes, root, algo, eff,
                               nb_params(tag, nopts));
   return finish(comm, eng, std::move(sched), tag, nopts, "igather", bytes,
-                root, persistent, immediate);
+                root, persistent, immediate,
+                [sendbuf, recvbuf, bytes, algo, eff, nopts,
+                 tag](Comm& c, int nr) {
+                  return compile_gather(c, sendbuf, recvbuf, bytes, nr,
+                                        algo, eff, nb_params(tag, nopts));
+                });
 }
 
 Request make_bcast(Comm& comm, void* buf, std::size_t bytes, int root,
@@ -196,7 +229,8 @@ Request make_bcast(Comm& comm, void* buf, std::size_t bytes, int root,
   const int tag = eng.claim_lane();
   if (bytes == 0) {
     return finish(comm, eng, empty_schedule(comm), tag, nopts, "ibcast",
-                  bytes, root, persistent, immediate);
+                  bytes, root, persistent, immediate,
+                  [](Comm& c, int) { return empty_schedule(c); });
   }
   if (buf == nullptr) {
     throw InvalidArgument("ibcast: buf required");
@@ -222,7 +256,11 @@ Request make_bcast(Comm& comm, void* buf, std::size_t bytes, int root,
   auto sched = compile_bcast(comm, buf, bytes, root, algo, eff,
                              nb_params(tag, nopts));
   return finish(comm, eng, std::move(sched), tag, nopts, "ibcast", bytes,
-                root, persistent, immediate);
+                root, persistent, immediate,
+                [buf, bytes, algo, eff, nopts, tag](Comm& c, int nr) {
+                  return compile_bcast(c, buf, bytes, nr, algo, eff,
+                                       nb_params(tag, nopts));
+                });
 }
 
 Request make_allgather(Comm& comm, const void* sendbuf, void* recvbuf,
@@ -236,7 +274,8 @@ Request make_allgather(Comm& comm, const void* sendbuf, void* recvbuf,
   const int tag = eng.claim_lane();
   if (bytes == 0) {
     return finish(comm, eng, empty_schedule(comm), tag, nopts, "iallgather",
-                  bytes, -1, persistent, immediate);
+                  bytes, -1, persistent, immediate,
+                  [](Comm& c, int) { return empty_schedule(c); });
   }
   if (recvbuf == nullptr) {
     throw InvalidArgument("iallgather: recvbuf required");
@@ -259,7 +298,22 @@ Request make_allgather(Comm& comm, const void* sendbuf, void* recvbuf,
   auto sched = compile_allgather(comm, sendbuf, recvbuf, bytes, algo, eff,
                                  nb_params(tag, nopts));
   return finish(comm, eng, std::move(sched), tag, nopts, "iallgather", bytes,
-                -1, persistent, immediate);
+                -1, persistent, immediate,
+                [sendbuf, recvbuf, bytes, algo, eff, nopts,
+                 tag](Comm& c, int) {
+                  coll::CollOptions ceff = eff;
+                  if (algo == coll::AllgatherAlgo::kRingNeighbor) {
+                    // The stride was validated against the retired team
+                    // size; re-clamp for the survivors.
+                    ceff.ring_stride =
+                        std::min(ceff.ring_stride, c.size() - 1);
+                    if (ceff.ring_stride <= 0) {
+                      ceff.ring_stride = 1;
+                    }
+                  }
+                  return compile_allgather(c, sendbuf, recvbuf, bytes, algo,
+                                           ceff, nb_params(tag, nopts));
+                });
 }
 
 Request make_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
@@ -273,7 +327,8 @@ Request make_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
   const int tag = eng.claim_lane();
   if (bytes == 0) {
     return finish(comm, eng, empty_schedule(comm), tag, nopts, "ialltoall",
-                  bytes, -1, persistent, immediate);
+                  bytes, -1, persistent, immediate,
+                  [](Comm& c, int) { return empty_schedule(c); });
   }
   if (recvbuf == nullptr) {
     throw InvalidArgument("ialltoall: recvbuf required");
@@ -293,7 +348,12 @@ Request make_alltoall(Comm& comm, const void* sendbuf, void* recvbuf,
   auto sched = compile_alltoall(comm, sendbuf, recvbuf, bytes, algo, opts,
                                 nb_params(tag, nopts));
   return finish(comm, eng, std::move(sched), tag, nopts, "ialltoall", bytes,
-                -1, persistent, immediate);
+                -1, persistent, immediate,
+                [sendbuf, recvbuf, bytes, algo, opts, nopts,
+                 tag](Comm& c, int) {
+                  return compile_alltoall(c, sendbuf, recvbuf, bytes, algo,
+                                          opts, nb_params(tag, nopts));
+                });
 }
 
 Request make_reduce(Comm& comm, const double* send, double* recv,
@@ -311,7 +371,8 @@ Request make_reduce(Comm& comm, const double* send, double* recv,
   const std::size_t bytes = count * sizeof(double);
   if (count == 0) {
     return finish(comm, eng, empty_schedule(comm), tag, nopts, "ireduce",
-                  bytes, root, persistent, immediate);
+                  bytes, root, persistent, immediate,
+                  [](Comm& c, int) { return empty_schedule(c); });
   }
   if (send == nullptr) {
     throw InvalidArgument("ireduce: send required");
@@ -325,7 +386,12 @@ Request make_reduce(Comm& comm, const double* send, double* recv,
   auto sched = compile_reduce(comm, send, recv, count, op, root, algo, opts,
                               nb_params(tag, nopts));
   return finish(comm, eng, std::move(sched), tag, nopts, "ireduce", bytes,
-                root, persistent, immediate);
+                root, persistent, immediate,
+                [send, recv, count, op, algo, opts, nopts,
+                 tag](Comm& c, int nr) {
+                  return compile_reduce(c, send, recv, count, op, nr, algo,
+                                        opts, nb_params(tag, nopts));
+                });
 }
 
 Request make_allreduce(Comm& comm, const double* send, double* recv,
@@ -341,7 +407,8 @@ Request make_allreduce(Comm& comm, const double* send, double* recv,
   const std::size_t bytes = count * sizeof(double);
   if (count == 0) {
     return finish(comm, eng, empty_schedule(comm), tag, nopts, "iallreduce",
-                  bytes, -1, persistent, immediate);
+                  bytes, -1, persistent, immediate,
+                  [](Comm& c, int) { return empty_schedule(c); });
   }
   if (send == nullptr || recv == nullptr) {
     throw InvalidArgument("iallreduce: send and recv required");
@@ -352,7 +419,12 @@ Request make_allreduce(Comm& comm, const double* send, double* recv,
   auto sched = compile_allreduce(comm, send, recv, count, op, algo, opts,
                                  nb_params(tag, nopts));
   return finish(comm, eng, std::move(sched), tag, nopts, "iallreduce", bytes,
-                -1, persistent, immediate);
+                -1, persistent, immediate,
+                [send, recv, count, op, algo, opts, nopts,
+                 tag](Comm& c, int) {
+                  return compile_allreduce(c, send, recv, count, op, algo,
+                                           opts, nb_params(tag, nopts));
+                });
 }
 
 } // namespace
@@ -463,6 +535,22 @@ Request iallreduce(Comm& comm, const double* send, double* recv,
 
 // ----- progress & completion -----
 
+namespace {
+
+/// A request torn down by a team shrink can only surface the failure (or,
+/// for persistent requests, be re-homed through start()).
+void throw_if_poisoned(const RequestState& st, const char* who) {
+  if (st.poisoned) {
+    throw PeerDiedError(
+        std::string(who) + ": request '" + st.label +
+            "' was torn down by a peer failure (team shrunk; persistent "
+            "requests re-home on their next start)",
+        st.poison_rank);
+  }
+}
+
+} // namespace
+
 void start(Request& req) {
   if (!req.valid()) {
     throw InvalidArgument("nbc start: invalid request");
@@ -485,6 +573,7 @@ bool test(Request& req) {
   if (st->completed) {
     return true;
   }
+  throw_if_poisoned(*st, "nbc test");
   Engine::for_comm(*Access::comm(req)).progress_once();
   return st->completed;
 }
@@ -500,6 +589,7 @@ void wait(Request& req) {
   if (st->completed) {
     return;
   }
+  throw_if_poisoned(*st, "nbc wait");
   Engine::for_comm(*Access::comm(req))
       .progress_until([&] { return st->completed; });
 }
@@ -520,6 +610,9 @@ std::size_t wait_any(std::span<Request> reqs) {
       continue;
     }
     if (Access::state(r)->started && !Access::state(r)->consumed) {
+      if (!Access::state(r)->completed) {
+        throw_if_poisoned(*Access::state(r), "nbc wait_any");
+      }
       any_candidate = true;
     }
     Engine& e = Engine::for_comm(*Access::comm(r));

@@ -41,6 +41,12 @@ const char* counter_name(Counter c) {
     case Counter::kNbcAdmissionStalls: return "nbc_admission_stalls";
     case Counter::kNbcInflightHwm: return "nbc_inflight_hwm";
     case Counter::kModelDriftAlarms: return "model_drift_alarms";
+    case Counter::kBackoffSleeps: return "backoff_sleeps";
+    case Counter::kCmaBackoffSleeps: return "cma_backoff_sleeps";
+    case Counter::kRecoveries: return "recoveries";
+    case Counter::kRecoveryAgreeRounds: return "recovery_agree_rounds";
+    case Counter::kEpochFencedOps: return "epoch_fenced_ops";
+    case Counter::kNbcPoisonedRequests: return "nbc_poisoned_requests";
     case Counter::kCount: break;
   }
   return "?";

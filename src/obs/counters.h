@@ -78,6 +78,16 @@ enum class Counter : int {
   // Model health (kacc::obs drift monitor, obs/drift.h).
   kModelDriftAlarms, ///< K-consecutive-window residual breaches raised
 
+  // Transient-error retry/backoff (common/backoff.h).
+  kBackoffSleeps,    ///< jittered sleeps taken by shm-wait backoff loops
+  kCmaBackoffSleeps, ///< sleeps taken retrying EINTR/EAGAIN CMA syscalls
+
+  // Recovery (epoch-fenced shrink after peer failure).
+  kRecoveries,          ///< successful Comm::shrink completions on this rank
+  kRecoveryAgreeRounds, ///< agreement-protocol rounds run (>= 1 per shrink)
+  kEpochFencedOps,      ///< stale posts/slots quarantined by the epoch fence
+  kNbcPoisonedRequests, ///< in-flight nbc requests torn down by a shrink
+
   kCount
 };
 

@@ -19,6 +19,10 @@ const char* flight_kind_name(FlightKind k) {
     case FlightKind::kDriftAlarm: return "drift_alarm";
     case FlightKind::kNbcStart: return "nbc_start";
     case FlightKind::kNbcComplete: return "nbc_complete";
+    case FlightKind::kRecoveryStart: return "recovery_start";
+    case FlightKind::kRecoveryAgree: return "recovery_agree";
+    case FlightKind::kRecoveryShrink: return "recovery_shrink";
+    case FlightKind::kNbcPoisoned: return "nbc_poisoned";
     case FlightKind::kCount: break;
   }
   return "?";

@@ -34,6 +34,10 @@ enum class FlightKind : std::uint32_t {
   kDriftAlarm,        ///< model-residual alarm edge (arg = bytes)
   kNbcStart,          ///< nbc request activated (tag = label)
   kNbcComplete,       ///< nbc request completed (tag = label)
+  kRecoveryStart,     ///< shrink entered (peer = first dead rank observed)
+  kRecoveryAgree,     ///< agreement reached (arg = survivor count)
+  kRecoveryShrink,    ///< survivor comm built (arg = new epoch/generation)
+  kNbcPoisoned,       ///< in-flight nbc request torn down (tag = label)
   kCount
 };
 

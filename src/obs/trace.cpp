@@ -27,6 +27,7 @@ const char* span_name(SpanName n) {
     case SpanName::kReduce: return "reduce";
     case SpanName::kAllreduce: return "allreduce";
     case SpanName::kNbcRequest: return "nbc_request";
+    case SpanName::kShrink: return "shrink";
     case SpanName::kCount: break;
   }
   return "?";

@@ -50,6 +50,8 @@ enum class SpanName : std::uint32_t {
   // Nonblocking-request lifetime (start -> completion; tag carries the
   // request label, e.g. "ibcast#3").
   kNbcRequest,
+  // Recovery (agreement + epoch fence + survivor-comm construction).
+  kShrink,
   kCount
 };
 

@@ -1,6 +1,17 @@
 #include "runtime/comm.h"
 
+#include "common/error.h"
+
 // Comm is an interface; its out-of-line pieces live here to anchor the
 // vtable in one translation unit.
 
-namespace kacc {} // namespace kacc
+namespace kacc {
+
+std::unique_ptr<Comm> Comm::shrink() {
+  // Only team-owning communicators (SimComm, NativeComm) can run the
+  // survivor agreement; sub-team views must shrink through their parent.
+  throw InvalidArgument(
+      "shrink: unsupported on this communicator (shrink the owning team)");
+}
+
+} // namespace kacc

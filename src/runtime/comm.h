@@ -41,6 +41,18 @@ public:
   /// with rank translation and stays valid while it is alive.
   [[nodiscard]] std::unique_ptr<Comm> split(int color, int key = 0);
 
+  /// Self-healing shrink after a peer failure: every *surviving* rank calls
+  /// this (typically from a catch of PeerDiedError). The survivors run an
+  /// agreement protocol over the ctrl plane, fence all state from the
+  /// retired team epoch (stale signal posts, in-flight CMA service slots,
+  /// pipe cursors), and return a dense re-ranked communicator over the
+  /// survivor set. In-flight nonblocking requests on this communicator are
+  /// poisoned (wait() raises PeerDiedError); persistent schedules recompile
+  /// against the shrunken team on their next start(). The returned view
+  /// delegates to this communicator and stays valid while it is alive.
+  /// Throws InvalidArgument when no unrecovered peer failure exists.
+  [[nodiscard]] virtual std::unique_ptr<Comm> shrink();
+
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int size() const = 0;
   [[nodiscard]] virtual const ArchSpec& arch() const = 0;
@@ -143,6 +155,12 @@ public:
   class NbcState {
   public:
     virtual ~NbcState() = default;
+
+    /// Recovery hook: called by Comm::shrink after the survivor agreement
+    /// completes. `successor` is the dense survivor communicator (owned by
+    /// the caller of shrink); the nbc engine poisons in-flight requests
+    /// and re-homes persistent ones against it.
+    virtual void on_team_shrink(Comm* successor) { (void)successor; }
   };
   [[nodiscard]] NbcState* nbc_state() const { return nbc_state_.get(); }
   void set_nbc_state(std::unique_ptr<NbcState> st) {

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <array>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -10,6 +11,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "model/predict.h"
+#include "runtime/sub_comm.h"
 
 namespace kacc {
 
@@ -45,7 +47,8 @@ NativeComm::NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank,
       pipes_(arena, rank, nranks),
       bcast_pipe_(arena, rank, nranks),
       epoch_(std::chrono::steady_clock::now()), cfg_(cfg),
-      fault_plan_(FaultPlan::from_env()) {
+      fault_plan_(FaultPlan::from_env()),
+      recovered_dead_(static_cast<std::size_t>(nranks), false) {
   KACC_CHECK_MSG(rank >= 0 && rank < nranks, "NativeComm rank out of range");
   cfg_.op_deadline_ms = deadline_ms_from_env(cfg_.op_deadline_ms);
   log_set_rank(rank);
@@ -80,6 +83,7 @@ shm::WaitContext NativeComm::wait_ctx(const char* what) {
   ctx.slow_wait_counter =
       recorder_.counters.cell(obs::Counter::kSpinSlowWaits);
   ctx.recorder = &recorder_;
+  ctx.backoff_counter = recorder_.counters.cell(obs::Counter::kBackoffSleeps);
   return ctx;
 }
 
@@ -105,13 +109,218 @@ void NativeComm::on_drift_alarm(std::uint64_t bytes, int c) {
 
 void NativeComm::poll() {
   arena_->heartbeat(rank_);
-  const int dead = arena_->first_dead_rank();
-  if (dead >= 0 && dead != rank_) {
-    throw PeerDiedError("rank " + std::to_string(rank_) +
-                            " observed death of rank " + std::to_string(dead),
-                        dead);
+  // Per-rank scan (not first_dead_rank, which is a one-shot team-global
+  // word): deaths absorbed by a completed shrink must stop raising so the
+  // survivor team can keep communicating.
+  for (int q = 0; q < nranks_; ++q) {
+    if (q == rank_ || recovered_dead_[static_cast<std::size_t>(q)]) {
+      continue;
+    }
+    if (arena_->liveness(q) == shm::Liveness::kDead) {
+      throw PeerDiedError("rank " + std::to_string(rank_) +
+                              " observed death of rank " + std::to_string(q),
+                          q);
+    }
   }
   service_fallback_requests();
+}
+
+std::unique_ptr<Comm> NativeComm::shrink() {
+  // --- local failure view (1024-bit dead-rank bitmap) ---
+  std::array<std::uint64_t, 16> view{};
+  const auto dead_bit = [&](int q) {
+    return (view[static_cast<std::size_t>(q) >> 6] >>
+            (static_cast<unsigned>(q) & 63u)) &
+           1u;
+  };
+  const auto fold_liveness = [&] {
+    for (int q = 0; q < nranks_; ++q) {
+      if (arena_->liveness(q) == shm::Liveness::kDead) {
+        view[static_cast<std::size_t>(q) >> 6] |=
+            std::uint64_t{1} << (static_cast<unsigned>(q) & 63u);
+      }
+    }
+  };
+  fold_liveness();
+  int first_new_dead = -1;
+  for (int q = 0; q < nranks_; ++q) {
+    if (dead_bit(q) != 0 && !recovered_dead_[static_cast<std::size_t>(q)]) {
+      first_new_dead = q;
+      break;
+    }
+  }
+  if (first_new_dead < 0) {
+    throw InvalidArgument(
+        "shrink: no unrecovered peer failure to recover from");
+  }
+  recorder_.flight_event(obs::FlightKind::kRecoveryStart, first_new_dead);
+  obs::Span span(recorder_, obs::SpanName::kShrink);
+
+  const std::uint64_t next =
+      arena_->team_epoch()->load(std::memory_order_acquire) + 1;
+  shm::RecoveryLine* mine = arena_->recovery_line(rank_);
+  const Deadline deadline = cfg_.op_deadline_ms > 0
+                                ? Deadline::after_ms(cfg_.op_deadline_ms)
+                                : Deadline::never();
+
+  // --- agreement: fold peer views until every survivor publishes the
+  // identical (epoch, view). A death observed mid-agreement just grows the
+  // view, which every survivor folds on its next round. ---
+  std::uint64_t rounds = 0;
+  for (;;) {
+    ++rounds;
+    arena_->heartbeat(rank_);
+    fold_liveness();
+    for (int q = 0; q < nranks_; ++q) {
+      if (q == rank_ || dead_bit(q) != 0) {
+        continue;
+      }
+      const shm::RecoveryLine* line = arena_->recovery_line(q);
+      if (line->epoch.load(std::memory_order_acquire) == next) {
+        for (std::size_t w = 0; w < view.size(); ++w) {
+          view[w] |= line->view[w].load(std::memory_order_relaxed);
+        }
+      }
+    }
+    for (std::size_t w = 0; w < view.size(); ++w) {
+      mine->view[w].store(view[w], std::memory_order_relaxed);
+    }
+    mine->epoch.store(next, std::memory_order_release);
+    bool stable = true;
+    for (int q = 0; q < nranks_ && stable; ++q) {
+      if (q == rank_ || dead_bit(q) != 0) {
+        continue;
+      }
+      const shm::RecoveryLine* line = arena_->recovery_line(q);
+      if (line->epoch.load(std::memory_order_acquire) != next) {
+        stable = false;
+        break;
+      }
+      for (std::size_t w = 0; w < view.size(); ++w) {
+        if (line->view[w].load(std::memory_order_relaxed) != view[w]) {
+          stable = false;
+          break;
+        }
+      }
+    }
+    if (stable) {
+      break;
+    }
+    if (deadline.expired()) {
+      throw TimeoutError("shrink agreement: survivors did not converge on "
+                         "a failure view before the deadline");
+    }
+    ::sched_yield();
+  }
+  recorder_.counters.add(obs::Counter::kRecoveryAgreeRounds, rounds);
+
+  // --- epoch fence: quarantine everything posted under the old epoch.
+  // Safe to run before peers ack — survivors only post new-epoch traffic
+  // after every ack is in, so anything pending here is stale. ---
+  std::uint64_t fenced = signals_.drain();
+  fenced += nbc_signals_.drain();
+  fenced += pipes_.resync();
+  for (int q = 0; q < nranks_; ++q) {
+    if (q == rank_) {
+      continue;
+    }
+    // Requests peers posted against our memory...
+    shm::CmaServiceSlot* in = arena_->cma_service_slot(q, rank_);
+    const std::uint64_t in_req = in->req.load(std::memory_order_acquire);
+    const std::uint64_t in_ack = in->ack.load(std::memory_order_relaxed);
+    if (in_req != in_ack) {
+      fenced += in_req - in_ack;
+      in->ack.store(in_req, std::memory_order_release);
+    }
+    // ...and our own posts toward a dead owner, which nobody will serve.
+    if (dead_bit(q) != 0) {
+      shm::CmaServiceSlot* out = arena_->cma_service_slot(rank_, q);
+      const std::uint64_t out_req = out->req.load(std::memory_order_acquire);
+      const std::uint64_t out_ack = out->ack.load(std::memory_order_relaxed);
+      if (out_req != out_ack) {
+        fenced += out_req - out_ack;
+        out->ack.store(out_req, std::memory_order_release);
+      }
+    }
+  }
+  // Admission credits held against this rank's pages belong to torn-down
+  // requests; the nbc engine re-admits from zero in the new epoch. Dead
+  // ranks' words are zeroed too (idempotent) — no one else will.
+  arena_->nbc_admission(rank_)->store(0, std::memory_order_release);
+  for (int q = 0; q < nranks_; ++q) {
+    if (dead_bit(q) != 0) {
+      arena_->nbc_admission(q)->store(0, std::memory_order_release);
+    }
+  }
+  recorder_.counters.add(obs::Counter::kEpochFencedOps, fenced);
+
+  // --- ack + all-survivors barrier over the recovery lines ---
+  mine->ack.store(next, std::memory_order_release);
+  for (;;) {
+    arena_->heartbeat(rank_);
+    bool all = true;
+    for (int q = 0; q < nranks_; ++q) {
+      if (q == rank_ || dead_bit(q) != 0) {
+        continue;
+      }
+      if (arena_->liveness(q) == shm::Liveness::kDead) {
+        throw PeerDiedError("rank " + std::to_string(q) +
+                                " died during recovery; call shrink() again "
+                                "to restart the agreement",
+                            q);
+      }
+      const shm::RecoveryLine* line = arena_->recovery_line(q);
+      for (std::size_t w = 0; w < view.size(); ++w) {
+        if (line->view[w].load(std::memory_order_relaxed) != view[w]) {
+          // The peer grew its view after we agreed: a failure landed
+          // between our stability check and its ack. Restart.
+          throw PeerDiedError(
+              "failure view changed during recovery; call shrink() again "
+              "to restart the agreement",
+              q);
+        }
+      }
+      if (line->ack.load(std::memory_order_acquire) < next) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      break;
+    }
+    if (deadline.expired()) {
+      throw TimeoutError(
+          "shrink: a survivor did not ack the epoch fence in time");
+    }
+    ::sched_yield();
+  }
+
+  // --- commit (max-CAS: idempotent across survivors) ---
+  std::atomic<std::uint64_t>* te = arena_->team_epoch();
+  std::uint64_t cur = te->load(std::memory_order_relaxed);
+  while (cur < next &&
+         !te->compare_exchange_weak(cur, next, std::memory_order_acq_rel)) {
+  }
+  team_epoch_ = next;
+
+  std::vector<int> survivors;
+  for (int q = 0; q < nranks_; ++q) {
+    if (dead_bit(q) != 0) {
+      recovered_dead_[static_cast<std::size_t>(q)] = true;
+    } else {
+      survivors.push_back(q);
+    }
+  }
+  recorder_.counters.add(obs::Counter::kRecoveries);
+  recorder_.flight_event(obs::FlightKind::kRecoveryAgree, -1,
+                         static_cast<std::int64_t>(survivors.size()));
+  auto successor = std::make_unique<SubComm>(*this, survivors);
+  if (nbc_state() != nullptr) {
+    nbc_state()->on_team_shrink(successor.get());
+  }
+  recorder_.flight_event(obs::FlightKind::kRecoveryShrink, -1,
+                         static_cast<std::int64_t>(next));
+  return successor;
 }
 
 void NativeComm::service_fallback_requests() {
@@ -130,8 +339,15 @@ void NativeComm::service_fallback_requests() {
       if (req == ack) {
         continue;
       }
-      // The acquire on req makes op/addr/bytes (written before the release
-      // store of req) visible.
+      // The acquire on req makes op/addr/bytes/epoch (written before the
+      // release store of req) visible.
+      if (slot->epoch < team_epoch_) {
+        // Posted under a retired team generation (requester unwound before
+        // the shrink): quarantine instead of moving bytes for a dead epoch.
+        recorder_.counters.add(obs::Counter::kEpochFencedOps, req - ack);
+        slot->ack.store(req, std::memory_order_release);
+        continue;
+      }
       void* owned = reinterpret_cast<void*>(slot->addr);
       const std::size_t bytes = slot->bytes;
       {
@@ -202,6 +418,7 @@ void NativeComm::fallback_read(int src, std::uint64_t remote_addr, void* local,
   slot->op = 0;
   slot->addr = remote_addr;
   slot->bytes = bytes;
+  slot->epoch = team_epoch_;
   const std::uint64_t id = slot->req.load(std::memory_order_relaxed) + 1;
   slot->req.store(id, std::memory_order_release);
   pipes_.recv(src, local, bytes, wait_ctx("cma fallback read"));
@@ -222,6 +439,7 @@ void NativeComm::fallback_write(int dst, std::uint64_t remote_addr,
   slot->op = 1;
   slot->addr = remote_addr;
   slot->bytes = bytes;
+  slot->epoch = team_epoch_;
   const std::uint64_t id = slot->req.load(std::memory_order_relaxed) + 1;
   slot->req.store(id, std::memory_order_release);
   pipes_.send(dst, local, bytes, wait_ctx("cma fallback write"));
@@ -270,6 +488,8 @@ void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
   } catch (const SyscallError& e) {
     recorder_.counters.add(obs::Counter::kCmaRetries,
                            cma::take_retry_count());
+    recorder_.counters.add(obs::Counter::kCmaBackoffSleeps,
+                           cma::take_backoff_count());
     handle_cma_error(e, src, "process_vm_readv"); // throws unless degrading
     fallback_read(src, remote_addr, local, bytes);
     return;
@@ -279,6 +499,8 @@ void NativeComm::cma_read(int src, std::uint64_t remote_addr, void* local,
   recorder_.counters.add(obs::Counter::kCmaReadOps);
   recorder_.counters.add(obs::Counter::kCmaReadBytes, bytes);
   recorder_.counters.add(obs::Counter::kCmaRetries, cma::take_retry_count());
+  recorder_.counters.add(obs::Counter::kCmaBackoffSleeps,
+                         cma::take_backoff_count());
   const double dt = now_us() - t0;
   const int c = believed_conc();
   recorder_.hists.record_us(obs::cma_hist(false, c), dt);
@@ -328,6 +550,8 @@ void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
   } catch (const SyscallError& e) {
     recorder_.counters.add(obs::Counter::kCmaRetries,
                            cma::take_retry_count());
+    recorder_.counters.add(obs::Counter::kCmaBackoffSleeps,
+                           cma::take_backoff_count());
     handle_cma_error(e, dst, "process_vm_writev");
     fallback_write(dst, remote_addr, local, bytes);
     return;
@@ -335,6 +559,8 @@ void NativeComm::cma_write(int dst, std::uint64_t remote_addr,
   recorder_.counters.add(obs::Counter::kCmaWriteOps);
   recorder_.counters.add(obs::Counter::kCmaWriteBytes, bytes);
   recorder_.counters.add(obs::Counter::kCmaRetries, cma::take_retry_count());
+  recorder_.counters.add(obs::Counter::kCmaBackoffSleeps,
+                         cma::take_backoff_count());
   const double dt = now_us() - t0;
   const int c = believed_conc();
   recorder_.hists.record_us(obs::cma_hist(true, c), dt);

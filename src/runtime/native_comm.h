@@ -44,6 +44,15 @@ public:
   [[nodiscard]] int size() const override { return nranks_; }
   [[nodiscard]] const ArchSpec& arch() const override { return spec_; }
 
+  /// Survivor agreement + epoch fence over the arena's recovery region
+  /// (see Comm::shrink). Every survivor publishes its failure view into
+  /// its RecoveryLine and folds peer views until all survivors agree,
+  /// fences local state (pending signals, queued pipe chunks, CMA service
+  /// slots, admission credits), acks, and commits the new team epoch. A
+  /// rank that dies *during* recovery surfaces as PeerDiedError — call
+  /// shrink() again to restart the agreement with the grown failure view.
+  [[nodiscard]] std::unique_ptr<Comm> shrink() override;
+
   void cma_read(int src, std::uint64_t remote_addr, void* local,
                 std::size_t bytes) override;
   void cma_write(int dst, std::uint64_t remote_addr, const void* local,
@@ -134,6 +143,13 @@ private:
   std::uint64_t fallback_ops_ = 0; ///< ops served via ChunkPipe fallback
   bool cma_disabled_ = false;      ///< sticky CMA->shm degradation
   bool in_service_ = false;        ///< re-entrance guard for the hook
+
+  /// Deaths absorbed by a completed shrink: poll() stops raising
+  /// PeerDiedError for these (the successor team excludes them).
+  std::vector<bool> recovered_dead_;
+  /// This process's committed team epoch (mirrors the arena word after
+  /// each shrink). Stamped into CMA service-slot posts for epoch fencing.
+  std::uint64_t team_epoch_ = 0;
 };
 
 } // namespace kacc

@@ -9,6 +9,7 @@
 #include "model/cost_model.h"
 #include "model/predict.h"
 #include "obs/postmortem.h"
+#include "runtime/sub_comm.h"
 
 namespace kacc {
 namespace {
@@ -112,8 +113,25 @@ void SimComm::on_drift_alarm(std::uint64_t bytes, int c) {
           << "); tuner/governor switching to observed T_cma");
 }
 
+void SimComm::fence_data_plane(const char* what) {
+  // A peer that observed the death may already have unwound its collective
+  // and freed the buffer behind a previously exchanged address — once an
+  // unabsorbed death exists, dereferencing peer memory is use-after-free
+  // territory. Refuse with the same error the blocking paths raise; the
+  // caller recovers via shrink(), which absorbs the death.
+  const std::vector<int> dead = engine_->unrecovered_dead_ranks();
+  if (!dead.empty()) {
+    throw PeerDiedError(std::string(what) + ": rank " +
+                            std::to_string(rank_) +
+                            " fenced peer-memory access after death of rank " +
+                            std::to_string(dead.front()),
+                        dead.front());
+  }
+}
+
 void SimComm::cma_read(int src, std::uint64_t remote_addr, void* local,
                        std::size_t bytes) {
+  fence_data_plane("cma_read");
   const ArchSpec& s = arch();
   const bool cross = s.crosses_socket(rank_, src, size());
   const double mult =
@@ -134,6 +152,9 @@ void SimComm::cma_read(int src, std::uint64_t remote_addr, void* local,
     on_drift_alarm(bytes, c);
   }
   if (team_->move_data) {
+    // A kill can land during the modeled transfer above: re-check before
+    // the real dereference.
+    fence_data_plane("cma_read");
     // Rank threads share the address space: the token is a real pointer.
     std::memcpy(local, reinterpret_cast<const void*>(remote_addr), bytes);
   }
@@ -141,6 +162,7 @@ void SimComm::cma_read(int src, std::uint64_t remote_addr, void* local,
 
 void SimComm::cma_write(int dst, std::uint64_t remote_addr, const void* local,
                         std::size_t bytes) {
+  fence_data_plane("cma_write");
   const ArchSpec& s = arch();
   const bool cross = s.crosses_socket(rank_, dst, size());
   const double mult =
@@ -161,6 +183,8 @@ void SimComm::cma_write(int dst, std::uint64_t remote_addr, const void* local,
     on_drift_alarm(bytes, c);
   }
   if (team_->move_data) {
+    // Same re-check as cma_read: the kill can land mid-transfer.
+    fence_data_plane("cma_write");
     std::memcpy(reinterpret_cast<void*>(remote_addr), local, bytes);
   }
 }
@@ -384,8 +408,10 @@ void SimComm::nbc_yield(int idle_rounds) {
   // rank's buffers and would resume into a stale memcpy after the unwind
   // frees them. Block in the engine instead — death then surfaces through
   // poisoning once every live rank is parked (the blocking-path
-  // discipline), or an incoming signal wakes us and we re-poll.
-  for (int dead : engine_->dead_ranks()) {
+  // discipline), or an incoming signal wakes us and we re-poll. Deaths
+  // already absorbed by a recovery are fenced by the epoch bump and must
+  // not park post-shrink pollers.
+  for (int dead : engine_->unrecovered_dead_ranks()) {
     if (dead != rank_) {
       engine_->block_for_any_post(rank_);
       return;
@@ -406,6 +432,41 @@ int SimComm::nbc_inflight(int source) {
 void SimComm::nbc_inflight_add(int source, int delta) {
   KACC_CHECK_MSG(source >= 0 && source < size(), "nbc_inflight source");
   team_->nbc_inflight[static_cast<std::size_t>(source)] += delta;
+}
+
+std::unique_ptr<Comm> SimComm::shrink() {
+  const std::vector<int> dead = engine_->unrecovered_dead_ranks();
+  recorder_.flight_event(obs::FlightKind::kRecoveryStart,
+                         dead.empty() ? -1 : dead.front());
+  obs::Span span(recorder_, obs::SpanName::kShrink);
+
+  // Survivor agreement + engine-level epoch fence (purges stale channel
+  // posts, abandons dead-issuer transfers, lifts the poisoning).
+  const sim::RecoveryResult rr = engine_->recover(rank_);
+
+  recorder_.counters.add(obs::Counter::kRecoveries);
+  recorder_.counters.add(obs::Counter::kRecoveryAgreeRounds);
+  recorder_.counters.add(obs::Counter::kEpochFencedOps, rr.purged_posts);
+  recorder_.flight_event(obs::FlightKind::kRecoveryAgree, -1,
+                         static_cast<std::int64_t>(rr.survivors.size()));
+
+  // Reset the shared admission-governor counts: in-flight credit from the
+  // retired epoch must not throttle the new team. Once per generation —
+  // survivors resume from recover() at different points, and a later
+  // survivor's reset must not wipe credits the first one has already
+  // re-issued in the new epoch (token-serialized, so no data race).
+  if (team_->nbc_reset_generation < rr.generation) {
+    std::fill(team_->nbc_inflight.begin(), team_->nbc_inflight.end(), 0);
+    team_->nbc_reset_generation = rr.generation;
+  }
+
+  auto successor = std::make_unique<SubComm>(*this, rr.survivors);
+  if (nbc_state() != nullptr) {
+    nbc_state()->on_team_shrink(successor.get());
+  }
+  recorder_.flight_event(obs::FlightKind::kRecoveryShrink, -1,
+                         static_cast<std::int64_t>(rr.generation));
+  return successor;
 }
 
 sim::Breakdown SimComm::timed_cma(int owner, std::uint64_t bytes,

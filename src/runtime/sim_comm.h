@@ -41,6 +41,10 @@ struct SimTeamState {
   /// (token-serialized like ctrl_send/ctrl_recv; lazily sized by the
   /// first SimComm constructed).
   std::vector<int> nbc_inflight;
+  /// Highest recovery generation whose shrink already zeroed the shared
+  /// in-flight counts (the reset runs once per generation, not once per
+  /// survivor — see SimComm::shrink).
+  std::uint64_t nbc_reset_generation = 0;
 
   /// Sizes counter/hist/drift blocks (always), flight rings (unless
   /// disabled), and trace sinks (when KACC_TRACE set).
@@ -56,6 +60,12 @@ public:
   [[nodiscard]] const ArchSpec& arch() const override {
     return engine_->spec();
   }
+
+  /// Survivor agreement + epoch fence over the engine (see Comm::shrink):
+  /// joins SimEngine::recover, quarantines stale channel posts, resets the
+  /// shared admission-governor counts, and returns the dense survivor
+  /// sub-team. Poisons/re-homes nbc state through on_team_shrink.
+  [[nodiscard]] std::unique_ptr<Comm> shrink() override;
 
   void cma_read(int src, std::uint64_t remote_addr, void* local,
                 std::size_t bytes) override;
@@ -96,6 +106,11 @@ private:
 
   /// One drift-alarm edge: counter, flight event, rate-limited warning.
   void on_drift_alarm(std::uint64_t bytes, int c);
+
+  /// Throws PeerDiedError when an unabsorbed death exists: a peer that
+  /// already unwound may have freed the buffer behind an exchanged
+  /// address, so data-plane dereferences must stop until shrink().
+  void fence_data_plane(const char* what);
 
   sim::SimEngine* engine_;
   SimTeamState* team_;

@@ -31,6 +31,15 @@ int SubComm::global_rank(int r) const {
   return members_[static_cast<std::size_t>(r)];
 }
 
+int SubComm::view_rank_of(int parent_rank) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == parent_rank) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
 void SubComm::cma_read(int src, std::uint64_t remote_addr, void* local,
                        std::size_t bytes) {
   parent_->cma_read(global_rank(src), remote_addr, local, bytes);

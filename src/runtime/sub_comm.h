@@ -45,6 +45,12 @@ public:
 
   /// Parent rank of view rank `r`.
   [[nodiscard]] int global_rank(int r) const;
+
+  /// View rank of parent rank `parent_rank`, or -1 when it is not a
+  /// member (e.g. a dead rank after a shrink — callers translate old-team
+  /// roots and must handle the gone case).
+  [[nodiscard]] int view_rank_of(int parent_rank) const;
+
   [[nodiscard]] Comm& parent() const { return *parent_; }
 
   void cma_read(int src, std::uint64_t remote_addr, void* local,

@@ -123,6 +123,11 @@ std::size_t flight_region_bytes(int nranks, std::size_t flight_slots) {
          align_up(obs::flight_ring_bytes(flight_slots), kCacheLine);
 }
 
+// Recovery region: one team-epoch line + one agreement lane per rank.
+std::size_t recov_region_bytes(int nranks) {
+  return kCacheLine + static_cast<std::size_t>(nranks) * sizeof(RecoveryLine);
+}
+
 std::atomic<std::uint32_t>* reg_counter(std::byte* base,
                                         const ArenaLayout& l) {
   return reinterpret_cast<std::atomic<std::uint32_t>*>(
@@ -186,6 +191,8 @@ ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
   off = align_up(off + drift_region_bytes(nranks), 4096);
   l.flight_off = off;
   off = align_up(off + flight_region_bytes(nranks, flight_slots), 4096);
+  l.recov_off = off;
+  off = align_up(off + recov_region_bytes(nranks), 4096);
   l.total_bytes = off;
   return l;
 }
@@ -337,6 +344,18 @@ CmaServiceSlot* ShmArena::cma_service_slot(int requester, int owner) const {
                           static_cast<std::size_t>(owner);
   return reinterpret_cast<CmaServiceSlot*>(base_ + layout_.cmaserv_off +
                                            idx * sizeof(CmaServiceSlot));
+}
+
+std::atomic<std::uint64_t>* ShmArena::team_epoch() const {
+  return reinterpret_cast<std::atomic<std::uint64_t>*>(base_ +
+                                                       layout_.recov_off);
+}
+
+RecoveryLine* ShmArena::recovery_line(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  return reinterpret_cast<RecoveryLine*>(
+      base_ + layout_.recov_off + kCacheLine +
+      static_cast<std::size_t>(rank) * sizeof(RecoveryLine));
 }
 
 std::atomic<std::uint64_t>* ShmArena::nbc_signal_lanes(int src,

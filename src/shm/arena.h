@@ -45,6 +45,7 @@ struct ArenaLayout {
   std::size_t hist_off = 0;   ///< per-rank latency histograms (kacc::obs)
   std::size_t drift_off = 0;  ///< per-rank model-residual grids
   std::size_t flight_off = 0; ///< per-rank flight-recorder rings
+  std::size_t recov_off = 0;  ///< team epoch + per-rank recovery lines
   std::size_t total_bytes = 0;
 
   /// Computes a layout for `nranks` ranks with the given pipe geometry.
@@ -78,11 +79,29 @@ struct CmaServiceSlot {
   std::uint32_t pad0;
   std::uint64_t addr;  ///< target address in the owner's address space
   std::uint64_t bytes; ///< transfer length
-  char pad1[64 - 4 * sizeof(std::uint64_t)];
+  /// Team epoch the request was posted under (see RecoveryLine). A shrink
+  /// bumps the epoch; the owner force-acks any request stamped with an
+  /// older one instead of moving bytes for a retired team generation.
+  std::uint64_t epoch;
+  char pad1[64 - 5 * sizeof(std::uint64_t)];
   std::atomic<std::uint64_t> ack; ///< requests fully serviced by the owner
   char pad2[64 - sizeof(std::uint64_t)];
 };
 static_assert(sizeof(CmaServiceSlot) == 128);
+
+/// One rank's lane in the survivor agreement protocol (native recovery).
+/// To shrink, a survivor publishes its failure view (a bitmap of dead
+/// ranks) and the epoch it proposes to move to; once every live rank shows
+/// the same (epoch, view) it fences its local state and bumps `ack`. The
+/// team epoch itself is a separate team-global word committed last.
+struct RecoveryLine {
+  std::atomic<std::uint64_t> epoch; ///< proposal this rank is joining
+  std::atomic<std::uint64_t> ack;   ///< epoch this rank has fully fenced
+  char pad[64 - 2 * sizeof(std::uint64_t)];
+  /// Dead-rank bitmap of the proposal (1024 bits — the arena's rank cap).
+  std::atomic<std::uint64_t> view[16];
+};
+static_assert(sizeof(RecoveryLine) == 192);
 
 /// Arena header: rank registration (PID exchange happens here — the paper's
 /// "each process exchanges their PID during initialization").
@@ -137,6 +156,15 @@ public:
   /// The (requester, owner) slot of the CMA degradation protocol.
   [[nodiscard]] CmaServiceSlot* cma_service_slot(int requester,
                                                  int owner) const;
+
+  // --- recovery carve-out (survivor agreement + epoch fencing) ---
+
+  /// The committed team epoch: 0 at birth, bumped once per completed
+  /// shrink. Stale posts are detected by comparing their stamp to this.
+  [[nodiscard]] std::atomic<std::uint64_t>* team_epoch() const;
+
+  /// The rank's agreement-protocol lane.
+  [[nodiscard]] RecoveryLine* recovery_line(int rank) const;
 
   // --- nonblocking-collective carve-outs (kacc::nbc) ---
 

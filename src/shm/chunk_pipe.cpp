@@ -62,7 +62,7 @@ void ChunkPipe::send(int dst, const void* buf, std::size_t bytes,
   do {
     const std::size_t len = remaining < chunk_bytes_ ? remaining : chunk_bytes_;
     const std::uint64_t seq = r->tail.load(std::memory_order_relaxed);
-    spin_until(
+    spin_wait_backoff(
         [&] {
           return seq - r->head.load(std::memory_order_acquire) < slots_;
         },
@@ -95,7 +95,7 @@ void ChunkPipe::recv(int src, void* buf, std::size_t bytes,
   while (first || received < bytes) {
     first = false;
     const std::uint64_t seq = r->head.load(std::memory_order_relaxed);
-    spin_until(
+    spin_wait_backoff(
         [&] { return r->tail.load(std::memory_order_acquire) > seq; },
         named);
     std::byte* slot = slot_base + (seq % slots_) * slot_stride;
@@ -108,6 +108,23 @@ void ChunkPipe::recv(int src, void* buf, std::size_t bytes,
     r->head.store(seq + 1, std::memory_order_release);
     received += len;
   }
+}
+
+std::uint64_t ChunkPipe::resync() {
+  std::uint64_t discarded = 0;
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == rank_) {
+      continue;
+    }
+    Ring* r = ring(src, rank_);
+    const std::uint64_t tail = r->tail.load(std::memory_order_acquire);
+    const std::uint64_t head = r->head.load(std::memory_order_relaxed);
+    if (tail > head) {
+      discarded += tail - head;
+      r->head.store(tail, std::memory_order_release);
+    }
+  }
+  return discarded;
 }
 
 } // namespace kacc::shm

@@ -31,6 +31,14 @@ public:
 
   [[nodiscard]] std::size_t chunk_bytes() const { return chunk_bytes_; }
 
+  /// Epoch fence: discards every chunk still queued toward this rank by
+  /// advancing each incoming ring's head to its tail. Called during a
+  /// shrink, after the team has agreed on the failure view and before the
+  /// survivor comm is handed out, so a chunk published by the old epoch
+  /// (possibly by the dead rank) can never be mistaken for new-epoch data.
+  /// Returns the number of chunks quarantined.
+  std::uint64_t resync();
+
 private:
   struct Ring;
   Ring* ring(int src, int dst) const;

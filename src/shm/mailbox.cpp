@@ -56,6 +56,23 @@ bool SignalBoard::poll(int src) const {
          consumed_[static_cast<std::size_t>(src)];
 }
 
+std::uint64_t SignalBoard::drain() {
+  std::uint64_t discarded = 0;
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == rank_) {
+      continue;
+    }
+    auto* ctr = static_cast<std::atomic<std::uint64_t>*>(counter(src, rank_));
+    const std::uint64_t posted = ctr->load(std::memory_order_acquire);
+    std::uint64_t& seen = consumed_[static_cast<std::size_t>(src)];
+    if (posted > seen) {
+      discarded += posted - seen;
+      seen = posted;
+    }
+  }
+  return discarded;
+}
+
 TagSignalBoard::TagSignalBoard(const ShmArena& arena, int rank, int nranks)
     : arena_(&arena), rank_(rank), nranks_(nranks),
       consumed_(static_cast<std::size_t>(nranks) * kNbcSignalTags, 0) {
@@ -86,6 +103,27 @@ bool TagSignalBoard::try_consume(int src, int tag) {
   }
   ++seen;
   return true;
+}
+
+std::uint64_t TagSignalBoard::drain() {
+  std::uint64_t discarded = 0;
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == rank_) {
+      continue;
+    }
+    for (int tag = 0; tag < kNbcSignalTags; ++tag) {
+      const std::uint64_t posted =
+          lane(src, rank_, tag)->load(std::memory_order_acquire);
+      std::uint64_t& seen =
+          consumed_[static_cast<std::size_t>(src) * kNbcSignalTags +
+                    static_cast<std::size_t>(tag)];
+      if (posted > seen) {
+        discarded += posted - seen;
+        seen = posted;
+      }
+    }
+  }
+  return discarded;
 }
 
 } // namespace kacc::shm

@@ -28,6 +28,11 @@ public:
   /// True when an unconsumed signal from src is pending (does not consume).
   [[nodiscard]] bool poll(int src) const;
 
+  /// Epoch fence: forgets every pending (posted but unconsumed) signal by
+  /// fast-forwarding this process's consumed cursors to the current shared
+  /// counters. Returns the number of signals quarantined.
+  std::uint64_t drain();
+
 private:
   void* counter(int src, int dst) const; // std::atomic<uint64_t>*
 
@@ -51,6 +56,9 @@ public:
 
   /// Consumes one signal from `src` on lane `tag` iff one is pending.
   [[nodiscard]] bool try_consume(int src, int tag);
+
+  /// Epoch fence across every (source, tag) lane; see SignalBoard::drain.
+  std::uint64_t drain();
 
 private:
   std::atomic<std::uint64_t>* lane(int src, int dst, int tag) const;

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/backoff.h"
 #include "common/deadline.h"
 #include "common/error.h"
 #include "common/log.h"
@@ -51,6 +52,9 @@ struct WaitContext {
   /// flight recorder and rate-limit-warns if the wait reaches the nap tier
   /// for a long stretch.
   obs::Recorder* recorder = nullptr;
+  /// When set, spin_wait_backoff counts each jittered sleep it takes here
+  /// (the obs "backoff_sleeps" counter cell of the waiting rank).
+  std::atomic<std::uint64_t>* backoff_counter = nullptr;
 };
 
 /// Spins until `pred()` is true. Polls hot for a burst, then yields, then
@@ -120,6 +124,65 @@ void spin_until(Pred&& pred, const WaitContext& ctx) {
     // either a peer is slow or the team is about to hit its deadline.
     if (++naps == 5000) {
       naps = 0;
+      KACC_LOG_WARN_RL(ctx.what, 5000.0,
+                       "slow shm wait in " << ctx.what
+                                           << " (peer slow or wedged)");
+    }
+  }
+}
+
+/// Backoff-policy spin: like spin_until(pred, ctx) but the slow path sleeps
+/// on the jittered exponential schedule of `policy` instead of fixed 50us
+/// naps, counting each sleep into ctx.backoff_counter. Preferred for waits
+/// whose condition usually resolves in microseconds but can stall behind a
+/// slow peer (ChunkPipe ring full/empty): the exponential ramp reacts fast
+/// without burning a core when the peer really is slow.
+template <typename Pred>
+void spin_wait_backoff(Pred&& pred, const WaitContext& ctx,
+                       const BackoffPolicy& policy = {}) {
+  for (int i = 0; i < 1024; ++i) {
+    if (pred()) {
+      return;
+    }
+  }
+  if (ctx.slow_wait_counter != nullptr) {
+    ctx.slow_wait_counter->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (ctx.recorder != nullptr) {
+    ctx.recorder->flight_event(obs::FlightKind::kSpinSlowWait, -1, 0,
+                               ctx.what);
+  }
+  auto slow_step = [&] {
+    if (ctx.hook != nullptr) {
+      ctx.hook->poll();
+    }
+    if (ctx.deadline.expired()) {
+      throw TimeoutError(std::string("timeout in ") + ctx.what +
+                         ": no progress before deadline");
+    }
+  };
+  for (int i = 0; i < 256; ++i) {
+    if (pred()) {
+      return;
+    }
+    slow_step();
+    ::sched_yield();
+  }
+  // Seed by the address of the waited-on context so concurrent waiters take
+  // decorrelated sleeps; the sequence per waiter is still deterministic.
+  Backoff backoff(policy, reinterpret_cast<std::uintptr_t>(&ctx) >> 4);
+  std::uint64_t counted = 0;
+  std::uint64_t warns = 0;
+  while (!pred()) {
+    slow_step();
+    backoff.step(ctx.deadline);
+    if (ctx.backoff_counter != nullptr && backoff.sleeps() != counted) {
+      ctx.backoff_counter->fetch_add(backoff.sleeps() - counted,
+                                     std::memory_order_relaxed);
+      counted = backoff.sleeps();
+    }
+    if (++warns == 50'000) {
+      warns = 0;
       KACC_LOG_WARN_RL(ctx.what, 5000.0,
                        "slow shm wait in " << ctx.what
                                            << " (peer slow or wedged)");

@@ -34,4 +34,10 @@ std::size_t ChannelMap::size() const {
   return n;
 }
 
+std::size_t ChannelMap::purge_all() {
+  const std::size_t n = size();
+  queues_.clear();
+  return n;
+}
+
 } // namespace kacc::sim

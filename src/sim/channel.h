@@ -45,6 +45,11 @@ public:
   /// Total queued messages (drained-state assertions in tests).
   [[nodiscard]] std::size_t size() const;
 
+  /// Epoch fence: discards every queued message (stale posts from the
+  /// retired team generation, including any from dead ranks). Returns the
+  /// number quarantined.
+  std::size_t purge_all();
+
 private:
   using Key = std::tuple<int, int, int>;
   std::map<Key, std::deque<Message>> queues_;

@@ -69,6 +69,134 @@ std::vector<int> SimEngine::dead_ranks() const {
   return dead_ranks_;
 }
 
+std::vector<int> SimEngine::unrecovered_dead_ranks() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return {dead_ranks_.begin() +
+              static_cast<std::ptrdiff_t>(recovered_deaths_),
+          dead_ranks_.end()};
+}
+
+RecoveryResult SimEngine::recover(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  // A caller whose own kill time has been reached dies at the door rather
+  // than mid-protocol (its exit is then absorbed through finish()).
+  maybe_kill_locked(rank);
+  if (hard_abort_) {
+    throw DeadlockError("simulation aborted: " + poison_reason_);
+  }
+  if (dead_ranks_.size() <= recovered_deaths_) {
+    throw InvalidArgument(
+        "recover: no unrecovered peer failure to recover from");
+  }
+  const std::uint64_t gen = recovery_generation_;
+  ++recovery_arrived_;
+  st.state = State::kBlockedColl;
+  maybe_complete_recovery_locked();
+  if (recovery_generation_ == gen) {
+    if (active_ == rank) {
+      // Proactive joiner still holding the execution token (it observed
+      // the death by polling, not by poisoning): hand the token off so
+      // the remaining live ranks can run up to their own recover() calls.
+      schedule_next_locked();
+    }
+    st.cv->wait(lk, [&] {
+      return recovery_generation_ != gen || hard_abort_;
+    });
+    if (hard_abort_) {
+      throw DeadlockError("simulation aborted: " + poison_reason_);
+    }
+  }
+  // Agreement done (poisoning cleared, stale state fenced). Re-acquire the
+  // execution token like any other wake-up.
+  park_and_wait(lk, rank);
+  RecoveryResult result;
+  result.survivors = recovery_survivors_;
+  result.purged_posts = recovery_purged_;
+  result.generation = recovery_generation_;
+  return result;
+}
+
+void SimEngine::maybe_complete_recovery_locked() {
+  if (recovery_arrived_ == 0) {
+    return;
+  }
+  int expected = 0;
+  for (const RankState& st : ranks_) {
+    if (st.state != State::kDone) {
+      ++expected;
+    }
+  }
+  if (recovery_arrived_ < expected) {
+    return; // live ranks still unwinding toward their recover() call
+  }
+
+  // Every live rank is parked inside recover(): run the agreement once.
+  double max_clock = 0.0;
+  for (const RankState& st : ranks_) {
+    if (st.state == State::kBlockedColl) {
+      max_clock = std::max(max_clock, st.clock);
+    }
+  }
+
+  // Epoch fence, part 1: force-detach every in-flight transfer. Dead
+  // issuers parked mid-copy vanish; survivors that unwound out of
+  // cma_transfer via PeerDiedError left their op attached without end().
+  // Abandon first (the rerate callback still needs the owner map), then
+  // clear the bookkeeping.
+  if (!op_owner_rank_.empty()) {
+    const auto rerate = make_rerate_locked();
+    for (const auto& [op_id, owner] : op_owner_rank_) {
+      (void)owner;
+      for (auto& res : resources_) {
+        if (res->abandon(op_id, max_clock, rerate)) {
+          break;
+        }
+      }
+    }
+    op_owner_rank_.clear();
+    for (RankState& st : ranks_) {
+      st.in_resource = false;
+    }
+  }
+  active_cross_ops_ = 0; // abandoned cross ops never ran their decrement
+
+  // Epoch fence, part 2: quarantine every stale channel post and reset the
+  // half-entered rendezvous context.
+  recovery_purged_ = channels_.purge_all();
+  coll_arrived_ = 0;
+  coll_max_t_ = 0.0;
+
+  // Absorb the deaths and lift the peer-death poisoning (a hard abort() is
+  // never lifted and was checked at recover() entry).
+  recovered_deaths_ = dead_ranks_.size();
+  poisoned_ = false;
+  poison_reason_.clear();
+  poison_peer_rank_ = -1;
+
+  // Wake every survivor at a common time plus a modest agreement charge.
+  recovery_survivors_.clear();
+  const double t_end = max_clock + spec_.alpha_us();
+  for (int r = 0; r < nranks_; ++r) {
+    RankState& peer = ranks_[static_cast<std::size_t>(r)];
+    if (peer.state == State::kDone) {
+      continue;
+    }
+    recovery_survivors_.push_back(r);
+    peer.state = State::kReady;
+    peer.wake = t_end;
+    peer.wait_src = -1;
+    peer.wait_tag = -1;
+    peer.recv_cost = 0.0;
+  }
+  recovery_arrived_ = 0;
+  ++recovery_generation_;
+  for (int r : recovery_survivors_) {
+    ranks_[static_cast<std::size_t>(r)].cv->notify_all();
+  }
+  schedule_next_locked();
+}
+
 void SimEngine::check_poisoned_locked() const {
   if (!poisoned_) {
     return;
@@ -151,10 +279,11 @@ void SimEngine::schedule_next_locked() {
   active_ = -1;
   if (any_blocked && !poisoned_) {
     poisoned_ = true;
-    if (!dead_ranks_.empty()) {
-      // The stall is explained by an injected death: surface it as a
-      // peer-died failure (deterministic: the first kill to fire wins).
-      poison_peer_rank_ = dead_ranks_.front();
+    if (dead_ranks_.size() > recovered_deaths_) {
+      // The stall is explained by an unrecovered injected death: surface
+      // it as a peer-died failure (deterministic: the first kill not yet
+      // absorbed by a recovery wins).
+      poison_peer_rank_ = dead_ranks_[recovered_deaths_];
       poison_reason_ = "rank " + std::to_string(poison_peer_rank_) +
                        " died; every surviving rank is blocked on it";
     } else {
@@ -197,6 +326,9 @@ void SimEngine::finish(int rank) {
   std::unique_lock<std::mutex> lk(mu_);
   RankState& st = ranks_[static_cast<std::size_t>(rank)];
   st.state = State::kDone;
+  // A rank exiting instead of recovering shrinks the expected survivor set
+  // and must not wedge a pending agreement.
+  maybe_complete_recovery_locked();
   if (active_ == rank) {
     schedule_next_locked();
   }
@@ -204,6 +336,7 @@ void SimEngine::finish(int rank) {
 
 void SimEngine::abort(const std::string& reason) {
   std::unique_lock<std::mutex> lk(mu_);
+  hard_abort_ = true;
   if (!poisoned_) {
     poisoned_ = true;
     poison_reason_ = reason;

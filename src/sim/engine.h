@@ -30,6 +30,15 @@
 
 namespace kacc::sim {
 
+/// Outcome of a completed survivor agreement (SimEngine::recover): every
+/// participant receives the identical result, computed once when the last
+/// live rank joined the protocol.
+struct RecoveryResult {
+  std::vector<int> survivors;     ///< participating ranks, ascending
+  std::uint64_t purged_posts = 0; ///< stale channel messages quarantined
+  std::uint64_t generation = 0;   ///< team generation after this shrink
+};
+
 class SimEngine {
 public:
   SimEngine(ArchSpec spec, int nranks);
@@ -48,6 +57,20 @@ public:
 
   /// Ranks marked dead by a Kill fault so far (scheduling order).
   [[nodiscard]] std::vector<int> dead_ranks() const;
+
+  /// Dead ranks whose failure has not yet been absorbed by a completed
+  /// recovery. Empty after a successful recover() until the next kill, so
+  /// post-shrink polling loops do not park on already-recovered deaths.
+  [[nodiscard]] std::vector<int> unrecovered_dead_ranks() const;
+
+  /// Survivor agreement + epoch fence. Every live rank must call this (the
+  /// runtime does so from Comm::shrink after catching PeerDiedError); the
+  /// last one to join purges all stale channel posts, abandons in-flight
+  /// transfers issued by dead ranks, clears the peer-death poisoning, and
+  /// bumps the team generation. Throws InvalidArgument when there is no
+  /// unrecovered failure, RankKilled when the caller itself is due to die,
+  /// and DeadlockError when the simulation was hard-aborted meanwhile.
+  RecoveryResult recover(int rank);
 
   /// Page-lock/link re-rate events so far: membership changes that
   /// re-published in-flight op finish times (the obs "sim_rerate_events"
@@ -176,6 +199,11 @@ private:
   /// clock has reached the kill time.
   void maybe_kill_locked(int rank);
 
+  /// Completes a pending recovery once every live rank has joined it (also
+  /// re-checked from finish(): a rank exiting instead of recovering must
+  /// not wedge the survivors' agreement).
+  void maybe_complete_recovery_locked();
+
   /// Applies per-rank CMA delay/errno faults for the op ordinal just
   /// issued (called at the top of cma_transfer, outside the lock).
   void apply_cma_faults(int rank, std::uint64_t op_ordinal);
@@ -197,6 +225,9 @@ private:
   bool poisoned_ = false;
   std::string poison_reason_;
   int poison_peer_rank_ = -1; ///< >= 0: poison means "this rank died"
+  /// abort() happened: unlike peer-death poisoning this is never cleared
+  /// by a recovery, and it wakes ranks parked inside the agreement.
+  bool hard_abort_ = false;
 
   // Fault-injection state (immutable after set_faults).
   FaultInjector faults_;
@@ -210,6 +241,13 @@ private:
   int coll_arrived_ = 0;
   double coll_max_t_ = 0.0;
   std::uint64_t coll_generation_ = 0;
+
+  // Recovery state (survivor agreement; see recover()).
+  int recovery_arrived_ = 0;               ///< live ranks inside recover()
+  std::uint64_t recovery_generation_ = 0;  ///< bumped per completed shrink
+  std::size_t recovered_deaths_ = 0;       ///< dead_ranks_ prefix absorbed
+  std::vector<int> recovery_survivors_;    ///< last agreement's participants
+  std::uint64_t recovery_purged_ = 0;      ///< last agreement's fence count
 };
 
 } // namespace kacc::sim

@@ -126,4 +126,21 @@ Breakdown ContendedResource::end(int op_id, double now,
   return bd;
 }
 
+bool ContendedResource::abandon(int op_id, double now,
+                                const RerateFn& rerate) {
+  auto it = std::find_if(ops_.begin(), ops_.end(),
+                         [&](const Op& op) { return op.id == op_id; });
+  if (it == ops_.end()) {
+    return false;
+  }
+  // The dead issuer may have synced this resource past the survivors'
+  // clocks; never rewind resource time.
+  sync_to(std::max(now, last_t_));
+  it = std::find_if(ops_.begin(), ops_.end(),
+                    [&](const Op& op) { return op.id == op_id; });
+  ops_.erase(it);
+  notify_all_finishes(rerate, op_id);
+  return true;
+}
+
 } // namespace kacc::sim

@@ -60,6 +60,12 @@ public:
   /// are re-rated through `rerate`.
   Breakdown end(int op_id, double now, const RerateFn& rerate);
 
+  /// Force-detaches an operation whose issuer died mid-transfer (recovery
+  /// epoch fence): the op vanishes with pages still outstanding and no
+  /// breakdown; survivors are re-rated. No-op when the op is not attached.
+  /// Returns true iff an op was removed.
+  bool abandon(int op_id, double now, const RerateFn& rerate);
+
   /// Integrates all attached ops forward to `now` at current rates. Called
   /// by the engine before a global rate change (cross-link membership).
   void sync_now(double now);

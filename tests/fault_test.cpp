@@ -77,6 +77,34 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse("rank:x,op:2,errno:EPERM"), InvalidArgument);
 }
 
+TEST(FaultPlan, RejectsDuplicateAndConflictingFields) {
+  // Duplicate keys are a typo'd spec, not a silent last-wins.
+  EXPECT_THROW(FaultPlan::parse("rank:1,rank:2,op:1,errno:EPERM"),
+               InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:1,op:2,errno:EPERM"),
+               InvalidArgument);
+  // Two effects in one rule are ambiguous.
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:1,errno:EPERM,action:exit"),
+               InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:1,short:64,errno:EAGAIN"),
+               InvalidArgument);
+}
+
+TEST(FaultPlan, RejectsOverflowAndImplausibleValues) {
+  // 2^64 does not fit; must fail, not wrap.
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:18446744073709551616,errno:EPERM"),
+               InvalidArgument);
+  // A rank that cannot exist is a typo, not a rule that never fires.
+  EXPECT_THROW(FaultPlan::parse("rank:99999999999,op:1,errno:EPERM"),
+               InvalidArgument);
+  // Trailing garbage after a valid rule fails the whole spec.
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:1,errno:EPERM;junk"),
+               InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("rank:1,op:1,errno:EPERM,"), InvalidArgument);
+  // Empty rules (stray ';') are harmless.
+  EXPECT_EQ(FaultPlan::parse("rank:1,op:1,errno:EPERM;").rules().size(), 1u);
+}
+
 TEST(FaultPlan, ErrnoNamesAndNumbers) {
   EXPECT_EQ(errno_from_name("EPERM"), EPERM);
   EXPECT_EQ(errno_from_name("ESRCH"), ESRCH);

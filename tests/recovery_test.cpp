@@ -1,0 +1,559 @@
+// Self-healing team tests: survivor agreement, Comm::shrink, epoch
+// fencing, nbc request teardown/re-home, and the transient-error backoff
+// policy — under both the simulated and native runtimes. Recovery is
+// product behaviour here, so these tests kill ranks at the worst moments
+// on purpose and require the team to keep serving afterwards.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "coll_verifiers.h"
+#include "common/backoff.h"
+#include "common/buffer.h"
+#include "common/error.h"
+#include "common/pattern.h"
+#include "nbc/nbc.h"
+#include "obs/counters.h"
+#include "obs/flight.h"
+#include "runtime/native_comm.h"
+#include "runtime/process_team.h"
+#include "runtime/sim_comm.h"
+#include "runtime/sub_comm.h"
+#include "sim/fault.h"
+#include "topo/detect.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using testing::verify_allgather;
+using testing::verify_bcast;
+using testing::verify_gather;
+
+// ---------------------------------------------------------------------------
+// Backoff policy: deterministic jitter, bounded escalation
+// ---------------------------------------------------------------------------
+
+TEST(Backoff, HotTriesAreFree) {
+  Backoff b(BackoffPolicy{.hot_tries = 8, .base_us = 1, .max_us = 4,
+                          .max_sleeps = 2});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(b.step());
+  }
+  EXPECT_EQ(b.sleeps(), 0u);
+}
+
+TEST(Backoff, MaxSleepsExhaustsTheBudget) {
+  Backoff b(BackoffPolicy{.hot_tries = 0, .base_us = 1, .max_us = 2,
+                          .max_sleeps = 3});
+  EXPECT_TRUE(b.step());
+  EXPECT_TRUE(b.step());
+  EXPECT_TRUE(b.step());
+  EXPECT_FALSE(b.step()); // budget gone: caller must escalate
+  EXPECT_EQ(b.sleeps(), 3u);
+}
+
+TEST(Backoff, ExpiredDeadlineStopsImmediately) {
+  Backoff b;
+  EXPECT_FALSE(b.step(Deadline::after_ms(-1.0)));
+}
+
+TEST(Backoff, ResetForgetsEscalationButKeepsTheTally) {
+  Backoff b(BackoffPolicy{.hot_tries = 1, .base_us = 1, .max_us = 2,
+                          .max_sleeps = 0});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(b.step());
+  }
+  const std::uint64_t before = b.sleeps();
+  EXPECT_GE(before, 3u);
+  b.reset();
+  EXPECT_EQ(b.sleeps(), before); // accounting survives
+  EXPECT_TRUE(b.step());        // and the hot tier is back
+  EXPECT_EQ(b.sleeps(), before);
+}
+
+TEST(Backoff, JitterIsDeterministicPerSeed) {
+  // Same seed -> same sleep count after the same number of steps; the
+  // replay guarantee KACC_FAULT reproductions depend on.
+  const auto run = [](std::uint64_t seed) {
+    Backoff b(BackoffPolicy{.hot_tries = 0, .base_us = 1, .max_us = 8,
+                            .max_sleeps = 0},
+              seed);
+    std::uint64_t ticks = 0;
+    for (int i = 0; i < 6; ++i) {
+      b.step();
+      ticks = ticks * 31 + b.sleeps();
+    }
+    return ticks;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+// ---------------------------------------------------------------------------
+// Simulated recovery: kill -> agreement -> shrink -> keep serving
+// ---------------------------------------------------------------------------
+
+// Survivor body: run `rounds` verified bcasts; on a peer death, shrink the
+// owning team (retrying if another failure lands mid-recovery) and hand
+// the successor to `after`.
+template <typename After>
+void survive_and_shrink(Comm& comm, int rounds, After&& after) {
+  std::unique_ptr<Comm> owned;
+  try {
+    for (int i = 0; i < rounds; ++i) {
+      verify_bcast(comm, 4096, 0, coll::BcastAlgo::kDirectRead);
+    }
+  } catch (const PeerDiedError&) {
+    for (int tries = 0;; ++tries) {
+      try {
+        owned = comm.shrink();
+        break;
+      } catch (const PeerDiedError&) {
+        if (tries >= 3) {
+          throw;
+        }
+      }
+    }
+  }
+  if (owned != nullptr) {
+    after(comm, *owned);
+  }
+}
+
+TEST(SimRecovery, SingleKillShrinksAndKeepsServing) {
+  sim::FaultInjector faults;
+  faults.kill_rank(2, 40.0);
+  std::vector<std::byte> shrunk_gather;
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 4, faults, [&](Comm& comm) {
+        survive_and_shrink(comm, 200, [&](Comm& parent, Comm& sub) {
+          if (sub.size() != 3) {
+            throw Error("expected 3 survivors, got " +
+                        std::to_string(sub.size()));
+          }
+          // Dense re-ranking: global 0,1,3 -> view 0,1,2.
+          auto& view = dynamic_cast<SubComm&>(sub);
+          if (view.global_rank(2) != 3 || view.view_rank_of(2) != -1) {
+            throw Error("survivor view is not densely re-ranked");
+          }
+          // The healed team serves collectives, byte-exact.
+          verify_bcast(sub, 4096, 0, coll::BcastAlgo::kDirectRead);
+          verify_allgather(sub, 2048, coll::AllgatherAlgo::kAuto);
+          // Capture a gather result to diff against a fresh 3-rank team.
+          const std::size_t bytes = 1024;
+          AlignedBuffer send(bytes);
+          AlignedBuffer recv(sub.rank() == 0 ? bytes * 3 : 0);
+          pattern_fill(send.span(), sub.rank(), 0);
+          coll::gather(sub, send.data(), recv.empty() ? nullptr : recv.data(),
+                       bytes, 0, coll::GatherAlgo::kParallelWrite);
+          if (sub.rank() == 0) {
+            shrunk_gather.assign(recv.span().begin(), recv.span().end());
+          }
+          // Zero leaked admission credits in the new epoch.
+          for (int q = 0; q < parent.size(); ++q) {
+            if (parent.nbc_inflight(q) != 0) {
+              throw Error("leaked admission credit at source " +
+                          std::to_string(q));
+            }
+          }
+        });
+      });
+  ASSERT_EQ(res.outcomes.size(), 4u);
+  EXPECT_EQ(res.outcomes[2].kind, sim::RankOutcome::Kind::kKilled);
+  for (int r : {0, 1, 3}) {
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+              sim::RankOutcome::Kind::kOk)
+        << "rank " << r << ": "
+        << res.outcomes[static_cast<std::size_t>(r)].message;
+  }
+  // Unanimous agreement: every survivor completed exactly one recovery.
+  EXPECT_EQ(res.obs.total(obs::Counter::kRecoveries), 3u);
+  for (int r : {0, 1, 3}) {
+    EXPECT_EQ(res.obs.rank_value(r, obs::Counter::kRecoveries), 1u);
+  }
+  // Recovery is visible in the flight recorder of every survivor.
+  ASSERT_EQ(res.obs.flights.size(), 4u);
+  for (int r : {0, 1, 3}) {
+    bool start = false;
+    bool shrink = false;
+    for (const obs::FlightRecord& ev :
+         res.obs.flights[static_cast<std::size_t>(r)].events) {
+      start = start ||
+              ev.kind == static_cast<std::uint32_t>(
+                             obs::FlightKind::kRecoveryStart);
+      shrink = shrink ||
+               ev.kind == static_cast<std::uint32_t>(
+                              obs::FlightKind::kRecoveryShrink);
+    }
+    EXPECT_TRUE(start && shrink) << "rank " << r;
+  }
+
+  // Byte-exact against a fresh same-size reference team.
+  std::vector<std::byte> fresh_gather;
+  run_sim(broadwell(), 3, [&](Comm& comm) {
+    const std::size_t bytes = 1024;
+    AlignedBuffer send(bytes);
+    AlignedBuffer recv(comm.rank() == 0 ? bytes * 3 : 0);
+    pattern_fill(send.span(), comm.rank(), 0);
+    coll::gather(comm, send.data(), recv.empty() ? nullptr : recv.data(),
+                 bytes, 0, coll::GatherAlgo::kParallelWrite);
+    if (comm.rank() == 0) {
+      fresh_gather.assign(recv.span().begin(), recv.span().end());
+    }
+  });
+  ASSERT_EQ(shrunk_gather.size(), fresh_gather.size());
+  EXPECT_EQ(std::memcmp(shrunk_gather.data(), fresh_gather.data(),
+                        fresh_gather.size()),
+            0);
+}
+
+TEST(SimRecovery, TwoRanksDyingInTheSameRound) {
+  sim::FaultInjector faults;
+  faults.kill_rank(1, 35.0);
+  faults.kill_rank(3, 36.0);
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 5, faults, [&](Comm& comm) {
+        std::unique_ptr<Comm> owned;
+        Comm* cur = &comm;
+        bool served = false;
+        for (int attempt = 0; attempt < 4 && !served; ++attempt) {
+          try {
+            for (int i = 0; i < 300; ++i) {
+              verify_gather(*cur, 2048, 0, coll::GatherAlgo::kParallelWrite);
+            }
+            served = true;
+          } catch (const PeerDiedError&) {
+            owned = comm.shrink(); // always shrink the owning team
+            cur = owned.get();
+          }
+        }
+        if (!served) {
+          throw Error("team never healed after repeated shrinks");
+        }
+        if (owned != nullptr && owned->size() != 3) {
+          throw Error("expected 3 survivors");
+        }
+      });
+  EXPECT_EQ(res.outcomes[1].kind, sim::RankOutcome::Kind::kKilled);
+  EXPECT_EQ(res.outcomes[3].kind, sim::RankOutcome::Kind::kKilled);
+  for (int r : {0, 2, 4}) {
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+              sim::RankOutcome::Kind::kOk)
+        << res.outcomes[static_cast<std::size_t>(r)].message;
+  }
+}
+
+TEST(SimRecovery, TwoLevelLeaderDeathMidLeaderPhase) {
+  // broadwell 8 = two sockets {0..3} {4..7}; rank 4 leads the second
+  // socket's leader phase. Kill it mid two-level traffic.
+  sim::FaultInjector faults;
+  faults.kill_rank(4, 60.0);
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 8, faults, [&](Comm& comm) {
+        std::unique_ptr<Comm> owned;
+        try {
+          for (int i = 0; i < 200; ++i) {
+            verify_bcast(comm, 8192, 0, coll::BcastAlgo::kTwoLevel);
+            verify_gather(comm, 2048, 0, coll::GatherAlgo::kTwoLevel);
+          }
+        } catch (const PeerDiedError&) {
+          owned = comm.shrink();
+        }
+        if (owned != nullptr) {
+          if (owned->size() != 7) {
+            throw Error("expected 7 survivors");
+          }
+          // Flat and two-level (re-derived hierarchy) both serve.
+          verify_bcast(*owned, 4096, 0, coll::BcastAlgo::kAuto);
+          verify_allgather(*owned, 2048, coll::AllgatherAlgo::kAuto);
+        }
+      });
+  EXPECT_EQ(res.outcomes[4].kind, sim::RankOutcome::Kind::kKilled);
+  for (int r : {0, 1, 2, 3, 5, 6, 7}) {
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+              sim::RankOutcome::Kind::kOk)
+        << "rank " << r << ": "
+        << res.outcomes[static_cast<std::size_t>(r)].message;
+  }
+}
+
+TEST(SimRecovery, DeathDuringSplitMembershipExchange) {
+  // The victim dies while the team is inside split()'s ctrl exchange;
+  // survivors must unwind with PeerDiedError and still shrink cleanly.
+  sim::FaultInjector faults;
+  faults.kill_rank(3, 20.0);
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 6, faults, [&](Comm& comm) {
+        std::unique_ptr<Comm> owned;
+        try {
+          for (int i = 0; i < 400; ++i) {
+            const auto view = comm.split(comm.rank() % 2);
+            verify_bcast(*view, 1024, 0, coll::BcastAlgo::kDirectRead);
+          }
+        } catch (const PeerDiedError&) {
+          owned = comm.shrink();
+        }
+        if (owned != nullptr) {
+          if (owned->size() != 5) {
+            throw Error("expected 5 survivors");
+          }
+          verify_bcast(*owned, 4096, 0, coll::BcastAlgo::kAuto);
+        }
+      });
+  EXPECT_EQ(res.outcomes[3].kind, sim::RankOutcome::Kind::kKilled);
+  for (int r : {0, 1, 2, 4, 5}) {
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+              sim::RankOutcome::Kind::kOk)
+        << res.outcomes[static_cast<std::size_t>(r)].message;
+  }
+}
+
+TEST(SimRecovery, ShrinkWithoutAFailureIsAnError) {
+  run_sim(broadwell(), 2, [](Comm& comm) {
+    try {
+      auto sub = comm.shrink();
+      throw Error("shrink without a failure should have thrown");
+    } catch (const InvalidArgument&) {
+      // expected: nothing to recover from
+    }
+    comm.barrier(); // the team is unharmed
+  });
+}
+
+TEST(SimRecovery, PersistentNbcRequestRehomesAfterShrink) {
+  sim::FaultInjector faults;
+  faults.kill_rank(2, 30.0);
+  const SimFaultResult res =
+      run_sim_fault(broadwell(), 4, faults, [&](Comm& comm) {
+        AlignedBuffer buf(4096);
+        nbc::Request req = nbc::bcast_init(comm, buf.data(), 4096, 0);
+        std::unique_ptr<Comm> owned;
+        try {
+          for (int i = 0; i < 200; ++i) {
+            if (comm.rank() == 0) {
+              pattern_fill(buf.span(), 0, i % 7);
+            }
+            nbc::start(req);
+            nbc::wait(req);
+            testing::expect_block(buf.span(), 0, i % 7, "persistent ibcast");
+          }
+        } catch (const PeerDiedError&) {
+          owned = comm.shrink();
+        }
+        if (owned == nullptr) {
+          return;
+        }
+        // The poisoned persistent request re-homes on its next start():
+        // recompiled against the shrunken team, byte-exact again.
+        if (comm.rank() == 0) {
+          pattern_fill(buf.span(), 0, 5);
+        }
+        nbc::start(req);
+        nbc::wait(req);
+        testing::expect_block(buf.span(), 0, 5, "re-homed ibcast");
+        // Credits are returned by the rank that executes each data step, so
+        // only after every survivor's wait() has finished is the shared
+        // count quiescent — barrier before asserting it drained to zero.
+        owned->barrier();
+        for (int q = 0; q < comm.size(); ++q) {
+          if (comm.nbc_inflight(q) != 0) {
+            throw Error("leaked admission credit after re-home");
+          }
+        }
+      });
+  EXPECT_EQ(res.outcomes[2].kind, sim::RankOutcome::Kind::kKilled);
+  for (int r : {0, 1, 3}) {
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+              sim::RankOutcome::Kind::kOk)
+        << res.outcomes[static_cast<std::size_t>(r)].message;
+  }
+  // Survivors saw their in-flight request torn down exactly once.
+  EXPECT_EQ(res.obs.total(obs::Counter::kNbcPoisonedRequests), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Native recovery: forked processes, arena recovery lines, epoch fence
+// ---------------------------------------------------------------------------
+
+class NativeRecoveryTest : public ::testing::Test {
+protected:
+  void SetUp() override { spec_ = detect_host(); }
+
+  static TeamOptions fast_opts() {
+    TeamOptions opts;
+    opts.op_deadline_ms = 10'000.0;
+    opts.team_timeout_ms = 90'000.0;
+    return opts;
+  }
+
+  ArchSpec spec_;
+};
+
+TEST_F(NativeRecoveryTest, KillShrinkAndKeepServing) {
+  const TeamResult result = run_native_team(
+      spec_, 4,
+      [](Comm& comm) {
+        if (comm.rank() == 2) {
+          comm.barrier();
+          ::_exit(7); // fail-stop mid-run
+        }
+        std::unique_ptr<Comm> owned;
+        try {
+          comm.barrier();
+          for (int i = 0; i < 10'000; ++i) {
+            verify_bcast(comm, 4096, 0, coll::BcastAlgo::kAuto);
+            comm.barrier(); // survivors block on the dead rank here
+          }
+        } catch (const PeerDiedError&) {
+          for (int tries = 0;; ++tries) {
+            try {
+              owned = comm.shrink();
+              break;
+            } catch (const PeerDiedError&) {
+              if (tries >= 3) {
+                throw;
+              }
+            }
+          }
+        }
+        if (owned == nullptr) {
+          throw Error("survivor never observed the death");
+        }
+        if (owned->size() != 3) {
+          throw Error("expected 3 survivors");
+        }
+        // The healed team serves collectives, byte-exact vs the flat
+        // reference pattern (identical to a fresh 3-rank team's bytes).
+        verify_bcast(*owned, 4096, 0, coll::BcastAlgo::kAuto);
+        verify_gather(*owned, 2048, 0, coll::GatherAlgo::kAuto);
+        verify_allgather(*owned, 2048, coll::AllgatherAlgo::kAuto);
+        // Zero leaked admission credits in the new epoch.
+        for (int q = 0; q < comm.size(); ++q) {
+          if (comm.nbc_inflight(q) != 0) {
+            throw Error("leaked admission credit at source " +
+                        std::to_string(q));
+          }
+        }
+      },
+      fast_opts());
+  EXPECT_EQ(result.ranks[2].exit_code, 7);
+  for (int r : {0, 1, 3}) {
+    EXPECT_TRUE(result.ranks[static_cast<std::size_t>(r)].ok)
+        << "rank " << r << ": "
+        << result.ranks[static_cast<std::size_t>(r)].message;
+  }
+  // Unanimous agreement, visible in counters and the flight recorder.
+  EXPECT_EQ(result.obs.total(obs::Counter::kRecoveries), 3u);
+  ASSERT_EQ(result.obs.flights.size(), 4u);
+  for (int r : {0, 1, 3}) {
+    bool shrunk = false;
+    for (const obs::FlightRecord& ev :
+         result.obs.flights[static_cast<std::size_t>(r)].events) {
+      shrunk = shrunk ||
+               ev.kind == static_cast<std::uint32_t>(
+                              obs::FlightKind::kRecoveryShrink);
+    }
+    EXPECT_TRUE(shrunk) << "rank " << r;
+  }
+}
+
+TEST_F(NativeRecoveryTest, TwoDeathsResolveAcrossShrinks) {
+  const TeamResult result = run_native_team(
+      spec_, 5,
+      [](Comm& comm) {
+        if (comm.rank() == 1) {
+          comm.barrier();
+          ::_exit(7);
+        }
+        if (comm.rank() == 3) {
+          comm.barrier();
+          ::usleep(2'000);
+          ::_exit(7);
+        }
+        std::unique_ptr<Comm> owned;
+        Comm* cur = &comm;
+        bool served = false;
+        comm.barrier();
+        for (int attempt = 0; attempt < 6 && !served; ++attempt) {
+          try {
+            for (int i = 0; i < 10'000; ++i) {
+              verify_bcast(*cur, 2048, 0, coll::BcastAlgo::kAuto);
+              cur->barrier();
+            }
+            served = true;
+          } catch (const PeerDiedError&) {
+            try {
+              owned = comm.shrink(); // always shrink the owning team
+              cur = owned.get();
+            } catch (const PeerDiedError&) {
+              // another failure landed mid-recovery: retry on next pass
+            }
+          }
+        }
+        if (!served) {
+          throw Error("team never healed after repeated shrinks");
+        }
+        if (owned == nullptr || owned->size() != 3) {
+          throw Error("expected a 3-survivor team");
+        }
+      },
+      fast_opts());
+  EXPECT_EQ(result.ranks[1].exit_code, 7);
+  EXPECT_EQ(result.ranks[3].exit_code, 7);
+  for (int r : {0, 2, 4}) {
+    EXPECT_TRUE(result.ranks[static_cast<std::size_t>(r)].ok)
+        << "rank " << r << ": "
+        << result.ranks[static_cast<std::size_t>(r)].message;
+  }
+}
+
+TEST_F(NativeRecoveryTest, EpochFenceQuarantinesStaleState) {
+  // The victim dies *between* collectives, leaving posted-but-unconsumed
+  // signals and possibly queued pipe chunks. The fence must quarantine
+  // them so the shrunken team's first collective cannot consume a stale
+  // post from the retired epoch.
+  const TeamResult result = run_native_team(
+      spec_, 3,
+      [](Comm& comm) {
+        if (comm.rank() == 2) {
+          // Posts nobody will consume in this epoch: tagged nbc lanes are
+          // untouched by the blocking collectives the survivors run.
+          comm.nbc_signal(0, 3);
+          comm.nbc_signal(0, 3);
+          comm.barrier();
+          ::_exit(7);
+        }
+        std::unique_ptr<Comm> owned;
+        try {
+          comm.barrier();
+          for (int i = 0; i < 10'000; ++i) {
+            verify_bcast(comm, 1024, 0, coll::BcastAlgo::kAuto);
+            comm.barrier();
+          }
+        } catch (const PeerDiedError&) {
+          owned = comm.shrink();
+        }
+        if (owned == nullptr) {
+          throw Error("survivor never observed the death");
+        }
+        verify_bcast(*owned, 1024, 0, coll::BcastAlgo::kAuto);
+        verify_gather(*owned, 1024, 1, coll::GatherAlgo::kAuto);
+      },
+      fast_opts());
+  EXPECT_EQ(result.ranks[2].exit_code, 7);
+  for (int r : {0, 1}) {
+    EXPECT_TRUE(result.ranks[static_cast<std::size_t>(r)].ok)
+        << result.ranks[static_cast<std::size_t>(r)].message;
+  }
+  // Rank 0's fence saw the orphaned signals (among whatever else the
+  // unwind left behind).
+  EXPECT_GE(result.obs.rank_value(0, obs::Counter::kEpochFencedOps), 2u);
+}
+
+} // namespace
+} // namespace kacc

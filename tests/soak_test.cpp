@@ -1,0 +1,156 @@
+// Seeded randomized fault soak: many short simulated runs, each killing a
+// random non-root rank at a random virtual time during a random collective
+// mix, after which the survivors must agree, shrink, and serve a verified
+// collective. Fully deterministic per seed — CI logs the seed so any
+// failure replays exactly with KACC_SOAK_SEED.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "coll_verifiers.h"
+#include "common/error.h"
+#include "obs/counters.h"
+#include "runtime/sim_comm.h"
+#include "sim/fault.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using testing::verify_allgather;
+using testing::verify_bcast;
+using testing::verify_gather;
+
+// Deterministic xorshift64* — the soak must not depend on libc rand().
+class SoakRng {
+public:
+  explicit SoakRng(std::uint64_t seed) : s_(seed != 0 ? seed : 1) {}
+  std::uint64_t next() {
+    s_ ^= s_ >> 12;
+    s_ ^= s_ << 25;
+    s_ ^= s_ >> 27;
+    return s_ * 0x2545F4914F6CDD1Dull;
+  }
+  /// Uniform in [lo, hi] (small ranges only; modulo bias is irrelevant
+  /// for a soak).
+  int in(int lo, int hi) {
+    return lo + static_cast<int>(next() % static_cast<std::uint64_t>(
+                                             hi - lo + 1));
+  }
+
+private:
+  std::uint64_t s_;
+};
+
+std::uint64_t seed_from_env() {
+  const char* s = std::getenv("KACC_SOAK_SEED");
+  if (s == nullptr || *s == '\0') {
+    return 20260808ull;
+  }
+  return std::strtoull(s, nullptr, 10);
+}
+
+TEST(FaultSoak, RandomKillsAlwaysHealOrFailClean) {
+  const std::uint64_t seed = seed_from_env();
+  // The one line a CI log needs to replay a failure locally.
+  std::printf("[soak] KACC_SOAK_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  SoakRng rng(seed);
+  const int iterations = 24;
+  for (int iter = 0; iter < iterations; ++iter) {
+    const int p = rng.in(3, 7);
+    const int victim = rng.in(1, p - 1); // root 0 always survives
+    const double kill_at = static_cast<double>(rng.in(5, 250));
+    const int mix = rng.in(0, 2);
+    SCOPED_TRACE("iter " + std::to_string(iter) + " p=" + std::to_string(p) +
+                 " victim=" + std::to_string(victim) +
+                 " kill_at=" + std::to_string(kill_at) +
+                 " mix=" + std::to_string(mix));
+    sim::FaultInjector faults;
+    faults.kill_rank(victim, kill_at);
+    const SimFaultResult res =
+        run_sim_fault(broadwell(), p, faults, [&](Comm& comm) {
+          std::unique_ptr<Comm> owned;
+          try {
+            for (int i = 0; i < 120; ++i) {
+              switch (mix) {
+                case 0:
+                  verify_bcast(comm, 2048, 0, coll::BcastAlgo::kDirectRead);
+                  break;
+                case 1:
+                  verify_gather(comm, 1024, 0,
+                                coll::GatherAlgo::kParallelWrite);
+                  break;
+                default:
+                  verify_allgather(comm, 1024,
+                                   coll::AllgatherAlgo::kRingNeighbor);
+                  break;
+              }
+            }
+          } catch (const PeerDiedError&) {
+            owned = comm.shrink();
+          }
+          if (owned == nullptr) {
+            return; // the kill landed after the loop finished: clean run
+          }
+          if (owned->size() != comm.size() - 1) {
+            throw Error("wrong survivor count");
+          }
+          verify_bcast(*owned, 2048, 0, coll::BcastAlgo::kDirectRead);
+          verify_gather(*owned, 1024, 0, coll::GatherAlgo::kParallelWrite);
+        });
+    ASSERT_EQ(res.outcomes[static_cast<std::size_t>(victim)].kind,
+              sim::RankOutcome::Kind::kKilled);
+    for (int r = 0; r < p; ++r) {
+      if (r == victim) {
+        continue;
+      }
+      ASSERT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+                sim::RankOutcome::Kind::kOk)
+          << "rank " << r << ": "
+          << res.outcomes[static_cast<std::size_t>(r)].message;
+    }
+    // No survivor leaked an epoch: recoveries either all ran (the kill
+    // landed mid-loop) or none did (it landed after).
+    const std::uint64_t recoveries = res.obs.total(obs::Counter::kRecoveries);
+    ASSERT_TRUE(recoveries == 0 ||
+                recoveries == static_cast<std::uint64_t>(p - 1))
+        << "partial agreement: " << recoveries << " of " << (p - 1);
+  }
+}
+
+TEST(FaultSoak, SameSeedSameFates) {
+  const std::uint64_t seed = seed_from_env();
+  const auto run_once = [&] {
+    SoakRng rng(seed ^ 0x9E3779B97F4A7C15ull);
+    const int p = rng.in(4, 6);
+    const int victim = rng.in(1, p - 1);
+    sim::FaultInjector faults;
+    faults.kill_rank(victim, static_cast<double>(rng.in(10, 100)));
+    return run_sim_fault(broadwell(), p, faults, [](Comm& comm) {
+      std::unique_ptr<Comm> owned;
+      try {
+        for (int i = 0; i < 100; ++i) {
+          verify_bcast(comm, 4096, 0, coll::BcastAlgo::kDirectRead);
+        }
+      } catch (const PeerDiedError&) {
+        owned = comm.shrink();
+        verify_bcast(*owned, 4096, 0, coll::BcastAlgo::kDirectRead);
+      }
+    });
+  };
+  const SimFaultResult a = run_once();
+  const SimFaultResult b = run_once();
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t r = 0; r < a.outcomes.size(); ++r) {
+    EXPECT_EQ(a.outcomes[r].kind, b.outcomes[r].kind) << "rank " << r;
+    EXPECT_EQ(a.outcomes[r].message, b.outcomes[r].message);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+}
+
+} // namespace
+} // namespace kacc

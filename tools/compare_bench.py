@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Tolerance-gated comparison of BENCH_*.json trajectory files.
+
+Each file holds one JSON object per line in the bench_util --json format:
+{"exp","git_sha","timestamp","arch","algorithm","sizes","latencies_us"}.
+Series are matched by (exp, arch, algorithm); git_sha and timestamp are
+provenance only and ignored. The x-axes (sizes) must match exactly; each
+latency must be within --rtol of the snapshot. Exit 0 when everything is
+within tolerance, 1 otherwise (with a per-point report).
+
+Usage: compare_bench.py SNAPSHOT CURRENT [--rtol 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_series(path):
+    series = {}
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                sys.exit(f"{path}:{lineno}: not valid JSON: {exc}")
+            key = (obj.get("exp"), obj.get("arch"), obj.get("algorithm"))
+            if None in key:
+                sys.exit(f"{path}:{lineno}: missing exp/arch/algorithm")
+            if key in series:
+                sys.exit(f"{path}:{lineno}: duplicate series {key}")
+            series[key] = obj
+    if not series:
+        sys.exit(f"{path}: no series found")
+    return series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.25,
+        help="max relative latency deviation per point (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_series(args.snapshot)
+    current = load_series(args.current)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        name = "/".join(key)
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{name}: series missing from {args.current}")
+            continue
+        if base["sizes"] != cur["sizes"]:
+            failures.append(
+                f"{name}: sizes changed {base['sizes']} -> {cur['sizes']}"
+            )
+            continue
+        for size, want, got in zip(
+            base["sizes"], base["latencies_us"], cur["latencies_us"]
+        ):
+            # Guard the sub-microsecond regime: a 0-vs-0.1us flip is noise,
+            # not a regression worth failing CI over.
+            denom = max(abs(want), 1.0)
+            rel = abs(got - want) / denom
+            status = "ok" if rel <= args.rtol else "FAIL"
+            print(
+                f"{status:4s} {name} size={size}: "
+                f"{want:.3f}us -> {got:.3f}us ({rel * 100.0:+.1f}%)"
+            )
+            if rel > args.rtol:
+                failures.append(
+                    f"{name} size={size}: {want:.3f}us -> {got:.3f}us "
+                    f"exceeds rtol={args.rtol}"
+                )
+    for key in sorted(current.keys() - baseline.keys()):
+        print(f"note: new series {'/'.join(key)} (not in snapshot)")
+
+    if failures:
+        print(f"\n{len(failures)} comparison(s) out of tolerance:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall series within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
