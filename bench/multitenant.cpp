@@ -1,0 +1,91 @@
+// Multi-tenant makespan trajectory: two co-scheduled teams of equal size
+// drive governed same-root broadcast streams on one simulated node, with
+// the cross-team arbiter (kacc::node) on and off. Oblivious teams each run
+// at their solo-optimal per-source admission cap, so the node over-admits
+// and the shared memory system stretches every stream; arbitrated teams
+// run at the leased aggregate-optimal caps. Deterministic (virtual clock),
+// so the committed BENCH_multitenant.json snapshot gates regressions in
+// CI via tools/compare_bench.py.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "nbc/nbc.h"
+#include "node/launch.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+constexpr std::uint64_t kChunk = 64 * 1024;
+constexpr std::size_t kBytes = 1 << 20;
+constexpr int kIters = 2;
+
+/// Two tenants, `per_team` ranks each, every tenant looping two concurrent
+/// governed direct-read broadcasts — the fan-in pattern the per-team
+/// governor caps, and the aggregate of those caps is what the arbiter
+/// corrects.
+double node_makespan_us(const ArchSpec& spec, int per_team, bool arbitrate) {
+  std::vector<node::NodeTenant> tenants(2);
+  for (int t = 0; t < 2; ++t) {
+    auto& ten = tenants[static_cast<std::size_t>(t)];
+    ten.name = "t" + std::to_string(t);
+    ten.nranks = per_team;
+    ten.body = [](node::TenantSession& s) {
+      std::vector<std::byte> a(kBytes);
+      std::vector<std::byte> b(kBytes);
+      nbc::Options nopts;
+      nopts.chunk_bytes = kChunk;
+      for (int i = 0; i < kIters; ++i) {
+        nbc::Request reqs[2] = {
+            nbc::ibcast(s.comm(), a.data(), kBytes, 0,
+                        coll::BcastAlgo::kDirectRead, {}, nopts),
+            nbc::ibcast(s.comm(), b.data(), kBytes, 0,
+                        coll::BcastAlgo::kDirectRead, {}, nopts),
+        };
+        nbc::wait_all(reqs);
+      }
+    };
+  }
+  node::NodeOptions opts;
+  opts.arbitrate = arbitrate;
+  opts.chunk_bytes = kChunk;
+  opts.move_data = false;
+  const node::NodeRunResult res = node::run_sim_node(spec, tenants, opts);
+  if (!res.all_ok()) {
+    throw Error("multitenant bench: a simulated rank failed");
+  }
+  return res.makespan_us;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
+  bench::banner("Two-tenant arbitrated vs oblivious node makespan",
+                "kacc::node trajectory (not a paper figure)");
+  for (const char* arch : {"knl", "broadwell"}) {
+    const ArchSpec spec = preset_by_name(arch);
+    bench::Table t(spec.name +
+                       " — 2 teams x p ranks, two 1 MiB governed bcast "
+                       "streams each",
+                   {"ranks/team", "oblivious", "arbitrated", "speedup"});
+    for (int p : {8, 12, 16}) {
+      const double oblivious = node_makespan_us(spec, p, false);
+      const double arbitrated = node_makespan_us(spec, p, true);
+      // The series key "size" carries the per-team rank count — the
+      // trajectory format only needs a monotone x-axis.
+      bench::record_point(spec.name, "multitenant/oblivious",
+                          static_cast<std::uint64_t>(p), oblivious);
+      bench::record_point(spec.name, "multitenant/arbitrated",
+                          static_cast<std::uint64_t>(p), arbitrated);
+      t.add_row({std::to_string(p), format_us(oblivious),
+                 format_us(arbitrated),
+                 bench::format_speedup(oblivious / arbitrated)});
+    }
+    t.print();
+  }
+  return 0;
+}

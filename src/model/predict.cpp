@@ -76,6 +76,21 @@ double cma_transfer(const ArchSpec& s, std::uint64_t eta, int c) {
   return CostModel(s).cma_cost_us(eta, c);
 }
 
+double cma_transfer_shared(const ArchSpec& s, std::uint64_t eta, int c,
+                           int node_c) {
+  if (eta == 0) {
+    return s.alpha_us();
+  }
+  const int streams = std::max(c, node_c);
+  const double beta =
+      std::max(s.beta_us_per_byte(),
+               static_cast<double>(streams) / s.mem_bw_total_Bus);
+  return s.alpha_us() +
+         static_cast<double>(s.pages(eta)) *
+             (s.lock_us * s.gamma_at(c) + s.pin_us) +
+         static_cast<double>(eta) * beta;
+}
+
 double shm_two_copy(const ArchSpec& s, std::uint64_t eta) {
   return CostModel(s).shm_two_copy_cost_us(eta);
 }

@@ -148,6 +148,14 @@ double two_level_allreduce(const ArchSpec& s, int p, std::uint64_t eta);
 /// source or target process.
 double cma_transfer(const ArchSpec& s, std::uint64_t eta, int c);
 
+/// Multi-tenant form of cma_transfer: `c` peers contend on the source
+/// process's page-table lock (gamma stays per-process — the kernel lock is
+/// per mm), while `node_c >= c` transfers node-wide share the memory
+/// system, so the streaming term pays max(beta, node_c / B_mem). With
+/// node_c == c this is exactly cma_transfer.
+double cma_transfer_shared(const ArchSpec& s, std::uint64_t eta, int c,
+                           int node_c);
+
 /// Cost of the two-copy shm pipe for eta bytes.
 double shm_two_copy(const ArchSpec& s, std::uint64_t eta);
 

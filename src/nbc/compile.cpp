@@ -503,6 +503,12 @@ std::unique_ptr<Schedule> compile_allgather(Comm& comm, const void* sendbuf,
       // its original source — contention free, no per-step sync.
       place_own_block();
       exchange_recv_addrs();
+      // The blocking drain orders every peer's own-block copy before our
+      // reads through the address-exchange step; the nonblocking lowering
+      // exchanges addresses eagerly at compile time, so it must fence.
+      if (!lo.blocking() && !eff.in_place) {
+        lo.barrier();
+      }
       for (int step = 1; step < p; ++step) {
         const int src = pmod(rank - step, p);
         lo.cma_read(src, src, static_cast<std::uint64_t>(src) * bytes,
@@ -531,6 +537,11 @@ std::unique_ptr<Schedule> compile_allgather(Comm& comm, const void* sendbuf,
                      "ring-neighbor allgather requires gcd(p, j) == 1");
       place_own_block();
       exchange_recv_addrs();
+      // Step 1 reads `up`'s own block with no signal gate; as above, only
+      // the blocking drain sequences that copy behind the address step.
+      if (!lo.blocking() && !eff.in_place) {
+        lo.barrier();
+      }
       const int up = pmod(rank - j, p);   // we read from up
       const int down = pmod(rank + j, p); // down reads from us
       for (int step = 1; step < p; ++step) {

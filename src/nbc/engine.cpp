@@ -194,8 +194,19 @@ bool Engine::progress_once() {
         continue;
       }
       if (is_data_step(st.kind)) {
-        if (r->governed && scomm.nbc_inflight(st.peer) >= r->cap) {
+        // The node arbiter's lease clamps the per-team cap; re-read every
+        // pass so a mid-run revocation/re-lease takes effect immediately.
+        // quota 0 = no lease; a lease can only tighten the team's cap.
+        int cap = r->cap;
+        const int quota = scomm.node_quota();
+        if (r->governed && quota > 0 && quota < cap) {
+          cap = quota;
+        }
+        if (r->governed && scomm.nbc_inflight(st.peer) >= cap) {
           ctrs.add(obs::Counter::kNbcStepsDeferred);
+          if (cap < r->cap) {
+            ctrs.add(obs::Counter::kNodeQuotaClamped);
+          }
           deferred = true;
           break;
         }

@@ -67,6 +67,99 @@ int optimal_admission_cap_observed(const obs::DriftMonitor& drift,
   return any_observed ? best_c : 0;
 }
 
+double shared_drain_cost_us(const ArchSpec& s, std::uint64_t chunk_bytes,
+                            int transfers, int cap, int node_streams) {
+  KACC_CHECK(transfers >= 0 && cap >= 1);
+  if (transfers == 0) {
+    return 0.0;
+  }
+  const auto waves = static_cast<double>(
+      ceil_div(static_cast<std::uint64_t>(transfers),
+               static_cast<std::uint64_t>(cap)));
+  const int c = std::min(cap, transfers);
+  return waves * predict::cma_transfer_shared(s, chunk_bytes, c,
+                                              std::max(c, node_streams));
+}
+
+std::vector<int> aggregate_quotas(const ArchSpec& s,
+                                  std::uint64_t chunk_bytes,
+                                  const std::vector<TenantDemand>& tenants) {
+  const auto n = tenants.size();
+  KACC_CHECK_MSG(!tenants.empty(), "aggregate_quotas: no tenants");
+  long weight_sum = 0;
+  int demand_sum = 0;
+  for (const TenantDemand& t : tenants) {
+    KACC_CHECK_MSG(t.ranks >= 1 && t.weight >= 1,
+                   "aggregate_quotas: ranks and weight must be >= 1");
+    if (t.ranks > 1) {
+      weight_sum += t.weight;
+      demand_sum += t.ranks - 1;
+    }
+  }
+  if (weight_sum == 0) {
+    // Every tenant is a singleton: nothing contends, lease the floor.
+    return std::vector<int>(n, 1);
+  }
+  if (n == 1) {
+    // One registered team: the arbiter must agree with the per-team
+    // governor bit-for-bit, so reuse its candidate search verbatim.
+    return {optimal_admission_cap(s, chunk_bytes, tenants[0].ranks)};
+  }
+
+  // Weighted share of a total concurrency budget, floored at 1 (the
+  // starvation backstop) and clamped to the tenant's standing demand.
+  const auto shares = [&](int total) {
+    std::vector<int> q(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tenants[i].ranks <= 1) {
+        continue;
+      }
+      const long raw =
+          static_cast<long>(total) * tenants[i].weight / weight_sum;
+      const int demand = tenants[i].ranks - 1;
+      q[i] = static_cast<int>(std::clamp(raw, 1L, static_cast<long>(demand)));
+    }
+    return q;
+  };
+
+  // The aggregate makespan of a candidate split: every leased stream hits
+  // the memory system together, so each tenant's drain pays the node-wide
+  // bandwidth share while gamma stays per-source.
+  const auto makespan = [&](const std::vector<int>& q) {
+    int node_streams = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tenants[i].ranks > 1) {
+        node_streams += q[i];
+      }
+    }
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tenants[i].ranks <= 1) {
+        continue;
+      }
+      worst = std::max(worst,
+                       shared_drain_cost_us(s, chunk_bytes,
+                                            tenants[i].ranks - 1, q[i],
+                                            node_streams));
+    }
+    return worst;
+  };
+
+  std::vector<int> best = shares(static_cast<int>(n));
+  double best_cost = makespan(best);
+  for (int total = static_cast<int>(n) + 1; total <= demand_sum; ++total) {
+    const std::vector<int> q = shares(total);
+    const double cost = makespan(q);
+    // Strict improvement keeps the smallest total on ties: equal makespan
+    // with fewer leased credits leaves more slack for revocation churn.
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = q;
+    }
+  }
+  return best;
+}
+
 int optimal_admission_cap(const ArchSpec& s, std::uint64_t chunk_bytes,
                           int p) {
   if (p <= 2) {

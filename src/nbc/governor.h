@@ -12,11 +12,20 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "obs/drift.h"
 #include "topo/arch_spec.h"
 
 namespace kacc::nbc {
+
+/// One co-scheduled team's standing demand, as seen by the node arbiter:
+/// its rank count (worst-case per-source load is ranks-1 transfers) and
+/// its fair-share weight (>= 1).
+struct TenantDemand {
+  int ranks = 0;
+  int weight = 1;
+};
 
 /// The admission cap c*: argmin over the tuner's throttle candidates of
 /// ceil((p-1)/c) * T_cma(chunk_bytes, c) — the makespan of draining p-1
@@ -39,6 +48,27 @@ namespace kacc::nbc {
                                             const ArchSpec& s,
                                             std::uint64_t chunk_bytes,
                                             int transfers, int cap);
+
+/// drain_cost_us under a shared node memory domain: each of the
+/// `transfers` chunk moves pays gamma at min(cap, transfers) — the
+/// per-source page-lock contention — while `node_streams` transfers
+/// node-wide share the streaming bandwidth (model/predict
+/// cma_transfer_shared). node_streams <= cap degenerates to drain_cost_us.
+[[nodiscard]] double shared_drain_cost_us(const ArchSpec& s,
+                                          std::uint64_t chunk_bytes,
+                                          int transfers, int cap,
+                                          int node_streams);
+
+/// Model-optimal *aggregate* per-source inflight caps for N co-scheduled
+/// teams sharing the node: searches total concurrency C (each tenant
+/// leased a weighted share, floor 1 — the starvation backstop) for the C
+/// minimizing the slowest tenant's drain makespan when all Sum(c_t)
+/// leased streams hit the memory system together. Returns one per-source
+/// cap per tenant, in input order; a tenant with ranks <= 1 gets cap 1.
+/// With one tenant this reduces to optimal_admission_cap.
+[[nodiscard]] std::vector<int>
+aggregate_quotas(const ArchSpec& s, std::uint64_t chunk_bytes,
+                 const std::vector<TenantDemand>& tenants);
 
 /// optimal_admission_cap recomputed from observed latencies: the argmin
 /// over {1} and the tuner's throttle candidates of the observed drain

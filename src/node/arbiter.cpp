@@ -1,0 +1,265 @@
+#include "node/arbiter.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/error.h"
+#include "nbc/governor.h"
+#include "shm/spin.h"
+
+namespace kacc::node {
+
+namespace {
+// "kacc arb" — distinguishes the arbiter segment from the NamedShm header
+// magic one layer down.
+constexpr std::uint64_t kArbiterMagic = 0x6b616363'61726221ull;
+constexpr std::uint32_t kArbiterVersion = 1;
+} // namespace
+
+void NodeArbiter::init_segment(ArbiterSegment* seg,
+                               std::uint64_t chunk_bytes) {
+  KACC_CHECK(seg != nullptr);
+  KACC_CHECK_MSG(chunk_bytes > 0, "arbiter chunk_bytes must be positive");
+  seg->magic = kArbiterMagic;
+  seg->version = kArbiterVersion;
+  seg->chunk_bytes = chunk_bytes;
+  seg->epoch.store(0, std::memory_order_relaxed);
+  seg->aggregate_streams.store(0, std::memory_order_relaxed);
+  seg->lock.store(0, std::memory_order_relaxed);
+  seg->ready.store(1, std::memory_order_release);
+}
+
+void NodeArbiter::validate_segment(const ArbiterSegment* seg,
+                                   std::uint64_t chunk_bytes) {
+  KACC_CHECK(seg != nullptr);
+  shm::WaitContext ctx;
+  ctx.deadline = Deadline::after_ms(5'000.0);
+  ctx.what = "arbiter segment ready";
+  shm::spin_until(
+      [&] { return seg->ready.load(std::memory_order_acquire) != 0; }, ctx);
+  if (seg->magic != kArbiterMagic) {
+    throw InvalidArgument("arbiter segment has wrong magic: not a kacc "
+                          "node arbiter (name collision?)");
+  }
+  if (seg->version != kArbiterVersion) {
+    throw InvalidArgument(
+        "arbiter segment version mismatch: segment v" +
+        std::to_string(seg->version) + ", this build speaks v" +
+        std::to_string(kArbiterVersion));
+  }
+  if (seg->chunk_bytes != chunk_bytes) {
+    throw InvalidArgument(
+        "arbiter segment chunk geometry mismatch: segment leases quotas "
+        "for " +
+        std::to_string(seg->chunk_bytes) + "-byte chunks, this team uses " +
+        std::to_string(chunk_bytes) +
+        " (all co-scheduled teams must agree)");
+  }
+}
+
+NodeArbiter::NodeArbiter(ArbiterSegment* seg, ArchSpec spec)
+    : seg_(seg), spec_(std::move(spec)) {
+  KACC_CHECK(seg != nullptr);
+  spec_.validate();
+}
+
+void NodeArbiter::lock_segment() const {
+  const auto self = static_cast<std::uint32_t>(::getpid());
+  shm::WaitContext ctx;
+  ctx.deadline = Deadline::after_ms(5'000.0);
+  ctx.what = "node arbiter lock";
+  shm::spin_until(
+      [&] {
+        std::uint32_t expected = 0;
+        if (seg_->lock.compare_exchange_weak(expected, self,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+          return true;
+        }
+        // A holder that no longer exists died mid-mutation: steal. (Quota
+        // words are individually atomic, so a torn recompute leaves every
+        // slot sane; our own recompute overwrites the lot.) expected == self
+        // is another thread of this process — it is alive, wait it out.
+        if (expected != 0 && expected != self &&
+            ::kill(static_cast<pid_t>(expected), 0) < 0 && errno == ESRCH) {
+          seg_->lock.compare_exchange_strong(expected, self,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed);
+        }
+        return false;
+      },
+      ctx);
+}
+
+void NodeArbiter::unlock_segment() const {
+  seg_->lock.store(0, std::memory_order_release);
+}
+
+void NodeArbiter::recompute_locked() {
+  std::vector<nbc::TenantDemand> demands;
+  std::vector<int> idx;
+  for (int i = 0; i < kMaxTenants; ++i) {
+    TenantSlot& slot = seg_->slots[i];
+    if (slot.state.load(std::memory_order_acquire) == TenantSlot::kActive) {
+      demands.push_back({slot.team_size, slot.weight});
+      idx.push_back(i);
+    }
+  }
+  const std::uint64_t next =
+      seg_->epoch.load(std::memory_order_relaxed) + 1;
+  int total = 0;
+  if (!demands.empty()) {
+    const std::vector<int> quotas =
+        nbc::aggregate_quotas(spec_, seg_->chunk_bytes, demands);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      TenantSlot& slot = seg_->slots[static_cast<std::size_t>(idx[k])];
+      slot.quota.store(quotas[k], std::memory_order_relaxed);
+      slot.lease_epoch.store(next, std::memory_order_relaxed);
+      total += quotas[k];
+    }
+  }
+  seg_->aggregate_streams.store(total, std::memory_order_relaxed);
+  seg_->epoch.store(next, std::memory_order_release);
+}
+
+int NodeArbiter::join(const std::string& name, int team_size, int weight,
+                      pid_t pid) {
+  KACC_CHECK_MSG(team_size >= 1 && weight >= 1,
+                 "arbiter join: team_size and weight must be >= 1");
+  lock_segment();
+  int slot_idx = -1;
+  for (int i = 0; i < kMaxTenants; ++i) {
+    if (seg_->slots[i].state.load(std::memory_order_acquire) ==
+        TenantSlot::kFree) {
+      slot_idx = i;
+      break;
+    }
+  }
+  if (slot_idx < 0) {
+    unlock_segment();
+    throw Error("node arbiter full: all " + std::to_string(kMaxTenants) +
+                " tenant slots are leased");
+  }
+  TenantSlot& slot = seg_->slots[slot_idx];
+  slot.team_size = team_size;
+  slot.weight = weight;
+  slot.pid = static_cast<std::int32_t>(pid);
+  slot.quota.store(0, std::memory_order_relaxed);
+  slot.heartbeat_us.store(0, std::memory_order_relaxed);
+  std::memset(slot.name, 0, sizeof(slot.name));
+  std::strncpy(slot.name, name.c_str(), sizeof(slot.name) - 1);
+  slot.state.store(TenantSlot::kActive, std::memory_order_release);
+  recompute_locked();
+  unlock_segment();
+  return slot_idx;
+}
+
+void NodeArbiter::leave(int slot) {
+  KACC_CHECK_MSG(slot >= 0 && slot < kMaxTenants, "arbiter leave: bad slot");
+  lock_segment();
+  seg_->slots[slot].state.store(TenantSlot::kFree, std::memory_order_release);
+  recompute_locked();
+  unlock_segment();
+}
+
+bool NodeArbiter::revoke(int slot) {
+  KACC_CHECK_MSG(slot >= 0 && slot < kMaxTenants, "arbiter revoke: bad slot");
+  lock_segment();
+  TenantSlot& s = seg_->slots[slot];
+  const bool was_active =
+      s.state.load(std::memory_order_acquire) == TenantSlot::kActive;
+  if (was_active) {
+    s.state.store(TenantSlot::kFree, std::memory_order_release);
+    recompute_locked();
+  }
+  unlock_segment();
+  return was_active;
+}
+
+void NodeArbiter::heartbeat(int slot, std::uint64_t now_us) {
+  KACC_CHECK_MSG(slot >= 0 && slot < kMaxTenants,
+                 "arbiter heartbeat: bad slot");
+  seg_->slots[slot].heartbeat_us.store(now_us, std::memory_order_release);
+}
+
+int NodeArbiter::reap(std::uint64_t now_us, std::uint64_t ttl_us) {
+  lock_segment();
+  int revoked = 0;
+  for (int i = 0; i < kMaxTenants; ++i) {
+    TenantSlot& s = seg_->slots[i];
+    if (s.state.load(std::memory_order_acquire) != TenantSlot::kActive) {
+      continue;
+    }
+    bool dead = false;
+    if (s.pid != 0 && ::kill(static_cast<pid_t>(s.pid), 0) < 0 &&
+        errno == ESRCH) {
+      dead = true;
+    }
+    if (!dead && ttl_us != 0) {
+      const std::uint64_t hb = s.heartbeat_us.load(std::memory_order_acquire);
+      if (hb != 0 && now_us > hb && now_us - hb > ttl_us) {
+        dead = true;
+      }
+    }
+    if (dead) {
+      s.state.store(TenantSlot::kFree, std::memory_order_release);
+      ++revoked;
+    }
+  }
+  if (revoked > 0) {
+    recompute_locked();
+  }
+  unlock_segment();
+  return revoked;
+}
+
+int NodeArbiter::quota(int slot) const {
+  KACC_CHECK_MSG(slot >= 0 && slot < kMaxTenants, "arbiter quota: bad slot");
+  const TenantSlot& s = seg_->slots[slot];
+  if (s.state.load(std::memory_order_acquire) != TenantSlot::kActive) {
+    return 0;
+  }
+  return s.quota.load(std::memory_order_relaxed);
+}
+
+std::uint64_t NodeArbiter::epoch() const {
+  return seg_->epoch.load(std::memory_order_acquire);
+}
+
+int NodeArbiter::aggregate_streams() const {
+  return seg_->aggregate_streams.load(std::memory_order_relaxed);
+}
+
+int NodeArbiter::active_tenants() const {
+  int n = 0;
+  for (int i = 0; i < kMaxTenants; ++i) {
+    if (seg_->slots[i].state.load(std::memory_order_acquire) ==
+        TenantSlot::kActive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TenantView NodeArbiter::view(int slot) const {
+  KACC_CHECK_MSG(slot >= 0 && slot < kMaxTenants, "arbiter view: bad slot");
+  const TenantSlot& s = seg_->slots[slot];
+  TenantView v;
+  if (s.state.load(std::memory_order_acquire) != TenantSlot::kActive) {
+    return v;
+  }
+  v.active = true;
+  v.name = s.name;
+  v.team_size = s.team_size;
+  v.weight = s.weight;
+  v.quota = s.quota.load(std::memory_order_relaxed);
+  v.lease_epoch = s.lease_epoch.load(std::memory_order_relaxed);
+  return v;
+}
+
+} // namespace kacc::node

@@ -1,0 +1,163 @@
+// kacc::node — the node-scoped cross-team contention arbiter.
+//
+// N mutually unaware process teams sharing one node all drive the same
+// physical memory system; each team's per-team admission governor (kacc::nbc)
+// optimizes as if it were alone, so the node as a whole over-admits. The
+// arbiter closes the loop: every team registers in one well-known
+// shared-memory segment (shm::NamedShm natively, a heap segment under the
+// simulator), and a single model-driven computation leases each tenant a
+// per-source inflight quota such that the *aggregate* stream count minimizes
+// the slowest tenant's drain makespan (nbc::aggregate_quotas, which reuses
+// the model's T_cma terms through predict::cma_transfer_shared).
+//
+// Leases are epoch-stamped: every membership change (join, leave, explicit
+// revoke, staleness reap) recomputes all quotas and bumps the segment epoch,
+// so a tenant comparing its lease_epoch against the segment's sees stale
+// leases immediately. A dying team's credits are reclaimed by the same
+// mechanism — the survivor that notices the death (liveness TTL natively,
+// the recovery path's heal in the simulator) revokes the slot, and the
+// recompute redistributes the freed streams.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+#include "topo/arch_spec.h"
+
+namespace kacc::node {
+
+/// Slots in the well-known segment; joining a full node fails fast.
+inline constexpr int kMaxTenants = 16;
+
+/// One registered team's lane in the arbiter segment. All-zeroes is a valid
+/// (free) slot, so a freshly ftruncate'd segment needs no per-slot init.
+struct TenantSlot {
+  enum State : std::uint32_t {
+    kFree = 0,
+    kActive = 2,
+  };
+  std::atomic<std::uint32_t> state;
+  std::int32_t team_size;
+  std::int32_t weight;
+  std::int32_t pid; ///< registering process (0 under the simulator)
+  /// The leased per-source inflight cap. Torn reads are impossible (one
+  /// atomic word) and a momentarily stale value only mis-throttles until
+  /// the reader next compares lease_epoch to the segment epoch.
+  std::atomic<std::int32_t> quota;
+  std::uint32_t pad0;
+  std::atomic<std::uint64_t> lease_epoch;
+  /// Caller-supplied liveness clock (microseconds, any monotonic origin).
+  std::atomic<std::uint64_t> heartbeat_us;
+  char name[40]; ///< NUL-terminated tenant label (truncated to fit)
+  char pad1[48];
+};
+static_assert(sizeof(TenantSlot) == 128);
+
+/// The shared segment: a 128-byte header plus kMaxTenants slot lanes.
+/// Valid all-zeroes (creator stamps magic/version and flips ready last).
+struct ArbiterSegment {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::atomic<std::uint32_t> ready;
+  /// Mutation lock: holder's PID (0 = free). A contender that finds the
+  /// holder dead (kill(pid, 0) == ESRCH) steals the lock, so a team that
+  /// crashes mid-mutation cannot wedge the node.
+  std::atomic<std::uint32_t> lock;
+  std::uint32_t pad0;
+  std::uint64_t chunk_bytes; ///< governor chunk size quotas are computed for
+  /// Bumped (release) once per completed quota recompute. Readers compare
+  /// their slot's lease_epoch to this to detect revocation.
+  std::atomic<std::uint64_t> epoch;
+  std::atomic<std::int32_t> aggregate_streams; ///< Sum of leased quotas
+  std::uint32_t pad1;
+  char pad2[80];
+  TenantSlot slots[kMaxTenants];
+};
+static_assert(sizeof(ArbiterSegment) == 128 + 128 * kMaxTenants);
+
+/// Read-only snapshot of one slot (tests, metrics, tooling).
+struct TenantView {
+  bool active = false;
+  std::string name;
+  int team_size = 0;
+  int weight = 0;
+  int quota = 0;
+  std::uint64_t lease_epoch = 0;
+};
+
+/// Per-team handle onto a shared ArbiterSegment. The segment outlives every
+/// handle (NamedShm payload natively, host heap in the simulator); handles
+/// from different processes — or different simulated teams in one process —
+/// may operate on it concurrently. All tenants must pass the same ArchSpec
+/// and chunk size: they share one physical node by definition.
+class NodeArbiter {
+public:
+  /// Bytes the well-known segment must provide (NamedShm payload size).
+  [[nodiscard]] static constexpr std::size_t segment_bytes() {
+    return sizeof(ArbiterSegment);
+  }
+
+  /// Creator-side one-time init of a zeroed segment: stamps the geometry
+  /// and publishes the ready flag.
+  static void init_segment(ArbiterSegment* seg, std::uint64_t chunk_bytes);
+
+  /// Attacher-side validation: blocks (bounded) until the creator
+  /// published, then checks magic/version/chunk geometry. Throws
+  /// InvalidArgument on any mismatch — a segment from a different build
+  /// must not be shared.
+  static void validate_segment(const ArbiterSegment* seg,
+                               std::uint64_t chunk_bytes);
+
+  NodeArbiter(ArbiterSegment* seg, ArchSpec spec);
+
+  /// Registers a team and leases it a quota; returns its slot index.
+  /// Recomputes every tenant's lease (epoch bump). Throws Error when all
+  /// kMaxTenants slots are taken. `pid` 0 disables death-steal semantics
+  /// for this tenant (simulated teams share one live process).
+  int join(const std::string& name, int team_size, int weight, pid_t pid);
+
+  /// Clean deregistration: frees the slot and recomputes (epoch bump).
+  void leave(int slot);
+
+  /// Revokes a (possibly dead) tenant's lease from the outside: frees the
+  /// slot and recomputes. Returns false when the slot was already free —
+  /// revocation races are benign. The freed credits land in the survivors'
+  /// next quota read.
+  bool revoke(int slot);
+
+  /// Stamps the tenant's liveness clock (call from progress hooks).
+  void heartbeat(int slot, std::uint64_t now_us);
+
+  /// Revokes every active tenant whose heartbeat is older than `ttl_us`
+  /// against `now_us`, or whose registered PID no longer exists. Returns
+  /// the number of leases revoked. ttl_us == 0 disables the staleness
+  /// check (PID liveness still applies when pid != 0).
+  int reap(std::uint64_t now_us, std::uint64_t ttl_us);
+
+  /// The tenant's current leased per-source inflight cap (0 when the slot
+  /// is no longer active — i.e. this tenant was revoked).
+  [[nodiscard]] int quota(int slot) const;
+
+  /// The segment epoch (release-published once per recompute).
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Sum of all leased quotas after the last recompute (observability).
+  [[nodiscard]] int aggregate_streams() const;
+
+  [[nodiscard]] int active_tenants() const;
+  [[nodiscard]] TenantView view(int slot) const;
+
+private:
+  void lock_segment() const;
+  void unlock_segment() const;
+  /// Recomputes every active tenant's quota and bumps the epoch. Caller
+  /// holds the segment lock.
+  void recompute_locked();
+
+  ArbiterSegment* seg_ = nullptr;
+  ArchSpec spec_;
+};
+
+} // namespace kacc::node

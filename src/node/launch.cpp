@@ -1,0 +1,385 @@
+#include "node/launch.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/hist.h"
+#include "runtime/sim_comm.h"
+#include "runtime/sub_comm.h"
+#include "shm/arena.h"
+
+namespace kacc::node {
+
+namespace {
+
+/// Global rank ranges: tenant t owns [starts[t], starts[t] + nranks).
+std::vector<std::vector<int>> tenant_members(
+    const std::vector<NodeTenant>& tenants) {
+  std::vector<std::vector<int>> members;
+  members.reserve(tenants.size());
+  int next = 0;
+  for (const NodeTenant& t : tenants) {
+    std::vector<int> m(static_cast<std::size_t>(t.nranks));
+    for (int i = 0; i < t.nranks; ++i) {
+      m[static_cast<std::size_t>(i)] = next++;
+    }
+    members.push_back(std::move(m));
+  }
+  return members;
+}
+
+void validate_tenants(const std::vector<NodeTenant>& tenants) {
+  KACC_CHECK_MSG(!tenants.empty(), "node run: no tenants");
+  KACC_CHECK_MSG(tenants.size() <= static_cast<std::size_t>(kMaxTenants),
+                 "node run: more tenants than arbiter slots");
+  for (const NodeTenant& t : tenants) {
+    KACC_CHECK_MSG(t.nranks >= 1, "node run: tenant needs >= 1 rank");
+    KACC_CHECK_MSG(t.weight >= 1, "node run: tenant weight must be >= 1");
+    KACC_CHECK_MSG(static_cast<bool>(t.body), "node run: tenant has no body");
+  }
+}
+
+/// Counter + histogram slice of the whole-node obs for one tenant.
+obs::TeamObs slice_obs(const obs::TeamObs& all, const std::vector<int>& ranks,
+                       const std::string& tenant) {
+  obs::TeamObs out;
+  out.tenant = tenant;
+  for (int g : ranks) {
+    const auto gi = static_cast<std::size_t>(g);
+    if (gi < all.per_rank.size()) {
+      out.per_rank.push_back(all.per_rank[gi]);
+      obs::accumulate(out.totals, out.per_rank.back());
+    }
+    if (gi < all.hist_per_rank.size()) {
+      out.hist_per_rank.push_back(all.hist_per_rank[gi]);
+      obs::accumulate(out.hist_totals, out.hist_per_rank.back());
+    }
+  }
+  return out;
+}
+
+/// Simulated per-rank session: the tenant view is a SubComm over the
+/// full-node SimComm; heal() rebuilds it over the post-shrink survivors.
+class SimTenantSession final : public TenantSession {
+public:
+  SimTenantSession(SimComm& parent,
+                   const std::vector<std::vector<int>>* members, int tenant,
+                   const std::string& name, NodeArbiter* arb,
+                   const std::vector<int>* slots)
+      : parent_(&parent), members_(members), arb_(arb), slots_(slots) {
+    name_ = name;
+    index_ = tenant;
+    view_ = std::make_unique<SubComm>(
+        parent, (*members)[static_cast<std::size_t>(tenant)]);
+    install_quota_fn();
+  }
+
+  [[nodiscard]] Comm& comm() override { return *view_; }
+
+  [[nodiscard]] int quota() const override {
+    return arb_ == nullptr
+               ? 0
+               : arb_->quota((*slots_)[static_cast<std::size_t>(index_)]);
+  }
+
+  void heal() override {
+    successor_ = parent_->shrink();
+    auto* succ = dynamic_cast<SubComm*>(successor_.get());
+    KACC_CHECK_MSG(succ != nullptr, "heal: unexpected successor type");
+    std::vector<int> mine;
+    for (int g : (*members_)[static_cast<std::size_t>(index_)]) {
+      const int v = succ->view_rank_of(g);
+      if (v >= 0) {
+        mine.push_back(v);
+      }
+    }
+    KACC_CHECK_MSG(!mine.empty(), "heal: tenant has no survivors");
+    view_ = std::make_unique<SubComm>(*successor_, mine);
+    install_quota_fn();
+    if (arb_ != nullptr && succ->rank() == 0) {
+      // The lowest surviving global rank reclaims the leases of tenants
+      // with no survivors: their credits return to the pool in the same
+      // epoch bump that re-leases everyone else.
+      for (std::size_t t = 0; t < members_->size(); ++t) {
+        bool alive = false;
+        for (int g : (*members_)[t]) {
+          if (succ->view_rank_of(g) >= 0) {
+            alive = true;
+            break;
+          }
+        }
+        if (!alive && arb_->revoke((*slots_)[t])) {
+          view_->recorder().counters.add(
+              obs::Counter::kNodeLeaseRevocations);
+        }
+      }
+    }
+  }
+
+private:
+  void install_quota_fn() {
+    if (arb_ != nullptr) {
+      view_->set_node_quota_fn(
+          [arb = arb_, slot = (*slots_)[static_cast<std::size_t>(index_)]] {
+            return arb->quota(slot);
+          });
+    }
+  }
+
+  SimComm* parent_;
+  const std::vector<std::vector<int>>* members_;
+  NodeArbiter* arb_;
+  const std::vector<int>* slots_;
+  std::unique_ptr<Comm> successor_; ///< post-shrink survivor comm
+  std::unique_ptr<SubComm> view_;
+};
+
+/// Native per-rank session: the tenant's team *is* its own process team,
+/// so comm() is the NativeComm itself; the quota hook doubles as the
+/// liveness scan that reaps dead tenants.
+class NativeTenantSession final : public TenantSession {
+public:
+  NativeTenantSession(Comm& comm, int tenant, const std::string& name,
+                      NodeArbiter* arb, int slot, std::uint64_t ttl_us)
+      : comm_(&comm), arb_(arb), slot_(slot), ttl_us_(ttl_us) {
+    name_ = name;
+    index_ = tenant;
+    if (arb_ != nullptr) {
+      comm_->set_node_quota_fn([this] { return poll_quota(); });
+    }
+  }
+
+  [[nodiscard]] Comm& comm() override { return *comm_; }
+
+  [[nodiscard]] int quota() const override {
+    return arb_ == nullptr ? 0 : arb_->quota(slot_);
+  }
+
+private:
+  [[nodiscard]] static std::uint64_t steady_us() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  int poll_quota() {
+    const std::uint64_t now = steady_us();
+    // Rate-limited side duties on the hot quota read: refresh our team's
+    // heartbeat (~1ms) and scan for dead tenants (~10ms, rank 0 only).
+    if (now - last_hb_us_ > 1'000) {
+      last_hb_us_ = now;
+      arb_->heartbeat(slot_, now);
+    }
+    if (comm_->rank() == 0 && now - last_reap_us_ > 10'000) {
+      last_reap_us_ = now;
+      const int reaped = arb_->reap(now, ttl_us_);
+      if (reaped > 0) {
+        comm_->recorder().counters.add(obs::Counter::kNodeLeaseRevocations,
+                                       static_cast<std::uint64_t>(reaped));
+      }
+    }
+    return arb_->quota(slot_);
+  }
+
+  Comm* comm_;
+  NodeArbiter* arb_;
+  int slot_;
+  std::uint64_t ttl_us_;
+  std::uint64_t last_hb_us_ = 0;
+  std::uint64_t last_reap_us_ = 0;
+};
+
+} // namespace
+
+bool NodeRunResult::all_ok() const {
+  if (!team_results.empty()) {
+    for (const TeamResult& tr : team_results) {
+      if (!tr.all_ok()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  for (const sim::RankOutcome& out : outcomes) {
+    if (out.kind != sim::RankOutcome::Kind::kOk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NodeRunResult run_sim_node(const ArchSpec& spec,
+                           const std::vector<NodeTenant>& tenants,
+                           const NodeOptions& opts) {
+  validate_tenants(tenants);
+  const std::vector<std::vector<int>> members = tenant_members(tenants);
+  int total = 0;
+  for (const NodeTenant& t : tenants) {
+    total += t.nranks;
+  }
+
+  sim::SimEngine engine(spec, total);
+  if (opts.shared_node_domain) {
+    engine.enable_shared_node_domain();
+  }
+  if (!opts.faults.kills.empty() || !opts.faults.cma_errnos.empty() ||
+      !opts.faults.cma_delays.empty()) {
+    engine.set_faults(opts.faults);
+  }
+
+  auto seg = std::make_unique<ArbiterSegment>();
+  std::unique_ptr<NodeArbiter> arb;
+  std::vector<int> slots(tenants.size(), -1);
+  if (opts.arbitrate) {
+    NodeArbiter::init_segment(seg.get(), opts.chunk_bytes);
+    arb = std::make_unique<NodeArbiter>(seg.get(), spec);
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      slots[t] = arb->join(tenants[t].name, tenants[t].nranks,
+                           tenants[t].weight, /*pid=*/0);
+    }
+  }
+
+  SimTeamState team;
+  team.move_data = opts.move_data;
+  team.ctrl_send.resize(static_cast<std::size_t>(total), nullptr);
+  team.ctrl_recv.resize(static_cast<std::size_t>(total), nullptr);
+  team.init_obs(total);
+
+  sim::WorldResult wr =
+      sim::run_world_outcomes(engine, [&](sim::SimEngine& eng, int grank) {
+        SimComm comm(eng, team, grank);
+        int tenant = 0;
+        while (grank >= members[static_cast<std::size_t>(tenant)].front() +
+                            tenants[static_cast<std::size_t>(tenant)].nranks) {
+          ++tenant;
+        }
+        SimTenantSession session(comm, &members, tenant,
+                                 tenants[static_cast<std::size_t>(tenant)]
+                                     .name,
+                                 arb.get(), &slots);
+        tenants[static_cast<std::size_t>(tenant)].body(session);
+      });
+
+  NodeRunResult result;
+  result.makespan_us = wr.makespan_us;
+  result.outcomes = std::move(wr.outcomes);
+  result.obs = collect_sim_obs(team, engine, total);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    result.per_tenant.push_back(
+        slice_obs(result.obs, members[t], tenants[t].name));
+    obs::maybe_dump_metrics(result.per_tenant.back(), "sim");
+    result.quotas.push_back(arb != nullptr ? arb->quota(slots[t]) : 0);
+  }
+  result.final_epoch = arb != nullptr ? arb->epoch() : 0;
+  if (!result.obs.traces.empty()) {
+    obs::publish_trace(result.obs.traces,
+                       "sim node p=" + std::to_string(total));
+  }
+  return result;
+}
+
+NodeRunResult run_native_node(const ArchSpec& spec,
+                              const std::vector<NodeTenant>& tenants,
+                              const NodeOptions& opts,
+                              const std::string& segment_name) {
+  validate_tenants(tenants);
+
+  // The node parent creates (or attaches) the well-known segment before
+  // any team forks, so every child inherits the mapping and no child ever
+  // races the creation. Separate kacc processes rendezvousing on the same
+  // name instead go through NamedShm's first-writer-wins protocol.
+  shm::NamedShm seg_shm;
+  ArbiterSegment* seg = nullptr;
+  if (opts.arbitrate) {
+    const std::string name =
+        segment_name.empty()
+            ? "kacc-node-" + std::to_string(static_cast<long>(::getpid()))
+            : segment_name;
+    seg_shm = shm::NamedShm(name, NodeArbiter::segment_bytes(),
+                            shm::NamedShm::Mode::kCreateOrAttach);
+    seg = static_cast<ArbiterSegment*>(seg_shm.payload());
+    if (seg_shm.created()) {
+      NodeArbiter::init_segment(seg, opts.chunk_bytes);
+    } else {
+      NodeArbiter::validate_segment(seg, opts.chunk_bytes);
+    }
+  }
+
+  NodeRunResult result;
+  result.team_results.resize(tenants.size());
+  std::vector<std::thread> threads;
+  threads.reserve(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    threads.emplace_back([&, t] {
+      const NodeTenant& tenant = tenants[t];
+      TeamOptions topts = opts.team;
+      topts.tenant = tenant.name;
+      result.team_results[t] = run_native_team(
+          spec, tenant.nranks,
+          [&](Comm& comm) {
+            // Children inherit the parent's mapping of the named segment.
+            std::unique_ptr<NodeArbiter> arb;
+            int slot = -1;
+            if (seg != nullptr) {
+              arb = std::make_unique<NodeArbiter>(seg, spec);
+              if (comm.rank() == 0) {
+                slot = arb->join(tenant.name, tenant.nranks, tenant.weight,
+                                 ::getpid());
+              }
+              comm.ctrl_bcast(&slot, sizeof(slot), 0);
+            }
+            NativeTenantSession session(comm, static_cast<int>(t),
+                                        tenant.name, arb.get(), slot,
+                                        opts.lease_ttl_us);
+            tenant.body(session);
+            if (arb != nullptr) {
+              // Everyone is done issuing governed work before the lease
+              // goes back to the pool.
+              comm.barrier();
+              if (comm.rank() == 0) {
+                arb->leave(slot);
+              }
+            }
+          },
+          topts);
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  if (seg_shm.valid() && seg_shm.created()) {
+    // Drop the name so repeated runs cannot attach a stale segment; live
+    // mappings (none by now — the teams joined) are unaffected.
+    shm::NamedShm::unlink(seg_shm.name());
+  }
+
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    result.per_tenant.push_back(result.team_results[t].obs);
+    result.per_tenant.back().tenant = tenants[t].name;
+    result.quotas.push_back(0); // leases end with the teams natively
+    obs::accumulate(result.obs.totals, result.team_results[t].obs.totals);
+    obs::accumulate(result.obs.hist_totals,
+                    result.team_results[t].obs.hist_totals);
+  }
+  if (seg != nullptr) {
+    result.final_epoch =
+        seg->epoch.load(std::memory_order_acquire);
+  }
+  return result;
+}
+
+std::string node_prom_text(const NodeRunResult& result,
+                           const std::string& runtime) {
+  std::string out;
+  for (const obs::TeamObs& t : result.per_tenant) {
+    out += obs::hist_prom_text(t.hist_totals, runtime, t.tenant);
+  }
+  return out;
+}
+
+} // namespace kacc::node

@@ -1,0 +1,137 @@
+// Launchers for co-scheduled multi-team runs (kacc::node).
+//
+// run_sim_node: one deterministic SimEngine hosts every tenant's ranks as
+// disjoint SubComm views of a single full-node team, with the shared node
+// memory domain turned on so tenants really contend for DRAM bandwidth in
+// the model. The arbiter segment lives on the host heap; fault plans from
+// sim::FaultInjector apply unchanged (global rank space), so tenant death
+// is reproducible and the lease-revocation path is testable byte-for-byte.
+//
+// run_native_node: one thread per tenant, each driving a run_native_team of
+// forked processes. Teams rendezvous on a named arbiter segment
+// (shm::NamedShm, first-writer-wins creation); each team's view rank 0
+// registers with its PID, every rank heartbeats from its quota reads, and
+// stale or PID-dead tenants are reaped by whichever survivor scans next.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "node/arbiter.h"
+#include "obs/report.h"
+#include "runtime/comm.h"
+#include "runtime/process_team.h"
+#include "sim/fault.h"
+#include "sim/world.h"
+#include "topo/arch_spec.h"
+
+namespace kacc::node {
+
+class TenantSession;
+
+/// One co-scheduled team.
+struct NodeTenant {
+  std::string name;
+  int nranks = 0;
+  int weight = 1;
+  std::function<void(TenantSession&)> body;
+};
+
+struct NodeOptions {
+  /// Chunk size quotas are computed for; must match the nbc Options the
+  /// tenant bodies use (the arbiter segment enforces the agreement).
+  std::uint64_t chunk_bytes = 256 * 1024;
+  /// false = oblivious baseline: no leases, every team's own governor
+  /// optimizes as if it were alone on the node.
+  bool arbitrate = true;
+  /// Sim only: model the shared DRAM system across tenants (see
+  /// SimEngine::enable_shared_node_domain). On by default — co-scheduled
+  /// teams share the memory system by definition.
+  bool shared_node_domain = true;
+  /// Sim only: deterministic fault plan over *global* node ranks.
+  sim::FaultInjector faults;
+  bool move_data = true;
+  /// Native only: per-team robustness knobs (deadline, timeout).
+  TeamOptions team;
+  /// Native only: heartbeat staleness TTL for lease reaping (us).
+  std::uint64_t lease_ttl_us = 200'000;
+};
+
+/// The per-rank handle a tenant body runs against. comm() is the tenant's
+/// team view; collectives and kacc::nbc requests issued on it are clamped
+/// to the leased node quota (Comm::node_quota). After a peer death anywhere
+/// on the node, every surviving rank's next operation raises PeerDiedError;
+/// a survivor that wants to continue calls heal() (all survivors must), a
+/// team that wants to abandon simply returns from its body — its lease is
+/// then reclaimed by the survivors' heal.
+class TenantSession {
+public:
+  virtual ~TenantSession() = default;
+
+  /// The tenant's current team view (replaced by heal()).
+  [[nodiscard]] virtual Comm& comm() = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Ordinal of this tenant in the run's tenant list.
+  [[nodiscard]] int index() const { return index_; }
+
+  /// The team's currently leased per-source inflight cap (0 = no lease:
+  /// oblivious mode, or this tenant was revoked).
+  [[nodiscard]] virtual int quota() const = 0;
+
+  /// Sim only — survivor-side recovery after PeerDiedError: joins the
+  /// node-wide shrink, rebuilds this tenant's view over the survivors, and
+  /// (on the lowest surviving global rank) revokes the leases of tenants
+  /// with no survivors left, so their credits return to the pool. Native
+  /// teams never call this: each team is its own process tree, and dead
+  /// teams are reaped by the PID/TTL scan behind quota reads.
+  virtual void heal() { throw InternalError("heal: not a sim session"); }
+
+protected:
+  std::string name_;
+  int index_ = 0;
+};
+
+/// Result of a co-scheduled multi-team run.
+struct NodeRunResult {
+  double makespan_us = 0.0;
+  /// Sim: per-global-rank outcomes (rank spaces concatenated in tenant
+  /// order). Native: empty — see team_results.
+  std::vector<sim::RankOutcome> outcomes;
+  /// Whole-node observability (all tenants).
+  obs::TeamObs obs;
+  /// Per-tenant slices of `obs` (counters + histograms), labeled with the
+  /// tenant name.
+  std::vector<obs::TeamObs> per_tenant;
+  /// Final leased quota per tenant (0 = revoked or oblivious).
+  std::vector<int> quotas;
+  /// Final arbiter epoch (number of recomputes; 0 in oblivious mode).
+  std::uint64_t final_epoch = 0;
+  /// Native: per-team harness results, in tenant order.
+  std::vector<TeamResult> team_results;
+
+  [[nodiscard]] bool all_ok() const;
+};
+
+/// Runs every tenant's body on its ranks under one deterministic engine.
+NodeRunResult run_sim_node(const ArchSpec& spec,
+                           const std::vector<NodeTenant>& tenants,
+                           const NodeOptions& opts = {});
+
+/// Runs every tenant as a forked-process team (one launcher thread each),
+/// arbitrated through a named segment. `segment_name` must be unique per
+/// concurrent run ("" derives one from the parent PID).
+NodeRunResult run_native_node(const ArchSpec& spec,
+                              const std::vector<NodeTenant>& tenants,
+                              const NodeOptions& opts = {},
+                              const std::string& segment_name = "");
+
+/// Per-tenant Prometheus text: one snapshot per tenant, each histogram
+/// series labeled {runtime=...,tenant=...}, concatenated in tenant order.
+[[nodiscard]] std::string node_prom_text(const NodeRunResult& result,
+                                         const std::string& runtime);
+
+} // namespace kacc::node

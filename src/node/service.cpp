@@ -1,0 +1,304 @@
+#include "node/service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/counters.h"
+#include "runtime/sub_comm.h"
+#include "shm/ctrl_coll.h"
+
+namespace kacc::node {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x6b535256u; // "kSRV"
+constexpr std::uint16_t kFrameVersion = 1;
+constexpr std::uint32_t kNoTenant = 0xFFFFFFFFu;
+
+/// One request on the wire: fixed 32 bytes, all-zero valid.
+struct WireRequest {
+  std::uint8_t kind = 0;
+  std::uint8_t pad0[3] = {};
+  std::uint32_t root = 0; ///< tenant-local
+  std::uint64_t bytes = 0;
+  std::uint32_t seq = 0;
+  std::uint8_t pad1[12] = {};
+};
+static_assert(sizeof(WireRequest) == 32);
+
+/// Requests a leader can frame per round, bounded by the ctrl plane's
+/// 256-byte per-rank payload (16-byte header + 6 x 32-byte records).
+constexpr int kMaxFramed = 6;
+
+/// One rank's ctrl_allgather contribution. Only tenant leaders publish
+/// (tenant != kNoTenant); every other rank contributes an inert frame.
+struct WireFrame {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t count = 0;   ///< requests present in req[]
+  std::uint32_t pending = 0; ///< total requests still queued
+  std::uint32_t tenant = kNoTenant;
+  WireRequest req[kMaxFramed];
+};
+static_assert(sizeof(WireFrame) == 16 + kMaxFramed * sizeof(WireRequest));
+static_assert(sizeof(WireFrame) <= shm::CtrlBoard::kMaxPayload);
+
+} // namespace
+
+CollectiveService::CollectiveService(Comm& node,
+                                     std::vector<ServiceTenant> tenants,
+                                     const ServiceOptions& opts,
+                                     Comm* tenant_view)
+    : node_(&node), tenants_(std::move(tenants)), opts_(opts) {
+  if (tenants_.empty()) {
+    throw InvalidArgument("CollectiveService: no tenants");
+  }
+  if (opts_.quantum_bytes == 0) {
+    throw InvalidArgument("CollectiveService: quantum_bytes must be > 0");
+  }
+  std::vector<int> owner(static_cast<std::size_t>(node_->size()), -1);
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const auto& ten = tenants_[t];
+    if (ten.members.empty()) {
+      throw InvalidArgument("CollectiveService: tenant '" + ten.name +
+                            "' has no members");
+    }
+    if (ten.weight < 1) {
+      throw InvalidArgument("CollectiveService: tenant '" + ten.name +
+                            "' weight must be >= 1");
+    }
+    for (int r : ten.members) {
+      if (r < 0 || r >= node_->size()) {
+        throw InvalidArgument("CollectiveService: tenant '" + ten.name +
+                              "' member rank out of range");
+      }
+      if (owner[static_cast<std::size_t>(r)] != -1) {
+        throw InvalidArgument(
+            "CollectiveService: rank " + std::to_string(r) +
+            " assigned to more than one tenant");
+      }
+      owner[static_cast<std::size_t>(r)] = static_cast<int>(t);
+    }
+  }
+  // Every node rank must belong to a tenant: flush() is collective over
+  // the whole node comm, so an unassigned rank could never participate.
+  for (int r = 0; r < node_->size(); ++r) {
+    if (owner[static_cast<std::size_t>(r)] == -1) {
+      throw InvalidArgument("CollectiveService: rank " + std::to_string(r) +
+                            " belongs to no tenant");
+    }
+  }
+  my_tenant_ = owner[static_cast<std::size_t>(node_->rank())];
+  if (tenant_view != nullptr) {
+    view_ = tenant_view;
+  } else {
+    owned_view_ = std::make_unique<SubComm>(
+        *node_, tenants_[static_cast<std::size_t>(my_tenant_)].members);
+    view_ = owned_view_.get();
+  }
+  credits_.assign(tenants_.size(), 0);
+  starved_.assign(tenants_.size(), 0);
+  hists_.resize(tenants_.size());
+  for (auto& h : hists_) {
+    h = std::make_unique<obs::HistBlock>(); // value-init: all-zero buckets
+  }
+}
+
+void CollectiveService::enqueue(PendingOp op) {
+  op.seq = next_seq_++;
+  queue_.push_back(op);
+  ++accepted_;
+  node_->recorder().counters.add(obs::Counter::kNodeServiceRequests);
+}
+
+void CollectiveService::submit_bcast(void* buf, std::size_t bytes, int root) {
+  enqueue({Kind::kBcast, root, bytes, nullptr, buf, 0});
+}
+
+void CollectiveService::submit_scatter(const void* send, void* recv,
+                                       std::size_t bytes, int root) {
+  enqueue({Kind::kScatter, root, bytes, send, recv, 0});
+}
+
+void CollectiveService::submit_gather(const void* send, void* recv,
+                                      std::size_t bytes, int root) {
+  enqueue({Kind::kGather, root, bytes, send, recv, 0});
+}
+
+void CollectiveService::submit_allgather(const void* send, void* recv,
+                                         std::size_t bytes) {
+  enqueue({Kind::kAllgather, 0, bytes, send, recv, 0});
+}
+
+void CollectiveService::submit_alltoall(const void* send, void* recv,
+                                        std::size_t bytes) {
+  enqueue({Kind::kAlltoall, 0, bytes, send, recv, 0});
+}
+
+void CollectiveService::flush() {
+  const int nranks = node_->size();
+  const auto nt = tenants_.size();
+  const bool leader =
+      node_->rank() ==
+      tenants_[static_cast<std::size_t>(my_tenant_)].members.front();
+  std::vector<WireFrame> all(static_cast<std::size_t>(nranks));
+
+  while (true) {
+    // Round prologue: every tenant leader frames the head of its queue.
+    WireFrame mine;
+    mine.magic = kFrameMagic;
+    mine.version = kFrameVersion;
+    if (leader) {
+      mine.tenant = static_cast<std::uint32_t>(my_tenant_);
+      mine.pending = static_cast<std::uint32_t>(queue_.size());
+      mine.count = static_cast<std::uint16_t>(
+          std::min<std::size_t>(queue_.size(), kMaxFramed));
+      for (int i = 0; i < mine.count; ++i) {
+        const auto& op = queue_[static_cast<std::size_t>(i)];
+        mine.req[i].kind = static_cast<std::uint8_t>(op.kind);
+        mine.req[i].root = static_cast<std::uint32_t>(op.root);
+        mine.req[i].bytes = op.bytes;
+        mine.req[i].seq = op.seq;
+      }
+    }
+    node_->ctrl_allgather(&mine, all.data(), sizeof(WireFrame));
+
+    std::vector<const WireFrame*> lead(nt, nullptr);
+    for (const auto& f : all) {
+      if (f.tenant == kNoTenant) {
+        continue;
+      }
+      if (f.magic != kFrameMagic || f.version != kFrameVersion ||
+          f.tenant >= nt) {
+        throw InternalError("CollectiveService: corrupt wire frame");
+      }
+      lead[f.tenant] = &f;
+    }
+
+    bool any_pending = false;
+    for (std::size_t t = 0; t < nt; ++t) {
+      if (lead[t] != nullptr && lead[t]->pending > 0) {
+        any_pending = true;
+      }
+    }
+    if (!any_pending) {
+      break;
+    }
+
+    // Replicated deficit-round-robin admission: identical inputs on every
+    // rank, so every rank reaches the identical admit[] with no extra
+    // communication.
+    std::vector<int> admit(nt, 0);
+    for (std::size_t t = 0; t < nt; ++t) {
+      if (lead[t] == nullptr || lead[t]->pending == 0) {
+        credits_[t] = 0; // empty queue: deficits do not accumulate
+        starved_[t] = 0;
+        continue;
+      }
+      credits_[t] += static_cast<std::uint64_t>(tenants_[t].weight) *
+                     opts_.quantum_bytes;
+      int a = 0;
+      for (int i = 0; i < lead[t]->count; ++i) {
+        const std::uint64_t cost = std::max<std::uint64_t>(
+            lead[t]->req[i].bytes, 1);
+        if (credits_[t] < cost) {
+          break;
+        }
+        credits_[t] -= cost;
+        ++a;
+      }
+      if (a == 0 && starved_[t] >= opts_.starvation_rounds) {
+        a = 1; // starvation backstop: force the head request through
+        credits_[t] = 0;
+      }
+      starved_[t] = a == 0 ? starved_[t] + 1 : 0;
+      admit[t] = a;
+    }
+
+    int total = 0;
+    for (std::size_t t = 0; t < nt; ++t) {
+      total += admit[t];
+    }
+    if (total == 0) {
+      continue; // credits accrue; the backstop bounds these idle rounds
+    }
+
+    // Execute my tenant's slice of the batch as one fused group of
+    // concurrent nonblocking collectives on the tenant view.
+    const int a = admit[static_cast<std::size_t>(my_tenant_)];
+    if (a > 0) {
+      const auto* frame = lead[static_cast<std::size_t>(my_tenant_)];
+      if (queue_.size() < static_cast<std::size_t>(a)) {
+        throw InternalError(
+            "CollectiveService: tenant queue shorter than leader's frame "
+            "(submit_* streams diverged within the tenant)");
+      }
+      const double t0 = node_->now_us();
+      std::vector<nbc::Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(a));
+      for (int i = 0; i < a; ++i) {
+        const auto& op = queue_[static_cast<std::size_t>(i)];
+        const auto& w = frame->req[i];
+        if (w.kind != static_cast<std::uint8_t>(op.kind) ||
+            w.bytes != op.bytes ||
+            w.root != static_cast<std::uint32_t>(op.root) ||
+            w.seq != op.seq) {
+          throw InternalError(
+              "CollectiveService: local queue disagrees with leader's frame "
+              "(submit_* streams diverged within the tenant)");
+        }
+        switch (op.kind) {
+        case Kind::kBcast:
+          reqs.push_back(nbc::ibcast(*view_, op.recv, op.bytes, op.root,
+                                     coll::BcastAlgo::kAuto, {}, opts_.nbc));
+          break;
+        case Kind::kScatter:
+          reqs.push_back(nbc::iscatter(*view_, op.send, op.recv, op.bytes,
+                                       op.root, coll::ScatterAlgo::kAuto, {},
+                                       opts_.nbc));
+          break;
+        case Kind::kGather:
+          reqs.push_back(nbc::igather(*view_, op.send, op.recv, op.bytes,
+                                      op.root, coll::GatherAlgo::kAuto, {},
+                                      opts_.nbc));
+          break;
+        case Kind::kAllgather:
+          reqs.push_back(nbc::iallgather(*view_, op.send, op.recv, op.bytes,
+                                         coll::AllgatherAlgo::kAuto, {},
+                                         opts_.nbc));
+          break;
+        case Kind::kAlltoall:
+          reqs.push_back(nbc::ialltoall(*view_, op.send, op.recv, op.bytes,
+                                        coll::AlltoallAlgo::kAuto, {},
+                                        opts_.nbc));
+          break;
+        }
+      }
+      nbc::wait_all(std::span<nbc::Request>(reqs));
+      queue_.erase(queue_.begin(), queue_.begin() + a);
+
+      obs::HistRegistry reg;
+      reg.bind(hists_[static_cast<std::size_t>(my_tenant_)].get());
+      reg.record_us(obs::Hist::kCollLatency, node_->now_us() - t0);
+    }
+    ++batches_;
+    node_->recorder().counters.add(obs::Counter::kNodeServiceBatches);
+  }
+}
+
+std::string CollectiveService::prom_text(const std::string& runtime) const {
+  std::string out;
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const auto snap = obs::hist_snapshot(*hists_[t]);
+    if (obs::hist_count(snap, obs::Hist::kCollLatency) == 0) {
+      continue;
+    }
+    out += obs::hist_prom_text(snap, runtime, tenants_[t].name);
+  }
+  return out;
+}
+
+} // namespace kacc::node

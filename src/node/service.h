@@ -1,0 +1,133 @@
+// kacc::node collective service — a daemon-style front end that accepts a
+// stream of collective requests from many tenants and executes them in
+// fused, QoS-arbitrated batches.
+//
+// The service runs SPMD over one node communicator whose ranks are
+// partitioned into tenant subgroups. Ranks enqueue requests locally
+// (submit_*: identical streams within a tenant, like any SPMD collective);
+// flush() is collective over the node comm and drains every tenant's queue
+// in rounds:
+//
+//   1. Each tenant's leader frames its pending requests as fixed 32-byte
+//      wire records; one ctrl_allgather ships every leader's frame to every
+//      rank (<= 256 bytes per rank — the ctrl plane's small-message lane).
+//   2. Every rank replays the identical deficit-round-robin admission:
+//      per-round credits accrue as weight * quantum bytes, a request is
+//      admitted when its tenant's credits cover its bytes, and a tenant
+//      passed over for starvation_rounds consecutive rounds is force-
+//      admitted (the starvation backstop). The state machine is replicated
+//      deterministically — no extra communication is needed to agree.
+//   3. Each rank starts its own tenant's admitted requests as concurrent
+//      nonblocking collectives (the nbc compiler fuses them into one
+//      governed progress domain) and waits for the batch.
+//
+// Rounds repeat until every tenant's queue is empty. Results are
+// byte-exact with issuing the same collectives directly: the service only
+// reorders *across* independent operations, never within one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nbc/nbc.h"
+#include "obs/hist.h"
+#include "runtime/comm.h"
+
+namespace kacc::node {
+
+/// One tenant subgroup of the service's node communicator.
+struct ServiceTenant {
+  std::string name;
+  std::vector<int> members; ///< node-comm ranks, disjoint across tenants
+  int weight = 1;
+};
+
+struct ServiceOptions {
+  /// Credit accrual per tenant per round (scaled by weight).
+  std::uint64_t quantum_bytes = 64 * 1024;
+  /// Rounds a tenant may be passed over before force-admission.
+  int starvation_rounds = 4;
+  /// Knobs for the fused nonblocking executions.
+  nbc::Options nbc;
+};
+
+class CollectiveService {
+public:
+  /// Collective: every rank of `node` constructs the service with the
+  /// identical tenant table. `tenant_view` optionally supplies the
+  /// caller's existing sub-communicator for this rank's tenant (e.g. a
+  /// TenantSession's leased view, so service batches honor the node
+  /// arbiter's quota); when null the service builds its own view.
+  CollectiveService(Comm& node, std::vector<ServiceTenant> tenants,
+                    const ServiceOptions& opts = {},
+                    Comm* tenant_view = nullptr);
+
+  // ----- request stream (SPMD within the submitting tenant) -----
+  void submit_bcast(void* buf, std::size_t bytes, int root);
+  void submit_scatter(const void* send, void* recv, std::size_t bytes,
+                      int root);
+  void submit_gather(const void* send, void* recv, std::size_t bytes,
+                     int root);
+  void submit_allgather(const void* send, void* recv, std::size_t bytes);
+  void submit_alltoall(const void* send, void* recv, std::size_t bytes);
+
+  /// Drains every tenant's queue (collective over the node comm: every
+  /// rank must call, even with an empty queue). On return, every submitted
+  /// buffer holds the same bytes as direct execution would have produced.
+  void flush();
+
+  /// This rank's tenant ordinal.
+  [[nodiscard]] int tenant() const { return my_tenant_; }
+  /// Fused rounds executed by flush() so far.
+  [[nodiscard]] std::uint64_t batches() const { return batches_; }
+  /// Requests accepted by submit_* so far (this rank).
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+
+  /// Prometheus text of this rank's per-tenant service latency histograms
+  /// (one snapshot per tenant with samples, labeled runtime + tenant).
+  [[nodiscard]] std::string prom_text(const std::string& runtime) const;
+
+private:
+  enum class Kind : std::uint8_t {
+    kBcast = 0,
+    kScatter = 1,
+    kGather = 2,
+    kAllgather = 3,
+    kAlltoall = 4,
+  };
+
+  struct PendingOp {
+    Kind kind;
+    int root = 0; ///< tenant-local
+    std::uint64_t bytes = 0;
+    const void* send = nullptr;
+    void* recv = nullptr;
+    std::uint32_t seq = 0;
+  };
+
+  void enqueue(PendingOp op);
+
+  Comm* node_;
+  std::vector<ServiceTenant> tenants_;
+  ServiceOptions opts_;
+  int my_tenant_ = -1;
+  std::unique_ptr<Comm> owned_view_;
+  Comm* view_ = nullptr;
+
+  std::vector<PendingOp> queue_;
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t accepted_ = 0;
+
+  /// Replicated QoS state (identical on every rank after each round).
+  std::vector<std::uint64_t> credits_;
+  std::vector<int> starved_;
+
+  /// Per-tenant service latency histograms (samples land in the tenant a
+  /// batch belonged to; only this rank's own batches are sampled).
+  std::vector<std::unique_ptr<obs::HistBlock>> hists_;
+};
+
+} // namespace kacc::node

@@ -47,6 +47,10 @@ const char* counter_name(Counter c) {
     case Counter::kRecoveryAgreeRounds: return "recovery_agree_rounds";
     case Counter::kEpochFencedOps: return "epoch_fenced_ops";
     case Counter::kNbcPoisonedRequests: return "nbc_poisoned_requests";
+    case Counter::kNodeQuotaClamped: return "node_quota_clamped";
+    case Counter::kNodeLeaseRevocations: return "node_lease_revocations";
+    case Counter::kNodeServiceRequests: return "node_service_requests";
+    case Counter::kNodeServiceBatches: return "node_service_batches";
     case Counter::kCount: break;
   }
   return "?";

@@ -88,6 +88,13 @@ enum class Counter : int {
   kEpochFencedOps,      ///< stale posts/slots quarantined by the epoch fence
   kNbcPoisonedRequests, ///< in-flight nbc requests torn down by a shrink
 
+  // Node arbiter (kacc::node): cross-team contention arbitration.
+  kNodeQuotaClamped,     ///< nbc steps deferred because the node lease
+                         ///< (not the per-team cap) was the binding limit
+  kNodeLeaseRevocations, ///< dead-tenant leases reclaimed by this rank
+  kNodeServiceRequests,  ///< collective requests accepted by the service
+  kNodeServiceBatches,   ///< fused service flushes executed
+
   kCount
 };
 

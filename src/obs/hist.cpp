@@ -150,8 +150,14 @@ std::string hist_summary_json(const HistSnapshot& s) {
   return out;
 }
 
-std::string hist_prom_text(const HistSnapshot& s,
-                           const std::string& runtime) {
+std::string hist_prom_text(const HistSnapshot& s, const std::string& runtime,
+                           const std::string& tenant) {
+  // A tenant label is appended only when non-empty, so single-team output
+  // stays byte-identical to what external scrapers already consume.
+  std::string labels = "runtime=\"" + runtime + "\"";
+  if (!tenant.empty()) {
+    labels += ",tenant=\"" + tenant + "\"";
+  }
   std::string out;
   for (int h = 0; h < kHistCount; ++h) {
     const auto hist = static_cast<Hist>(h);
@@ -171,17 +177,17 @@ std::string hist_prom_text(const HistSnapshot& s,
     std::uint64_t cum = 0;
     for (int b = 0; b <= top; ++b) {
       cum += row[static_cast<std::size_t>(b)];
-      out += metric + "_bucket{runtime=\"" + runtime + "\",le=\"" +
+      out += metric + "_bucket{" + labels + ",le=\"" +
              std::to_string(b >= kHistBuckets - 1
                                 ? bucket_lower_ns(kHistBuckets - 1)
                                 : bucket_lower_ns(b + 1)) +
              "\"} " + std::to_string(cum) + "\n";
     }
-    out += metric + "_bucket{runtime=\"" + runtime + "\",le=\"+Inf\"} " +
+    out += metric + "_bucket{" + labels + ",le=\"+Inf\"} " +
            std::to_string(total) + "\n";
-    out += metric + "_sum{runtime=\"" + runtime + "\"} ";
+    out += metric + "_sum{" + labels + "} ";
     append_fixed(out, hist_sum_ns(s, hist));
-    out += "\n" + metric + "_count{runtime=\"" + runtime + "\"} " +
+    out += "\n" + metric + "_count{" + labels + "} " +
            std::to_string(total) + "\n";
   }
   return out;

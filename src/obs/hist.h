@@ -154,8 +154,10 @@ hist_count(const HistSnapshot& s, Hist h);
 
 /// Prometheus text exposition of every non-empty histogram (cumulative
 /// `le` buckets, `_sum`, `_count`), prefixed `kacc_`. `runtime` becomes a
-/// label on every series.
+/// label on every series; a non-empty `tenant` adds a tenant label (the
+/// multi-team node runtime emits one snapshot per tenant).
 [[nodiscard]] std::string hist_prom_text(const HistSnapshot& s,
-                                         const std::string& runtime);
+                                         const std::string& runtime,
+                                         const std::string& tenant = "");
 
 } // namespace kacc::obs

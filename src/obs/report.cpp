@@ -290,10 +290,10 @@ void flush_trace() {
 }
 
 void maybe_dump_metrics(const TeamObs& obs, const std::string& runtime) {
-  static const std::string dest = [] {
-    const char* s = std::getenv("KACC_METRICS");
-    return std::string(s != nullptr ? s : "");
-  }();
+  // Read per call, like KACC_METRICS_PROM: appends are per team run, and
+  // tests point the env at a temp file for a single run.
+  const char* env = std::getenv("KACC_METRICS");
+  const std::string dest(env != nullptr ? env : "");
   if (dest.empty()) {
     return;
   }
@@ -315,7 +315,11 @@ void maybe_dump_metrics(const TeamObs& obs, const std::string& runtime) {
     }
   }
   line += ",\"drift\":{\"alarms\":" + std::to_string(alarms) +
-          ",\"stale_ranks\":[" + stale_ranks + "]}}\n";
+          ",\"stale_ranks\":[" + stale_ranks + "]}";
+  if (!obs.tenant.empty()) {
+    line += ",\"tenant\":\"" + obs.tenant + "\"";
+  }
+  line += "}\n";
   if (dest == "-" || dest == "stderr") {
     std::fwrite(line.data(), 1, line.size(), stderr);
     return;
@@ -337,7 +341,8 @@ void maybe_dump_metrics_prom(const TeamObs& obs,
   if (dest == nullptr || *dest == '\0') {
     return;
   }
-  const std::string text = hist_prom_text(obs.hist_totals, runtime);
+  const std::string text = hist_prom_text(obs.hist_totals, runtime,
+                                          obs.tenant);
   std::FILE* f = std::fopen(dest, "w");
   if (f == nullptr) {
     KACC_LOG_ERROR("KACC_METRICS_PROM: cannot open " << dest);

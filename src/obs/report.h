@@ -35,6 +35,10 @@ struct RankTrace {
 
 /// Observability outcome of one team run.
 struct TeamObs {
+  /// Tenant label for multi-team (kacc::node) runs; "" for standalone
+  /// teams. When set, KACC_METRICS lines gain a "tenant" member and
+  /// KACC_METRICS_PROM series a tenant label.
+  std::string tenant;
   std::vector<CounterSnapshot> per_rank;
   CounterSnapshot totals{};
   /// Empty when tracing was disabled for the run.

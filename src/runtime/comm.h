@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 
@@ -150,6 +151,19 @@ public:
   /// (simulation relies on the engine's deadlock detection instead).
   [[nodiscard]] virtual double nbc_deadline_us() const { return 0.0; }
 
+  /// Node-arbiter lease hook (kacc::node). When set, the nbc progress
+  /// engine clamps every request's admission cap to the leased quota,
+  /// re-reading it each progress pass so a revocation or re-lease takes
+  /// effect mid-operation. The function returns the team's current leased
+  /// per-source inflight cap; 0 means "no lease" (no clamp). Unset by
+  /// default — standalone teams behave exactly as before.
+  void set_node_quota_fn(std::function<int()> fn) {
+    node_quota_fn_ = std::move(fn);
+  }
+  [[nodiscard]] int node_quota() const {
+    return node_quota_fn_ ? node_quota_fn_() : 0;
+  }
+
   /// Opaque per-communicator extension slot; the nbc progress engine
   /// parks its per-rank state here so Comm stays below the nbc layer.
   class NbcState {
@@ -172,6 +186,7 @@ protected:
 
 private:
   std::unique_ptr<NbcState> nbc_state_;
+  std::function<int()> node_quota_fn_;
 };
 
 } // namespace kacc

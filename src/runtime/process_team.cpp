@@ -249,6 +249,7 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
     obs::publish_trace(result.obs.traces,
                        "native p=" + std::to_string(nranks));
   }
+  result.obs.tenant = opts.tenant;
   obs::maybe_dump_metrics(result.obs, "native");
   obs::maybe_dump_metrics_prom(result.obs, "native");
   if (!result.all_ok() && obs::postmortem_enabled()) {

@@ -47,6 +47,11 @@ struct TeamOptions {
   /// even under KACC_TRACE; the default is applied only when KACC_TRACE is
   /// set (no rings are carved out otherwise).
   std::size_t trace_slots = 4096;
+  /// Tenant label for co-scheduled multi-team runs (kacc::node): stamps
+  /// TeamObs.tenant so KACC_METRICS / KACC_METRICS_PROM output is
+  /// attributable per team. "" (the default) keeps single-team output
+  /// byte-identical.
+  std::string tenant;
 };
 
 /// Runs `body(comm)` in `nranks` forked processes. Safe to call from tests;

@@ -475,8 +475,6 @@ sim::Breakdown SimComm::timed_cma(int owner, std::uint64_t bytes,
   return engine_->cma_transfer(rank_, owner, bytes, 1.0, cross, with_copy);
 }
 
-namespace {
-
 /// Snapshots the team's counter blocks, folds in the engine's world-level
 /// counters, and moves collected spans out of the sinks.
 obs::TeamObs collect_sim_obs(SimTeamState& team, const sim::SimEngine& engine,
@@ -510,6 +508,8 @@ obs::TeamObs collect_sim_obs(SimTeamState& team, const sim::SimEngine& engine,
   }
   return out;
 }
+
+namespace {
 
 void report_sim_obs(const obs::TeamObs& obs, int nranks) {
   if (!obs.traces.empty()) {

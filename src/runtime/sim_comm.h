@@ -125,6 +125,13 @@ struct SimRunResult {
   obs::TeamObs obs;
 };
 
+/// Snapshots a team's obs state (counters, hists, drift, flights, traces)
+/// and folds in the engine's world-level counters. Used by the run_sim
+/// launchers below and by composite launchers (kacc::node) that build
+/// their own worlds over one SimTeamState.
+obs::TeamObs collect_sim_obs(SimTeamState& team, const sim::SimEngine& engine,
+                             int nranks);
+
 /// Convenience launcher: builds an engine for (spec, nranks), runs
 /// `body(comm)` on every simulated rank, rethrows the first failure.
 /// `move_data=false` enables the timing-only mode (see SimTeamState).

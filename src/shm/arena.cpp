@@ -1,6 +1,8 @@
 #include "shm/arena.h"
 
+#include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -443,6 +445,223 @@ const char* ShmArena::result_message(int rank) const {
   const std::byte* slot = base_ + layout_.results_off +
                           static_cast<std::size_t>(rank) * 5 * 64;
   return reinterpret_cast<const char*>(slot + 64);
+}
+
+// ----- NamedShm (cross-team attach mode) -----
+
+namespace {
+
+constexpr std::uint64_t kNamedMagic = 0x6b616363'6e6f6465ull; // "kacc node"
+
+/// Validation header at the front of every named segment. The creator
+/// stamps magic/bytes before publishing `ready`; attachers validate both
+/// so mismatched builds fail fast instead of corrupting each other.
+struct NamedShmHeader {
+  std::uint64_t magic;
+  std::uint64_t payload_bytes;
+  std::atomic<std::uint32_t> ready;
+};
+
+std::size_t named_total_bytes(std::size_t payload_bytes) {
+  return align_up(sizeof(NamedShmHeader), kCacheLine) + payload_bytes;
+}
+
+std::string shm_name_arg(const std::string& name) {
+  // shm_open wants a leading slash and no others.
+  if (!name.empty() && name.front() == '/') {
+    return name;
+  }
+  return "/" + name;
+}
+
+} // namespace
+
+NamedShm::NamedShm(const std::string& name, std::size_t payload_bytes,
+                   Mode mode)
+    : name_(name), payload_bytes_(payload_bytes) {
+  KACC_CHECK_MSG(!name.empty(), "NamedShm: empty segment name");
+  KACC_CHECK_MSG(payload_bytes > 0, "NamedShm: empty payload");
+  const std::string path = shm_name_arg(name);
+  total_bytes_ = named_total_bytes(payload_bytes);
+
+  int fd = -1;
+  // Bounded retry: a kCreateOrAttach loser can see the winner unlink and
+  // vanish between its failed O_EXCL create and its attach. Rare — one
+  // more lap resolves it.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (mode != Mode::kAttach) {
+      fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+      if (fd >= 0) {
+        created_ = true;
+        break;
+      }
+      if (errno != EEXIST) {
+        throw SyscallError("shm_open create " + path, errno);
+      }
+      if (mode == Mode::kCreate) {
+        throw InvalidArgument(
+            "named arena segment " + path +
+            " already exists: another team created it first "
+            "(first-writer wins — attach instead, or unlink the stale "
+            "segment if its owner is gone)");
+      }
+    }
+    fd = ::shm_open(path.c_str(), O_RDWR, 0600);
+    if (fd >= 0) {
+      break;
+    }
+    if (errno == ENOENT && mode == Mode::kCreateOrAttach) {
+      continue; // creator unlinked between our create and attach
+    }
+    if (errno == ENOENT) {
+      throw InvalidArgument("named arena segment " + path +
+                            " does not exist: create it first (or use "
+                            "create-or-attach for race-safe rendezvous)");
+    }
+    throw SyscallError("shm_open attach " + path, errno);
+  }
+  if (fd < 0) {
+    throw InternalError("NamedShm: create/attach race on " + path +
+                        " did not settle");
+  }
+
+  if (created_) {
+    if (::ftruncate(fd, static_cast<off_t>(total_bytes_)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      ::shm_unlink(path.c_str());
+      throw SyscallError("ftruncate " + path, err);
+    }
+  } else {
+    // Wait (bounded) for the creator to finish sizing: a raced attacher
+    // can open the segment before ftruncate ran. A non-zero size that is
+    // not ours is a geometry mismatch, not a race — fail fast.
+    struct stat st {};
+    WaitContext ctx;
+    ctx.deadline = Deadline::after_ms(5'000.0);
+    ctx.what = "named shm attach (creator sizing)";
+    try {
+      spin_until(
+          [&] {
+            if (::fstat(fd, &st) != 0) {
+              const int err = errno;
+              ::close(fd);
+              throw SyscallError("fstat " + path, err);
+            }
+            return st.st_size != 0;
+          },
+          ctx);
+    } catch (const TimeoutError&) {
+      ::close(fd);
+      throw TimeoutError("named arena segment " + path +
+                         " never sized: creator died before ftruncate?");
+    }
+    if (static_cast<std::size_t>(st.st_size) != total_bytes_) {
+      const auto have = static_cast<std::size_t>(st.st_size);
+      ::close(fd);
+      throw InvalidArgument(
+          "named arena segment " + path + " size mismatch: existing " +
+          std::to_string(have) + " bytes, this build expects " +
+          std::to_string(total_bytes_) +
+          " (two builds disagree on the arbiter layout?)");
+    }
+  }
+
+  void* mem = ::mmap(nullptr, total_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  ::close(fd);
+  if (mem == MAP_FAILED) {
+    if (created_) {
+      ::shm_unlink(path.c_str());
+    }
+    throw SyscallError("mmap named shm " + path, map_err);
+  }
+  base_ = static_cast<std::byte*>(mem);
+  auto* hdr = reinterpret_cast<NamedShmHeader*>(base_);
+
+  if (created_) {
+    // Fresh segments are zero pages; only the header needs stamping.
+    hdr->magic = kNamedMagic;
+    hdr->payload_bytes = payload_bytes;
+    hdr->ready.store(1, std::memory_order_release);
+    return;
+  }
+  // Attacher: block (bounded) until the creator publishes, then validate.
+  WaitContext ctx;
+  ctx.deadline = Deadline::after_ms(5'000.0);
+  ctx.what = "named shm ready flag";
+  spin_until([&] { return hdr->ready.load(std::memory_order_acquire) != 0; },
+             ctx);
+  if (hdr->magic != kNamedMagic) {
+    detach();
+    throw InvalidArgument("named arena segment " + path +
+                          " has wrong magic: not a kacc node segment "
+                          "(name collision with another application?)");
+  }
+  if (hdr->payload_bytes != payload_bytes) {
+    const std::uint64_t have = hdr->payload_bytes;
+    detach();
+    throw InvalidArgument(
+        "named arena segment " + path + " payload mismatch: existing " +
+        std::to_string(have) + " bytes, this build expects " +
+        std::to_string(payload_bytes) +
+        " (two builds disagree on the arbiter layout?)");
+  }
+}
+
+void* NamedShm::payload() const {
+  KACC_CHECK_MSG(base_ != nullptr, "NamedShm: not attached");
+  return base_ + align_up(sizeof(NamedShmHeader), kCacheLine);
+}
+
+void NamedShm::unlink(const std::string& name) {
+  ::shm_unlink(shm_name_arg(name).c_str());
+}
+
+void NamedShm::detach() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, total_bytes_);
+    base_ = nullptr;
+  }
+}
+
+NamedShm::~NamedShm() {
+  const bool was_creator = created_;
+  const std::string path = base_ != nullptr ? shm_name_arg(name_) : "";
+  detach();
+  if (was_creator && !path.empty()) {
+    ::shm_unlink(path.c_str());
+  }
+}
+
+NamedShm::NamedShm(NamedShm&& other) noexcept
+    : name_(std::move(other.name_)), base_(other.base_),
+      total_bytes_(other.total_bytes_),
+      payload_bytes_(other.payload_bytes_), created_(other.created_) {
+  other.base_ = nullptr;
+  other.created_ = false;
+}
+
+NamedShm& NamedShm::operator=(NamedShm&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) {
+      const bool was_creator = created_;
+      const std::string path = shm_name_arg(name_);
+      detach();
+      if (was_creator) {
+        ::shm_unlink(path.c_str());
+      }
+    }
+    name_ = std::move(other.name_);
+    base_ = other.base_;
+    total_bytes_ = other.total_bytes_;
+    payload_bytes_ = other.payload_bytes_;
+    created_ = other.created_;
+    other.base_ = nullptr;
+    other.created_ = false;
+  }
+  return *this;
 }
 
 } // namespace kacc::shm

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <sys/types.h>
 
 #include "obs/counters.h"
@@ -206,6 +207,63 @@ public:
 private:
   std::byte* base_ = nullptr;
   ArenaLayout layout_;
+};
+
+/// Cross-team attach mode: a *named* POSIX shared-memory segment that
+/// unrelated processes can rendezvous on (the per-team ShmArena above is
+/// anonymous and inherited over fork — it cannot be joined from outside).
+/// The node arbiter's well-known segment lives here.
+///
+/// Create-vs-attach races resolve first-writer-wins: creation goes through
+/// shm_open(O_CREAT|O_EXCL), so exactly one contender creates (and later
+/// unlinks); every loser attaches the winner's segment. An explicit
+/// kCreate that loses the race fails fast with a clear error, as does an
+/// attach to a segment whose magic or size does not match — a mismatched
+/// geometry means two builds disagree on the layout and sharing it would
+/// corrupt both.
+class NamedShm {
+public:
+  enum class Mode {
+    kCreate,         ///< must be first: EEXIST is an error
+    kAttach,         ///< must already exist: ENOENT is an error
+    kCreateOrAttach, ///< race-safe: first writer wins, losers attach
+  };
+
+  NamedShm() = default;
+
+  /// Creates or attaches `/name` with `payload_bytes` of zero-initialized
+  /// payload after the validation header. The creator sizes and stamps the
+  /// segment, then publishes a ready flag; attachers block (bounded) until
+  /// the flag is up, so a loser never reads a half-initialized segment.
+  NamedShm(const std::string& name, std::size_t payload_bytes, Mode mode);
+  ~NamedShm();
+
+  NamedShm(const NamedShm&) = delete;
+  NamedShm& operator=(const NamedShm&) = delete;
+  NamedShm(NamedShm&& other) noexcept;
+  NamedShm& operator=(NamedShm&& other) noexcept;
+
+  [[nodiscard]] bool valid() const { return base_ != nullptr; }
+  /// True iff this handle won the creation race (first writer).
+  [[nodiscard]] bool created() const { return created_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The zeroed payload region (after the header).
+  [[nodiscard]] void* payload() const;
+  [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
+
+  /// Removes the name from the namespace (existing mappings survive).
+  /// Idempotent; missing names are ignored.
+  static void unlink(const std::string& name);
+
+private:
+  void detach() noexcept;
+
+  std::string name_;
+  std::byte* base_ = nullptr;
+  std::size_t total_bytes_ = 0;
+  std::size_t payload_bytes_ = 0;
+  bool created_ = false;
 };
 
 } // namespace kacc::shm

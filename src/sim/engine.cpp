@@ -16,8 +16,8 @@ SimEngine::SimEngine(ArchSpec spec, int nranks)
   cma_ops_.resize(static_cast<std::size_t>(nranks), 0);
   resources_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    resources_.push_back(
-        std::make_unique<ContendedResource>(&spec_, &active_cross_ops_));
+    resources_.push_back(std::make_unique<ContendedResource>(
+        &spec_, &active_cross_ops_, &active_node_ops_));
   }
 }
 
@@ -160,6 +160,7 @@ void SimEngine::maybe_complete_recovery_locked() {
     }
   }
   active_cross_ops_ = 0; // abandoned cross ops never ran their decrement
+  active_node_ops_ = 0;  // ditto for the node-wide stream count
 
   // Epoch fence, part 2: quarantine every stale channel post and reset the
   // half-entered rendezvous context.
@@ -386,11 +387,19 @@ Breakdown SimEngine::cma_transfer(int rank, int owner, std::uint64_t bytes,
   st.in_resource = true;
   const auto rerate = make_rerate_locked();
 
-  if (cross) {
-    // The shared link's rate changes for every in-flight cross transfer:
-    // integrate everyone at the old rate first.
+  // A global rate (the socket link, or the node-wide memory stream count
+  // under the shared node domain) changes with this op's membership:
+  // integrate everyone at the old rate first, re-publish after.
+  const bool node_stream = node_domain_enabled_ && with_copy;
+  const bool global_rate = cross || node_stream;
+  if (global_rate) {
     sync_all_resources_locked(st.clock);
-    ++active_cross_ops_;
+    if (cross) {
+      ++active_cross_ops_;
+    }
+    if (node_stream) {
+      ++active_node_ops_;
+    }
   }
   ContendedResource::OpTraits traits;
   traits.beta_mult = beta_mult;
@@ -401,22 +410,27 @@ Breakdown SimEngine::cma_transfer(int rank, int owner, std::uint64_t bytes,
       resources_[static_cast<std::size_t>(owner)]->begin(
           op_id, st.clock, pages, bytes, traits, rerate);
   st.wake = finish;
-  if (cross) {
+  if (global_rate) {
     notify_all_resources_locked(rerate);
   }
   st.state = State::kReady;
   schedule_next_locked();
   park_and_wait(lk, rank);
 
-  if (cross) {
+  if (global_rate) {
     sync_all_resources_locked(st.clock);
   }
   Breakdown phases = resources_[static_cast<std::size_t>(owner)]->end(
       op_id, st.clock, rerate);
   st.in_resource = false;
   op_owner_rank_.erase(op_id);
-  if (cross) {
-    --active_cross_ops_;
+  if (global_rate) {
+    if (cross) {
+      --active_cross_ops_;
+    }
+    if (node_stream) {
+      --active_node_ops_;
+    }
     notify_all_resources_locked(rerate);
   }
   phases.syscall_us = bd.syscall_us;
@@ -438,34 +452,48 @@ void SimEngine::shm_transfer(int rank, int owner, std::uint64_t bytes,
   st.in_resource = true;
   const auto rerate = make_rerate_locked();
 
-  if (cross) {
-    sync_all_resources_locked(st.clock);
-    ++active_cross_ops_;
-  }
   ContendedResource::OpTraits traits;
   traits.beta_mult = cross ? spec_.inter_socket_beta_mult : 1.0;
   traits.cross = cross;
   traits.lockless = true;
   traits.cache_resident = bytes <= spec_.shm_cache_threshold_bytes;
+  // Cache-resident copies never touch DRAM, so they stay out of the
+  // node-wide stream count even under the shared node domain.
+  const bool node_stream = node_domain_enabled_ && !traits.cache_resident;
+  const bool global_rate = cross || node_stream;
+  if (global_rate) {
+    sync_all_resources_locked(st.clock);
+    if (cross) {
+      ++active_cross_ops_;
+    }
+    if (node_stream) {
+      ++active_node_ops_;
+    }
+  }
   const std::uint64_t pages = spec_.pages(bytes);
   const double finish = resources_[static_cast<std::size_t>(owner)]->begin(
       op_id, st.clock, pages, bytes, traits, rerate);
   st.wake = finish;
-  if (cross) {
+  if (global_rate) {
     notify_all_resources_locked(rerate);
   }
   st.state = State::kReady;
   schedule_next_locked();
   park_and_wait(lk, rank);
 
-  if (cross) {
+  if (global_rate) {
     sync_all_resources_locked(st.clock);
   }
   resources_[static_cast<std::size_t>(owner)]->end(op_id, st.clock, rerate);
   st.in_resource = false;
   op_owner_rank_.erase(op_id);
-  if (cross) {
-    --active_cross_ops_;
+  if (global_rate) {
+    if (cross) {
+      --active_cross_ops_;
+    }
+    if (node_stream) {
+      --active_node_ops_;
+    }
     notify_all_resources_locked(rerate);
   }
 }

@@ -49,6 +49,18 @@ public:
   [[nodiscard]] const ArchSpec& spec() const { return spec_; }
   [[nodiscard]] int nranks() const { return nranks_; }
 
+  /// Turns on the shared node memory domain: every with-copy transfer
+  /// (CMA drain or uncached shm copy) counts against one node-wide stream
+  /// total, and each resource's DRAM bandwidth share becomes
+  /// max(local concurrency, node total) — the physical situation when
+  /// several co-scheduled teams run on one node. Must be called before
+  /// any rank thread starts. Off by default: the counter stays 0 and
+  /// every rate is bit-identical to the per-team model.
+  void enable_shared_node_domain() { node_domain_enabled_ = true; }
+  [[nodiscard]] bool shared_node_domain() const {
+    return node_domain_enabled_;
+  }
+
   /// Installs a deterministic fault plan. Must be called before any rank
   /// thread starts. Kills unwind the target's thread with RankKilled and,
   /// once every survivor is blocked on the dead rank, poison the engine so
@@ -219,6 +231,8 @@ private:
   int active_ = -1;
   int next_op_id_ = 1;
   int active_cross_ops_ = 0; ///< transfers currently crossing sockets
+  int active_node_ops_ = 0;  ///< node-wide memory-streaming transfers
+  bool node_domain_enabled_ = false; ///< see enable_shared_node_domain()
   std::uint64_t rerate_events_ = 0; ///< membership-change re-publishes
   int unstarted_ = 0;        ///< rank threads that have not called start()
 

@@ -8,8 +8,10 @@
 namespace kacc::sim {
 
 ContendedResource::ContendedResource(const ArchSpec* spec,
-                                     const int* global_cross_ops)
-    : spec_(spec), global_cross_ops_(global_cross_ops) {
+                                     const int* global_cross_ops,
+                                     const int* global_node_ops)
+    : spec_(spec), global_cross_ops_(global_cross_ops),
+      global_node_ops_(global_node_ops) {
   KACC_CHECK(spec != nullptr && global_cross_ops != nullptr);
 }
 
@@ -35,7 +37,13 @@ double ContendedResource::page_time(const Op& op, int c_lock,
   if (op.traits.with_copy) {
     double beta = spec_->beta_us_per_byte() * op.traits.beta_mult;
     if (!op.traits.cache_resident) {
-      beta = std::max(beta, static_cast<double>(c_total) /
+      int streams = c_total;
+      if (global_node_ops_ != nullptr) {
+        // Shared node memory domain: co-scheduled teams' streams all hit
+        // the same DRAM controllers regardless of which team issued them.
+        streams = std::max(streams, *global_node_ops_);
+      }
+      beta = std::max(beta, static_cast<double>(streams) /
                                 spec_->mem_bw_total_Bus);
     }
     if (op.traits.cross) {

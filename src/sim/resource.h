@@ -33,8 +33,15 @@ public:
   using RerateFn = std::function<void(int op_id, double new_finish)>;
 
   /// `global_cross_ops` points at the engine's count of in-flight
-  /// inter-socket transfers (shared link model).
-  ContendedResource(const ArchSpec* spec, const int* global_cross_ops);
+  /// inter-socket transfers (shared link model). `global_node_ops`
+  /// optionally points at the engine's node-wide count of in-flight
+  /// memory-streaming transfers: when co-scheduled teams share one
+  /// physical memory system (SimEngine::enable_shared_node_domain), the
+  /// DRAM bandwidth share is max(c_total, *global_node_ops) — streams
+  /// from *other* teams' resources still eat this node's bandwidth. A
+  /// counter that stays 0 leaves every rate unchanged.
+  ContendedResource(const ArchSpec* spec, const int* global_cross_ops,
+                    const int* global_node_ops = nullptr);
 
   /// Attaches an operation at virtual time `now`; returns its predicted
   /// finish time. `with_copy` false models a lock+pin-only probe
@@ -103,6 +110,7 @@ private:
 
   const ArchSpec* spec_;
   const int* global_cross_ops_;
+  const int* global_node_ops_;
   std::vector<Op> ops_;
   double last_t_ = 0.0;
 };

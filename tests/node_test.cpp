@@ -1,0 +1,779 @@
+// kacc::node suite: aggregate quota math, the shared-node cost model, the
+// named-segment rendezvous, arbiter lease lifecycle, co-scheduled sim and
+// native multi-team runs (including tenant death and lease reclamation),
+// the collective service's byte-exactness and QoS, and per-tenant
+// observability labels.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/bcast.h"
+#include "common/error.h"
+#include "model/predict.h"
+#include "nbc/governor.h"
+#include "nbc/nbc.h"
+#include "node/arbiter.h"
+#include "node/launch.h"
+#include "node/service.h"
+#include "obs/counters.h"
+#include "obs/report.h"
+#include "runtime/process_team.h"
+#include "runtime/sim_comm.h"
+#include "shm/arena.h"
+#include "sim/fault.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+constexpr std::uint64_t kChunk = 256 * 1024;
+
+// ---- aggregate quota math (nbc::aggregate_quotas) ----
+
+TEST(QuotaMath, SingleTenantMatchesOptimalCap) {
+  const ArchSpec spec = broadwell();
+  for (int p : {2, 4, 8, 16}) {
+    const std::vector<int> q =
+        nbc::aggregate_quotas(spec, kChunk, {{p, 1}});
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q[0], nbc::optimal_admission_cap(spec, kChunk, p)) << "p=" << p;
+  }
+}
+
+TEST(QuotaMath, SingletonTenantsGetCapOne) {
+  const std::vector<int> q =
+      nbc::aggregate_quotas(broadwell(), kChunk, {{1, 1}, {1, 4}, {1, 2}});
+  ASSERT_EQ(q.size(), 3u);
+  for (int c : q) {
+    EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(QuotaMath, SharesRespectWeightsAndDemand) {
+  const ArchSpec spec = broadwell();
+  const std::vector<int> q =
+      nbc::aggregate_quotas(spec, kChunk, {{8, 1}, {8, 3}});
+  ASSERT_EQ(q.size(), 2u);
+  // Every cap is a valid per-source inflight count for a team of 8 and the
+  // heavier tenant never gets less than the lighter one.
+  for (int c : q) {
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 7);
+  }
+  EXPECT_GE(q[1], q[0]);
+}
+
+TEST(QuotaMath, ArbitratedModelMakespanBeatsOblivious) {
+  // The acceptance criterion at model level: two co-scheduled teams whose
+  // oblivious governors each pick the solo-optimal cap pay more (in the
+  // shared-node cost model) than the arbitrated aggregate allocation.
+  const ArchSpec spec = broadwell();
+  for (int p : {8, 12, 16}) {
+    const int solo = nbc::optimal_admission_cap(spec, kChunk, p);
+    const double oblivious = nbc::shared_drain_cost_us(
+        spec, kChunk, p - 1, solo, 2 * solo);
+    const std::vector<int> q =
+        nbc::aggregate_quotas(spec, kChunk, {{p, 1}, {p, 1}});
+    ASSERT_EQ(q.size(), 2u);
+    const double arbitrated = nbc::shared_drain_cost_us(
+        spec, kChunk, p - 1, q[0], q[0] + q[1]);
+    EXPECT_LE(arbitrated, oblivious + 1e-9) << "p=" << p;
+  }
+}
+
+// ---- shared-node cost model ----
+
+TEST(SharedModel, DegeneratesToCmaTransfer) {
+  const ArchSpec spec = broadwell();
+  for (std::uint64_t eta : {std::uint64_t{4096}, std::uint64_t{262144},
+                            std::uint64_t{4 << 20}}) {
+    for (int c : {1, 2, 4, 8}) {
+      EXPECT_DOUBLE_EQ(predict::cma_transfer_shared(spec, eta, c, c),
+                       predict::cma_transfer(spec, eta, c))
+          << "eta=" << eta << " c=" << c;
+    }
+  }
+}
+
+TEST(SharedModel, NodeStreamsOnlyEverSlowDown) {
+  const ArchSpec spec = broadwell();
+  for (int node_c = 2; node_c <= 32; node_c *= 2) {
+    EXPECT_GE(predict::cma_transfer_shared(spec, 1 << 20, 2, node_c),
+              predict::cma_transfer(spec, 1 << 20, 2) - 1e-9);
+  }
+  // Monotone in the node-wide stream count.
+  EXPECT_GE(predict::cma_transfer_shared(spec, 1 << 20, 2, 16),
+            predict::cma_transfer_shared(spec, 1 << 20, 2, 8) - 1e-9);
+}
+
+// ---- named arbiter segment (shm::NamedShm) ----
+
+std::string unique_seg_name(const char* tag) {
+  return std::string("kacc-test-") + tag + "-" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+TEST(NamedSegment, CreateThenAttachRoundtrip) {
+  const std::string name = unique_seg_name("rt");
+  shm::NamedShm creator(name, 4096, shm::NamedShm::Mode::kCreate);
+  ASSERT_TRUE(creator.valid());
+  EXPECT_TRUE(creator.created());
+  std::memset(creator.payload(), 0x5a, 4096);
+
+  shm::NamedShm attacher(name, 4096, shm::NamedShm::Mode::kAttach);
+  ASSERT_TRUE(attacher.valid());
+  EXPECT_FALSE(attacher.created());
+  EXPECT_EQ(attacher.payload_bytes(), 4096u);
+  const auto* bytes = static_cast<const unsigned char*>(attacher.payload());
+  EXPECT_EQ(bytes[0], 0x5au);
+  EXPECT_EQ(bytes[4095], 0x5au);
+  shm::NamedShm::unlink(name);
+}
+
+TEST(NamedSegment, SizeMismatchFailsFast) {
+  const std::string name = unique_seg_name("sz");
+  shm::NamedShm creator(name, 4096, shm::NamedShm::Mode::kCreate);
+  EXPECT_THROW(shm::NamedShm(name, 8192, shm::NamedShm::Mode::kAttach),
+               InvalidArgument);
+  shm::NamedShm::unlink(name);
+}
+
+TEST(NamedSegment, AttachMissingAndDoubleCreateFailFast) {
+  const std::string name = unique_seg_name("ff");
+  EXPECT_THROW(shm::NamedShm(name, 4096, shm::NamedShm::Mode::kAttach),
+               Error);
+  shm::NamedShm creator(name, 4096, shm::NamedShm::Mode::kCreate);
+  EXPECT_THROW(shm::NamedShm(name, 4096, shm::NamedShm::Mode::kCreate),
+               Error);
+  shm::NamedShm::unlink(name);
+}
+
+TEST(NamedSegment, CreateRaceHasExactlyOneWinner) {
+  // First-writer-wins: racing kCreateOrAttach opens from forked processes
+  // must produce exactly one created() handle; everyone else attaches the
+  // same payload.
+  const std::string name = unique_seg_name("race");
+  constexpr int kRacers = 8;
+  std::vector<pid_t> pids;
+  for (int i = 0; i < kRacers; ++i) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      try {
+        shm::NamedShm seg(name, 4096, shm::NamedShm::Mode::kCreateOrAttach);
+        if (!seg.valid()) {
+          ::_exit(9);
+        }
+        ::_exit(seg.created() ? 1 : 0);
+      } catch (...) {
+        ::_exit(8);
+      }
+    }
+    pids.push_back(pid);
+  }
+  int creators = 0;
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    const int code = WEXITSTATUS(status);
+    ASSERT_TRUE(code == 0 || code == 1) << "racer failed with " << code;
+    creators += code;
+  }
+  EXPECT_EQ(creators, 1);
+  shm::NamedShm::unlink(name);
+}
+
+// ---- arbiter lease lifecycle ----
+
+TEST(Arbiter, LeaseLifecycleAndRevocation) {
+  const ArchSpec spec = broadwell();
+  auto seg = std::make_unique<node::ArbiterSegment>();
+  node::NodeArbiter::init_segment(seg.get(), kChunk);
+  node::NodeArbiter::validate_segment(seg.get(), kChunk);
+  node::NodeArbiter arb(seg.get(), spec);
+
+  const int a = arb.join("alpha", 8, 1, 0);
+  EXPECT_EQ(arb.active_tenants(), 1);
+  const int solo = arb.quota(a);
+  EXPECT_EQ(solo, nbc::optimal_admission_cap(spec, kChunk, 8));
+
+  const int b = arb.join("beta", 8, 1, 0);
+  EXPECT_EQ(arb.active_tenants(), 2);
+  // Identical demand and weight lease identical quotas, and the advertised
+  // aggregate is their sum.
+  EXPECT_EQ(arb.quota(a), arb.quota(b));
+  EXPECT_EQ(arb.aggregate_streams(), arb.quota(a) + arb.quota(b));
+  const node::TenantView bv = arb.view(b);
+  EXPECT_TRUE(bv.active);
+  EXPECT_EQ(bv.name, "beta");
+  EXPECT_EQ(bv.team_size, 8);
+
+  const std::uint64_t before = arb.epoch();
+  EXPECT_TRUE(arb.revoke(b));
+  EXPECT_GT(arb.epoch(), before);
+  EXPECT_EQ(arb.quota(b), 0);
+  EXPECT_FALSE(arb.revoke(b)) << "revoking a free slot must be benign";
+  // The freed credits return to the survivor: back to the solo lease.
+  EXPECT_EQ(arb.quota(a), solo);
+
+  arb.leave(a);
+  EXPECT_EQ(arb.active_tenants(), 0);
+}
+
+TEST(Arbiter, JoinBeyondCapacityFailsFast) {
+  auto seg = std::make_unique<node::ArbiterSegment>();
+  node::NodeArbiter::init_segment(seg.get(), kChunk);
+  node::NodeArbiter arb(seg.get(), broadwell());
+  for (int i = 0; i < node::kMaxTenants; ++i) {
+    arb.join("t" + std::to_string(i), 2, 1, 0);
+  }
+  EXPECT_THROW(arb.join("overflow", 2, 1, 0), Error);
+}
+
+TEST(Arbiter, ReapRevokesStaleHeartbeats) {
+  auto seg = std::make_unique<node::ArbiterSegment>();
+  node::NodeArbiter::init_segment(seg.get(), kChunk);
+  node::NodeArbiter arb(seg.get(), broadwell());
+  const int a = arb.join("live", 4, 1, 0);
+  const int b = arb.join("stale", 4, 1, 0);
+  arb.heartbeat(a, 1'000'000);
+  arb.heartbeat(b, 100'000);
+  EXPECT_EQ(arb.reap(1'050'000, 200'000), 1);
+  EXPECT_FALSE(arb.view(b).active);
+  EXPECT_GT(arb.quota(a), 0);
+  // ttl 0 disables staleness (pid 0 tenants are never pid-reaped).
+  EXPECT_EQ(arb.reap(9'000'000, 0), 0);
+}
+
+TEST(Arbiter, SegmentValidationRejectsForeignGeometry) {
+  auto seg = std::make_unique<node::ArbiterSegment>();
+  node::NodeArbiter::init_segment(seg.get(), kChunk);
+  EXPECT_THROW(node::NodeArbiter::validate_segment(seg.get(), kChunk * 2),
+               InvalidArgument);
+  seg->magic ^= 1;
+  EXPECT_THROW(node::NodeArbiter::validate_segment(seg.get(), kChunk),
+               InvalidArgument);
+}
+
+// ---- co-scheduled sim node runs ----
+
+node::NodeRunResult run_two_team_sim(bool arbitrate, int per_team,
+                                     std::size_t bytes, int iters) {
+  // Same-root concurrent broadcasts: every data step of both requests
+  // targets the tenant root's pages, so each team's own governor runs at
+  // its solo-optimal per-source cap — the exact over-admission the node
+  // arbiter exists to correct. Timing-only (move_data=false).
+  constexpr std::uint64_t chunk = 64 * 1024;
+  std::vector<node::NodeTenant> tenants;
+  for (int t = 0; t < 2; ++t) {
+    node::NodeTenant ten;
+    ten.name = "t" + std::to_string(t);
+    ten.nranks = per_team;
+    ten.body = [bytes, iters](node::TenantSession& s) {
+      std::vector<std::byte> a(bytes);
+      std::vector<std::byte> b(bytes);
+      nbc::Options nopts;
+      nopts.chunk_bytes = chunk;
+      for (int i = 0; i < iters; ++i) {
+        nbc::Request reqs[2] = {
+            nbc::ibcast(s.comm(), a.data(), bytes, 0,
+                        coll::BcastAlgo::kDirectRead, {}, nopts),
+            nbc::ibcast(s.comm(), b.data(), bytes, 0,
+                        coll::BcastAlgo::kDirectRead, {}, nopts),
+        };
+        nbc::wait_all(reqs);
+      }
+    };
+    tenants.push_back(std::move(ten));
+  }
+  node::NodeOptions opts;
+  opts.arbitrate = arbitrate;
+  opts.chunk_bytes = chunk;
+  opts.move_data = false; // timing-only: the payloads are never touched
+  return node::run_sim_node(knl(), tenants, opts);
+}
+
+TEST(SimNode, ArbitratedAggregateBeatsOblivious) {
+  // knl at 12 ranks/team: the solo-optimal cap is 11 streams per source,
+  // the two-tenant lease is 4 each — arbitration visibly changes admission.
+  const node::NodeRunResult oblivious =
+      run_two_team_sim(/*arbitrate=*/false, 12, 1 << 20, 2);
+  const node::NodeRunResult arbitrated =
+      run_two_team_sim(/*arbitrate=*/true, 12, 1 << 20, 2);
+  ASSERT_TRUE(oblivious.all_ok());
+  ASSERT_TRUE(arbitrated.all_ok());
+  EXPECT_EQ(oblivious.final_epoch, 0u);
+  EXPECT_GE(arbitrated.final_epoch, 2u); // one bump per join
+  ASSERT_EQ(arbitrated.quotas.size(), 2u);
+  EXPECT_GT(arbitrated.quotas[0], 0);
+  EXPECT_GT(arbitrated.quotas[1], 0);
+  // The leases actually bound the progress engine at least once.
+  EXPECT_GT(arbitrated.obs.total(obs::Counter::kNodeQuotaClamped), 0u);
+  // And arbitration pays off end to end in the shared-node simulation.
+  EXPECT_LT(arbitrated.makespan_us, oblivious.makespan_us);
+}
+
+TEST(SimNode, DeterministicMakespan) {
+  const node::NodeRunResult a = run_two_team_sim(true, 4, 256 * 1024, 2);
+  const node::NodeRunResult b = run_two_team_sim(true, 4, 256 * 1024, 2);
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+  ASSERT_EQ(a.quotas.size(), b.quotas.size());
+  EXPECT_EQ(a.quotas, b.quotas);
+}
+
+TEST(SimNode, SharedNodeDomainCostsMore) {
+  // The same two-team workload on a private memory domain per team (the
+  // pre-node model) must be optimistic versus the shared-node domain.
+  std::vector<node::NodeTenant> tenants;
+  for (int t = 0; t < 2; ++t) {
+    node::NodeTenant ten;
+    ten.name = "t" + std::to_string(t);
+    ten.nranks = 6;
+    ten.body = [](node::TenantSession& s) {
+      std::vector<std::byte> snd(1 << 20);
+      std::vector<std::byte> rcv((1 << 20) * 6);
+      nbc::Request r =
+          nbc::iallgather(s.comm(), snd.data(), rcv.data(), 1 << 20);
+      nbc::wait(r);
+    };
+    tenants.push_back(std::move(ten));
+  }
+  node::NodeOptions opts;
+  opts.arbitrate = false;
+  opts.move_data = false;
+  opts.shared_node_domain = false;
+  const node::NodeRunResult priv =
+      node::run_sim_node(broadwell(), tenants, opts);
+  opts.shared_node_domain = true;
+  const node::NodeRunResult shared =
+      node::run_sim_node(broadwell(), tenants, opts);
+  ASSERT_TRUE(priv.all_ok());
+  ASSERT_TRUE(shared.all_ok());
+  EXPECT_GE(shared.makespan_us, priv.makespan_us);
+}
+
+TEST(SimNode, TenantDeathReclaimsLeaseWithoutStallingSurvivors) {
+  // Tenant 1's global rank 6 dies mid-run. Tenant 1's survivors abandon
+  // (return from the body); tenant 0's ranks heal and keep issuing work.
+  // The heal path must revoke the dead tenant's lease so its credits
+  // return to the pool.
+  std::vector<node::NodeTenant> tenants(2);
+  tenants[0].name = "keeper";
+  tenants[0].nranks = 4;
+  tenants[0].body = [](node::TenantSession& s) {
+    std::vector<std::byte> snd(64 * 1024);
+    std::vector<std::byte> rcv(64 * 1024 * 4);
+    // Ranks may observe the death at different loop indices; break on the
+    // first heal and run a lockstep post-heal batch so every survivor
+    // issues the same number of collectives.
+    bool healed = false;
+    for (int i = 0; i < 40 && !healed; ++i) {
+      try {
+        nbc::Request r = nbc::iallgather(s.comm(), snd.data(), rcv.data(),
+                                         64 * 1024);
+        nbc::wait(r);
+      } catch (const PeerDiedError&) {
+        s.heal();
+        healed = true;
+      }
+    }
+    for (int i = 0; i < 10; ++i) {
+      nbc::Request r = nbc::iallgather(s.comm(), snd.data(), rcv.data(),
+                                       64 * 1024);
+      nbc::wait(r);
+    }
+    if (s.quota() <= 0) {
+      throw Error("survivor tenant lost its lease");
+    }
+  };
+  tenants[1].name = "victim";
+  tenants[1].nranks = 3;
+  tenants[1].body = [](node::TenantSession& s) {
+    std::vector<std::byte> snd(64 * 1024);
+    std::vector<std::byte> rcv(64 * 1024 * 3);
+    try {
+      for (int i = 0; i < 1000; ++i) {
+        nbc::Request r = nbc::iallgather(s.comm(), snd.data(), rcv.data(),
+                                         64 * 1024);
+        nbc::wait(r);
+      }
+    } catch (const PeerDiedError&) {
+      // Abandon: the surviving keeper ranks reclaim our lease.
+    }
+  };
+  node::NodeOptions opts;
+  opts.chunk_bytes = 64 * 1024;
+  opts.move_data = false;
+  opts.faults.kill_rank(5, 60.0); // global rank 5 = victim's rank 1
+  const node::NodeRunResult res =
+      node::run_sim_node(broadwell(), tenants, opts);
+
+  ASSERT_EQ(res.outcomes.size(), 7u);
+  EXPECT_EQ(res.outcomes[5].kind, sim::RankOutcome::Kind::kKilled);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+              sim::RankOutcome::Kind::kOk)
+        << "keeper rank " << r << ": "
+        << res.outcomes[static_cast<std::size_t>(r)].message;
+  }
+  ASSERT_EQ(res.quotas.size(), 2u);
+  EXPECT_GT(res.quotas[0], 0) << "survivor keeps a lease";
+  EXPECT_EQ(res.quotas[1], 0) << "dead tenant's lease reclaimed";
+  EXPECT_GE(res.obs.total(obs::Counter::kNodeLeaseRevocations), 1u);
+  // join + join + revoke-recompute, at minimum.
+  EXPECT_GE(res.final_epoch, 3u);
+}
+
+// ---- collective service ----
+
+std::vector<node::ServiceTenant> two_tenant_table(int per, int w0, int w1) {
+  std::vector<node::ServiceTenant> table(2);
+  table[0].name = "svc0";
+  table[0].weight = w0;
+  table[1].name = "svc1";
+  table[1].weight = w1;
+  for (int r = 0; r < per; ++r) {
+    table[0].members.push_back(r);
+    table[1].members.push_back(per + r);
+  }
+  return table;
+}
+
+TEST(Service, ByteExactAcrossTenants) {
+  // Every op kind, both tenants, fused through the service: results must
+  // be byte-identical to direct execution semantics.
+  const int per = 3;
+  const std::size_t bytes = 4096;
+  const SimRunResult res = run_sim(broadwell(), 2 * per, [&](Comm& comm) {
+    node::CollectiveService svc(comm, two_tenant_table(per, 1, 2));
+    const int t = svc.tenant();
+    const int vr = comm.rank() % per;
+    auto pat = [&](int src, std::size_t i) {
+      return static_cast<std::uint8_t>(29 * t + 13 * src + 7 * i + 3);
+    };
+
+    std::vector<std::uint8_t> bc(bytes);
+    std::vector<std::uint8_t> sc_send(bytes * per), sc_recv(bytes);
+    std::vector<std::uint8_t> ga_recv(bytes * per);
+    std::vector<std::uint8_t> ag_send(bytes), ag_recv(bytes * per);
+    std::vector<std::uint8_t> a2a_send(bytes * per), a2a_recv(bytes * per);
+
+    for (std::size_t i = 0; i < bytes; ++i) {
+      bc[i] = vr == 1 ? pat(100, i) : 0;
+      ag_send[i] = pat(vr, i);
+    }
+    for (int blk = 0; blk < per; ++blk) {
+      for (std::size_t i = 0; i < bytes; ++i) {
+        sc_send[blk * bytes + i] = vr == 0 ? pat(200 + blk, i) : 0;
+        a2a_send[blk * bytes + i] =
+            static_cast<std::uint8_t>(pat(vr, i) + blk);
+      }
+    }
+
+    svc.submit_bcast(bc.data(), bytes, /*root=*/1);
+    svc.submit_scatter(sc_send.data(), sc_recv.data(), bytes, /*root=*/0);
+    svc.submit_gather(ag_send.data(), ga_recv.data(), bytes, /*root=*/2);
+    svc.submit_allgather(ag_send.data(), ag_recv.data(), bytes);
+    svc.submit_alltoall(a2a_send.data(), a2a_recv.data(), bytes);
+    svc.flush();
+
+    for (std::size_t i = 0; i < bytes; ++i) {
+      if (bc[i] != pat(100, i)) {
+        throw Error("bcast mismatch");
+      }
+      if (sc_recv[i] != pat(200 + vr, i)) {
+        throw Error("scatter mismatch");
+      }
+    }
+    for (int src = 0; src < per; ++src) {
+      for (std::size_t i = 0; i < bytes; ++i) {
+        if (vr == 2 && ga_recv[src * bytes + i] != pat(src, i)) {
+          throw Error("gather mismatch");
+        }
+        if (ag_recv[src * bytes + i] != pat(src, i)) {
+          throw Error("allgather mismatch");
+        }
+        if (a2a_recv[src * bytes + i] !=
+            static_cast<std::uint8_t>(pat(src, i) + vr)) {
+          throw Error("alltoall mismatch");
+        }
+      }
+    }
+    if (svc.accepted() != 5) {
+      throw Error("expected 5 accepted requests");
+    }
+    if (svc.batches() == 0) {
+      throw Error("expected at least one fused batch");
+    }
+  });
+  EXPECT_GT(res.obs.total(obs::Counter::kNodeServiceRequests), 0u);
+  EXPECT_GT(res.obs.total(obs::Counter::kNodeServiceBatches), 0u);
+}
+
+TEST(Service, WeightedCreditsPaceAdmission) {
+  // quantum == op cost, weights 1 vs 3: the light tenant drains one op per
+  // round, so six ops take exactly six fused rounds on every rank — the
+  // heavy tenant's identical queue rides along three ops per round.
+  const int per = 2;
+  const std::size_t bytes = 8192;
+  const int ops = 6;
+  run_sim(broadwell(), 2 * per, [&](Comm& comm) {
+    node::ServiceOptions sopts;
+    sopts.quantum_bytes = bytes;
+    node::CollectiveService svc(comm, two_tenant_table(per, 1, 3), sopts);
+    std::vector<std::uint8_t> buf(bytes, 1);
+    for (int i = 0; i < ops; ++i) {
+      svc.submit_bcast(buf.data(), bytes, 0);
+    }
+    svc.flush();
+    if (svc.batches() != static_cast<std::uint64_t>(ops)) {
+      throw Error("expected " + std::to_string(ops) + " rounds, got " +
+                  std::to_string(svc.batches()));
+    }
+  });
+}
+
+TEST(Service, StarvationBackstopAdmitsUnaffordableOps) {
+  // An op costing far more than the per-round credit accrual must still go
+  // through once the backstop trips — flush may never spin forever.
+  const std::size_t bytes = 64 * 1024;
+  run_sim(broadwell(), 2, [&](Comm& comm) {
+    node::ServiceTenant only;
+    only.name = "solo";
+    only.members = {0, 1};
+    node::ServiceOptions sopts;
+    sopts.quantum_bytes = 1024; // 64 rounds of credits per op without help
+    sopts.starvation_rounds = 2;
+    node::CollectiveService svc(comm, {only}, sopts);
+    std::vector<std::uint8_t> buf(bytes);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < bytes; ++i) {
+        buf[i] = static_cast<std::uint8_t>(i * 11 + 5);
+      }
+    }
+    svc.submit_bcast(buf.data(), bytes, 0);
+    svc.flush();
+    for (std::size_t i = 0; i < bytes; ++i) {
+      if (buf[i] != static_cast<std::uint8_t>(i * 11 + 5)) {
+        throw Error("backstop bcast mismatch");
+      }
+    }
+    if (svc.batches() != 1) {
+      throw Error("backstop should admit in exactly one fused round");
+    }
+  });
+}
+
+TEST(Service, RejectsBrokenTenantTables) {
+  run_sim(broadwell(), 4, [&](Comm& comm) {
+    bool threw = false;
+    try {
+      // Rank 3 belongs to no tenant.
+      node::ServiceTenant t0;
+      t0.name = "partial";
+      t0.members = {0, 1, 2};
+      node::CollectiveService svc(comm, {t0});
+    } catch (const InvalidArgument&) {
+      threw = true;
+    }
+    if (!threw) {
+      throw Error("partial tenant table must be rejected");
+    }
+    try {
+      node::ServiceTenant a, b;
+      a.name = "a";
+      a.members = {0, 1};
+      b.name = "b";
+      b.members = {1, 2, 3};
+      node::CollectiveService svc(comm, {a, b});
+      throw Error("overlapping tenant table must be rejected");
+    } catch (const InvalidArgument&) {
+    }
+  });
+}
+
+// ---- per-tenant observability ----
+
+TEST(NodeObs, PerTenantPromAndMetricsLabels) {
+  const std::string metrics_path =
+      ::testing::TempDir() + "node_metrics_" +
+      std::to_string(static_cast<long>(::getpid())) + ".jsonl";
+  ::setenv("KACC_METRICS", metrics_path.c_str(), 1);
+
+  std::vector<node::NodeTenant> tenants(2);
+  for (int t = 0; t < 2; ++t) {
+    tenants[static_cast<std::size_t>(t)].name = "ten" + std::to_string(t);
+    tenants[static_cast<std::size_t>(t)].nranks = 3;
+    tenants[static_cast<std::size_t>(t)].body = [](node::TenantSession& s) {
+      std::vector<std::uint8_t> buf(4096, 7);
+      nbc::Request r = nbc::ibcast(s.comm(), buf.data(), buf.size(), 0);
+      nbc::wait(r);
+    };
+  }
+  const node::NodeRunResult res =
+      node::run_sim_node(broadwell(), tenants, {});
+  ::unsetenv("KACC_METRICS");
+  ASSERT_TRUE(res.all_ok());
+  ASSERT_EQ(res.per_tenant.size(), 2u);
+  EXPECT_EQ(res.per_tenant[0].tenant, "ten0");
+  EXPECT_GT(res.per_tenant[0].total(obs::Counter::kNbcRequestsStarted), 0u);
+
+  const std::string prom = node::node_prom_text(res, "sim");
+  EXPECT_NE(prom.find("tenant=\"ten0\""), std::string::npos);
+  EXPECT_NE(prom.find("tenant=\"ten1\""), std::string::npos);
+  EXPECT_NE(prom.find("runtime=\"sim\""), std::string::npos);
+
+  std::FILE* f = std::fopen(metrics_path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char line[8192];
+  int lines = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    contents += line;
+    ++lines;
+  }
+  std::fclose(f);
+  std::remove(metrics_path.c_str());
+  EXPECT_EQ(lines, 2);
+  EXPECT_NE(contents.find("\"tenant\":\"ten0\""), std::string::npos);
+  EXPECT_NE(contents.find("\"tenant\":\"ten1\""), std::string::npos);
+}
+
+TEST(NodeObs, NativeTeamPromCarriesTenantLabel) {
+  const std::string prom_path =
+      ::testing::TempDir() + "node_prom_" +
+      std::to_string(static_cast<long>(::getpid())) + ".txt";
+  ::setenv("KACC_METRICS_PROM", prom_path.c_str(), 1);
+  TeamOptions topts;
+  topts.tenant = "acme";
+  const TeamResult res = run_native_team(
+      broadwell(), 3,
+      [](Comm& comm) {
+        std::vector<std::uint8_t> buf(2048, 3);
+        coll::bcast(comm, buf.data(), buf.size(), 0);
+      },
+      topts);
+  ::unsetenv("KACC_METRICS_PROM");
+  ASSERT_TRUE(res.all_ok()) << res.first_failure();
+
+  std::FILE* f = std::fopen(prom_path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char line[8192];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    contents += line;
+  }
+  std::fclose(f);
+  std::remove(prom_path.c_str());
+  EXPECT_NE(contents.find("tenant=\"acme\""), std::string::npos);
+}
+
+// ---- native multi-team runs ----
+
+TEST(NativeNode, TwoArbitratedTeamsRunToCompletion) {
+  std::vector<node::NodeTenant> tenants(2);
+  for (int t = 0; t < 2; ++t) {
+    tenants[static_cast<std::size_t>(t)].name = "nat" + std::to_string(t);
+    tenants[static_cast<std::size_t>(t)].nranks = 3;
+    tenants[static_cast<std::size_t>(t)].body = [](node::TenantSession& s) {
+      if (s.quota() <= 0) {
+        throw Error("tenant should hold a lease while running");
+      }
+      const std::size_t bytes = 32 * 1024;
+      std::vector<std::uint8_t> snd(bytes), rcv(bytes * 3);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        snd[i] = static_cast<std::uint8_t>(17 * s.comm().rank() + i);
+      }
+      for (int iter = 0; iter < 3; ++iter) {
+        nbc::Request r =
+            nbc::iallgather(s.comm(), snd.data(), rcv.data(), bytes);
+        nbc::wait(r);
+        for (int src = 0; src < 3; ++src) {
+          for (std::size_t i = 0; i < bytes; ++i) {
+            if (rcv[src * bytes + i] !=
+                static_cast<std::uint8_t>(17 * src + i)) {
+              throw Error("native node allgather mismatch");
+            }
+          }
+        }
+      }
+    };
+  }
+  node::NodeOptions opts;
+  opts.chunk_bytes = kChunk;
+  const node::NodeRunResult res = node::run_native_node(
+      broadwell(), tenants, opts,
+      "kacc-test-natnode-" + std::to_string(static_cast<long>(::getpid())));
+  ASSERT_EQ(res.team_results.size(), 2u);
+  EXPECT_TRUE(res.team_results[0].all_ok())
+      << res.team_results[0].first_failure();
+  EXPECT_TRUE(res.team_results[1].all_ok())
+      << res.team_results[1].first_failure();
+  // join x2 + leave x2 recomputes, at minimum.
+  EXPECT_GE(res.final_epoch, 4u);
+  EXPECT_EQ(res.per_tenant[0].tenant, "nat0");
+  EXPECT_GT(res.obs.total(obs::Counter::kNbcRequestsStarted), 0u);
+}
+
+TEST(NativeNode, DeadTeamIsReapedWithoutStallingSurvivor) {
+  std::vector<node::NodeTenant> tenants(2);
+  tenants[0].name = "survivor";
+  tenants[0].nranks = 2;
+  tenants[0].body = [](node::TenantSession& s) {
+    // Keep governed work flowing long enough for the rank-0 reap scan
+    // (every ~10ms behind quota reads) to notice the dead peer team.
+    // Termination must be collective — wall clocks differ across ranks —
+    // so rank 0 publishes the stop decision through the payload itself.
+    const std::size_t bytes = 16 * 1024;
+    std::vector<std::uint8_t> snd(bytes), rcv(bytes * 2);
+    const double start = s.comm().now_us();
+    for (;;) {
+      snd[0] = (s.comm().rank() == 0 &&
+                s.comm().now_us() - start >= 120'000.0)
+                   ? 1
+                   : 0;
+      nbc::Request r =
+          nbc::iallgather(s.comm(), snd.data(), rcv.data(), bytes);
+      nbc::wait(r);
+      if (rcv[0] != 0) { // rank 0's block leads the recv buffer
+        break;
+      }
+    }
+    if (s.quota() <= 0) {
+      throw Error("survivor lost its lease");
+    }
+  };
+  tenants[1].name = "casualty";
+  tenants[1].nranks = 2;
+  tenants[1].body = [](node::TenantSession& s) {
+    if (s.comm().rank() == 0) {
+      ::_exit(7); // die holding the lease; rank 1 exits cleanly
+    }
+  };
+  node::NodeOptions opts;
+  opts.chunk_bytes = kChunk;
+  const node::NodeRunResult res = node::run_native_node(
+      broadwell(), tenants, opts,
+      "kacc-test-natreap-" + std::to_string(static_cast<long>(::getpid())));
+  ASSERT_EQ(res.team_results.size(), 2u);
+  EXPECT_TRUE(res.team_results[0].all_ok())
+      << res.team_results[0].first_failure();
+  EXPECT_FALSE(res.team_results[1].all_ok());
+  EXPECT_GE(res.team_results[0].obs.total(
+                obs::Counter::kNodeLeaseRevocations),
+            1u)
+      << "survivor's reap scan should have reclaimed the dead lease";
+}
+
+} // namespace
+} // namespace kacc

@@ -12,6 +12,8 @@
 
 #include "coll_verifiers.h"
 #include "common/error.h"
+#include "nbc/nbc.h"
+#include "node/launch.h"
 #include "obs/counters.h"
 #include "runtime/sim_comm.h"
 #include "sim/fault.h"
@@ -119,6 +121,95 @@ TEST(FaultSoak, RandomKillsAlwaysHealOrFailClean) {
     ASSERT_TRUE(recoveries == 0 ||
                 recoveries == static_cast<std::uint64_t>(p - 1))
         << "partial agreement: " << recoveries << " of " << (p - 1);
+  }
+}
+
+// Two co-scheduled tenants under the node arbiter, a random victim rank in
+// the second tenant killed at a random virtual time. The first tenant heals
+// and keeps working, the second abandons; every run the dead tenant's lease
+// must be reclaimed without stalling the survivor. Deterministic per seed.
+TEST(FaultSoak, TwoTenantNodeRunsRecoverAndReclaimLeases) {
+  const std::uint64_t seed = seed_from_env();
+  std::printf("[soak] KACC_SOAK_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  SoakRng rng(seed ^ 0xA5A5A5A5DEADBEEFull);
+  const int iterations = 8;
+  for (int iter = 0; iter < iterations; ++iter) {
+    const int keepers = rng.in(3, 5);
+    const int victims = rng.in(2, 4);
+    const int victim = keepers + rng.in(0, victims - 1);
+    const double kill_at = static_cast<double>(rng.in(20, 400));
+    SCOPED_TRACE("iter " + std::to_string(iter) +
+                 " keepers=" + std::to_string(keepers) +
+                 " victims=" + std::to_string(victims) +
+                 " victim=" + std::to_string(victim) +
+                 " kill_at=" + std::to_string(kill_at));
+
+    std::vector<node::NodeTenant> tenants(2);
+    tenants[0].name = "keeper";
+    tenants[0].nranks = keepers;
+    tenants[0].body = [](node::TenantSession& s) {
+      std::vector<std::byte> snd(64 * 1024);
+      std::vector<std::byte> rcv(64 * 1024 * 8);
+      // Ranks may observe the death at different loop indices, so the
+      // pre-heal loop ends at the first heal; the post-heal batch then
+      // runs the same number of collectives on every survivor.
+      bool healed = false;
+      for (int i = 0; i < 60 && !healed; ++i) {
+        try {
+          nbc::Request r = nbc::iallgather(s.comm(), snd.data(), rcv.data(),
+                                           64 * 1024);
+          nbc::wait(r);
+        } catch (const PeerDiedError&) {
+          s.heal();
+          healed = true;
+        }
+      }
+      for (int i = 0; i < 10; ++i) {
+        nbc::Request r = nbc::iallgather(s.comm(), snd.data(), rcv.data(),
+                                         64 * 1024);
+        nbc::wait(r);
+      }
+      if (s.quota() <= 0) {
+        throw Error("keeper lost its lease");
+      }
+    };
+    tenants[1].name = "victim";
+    tenants[1].nranks = victims;
+    tenants[1].body = [](node::TenantSession& s) {
+      std::vector<std::byte> snd(64 * 1024);
+      std::vector<std::byte> rcv(64 * 1024 * 8);
+      try {
+        for (int i = 0; i < 1000; ++i) {
+          nbc::Request r = nbc::iallgather(s.comm(), snd.data(), rcv.data(),
+                                           64 * 1024);
+          nbc::wait(r);
+        }
+      } catch (const PeerDiedError&) {
+        // Abandon: the keeper's heal reclaims this tenant's lease.
+      }
+    };
+    node::NodeOptions opts;
+    opts.chunk_bytes = 64 * 1024;
+    opts.move_data = false;
+    opts.faults.kill_rank(victim, kill_at);
+    const node::NodeRunResult res =
+        node::run_sim_node(broadwell(), tenants, opts);
+
+    ASSERT_EQ(res.outcomes.size(),
+              static_cast<std::size_t>(keepers + victims));
+    ASSERT_EQ(res.outcomes[static_cast<std::size_t>(victim)].kind,
+              sim::RankOutcome::Kind::kKilled);
+    for (int r = 0; r < keepers; ++r) {
+      ASSERT_EQ(res.outcomes[static_cast<std::size_t>(r)].kind,
+                sim::RankOutcome::Kind::kOk)
+          << "keeper rank " << r << ": "
+          << res.outcomes[static_cast<std::size_t>(r)].message;
+    }
+    ASSERT_EQ(res.quotas.size(), 2u);
+    EXPECT_GT(res.quotas[0], 0);
+    EXPECT_EQ(res.quotas[1], 0);
+    EXPECT_GE(res.obs.total(obs::Counter::kNodeLeaseRevocations), 1u);
   }
 }
 

@@ -8,7 +8,12 @@ provenance only and ignored. The x-axes (sizes) must match exactly; each
 latency must be within --rtol of the snapshot. Exit 0 when everything is
 within tolerance, 1 otherwise (with a per-point report).
 
-Usage: compare_bench.py SNAPSHOT CURRENT [--rtol 0.25]
+Usage: compare_bench.py SNAPSHOT CURRENT [SNAPSHOT CURRENT ...] [--rtol 0.25]
+
+Arguments come in snapshot/current pairs, so one invocation can gate every
+committed BENCH_*.json against its freshly produced counterpart:
+
+    compare_bench.py BENCH_a.json build/a.json BENCH_b.json build/b.json
 """
 
 import argparse
@@ -38,27 +43,15 @@ def load_series(path):
     return series
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("snapshot")
-    parser.add_argument("current")
-    parser.add_argument(
-        "--rtol",
-        type=float,
-        default=0.25,
-        help="max relative latency deviation per point (default 0.25)",
-    )
-    args = parser.parse_args()
+def compare_pair(snapshot_path, current_path, rtol, failures):
+    baseline = load_series(snapshot_path)
+    current = load_series(current_path)
 
-    baseline = load_series(args.snapshot)
-    current = load_series(args.current)
-
-    failures = []
     for key, base in sorted(baseline.items()):
         name = "/".join(key)
         cur = current.get(key)
         if cur is None:
-            failures.append(f"{name}: series missing from {args.current}")
+            failures.append(f"{name}: series missing from {current_path}")
             continue
         if base["sizes"] != cur["sizes"]:
             failures.append(
@@ -72,18 +65,42 @@ def main():
             # not a regression worth failing CI over.
             denom = max(abs(want), 1.0)
             rel = abs(got - want) / denom
-            status = "ok" if rel <= args.rtol else "FAIL"
+            status = "ok" if rel <= rtol else "FAIL"
             print(
                 f"{status:4s} {name} size={size}: "
                 f"{want:.3f}us -> {got:.3f}us ({rel * 100.0:+.1f}%)"
             )
-            if rel > args.rtol:
+            if rel > rtol:
                 failures.append(
                     f"{name} size={size}: {want:.3f}us -> {got:.3f}us "
-                    f"exceeds rtol={args.rtol}"
+                    f"exceeds rtol={rtol}"
                 )
     for key in sorted(current.keys() - baseline.keys()):
         print(f"note: new series {'/'.join(key)} (not in snapshot)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="SNAPSHOT CURRENT",
+        help="one or more snapshot/current file pairs",
+    )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.25,
+        help="max relative latency deviation per point (default 0.25)",
+    )
+    args = parser.parse_args()
+    if len(args.files) % 2 != 0:
+        parser.error("arguments must come in snapshot/current pairs")
+
+    failures = []
+    for snapshot, current in zip(args.files[0::2], args.files[1::2]):
+        print(f"== {snapshot} vs {current}")
+        compare_pair(snapshot, current, args.rtol, failures)
 
     if failures:
         print(f"\n{len(failures)} comparison(s) out of tolerance:")
