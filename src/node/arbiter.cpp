@@ -84,12 +84,13 @@ void NodeArbiter::lock_segment() const {
         // A holder that no longer exists died mid-mutation: steal. (Quota
         // words are individually atomic, so a torn recompute leaves every
         // slot sane; our own recompute overwrites the lot.) expected == self
-        // is another thread of this process — it is alive, wait it out.
+        // is another thread of this process — it is alive, wait it out. The
+        // steal CAS swaps self in directly, so its success IS acquisition.
         if (expected != 0 && expected != self &&
             ::kill(static_cast<pid_t>(expected), 0) < 0 && errno == ESRCH) {
-          seg_->lock.compare_exchange_strong(expected, self,
-                                             std::memory_order_acquire,
-                                             std::memory_order_relaxed);
+          return seg_->lock.compare_exchange_strong(
+              expected, self, std::memory_order_acquire,
+              std::memory_order_relaxed);
         }
         return false;
       },

@@ -185,6 +185,15 @@ void CollectiveService::flush() {
       }
     }
     if (!any_pending) {
+      // Leaders all report drained queues. A non-leader whose submit_*
+      // stream ran longer than its leader's would strand those trailing
+      // ops here — that is the same intra-tenant divergence the admitted
+      // path detects, so fail the same way instead of silently dropping.
+      if (!queue_.empty()) {
+        throw InternalError(
+            "CollectiveService: local queue non-empty after leaders "
+            "drained (submit_* streams diverged within the tenant)");
+      }
       break;
     }
 

@@ -255,6 +255,38 @@ TEST(Arbiter, ReapRevokesStaleHeartbeats) {
   EXPECT_EQ(arb.reap(9'000'000, 0), 0);
 }
 
+TEST(Arbiter, DeadLockHolderIsStolenFrom) {
+  auto seg = std::make_unique<node::ArbiterSegment>();
+  node::NodeArbiter::init_segment(seg.get(), kChunk);
+  node::NodeArbiter arb(seg.get(), broadwell());
+
+  // Manufacture a PID that is guaranteed dead: a reaped child. A holder
+  // that crashed mid-mutation leaves exactly this state behind.
+  const pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) {
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(dead, &status, 0), dead);
+  ASSERT_NE(::kill(dead, 0), 0) << "test premise: pid must be gone";
+
+  seg->lock.store(static_cast<std::uint32_t>(dead),
+                  std::memory_order_release);
+  // join() must steal the dead holder's lock, complete, and release it —
+  // not spin to the deadline.
+  const int a = arb.join("survivor", 4, 1, 0);
+  EXPECT_GT(arb.quota(a), 0);
+  EXPECT_EQ(seg->lock.load(std::memory_order_acquire), 0u);
+
+  // The steal is repeatable: a later mutation behind another dead holder
+  // also goes through (reap here, for coverage of a second entry point).
+  seg->lock.store(static_cast<std::uint32_t>(dead),
+                  std::memory_order_release);
+  EXPECT_EQ(arb.reap(1, 0), 0);
+  EXPECT_EQ(seg->lock.load(std::memory_order_acquire), 0u);
+}
+
 TEST(Arbiter, SegmentValidationRejectsForeignGeometry) {
   auto seg = std::make_unique<node::ArbiterSegment>();
   node::NodeArbiter::init_segment(seg.get(), kChunk);
