@@ -1,0 +1,130 @@
+// Attribution-ledger overhead: the same two-tenant governed broadcast
+// workload with the ledger bound (default) and unbound (KACC_ATTRIB=0,
+// the no-observability fast path in nbc::execute_step). The virtual-time
+// makespans must be bit-identical — the ledger observes the schedule, it
+// must never perturb it — and the committed BENCH_obs_overhead.json
+// snapshot gates both series in CI via tools/compare_bench.py. Host-side
+// cost (wall-clock per run, ns per AttribLedger::observe) is printed in
+// the human table only: wall time is not deterministic, so it is not
+// snapshot-gated.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "nbc/nbc.h"
+#include "node/launch.h"
+#include "obs/attrib.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+constexpr std::uint64_t kChunk = 256 * 1024;
+constexpr int kRounds = 4;
+
+struct RunCost {
+  double makespan_us = 0.0; ///< virtual time (deterministic)
+  double wall_ms = 0.0;     ///< host time (informational)
+};
+
+RunCost node_run(const ArchSpec& spec, int per_team, bool ledger) {
+  if (ledger) {
+    ::unsetenv("KACC_ATTRIB");
+  } else {
+    ::setenv("KACC_ATTRIB", "0", 1);
+  }
+  std::vector<node::NodeTenant> tenants(2);
+  for (int t = 0; t < 2; ++t) {
+    auto& ten = tenants[static_cast<std::size_t>(t)];
+    ten.name = "t" + std::to_string(t);
+    ten.nranks = per_team;
+    ten.body = [](node::TenantSession& s) {
+      std::vector<std::uint8_t> buf(kChunk, 0);
+      for (int i = 0; i < kRounds; ++i) {
+        nbc::Request r = nbc::ibcast(s.comm(), buf.data(), buf.size(), 0);
+        nbc::wait(r);
+      }
+    };
+  }
+  node::NodeOptions opts;
+  opts.chunk_bytes = kChunk;
+  const auto t0 = std::chrono::steady_clock::now();
+  const node::NodeRunResult res = node::run_sim_node(spec, tenants, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  ::unsetenv("KACC_ATTRIB");
+  if (!res.all_ok()) {
+    throw Error("obs_overhead bench: a simulated rank failed");
+  }
+  const std::uint64_t folded = obs::attrib_total_count(res.obs.attrib_totals);
+  if (ledger && folded == 0) {
+    throw Error("obs_overhead bench: ledger enabled but empty");
+  }
+  if (!ledger && folded != 0) {
+    throw Error("obs_overhead bench: KACC_ATTRIB=0 did not unbind");
+  }
+  RunCost cost;
+  cost.makespan_us = res.makespan_us;
+  cost.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return cost;
+}
+
+/// Hot-loop cost of one AttribLedger::observe fold (the per-data-step
+/// price natively, where the block lives in the ShmArena).
+double observe_ns_per_op() {
+  auto block = std::make_unique<obs::AttribBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::AttribBlock));
+  obs::AttribLedger ledger;
+  ledger.bind(block.get());
+  constexpr int kOps = 2'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    ledger.observe(i & 31, 1 + (i & 7), 8, kChunk, 120.0, 100.0, 110.0,
+                   115.0);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / kOps;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
+  bench::banner("Attribution-ledger overhead: ledger on vs off",
+                "kacc::obs v3 trajectory (not a paper figure)");
+  const ArchSpec spec = preset_by_name("knl");
+  bench::Table t(spec.name + " — 2 teams x p ranks, " +
+                     std::to_string(kRounds) + " governed 256 KiB bcasts",
+                 {"ranks/team", "makespan on", "makespan off", "wall on",
+                  "wall off"});
+  for (int p : {8, 12, 16}) {
+    const RunCost off = node_run(spec, p, /*ledger=*/false);
+    const RunCost on = node_run(spec, p, /*ledger=*/true);
+    if (on.makespan_us != off.makespan_us) {
+      // The whole point of the design: observation must not perturb the
+      // observed schedule. A mismatch is a correctness bug, not overhead.
+      throw Error("obs_overhead bench: ledger perturbed virtual time");
+    }
+    bench::record_point(spec.name, "obs_overhead/ledger_on",
+                        static_cast<std::uint64_t>(p), on.makespan_us);
+    bench::record_point(spec.name, "obs_overhead/ledger_off",
+                        static_cast<std::uint64_t>(p), off.makespan_us);
+    t.add_row({std::to_string(p), format_us(on.makespan_us),
+               format_us(off.makespan_us),
+               std::to_string(on.wall_ms) + " ms",
+               std::to_string(off.wall_ms) + " ms"});
+  }
+  t.print();
+  if (!bench::json_mode()) {
+    std::printf("AttribLedger::observe hot loop: %.1f ns/op\n",
+                observe_ns_per_op());
+  }
+  return 0;
+}

@@ -187,8 +187,21 @@ bool Engine::progress_once() {
       Comm& scomm = step_comm(rcomm, s, st);
       if (st.kind == StepKind::kWaitSignal && st.tag >= 0) {
         if (!scomm.nbc_try_wait(st.peer, st.tag)) {
+          if (rec.step_logging() && r->wait_since < 0.0) {
+            r->wait_since = comm_->now_us();
+          }
           break; // parked until the peer's signal lands
         }
+        if (rec.step_logging()) {
+          // Every consumed tagged wait is logged (zero-length when the
+          // signal was already pending) so wait/signal occurrence counts
+          // stay aligned for critical-path matching.
+          const double now = comm_->now_us();
+          rec.log_step(obs::StepCat::kWait,
+                       r->wait_since >= 0.0 ? r->wait_since : now, now,
+                       scomm.global_rank_of(st.peer), st.tag, 0);
+        }
+        r->wait_since = -1.0;
         ++s.pc;
         progressed = true;
         continue;

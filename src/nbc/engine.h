@@ -57,6 +57,11 @@ struct RequestState {
   /// by Comm::shrink, which must outlive the request). nullptr = the
   /// engine's own comm.
   Comm* exec_comm = nullptr;
+  /// Step-log support: timestamp of the first failed try on the tagged
+  /// wait the request is currently parked at, < 0 when not parked. The
+  /// consumed wait is logged as [wait_since, now] so the critical-path
+  /// profiler can hop to the matching signal.
+  double wait_since = -1.0;
 };
 
 class Engine final : public Comm::NbcState {

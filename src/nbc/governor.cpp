@@ -81,30 +81,35 @@ double shared_drain_cost_us(const ArchSpec& s, std::uint64_t chunk_bytes,
                                               std::max(c, node_streams));
 }
 
-std::vector<int> aggregate_quotas(const ArchSpec& s,
-                                  std::uint64_t chunk_bytes,
-                                  const std::vector<TenantDemand>& tenants) {
-  const auto n = tenants.size();
+namespace {
+
+struct DemandSums {
+  long weight = 0;
+  int demand = 0; ///< sum of per-source transfer demands (ranks - 1)
+};
+
+DemandSums demand_sums(const std::vector<TenantDemand>& tenants) {
   KACC_CHECK_MSG(!tenants.empty(), "aggregate_quotas: no tenants");
-  long weight_sum = 0;
-  int demand_sum = 0;
+  DemandSums out;
   for (const TenantDemand& t : tenants) {
     KACC_CHECK_MSG(t.ranks >= 1 && t.weight >= 1,
                    "aggregate_quotas: ranks and weight must be >= 1");
     if (t.ranks > 1) {
-      weight_sum += t.weight;
-      demand_sum += t.ranks - 1;
+      out.weight += t.weight;
+      out.demand += t.ranks - 1;
     }
   }
-  if (weight_sum == 0) {
-    // Every tenant is a singleton: nothing contends, lease the floor.
-    return std::vector<int>(n, 1);
-  }
-  if (n == 1) {
-    // One registered team: the arbiter must agree with the per-team
-    // governor bit-for-bit, so reuse its candidate search verbatim.
-    return {optimal_admission_cap(s, chunk_bytes, tenants[0].ranks)};
-  }
+  return out;
+}
+
+/// The candidate search shared by aggregate_quotas and its observed
+/// variant: weighted shares of each total-concurrency budget, scored by
+/// `drain_cost(transfers, cap, node_streams)`.
+template <typename CostFn>
+std::vector<int> aggregate_quota_search(
+    const std::vector<TenantDemand>& tenants, const DemandSums& sums,
+    CostFn&& drain_cost) {
+  const auto n = tenants.size();
 
   // Weighted share of a total concurrency budget, floored at 1 (the
   // starvation backstop) and clamped to the tenant's standing demand.
@@ -115,7 +120,7 @@ std::vector<int> aggregate_quotas(const ArchSpec& s,
         continue;
       }
       const long raw =
-          static_cast<long>(total) * tenants[i].weight / weight_sum;
+          static_cast<long>(total) * tenants[i].weight / sums.weight;
       const int demand = tenants[i].ranks - 1;
       q[i] = static_cast<int>(std::clamp(raw, 1L, static_cast<long>(demand)));
     }
@@ -137,17 +142,15 @@ std::vector<int> aggregate_quotas(const ArchSpec& s,
       if (tenants[i].ranks <= 1) {
         continue;
       }
-      worst = std::max(worst,
-                       shared_drain_cost_us(s, chunk_bytes,
-                                            tenants[i].ranks - 1, q[i],
-                                            node_streams));
+      worst = std::max(worst, drain_cost(tenants[i].ranks - 1, q[i],
+                                         node_streams));
     }
     return worst;
   };
 
   std::vector<int> best = shares(static_cast<int>(n));
   double best_cost = makespan(best);
-  for (int total = static_cast<int>(n) + 1; total <= demand_sum; ++total) {
+  for (int total = static_cast<int>(n) + 1; total <= sums.demand; ++total) {
     const std::vector<int> q = shares(total);
     const double cost = makespan(q);
     // Strict improvement keeps the smallest total on ties: equal makespan
@@ -158,6 +161,88 @@ std::vector<int> aggregate_quotas(const ArchSpec& s,
     }
   }
   return best;
+}
+
+} // namespace
+
+std::vector<int> aggregate_quotas(const ArchSpec& s,
+                                  std::uint64_t chunk_bytes,
+                                  const std::vector<TenantDemand>& tenants) {
+  const DemandSums sums = demand_sums(tenants);
+  if (sums.weight == 0) {
+    // Every tenant is a singleton: nothing contends, lease the floor.
+    return std::vector<int>(tenants.size(), 1);
+  }
+  if (tenants.size() == 1) {
+    // One registered team: the arbiter must agree with the per-team
+    // governor bit-for-bit, so reuse its candidate search verbatim.
+    return {optimal_admission_cap(s, chunk_bytes, tenants[0].ranks)};
+  }
+  return aggregate_quota_search(
+      tenants, sums, [&](int transfers, int cap, int node_streams) {
+        return shared_drain_cost_us(s, chunk_bytes, transfers, cap,
+                                    node_streams);
+      });
+}
+
+double observed_shared_drain_cost_us(const obs::DriftMonitor& drift,
+                                     const ArchSpec& s,
+                                     std::uint64_t chunk_bytes, int transfers,
+                                     int cap, int node_streams) {
+  KACC_CHECK(transfers >= 0 && cap >= 1);
+  if (transfers == 0) {
+    return 0.0;
+  }
+  const auto waves = static_cast<double>(
+      ceil_div(static_cast<std::uint64_t>(transfers),
+               static_cast<std::uint64_t>(cap)));
+  const int c = std::min(cap, transfers);
+  double t = drift.observed_T_cma(chunk_bytes, c);
+  if (t < 0.0) {
+    t = predict::cma_transfer(s, chunk_bytes, c);
+  }
+  // Observed mean at this team's own concurrency, stretched by the
+  // model's shared/self ratio for the node-wide stream count.
+  const double self = predict::cma_transfer(s, chunk_bytes, c);
+  const double shared = predict::cma_transfer_shared(
+      s, chunk_bytes, c, std::max(c, node_streams));
+  return waves * t * (self > 0.0 ? shared / self : 1.0);
+}
+
+std::vector<int> aggregate_quotas_observed(
+    const obs::DriftMonitor& drift, const ArchSpec& s,
+    std::uint64_t chunk_bytes, const std::vector<TenantDemand>& tenants) {
+  const DemandSums sums = demand_sums(tenants);
+  if (sums.weight == 0) {
+    // Singletons never contend; there is nothing observed data could
+    // improve, so leave the model-derived floor leases in place.
+    return {};
+  }
+  if (tenants.size() == 1) {
+    const int oc =
+        optimal_admission_cap_observed(drift, s, chunk_bytes,
+                                       tenants[0].ranks);
+    return oc > 0 ? std::vector<int>{oc} : std::vector<int>{};
+  }
+  // Without at least one full-window observed cell among the candidate
+  // concurrency buckets, the search would return the model answer
+  // relabeled — tell the caller to keep its model leases instead.
+  int max_c = 0;
+  for (const TenantDemand& t : tenants) {
+    max_c = std::max(max_c, t.ranks - 1);
+  }
+  bool any_observed = false;
+  for (int c = 1; c <= max_c && !any_observed; c *= 2) {
+    any_observed = drift.observed_T_cma(chunk_bytes, c) >= 0.0;
+  }
+  if (!any_observed) {
+    return {};
+  }
+  return aggregate_quota_search(
+      tenants, sums, [&](int transfers, int cap, int node_streams) {
+        return observed_shared_drain_cost_us(drift, s, chunk_bytes,
+                                             transfers, cap, node_streams);
+      });
 }
 
 int optimal_admission_cap(const ArchSpec& s, std::uint64_t chunk_bytes,

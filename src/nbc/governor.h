@@ -70,6 +70,25 @@ struct TenantDemand {
 aggregate_quotas(const ArchSpec& s, std::uint64_t chunk_bytes,
                  const std::vector<TenantDemand>& tenants);
 
+/// shared_drain_cost_us with the per-source T_cma term replaced by the
+/// drift monitor's observed mean where a full window exists (model
+/// fallback otherwise). The cross-tenant surcharge keeps the model's
+/// shared/self ratio — the monitor only ever observes this team's own
+/// concurrency, so the node-bandwidth factor cannot be measured directly.
+[[nodiscard]] double observed_shared_drain_cost_us(
+    const obs::DriftMonitor& drift, const ArchSpec& s,
+    std::uint64_t chunk_bytes, int transfers, int cap, int node_streams);
+
+/// aggregate_quotas recomputed from observed latencies (ROADMAP item 4:
+/// the attribution ledger's per-concurrency means reach the node quotas
+/// through the drift monitor once it declares the model stale). Returns an
+/// empty vector when no candidate concurrency has a full-window observed
+/// cell — the caller keeps its model-derived leases then.
+[[nodiscard]] std::vector<int>
+aggregate_quotas_observed(const obs::DriftMonitor& drift, const ArchSpec& s,
+                          std::uint64_t chunk_bytes,
+                          const std::vector<TenantDemand>& tenants);
+
 /// optimal_admission_cap recomputed from observed latencies: the argmin
 /// over {1} and the tuner's throttle candidates of the observed drain
 /// makespan. Returns 0 when the monitor has no full-window cell for any

@@ -1,7 +1,10 @@
 #include "nbc/schedule.h"
 
+#include <cmath>
+
 #include "coll/reduce.h"
 #include "common/error.h"
+#include "model/predict.h"
 #include "runtime/comm.h"
 
 namespace kacc::nbc {
@@ -15,17 +18,39 @@ Comm& step_comm(Comm& comm, Schedule& s, const Step& st) {
   return team != nullptr ? *team : comm;
 }
 
-void execute_step(Comm& comm, Schedule& s, const Step& st) {
-  if (st.nest >= 0) {
-    // Spliced sub-team step: run it against the nested view so peer ranks
-    // and address slots resolve in the phase's own frame.
-    KACC_CHECK(st.nest < static_cast<int>(s.nested.size()));
-    Schedule::NestedTeam& nt = s.nested[static_cast<std::size_t>(st.nest)];
-    Step inner = st;
-    inner.nest = -1;
-    execute_step(nt.team != nullptr ? *nt.team : comm, *nt.sched, inner);
-    return;
+namespace {
+
+/// Blame category of a leaf step for the critical-path profiler.
+[[nodiscard]] obs::StepCat step_cat(StepKind k) {
+  switch (k) {
+  case StepKind::kCmaRead:
+  case StepKind::kCmaWrite:
+    return obs::StepCat::kData;
+  case StepKind::kLocalCopy:
+  case StepKind::kShmSend:
+  case StepKind::kShmRecv:
+  case StepKind::kShmBcast:
+    return obs::StepCat::kCopy;
+  case StepKind::kSignal:
+    return obs::StepCat::kSignal;
+  case StepKind::kWaitSignal:
+    return obs::StepCat::kWait;
+  case StepKind::kCtrlBcast:
+  case StepKind::kCtrlGather:
+  case StepKind::kCtrlAllgather:
+    return obs::StepCat::kCtrl;
+  case StepKind::kBarrier:
+    return obs::StepCat::kBarrier;
+  case StepKind::kCombine:
+    return obs::StepCat::kCompute;
+  case StepKind::kConcHint:
+  case StepKind::kNested:
+    break;
   }
+  return obs::StepCat::kOther;
+}
+
+void execute_step_leaf(Comm& comm, Schedule& s, const Step& st) {
   switch (st.kind) {
   case StepKind::kCmaRead:
     KACC_CHECK(st.slot >= 0 &&
@@ -95,6 +120,67 @@ void execute_step(Comm& comm, Schedule& s, const Step& st) {
     KACC_CHECK(st.slot >= 0 && st.slot < static_cast<int>(s.thunks.size()));
     s.thunks[static_cast<std::size_t>(st.slot)](comm);
     break;
+  }
+}
+
+} // namespace
+
+void execute_step(Comm& comm, Schedule& s, const Step& st) {
+  if (st.nest >= 0) {
+    // Spliced sub-team step: run it against the nested view so peer ranks
+    // and address slots resolve in the phase's own frame (and so the
+    // attribution below sees the view, translating peers to global ranks).
+    KACC_CHECK(st.nest < static_cast<int>(s.nested.size()));
+    Schedule::NestedTeam& nt = s.nested[static_cast<std::size_t>(st.nest)];
+    Step inner = st;
+    inner.nest = -1;
+    execute_step(nt.team != nullptr ? *nt.team : comm, *nt.sched, inner);
+    return;
+  }
+
+  obs::Recorder& rec = comm.recorder();
+  const bool ledger = rec.attrib.bound() && is_data_step(st.kind);
+  // kNested thunks drain through here again (their inner steps get their
+  // own records) and kConcHint is bookkeeping — logging either would
+  // double-count the chain.
+  const bool steplog = rec.step_logging() &&
+                       st.kind != StepKind::kNested &&
+                       st.kind != StepKind::kConcHint;
+  if (!ledger && !steplog) {
+    execute_step_leaf(comm, s, st);
+    return;
+  }
+
+  const double t0 = comm.now_us();
+  execute_step_leaf(comm, s, st);
+  const double t1 = comm.now_us();
+  const int peer_global =
+      st.peer >= 0 ? comm.global_rank_of(st.peer) : st.peer;
+  if (ledger) {
+    // Three-point model decomposition (obs stays below model/, so the
+    // predictions are computed here in the nbc layer and passed down):
+    // uncontended base, this team's concurrency, node-wide shared
+    // bandwidth under the current lease. node_c <= c means no foreign
+    // streams — shared degenerates to self by construction.
+    const int c = rec.conc_hint;
+    const int node_c = comm.node_streams();
+    const ArchSpec& arch = comm.arch();
+    const double base = predict::cma_transfer(arch, st.bytes, 1);
+    const double self =
+        c > 1 ? predict::cma_transfer(arch, st.bytes, c) : base;
+    const double shared =
+        node_c > c
+            ? predict::cma_transfer_shared(arch, st.bytes, c, node_c)
+            : self;
+    rec.attrib.observe(peer_global, c, node_c, st.bytes, t1 - t0, base,
+                       self, shared);
+    rec.flight_event(
+        obs::FlightKind::kStepAttrib, peer_global,
+        std::llround((t1 - t0 - shared) * 1000.0),
+        obs::conc_bucket_name(obs::conc_bucket(c)));
+  }
+  if (steplog) {
+    rec.log_step(step_cat(st.kind), t0, t1, peer_global, st.tag, st.bytes);
   }
 }
 

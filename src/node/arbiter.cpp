@@ -30,6 +30,7 @@ void NodeArbiter::init_segment(ArbiterSegment* seg,
   seg->chunk_bytes = chunk_bytes;
   seg->epoch.store(0, std::memory_order_relaxed);
   seg->aggregate_streams.store(0, std::memory_order_relaxed);
+  seg->observed_mode.store(0, std::memory_order_relaxed);
   seg->lock.store(0, std::memory_order_relaxed);
   seg->ready.store(1, std::memory_order_release);
 }
@@ -125,7 +126,59 @@ void NodeArbiter::recompute_locked() {
     }
   }
   seg_->aggregate_streams.store(total, std::memory_order_relaxed);
+  // Membership recomputes always speak the model: the observing team's
+  // monitor is not reachable from here, so observed mode re-arms and the
+  // next stale tenant re-applies its means over the new membership.
+  seg_->observed_mode.store(0, std::memory_order_relaxed);
   seg_->epoch.store(next, std::memory_order_release);
+}
+
+bool NodeArbiter::refresh_observed(const obs::DriftMonitor& drift) {
+  if (seg_->observed_mode.load(std::memory_order_acquire) != 0) {
+    return false; // already leased from observed means
+  }
+  lock_segment();
+  if (seg_->observed_mode.load(std::memory_order_relaxed) != 0) {
+    unlock_segment();
+    return false;
+  }
+  std::vector<nbc::TenantDemand> demands;
+  std::vector<int> idx;
+  for (int i = 0; i < kMaxTenants; ++i) {
+    TenantSlot& slot = seg_->slots[i];
+    if (slot.state.load(std::memory_order_acquire) == TenantSlot::kActive) {
+      demands.push_back({slot.team_size, slot.weight});
+      idx.push_back(i);
+    }
+  }
+  if (demands.empty()) {
+    unlock_segment();
+    return false;
+  }
+  const std::vector<int> quotas = nbc::aggregate_quotas_observed(
+      drift, spec_, seg_->chunk_bytes, demands);
+  if (quotas.empty()) {
+    // No full-window observed cell yet: keep the model leases, stay armed.
+    unlock_segment();
+    return false;
+  }
+  const std::uint64_t next = seg_->epoch.load(std::memory_order_relaxed) + 1;
+  int total = 0;
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    TenantSlot& slot = seg_->slots[static_cast<std::size_t>(idx[k])];
+    slot.quota.store(quotas[k], std::memory_order_relaxed);
+    slot.lease_epoch.store(next, std::memory_order_relaxed);
+    total += quotas[k];
+  }
+  seg_->aggregate_streams.store(total, std::memory_order_relaxed);
+  seg_->observed_mode.store(1, std::memory_order_relaxed);
+  seg_->epoch.store(next, std::memory_order_release);
+  unlock_segment();
+  return true;
+}
+
+bool NodeArbiter::observed_quotas() const {
+  return seg_->observed_mode.load(std::memory_order_acquire) != 0;
 }
 
 int NodeArbiter::join(const std::string& name, int team_size, int weight,

@@ -26,6 +26,10 @@
 
 #include "topo/arch_spec.h"
 
+namespace kacc::obs {
+class DriftMonitor;
+} // namespace kacc::obs
+
 namespace kacc::node {
 
 /// Slots in the well-known segment; joining a full node fails fast.
@@ -71,7 +75,9 @@ struct ArbiterSegment {
   /// their slot's lease_epoch to this to detect revocation.
   std::atomic<std::uint64_t> epoch;
   std::atomic<std::int32_t> aggregate_streams; ///< Sum of leased quotas
-  std::uint32_t pad1;
+  /// 1 while the current leases were computed from observed T_cma means
+  /// (refresh_observed); membership recomputes reset to the model (0).
+  std::atomic<std::uint32_t> observed_mode;
   char pad2[80];
   TenantSlot slots[kMaxTenants];
 };
@@ -145,6 +151,20 @@ public:
 
   /// Sum of all leased quotas after the last recompute (observability).
   [[nodiscard]] int aggregate_streams() const;
+
+  /// Switches the node to observed-quota mode: recomputes every lease
+  /// from `drift`'s observed per-concurrency T_cma means (ROADMAP item 4 —
+  /// the caller invokes this once its monitor has declared the model
+  /// stale). One monitor re-leases the whole node: observed T_cma is a
+  /// property of the shared memory system, not of the observing team.
+  /// Returns true only for the call that performed the switch; later calls
+  /// are cheap no-ops until a membership change (join/leave/revoke/reap)
+  /// recomputes from the model and re-arms. Returns false as well when the
+  /// monitor has no full-window cell yet (model leases stay).
+  bool refresh_observed(const obs::DriftMonitor& drift);
+
+  /// True while the current leases come from observed T_cma means.
+  [[nodiscard]] bool observed_quotas() const;
 
   [[nodiscard]] int active_tenants() const;
   [[nodiscard]] TenantView view(int slot) const;

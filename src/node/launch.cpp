@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <map>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -57,6 +59,20 @@ obs::TeamObs slice_obs(const obs::TeamObs& all, const std::vector<int>& ranks,
     if (gi < all.hist_per_rank.size()) {
       out.hist_per_rank.push_back(all.hist_per_rank[gi]);
       obs::accumulate(out.hist_totals, out.hist_per_rank.back());
+    }
+    if (gi < all.attrib_per_rank.size()) {
+      out.attrib_per_rank.push_back(all.attrib_per_rank[gi]);
+      obs::accumulate(out.attrib_totals, out.attrib_per_rank.back());
+    }
+  }
+  // Step logs keep their global rank ids so cross-tenant attribution in
+  // the sliced report still names the true source ranks.
+  for (const obs::RankSteps& rs : all.steps) {
+    for (int g : ranks) {
+      if (rs.rank == g) {
+        out.steps.push_back(rs);
+        break;
+      }
     }
   }
   return out;
@@ -124,9 +140,23 @@ private:
   void install_quota_fn() {
     if (arb_ != nullptr) {
       view_->set_node_quota_fn(
-          [arb = arb_, slot = (*slots_)[static_cast<std::size_t>(index_)]] {
+          [this, arb = arb_,
+           slot = (*slots_)[static_cast<std::size_t>(index_)]] {
+            // Observed-quota handoff (ROADMAP item 4): once this rank's
+            // drift monitor declares the model stale, its observed T_cma
+            // means re-lease the whole node. refresh_observed is a cheap
+            // no-op for every caller after the first.
+            obs::Recorder& rec = view_->recorder();
+            if (rec.drift.bound() && rec.drift.stale() &&
+                arb->refresh_observed(rec.drift)) {
+              rec.counters.add(obs::Counter::kNodeQuotaObserved);
+            }
             return arb->quota(slot);
           });
+      // Node-wide stream count for the attribution ledger: the sum of all
+      // leased quotas is the node_c the arbiter's own model term used.
+      view_->set_node_streams_fn(
+          [arb = arb_] { return arb->aggregate_streams(); });
     }
   }
 
@@ -150,6 +180,8 @@ public:
     index_ = tenant;
     if (arb_ != nullptr) {
       comm_->set_node_quota_fn([this] { return poll_quota(); });
+      comm_->set_node_streams_fn(
+          [arb = arb_] { return arb->aggregate_streams(); });
     }
   }
 
@@ -183,6 +215,16 @@ private:
                                        static_cast<std::uint64_t>(reaped));
       }
     }
+    // Observed-quota handoff, rate-limited like the reap scan (the
+    // attempt takes the segment lock until a full observed window lands).
+    obs::Recorder& rec = comm_->recorder();
+    if (rec.drift.bound() && rec.drift.stale() &&
+        now - last_obs_us_ > 10'000) {
+      last_obs_us_ = now;
+      if (arb_->refresh_observed(rec.drift)) {
+        rec.counters.add(obs::Counter::kNodeQuotaObserved);
+      }
+    }
     return arb_->quota(slot_);
   }
 
@@ -192,6 +234,7 @@ private:
   std::uint64_t ttl_us_;
   std::uint64_t last_hb_us_ = 0;
   std::uint64_t last_reap_us_ = 0;
+  std::uint64_t last_obs_us_ = 0;
 };
 
 } // namespace
@@ -246,6 +289,7 @@ NodeRunResult run_sim_node(const ArchSpec& spec,
 
   SimTeamState team;
   team.move_data = opts.move_data;
+  team.step_log = opts.step_log;
   team.ctrl_send.resize(static_cast<std::size_t>(total), nullptr);
   team.ctrl_recv.resize(static_cast<std::size_t>(total), nullptr);
   team.init_obs(total);
@@ -365,6 +409,8 @@ NodeRunResult run_native_node(const ArchSpec& spec,
     obs::accumulate(result.obs.totals, result.team_results[t].obs.totals);
     obs::accumulate(result.obs.hist_totals,
                     result.team_results[t].obs.hist_totals);
+    obs::accumulate(result.obs.attrib_totals,
+                    result.team_results[t].obs.attrib_totals);
   }
   if (seg != nullptr) {
     result.final_epoch =
@@ -375,9 +421,55 @@ NodeRunResult run_native_node(const ArchSpec& spec,
 
 std::string node_prom_text(const NodeRunResult& result,
                            const std::string& runtime) {
-  std::string out;
+  // Naive per-tenant concatenation would repeat # HELP/# TYPE headers and
+  // split one metric's samples across groups — both rejected by strict
+  // text-format parsers. Regroup instead: one header pair per metric name,
+  // every tenant's samples contiguous under it, in first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, std::string> heads;
+  std::map<std::string, std::string> bodies;
+  std::set<std::string> headers_done;
   for (const obs::TeamObs& t : result.per_tenant) {
-    out += obs::hist_prom_text(t.hist_totals, runtime, t.tenant);
+    const std::string text =
+        obs::hist_prom_text(t.hist_totals, runtime, t.tenant) +
+        obs::attrib_prom_text(t.attrib_totals, runtime, t.tenant);
+    std::set<std::string> seen_here;
+    std::string current;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) {
+        nl = text.size();
+      }
+      const std::string line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty()) {
+        continue;
+      }
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        std::size_t name_end = line.find(' ', 7);
+        if (name_end == std::string::npos) {
+          name_end = line.size();
+        }
+        current = line.substr(7, name_end - 7);
+        seen_here.insert(current);
+        if (heads.find(current) == heads.end()) {
+          order.push_back(current);
+          heads[current] = "";
+        }
+        if (headers_done.find(current) == headers_done.end()) {
+          heads[current] += line + "\n";
+        }
+      } else {
+        bodies[current] += line + "\n";
+      }
+    }
+    headers_done.insert(seen_here.begin(), seen_here.end());
+  }
+  std::string out;
+  for (const std::string& name : order) {
+    out += heads[name];
+    out += bodies[name];
   }
   return out;
 }

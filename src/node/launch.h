@@ -54,6 +54,9 @@ struct NodeOptions {
   /// Sim only: deterministic fault plan over *global* node ranks.
   sim::FaultInjector faults;
   bool move_data = true;
+  /// Sim only: record per-rank executed-step logs for the critical-path
+  /// profiler (obs::critical_path) even when KACC_STEPLOG is unset.
+  bool step_log = false;
   /// Native only: per-team robustness knobs (deadline, timeout).
   TeamOptions team;
   /// Native only: heartbeat staleness TTL for lease reaping (us).

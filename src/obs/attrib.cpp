@@ -1,0 +1,602 @@
+#include "obs/attrib.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace kacc::obs {
+
+AttribSnapshot attrib_snapshot(const AttribBlock& block) {
+  AttribSnapshot out{};
+  for (int l = 0; l < kAttribLanes; ++l) {
+    for (int c = 0; c < kConcBuckets; ++c) {
+      out[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)] =
+          block.cells[l][c];
+    }
+  }
+  return out;
+}
+
+void accumulate(AttribSnapshot& dst, const AttribSnapshot& src) {
+  for (int l = 0; l < kAttribLanes; ++l) {
+    for (int c = 0; c < kConcBuckets; ++c) {
+      AttribCell& d = dst[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)];
+      const AttribCell& s =
+          src[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)];
+      d.count += s.count;
+      d.bytes += s.bytes;
+      d.node_streams += s.node_streams;
+      d.meas_us += s.meas_us;
+      d.pred_base_us += s.pred_base_us;
+      d.pred_self_us += s.pred_self_us;
+      d.pred_shared_us += s.pred_shared_us;
+    }
+  }
+}
+
+std::uint64_t attrib_total_count(const AttribSnapshot& s) {
+  std::uint64_t n = 0;
+  for (const auto& lane : s) {
+    for (const AttribCell& cell : lane) {
+      n += cell.count;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+void fold(AttribComponents& out, const AttribCell& cell) {
+  out.count += cell.count;
+  out.bytes += cell.bytes;
+  out.meas_us += cell.meas_us;
+  out.base_us += cell.pred_base_us;
+  out.self_us += cell.pred_self_us - cell.pred_base_us;
+  out.cross_us += cell.pred_shared_us - cell.pred_self_us;
+  out.residual_us += cell.meas_us - cell.pred_shared_us;
+}
+
+/// Canonical fixed-point us rendering (postmortem uses the same width) so
+/// identical ledgers produce byte-identical text.
+void append_us(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+void append_components(std::string& out, const AttribComponents& c) {
+  out += "{\"count\":";
+  out += std::to_string(c.count);
+  out += ",\"bytes\":";
+  out += std::to_string(c.bytes);
+  out += ",\"meas_us\":";
+  append_us(out, c.meas_us);
+  out += ",\"base_us\":";
+  append_us(out, c.base_us);
+  out += ",\"self_us\":";
+  append_us(out, c.self_us);
+  out += ",\"cross_us\":";
+  append_us(out, c.cross_us);
+  out += ",\"residual_us\":";
+  append_us(out, c.residual_us);
+  out += '}';
+}
+
+} // namespace
+
+AttribComponents attrib_components(const AttribSnapshot& s) {
+  AttribComponents out;
+  for (const auto& lane : s) {
+    for (const AttribCell& cell : lane) {
+      if (cell.count != 0) {
+        fold(out, cell);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AttribSourceRow> attrib_by_source(const AttribSnapshot& s) {
+  std::vector<AttribSourceRow> rows;
+  for (int l = 0; l < kAttribLanes; ++l) {
+    AttribComponents comp;
+    for (const AttribCell& cell : s[static_cast<std::size_t>(l)]) {
+      if (cell.count != 0) {
+        fold(comp, cell);
+      }
+    }
+    if (comp.count != 0) {
+      rows.push_back({l, comp});
+    }
+  }
+  return rows;
+}
+
+std::string attrib_json(const AttribSnapshot& s) {
+  if (attrib_total_count(s) == 0) {
+    return "{}";
+  }
+  std::string out = "{\"components\":";
+  append_components(out, attrib_components(s));
+  out += ",\"cells\":[";
+  bool first = true;
+  for (int l = 0; l < kAttribLanes; ++l) {
+    for (int c = 0; c < kConcBuckets; ++c) {
+      const AttribCell& cell =
+          s[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)];
+      if (cell.count == 0) {
+        continue;
+      }
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += "{\"src\":";
+      out += std::to_string(l == kAttribOverflowLane ? -1 : l);
+      out += ",\"conc\":\"";
+      out += conc_bucket_name(c);
+      out += "\",\"count\":";
+      out += std::to_string(cell.count);
+      out += ",\"bytes\":";
+      out += std::to_string(cell.bytes);
+      out += ",\"node_streams_mean\":";
+      append_us(out, static_cast<double>(cell.node_streams) /
+                         static_cast<double>(cell.count));
+      out += ",\"meas_us\":";
+      append_us(out, cell.meas_us);
+      out += ",\"base_us\":";
+      append_us(out, cell.pred_base_us);
+      out += ",\"self_us\":";
+      append_us(out, cell.pred_self_us - cell.pred_base_us);
+      out += ",\"cross_us\":";
+      append_us(out, cell.pred_shared_us - cell.pred_self_us);
+      out += ",\"residual_us\":";
+      append_us(out, cell.meas_us - cell.pred_shared_us);
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string attrib_prom_text(const AttribSnapshot& s,
+                             const std::string& runtime,
+                             const std::string& tenant) {
+  if (attrib_total_count(s) == 0) {
+    return "";
+  }
+  std::string labels = "runtime=\"" + runtime + "\"";
+  if (!tenant.empty()) {
+    labels += ",tenant=\"" + tenant + "\"";
+  }
+  const AttribComponents comp = attrib_components(s);
+  std::string out;
+  out += "# HELP kacc_attrib_component_us Attributed CMA data-step time by "
+         "component: base (uncontended), self (own-team concurrency), "
+         "cross_tenant (other tenants' streams), model_residual "
+         "(measured minus shared prediction), measured (total).\n";
+  out += "# TYPE kacc_attrib_component_us gauge\n";
+  const std::pair<const char*, double> comps[] = {
+      {"base", comp.base_us},
+      {"self", comp.self_us},
+      {"cross_tenant", comp.cross_us},
+      {"model_residual", comp.residual_us},
+      {"measured", comp.meas_us},
+  };
+  for (const auto& [name, us] : comps) {
+    out += "kacc_attrib_component_us{" + labels + ",component=\"" + name +
+           "\"} ";
+    append_us(out, us);
+    out += '\n';
+  }
+  out += "# HELP kacc_attrib_source_us Measured CMA data-step time by "
+         "source rank (source=\"other\" folds ranks beyond the per-source "
+         "lanes).\n";
+  out += "# TYPE kacc_attrib_source_us gauge\n";
+  for (const AttribSourceRow& row : attrib_by_source(s)) {
+    out += "kacc_attrib_source_us{" + labels + ",source=\"";
+    out += row.lane == kAttribOverflowLane ? "other"
+                                           : std::to_string(row.lane);
+    out += "\"} ";
+    append_us(out, row.comp.meas_us);
+    out += '\n';
+  }
+  return out;
+}
+
+// ----- critical path -----
+
+bool step_log_from_env() {
+  const char* s = std::getenv("KACC_STEPLOG");
+  return s != nullptr && *s != '\0' &&
+         !(s[0] == '0' && s[1] == '\0');
+}
+
+bool attrib_enabled_from_env() {
+  const char* s = std::getenv("KACC_ATTRIB");
+  return s == nullptr || !(s[0] == '0' && s[1] == '\0');
+}
+
+const char* step_cat_name(StepCat c) {
+  switch (c) {
+    case StepCat::kData: return "data";
+    case StepCat::kCopy: return "copy";
+    case StepCat::kWait: return "wait";
+    case StepCat::kSignal: return "signal";
+    case StepCat::kBarrier: return "barrier";
+    case StepCat::kCtrl: return "ctrl";
+    case StepCat::kCompute: return "compute";
+    case StepCat::kOther: return "other";
+    case StepCat::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+struct StepRef {
+  int r = -1; ///< index into the ranks vector
+  int i = -1; ///< index into that rank's steps
+  [[nodiscard]] bool valid() const { return r >= 0; }
+  bool operator<(const StepRef& o) const {
+    return r != o.r ? r < o.r : i < o.i;
+  }
+  bool operator==(const StepRef& o) const { return r == o.r && i == o.i; }
+};
+
+} // namespace
+
+CriticalPathReport critical_path(const std::vector<RankSteps>& ranks) {
+  CriticalPathReport rep;
+  const int nr = static_cast<int>(ranks.size());
+
+  // Stable time order per rank (recording order is already chronological;
+  // the sort makes hand-built inputs behave identically).
+  std::vector<std::vector<int>> order(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) {
+    auto& ord = order[static_cast<std::size_t>(r)];
+    ord.resize(ranks[static_cast<std::size_t>(r)].steps.size());
+    for (std::size_t i = 0; i < ord.size(); ++i) {
+      ord[i] = static_cast<int>(i);
+    }
+    const auto& steps = ranks[static_cast<std::size_t>(r)].steps;
+    std::stable_sort(ord.begin(), ord.end(), [&](int a, int b) {
+      const StepTrace& sa = steps[static_cast<std::size_t>(a)];
+      const StepTrace& sb = steps[static_cast<std::size_t>(b)];
+      return sa.t0 != sb.t0 ? sa.t0 < sb.t0 : sa.t1 < sb.t1;
+    });
+  }
+  const auto step_at = [&](StepRef ref) -> const StepTrace& {
+    return ranks[static_cast<std::size_t>(ref.r)]
+        .steps[static_cast<std::size_t>(
+            order[static_cast<std::size_t>(ref.r)]
+                 [static_cast<std::size_t>(ref.i)])];
+  };
+
+  std::map<int, int> rank_idx; // global rank -> index in `ranks`
+  for (int r = 0; r < nr; ++r) {
+    rank_idx[ranks[static_cast<std::size_t>(r)].rank] = r;
+  }
+
+  // Signal inventory and barrier groups, both in per-rank time order, so
+  // the k-th wait on (waiter, src, lane) pairs with the k-th matching
+  // signal and the k-th barrier matches across ranks by occurrence.
+  std::map<std::tuple<int, int, int>, std::vector<StepRef>> signals;
+  std::vector<std::vector<StepRef>> barriers(static_cast<std::size_t>(nr));
+  bool any = false;
+  double min_t0 = 0.0;
+  StepRef start;
+  double start_t1 = 0.0;
+  for (int r = 0; r < nr; ++r) {
+    const int gr = ranks[static_cast<std::size_t>(r)].rank;
+    const int n = static_cast<int>(order[static_cast<std::size_t>(r)].size());
+    for (int i = 0; i < n; ++i) {
+      const StepTrace& s = step_at({r, i});
+      if (!any || s.t0 < min_t0) {
+        min_t0 = s.t0;
+      }
+      // Start at the globally latest completion; ties pick the lowest
+      // rank's latest step so reruns agree bit-for-bit.
+      if (!any || s.t1 > start_t1 ||
+          (s.t1 == start_t1 && (r < start.r || (r == start.r && i > start.i)))) {
+        start = {r, i};
+        start_t1 = s.t1;
+      }
+      any = true;
+      if (s.cat == StepCat::kSignal && s.peer >= 0) {
+        signals[{gr, s.peer, s.lane}].push_back({r, i});
+      } else if (s.cat == StepCat::kBarrier) {
+        barriers[static_cast<std::size_t>(r)].push_back({r, i});
+      }
+    }
+  }
+  if (!any) {
+    return rep;
+  }
+
+  // Occurrence index of each wait/barrier, counted in time order.
+  std::map<StepRef, int> occurrence;
+  {
+    std::map<std::tuple<int, int, int>, int> wait_seen;
+    for (int r = 0; r < nr; ++r) {
+      const int gr = ranks[static_cast<std::size_t>(r)].rank;
+      int barrier_seen = 0;
+      const int n =
+          static_cast<int>(order[static_cast<std::size_t>(r)].size());
+      for (int i = 0; i < n; ++i) {
+        const StepTrace& s = step_at({r, i});
+        if (s.cat == StepCat::kWait && s.peer >= 0) {
+          occurrence[{r, i}] = wait_seen[{gr, s.peer, s.lane}]++;
+        } else if (s.cat == StepCat::kBarrier) {
+          occurrence[{r, i}] = barrier_seen++;
+        }
+      }
+    }
+  }
+
+  // Backward frontier walk. Every cursor decrement is blamed to exactly
+  // one bucket, so segment + gap blame sums to total_us by construction.
+  std::map<int, double> src_blame;
+  std::set<StepRef> visited;
+  double cursor = start_t1;
+  StepRef cur = start;
+  while (cur.valid() && visited.insert(cur).second) {
+    const StepTrace& s = step_at(cur);
+
+    // Predecessor first: wait -> matched signal, barrier -> last-arriving
+    // rank's same-occurrence barrier, otherwise the previous step on this
+    // rank (blaming the idle gap in between). For a cross-rank hop the
+    // peer's chain explains everything up to the matched step's completion,
+    // so the wait/barrier is charged only for the tail past that point —
+    // the time the peer cannot account for.
+    StepRef pred;
+    bool cross_hop = false;
+    if (s.cat == StepCat::kWait && s.peer >= 0) {
+      const auto src_it = rank_idx.find(s.peer);
+      if (src_it != rank_idx.end()) {
+        const int gr = ranks[static_cast<std::size_t>(cur.r)].rank;
+        const auto sig_it = signals.find({s.peer, gr, s.lane});
+        const int k = occurrence[cur];
+        if (sig_it != signals.end() &&
+            k < static_cast<int>(sig_it->second.size())) {
+          pred = sig_it->second[static_cast<std::size_t>(k)];
+          cross_hop = true;
+        }
+      }
+    } else if (s.cat == StepCat::kBarrier) {
+      const int k = occurrence[cur];
+      StepRef last = cur;
+      double last_t0 = s.t0;
+      for (int r = 0; r < nr; ++r) {
+        const auto& bs = barriers[static_cast<std::size_t>(r)];
+        if (k < static_cast<int>(bs.size())) {
+          const StepRef b = bs[static_cast<std::size_t>(k)];
+          const double t0 = step_at(b).t0;
+          if (t0 > last_t0 || (t0 == last_t0 && b.r < last.r)) {
+            last = b;
+            last_t0 = t0;
+          }
+        }
+      }
+      if (!(last == cur)) {
+        pred = last;
+        cross_hop = true;
+      }
+    }
+    if (!pred.valid() && cur.i > 0) {
+      pred = {cur.r, cur.i - 1};
+    }
+
+    // Blame window: [floor, cursor). Same-rank predecessors end before we
+    // start, so the floor is our own t0; a cross-rank hop lifts it to the
+    // matched step's completion when that falls inside our interval.
+    double floor = s.t0;
+    if (cross_hop) {
+      const double pt1 = step_at(pred).t1;
+      if (pt1 > floor) {
+        floor = std::min(cursor, pt1);
+      }
+    }
+    const double contrib = cursor - floor;
+    if (contrib > 0.0) {
+      CriticalPathSeg seg;
+      seg.rank = ranks[static_cast<std::size_t>(cur.r)].rank;
+      seg.cat = s.cat;
+      seg.peer = s.peer;
+      seg.lane = s.lane;
+      seg.bytes = s.bytes;
+      seg.t0 = s.t0;
+      seg.t1 = s.t1;
+      seg.blame_us = contrib;
+      rep.segs.push_back(seg);
+      rep.by_cat[static_cast<std::size_t>(s.cat)] += contrib;
+      if ((s.cat == StepCat::kData || s.cat == StepCat::kWait) &&
+          s.peer >= 0) {
+        src_blame[s.peer] += contrib;
+      }
+      cursor = floor;
+    }
+
+    if (!pred.valid()) {
+      break;
+    }
+    const double pred_t1 = step_at(pred).t1;
+    if (pred_t1 < cursor) {
+      rep.gap_us += cursor - pred_t1;
+      cursor = pred_t1;
+    }
+    cur = pred;
+  }
+
+  rep.total_us = start_t1 - cursor;
+  rep.span_us = start_t1 - min_t0;
+  std::reverse(rep.segs.begin(), rep.segs.end());
+  rep.by_source.assign(src_blame.begin(), src_blame.end());
+  std::sort(rep.by_source.begin(), rep.by_source.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  return rep;
+}
+
+std::string critical_path_json(const CriticalPathReport& r) {
+  std::string out = "{\"total_us\":";
+  append_us(out, r.total_us);
+  out += ",\"span_us\":";
+  append_us(out, r.span_us);
+  out += ",\"gap_us\":";
+  append_us(out, r.gap_us);
+  out += ",\"by_cat\":{";
+  bool first = true;
+  for (int c = 0; c < kStepCatCount; ++c) {
+    if (r.by_cat[static_cast<std::size_t>(c)] <= 0.0) {
+      continue;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += step_cat_name(static_cast<StepCat>(c));
+    out += "\":";
+    append_us(out, r.by_cat[static_cast<std::size_t>(c)]);
+  }
+  out += "},\"by_source\":[";
+  first = true;
+  for (const auto& [rank, us] : r.by_source) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '[';
+    out += std::to_string(rank);
+    out += ',';
+    append_us(out, us);
+    out += ']';
+  }
+  out += "],\"segs\":[";
+  first = true;
+  for (const CriticalPathSeg& s : r.segs) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"rank\":";
+    out += std::to_string(s.rank);
+    out += ",\"cat\":\"";
+    out += step_cat_name(s.cat);
+    out += "\",\"peer\":";
+    out += std::to_string(s.peer);
+    out += ",\"lane\":";
+    out += std::to_string(s.lane);
+    out += ",\"bytes\":";
+    out += std::to_string(s.bytes);
+    out += ",\"t0\":";
+    append_us(out, s.t0);
+    out += ",\"t1\":";
+    append_us(out, s.t1);
+    out += ",\"blame_us\":";
+    append_us(out, s.blame_us);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string critical_path_render(const CriticalPathReport& r, int top_n) {
+  if (top_n < 1) {
+    top_n = 1;
+  }
+  std::string out = "critical path: ";
+  append_us(out, r.total_us);
+  out += " us across ";
+  out += std::to_string(r.segs.size());
+  out += " segments (span ";
+  append_us(out, r.span_us);
+  out += " us, coverage ";
+  append_us(out, r.span_us > 0.0 ? 100.0 * r.total_us / r.span_us : 0.0);
+  out += "%)\n  by component:\n";
+  const auto pct = [&](double us) {
+    return r.total_us > 0.0 ? 100.0 * us / r.total_us : 0.0;
+  };
+  for (int c = 0; c < kStepCatCount; ++c) {
+    const double us = r.by_cat[static_cast<std::size_t>(c)];
+    if (us <= 0.0) {
+      continue;
+    }
+    out += "    ";
+    out += step_cat_name(static_cast<StepCat>(c));
+    out += ' ';
+    append_us(out, us);
+    out += " us (";
+    append_us(out, pct(us));
+    out += "%)\n";
+  }
+  if (r.gap_us > 0.0) {
+    out += "    gap ";
+    append_us(out, r.gap_us);
+    out += " us (";
+    append_us(out, pct(r.gap_us));
+    out += "%)\n";
+  }
+  if (!r.by_source.empty()) {
+    out += "  top sources (data+wait blame):\n";
+    int shown = 0;
+    for (const auto& [rank, us] : r.by_source) {
+      if (shown++ >= top_n) {
+        break;
+      }
+      out += "    rank ";
+      out += std::to_string(rank);
+      out += ": ";
+      append_us(out, us);
+      out += " us (";
+      append_us(out, pct(us));
+      out += "%)\n";
+    }
+  }
+  if (!r.segs.empty()) {
+    // Heaviest segments, re-sorted by blame; ties keep chronological order.
+    std::vector<const CriticalPathSeg*> heavy;
+    heavy.reserve(r.segs.size());
+    for (const CriticalPathSeg& s : r.segs) {
+      heavy.push_back(&s);
+    }
+    std::stable_sort(heavy.begin(), heavy.end(),
+                     [](const CriticalPathSeg* a, const CriticalPathSeg* b) {
+                       return a->blame_us > b->blame_us;
+                     });
+    out += "  top segments:\n";
+    for (std::size_t i = 0;
+         i < heavy.size() && i < static_cast<std::size_t>(top_n); ++i) {
+      const CriticalPathSeg& s = *heavy[i];
+      out += "    [rank ";
+      out += std::to_string(s.rank);
+      out += "] ";
+      out += step_cat_name(s.cat);
+      if (s.peer >= 0) {
+        out += " peer ";
+        out += std::to_string(s.peer);
+      }
+      if (s.bytes != 0) {
+        out += ' ';
+        out += std::to_string(s.bytes);
+        out += " B";
+      }
+      out += ' ';
+      append_us(out, s.blame_us);
+      out += " us @ ";
+      append_us(out, s.t0);
+      out += "..";
+      append_us(out, s.t1);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+} // namespace kacc::obs

@@ -1,0 +1,242 @@
+// Contention attribution ledger + schedule critical-path profiler
+// (kacc::obs v3).
+//
+// The ledger answers *why* a collective was slow, not just that it was:
+// every executed CMA data step is stamped with (source rank, believed
+// concurrency, node-wide stream count from the current lease, measured
+// duration, and a three-point model decomposition), and a per-rank
+// AttribBlock accumulates the pieces per (source lane, concurrency
+// bucket). The decomposition is exact by construction:
+//
+//   base     = T_cma(bytes, c=1)             uncontended transfer
+//   self     = T_cma(bytes, c)      - base   this team's own concurrency
+//   cross    = T_cma_shared(bytes, c, node_c) - T_cma(bytes, c)
+//                                             other tenants' streams
+//   residual = measured - T_cma_shared       model error
+//
+//   base + self + cross + residual == measured   (identically)
+//
+// Layer discipline: obs sits below model/, so all predicted values arrive
+// as plain arguments — the nbc engine calls predict::cma_transfer[_shared]
+// itself (same contract as DriftMonitor). A rank is the only writer of its
+// AttribBlock (plain fields, all-zero-valid); the team parent snapshots at
+// teardown from the ShmArena carve-out (native) or heap block (sim).
+//
+// The critical-path profiler consumes per-rank executed-step logs
+// (StepTrace, recorded only when step logging is enabled — sim runtimes)
+// and walks the step DAG backward from the globally latest completion,
+// hopping rank at wait->signal and barrier edges, to extract the longest
+// weighted chain with per-category and per-source blame that sums exactly
+// to the chain's elapsed time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/hist.h"
+
+namespace kacc::obs {
+
+// ----- attribution ledger -----
+
+/// Direct per-source lanes; higher source ranks fold into the overflow
+/// lane so the block stays fixed-size and all-zero-valid.
+inline constexpr int kAttribSourceLanes = 32;
+inline constexpr int kAttribLanes = kAttribSourceLanes + 1;
+inline constexpr int kAttribOverflowLane = kAttribSourceLanes;
+
+/// Lane of a source rank (negative/overflowing ranks share the last lane).
+[[nodiscard]] constexpr int attrib_lane(int src_rank) {
+  return (src_rank >= 0 && src_rank < kAttribSourceLanes)
+             ? src_rank
+             : kAttribOverflowLane;
+}
+
+/// One (source lane, concurrency bucket) accumulator. Single-writer plain
+/// fields; all-zero bytes is a valid initial state (DriftCell contract).
+struct AttribCell {
+  std::uint64_t count;        ///< data steps folded into this cell
+  std::uint64_t bytes;        ///< payload bytes moved
+  std::uint64_t node_streams; ///< sum of node-wide stream counts at issue
+  double meas_us;             ///< measured transfer time
+  double pred_base_us;        ///< modeled uncontended time (c = 1)
+  double pred_self_us;        ///< modeled at believed concurrency c
+  double pred_shared_us;      ///< modeled at (c, node_c) shared bandwidth
+};
+
+/// One rank's ledger (ShmArena carve-out natively, heap block in sim).
+struct alignas(64) AttribBlock {
+  AttribCell cells[kAttribLanes][kConcBuckets];
+};
+
+/// Per-rank writer view; a no-op until bound (CounterRegistry contract).
+class AttribLedger {
+public:
+  AttribLedger() = default;
+
+  void bind(AttribBlock* block) { block_ = block; }
+  [[nodiscard]] bool bound() const { return block_ != nullptr; }
+
+  /// Folds one executed data step into the (source, concurrency) cell.
+  /// All *_us values are plain arguments (see layer discipline above).
+  void observe(int src_rank, int c, int node_streams, std::uint64_t bytes,
+               double meas_us, double pred_base_us, double pred_self_us,
+               double pred_shared_us) const {
+    if (block_ == nullptr) {
+      return;
+    }
+    AttribCell& cell = block_->cells[attrib_lane(src_rank)][conc_bucket(c)];
+    cell.count += 1;
+    cell.bytes += bytes;
+    cell.node_streams +=
+        static_cast<std::uint64_t>(node_streams < 0 ? 0 : node_streams);
+    cell.meas_us += meas_us;
+    cell.pred_base_us += pred_base_us;
+    cell.pred_self_us += pred_self_us;
+    cell.pred_shared_us += pred_shared_us;
+  }
+
+private:
+  AttribBlock* block_ = nullptr;
+};
+
+/// Plain copy of one rank's ledger, for aggregation and reporting.
+using AttribSnapshot =
+    std::array<std::array<AttribCell, kConcBuckets>, kAttribLanes>;
+
+[[nodiscard]] AttribSnapshot attrib_snapshot(const AttribBlock& block);
+
+/// dst += src, element-wise.
+void accumulate(AttribSnapshot& dst, const AttribSnapshot& src);
+
+/// Total data steps folded into the snapshot (0 == nothing recorded).
+[[nodiscard]] std::uint64_t attrib_total_count(const AttribSnapshot& s);
+
+/// The exact four-way decomposition summed over the snapshot.
+struct AttribComponents {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  double meas_us = 0.0;
+  double base_us = 0.0;     ///< uncontended transfer time
+  double self_us = 0.0;     ///< own-team concurrency surcharge
+  double cross_us = 0.0;    ///< cross-tenant stream surcharge
+  double residual_us = 0.0; ///< measured minus full shared prediction
+};
+
+[[nodiscard]] AttribComponents attrib_components(const AttribSnapshot& s);
+
+/// Per-source rollup (lane order; only non-empty lanes).
+struct AttribSourceRow {
+  int lane = 0; ///< source rank, or kAttribOverflowLane for the rest
+  AttribComponents comp;
+};
+
+[[nodiscard]] std::vector<AttribSourceRow>
+attrib_by_source(const AttribSnapshot& s);
+
+/// Compact deterministic JSON:
+///   {"components":{...},"cells":[{"src":..,"conc":"c2",...},...]}
+/// "{}" when the snapshot is empty.
+[[nodiscard]] std::string attrib_json(const AttribSnapshot& s);
+
+/// Prometheus gauges (kacc_attrib_component_us by component,
+/// kacc_attrib_source_us by source lane), HELP/TYPE-conformant. Empty
+/// string when the snapshot is empty.
+[[nodiscard]] std::string attrib_prom_text(const AttribSnapshot& s,
+                                           const std::string& runtime,
+                                           const std::string& tenant = "");
+
+// ----- executed-step log + critical path -----
+
+/// Coarse category of an executed schedule step, for blame accounting.
+enum class StepCat : int {
+  kData = 0, ///< CMA read/write of payload bytes from/to `peer`
+  kCopy,     ///< local or shm-pipe copy
+  kWait,     ///< blocked on a signal from `peer` on `lane`
+  kSignal,   ///< posted a signal to `peer` on `lane`
+  kBarrier,  ///< team barrier (matched across ranks by occurrence index)
+  kCtrl,     ///< control-plane exchange (address bcast, ctrl send/recv)
+  kCompute,  ///< reduction combine or other charged local compute
+  kOther,
+  kCount
+};
+
+inline constexpr int kStepCatCount = static_cast<int>(StepCat::kCount);
+
+/// Stable short name ("data", "wait", ...).
+const char* step_cat_name(StepCat c);
+
+/// One executed step: [t0, t1] on the recording rank's clock (us). `peer`
+/// is the *global* source/target rank (so node-level reports attribute
+/// across sub-team views); `lane` disambiguates signal/wait matching
+/// (slot or tag). Waits are recorded only when the step actually blocked.
+struct StepTrace {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  StepCat cat = StepCat::kOther;
+  int peer = -1;
+  int lane = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One rank's executed-step log, in recording order.
+struct RankSteps {
+  int rank = 0;
+  std::vector<StepTrace> steps;
+};
+
+/// True when KACC_STEPLOG requests executed-step logging (set and not
+/// "0"). Read on every call, so tests can retune between runs.
+[[nodiscard]] bool step_log_from_env();
+
+/// False only when KACC_ATTRIB=0: the runtimes then skip binding the
+/// ledger, so governed data steps take the no-observability fast path
+/// (bench/obs_overhead measures the difference). Read on every call.
+[[nodiscard]] bool attrib_enabled_from_env();
+
+/// One chain segment of the critical path (chronological order in the
+/// report). `blame_us` is this segment's exclusive contribution; segment
+/// blames plus gap blames sum exactly to CriticalPathReport::total_us.
+struct CriticalPathSeg {
+  int rank = 0;
+  StepCat cat = StepCat::kOther;
+  int peer = -1;
+  int lane = 0;
+  std::uint64_t bytes = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double blame_us = 0.0;
+};
+
+struct CriticalPathReport {
+  double total_us = 0.0; ///< chain end minus chain start (== blame sum)
+  double span_us = 0.0;  ///< chain end minus earliest step start overall
+  std::vector<CriticalPathSeg> segs;           ///< chronological
+  std::array<double, kStepCatCount> by_cat{};  ///< blame per category
+  double gap_us = 0.0;                         ///< inter-step idle blame
+  /// (source rank, blame us) of data/wait segments, descending blame.
+  std::vector<std::pair<int, double>> by_source;
+};
+
+/// Walks the executed-step DAG backward from the globally latest-ending
+/// step. Predecessors: a wait hops to its matched signal (k-th wait on
+/// (waiter, src, lane) pairs with the k-th signal src->waiter on lane); a
+/// barrier hops to the same-occurrence barrier of the last-arriving rank;
+/// anything else chains to the previous step on the same rank, blaming
+/// the idle gap between them. Deterministic: ties break on (rank, index).
+/// Callers pass one team's ranks — barriers are matched by occurrence
+/// index within exactly this set, so don't mix teams in one call.
+[[nodiscard]] CriticalPathReport
+critical_path(const std::vector<RankSteps>& ranks);
+
+/// Deterministic JSON of a report ({"total_us":..,"by_cat":{...},...}).
+[[nodiscard]] std::string critical_path_json(const CriticalPathReport& r);
+
+/// Human-readable multi-line rendering (the kacc_explain centerpiece).
+/// `top_n` bounds the segment and source tables.
+[[nodiscard]] std::string
+critical_path_render(const CriticalPathReport& r, int top_n = 10);
+
+} // namespace kacc::obs

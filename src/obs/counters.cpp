@@ -51,6 +51,7 @@ const char* counter_name(Counter c) {
     case Counter::kNodeLeaseRevocations: return "node_lease_revocations";
     case Counter::kNodeServiceRequests: return "node_service_requests";
     case Counter::kNodeServiceBatches: return "node_service_batches";
+    case Counter::kNodeQuotaObserved: return "node_quota_observed";
     case Counter::kCount: break;
   }
   return "?";

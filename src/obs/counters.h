@@ -94,6 +94,8 @@ enum class Counter : int {
   kNodeLeaseRevocations, ///< dead-tenant leases reclaimed by this rank
   kNodeServiceRequests,  ///< collective requests accepted by the service
   kNodeServiceBatches,   ///< fused service flushes executed
+  kNodeQuotaObserved,    ///< arbiter recomputes switched to observed T_cma
+                         ///< after this rank's drift monitor went stale
 
   kCount
 };

@@ -23,6 +23,7 @@ const char* flight_kind_name(FlightKind k) {
     case FlightKind::kRecoveryAgree: return "recovery_agree";
     case FlightKind::kRecoveryShrink: return "recovery_shrink";
     case FlightKind::kNbcPoisoned: return "nbc_poisoned";
+    case FlightKind::kStepAttrib: return "step_attrib";
     case FlightKind::kCount: break;
   }
   return "?";

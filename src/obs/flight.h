@@ -38,6 +38,9 @@ enum class FlightKind : std::uint32_t {
   kRecoveryAgree,     ///< agreement reached (arg = survivor count)
   kRecoveryShrink,    ///< survivor comm built (arg = new epoch/generation)
   kNbcPoisoned,       ///< in-flight nbc request torn down (tag = label)
+  kStepAttrib,        ///< data-step attribution sample (peer = source,
+                      ///< arg = measured-minus-shared residual in ns,
+                      ///< tag = concurrency bucket)
   kCount
 };
 

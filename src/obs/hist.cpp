@@ -109,6 +109,35 @@ void append_fixed(std::string& out, double v) {
   out += buf;
 }
 
+/// One-line HELP text per exported histogram (text-format conformance:
+/// every series carries a # HELP / # TYPE pair).
+const char* hist_help(Hist h) {
+  switch (h) {
+    case Hist::kCmaReadC1:
+    case Hist::kCmaReadC2:
+    case Hist::kCmaReadC4:
+    case Hist::kCmaReadC8:
+    case Hist::kCmaReadC16:
+    case Hist::kCmaReadC32:
+      return "CMA read latency (ns) at the believed concurrency";
+    case Hist::kCmaWriteC1:
+    case Hist::kCmaWriteC2:
+    case Hist::kCmaWriteC4:
+    case Hist::kCmaWriteC8:
+    case Hist::kCmaWriteC16:
+    case Hist::kCmaWriteC32:
+      return "CMA write latency (ns) at the believed concurrency";
+    case Hist::kCollLatency:
+      return "End-to-end collective latency (ns)";
+    case Hist::kNbcStepLatency:
+      return "Nonblocking-collective engine step latency (ns)";
+    case Hist::kNbcAdmissionStall:
+      return "Admission-governor stall before a data step (ns)";
+    case Hist::kCount: break;
+  }
+  return "kacc latency histogram (ns)";
+}
+
 } // namespace
 
 std::string hist_summary_json(const HistSnapshot& s) {
@@ -167,6 +196,7 @@ std::string hist_prom_text(const HistSnapshot& s, const std::string& runtime,
       continue;
     }
     const std::string metric = std::string("kacc_") + hist_name(hist);
+    out += "# HELP " + metric + " " + hist_help(hist) + "\n";
     out += "# TYPE " + metric + " histogram\n";
     int top = 0;
     for (int b = 0; b < kHistBuckets; ++b) {

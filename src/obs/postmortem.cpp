@@ -161,6 +161,14 @@ std::string postmortem_json(const TeamObs& obs, const std::string& runtime,
       stale_ranks += std::to_string(r);
     }
   }
+  // Contention attribution: where the governed transfer time went
+  // (uncontended base, own-team concurrency, cross-tenant streams, model
+  // error). "{}" when the run recorded no governed data steps.
+  out += ",\"attrib\":" + attrib_json(obs.attrib_totals);
+  if (!obs.steps.empty()) {
+    out += ",\"critical_path\":" + critical_path_json(critical_path(obs.steps));
+  }
+
   out += ",\"drift\":{\"alarms\":" + std::to_string(alarms) +
          ",\"stale_ranks\":[" + stale_ranks + "],\"cells\":[";
   bool first_cell = true;

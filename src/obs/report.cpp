@@ -316,6 +316,14 @@ void maybe_dump_metrics(const TeamObs& obs, const std::string& runtime) {
   }
   line += ",\"drift\":{\"alarms\":" + std::to_string(alarms) +
           ",\"stale_ranks\":[" + stale_ranks + "]}";
+  if (attrib_total_count(obs.attrib_totals) != 0) {
+    line += ",\"attrib\":";
+    line += attrib_json(obs.attrib_totals);
+  }
+  if (!obs.steps.empty()) {
+    line += ",\"critical_path\":";
+    line += critical_path_json(critical_path(obs.steps));
+  }
   if (!obs.tenant.empty()) {
     line += ",\"tenant\":\"" + obs.tenant + "\"";
   }
@@ -341,8 +349,9 @@ void maybe_dump_metrics_prom(const TeamObs& obs,
   if (dest == nullptr || *dest == '\0') {
     return;
   }
-  const std::string text = hist_prom_text(obs.hist_totals, runtime,
-                                          obs.tenant);
+  const std::string text =
+      hist_prom_text(obs.hist_totals, runtime, obs.tenant) +
+      attrib_prom_text(obs.attrib_totals, runtime, obs.tenant);
   std::FILE* f = std::fopen(dest, "w");
   if (f == nullptr) {
     KACC_LOG_ERROR("KACC_METRICS_PROM: cannot open " << dest);

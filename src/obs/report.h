@@ -51,6 +51,13 @@ struct TeamObs {
   /// Surviving flight-recorder events per rank (obs/flight.h); empty when
   /// the recorder was disabled (KACC_FLIGHT_SLOTS=0).
   std::vector<RankFlight> flights;
+  /// Contention attribution ledgers (obs/attrib.h), one per rank when the
+  /// runtime collected them; attrib_totals is their element-wise sum.
+  std::vector<AttribSnapshot> attrib_per_rank;
+  AttribSnapshot attrib_totals{};
+  /// Executed-step logs for the critical-path profiler; empty unless step
+  /// logging was enabled (KACC_STEPLOG / NodeOptions::step_log, sim only).
+  std::vector<RankSteps> steps;
 
   [[nodiscard]] std::uint64_t total(Counter c) const {
     return get(totals, c);

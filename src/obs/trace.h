@@ -13,6 +13,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/attrib.h"
 #include "obs/counters.h"
 #include "obs/drift.h"
 #include "obs/flight.h"
@@ -138,6 +139,10 @@ struct Recorder {
   HistRegistry hists;
   DriftMonitor drift;
   FlightRecorder flight;
+  AttribLedger attrib;
+  /// Executed-step log for the critical-path profiler; null = disabled
+  /// (sim runtimes own the vector, native ranks leave it off).
+  std::vector<StepTrace>* steps = nullptr;
   TraceSink* sink = nullptr;
   double (*clock)(void*) = nullptr;
   void* clock_ctx = nullptr;
@@ -159,6 +164,17 @@ struct Recorder {
                     const char* tag = nullptr) {
     if (flight.bound()) {
       flight.emit(now_us(), kind, peer, arg, tag);
+    }
+  }
+
+  /// True when executed steps should be logged for critical-path analysis.
+  [[nodiscard]] bool step_logging() const { return steps != nullptr; }
+
+  /// Appends one executed step; a null check and nothing else when off.
+  void log_step(StepCat cat, double t0, double t1, int peer = -1,
+                int lane = 0, std::uint64_t bytes = 0) {
+    if (steps != nullptr) {
+      steps->push_back({t0, t1, cat, peer, lane, bytes});
     }
   }
 };

@@ -58,6 +58,12 @@ public:
   [[nodiscard]] virtual int size() const = 0;
   [[nodiscard]] virtual const ArchSpec& arch() const = 0;
 
+  /// Translates a rank of this communicator into the root ancestor's rank
+  /// space (identity on full teams; sub-team views chain through their
+  /// parent). Observability keys per-source attribution on global ranks so
+  /// sub-team collectives blame the same physical source.
+  [[nodiscard]] virtual int global_rank_of(int r) const { return r; }
+
   // ----- kernel-assisted data plane -----
 
   /// Reads `bytes` from `remote_addr` in rank `src`'s address space.
@@ -164,6 +170,18 @@ public:
     return node_quota_fn_ ? node_quota_fn_() : 0;
   }
 
+  /// Node-wide concurrent stream count under the current lease (the
+  /// `node_c` of predict::cma_transfer_shared), set alongside the quota
+  /// hook by the node launchers. The attribution ledger reads it at every
+  /// data step to price the cross-tenant component. 0 = standalone team:
+  /// no foreign streams, the shared and self predictions coincide.
+  void set_node_streams_fn(std::function<int()> fn) {
+    node_streams_fn_ = std::move(fn);
+  }
+  [[nodiscard]] int node_streams() const {
+    return node_streams_fn_ ? node_streams_fn_() : 0;
+  }
+
   /// Opaque per-communicator extension slot; the nbc progress engine
   /// parks its per-rank state here so Comm stays below the nbc layer.
   class NbcState {
@@ -187,6 +205,7 @@ protected:
 private:
   std::unique_ptr<NbcState> nbc_state_;
   std::function<int()> node_quota_fn_;
+  std::function<int()> node_streams_fn_;
 };
 
 } // namespace kacc

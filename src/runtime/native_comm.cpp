@@ -62,6 +62,9 @@ NativeComm::NativeComm(const shm::ShmArena& arena, ArchSpec spec, int rank,
   }
   recorder_.hists.bind(arena.hist_block(rank));
   recorder_.drift.bind(arena.drift_block(rank), obs::DriftConfig::from_env());
+  if (obs::attrib_enabled_from_env()) {
+    recorder_.attrib.bind(arena.attrib_block(rank));
+  }
   if (void* fr = arena.flight_ring(rank)) {
     recorder_.flight.bind(fr, arena.layout().flight_slots);
   }

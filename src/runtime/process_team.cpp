@@ -217,6 +217,10 @@ TeamResult run_native_team(const ArchSpec& spec, int nranks,
     obs::accumulate(result.obs.hist_totals, result.obs.hist_per_rank.back());
     result.obs.drift_per_rank.push_back(
         obs::drift_snapshot(*arena.drift_block(rank)));
+    result.obs.attrib_per_rank.push_back(
+        obs::attrib_snapshot(*arena.attrib_block(rank)));
+    obs::accumulate(result.obs.attrib_totals,
+                    result.obs.attrib_per_rank.back());
   }
   if (flight_slots != 0) {
     for (int rank = 0; rank < nranks; ++rank) {

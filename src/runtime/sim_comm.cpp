@@ -48,6 +48,18 @@ void SimTeamState::init_obs(int nranks) {
     block->stale.store(0, std::memory_order_relaxed);
     block->alarms.store(0, std::memory_order_relaxed);
   }
+  attrib_blocks.resize(static_cast<std::size_t>(nranks));
+  for (auto& block : attrib_blocks) {
+    // All-zero bytes is the valid initial ledger state.
+    block = std::make_unique<obs::AttribBlock>();
+    std::memset(block->cells, 0, sizeof(block->cells));
+  }
+  if (!step_log) {
+    step_log = obs::step_log_from_env();
+  }
+  if (step_log) {
+    step_logs.assign(static_cast<std::size_t>(nranks), {});
+  }
   flight_slots = obs::flight_slots_from_env();
   if (flight_slots > 0) {
     flight_rings.resize(static_cast<std::size_t>(nranks));
@@ -87,6 +99,13 @@ SimComm::SimComm(sim::SimEngine& engine, SimTeamState& team, int rank)
   }
   if (r < team.flight_rings.size() && team.flight_rings[r] != nullptr) {
     recorder_.flight.bind(team.flight_rings[r].get(), team.flight_slots);
+  }
+  if (r < team.attrib_blocks.size() && team.attrib_blocks[r] != nullptr &&
+      obs::attrib_enabled_from_env()) {
+    recorder_.attrib.bind(team.attrib_blocks[r].get());
+  }
+  if (r < team.step_logs.size()) {
+    recorder_.steps = &team.step_logs[r];
   }
   if (r < team.trace_sinks.size()) {
     recorder_.sink = &team.trace_sinks[r];
@@ -493,6 +512,16 @@ obs::TeamObs collect_sim_obs(SimTeamState& team, const sim::SimEngine& engine,
   }
   for (const auto& block : team.drift_blocks) {
     out.drift_per_rank.push_back(obs::drift_snapshot(*block));
+  }
+  for (const auto& block : team.attrib_blocks) {
+    out.attrib_per_rank.push_back(obs::attrib_snapshot(*block));
+    obs::accumulate(out.attrib_totals, out.attrib_per_rank.back());
+  }
+  for (std::size_t r = 0; r < team.step_logs.size(); ++r) {
+    obs::RankSteps rs;
+    rs.rank = static_cast<int>(r);
+    rs.steps = std::move(team.step_logs[r]);
+    out.steps.push_back(std::move(rs));
   }
   for (std::size_t r = 0; r < team.flight_rings.size(); ++r) {
     obs::RankFlight rf;

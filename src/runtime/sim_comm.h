@@ -32,6 +32,13 @@ struct SimTeamState {
   std::vector<obs::VectorSink> trace_sinks;
   std::vector<std::unique_ptr<obs::HistBlock>> hist_blocks;
   std::vector<std::unique_ptr<obs::DriftBlock>> drift_blocks;
+  std::vector<std::unique_ptr<obs::AttribBlock>> attrib_blocks;
+  /// Executed-step logs for the critical-path profiler; sized only when
+  /// step logging is on (KACC_STEPLOG, or `step_log` set by a composite
+  /// launcher before init_obs). Memory grows with schedule size, so it is
+  /// opt-in unlike the fixed-size ledger.
+  std::vector<std::vector<obs::StepTrace>> step_logs;
+  bool step_log = false;
   /// Raw flight-ring storage (header + slots), zeroed; empty when the
   /// black box is disabled (KACC_FLIGHT_SLOTS=0).
   std::vector<std::unique_ptr<std::byte[]>> flight_rings;

@@ -46,6 +46,11 @@ public:
   /// Parent rank of view rank `r`.
   [[nodiscard]] int global_rank(int r) const;
 
+  /// Root-ancestor rank of view rank `r` (chains through nested views).
+  [[nodiscard]] int global_rank_of(int r) const override {
+    return parent_->global_rank_of(global_rank(r));
+  }
+
   /// View rank of parent rank `parent_rank`, or -1 when it is not a
   /// member (e.g. a dead rank after a shrink — callers translate old-team
   /// roots and must handle the gone case).

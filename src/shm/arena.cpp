@@ -116,6 +116,13 @@ std::size_t drift_region_bytes(int nranks) {
          align_up(sizeof(obs::DriftBlock), kCacheLine);
 }
 
+// Contention attribution ledgers: one block per rank, always present (the
+// ledger is a no-op unless the nbc engine folds a data step into it).
+std::size_t attrib_region_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) *
+         align_up(sizeof(obs::AttribBlock), kCacheLine);
+}
+
 // Flight-recorder rings: one overwrite ring per rank when enabled.
 std::size_t flight_region_bytes(int nranks, std::size_t flight_slots) {
   if (flight_slots == 0) {
@@ -191,6 +198,8 @@ ArenaLayout ArenaLayout::compute(int nranks, std::size_t pipe_chunk_bytes,
   off = align_up(off + hist_region_bytes(nranks), 4096);
   l.drift_off = off;
   off = align_up(off + drift_region_bytes(nranks), 4096);
+  l.attrib_off = off;
+  off = align_up(off + attrib_region_bytes(nranks), 4096);
   l.flight_off = off;
   off = align_up(off + flight_region_bytes(nranks, flight_slots), 4096);
   l.recov_off = off;
@@ -407,6 +416,13 @@ obs::DriftBlock* ShmArena::drift_block(int rank) const {
   const std::size_t stride = align_up(sizeof(obs::DriftBlock), kCacheLine);
   return reinterpret_cast<obs::DriftBlock*>(
       base_ + layout_.drift_off + static_cast<std::size_t>(rank) * stride);
+}
+
+obs::AttribBlock* ShmArena::attrib_block(int rank) const {
+  KACC_CHECK_MSG(rank >= 0 && rank < layout_.nranks, "rank out of range");
+  const std::size_t stride = align_up(sizeof(obs::AttribBlock), kCacheLine);
+  return reinterpret_cast<obs::AttribBlock*>(
+      base_ + layout_.attrib_off + static_cast<std::size_t>(rank) * stride);
 }
 
 void* ShmArena::flight_ring(int rank) const {

@@ -45,6 +45,7 @@ struct ArenaLayout {
   std::size_t trace_off = 0;
   std::size_t hist_off = 0;   ///< per-rank latency histograms (kacc::obs)
   std::size_t drift_off = 0;  ///< per-rank model-residual grids
+  std::size_t attrib_off = 0; ///< per-rank contention attribution ledgers
   std::size_t flight_off = 0; ///< per-rank flight-recorder rings
   std::size_t recov_off = 0;  ///< team epoch + per-rank recovery lines
   std::size_t total_bytes = 0;
@@ -193,6 +194,9 @@ public:
 
   /// The rank's model-residual grid (always present).
   [[nodiscard]] obs::DriftBlock* drift_block(int rank) const;
+
+  /// The rank's contention attribution ledger (always present).
+  [[nodiscard]] obs::AttribBlock* attrib_block(int rank) const;
 
   /// Base of the rank's flight-recorder ring, or nullptr when the layout
   /// was computed without one (flight_slots == 0).

@@ -1,0 +1,606 @@
+// kacc::obs v3 suite: the contention attribution ledger (exact four-way
+// decomposition, overflow folding, deterministic JSON), the schedule
+// critical-path profiler (crafted DAGs with known chains, blame-sum
+// invariants), Prometheus text conformance for the regrouped node export,
+// end-to-end attribution/determinism on co-scheduled sim runs, and the
+// observed-T_cma node quota handoff (governor units + the arbiter switch).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model/predict.h"
+#include "nbc/governor.h"
+#include "nbc/nbc.h"
+#include "node/arbiter.h"
+#include "node/launch.h"
+#include "obs/attrib.h"
+#include "obs/counters.h"
+#include "obs/drift.h"
+#include "obs/report.h"
+#include "runtime/comm.h"
+#include "topo/presets.h"
+
+namespace kacc {
+namespace {
+
+using obs::Counter;
+
+constexpr std::uint64_t kChunk = 256 * 1024;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Scoped setenv/restore so per-call env knobs (KACC_DRIFT_*,
+/// KACC_METRICS_PROM) never leak between tests.
+class ScopedEnv {
+public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+/// An empty, bound drift monitor over heap storage.
+struct TestMonitor {
+  std::unique_ptr<obs::DriftBlock> block;
+  obs::DriftMonitor mon;
+
+  explicit TestMonitor(std::uint32_t window = 4) {
+    block = std::make_unique<obs::DriftBlock>();
+    std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::DriftBlock));
+    obs::DriftConfig cfg;
+    cfg.window = window;
+    mon.bind(block.get(), cfg);
+  }
+};
+
+/// Feeds full windows teaching the monitor that any concurrency is
+/// catastrophically slower than the model predicted, while serial
+/// transfers match. One representative c per concurrency bucket.
+void poison_concurrency(obs::DriftMonitor& mon, std::uint64_t bytes) {
+  for (int i = 0; i < 8; ++i) {
+    mon.observe(bytes, 1, 10.0, 10.0);
+    for (const int c : {2, 3, 5, 9, 17}) {
+      mon.observe(bytes, c, 5000.0, 10.0);
+    }
+  }
+}
+
+/// The two-tenant knl configuration kacc_explain demos: enough rounds
+/// and ranks that every attribution component is visibly nonzero.
+node::NodeRunResult run_explain_node() {
+  std::vector<node::NodeTenant> tenants(2);
+  for (int t = 0; t < 2; ++t) {
+    node::NodeTenant& ten = tenants[static_cast<std::size_t>(t)];
+    ten.name = "ten" + std::to_string(t);
+    ten.nranks = 8;
+    ten.weight = t + 1;
+    ten.body = [](node::TenantSession& s) {
+      std::vector<std::uint8_t> buf(kChunk,
+                                    static_cast<std::uint8_t>(s.index()));
+      for (int round = 0; round < 6; ++round) {
+        nbc::Request r = nbc::ibcast(s.comm(), buf.data(), buf.size(), 0);
+        nbc::wait(r);
+      }
+    };
+  }
+  node::NodeOptions opts;
+  opts.step_log = true;
+  return node::run_sim_node(knl(), tenants, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Attribution ledger
+// ---------------------------------------------------------------------------
+
+TEST(AttribLedger, UnboundObserveIsNoop) {
+  obs::AttribLedger ledger;
+  EXPECT_FALSE(ledger.bound());
+  ledger.observe(0, 2, 4, 4096, 12.0, 10.0, 11.0, 11.5); // must not crash
+}
+
+TEST(AttribLedger, ExactFourWayIdentity) {
+  auto block = std::make_unique<obs::AttribBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::AttribBlock));
+  obs::AttribLedger ledger;
+  ledger.bind(block.get());
+
+  // base <= self <= shared <= measured is the common shape, but the
+  // identity must hold for any decomposition, including negative residual.
+  ledger.observe(0, 2, 4, 4096, 12.0, 8.0, 9.5, 11.0);
+  ledger.observe(0, 2, 4, 4096, 10.5, 8.0, 9.5, 11.0);
+  ledger.observe(3, 1, 1, 1024, 5.0, 5.0, 5.0, 5.0);
+
+  const obs::AttribSnapshot snap = obs::attrib_snapshot(*block);
+  EXPECT_EQ(obs::attrib_total_count(snap), 3u);
+  const obs::AttribComponents c = obs::attrib_components(snap);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.bytes, 4096u * 2 + 1024u);
+  EXPECT_DOUBLE_EQ(c.meas_us, 27.5);
+  EXPECT_DOUBLE_EQ(c.base_us, 21.0);
+  // base + self + cross + residual telescopes back to measured.
+  EXPECT_NEAR(c.base_us + c.self_us + c.cross_us + c.residual_us, c.meas_us,
+              1e-9);
+}
+
+TEST(AttribLedger, OverflowLaneFoldsHighAndNegativeSources) {
+  EXPECT_EQ(obs::attrib_lane(0), 0);
+  EXPECT_EQ(obs::attrib_lane(obs::kAttribSourceLanes - 1),
+            obs::kAttribSourceLanes - 1);
+  EXPECT_EQ(obs::attrib_lane(obs::kAttribSourceLanes),
+            obs::kAttribOverflowLane);
+  EXPECT_EQ(obs::attrib_lane(1000), obs::kAttribOverflowLane);
+  EXPECT_EQ(obs::attrib_lane(-1), obs::kAttribOverflowLane);
+
+  auto block = std::make_unique<obs::AttribBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::AttribBlock));
+  obs::AttribLedger ledger;
+  ledger.bind(block.get());
+  ledger.observe(40, 1, 1, 64, 1.0, 1.0, 1.0, 1.0);
+  ledger.observe(-7, 1, 1, 64, 1.0, 1.0, 1.0, 1.0);
+
+  const obs::AttribSnapshot snap = obs::attrib_snapshot(*block);
+  const auto rows = obs::attrib_by_source(snap);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].lane, obs::kAttribOverflowLane);
+  EXPECT_EQ(rows[0].comp.count, 2u);
+}
+
+TEST(AttribLedger, AccumulateSumsElementWise) {
+  auto block = std::make_unique<obs::AttribBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::AttribBlock));
+  obs::AttribLedger ledger;
+  ledger.bind(block.get());
+  ledger.observe(1, 2, 2, 512, 3.0, 2.0, 2.5, 2.75);
+
+  const obs::AttribSnapshot one = obs::attrib_snapshot(*block);
+  obs::AttribSnapshot sum{};
+  obs::accumulate(sum, one);
+  obs::accumulate(sum, one);
+  EXPECT_EQ(obs::attrib_total_count(sum), 2u);
+  const obs::AttribComponents c = obs::attrib_components(sum);
+  EXPECT_DOUBLE_EQ(c.meas_us, 6.0);
+  EXPECT_DOUBLE_EQ(c.base_us, 4.0);
+}
+
+TEST(AttribLedger, JsonDeterministicAndEmptyForms) {
+  EXPECT_EQ(obs::attrib_json(obs::AttribSnapshot{}), "{}");
+  EXPECT_EQ(obs::attrib_prom_text(obs::AttribSnapshot{}, "sim"), "");
+
+  auto block = std::make_unique<obs::AttribBlock>();
+  std::memset(static_cast<void*>(block.get()), 0, sizeof(obs::AttribBlock));
+  obs::AttribLedger ledger;
+  ledger.bind(block.get());
+  ledger.observe(2, 3, 6, 8192, 20.0, 12.0, 15.0, 18.0);
+  ledger.observe(100, 1, 1, 128, 2.0, 2.0, 2.0, 2.0);
+
+  const obs::AttribSnapshot snap = obs::attrib_snapshot(*block);
+  const std::string a = obs::attrib_json(snap);
+  const std::string b = obs::attrib_json(snap);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"components\""), std::string::npos);
+  EXPECT_NE(a.find("\"src\":2"), std::string::npos);
+  EXPECT_NE(a.find("\"src\":-1"), std::string::npos) << "overflow lane";
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path profiler
+// ---------------------------------------------------------------------------
+
+TEST(CriticalPath, EmptyInputYieldsEmptyReport) {
+  const obs::CriticalPathReport rep = obs::critical_path({});
+  EXPECT_EQ(rep.total_us, 0.0);
+  EXPECT_TRUE(rep.segs.empty());
+}
+
+TEST(CriticalPath, CraftedSkewedScheduleYieldsKnownChain) {
+  // rank 0: data [0,10] from peer 1, then signal [10,10.5] -> rank 1.
+  // rank 1: wait  [0,11] on rank 0, then data [11,20] from peer 0.
+  // The chain must hop rank 1's wait to rank 0's signal and blame the
+  // wait only for the 0.5us tail the signaler cannot explain.
+  std::vector<obs::RankSteps> ranks(2);
+  ranks[0].rank = 0;
+  ranks[0].steps = {
+      {0.0, 10.0, obs::StepCat::kData, 1, 0, 4096},
+      {10.0, 10.5, obs::StepCat::kSignal, 1, 0, 0},
+  };
+  ranks[1].rank = 1;
+  ranks[1].steps = {
+      {0.0, 11.0, obs::StepCat::kWait, 0, 0, 0},
+      {11.0, 20.0, obs::StepCat::kData, 0, 0, 4096},
+  };
+
+  const obs::CriticalPathReport rep = obs::critical_path(ranks);
+  EXPECT_DOUBLE_EQ(rep.total_us, 20.0);
+  EXPECT_DOUBLE_EQ(rep.span_us, 20.0);
+  ASSERT_EQ(rep.segs.size(), 4u);
+  // Chronological: data(r0), signal(r0), wait(r1), data(r1).
+  EXPECT_EQ(rep.segs[0].rank, 0);
+  EXPECT_EQ(rep.segs[0].cat, obs::StepCat::kData);
+  EXPECT_DOUBLE_EQ(rep.segs[0].blame_us, 10.0);
+  EXPECT_EQ(rep.segs[1].cat, obs::StepCat::kSignal);
+  EXPECT_DOUBLE_EQ(rep.segs[1].blame_us, 0.5);
+  EXPECT_EQ(rep.segs[2].cat, obs::StepCat::kWait);
+  EXPECT_DOUBLE_EQ(rep.segs[2].blame_us, 0.5);
+  EXPECT_EQ(rep.segs[3].rank, 1);
+  EXPECT_DOUBLE_EQ(rep.segs[3].blame_us, 9.0);
+  EXPECT_DOUBLE_EQ(
+      rep.by_cat[static_cast<std::size_t>(obs::StepCat::kData)], 19.0);
+  EXPECT_DOUBLE_EQ(
+      rep.by_cat[static_cast<std::size_t>(obs::StepCat::kWait)], 0.5);
+  EXPECT_DOUBLE_EQ(rep.gap_us, 0.0);
+  // by_source: rank 0's data blames its source 1 (10us); rank 1's
+  // data + wait blame source 0 (9.5us).
+  ASSERT_EQ(rep.by_source.size(), 2u);
+  EXPECT_EQ(rep.by_source[0].first, 1);
+  EXPECT_DOUBLE_EQ(rep.by_source[0].second, 10.0);
+  EXPECT_EQ(rep.by_source[1].first, 0);
+  EXPECT_DOUBLE_EQ(rep.by_source[1].second, 9.5);
+}
+
+TEST(CriticalPath, BarrierBlamesLastArrivingRank) {
+  // rank 0 sits in the barrier [5,10]; rank 1 computes until 9 and
+  // arrives last [9,10]. The chain must cross to rank 1 and charge the
+  // lateness to its compute, not to rank 0's idle barrier wait.
+  std::vector<obs::RankSteps> ranks(2);
+  ranks[0].rank = 0;
+  ranks[0].steps = {{5.0, 10.0, obs::StepCat::kBarrier, -1, 0, 0}};
+  ranks[1].rank = 1;
+  ranks[1].steps = {
+      {0.0, 9.0, obs::StepCat::kCompute, -1, 0, 0},
+      {9.0, 10.0, obs::StepCat::kBarrier, -1, 0, 0},
+  };
+
+  const obs::CriticalPathReport rep = obs::critical_path(ranks);
+  EXPECT_DOUBLE_EQ(rep.total_us, 10.0);
+  EXPECT_DOUBLE_EQ(
+      rep.by_cat[static_cast<std::size_t>(obs::StepCat::kCompute)], 9.0);
+  EXPECT_DOUBLE_EQ(
+      rep.by_cat[static_cast<std::size_t>(obs::StepCat::kBarrier)], 1.0);
+  EXPECT_DOUBLE_EQ(rep.gap_us, 0.0);
+}
+
+TEST(CriticalPath, BlameSumsExactlyToTotal) {
+  // Irregular timings with genuine idle gaps; the invariant must hold
+  // regardless of shape.
+  std::vector<obs::RankSteps> ranks(2);
+  ranks[0].rank = 0;
+  ranks[0].steps = {
+      {0.0, 3.0, obs::StepCat::kCtrl, -1, 0, 0},
+      {4.5, 9.0, obs::StepCat::kData, 1, 0, 1024},
+      {9.0, 9.25, obs::StepCat::kSignal, 1, 2, 0},
+  };
+  ranks[1].rank = 1;
+  ranks[1].steps = {
+      {1.0, 8.0, obs::StepCat::kCopy, -1, 0, 512},
+      {8.0, 12.0, obs::StepCat::kWait, 0, 2, 0},
+      {12.5, 14.0, obs::StepCat::kData, 0, 0, 1024},
+  };
+
+  const obs::CriticalPathReport rep = obs::critical_path(ranks);
+  double sum = rep.gap_us;
+  for (const obs::CriticalPathSeg& seg : rep.segs) {
+    sum += seg.blame_us;
+  }
+  EXPECT_NEAR(sum, rep.total_us, 1e-9);
+  EXPECT_GT(rep.total_us, 0.0);
+  // JSON is deterministic for a fixed report.
+  EXPECT_EQ(obs::critical_path_json(rep), obs::critical_path_json(rep));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end attribution on the co-scheduled simulator
+// ---------------------------------------------------------------------------
+
+TEST(Obs3Sim, ComponentsReconcileToMeasuredEndToEnd) {
+  const node::NodeRunResult res = run_explain_node();
+  ASSERT_TRUE(res.all_ok());
+
+  // Every component of the four-way split is visibly nonzero in this
+  // configuration (8-rank tenants push knl past its bandwidth crossover).
+  const obs::AttribComponents c = obs::attrib_components(res.obs.attrib_totals);
+  ASSERT_GT(c.count, 0u);
+  EXPECT_GT(c.base_us, 0.0);
+  EXPECT_GT(c.self_us, 0.0);
+  EXPECT_GT(c.cross_us, 0.0);
+  EXPECT_NE(c.residual_us, 0.0);
+  // The named components must reconcile to the measured end-to-end step
+  // time within 5% (they telescope, so this is near-exact).
+  EXPECT_NEAR(c.base_us + c.self_us + c.cross_us + c.residual_us, c.meas_us,
+              0.05 * c.meas_us);
+  EXPECT_NEAR(c.base_us + c.self_us + c.cross_us + c.residual_us, c.meas_us,
+              1e-6 * c.meas_us);
+
+  // Per-tenant slices partition the node totals.
+  ASSERT_EQ(res.per_tenant.size(), 2u);
+  std::uint64_t count_sum = 0;
+  for (const obs::TeamObs& ten : res.per_tenant) {
+    count_sum += obs::attrib_components(ten.attrib_totals).count;
+  }
+  EXPECT_EQ(count_sum, c.count);
+
+  // The critical-path profiler must explain >= 90% of each tenant's
+  // elapsed span, with >= 90% of the chain on named (non-gap) segments.
+  for (const obs::TeamObs& ten : res.per_tenant) {
+    ASSERT_FALSE(ten.steps.empty()) << ten.tenant;
+    const obs::CriticalPathReport rep = obs::critical_path(ten.steps);
+    ASSERT_GT(rep.span_us, 0.0) << ten.tenant;
+    EXPECT_GE(rep.total_us, 0.9 * rep.span_us) << ten.tenant;
+    EXPECT_GE(rep.total_us - rep.gap_us, 0.9 * rep.total_us) << ten.tenant;
+    double sum = rep.gap_us;
+    for (const obs::CriticalPathSeg& seg : rep.segs) {
+      sum += seg.blame_us;
+    }
+    EXPECT_NEAR(sum, rep.total_us, 1e-6 * rep.total_us) << ten.tenant;
+  }
+}
+
+TEST(Obs3Sim, LedgerAndCriticalPathAreDeterministicAcrossReruns) {
+  const node::NodeRunResult a = run_explain_node();
+  const node::NodeRunResult b = run_explain_node();
+  ASSERT_TRUE(a.all_ok());
+  ASSERT_TRUE(b.all_ok());
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(obs::attrib_json(a.obs.attrib_totals),
+            obs::attrib_json(b.obs.attrib_totals));
+  ASSERT_EQ(a.per_tenant.size(), b.per_tenant.size());
+  for (std::size_t t = 0; t < a.per_tenant.size(); ++t) {
+    EXPECT_EQ(obs::attrib_json(a.per_tenant[t].attrib_totals),
+              obs::attrib_json(b.per_tenant[t].attrib_totals));
+    EXPECT_EQ(
+        obs::critical_path_json(obs::critical_path(a.per_tenant[t].steps)),
+        obs::critical_path_json(obs::critical_path(b.per_tenant[t].steps)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text conformance
+// ---------------------------------------------------------------------------
+
+/// Strict-parser conformance: every sample's base metric carries exactly
+/// one HELP and one TYPE line, both before its first sample; samples of
+/// one metric are contiguous; every histogram family has a +Inf bucket.
+void expect_prom_conformant(const std::string& text) {
+  std::map<std::string, int> help_count;
+  std::map<std::string, int> type_count;
+  std::set<std::string> sampled;
+  std::set<std::string> closed; // metrics whose sample block has ended
+  std::map<std::string, bool> hist_has_inf;
+  std::string current;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::string name = rest.substr(0, rest.find(' '));
+      ASSERT_FALSE(name.empty()) << line;
+      (line[2] == 'H' ? help_count : type_count)[name] += 1;
+      EXPECT_EQ(sampled.count(name), 0u)
+          << "header after that metric's samples: " << line;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment form: " << line;
+    const std::size_t cut = line.find_first_of("{ ");
+    ASSERT_NE(cut, std::string::npos) << line;
+    const std::string series = line.substr(0, cut);
+    std::string base = series;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t n = std::strlen(suffix);
+      if (base.size() > n && base.compare(base.size() - n, n, suffix) == 0) {
+        base.resize(base.size() - n);
+        break;
+      }
+    }
+    EXPECT_EQ(help_count.count(base), 1u) << "sample without HELP: " << line;
+    EXPECT_EQ(type_count.count(base), 1u) << "sample without TYPE: " << line;
+    if (base != current) {
+      EXPECT_EQ(closed.count(base), 0u)
+          << "samples of " << base << " are not contiguous";
+      if (!current.empty()) {
+        closed.insert(current);
+      }
+      current = base;
+    }
+    sampled.insert(base);
+    if (series.size() > base.size()) { // histogram child series
+      bool& has_inf = hist_has_inf[base];
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        has_inf = true;
+      }
+    }
+  }
+  for (const auto& [name, n] : help_count) {
+    EXPECT_EQ(n, 1) << "duplicate HELP for " << name;
+    EXPECT_EQ(type_count[name], 1) << "HELP without single TYPE: " << name;
+  }
+  for (const auto& [name, n] : type_count) {
+    EXPECT_EQ(n, 1) << "duplicate TYPE for " << name;
+  }
+  for (const auto& [name, has_inf] : hist_has_inf) {
+    EXPECT_TRUE(has_inf) << name << " histogram lacks a +Inf bucket";
+  }
+}
+
+TEST(Obs3Prom, TeamSnapshotIsConformant) {
+  const node::NodeRunResult res = run_explain_node();
+  ASSERT_TRUE(res.all_ok());
+
+  const std::string path =
+      "/tmp/kacc_obs3_prom_" + std::to_string(::getpid()) + ".txt";
+  {
+    ScopedEnv env("KACC_METRICS_PROM", path.c_str());
+    obs::maybe_dump_metrics_prom(res.obs, "sim");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("kacc_attrib_component_us"), std::string::npos);
+  expect_prom_conformant(text);
+}
+
+TEST(Obs3Prom, NodeTextRegroupsTenantsConformantly) {
+  const node::NodeRunResult res = run_explain_node();
+  ASSERT_TRUE(res.all_ok());
+  const std::string text = node::node_prom_text(res, "sim");
+  ASSERT_FALSE(text.empty());
+  // Both tenants' samples appear, under a single header per metric.
+  EXPECT_NE(text.find("tenant=\"ten0\""), std::string::npos);
+  EXPECT_NE(text.find("tenant=\"ten1\""), std::string::npos);
+  expect_prom_conformant(text);
+}
+
+// ---------------------------------------------------------------------------
+// Observed-T_cma node quotas (governor units + arbiter switch)
+// ---------------------------------------------------------------------------
+
+TEST(GovernorObserved, EmptyWithoutObservedData) {
+  TestMonitor tm;
+  const std::vector<nbc::TenantDemand> demands = {{8, 1}, {8, 1}};
+  EXPECT_TRUE(
+      nbc::aggregate_quotas_observed(tm.mon, knl(), kChunk, demands).empty());
+  // Unbound monitor: same contract.
+  obs::DriftMonitor unbound;
+  EXPECT_TRUE(
+      nbc::aggregate_quotas_observed(unbound, knl(), kChunk, demands).empty());
+}
+
+TEST(GovernorObserved, CatastrophicConcurrencySerializesTheNode) {
+  TestMonitor tm;
+  poison_concurrency(tm.mon, kChunk);
+  const std::vector<nbc::TenantDemand> demands = {{8, 1}, {8, 2}};
+  const std::vector<int> observed =
+      nbc::aggregate_quotas_observed(tm.mon, knl(), kChunk, demands);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], 1);
+  EXPECT_EQ(observed[1], 1);
+  // The model, trusting its own contention curve, leases more streams.
+  const std::vector<int> model =
+      nbc::aggregate_quotas(knl(), kChunk, demands);
+  EXPECT_GT(model[0] + model[1], observed[0] + observed[1]);
+}
+
+TEST(GovernorObserved, SingleTenantReducesToObservedCap) {
+  TestMonitor tm;
+  poison_concurrency(tm.mon, kChunk);
+  const std::vector<int> q =
+      nbc::aggregate_quotas_observed(tm.mon, knl(), kChunk, {{8, 1}});
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0], nbc::optimal_admission_cap_observed(tm.mon, knl(), kChunk, 8));
+}
+
+TEST(GovernorObserved, SharedCostKeepsModelStretchFactor) {
+  TestMonitor tm;
+  // Feed the model's own self-contention prediction as the observation
+  // (8 samples: power-of-two count keeps the stored mean bit-exact), so
+  // the observed shared cost reduces to the model's shared cost.
+  const double pred2 = predict::cma_transfer(knl(), kChunk, 2);
+  for (int i = 0; i < 8; ++i) {
+    tm.mon.observe(kChunk, 2, pred2, pred2);
+  }
+  const double observed =
+      nbc::observed_shared_drain_cost_us(tm.mon, knl(), kChunk, 7, 2, 12);
+  const double model = nbc::shared_drain_cost_us(knl(), kChunk, 7, 2, 12);
+  EXPECT_NEAR(observed, model, 1e-9 * model);
+  // Without data the fallback is the model prediction, same reduction.
+  TestMonitor empty;
+  EXPECT_NEAR(
+      nbc::observed_shared_drain_cost_us(empty.mon, knl(), kChunk, 7, 2, 12),
+      model, 1e-9 * model);
+}
+
+TEST(Obs3ObservedQuota, StaleDriftSwitchesNodeToObservedLeases) {
+  ScopedEnv w("KACC_DRIFT_WINDOW", "4");
+  ScopedEnv k("KACC_DRIFT_K", "1");
+
+  const auto run = [&](bool poison) {
+    std::vector<node::NodeTenant> tenants(2);
+    for (int t = 0; t < 2; ++t) {
+      node::NodeTenant& ten = tenants[static_cast<std::size_t>(t)];
+      ten.name = "ten" + std::to_string(t);
+      ten.nranks = 8;
+      ten.body = [poison](node::TenantSession& s) {
+        if (poison) {
+          // Teach this rank's monitor that concurrency is catastrophic
+          // before the first governed quota read, so the stale flag (and
+          // full observed windows) are in place when the engine asks.
+          poison_concurrency(s.comm().recorder().drift, kChunk);
+        }
+        std::vector<std::uint8_t> buf(kChunk, 0);
+        for (int round = 0; round < 2; ++round) {
+          nbc::Request r = nbc::ibcast(s.comm(), buf.data(), buf.size(), 0);
+          nbc::wait(r);
+        }
+      };
+    }
+    node::NodeOptions opts;
+    opts.chunk_bytes = kChunk;
+    return node::run_sim_node(knl(), tenants, opts);
+  };
+
+  const node::NodeRunResult control = run(/*poison=*/false);
+  const node::NodeRunResult observed = run(/*poison=*/true);
+  ASSERT_TRUE(control.all_ok());
+  ASSERT_TRUE(observed.all_ok());
+
+  // Control: the model never goes stale, nobody re-leases.
+  EXPECT_EQ(control.obs.total(Counter::kNodeQuotaObserved), 0u);
+
+  // Poisoned: exactly one rank wins the one-shot switch; the whole node
+  // drops to serial leases (observed serial drain beats any concurrency).
+  EXPECT_EQ(observed.obs.total(Counter::kNodeQuotaObserved), 1u);
+  ASSERT_EQ(observed.quotas.size(), 2u);
+  EXPECT_EQ(observed.quotas[0], 1);
+  EXPECT_EQ(observed.quotas[1], 1);
+  EXPECT_GT(control.quotas[0] + control.quotas[1],
+            observed.quotas[0] + observed.quotas[1]);
+  // The switch is one extra recompute beyond the control run's epochs.
+  EXPECT_EQ(observed.final_epoch, control.final_epoch + 1);
+}
+
+} // namespace
+} // namespace kacc

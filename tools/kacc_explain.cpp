@@ -1,0 +1,523 @@
+// kacc_explain — top-N "where the time went" report (kacc::obs v3).
+//
+// Default mode runs a deterministic two-tenant co-scheduled simulation
+// (run_sim_node with the contention attribution ledger and executed-step
+// logging on) and explains it: per-tenant attribution of governed CMA
+// data-step time into base / self / cross-tenant / model-residual
+// components, per-source blame, and the schedule critical path with
+// per-phase blame that sums exactly to the chain's elapsed time.
+//
+// --postmortem <file> instead renders the "attrib" and "critical_path"
+// sections of a post-mortem bundle (KACC_POSTMORTEM) — the offline
+// companion for runs that already crashed.
+//
+// Run: ./build/tools/kacc_explain [--tenants N] [--ranks R] [--bytes B]
+//        [--rounds K] [--arch NAME] [--top N] [--json]
+//        [--postmortem FILE]
+//
+// The demo is fully deterministic: two runs print byte-identical reports.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "nbc/nbc.h"
+#include "node/launch.h"
+#include "obs/attrib.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+struct ExplainConfig {
+  int tenants = 2;
+  int ranks_per = 4;
+  int rounds = 4;
+  std::size_t bytes = 256 * 1024;
+  std::string arch = "broadwell";
+  int top_n = 10;
+  bool json = false;
+  std::string postmortem;
+};
+
+void append_us(std::string& out, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out += buf;
+}
+
+void append_pct(std::string& out, double part, double whole) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                whole > 0.0 ? 100.0 * part / whole : 0.0);
+  out += buf;
+  out += '%';
+}
+
+// ----- attribution rendering (shared by demo and postmortem modes) -----
+
+struct AttribLine {
+  const char* name;
+  const char* note;
+  double us;
+};
+
+std::string render_components(double meas_us, double base_us, double self_us,
+                              double cross_us, double residual_us,
+                              std::uint64_t count, std::uint64_t bytes) {
+  std::string out = "  ";
+  out += std::to_string(count);
+  out += " governed data steps, ";
+  out += std::to_string(bytes);
+  out += " bytes\n";
+  const AttribLine lines[] = {
+      {"measured", "sum of measured step time", meas_us},
+      {"base", "uncontended transfer", base_us},
+      {"self", "own-team concurrency", self_us},
+      {"cross_tenant", "other tenants' streams", cross_us},
+      {"model_residual", "measured minus shared prediction", residual_us},
+  };
+  for (const AttribLine& l : lines) {
+    out += "    ";
+    out += l.name;
+    // Fixed-width-ish alignment without iomanip: pad to 15 columns.
+    for (std::size_t i = std::strlen(l.name); i < 15; ++i) {
+      out += ' ';
+    }
+    append_us(out, l.us);
+    out += " us (";
+    append_pct(out, l.us, meas_us);
+    out += ")  ";
+    out += l.note;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_attrib(const obs::AttribSnapshot& s, int top_n) {
+  const obs::AttribComponents c = obs::attrib_components(s);
+  if (c.count == 0) {
+    return "  (no governed data steps recorded)\n";
+  }
+  std::string out = render_components(c.meas_us, c.base_us, c.self_us,
+                                      c.cross_us, c.residual_us, c.count,
+                                      c.bytes);
+  std::vector<obs::AttribSourceRow> rows = obs::attrib_by_source(s);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const obs::AttribSourceRow& a,
+                      const obs::AttribSourceRow& b) {
+                     return a.comp.meas_us > b.comp.meas_us;
+                   });
+  out += "    top sources by measured time:\n";
+  int shown = 0;
+  for (const obs::AttribSourceRow& row : rows) {
+    if (shown++ >= top_n) {
+      break;
+    }
+    out += "      src ";
+    out += row.lane == obs::kAttribOverflowLane ? "other"
+                                                : std::to_string(row.lane);
+    out += ": ";
+    append_us(out, row.comp.meas_us);
+    out += " us (";
+    append_pct(out, row.comp.meas_us, c.meas_us);
+    out += "), residual ";
+    append_us(out, row.comp.residual_us);
+    out += " us\n";
+  }
+  return out;
+}
+
+// ----- minimal JSON value + parser (postmortem mode) -----
+//
+// The bundles are written by our own deterministic emitters, so this
+// recursive-descent parser covers exactly the JSON they produce (objects,
+// arrays, strings with \" and \\ escapes, numbers, bools, null).
+
+struct Jv {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Jv> arr;
+  std::vector<std::pair<std::string, Jv>> obj;
+
+  [[nodiscard]] const Jv* get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double num_or(const std::string& key, double dflt) const {
+    const Jv* v = get(key);
+    return v != nullptr && v->kind == kNum ? v->num : dflt;
+  }
+};
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  [[noreturn]] void fail(const char* what) {
+    throw InvalidArgument(std::string("postmortem parse error: ") + what);
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    if (p >= end || *p != '"') {
+      fail("expected string");
+    }
+    ++p;
+    std::string s;
+    while (p < end && *p != '"') {
+      if (*p == '\\' && p + 1 < end) {
+        ++p;
+        switch (*p) {
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          default: s += *p; break; // covers \" \\ \/ — all our writers emit
+        }
+      } else {
+        s += *p;
+      }
+      ++p;
+    }
+    if (p >= end) {
+      fail("unterminated string");
+    }
+    ++p;
+    return s;
+  }
+
+  Jv parse_value() {
+    skip_ws();
+    if (p >= end) {
+      fail("unexpected end of input");
+    }
+    Jv v;
+    if (*p == '{') {
+      ++p;
+      v.kind = Jv::kObj;
+      if (eat('}')) {
+        return v;
+      }
+      do {
+        std::string key = parse_string();
+        if (!eat(':')) {
+          fail("expected ':'");
+        }
+        v.obj.emplace_back(std::move(key), parse_value());
+      } while (eat(','));
+      if (!eat('}')) {
+        fail("expected '}'");
+      }
+      return v;
+    }
+    if (*p == '[') {
+      ++p;
+      v.kind = Jv::kArr;
+      if (eat(']')) {
+        return v;
+      }
+      do {
+        v.arr.push_back(parse_value());
+      } while (eat(','));
+      if (!eat(']')) {
+        fail("expected ']'");
+      }
+      return v;
+    }
+    if (*p == '"') {
+      v.kind = Jv::kStr;
+      v.str = parse_string();
+      return v;
+    }
+    if (std::strncmp(p, "true", 4) == 0) {
+      v.kind = Jv::kBool;
+      v.b = true;
+      p += 4;
+      return v;
+    }
+    if (std::strncmp(p, "false", 5) == 0) {
+      v.kind = Jv::kBool;
+      p += 5;
+      return v;
+    }
+    if (std::strncmp(p, "null", 4) == 0) {
+      p += 4;
+      return v;
+    }
+    char* num_end = nullptr;
+    v.num = std::strtod(p, &num_end);
+    if (num_end == p) {
+      fail("expected value");
+    }
+    v.kind = Jv::kNum;
+    p = num_end;
+    return v;
+  }
+};
+
+Jv parse_json(const std::string& text) {
+  JsonParser jp{text.data(), text.data() + text.size()};
+  Jv v = jp.parse_value();
+  return v;
+}
+
+// ----- postmortem mode -----
+
+int explain_postmortem(const ExplainConfig& cfg) {
+  std::FILE* f = std::fopen(cfg.postmortem.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "kacc_explain: cannot open %s\n",
+                 cfg.postmortem.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  const Jv doc = parse_json(text);
+  std::string out = "kacc_explain: postmortem bundle ";
+  out += cfg.postmortem;
+  out += '\n';
+  const Jv* reason = doc.get("reason");
+  if (reason != nullptr && reason->kind == Jv::kStr) {
+    out += "  reason: " + reason->str + "\n";
+    out += "  failing rank: " +
+           std::to_string(static_cast<long>(doc.num_or("failing_rank", -1))) +
+           "\n";
+  }
+
+  const Jv* attrib = doc.get("attrib");
+  const Jv* comp = attrib != nullptr ? attrib->get("components") : nullptr;
+  out += "attribution:\n";
+  if (comp == nullptr) {
+    out += "  (bundle has no attribution ledger)\n";
+  } else {
+    out += render_components(
+        comp->num_or("meas_us", 0.0), comp->num_or("base_us", 0.0),
+        comp->num_or("self_us", 0.0), comp->num_or("cross_us", 0.0),
+        comp->num_or("residual_us", 0.0),
+        static_cast<std::uint64_t>(comp->num_or("count", 0.0)),
+        static_cast<std::uint64_t>(comp->num_or("bytes", 0.0)));
+    // Per-source rollup from the raw cells, heaviest measured time first.
+    const Jv* cells = attrib->get("cells");
+    if (cells != nullptr && cells->kind == Jv::kArr) {
+      std::vector<std::pair<int, double>> by_src; // (src, meas_us)
+      for (const Jv& cell : cells->arr) {
+        const int src = static_cast<int>(cell.num_or("src", -1.0));
+        const double us = cell.num_or("meas_us", 0.0);
+        bool found = false;
+        for (auto& [s, acc] : by_src) {
+          if (s == src) {
+            acc += us;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          by_src.emplace_back(src, us);
+        }
+      }
+      std::stable_sort(by_src.begin(), by_src.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                       });
+      out += "    top sources by measured time:\n";
+      int shown = 0;
+      for (const auto& [src, us] : by_src) {
+        if (shown++ >= cfg.top_n) {
+          break;
+        }
+        out += "      src ";
+        out += src < 0 ? "other" : std::to_string(src);
+        out += ": ";
+        append_us(out, us);
+        out += " us\n";
+      }
+    }
+  }
+
+  const Jv* cp = doc.get("critical_path");
+  if (cp != nullptr) {
+    out += "critical path: ";
+    append_us(out, cp->num_or("total_us", 0.0));
+    out += " us (span ";
+    append_us(out, cp->num_or("span_us", 0.0));
+    out += " us)\n  by component:\n";
+    const Jv* by_cat = cp->get("by_cat");
+    if (by_cat != nullptr) {
+      for (const auto& [cat, us] : by_cat->obj) {
+        out += "    " + cat + " ";
+        append_us(out, us.num);
+        out += " us (";
+        append_pct(out, us.num, cp->num_or("total_us", 0.0));
+        out += ")\n";
+      }
+    }
+    const double gap = cp->num_or("gap_us", 0.0);
+    if (gap > 0.0) {
+      out += "    gap ";
+      append_us(out, gap);
+      out += " us\n";
+    }
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+// ----- demo mode: explain a fresh two-tenant co-scheduled simulation -----
+
+int explain_demo(const ExplainConfig& cfg) {
+  const ArchSpec spec = preset_by_name(cfg.arch);
+
+  std::vector<node::NodeTenant> tenants(
+      static_cast<std::size_t>(cfg.tenants));
+  for (int t = 0; t < cfg.tenants; ++t) {
+    node::NodeTenant& ten = tenants[static_cast<std::size_t>(t)];
+    ten.name = "ten" + std::to_string(t);
+    ten.nranks = cfg.ranks_per;
+    ten.weight = t + 1; // unequal on purpose: visible cross-tenant skew
+    ten.body = [&cfg](node::TenantSession& s) {
+      std::vector<std::uint8_t> buf(cfg.bytes,
+                                    static_cast<std::uint8_t>(s.index()));
+      for (int round = 0; round < cfg.rounds; ++round) {
+        nbc::Request r =
+            nbc::ibcast(s.comm(), buf.data(), buf.size(), 0);
+        nbc::wait(r);
+      }
+    };
+  }
+
+  node::NodeOptions opts;
+  opts.step_log = true;
+  const node::NodeRunResult res = node::run_sim_node(spec, tenants, opts);
+  if (!res.all_ok()) {
+    std::fprintf(stderr, "kacc_explain: demo run failed\n");
+    return 1;
+  }
+
+  if (cfg.json) {
+    std::string out = "{\"makespan_us\":";
+    append_us(out, res.makespan_us);
+    out += ",\"attrib\":";
+    out += obs::attrib_json(res.obs.attrib_totals);
+    out += ",\"tenants\":[";
+    for (std::size_t t = 0; t < res.per_tenant.size(); ++t) {
+      if (t != 0) {
+        out += ',';
+      }
+      const obs::TeamObs& ten = res.per_tenant[t];
+      out += "{\"name\":\"" + ten.tenant + "\",\"attrib\":";
+      out += obs::attrib_json(ten.attrib_totals);
+      out += ",\"critical_path\":";
+      out += obs::critical_path_json(obs::critical_path(ten.steps));
+      out += '}';
+    }
+    out += "]}\n";
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+
+  std::string out = "kacc_explain: ";
+  out += std::to_string(cfg.tenants);
+  out += " tenants x ";
+  out += std::to_string(cfg.ranks_per);
+  out += " ranks on ";
+  out += spec.name;
+  out += ", makespan ";
+  append_us(out, res.makespan_us);
+  out += " us\n\nnode attribution (all tenants):\n";
+  out += render_attrib(res.obs.attrib_totals, cfg.top_n);
+  for (const obs::TeamObs& ten : res.per_tenant) {
+    out += "\ntenant " + ten.tenant + " attribution:\n";
+    out += render_attrib(ten.attrib_totals, cfg.top_n);
+    const obs::CriticalPathReport cp = obs::critical_path(ten.steps);
+    out += "tenant " + ten.tenant + " ";
+    out += obs::critical_path_render(cp, cfg.top_n);
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: kacc_explain [--tenants N] [--ranks R] [--bytes B]\n"
+      "                    [--rounds K] [--arch NAME] [--top N] [--json]\n"
+      "                    [--postmortem FILE]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ExplainConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--tenants") {
+      cfg.tenants = std::atoi(next());
+    } else if (arg == "--ranks") {
+      cfg.ranks_per = std::atoi(next());
+    } else if (arg == "--rounds") {
+      cfg.rounds = std::atoi(next());
+    } else if (arg == "--bytes") {
+      cfg.bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--arch") {
+      cfg.arch = next();
+    } else if (arg == "--top") {
+      cfg.top_n = std::atoi(next());
+    } else if (arg == "--json") {
+      cfg.json = true;
+    } else if (arg == "--postmortem") {
+      cfg.postmortem = next();
+    } else {
+      return usage();
+    }
+  }
+  if (cfg.tenants < 1 || cfg.ranks_per < 1 || cfg.rounds < 1 ||
+      cfg.top_n < 1) {
+    return usage();
+  }
+  try {
+    return cfg.postmortem.empty() ? explain_demo(cfg)
+                                  : explain_postmortem(cfg);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "kacc_explain: %s\n", e.what());
+    return 1;
+  }
+}
