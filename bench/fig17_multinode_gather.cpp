@@ -95,11 +95,11 @@ int main(int argc, char** argv) {
         const net::TwoLevelBreakdown b =
             net::two_level_gather_breakdown(spec, shape, bytes);
         const double sim_intra = bench::measure_us(
-            spec, p, bench::AlgoRun::gather_algo(coll::GatherAlgo::kTwoLevel),
+            spec, p, bench::AlgoRun::gather_algo(coll::GatherAlgo::kHier),
             bytes);
         const double executed = sim_intra + b.inter_us;
         const double modeled =
-            predict::two_level_gather(spec, p, bytes) + b.inter_us;
+            predict::hier_gather(spec, p, bytes, 2) + b.inter_us;
         const double residual = std::abs(modeled - executed) / executed;
         bench::record_point(arch, "two-level executed", bytes, executed);
         bench::record_point(arch, "two-level modeled", bytes, modeled);

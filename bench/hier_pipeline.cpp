@@ -1,0 +1,129 @@
+// Chunk-striped N-level pipeline vs the forced two-level plan vs the best
+// flat algorithm, on the deep presets (KNL SNC-4, POWER8 SMT8). Makespans
+// come from the deterministic simulator, so the committed
+// BENCH_hier_pipeline.json snapshot gates the headline claim — the striped
+// 3-level bcast/allgather beating the two-level plan at large messages —
+// in CI via tools/compare_bench.py.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "coll/allgather.h"
+#include "coll/bcast.h"
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "runtime/sim_comm.h"
+#include "topo/presets.h"
+
+using namespace kacc;
+
+namespace {
+
+/// One plan under comparison: a label for the series plus forced algorithm
+/// and hierarchy knobs.
+struct PlanConfig {
+  const char* label;
+  coll::BcastAlgo bcast = coll::BcastAlgo::kAuto;
+  coll::AllgatherAlgo allgather = coll::AllgatherAlgo::kAuto;
+  coll::CollOptions opts;
+};
+
+/// The three contenders. "flat" is the classic large-message winner
+/// without any hierarchy; "two-level" forces the legacy coarsest-boundary
+/// split with striping disabled (a stripe grain above any payload keeps
+/// the spliced single-chunk path); "striped-3-level" forces depth 3 and
+/// lets the model pick the stripe count.
+std::vector<PlanConfig> contenders() {
+  PlanConfig flat;
+  flat.label = "flat";
+  flat.bcast = coll::BcastAlgo::kScatterAllgather;
+  flat.allgather = coll::AllgatherAlgo::kRingNeighbor;
+
+  PlanConfig two_level;
+  two_level.label = "two-level";
+  two_level.bcast = coll::BcastAlgo::kHier;
+  two_level.allgather = coll::AllgatherAlgo::kHier;
+  two_level.opts.hier_levels = 2;
+  two_level.opts.stripe_bytes = std::size_t{1} << 30;
+
+  PlanConfig striped;
+  striped.label = "striped-3-level";
+  striped.bcast = coll::BcastAlgo::kHier;
+  striped.allgather = coll::AllgatherAlgo::kHier;
+  striped.opts.hier_levels = 3;
+  return {flat, two_level, striped};
+}
+
+double bcast_us(const ArchSpec& spec, int p, std::uint64_t bytes,
+                const PlanConfig& cfg) {
+  return run_sim(spec, p,
+                 [&](Comm& comm) {
+                   // Timing-only buffer: allocated but never touched.
+                   AlignedBuffer buf(bytes, 4096, /*zero_init=*/false);
+                   coll::bcast(comm, buf.data(), bytes, 0, cfg.bcast,
+                               cfg.opts);
+                 },
+                 /*move_data=*/false)
+      .makespan_us;
+}
+
+double allgather_us(const ArchSpec& spec, int p, std::uint64_t bytes,
+                    const PlanConfig& cfg) {
+  return run_sim(spec, p,
+                 [&](Comm& comm) {
+                   AlignedBuffer send(bytes, 4096, /*zero_init=*/false);
+                   AlignedBuffer recv(bytes * static_cast<std::size_t>(p),
+                                      4096, /*zero_init=*/false);
+                   coll::allgather(comm, send.data(), recv.data(), bytes,
+                                   cfg.allgather, cfg.opts);
+                 },
+                 /*move_data=*/false)
+      .makespan_us;
+}
+
+void sweep(const ArchSpec& spec, const char* coll,
+           const std::vector<std::uint64_t>& sizes) {
+  const int p = spec.default_ranks;
+  const std::vector<PlanConfig> cfgs = contenders();
+  bench::Table t(spec.name + " " + coll + " (p=" + std::to_string(p) + ")",
+                 {"size", cfgs[0].label, cfgs[1].label, cfgs[2].label,
+                  "striped vs two-level"});
+  for (std::uint64_t bytes : sizes) {
+    std::vector<std::string> row = {format_bytes(bytes)};
+    double two_level = 0.0;
+    double striped = 0.0;
+    for (const PlanConfig& cfg : cfgs) {
+      const double us = std::string(coll) == "bcast"
+                            ? bcast_us(spec, p, bytes, cfg)
+                            : allgather_us(spec, p, bytes, cfg);
+      bench::record_point(spec.name,
+                          std::string(coll) + "/" + cfg.label, bytes, us);
+      row.push_back(format_us(us));
+      if (std::string(cfg.label) == "two-level") {
+        two_level = us;
+      } else if (std::string(cfg.label) == "striped-3-level") {
+        striped = us;
+      }
+    }
+    row.push_back(bench::format_speedup(two_level / striped));
+    t.add_row(std::move(row));
+  }
+  t.print();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  kacc::bench::bench_init(argc, argv);
+  bench::banner("Striped N-level pipeline vs two-level vs flat",
+                "hierarchy refactor gate (not a paper figure)");
+  for (const ArchSpec& spec : {knl_snc4(), power8_smt8()}) {
+    // Bcast payload per rank; allgather block per rank (the distribute
+    // phase then moves p blocks, so the totals land in the same regime).
+    sweep(spec, "bcast", {64 * 1024, 256 * 1024, 1024 * 1024,
+                          4 * 1024 * 1024});
+    sweep(spec, "allgather", {16 * 1024, 64 * 1024, 256 * 1024});
+  }
+  return 0;
+}

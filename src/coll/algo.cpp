@@ -12,6 +12,10 @@ void validate_options(const CollOptions& opts) {
   if (opts.ring_stride < 0) {
     throw InvalidArgument("CollOptions: ring_stride must be >= 0 (0 = auto)");
   }
+  if (opts.hier_levels < 0 || opts.hier_levels == 1) {
+    throw InvalidArgument(
+        "CollOptions: hier_levels must be 0 (auto) or >= 2 phases");
+  }
 }
 
 void validate_ring_stride(int p, int ring_stride) {
@@ -30,7 +34,7 @@ std::string to_string(ScatterAlgo a) {
     case ScatterAlgo::kParallelRead: return "parallel-read";
     case ScatterAlgo::kSequentialWrite: return "sequential-write";
     case ScatterAlgo::kThrottledRead: return "throttled-read";
-    case ScatterAlgo::kTwoLevel: return "two-level";
+    case ScatterAlgo::kHier: return "hier";
   }
   return "?";
 }
@@ -41,7 +45,7 @@ std::string to_string(GatherAlgo a) {
     case GatherAlgo::kParallelWrite: return "parallel-write";
     case GatherAlgo::kSequentialRead: return "sequential-read";
     case GatherAlgo::kThrottledWrite: return "throttled-write";
-    case GatherAlgo::kTwoLevel: return "two-level";
+    case GatherAlgo::kHier: return "hier";
   }
   return "?";
 }
@@ -65,7 +69,7 @@ std::string to_string(AllgatherAlgo a) {
     case AllgatherAlgo::kRingSourceWrite: return "ring-source-write";
     case AllgatherAlgo::kRecursiveDoubling: return "recursive-doubling";
     case AllgatherAlgo::kBruck: return "bruck";
-    case AllgatherAlgo::kTwoLevel: return "two-level";
+    case AllgatherAlgo::kHier: return "hier";
   }
   return "?";
 }
@@ -80,7 +84,7 @@ std::string to_string(BcastAlgo a) {
     case BcastAlgo::kScatterAllgather: return "scatter-allgather";
     case BcastAlgo::kShmemTree: return "shmem-tree";
     case BcastAlgo::kShmemSlot: return "shmem-slot";
-    case BcastAlgo::kTwoLevel: return "two-level";
+    case BcastAlgo::kHier: return "hier";
   }
   return "?";
 }

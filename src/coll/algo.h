@@ -1,6 +1,7 @@
 // Algorithm identifiers and shared options for kacc collectives.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace kacc::coll {
@@ -10,7 +11,7 @@ enum class ScatterAlgo {
   kParallelRead,    ///< all non-roots read concurrently (§IV-A1)
   kSequentialWrite, ///< root writes one block at a time (§IV-A2)
   kThrottledRead,   ///< k concurrent readers, chained signals (§IV-A3)
-  kTwoLevel,        ///< socket leaders fan out, then tuned intra-socket
+  kHier,            ///< N-level leader tree fans out, tuned deepest phase
 };
 
 enum class GatherAlgo {
@@ -18,7 +19,7 @@ enum class GatherAlgo {
   kParallelWrite,  ///< §IV-B1
   kSequentialRead, ///< §IV-B2
   kThrottledWrite, ///< §IV-B3
-  kTwoLevel,       ///< tuned intra-socket gather, then leaders to root
+  kHier,           ///< tuned deepest gather, then leader slabs climb up
 };
 
 enum class AlltoallAlgo {
@@ -36,7 +37,7 @@ enum class AllgatherAlgo {
   kRingSourceWrite,   ///< write own block to (rank + i) (§V-A2)
   kRecursiveDoubling, ///< §V-A3
   kBruck,             ///< §V-A4
-  kTwoLevel,          ///< intra gather, leader slab exchange, intra bcast
+  kHier,              ///< deepest gather, leader slab exchange, N-level bcast
 };
 
 enum class BcastAlgo {
@@ -50,7 +51,7 @@ enum class BcastAlgo {
   kShmemSlot,        ///< slotted shared-buffer bcast: one copy-in, p-1
                      ///< concurrent copy-outs (MVAPICH2-style; the
                      ///< small-message design the tuner falls back to)
-  kTwoLevel,         ///< leader tree crosses sockets once, tuned intra
+  kHier,             ///< N-level leader tree, chunk-striped fan-out pipeline
 };
 
 /// Per-call knobs. Zero values mean "let the algorithm/tuner choose".
@@ -61,6 +62,14 @@ struct CollOptions {
   int ring_stride = 1;
   /// MPI_IN_PLACE semantics: the caller's own block is already in place.
   bool in_place = false;
+  /// kHier composition depth: number of phases in the level tree (2 == the
+  /// classic two-level split at the coarsest boundary). 0 lets the model
+  /// pick; values beyond the architecture's depth are clamped.
+  int hier_levels = 0;
+  /// kHier pipeline stripe grain in bytes for the downward distribute
+  /// phases (bcast, allgather/allreduce fan-out). 0 lets the model pick; a
+  /// grain at or above the payload disables striping.
+  std::size_t stripe_bytes = 0;
 };
 
 /// Validates the option invariants shared by every entry point: negative

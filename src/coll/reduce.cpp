@@ -23,7 +23,7 @@ std::string to_string(ReduceAlgo a) {
     case ReduceAlgo::kGatherCombine: return "gather-combine";
     case ReduceAlgo::kBinomialRead: return "binomial-read";
     case ReduceAlgo::kReduceScatterGather: return "reduce-scatter-gather";
-    case ReduceAlgo::kTwoLevel: return "two-level";
+    case ReduceAlgo::kHier: return "hier";
   }
   return "?";
 }
@@ -34,7 +34,7 @@ std::string to_string(AllreduceAlgo a) {
     case AllreduceAlgo::kReduceBcast: return "reduce-bcast";
     case AllreduceAlgo::kRecursiveDoubling: return "recursive-doubling";
     case AllreduceAlgo::kRabenseifner: return "rabenseifner";
-    case AllreduceAlgo::kTwoLevel: return "two-level";
+    case AllreduceAlgo::kHier: return "hier";
   }
   return "?";
 }

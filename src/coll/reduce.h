@@ -29,7 +29,7 @@ enum class ReduceAlgo {
   kGatherCombine,        ///< tuned (throttled) gather + root combines all
   kBinomialRead,         ///< log p rounds of contention-free child reads
   kReduceScatterGather,  ///< recursive halving, then chunk gather to root
-  kTwoLevel,             ///< intra-socket reduce, then leaders to root
+  kHier,                 ///< deepest reduce, partials climb the leader tree
 };
 
 enum class AllreduceAlgo {
@@ -37,7 +37,7 @@ enum class AllreduceAlgo {
   kReduceBcast,       ///< tuned reduce followed by tuned bcast
   kRecursiveDoubling, ///< lg p full-vector exchanges, everyone combines
   kRabenseifner,      ///< reduce-scatter + allgather (bandwidth optimal)
-  kTwoLevel,          ///< intra reduce, leader allreduce, intra bcast
+  kHier,              ///< reduce up the tree, leader allreduce, striped bcast
 };
 
 std::string to_string(ReduceOp op);

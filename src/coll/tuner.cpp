@@ -22,17 +22,25 @@ struct Best {
   }
 };
 
-/// True when the leader decomposition is non-trivial on this arch/p: at
-/// least two domains with at least two ranks each side of the split.
-/// Matches topo::Hierarchy::from_arch(s, p).trivial() under the block
-/// distribution without building the hierarchy.
-bool two_level_applicable(const ArchSpec& s, int p) {
-  if (s.sockets <= 1 || p <= 2) {
-    return false;
-  }
-  const int per = predict::two_level_domain_ranks(s, p);
-  const int nd = predict::two_level_domains(s, p);
-  return nd >= 2 && per >= 2;
+/// True when at least one boundary level survives for this arch/p, i.e.
+/// topo::Hierarchy::from_arch(s, p) is non-trivial and a composed plan
+/// exists.
+bool hier_applicable(const ArchSpec& s, int p) {
+  return predict::hier_max_levels(s, p) >= 2;
+}
+
+/// Stamps a winning composed plan into the choice: the stripe count is
+/// carried as a byte grain so the compiler recovers it from any payload.
+void stamp_plan(Tuner::Choice* choice, const predict::HierPlan& plan,
+                std::uint64_t striped_payload) {
+  choice->hier_levels = plan.levels;
+  choice->stripe_bytes =
+      plan.stripes > 1
+          ? static_cast<std::size_t>(
+                (striped_payload + static_cast<std::uint64_t>(plan.stripes) -
+                 1) /
+                static_cast<std::uint64_t>(plan.stripes))
+          : 0;
 }
 
 } // namespace
@@ -72,10 +80,13 @@ Tuner::Choice Tuner::scatter(const ArchSpec& s, int p,
       choice.throttle = k;
     }
   }
-  if (two_level_applicable(s, p) &&
-      best.offer(predict::two_level_scatter(s, p, bytes))) {
-    choice.scatter = ScatterAlgo::kTwoLevel;
-    choice.throttle = 0;
+  if (hier_applicable(s, p)) {
+    const predict::HierPlan plan = predict::hier_plan_scatter(s, p, bytes);
+    if (plan.levels >= 2 && best.offer(plan.cost_us)) {
+      choice.scatter = ScatterAlgo::kHier;
+      choice.throttle = 0;
+      stamp_plan(&choice, plan, 0);
+    }
   }
   choice.predicted_us = best.cost;
   return choice;
@@ -99,10 +110,13 @@ Tuner::Choice Tuner::gather(const ArchSpec& s, int p,
       choice.throttle = k;
     }
   }
-  if (two_level_applicable(s, p) &&
-      best.offer(predict::two_level_gather(s, p, bytes))) {
-    choice.gather = GatherAlgo::kTwoLevel;
-    choice.throttle = 0;
+  if (hier_applicable(s, p)) {
+    const predict::HierPlan plan = predict::hier_plan_gather(s, p, bytes);
+    if (plan.levels >= 2 && best.offer(plan.cost_us)) {
+      choice.gather = GatherAlgo::kHier;
+      choice.throttle = 0;
+      stamp_plan(&choice, plan, 0);
+    }
   }
   choice.predicted_us = best.cost;
   return choice;
@@ -140,10 +154,14 @@ Tuner::Choice Tuner::allgather(const ArchSpec& s, int p,
   if (best.offer(predict::allgather_bruck(s, p, bytes))) {
     choice.allgather = AllgatherAlgo::kBruck;
   }
-  if (two_level_applicable(s, p) &&
-      best.offer(predict::two_level_allgather(s, p, bytes))) {
-    choice.allgather = AllgatherAlgo::kTwoLevel;
-    choice.ring_stride = 1;
+  if (hier_applicable(s, p)) {
+    const predict::HierPlan plan = predict::hier_plan_allgather(s, p, bytes);
+    if (plan.levels >= 2 && best.offer(plan.cost_us)) {
+      choice.allgather = AllgatherAlgo::kHier;
+      choice.ring_stride = 1;
+      stamp_plan(&choice, plan,
+                 bytes * static_cast<std::uint64_t>(p));
+    }
   }
   choice.predicted_us = best.cost;
   return choice;
@@ -177,10 +195,13 @@ Tuner::Choice Tuner::bcast(const ArchSpec& s, int p,
     choice.bcast = BcastAlgo::kShmemSlot;
     choice.throttle = 0;
   }
-  if (two_level_applicable(s, p) &&
-      best.offer(predict::two_level_bcast(s, p, bytes))) {
-    choice.bcast = BcastAlgo::kTwoLevel;
-    choice.throttle = 0;
+  if (hier_applicable(s, p)) {
+    const predict::HierPlan plan = predict::hier_plan_bcast(s, p, bytes);
+    if (plan.levels >= 2 && best.offer(plan.cost_us)) {
+      choice.bcast = BcastAlgo::kHier;
+      choice.throttle = 0;
+      stamp_plan(&choice, plan, bytes);
+    }
   }
   choice.predicted_us = best.cost;
   return choice;
@@ -199,9 +220,12 @@ Tuner::Choice Tuner::reduce(const ArchSpec& s, int p,
   if (best.offer(predict::reduce_rsg(s, p, bytes))) {
     choice.reduce = ReduceAlgo::kReduceScatterGather;
   }
-  if (two_level_applicable(s, p) &&
-      best.offer(predict::two_level_reduce(s, p, bytes))) {
-    choice.reduce = ReduceAlgo::kTwoLevel;
+  if (hier_applicable(s, p)) {
+    const predict::HierPlan plan = predict::hier_plan_reduce(s, p, bytes);
+    if (plan.levels >= 2 && best.offer(plan.cost_us)) {
+      choice.reduce = ReduceAlgo::kHier;
+      stamp_plan(&choice, plan, 0);
+    }
   }
   choice.predicted_us = best.cost;
   return choice;
@@ -220,9 +244,12 @@ Tuner::Choice Tuner::allreduce(const ArchSpec& s, int p,
   if (best.offer(predict::allreduce_rabenseifner(s, p, bytes))) {
     choice.allreduce = AllreduceAlgo::kRabenseifner;
   }
-  if (two_level_applicable(s, p) &&
-      best.offer(predict::two_level_allreduce(s, p, bytes))) {
-    choice.allreduce = AllreduceAlgo::kTwoLevel;
+  if (hier_applicable(s, p)) {
+    const predict::HierPlan plan = predict::hier_plan_allreduce(s, p, bytes);
+    if (plan.levels >= 2 && best.offer(plan.cost_us)) {
+      choice.allreduce = AllreduceAlgo::kHier;
+      stamp_plan(&choice, plan, bytes);
+    }
   }
   choice.predicted_us = best.cost;
   return choice;

@@ -8,6 +8,7 @@
 // ring allgather with socket-aware stride, and so on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,10 @@ public:
     AllreduceAlgo allreduce = AllreduceAlgo::kAuto;
     int throttle = 0;
     int ring_stride = 1;
+    /// kHier winners: composition depth (phases) and pipeline stripe
+    /// grain in bytes; 0 when a flat algorithm won.
+    int hier_levels = 0;
+    std::size_t stripe_bytes = 0;
     double predicted_us = 0.0; ///< model cost of the winning configuration
   };
 

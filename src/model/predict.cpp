@@ -507,12 +507,12 @@ double allreduce_rabenseifner(const ArchSpec& s, int p, std::uint64_t eta) {
          static_cast<double>(p - 1) * ag_step + s.shm_coll_us(p);
 }
 
-// ---------------- Two-level (hierarchy-aware) ----------------
+// ---------------- N-level hierarchical (leader composition) ----------------
 
 namespace {
 
 /// Best CMA-only flat scatter over the candidate set the compiler can
-/// actually lower (mirrors Tuner::scatter minus two-level itself).
+/// actually lower (mirrors Tuner::scatter minus the composition itself).
 double best_flat_scatter(const ArchSpec& s, int p, std::uint64_t eta) {
   return std::min({scatter_parallel_read(s, p, eta),
                    scatter_sequential_write(s, p, eta),
@@ -532,7 +532,7 @@ double best_flat_gather(const ArchSpec& s, int p, std::uint64_t eta) {
 }
 
 /// Best CMA-only flat bcast. Excludes the shmem algorithms: they have no
-/// schedule lowering, so the composed intra phase can never run them.
+/// schedule lowering, so the composed fan-out phase can never run them.
 double best_flat_bcast(const ArchSpec& s, int p, std::uint64_t eta) {
   return std::min({bcast_direct_read(s, p, eta),
                    bcast_direct_write(s, p, eta),
@@ -546,17 +546,211 @@ double best_flat_reduce(const ArchSpec& s, int p, std::uint64_t eta) {
                    reduce_binomial_read(s, p, eta), reduce_rsg(s, p, eta)});
 }
 
-/// True when the leader decomposition is non-trivial: at least two domains
-/// with at least two ranks in the root's domain.
-bool two_level_shape(const ArchSpec& s, int p, int* per_out, int* nd_out) {
-  if (s.sockets <= 1 || p <= 2) {
+double best_flat_allgather(const ArchSpec& s, int p, std::uint64_t eta) {
+  return std::min({allgather_ring_source(s, p, eta),
+                   allgather_recursive_doubling(s, p, eta),
+                   allgather_bruck(s, p, eta)});
+}
+
+double best_flat_allreduce(const ArchSpec& s, int p, std::uint64_t eta) {
+  return std::min({allreduce_reduce_bcast(s, p, eta),
+                   allreduce_recursive_doubling(s, p, eta),
+                   allreduce_rabenseifner(s, p, eta)});
+}
+
+/// The per-boundary shape of a plan: which boundary levels survive for p
+/// ranks (mirrors topo::Hierarchy's collapse of trivial levels, using the
+/// same ceil-block arithmetic), how wide each is, and the fan-out size.
+struct HierShape {
+  std::vector<int> bound;   ///< surviving boundary_levels() index per level
+  std::vector<int> width;   ///< non-empty domains at each level
+  std::vector<int> branch;  ///< children per parent domain (level 0: width)
+  std::vector<int> ranks;   ///< max ranks per domain at each level
+  int used = 0;             ///< boundary levels the plan composes over
+  int fan = 0;              ///< ranks in the largest deepest domain
+};
+
+bool hier_shape(const ArchSpec& s, int p, int levels, HierShape* out) {
+  if (p <= 2 || levels < 2) {
     return false;
   }
-  const int per = ranks_per_socket(s, p);
-  const int nd = (p + per - 1) / per;
-  *per_out = per;
-  *nd_out = nd;
-  return nd >= 2 && per >= 2;
+  const std::vector<LevelSpec> bounds = s.boundary_levels();
+  HierShape sh;
+  int prev_width = 1;
+  for (int l = 0; l < static_cast<int>(bounds.size()); ++l) {
+    // Count non-empty domains and the largest one for p ranks.
+    std::vector<int> count;
+    for (int r = 0; r < p; ++r) {
+      const int d = s.level_domain_of(l, r, p);
+      if (d >= static_cast<int>(count.size())) {
+        count.resize(static_cast<std::size_t>(d) + 1, 0);
+      }
+      ++count[static_cast<std::size_t>(d)];
+    }
+    int width = 0;
+    int biggest = 0;
+    for (int c : count) {
+      width += c > 0 ? 1 : 0;
+      biggest = std::max(biggest, c);
+    }
+    // Trivial levels collapse exactly as in topo::Hierarchy: one domain,
+    // all singletons, or no refinement of the previous kept level.
+    if (width < 2 || biggest < 2 || width <= prev_width) {
+      continue;
+    }
+    sh.bound.push_back(l);
+    sh.width.push_back(width);
+    sh.branch.push_back(prev_width == 1 ? width
+                                        : (width + prev_width - 1) /
+                                              prev_width);
+    sh.ranks.push_back(biggest);
+    prev_width = width;
+  }
+  if (sh.bound.empty()) {
+    return false;
+  }
+  sh.used = std::min(levels - 1, static_cast<int>(sh.bound.size()));
+  sh.bound.resize(static_cast<std::size_t>(sh.used));
+  sh.width.resize(static_cast<std::size_t>(sh.used));
+  sh.branch.resize(static_cast<std::size_t>(sh.used));
+  sh.ranks.resize(static_cast<std::size_t>(sh.used));
+  sh.fan = sh.ranks.back();
+  *out = std::move(sh);
+  return true;
+}
+
+/// Re-bases the view's core grid so one boundary domain's worth of
+/// hardware threads becomes one "socket" of `domains` sockets.
+void rebase_core_grid(ArchSpec* v, const ArchSpec& s, int domains) {
+  const int per_domain = std::max(1, s.total_cores() / domains);
+  v->threads_per_core = std::min(s.threads_per_core, per_domain);
+  v->cores_per_socket = std::max(1, per_domain / v->threads_per_core);
+}
+
+/// One serial bridge hop at the given view: one cross-boundary pull of the
+/// payload plus the completion signal (the bcast leader-tree step).
+double bridge_hop(const ArchSpec& view, std::uint64_t eta) {
+  return cma_transfer(view, eta, 1) +
+         static_cast<double>(eta) *
+             (cross_beta_serial(view) - view.beta_us_per_byte()) +
+         view.shm_signal_us;
+}
+
+/// Bridge hop with a combine per round (the reduce leader-tree step).
+double bridge_red_hop(const ArchSpec& view, std::uint64_t eta) {
+  return cma_transfer(view, eta, 1) +
+         static_cast<double>(eta) *
+             (cross_beta_serial(view) - view.beta_us_per_byte()) +
+         combine_us(view, eta) + 2.0 * view.shm_signal_us;
+}
+
+/// Pipeline makespan of a stage chain over `stripes` equal stripes: every
+/// stage runs once per stripe, consecutive stripes overlap everywhere but
+/// at the slowest stage.
+double pipeline_us(const std::vector<double>& stages, int stripes) {
+  double sum = 0.0;
+  double peak = 0.0;
+  for (double c : stages) {
+    sum += c;
+    peak = std::max(peak, c);
+  }
+  return sum + static_cast<double>(stripes - 1) * peak;
+}
+
+int clamp_stripes(std::uint64_t payload, int stripes) {
+  if (stripes <= 1 || payload <= 1) {
+    return 1;
+  }
+  return static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(stripes), payload));
+}
+
+/// One team's per-chunk stream cost (see nbc/compile_hier.cpp's
+/// distribute_pipelined): the root announces the chunk with a signal, the
+/// `m` members concurrently pull one slice each from the root, then ring
+/// the remaining m-1 slices among themselves — one cross-boundary pull
+/// per round when the team bridges a boundary (`cross_extra` per byte).
+double stream_stage_us(const ArchSpec& view, int m, std::uint64_t e,
+                       double cross_extra) {
+  const std::uint64_t slice =
+      ceil_div(e, static_cast<std::uint64_t>(std::max(1, m)));
+  const double pull = static_cast<double>(slice) * cross_extra;
+  double us = view.shm_signal_us + cma_transfer(view, slice, m) + pull;
+  for (int r = 1; r < m; ++r) {
+    us += cma_transfer(view, slice, 1) + pull + view.shm_signal_us;
+  }
+  return us;
+}
+
+/// The chunk-striped downward distribute. With one stripe this is the
+/// gated splice composition: per-boundary gated bridge bcasts below the
+/// top, then the deepest fan-out. With multiple stripes the compiler
+/// instead emits per-team scatter + ring-allgather streams whose roots
+/// do signals only, so consecutive stripes overlap everywhere but at the
+/// slowest team. `from` is the first bridge level included (1 skips the
+/// top bridge — allgather/allreduce leaders already hold the vector).
+double distribute_us(const ArchSpec& s, const HierShape& sh,
+                     std::uint64_t payload, int stripes, int from) {
+  const int nstripes = clamp_stripes(payload, stripes);
+  const std::uint64_t e =
+      ceil_div(payload, static_cast<std::uint64_t>(nstripes));
+  std::vector<double> stages;
+  if (nstripes > 1) {
+    for (int i = from; i < sh.used; ++i) {
+      const ArchSpec view = hier_bridge_view(
+          s, sh.bound[static_cast<std::size_t>(i)]);
+      const int m = std::max(1, sh.branch[static_cast<std::size_t>(i)] - 1);
+      const double cross_extra =
+          cross_beta_serial(view) - view.beta_us_per_byte();
+      stages.push_back(stream_stage_us(view, m, e, cross_extra));
+    }
+    if (sh.fan > 1) {
+      const ArchSpec leaf = hier_leaf_view(s, sh.bound.back() + 1);
+      stages.push_back(stream_stage_us(leaf, sh.fan - 1, e, 0.0));
+    }
+    return pipeline_us(stages, nstripes);
+  }
+  for (int i = from; i < sh.used; ++i) {
+    const ArchSpec view = hier_bridge_view(s, sh.bound[static_cast<
+        std::size_t>(i)]);
+    const int b = sh.branch[static_cast<std::size_t>(i)];
+    const double rounds = static_cast<double>(ilog2_ceil(b));
+    const double gate = i > 0 ? view.shm_signal_us : 0.0;
+    stages.push_back(gate + view.shm_coll_us(b) + rounds * bridge_hop(view,
+                                                                      e));
+  }
+  const ArchSpec leaf = hier_leaf_view(s, sh.bound.back() + 1);
+  stages.push_back(s.shm_signal_us + best_flat_bcast(leaf, sh.fan, e));
+  return pipeline_us(stages, nstripes);
+}
+
+/// Depth/stripe sweep shared by the hier_plan_* entry points.
+template <typename Cost>
+HierPlan sweep_plan(const ArchSpec& s, int p, std::uint64_t /*eta*/,
+                    std::uint64_t striped_payload, double flat_us,
+                    Cost cost) {
+  HierPlan best;
+  best.cost_us = flat_us;
+  const int max_levels = hier_max_levels(s, p);
+  // Stripes below one page just multiply per-chunk overheads.
+  const std::uint64_t grain =
+      std::max<std::uint64_t>(s.page_size, 16 * 1024);
+  for (int levels = 2; levels <= max_levels; ++levels) {
+    for (int stripes : {1, 2, 4, 8}) {
+      if (stripes > 1 &&
+          (striped_payload == 0 ||
+           striped_payload / static_cast<std::uint64_t>(stripes) < grain)) {
+        break;
+      }
+      const double c = cost(levels, stripes);
+      if (c < best.cost_us) {
+        best.levels = levels;
+        best.stripes = stripes;
+        best.cost_us = c;
+      }
+    }
+  }
+  return best;
 }
 
 } // namespace
@@ -571,134 +765,258 @@ ArchSpec single_socket_view(const ArchSpec& s) {
   return v;
 }
 
-int two_level_domain_ranks(const ArchSpec& s, int p) {
-  check_args(p);
-  return ranks_per_socket(s, p);
+ArchSpec hier_bridge_view(const ArchSpec& s, int l) {
+  const std::vector<LevelSpec> bounds = s.boundary_levels();
+  if (l < 0 || l >= static_cast<int>(bounds.size())) {
+    return s;
+  }
+  const LevelSpec& b = bounds[static_cast<std::size_t>(l)];
+  ArchSpec v = s;
+  v.sockets = b.domains;
+  rebase_core_grid(&v, s, b.domains);
+  v.inter_socket_beta_mult = b.beta_mult;
+  v.inter_socket_bw_Bus = b.bw_Bus;
+  v.gamma.socket_step = b.gamma_step;
+  v.sub_levels.clear();
+  v.default_ranks = std::min(s.default_ranks, v.total_cores());
+  return v;
 }
 
-int two_level_domains(const ArchSpec& s, int p) {
-  check_args(p);
-  const int per = ranks_per_socket(s, p);
-  return (p + per - 1) / per;
+ArchSpec hier_leaf_view(const ArchSpec& s, int used) {
+  const std::vector<LevelSpec> bounds = s.boundary_levels();
+  ArchSpec v = s;
+  v.sockets = 1;
+  v.inter_socket_beta_mult = 1.0;
+  v.inter_socket_bw_Bus = 1e12;
+  const int u = std::min(used, static_cast<int>(bounds.size()));
+  if (u >= 1) {
+    const int w = bounds[static_cast<std::size_t>(u - 1)].domains;
+    rebase_core_grid(&v, s, w);
+    // Boundaries deeper than the plan stay visible (re-based) so the flat
+    // fan-out still prices their locality knees.
+    v.sub_levels.clear();
+    for (int j = u; j < static_cast<int>(bounds.size()); ++j) {
+      LevelSpec lv = bounds[static_cast<std::size_t>(j)];
+      lv.domains = std::max(1, lv.domains / w);
+      if (lv.domains > 1) {
+        v.sub_levels.push_back(std::move(lv));
+      }
+    }
+  }
+  v.default_ranks = std::min(s.default_ranks, v.total_cores());
+  return v;
 }
 
-double two_level_scatter(const ArchSpec& s, int p, std::uint64_t eta) {
+int hier_max_levels(const ArchSpec& s, int p) {
   check_args(p);
-  int per = 0;
-  int nd = 0;
-  if (!two_level_shape(s, p, &per, &nd)) {
+  HierShape sh;
+  if (!hier_shape(s, p, 1 << 8, &sh)) {
+    return 1;
+  }
+  return 1 + sh.used;
+}
+
+double hier_scatter(const ArchSpec& s, int p, std::uint64_t eta,
+                    int levels) {
+  check_args(p);
+  if (levels == 0) {
+    return hier_plan_scatter(s, p, eta).cost_us;
+  }
+  HierShape sh;
+  if (!hier_shape(s, p, levels, &sh)) {
     return best_flat_scatter(s, p, eta);
   }
-  const ArchSpec v = single_socket_view(s);
-  const std::uint64_t slab = eta * static_cast<std::uint64_t>(per);
-  // Leaders pull whole domain slabs concurrently across the link, signal
-  // the root, then fan out inside their socket on the tuned flat design.
-  const double leader_reads =
-      cma_transfer(s, slab, nd - 1) +
-      static_cast<double>(slab) *
-          (cross_beta_shared(s, nd - 1) - s.beta_us_per_byte());
-  return s.shm_coll_us(p) + leader_reads + 2.0 * s.shm_signal_us +
-         best_flat_scatter(v, per, eta);
+  double t = s.shm_coll_us(p);
+  for (int i = 0; i < sh.used; ++i) {
+    const ArchSpec view =
+        hier_bridge_view(s, sh.bound[static_cast<std::size_t>(i)]);
+    const std::uint64_t slab =
+        eta * static_cast<std::uint64_t>(
+                  sh.ranks[static_cast<std::size_t>(i)]);
+    const int readers = sh.branch[static_cast<std::size_t>(i)] - 1;
+    // Leaders pull whole domain slabs concurrently across this boundary's
+    // link, then hand down; deeper pulls wait for the slab-ready signal.
+    t += cma_transfer(view, slab, readers) +
+         static_cast<double>(slab) *
+             (cross_beta_shared(view, readers) - view.beta_us_per_byte());
+    if (i > 0) {
+      t += view.shm_signal_us;
+    }
+  }
+  const ArchSpec leaf = hier_leaf_view(s, sh.bound.back() + 1);
+  return t + 2.0 * s.shm_signal_us + best_flat_scatter(leaf, sh.fan, eta);
 }
 
-double two_level_gather(const ArchSpec& s, int p, std::uint64_t eta) {
+double hier_gather(const ArchSpec& s, int p, std::uint64_t eta, int levels) {
   check_args(p);
-  int per = 0;
-  int nd = 0;
-  if (!two_level_shape(s, p, &per, &nd)) {
+  if (levels == 0) {
+    return hier_plan_gather(s, p, eta).cost_us;
+  }
+  HierShape sh;
+  if (!hier_shape(s, p, levels, &sh)) {
     return best_flat_gather(s, p, eta);
   }
-  const ArchSpec v = single_socket_view(s);
-  const std::uint64_t slab = eta * static_cast<std::uint64_t>(per);
-  const double leader_writes =
-      cma_transfer(s, slab, nd - 1) +
-      static_cast<double>(slab) *
-          (cross_beta_shared(s, nd - 1) - s.beta_us_per_byte());
-  return s.shm_coll_us(p) + best_flat_gather(v, per, eta) + leader_writes +
-         2.0 * s.shm_signal_us;
+  const ArchSpec leaf = hier_leaf_view(s, sh.bound.back() + 1);
+  double t = s.shm_coll_us(p) + best_flat_gather(leaf, sh.fan, eta);
+  for (int i = sh.used - 1; i >= 0; --i) {
+    const ArchSpec view =
+        hier_bridge_view(s, sh.bound[static_cast<std::size_t>(i)]);
+    const std::uint64_t slab =
+        eta * static_cast<std::uint64_t>(
+                  sh.ranks[static_cast<std::size_t>(i)]);
+    const int writers = sh.branch[static_cast<std::size_t>(i)] - 1;
+    if (i > 0) {
+      t += view.shm_signal_us;
+    }
+    t += cma_transfer(view, slab, writers) +
+         static_cast<double>(slab) *
+             (cross_beta_shared(view, writers) - view.beta_us_per_byte());
+  }
+  return t + 2.0 * s.shm_signal_us;
 }
 
-double two_level_bcast(const ArchSpec& s, int p, std::uint64_t eta) {
+double hier_bcast(const ArchSpec& s, int p, std::uint64_t eta, int levels,
+                  int stripes) {
   check_args(p);
-  int per = 0;
-  int nd = 0;
-  if (!two_level_shape(s, p, &per, &nd)) {
+  if (levels == 0) {
+    return hier_plan_bcast(s, p, eta).cost_us;
+  }
+  HierShape sh;
+  if (!hier_shape(s, p, levels, &sh)) {
     return best_flat_bcast(s, p, eta);
   }
-  const ArchSpec v = single_socket_view(s);
-  // Leader tree: each round one serial cross-link pull of the full vector.
-  const auto rounds = static_cast<double>(ilog2_ceil(nd));
-  const double leader_hop =
-      cma_transfer(s, eta, 1) +
-      static_cast<double>(eta) *
-          (cross_beta_serial(s) - s.beta_us_per_byte()) +
-      s.shm_signal_us;
-  return s.shm_coll_us(nd) + rounds * leader_hop + s.shm_signal_us +
-         best_flat_bcast(v, per, eta);
+  return distribute_us(s, sh, eta, std::max(1, stripes), /*from=*/0);
 }
 
-double two_level_allgather(const ArchSpec& s, int p, std::uint64_t eta) {
+double hier_allgather(const ArchSpec& s, int p, std::uint64_t eta,
+                      int levels, int stripes) {
   check_args(p);
-  int per = 0;
-  int nd = 0;
-  if (!two_level_shape(s, p, &per, &nd)) {
-    return std::min({allgather_ring_source(s, p, eta),
-                     allgather_recursive_doubling(s, p, eta),
-                     allgather_bruck(s, p, eta)});
+  if (levels == 0) {
+    return hier_plan_allgather(s, p, eta).cost_us;
   }
-  const ArchSpec v = single_socket_view(s);
-  const std::uint64_t slab = eta * static_cast<std::uint64_t>(per);
-  // Rotating leader exchange: every leader pulls the other nd-1 slabs, all
-  // nd leaders active at once on the shared link.
+  HierShape sh;
+  if (!hier_shape(s, p, levels, &sh)) {
+    return best_flat_allgather(s, p, eta);
+  }
+  const ArchSpec leaf = hier_leaf_view(s, sh.bound.back() + 1);
+  // Up: deepest gather, then each parent leader collects child slabs.
+  double t = best_flat_gather(leaf, sh.fan, eta);
+  for (int i = sh.used - 1; i >= 1; --i) {
+    const ArchSpec view =
+        hier_bridge_view(s, sh.bound[static_cast<std::size_t>(i)]);
+    const int b = sh.branch[static_cast<std::size_t>(i)];
+    const std::uint64_t child =
+        eta * static_cast<std::uint64_t>(
+                  sh.ranks[static_cast<std::size_t>(i)]);
+    t += static_cast<double>(b - 1) *
+         (cma_transfer(view, child, 1) +
+          static_cast<double>(child) * (cross_beta_shared(view, b - 1) -
+                                        view.beta_us_per_byte()) +
+          view.shm_signal_us);
+  }
+  // Rotating top-leader slab exchange, all leaders active on the link.
+  const ArchSpec top = hier_bridge_view(s, sh.bound.front());
+  const int nd = sh.width.front();
+  const std::uint64_t slab =
+      eta * static_cast<std::uint64_t>(sh.ranks.front());
   const double slab_step =
-      cma_transfer(s, slab, 1) +
+      cma_transfer(top, slab, 1) +
       static_cast<double>(slab) *
-          (cross_beta_shared(s, nd) - s.beta_us_per_byte());
-  const double full = eta * static_cast<double>(p);
-  return best_flat_gather(v, per, eta) + s.shm_coll_us(p) +
-         static_cast<double>(nd - 1) * (slab_step + s.shm_signal_us) +
-         s.shm_signal_us +
-         best_flat_bcast(v, per, static_cast<std::uint64_t>(full)) +
+          (cross_beta_shared(top, nd) - top.beta_us_per_byte());
+  t += s.shm_coll_us(p) +
+       static_cast<double>(nd - 1) * (slab_step + s.shm_signal_us);
+  // Down: striped distribute of the full vector below the top bridge.
+  const std::uint64_t full = eta * static_cast<std::uint64_t>(p);
+  return t + distribute_us(s, sh, full, std::max(1, stripes), /*from=*/1) +
          s.shm_coll_us(p);
 }
 
-double two_level_reduce(const ArchSpec& s, int p, std::uint64_t eta) {
+double hier_reduce(const ArchSpec& s, int p, std::uint64_t eta, int levels) {
   check_args(p);
-  int per = 0;
-  int nd = 0;
-  if (!two_level_shape(s, p, &per, &nd)) {
+  if (levels == 0) {
+    return hier_plan_reduce(s, p, eta).cost_us;
+  }
+  HierShape sh;
+  if (!hier_shape(s, p, levels, &sh)) {
     return best_flat_reduce(s, p, eta);
   }
-  const ArchSpec v = single_socket_view(s);
-  const auto rounds = static_cast<double>(ilog2_ceil(nd));
-  const double leader_hop =
-      cma_transfer(s, eta, 1) +
-      static_cast<double>(eta) *
-          (cross_beta_serial(s) - s.beta_us_per_byte()) +
-      combine_us(s, eta) + 2.0 * s.shm_signal_us;
-  return best_flat_reduce(v, per, eta) + rounds * leader_hop +
-         s.shm_coll_us(nd);
+  const ArchSpec leaf = hier_leaf_view(s, sh.bound.back() + 1);
+  double t = best_flat_reduce(leaf, sh.fan, eta);
+  for (int i = sh.used - 1; i >= 0; --i) {
+    const ArchSpec view =
+        hier_bridge_view(s, sh.bound[static_cast<std::size_t>(i)]);
+    const int b = i == 0 ? sh.width.front()
+                         : sh.branch[static_cast<std::size_t>(i)];
+    const double rounds = static_cast<double>(ilog2_ceil(b));
+    t += rounds * bridge_red_hop(view, eta) + view.shm_coll_us(b);
+  }
+  return t;
 }
 
-double two_level_allreduce(const ArchSpec& s, int p, std::uint64_t eta) {
+double hier_allreduce(const ArchSpec& s, int p, std::uint64_t eta,
+                      int levels, int stripes) {
   check_args(p);
-  int per = 0;
-  int nd = 0;
-  if (!two_level_shape(s, p, &per, &nd)) {
-    return std::min({allreduce_reduce_bcast(s, p, eta),
-                     allreduce_recursive_doubling(s, p, eta),
-                     allreduce_rabenseifner(s, p, eta)});
+  if (levels == 0) {
+    return hier_plan_allreduce(s, p, eta).cost_us;
   }
-  const ArchSpec v = single_socket_view(s);
-  const auto rounds = static_cast<double>(ilog2_ceil(nd));
-  const double leader_hop =
-      cma_transfer(s, eta, 1) +
-      static_cast<double>(eta) *
-          (cross_beta_serial(s) - s.beta_us_per_byte()) +
-      combine_us(s, eta) + 2.0 * s.shm_signal_us;
-  return best_flat_reduce(v, per, eta) + rounds * leader_hop +
-         s.shm_coll_us(nd) + s.shm_signal_us +
-         best_flat_bcast(v, per, eta);
+  HierShape sh;
+  if (!hier_shape(s, p, levels, &sh)) {
+    return best_flat_allreduce(s, p, eta);
+  }
+  return hier_reduce(s, p, eta, levels) +
+         distribute_us(s, sh, eta, std::max(1, stripes), /*from=*/1);
+}
+
+HierPlan hier_plan_scatter(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  return sweep_plan(s, p, eta, /*striped_payload=*/0,
+                    best_flat_scatter(s, p, eta), [&](int levels, int) {
+                      return hier_scatter(s, p, eta, levels);
+                    });
+}
+
+HierPlan hier_plan_gather(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  return sweep_plan(s, p, eta, /*striped_payload=*/0,
+                    best_flat_gather(s, p, eta), [&](int levels, int) {
+                      return hier_gather(s, p, eta, levels);
+                    });
+}
+
+HierPlan hier_plan_bcast(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  return sweep_plan(s, p, eta, /*striped_payload=*/eta,
+                    best_flat_bcast(s, p, eta),
+                    [&](int levels, int stripes) {
+                      return hier_bcast(s, p, eta, levels, stripes);
+                    });
+}
+
+HierPlan hier_plan_allgather(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  const std::uint64_t full = eta * static_cast<std::uint64_t>(p);
+  return sweep_plan(s, p, eta, /*striped_payload=*/full,
+                    best_flat_allgather(s, p, eta),
+                    [&](int levels, int stripes) {
+                      return hier_allgather(s, p, eta, levels, stripes);
+                    });
+}
+
+HierPlan hier_plan_reduce(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  return sweep_plan(s, p, eta, /*striped_payload=*/0,
+                    best_flat_reduce(s, p, eta), [&](int levels, int) {
+                      return hier_reduce(s, p, eta, levels);
+                    });
+}
+
+HierPlan hier_plan_allreduce(const ArchSpec& s, int p, std::uint64_t eta) {
+  check_args(p);
+  return sweep_plan(s, p, eta, /*striped_payload=*/eta,
+                    best_flat_allreduce(s, p, eta),
+                    [&](int levels, int stripes) {
+                      return hier_allreduce(s, p, eta, levels, stripes);
+                    });
 }
 
 } // namespace kacc::predict

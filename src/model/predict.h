@@ -104,43 +104,85 @@ double allreduce_recursive_doubling(const ArchSpec& s, int p,
                                     std::uint64_t eta);
 double allreduce_rabenseifner(const ArchSpec& s, int p, std::uint64_t eta);
 
-// ----- Hierarchy-aware two-level algorithms (leader composition) -----
+// ----- Hierarchy-aware N-level algorithms (recursive composition) -----
 //
-// Each term prices the composed algorithm in src/nbc/compile_two_level.cpp:
-// a tuned flat phase inside every socket (costed on the single-socket view
-// of the arch, so no phantom cross-socket penalties), plus a leader phase
-// whose transfers all cross the socket link. When the hierarchy is trivial
-// (one socket, or fewer than two non-trivial domains) the terms fall back
-// to the best flat candidate, so they are total functions.
+// Each term prices the composed algorithm in src/nbc/compile_hier.cpp: one
+// bridge phase per boundary level of the hierarchy (each costed on a view
+// that re-bases that boundary as "the socket"), plus a tuned flat phase
+// inside every deepest domain (costed on the leaf view). A plan is
+// (levels, stripes): `levels` counts composition phases — 2 is the classic
+// two-level split at the coarsest boundary — and `stripes` pipelines the
+// downward distribute phases in chunk stripes, overlapping a bridge hop of
+// stripe k+1 with the fan-out of stripe k. At levels == 2, stripes == 1
+// every term reduces exactly to the retired two_level_* formula, so legacy
+// two-socket presets keep their crossovers. When the hierarchy is trivial
+// the terms fall back to the best flat candidate, so they are total
+// functions. Pass levels == 0 (and stripes == 0) to price the best plan.
 
 /// Single-socket view of `s`: same per-core constants, sockets = 1, no
-/// inter-socket penalty. Cost basis for the intra-domain phases.
+/// inter-socket penalty. Cost basis for legacy intra-domain phases.
 ArchSpec single_socket_view(const ArchSpec& s);
 
-/// Ranks per domain (socket) under block distribution: ceil(p / sockets).
-int two_level_domain_ranks(const ArchSpec& s, int p);
+/// View that re-bases boundary level `l` of s.boundary_levels() as "the
+/// socket": domain count, link penalty, shared link bandwidth and gamma
+/// knee all come from that boundary. Cost basis for the level-l bridge
+/// phase; level 0 of a plain multi-socket spec is `s` itself.
+ArchSpec hier_bridge_view(const ArchSpec& s, int l);
 
-/// Number of (non-empty) leader domains for p ranks on s.
-int two_level_domains(const ArchSpec& s, int p);
+/// View of one deepest domain when a plan uses the first `used` boundary
+/// levels: one "socket" holding the domain's share of the hardware
+/// threads, unused deeper boundaries kept (re-based) so the flat fan-out
+/// still prices their knees. `used == 1` on a spec without sub-levels is
+/// exactly single_socket_view.
+ArchSpec hier_leaf_view(const ArchSpec& s, int used);
 
-/// Root -> leader slab reads across the link, then tuned intra scatter.
-double two_level_scatter(const ArchSpec& s, int p, std::uint64_t eta);
+/// Deepest usable plan for p ranks on s: 1 + the number of non-trivial
+/// boundary levels after collapse. 1 means only flat algorithms apply.
+int hier_max_levels(const ArchSpec& s, int p);
 
-/// Tuned intra gather into leader slabs, then leader -> root slab writes.
-double two_level_gather(const ArchSpec& s, int p, std::uint64_t eta);
+/// A concrete composition plan with its predicted cost.
+struct HierPlan {
+  int levels = 1;     ///< composition phases (1 = flat, no composition)
+  int stripes = 1;    ///< pipeline stripes of the distribute phases
+  double cost_us = 0; ///< predicted makespan of this plan
+};
 
-/// Binomial leader tree (one cross-link hop per round), tuned intra bcast.
-double two_level_bcast(const ArchSpec& s, int p, std::uint64_t eta);
+/// Root -> leader slab reads cascading down the tree, tuned deepest
+/// scatter (stripes do not apply: slabs shrink as they descend).
+double hier_scatter(const ArchSpec& s, int p, std::uint64_t eta,
+                    int levels = 0);
 
-/// Intra gather + rotating leader slab exchange + intra bcast of the full
-/// vector.
-double two_level_allgather(const ArchSpec& s, int p, std::uint64_t eta);
+/// Tuned deepest gather, then leader slabs climb the tree to the root.
+double hier_gather(const ArchSpec& s, int p, std::uint64_t eta,
+                   int levels = 0);
 
-/// Tuned intra reduce, then a binomial read tree over the leaders.
-double two_level_reduce(const ArchSpec& s, int p, std::uint64_t eta);
+/// Binomial leader tree per boundary, tuned deepest bcast, all phases
+/// chunk-striped into `stripes` pipeline stripes.
+double hier_bcast(const ArchSpec& s, int p, std::uint64_t eta,
+                  int levels = 0, int stripes = 0);
 
-/// Intra reduce, leader allreduce, tuned intra bcast of the result.
-double two_level_allreduce(const ArchSpec& s, int p, std::uint64_t eta);
+/// Deepest gather + upward slab collects + rotating top-leader exchange +
+/// chunk-striped N-level distribute of the full vector.
+double hier_allgather(const ArchSpec& s, int p, std::uint64_t eta,
+                      int levels = 0, int stripes = 0);
+
+/// Tuned deepest reduce, then partials climb binomial bridge trees.
+double hier_reduce(const ArchSpec& s, int p, std::uint64_t eta,
+                   int levels = 0);
+
+/// Reduce up the tree, top-leader allreduce, striped distribute down.
+double hier_allreduce(const ArchSpec& s, int p, std::uint64_t eta,
+                      int levels = 0, int stripes = 0);
+
+/// Best (levels, stripes) plan per collective: sweeps depth 2..max and
+/// stripe counts {1, 2, 4, 8} where striping applies. levels == 1 in the
+/// result means no composed plan is applicable (cost is the flat best).
+HierPlan hier_plan_scatter(const ArchSpec& s, int p, std::uint64_t eta);
+HierPlan hier_plan_gather(const ArchSpec& s, int p, std::uint64_t eta);
+HierPlan hier_plan_bcast(const ArchSpec& s, int p, std::uint64_t eta);
+HierPlan hier_plan_allgather(const ArchSpec& s, int p, std::uint64_t eta);
+HierPlan hier_plan_reduce(const ArchSpec& s, int p, std::uint64_t eta);
+HierPlan hier_plan_allreduce(const ArchSpec& s, int p, std::uint64_t eta);
 
 // ----- shared building blocks (exposed for tests) -----
 

@@ -198,8 +198,8 @@ std::unique_ptr<Schedule> compile_scatter(Comm& comm, const void* sendbuf,
       }
       break;
     }
-    case coll::ScatterAlgo::kTwoLevel:
-      return compile_two_level_scatter(comm, sendbuf, recvbuf, bytes, root,
+    case coll::ScatterAlgo::kHier:
+      return compile_hier_scatter(comm, sendbuf, recvbuf, bytes, root,
                                        eff, params);
     case coll::ScatterAlgo::kAuto:
       throw InternalError("compile_scatter: unresolved kAuto");
@@ -299,8 +299,8 @@ std::unique_ptr<Schedule> compile_gather(Comm& comm, const void* sendbuf,
       }
       break;
     }
-    case coll::GatherAlgo::kTwoLevel:
-      return compile_two_level_gather(comm, sendbuf, recvbuf, bytes, root,
+    case coll::GatherAlgo::kHier:
+      return compile_hier_gather(comm, sendbuf, recvbuf, bytes, root,
                                       eff, params);
     case coll::GatherAlgo::kAuto:
       throw InternalError("compile_gather: unresolved kAuto");
@@ -457,8 +457,8 @@ std::unique_ptr<Schedule> compile_bcast(Comm& comm, void* buf,
     case coll::BcastAlgo::kShmemSlot:
       lo.shm_bcast(buf, bytes, root);
       break;
-    case coll::BcastAlgo::kTwoLevel:
-      return compile_two_level_bcast(comm, buf, bytes, root, eff, params);
+    case coll::BcastAlgo::kHier:
+      return compile_hier_bcast(comm, buf, bytes, root, eff, params);
     case coll::BcastAlgo::kAuto:
       throw InternalError("compile_bcast: unresolved kAuto");
   }
@@ -656,8 +656,8 @@ std::unique_ptr<Schedule> compile_allgather(Comm& comm, const void* sendbuf,
       lo.barrier();
       break;
     }
-    case coll::AllgatherAlgo::kTwoLevel:
-      return compile_two_level_allgather(comm, sendbuf, recvbuf, bytes, eff,
+    case coll::AllgatherAlgo::kHier:
+      return compile_hier_allgather(comm, sendbuf, recvbuf, bytes, eff,
                                          params);
     case coll::AllgatherAlgo::kAuto:
       throw InternalError("compile_allgather: unresolved kAuto");

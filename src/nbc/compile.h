@@ -91,39 +91,42 @@ std::unique_ptr<Schedule> compile_allreduce(Comm& comm, const double* send,
                                             const coll::CollOptions& eff,
                                             const CompileParams& params);
 
-// ---- Hierarchy-aware two-level compositions (compile_two_level.cpp) ----
+// ---- Hierarchy-aware N-level compositions (compile_hier.cpp) ----
 //
-// Each composition partitions the team into socket domains
+// Each composition partitions the team into the ArchSpec's level tree
 // (topo::Hierarchy::from_arch), runs a tuned flat algorithm inside every
-// domain on a SubComm view, and bridges domains through the leaders. The
-// sub-team phases are compiled recursively and spliced into one parent
-// schedule, so the result drains blocking, runs nonblocking, and restarts
-// persistent exactly like any flat schedule. On a trivial hierarchy the
-// compositions fall back to the tuned flat algorithm. Normally reached via
-// the k*Algo::kTwoLevel cases of the compile_* dispatchers above.
+// deepest domain on a SubComm view, and bridges domains through per-level
+// leader teams. The sub-team phases are compiled recursively and spliced
+// into one parent schedule, so the result drains blocking, runs
+// nonblocking, and restarts persistent exactly like any flat schedule.
+// Downward distribute phases are chunk-striped into pipeline stripes
+// (CollOptions::stripe_bytes); depth and stripes default to the model's
+// best plan. On a trivial hierarchy the compositions fall back to the
+// tuned flat algorithm. Normally reached via the k*Algo::kHier cases of
+// the compile_* dispatchers above.
 
-std::unique_ptr<Schedule> compile_two_level_scatter(
+std::unique_ptr<Schedule> compile_hier_scatter(
     Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
     int root, const coll::CollOptions& eff, const CompileParams& params);
 
-std::unique_ptr<Schedule> compile_two_level_gather(
+std::unique_ptr<Schedule> compile_hier_gather(
     Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
     int root, const coll::CollOptions& eff, const CompileParams& params);
 
-std::unique_ptr<Schedule> compile_two_level_bcast(
+std::unique_ptr<Schedule> compile_hier_bcast(
     Comm& comm, void* buf, std::size_t bytes, int root,
     const coll::CollOptions& eff, const CompileParams& params);
 
-std::unique_ptr<Schedule> compile_two_level_allgather(
+std::unique_ptr<Schedule> compile_hier_allgather(
     Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
     const coll::CollOptions& eff, const CompileParams& params);
 
-std::unique_ptr<Schedule> compile_two_level_reduce(
+std::unique_ptr<Schedule> compile_hier_reduce(
     Comm& comm, const double* send, double* recv, std::size_t count,
     coll::ReduceOp op, int root, const coll::CollOptions& eff,
     const CompileParams& params);
 
-std::unique_ptr<Schedule> compile_two_level_allreduce(
+std::unique_ptr<Schedule> compile_hier_allreduce(
     Comm& comm, const double* send, double* recv, std::size_t count,
     coll::ReduceOp op, const coll::CollOptions& eff,
     const CompileParams& params);

@@ -1,0 +1,1189 @@
+// Hierarchy-aware N-level compositions: every collective is rebuilt over
+// the ArchSpec's recursive level tree (socket -> NUMA cluster -> L3
+// cluster -> SMT core). One bridge phase runs per boundary level — a
+// leader team relaying slabs or vectors across that boundary — plus a
+// tuned flat phase inside every deepest domain, all on SubComm views
+// spliced into one parent schedule. Sub-phase algorithms are chosen by
+// the Tuner on the matching model view (predict::hier_bridge_view /
+// hier_leaf_view), so the model prices each phase without phantom
+// cross-boundary penalties. Downward phases carry explicit leader ->
+// member gates because a spliced phase's control exchange runs eagerly at
+// nonblocking compile time; the gates are emitted in blocking mode too so
+// both modes execute the same dependence structure.
+//
+// Distribute phases (bcast, the fan-out of allgather/allreduce) are
+// chunk-striped: the payload splits into pipeline stripes with per-stripe
+// gates, so a leader forwards stripe k down-level while it is still
+// receiving stripe k+1 from above. Composition depth and stripe grain
+// come from CollOptions (hier_levels / stripe_bytes) or, when zero, from
+// the model's best plan — the same sweep the Tuner ran, so kAuto and a
+// forced kHier agree. Block distribution makes every domain a contiguous
+// global rank range, so a domain's blocks form one contiguous slab of the
+// root buffer and every bridge hop is a single CMA transfer per domain.
+//
+// At depth 2 with one stripe each composition degenerates exactly to the
+// classic two-level (socket split) schedule, which is what legacy
+// two-socket presets collapse to.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "coll/tuner.h"
+#include "common/error.h"
+#include "model/predict.h"
+#include "nbc/compile.h"
+#include "nbc/lower.h"
+#include "runtime/comm.h"
+#include "runtime/sub_comm.h"
+#include "topo/hierarchy.h"
+
+namespace kacc::nbc {
+
+using coll::AllgatherAlgo;
+using coll::AllreduceAlgo;
+using coll::BcastAlgo;
+using coll::CollOptions;
+using coll::GatherAlgo;
+using coll::ReduceAlgo;
+using coll::ReduceOp;
+using coll::ScatterAlgo;
+using coll::Tuner;
+using namespace detail;
+
+namespace {
+
+constexpr std::size_t kElem = sizeof(double);
+
+std::byte* scratch_bytes(Schedule& s, std::size_t n) {
+  s.scratch.emplace_back(n);
+  return s.scratch.back().data();
+}
+
+/// This rank's enclosing domain at one level of the tree.
+struct Frame {
+  int dom = 0;        ///< domain index at this level
+  int dsize = 0;      ///< member count
+  int first = 0;      ///< lowest global rank of the domain (contiguous)
+  int leader = 0;     ///< global rank of the domain's leader
+  int leader_pos = 0; ///< leader's view rank inside the domain
+};
+
+/// This rank's view of the N-level decomposition: its ancestor chain of
+/// domains, the deepest-domain fan team (every rank) and the bridge teams
+/// it belongs to. bridge[0] is the level-0 leader team; bridge[l >= 1] is
+/// the team of child-domain leaders inside this rank's level-(l-1) domain.
+/// Every domain's leader is also the leader of the child domain containing
+/// it (the chain invariant), so a rank that leads level l is a member of
+/// every bridge at levels lead_from..l.
+struct HierTeams {
+  explicit HierTeams(topo::Hierarchy hh) : h(std::move(hh)) {}
+
+  topo::Hierarchy h;
+  int used = 1;                  ///< boundary levels composed over
+  std::vector<Frame> frame;      ///< frame[l]: my domain at level l
+  int lead_from = 0;             ///< coarsest level I lead; == used if none
+  std::shared_ptr<Comm> fan;     ///< deepest domain view (every rank)
+  std::vector<std::shared_ptr<Comm>> bridge;  ///< null when not a member
+  std::vector<std::vector<int>> bridge_ranks; ///< global ranks per bridge
+  std::vector<int> bridge_root;  ///< parent leader's position (l >= 1)
+};
+
+HierTeams make_hier_teams(Comm& comm, topo::Hierarchy h) {
+  HierTeams t(std::move(h));
+  const int rank = comm.rank();
+  t.used = t.h.depth();
+  t.frame.resize(static_cast<std::size_t>(t.used));
+  t.lead_from = t.used;
+  for (int l = 0; l < t.used; ++l) {
+    Frame& f = t.frame[static_cast<std::size_t>(l)];
+    f.dom = t.h.domain_at(l, rank);
+    const topo::Domain& dom = t.h.domain(l, f.dom);
+    f.dsize = static_cast<int>(dom.members.size());
+    f.first = dom.members.front();
+    f.leader = dom.leader;
+    for (std::size_t i = 0; i < dom.members.size(); ++i) {
+      if (dom.members[i] == f.leader) {
+        f.leader_pos = static_cast<int>(i);
+      }
+    }
+    if (f.leader == rank && t.lead_from == t.used) {
+      t.lead_from = l;
+    }
+  }
+  const Frame& deep = t.frame.back();
+  t.fan = std::make_shared<SubComm>(comm,
+                                    t.h.domain(t.used - 1, deep.dom).members);
+  t.bridge.resize(static_cast<std::size_t>(t.used));
+  t.bridge_ranks.resize(static_cast<std::size_t>(t.used));
+  t.bridge_root.assign(static_cast<std::size_t>(t.used), 0);
+  if (t.lead_from == 0) {
+    t.bridge_ranks[0] = t.h.leaders();
+    t.bridge[0] = std::make_shared<SubComm>(comm, t.bridge_ranks[0]);
+  }
+  for (int l = 1; l < t.used; ++l) {
+    if (t.lead_from > l) {
+      continue; // not a level-l leader: not in any level-l bridge
+    }
+    std::vector<int> members;
+    const Frame& pf = t.frame[static_cast<std::size_t>(l - 1)];
+    for (int c : t.h.children_of(l - 1, pf.dom)) {
+      const int cl = t.h.domain(l, c).leader;
+      if (cl == pf.leader) {
+        t.bridge_root[static_cast<std::size_t>(l)] =
+            static_cast<int>(members.size());
+      }
+      members.push_back(cl);
+    }
+    t.bridge_ranks[static_cast<std::size_t>(l)] = members;
+    t.bridge[static_cast<std::size_t>(l)] =
+        std::make_shared<SubComm>(comm, members);
+  }
+  return t;
+}
+
+/// Leader -> member release inside the deepest domain, on the parent
+/// frame. Used before every spliced downward fan phase.
+void fan_gate(Lower& lo, const HierTeams& t) {
+  const Frame& deep = t.frame.back();
+  if (deep.dsize <= 1) {
+    return;
+  }
+  if (lo.rank == deep.leader) {
+    for (int m : t.h.domain(t.used - 1, deep.dom).members) {
+      if (m != lo.rank) {
+        lo.signal(m);
+      }
+    }
+  } else {
+    lo.wait_signal(deep.leader);
+  }
+}
+
+/// Parent leader -> child-leader release on bridge l (l >= 1). Only
+/// bridge members call this.
+void bridge_gate(Lower& lo, const HierTeams& t, int l) {
+  const int pl = t.frame[static_cast<std::size_t>(l - 1)].leader;
+  if (lo.rank == pl) {
+    for (int m : t.bridge_ranks[static_cast<std::size_t>(l)]) {
+      if (m != lo.rank) {
+        lo.signal(m);
+      }
+    }
+  } else {
+    lo.wait_signal(pl);
+  }
+}
+
+/// Coarsest level `r` leads, or h.depth() when r leads no domain.
+int lead_from_of(const topo::Hierarchy& h, int r) {
+  for (int l = 0; l < h.depth(); ++l) {
+    if (h.is_leader_at(l, r)) {
+      return l;
+    }
+  }
+  return h.depth();
+}
+
+/// First global rank covered by `r`'s staging buffer in a rooted
+/// composition: the root stages the whole user buffer; any other leader
+/// stages its coarsest led domain's slab.
+int slab_base(const topo::Hierarchy& h, int r, int root) {
+  if (r == root) {
+    return 0;
+  }
+  const int f = lead_from_of(h, r);
+  return h.domain(f, h.domain_at(f, r)).members.front();
+}
+
+/// Child-domain leaders that transfer against `r`'s staging buffer: for
+/// every level r leads (from `from_level` down), the leaders of the other
+/// child domains. r's own chain needs no transfer and is excluded.
+std::vector<int> chain_transfer_peers(const topo::Hierarchy& h, int r,
+                                      int from_level) {
+  std::vector<int> peers;
+  for (int l = from_level; l <= h.depth() - 2; ++l) {
+    for (int c : h.children_of(l, h.domain_at(l, r))) {
+      const int cl = h.domain(l + 1, c).leader;
+      if (cl != r) {
+        peers.push_back(cl);
+      }
+    }
+  }
+  return peers;
+}
+
+/// Concurrent slab transfers at boundary level f: the level-f leaders
+/// that are not already leaders one level up.
+int level_writers(const topo::Hierarchy& h, int f) {
+  const int wf = static_cast<int>(h.level(f).domains.size());
+  const int up = f == 0 ? 1 : static_cast<int>(h.level(f - 1).domains.size());
+  return std::max(1, wf - up);
+}
+
+// Tuner picks with the recursion/lowering guards the compositions need:
+// sub-phases must lower flat, so the tuner sweeps a view with the
+// deeper boundary levels dropped (flat predictors never read them —
+// only the hier sweep does, and it must not recurse). kHier remaps
+// remain as a safety net, and shm bcast choices route to knomial-read
+// so both compile modes lower the same family.
+
+ArchSpec flat_view(const ArchSpec& s) {
+  ArchSpec v = s;
+  v.sub_levels.clear();
+  return v;
+}
+
+Tuner::Choice pick_scatter(const ArchSpec& sp, int p, std::size_t bytes) {
+  const ArchSpec s = flat_view(sp);
+  Tuner::Choice c = Tuner().scatter(s, p, bytes);
+  if (c.scatter == ScatterAlgo::kHier) {
+    c.scatter = ScatterAlgo::kThrottledRead;
+    c.throttle = 4;
+  }
+  return c;
+}
+
+Tuner::Choice pick_gather(const ArchSpec& sp, int p, std::size_t bytes) {
+  const ArchSpec s = flat_view(sp);
+  Tuner::Choice c = Tuner().gather(s, p, bytes);
+  if (c.gather == GatherAlgo::kHier) {
+    c.gather = GatherAlgo::kThrottledWrite;
+    c.throttle = 4;
+  }
+  return c;
+}
+
+Tuner::Choice pick_bcast(const ArchSpec& sp, int p, std::size_t bytes) {
+  const ArchSpec s = flat_view(sp);
+  Tuner::Choice c = Tuner().bcast(s, p, bytes);
+  if (c.bcast == BcastAlgo::kShmemSlot || c.bcast == BcastAlgo::kShmemTree ||
+      c.bcast == BcastAlgo::kHier) {
+    c.bcast = BcastAlgo::kKnomialRead;
+    if (c.throttle <= 0) {
+      c.throttle = 4;
+    }
+  }
+  return c;
+}
+
+Tuner::Choice pick_allgather(const ArchSpec& sp, int p, std::size_t bytes) {
+  const ArchSpec s = flat_view(sp);
+  Tuner::Choice c = Tuner().allgather(s, p, bytes);
+  if (c.allgather == AllgatherAlgo::kHier) {
+    c.allgather = AllgatherAlgo::kRingSourceRead;
+    c.ring_stride = 1;
+  }
+  return c;
+}
+
+Tuner::Choice pick_reduce(const ArchSpec& sp, int p, std::size_t bytes) {
+  const ArchSpec s = flat_view(sp);
+  Tuner::Choice c = Tuner().reduce(s, p, bytes);
+  if (c.reduce == ReduceAlgo::kHier) {
+    c.reduce = ReduceAlgo::kBinomialRead;
+  }
+  return c;
+}
+
+Tuner::Choice pick_allreduce(const ArchSpec& sp, int p, std::size_t bytes) {
+  const ArchSpec s = flat_view(sp);
+  Tuner::Choice c = Tuner().allreduce(s, p, bytes);
+  if (c.allreduce == AllreduceAlgo::kHier) {
+    c.allreduce = AllreduceAlgo::kRecursiveDoubling;
+  }
+  return c;
+}
+
+/// Intra-phase options: honor an explicit caller throttle, otherwise take
+/// the tuner's.
+CollOptions sub_options(const CollOptions& eff, const Tuner::Choice& c) {
+  CollOptions o;
+  o.throttle = eff.throttle > 0 ? eff.throttle : c.throttle;
+  o.ring_stride = c.ring_stride;
+  return o;
+}
+
+/// Maps a hierarchy level to its ArchSpec boundary index by name; -1 when
+/// the level came from native keys the spec does not model.
+int boundary_index(const ArchSpec& s, const std::string& level_name) {
+  const std::vector<LevelSpec> bounds = s.boundary_levels();
+  for (std::size_t j = 0; j < bounds.size(); ++j) {
+    if (bounds[j].name == level_name) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+/// Cost-model view for the level-l bridge phase. Falls back to the full
+/// spec for native (sysfs-keyed) levels the spec does not model.
+ArchSpec bridge_view_for(const ArchSpec& s, const topo::Hierarchy& h,
+                         int l) {
+  const int j = boundary_index(s, h.level(l).name);
+  return j >= 0 ? predict::hier_bridge_view(s, j) : s;
+}
+
+/// Cost-model view for the deepest-domain fan phases.
+ArchSpec leaf_view_for(const ArchSpec& s, const topo::Hierarchy& h) {
+  const int j = boundary_index(s, h.level(h.depth() - 1).name);
+  return j >= 0 ? predict::hier_leaf_view(s, j + 1)
+                : predict::single_socket_view(s);
+}
+
+/// Resolved composition knobs: boundary levels used and pipeline stripes.
+struct PlanKnobs {
+  int used = 1;
+  int stripes = 1;
+};
+
+/// Depth comes from eff.hier_levels, stripes from eff.stripe_bytes; any
+/// zero knob is filled from the model's best plan (the same sweep the
+/// Tuner ran, so kAuto and a forced kHier agree). When the caller forces
+/// a depth but leaves stripes to the model, the stripe count is re-swept
+/// at that depth (via cost_fn) — the global plan's stripe pick belongs to
+/// the plan's own depth and can be arbitrarily wrong for the forced one.
+PlanKnobs resolve_plan(const ArchSpec& s, int p, std::size_t bytes,
+                       const CollOptions& eff, int hdepth, bool striped,
+                       std::uint64_t striped_payload,
+                       predict::HierPlan (*plan_fn)(const ArchSpec&, int,
+                                                    std::uint64_t),
+                       double (*cost_fn)(const ArchSpec&, int, std::uint64_t,
+                                         int, int) = nullptr) {
+  int levels = eff.hier_levels;
+  int stripes = 1;
+  bool have_stripes = !striped;
+  if (striped && eff.stripe_bytes > 0) {
+    stripes = static_cast<int>(std::min<std::uint64_t>(
+        16, (striped_payload + eff.stripe_bytes - 1) / eff.stripe_bytes));
+    have_stripes = true;
+  }
+  if (levels == 0) {
+    const predict::HierPlan plan = plan_fn(s, p, bytes);
+    levels = std::max(plan.levels, 2);
+    if (!have_stripes) {
+      stripes = plan.stripes;
+      have_stripes = true;
+    }
+  }
+  PlanKnobs k;
+  k.used = std::clamp(levels - 1, 1, hdepth);
+  if (!have_stripes && cost_fn != nullptr) {
+    // Same stripe candidates and grain guard as the model's plan sweep,
+    // but conditioned on the (clamped) forced depth.
+    const std::uint64_t grain =
+        std::max<std::uint64_t>(s.page_size, 16 * 1024);
+    double best = cost_fn(s, p, bytes, k.used + 1, 1);
+    for (int cand : {2, 4, 8}) {
+      if (striped_payload / static_cast<std::uint64_t>(cand) < grain) {
+        break;
+      }
+      const double c = cost_fn(s, p, bytes, k.used + 1, cand);
+      if (c < best) {
+        best = c;
+        stripes = cand;
+      }
+    }
+  }
+  const int max_stripes = static_cast<int>(
+      std::min<std::uint64_t>(16, std::max<std::uint64_t>(striped_payload, 1)));
+  k.stripes = std::clamp(stripes, 1, max_stripes);
+  return k;
+}
+
+/// One pipeline stripe of a distribute payload.
+struct Chunk {
+  std::size_t off = 0;
+  std::size_t len = 0;
+};
+
+std::vector<Chunk> make_stripes(std::size_t payload, int stripes) {
+  std::vector<Chunk> cs;
+  const std::size_t grain =
+      (payload + static_cast<std::size_t>(stripes) - 1) /
+      static_cast<std::size_t>(stripes);
+  for (std::size_t off = 0; off < payload; off += grain) {
+    cs.push_back({off, std::min(grain, payload - off)});
+  }
+  return cs;
+}
+
+/// This rank's roles in the per-chunk distribute streams. Every team (a
+/// bridge of sibling leaders under their parent-domain leader, or a
+/// deepest domain under its leader) runs one stream: the root announces
+/// each chunk with signals only, the members pull slices from the root
+/// and ring-allgather them among themselves. A rank receives in exactly
+/// one team — its coarsest — and roots every deeper team it leads (the
+/// chain invariant makes it the parent-domain leader there), so its own
+/// timeline per chunk is one ring's work plus cheap signals and chunk
+/// k+1 can arrive while its subordinate teams still spread chunk k.
+struct StreamRole {
+  int recv_root = -1;      ///< -1: a pipeline source holding the payload
+  std::vector<int> ring;   ///< fellow receiving members, ring order
+  int pos = 0;             ///< this rank's slot in `ring`
+  std::vector<std::vector<int>> rooted; ///< member lists of teams I feed
+};
+
+StreamRole stream_role(const HierTeams& t, int rank, bool include_top,
+                       int top_root_pos) {
+  StreamRole sr;
+  auto classify = [&](const std::vector<int>& team, int root_pos) {
+    const int n = static_cast<int>(team.size());
+    if (n <= 1) {
+      return;
+    }
+    const int root = team[static_cast<std::size_t>(root_pos)];
+    std::vector<int> ring;
+    int pos = 0;
+    for (int i = 0; i < n; ++i) {
+      const int r = team[static_cast<std::size_t>(i)];
+      if (r == root) {
+        continue;
+      }
+      if (r == rank) {
+        pos = static_cast<int>(ring.size());
+      }
+      ring.push_back(r);
+    }
+    if (rank == root) {
+      sr.rooted.push_back(std::move(ring));
+    } else {
+      sr.recv_root = root;
+      sr.ring = std::move(ring);
+      sr.pos = pos;
+    }
+  };
+  for (int l = t.lead_from; l < t.used; ++l) {
+    if (l == 0 && !include_top) {
+      continue; // every level-0 leader already holds the vector
+    }
+    classify(t.bridge_ranks[static_cast<std::size_t>(l)],
+             l == 0 ? top_root_pos
+                    : t.bridge_root[static_cast<std::size_t>(l)]);
+  }
+  const Frame& deep = t.frame.back();
+  if (deep.dsize > 1) {
+    classify(t.h.domain(t.used - 1, deep.dom).members, deep.leader_pos);
+  }
+  return sr;
+}
+
+/// Chunk-striped pipeline distribute: per chunk, every receiving rank
+/// waits for its team root's ready signal, pulls its slice of the chunk,
+/// then ring-allgathers the remaining slices from its ring predecessor —
+/// and once whole, announces the chunk to every team it roots. Roots do
+/// no data work in their own streams, so a leader's stripe-(k+1) receive
+/// overlaps its members' stripe-k spreading: the inter-level pipeline
+/// with per-chunk dependence edges instead of a strict leader gate.
+/// Buffer-release FINs (one per read edge) sit after the last chunk, off
+/// the pipeline's critical path.
+void distribute_pipelined(Comm& comm, Schedule& sched, Lower& lo,
+                          const HierTeams& t, std::byte* buf,
+                          std::size_t payload, int stripes, bool include_top,
+                          int top_root_pos, bool addrs_ready) {
+  if (!addrs_ready) {
+    sched.self_addr = comm.expose(buf);
+    lo.addr_allgather();
+  }
+  const StreamRole sr =
+      stream_role(t, lo.rank, include_top, top_root_pos);
+  const int m = static_cast<int>(sr.ring.size());
+  const int next = m > 1 ? sr.ring[static_cast<std::size_t>(
+                               (sr.pos + 1) % m)]
+                         : -1;
+  const int prev = m > 1 ? sr.ring[static_cast<std::size_t>(
+                               (sr.pos - 1 + m) % m)]
+                         : -1;
+  for (const Chunk& c : make_stripes(payload, stripes)) {
+    if (sr.recv_root >= 0) {
+      const std::size_t slice =
+          (c.len + static_cast<std::size_t>(m) - 1) /
+          static_cast<std::size_t>(m);
+      auto slice_off = [&](int idx) {
+        return std::min(c.len, static_cast<std::size_t>(idx) * slice);
+      };
+      lo.wait_signal(sr.recv_root); // chunk c is whole at the root
+      const std::size_t own = slice_off(sr.pos);
+      const std::size_t own_len = slice_off(sr.pos + 1) - own;
+      lo.conc_hint(m);
+      if (own_len > 0) {
+        lo.cma_read(sr.recv_root, sr.recv_root, c.off + own, buf + c.off + own,
+                    own_len);
+      }
+      if (m > 1) {
+        lo.signal(next); // slice `pos` of chunk c is here
+        lo.conc_hint(1);
+        for (int r = 1; r < m; ++r) {
+          lo.wait_signal(prev); // prev holds slice pos-r of chunk c
+          const std::size_t o = slice_off((sr.pos - r + m) % m);
+          const std::size_t len = slice_off((sr.pos - r + m) % m + 1) - o;
+          if (len > 0) {
+            lo.cma_read(prev, prev, c.off + o, buf + c.off + o, len);
+          }
+          if (r < m - 1) {
+            lo.signal(next);
+          }
+        }
+      }
+    }
+    for (const std::vector<int>& team : sr.rooted) {
+      for (int mem : team) {
+        lo.signal(mem); // chunk c is whole here
+      }
+    }
+  }
+  if (sr.recv_root >= 0) {
+    lo.signal(sr.recv_root); // FIN: done reading the root's buffer
+    if (m > 1) {
+      lo.signal(prev); // FIN: done reading the ring predecessor
+      lo.wait_signal(next);
+    }
+  }
+  for (const std::vector<int>& team : sr.rooted) {
+    for (int mem : team) {
+      lo.wait_signal(mem);
+    }
+  }
+}
+
+/// Top-down distribute of buf[0..payload). With one stripe this is the
+/// classic gated composition — optional top-bridge bcast, then per lower
+/// boundary a parent -> child-leader gate plus a spliced bridge bcast,
+/// then the gated deepest fan-out — and at depth 2 it reduces exactly to
+/// the legacy two-level schedule. With multiple stripes it switches to
+/// the chunk pipeline above.
+void distribute(Comm& comm, Schedule& sched, Lower& lo, const HierTeams& t,
+                std::byte* buf, std::size_t payload, int stripes,
+                bool include_top, int top_root_pos, bool addrs_ready,
+                const CollOptions& eff, const CompileParams& params) {
+  if (stripes > 1) {
+    distribute_pipelined(comm, sched, lo, t, buf, payload, stripes,
+                         include_top, top_root_pos, addrs_ready);
+    return;
+  }
+  const Frame& deep = t.frame.back();
+  const ArchSpec leaf = leaf_view_for(comm.arch(), t.h);
+  for (const Chunk& c : make_stripes(payload, stripes)) {
+    if (include_top && t.lead_from == 0) {
+      const ArchSpec bv = bridge_view_for(comm.arch(), t.h, 0);
+      const int nd0 = static_cast<int>(t.bridge_ranks[0].size());
+      const Tuner::Choice lc = pick_bcast(bv, nd0, c.len);
+      auto sub = compile_bcast(*t.bridge[0], buf + c.off, c.len,
+                               top_root_pos, lc.bcast, sub_options(eff, lc),
+                               params);
+      lo.conc_hint(sub->conc_hint);
+      splice(sched, t.bridge[0], std::move(sub));
+    }
+    for (int l = 1; l < t.used; ++l) {
+      if (t.lead_from > l) {
+        continue;
+      }
+      const int b =
+          static_cast<int>(t.bridge_ranks[static_cast<std::size_t>(l)].size());
+      if (b <= 1) {
+        continue; // sole child: the parent leader already holds the data
+      }
+      bridge_gate(lo, t, l);
+      const ArchSpec bv = bridge_view_for(comm.arch(), t.h, l);
+      const Tuner::Choice lb = pick_bcast(bv, b, c.len);
+      auto sub = compile_bcast(*t.bridge[static_cast<std::size_t>(l)],
+                               buf + c.off, c.len,
+                               t.bridge_root[static_cast<std::size_t>(l)],
+                               lb.bcast, sub_options(eff, lb), params);
+      lo.conc_hint(sub->conc_hint);
+      splice(sched, t.bridge[static_cast<std::size_t>(l)], std::move(sub));
+    }
+    if (deep.dsize > 1) {
+      fan_gate(lo, t);
+      const Tuner::Choice ic = pick_bcast(leaf, deep.dsize, c.len);
+      auto sub = compile_bcast(*t.fan, buf + c.off, c.len, deep.leader_pos,
+                               ic.bcast, sub_options(eff, ic), params);
+      lo.conc_hint(sub->conc_hint);
+      splice(sched, t.fan, std::move(sub));
+    }
+  }
+}
+
+} // namespace
+
+// ---- Scatter ----
+
+std::unique_ptr<Schedule> compile_hier_scatter(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    int root, const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  topo::Hierarchy full = topo::Hierarchy::from_arch(comm.arch(), p);
+  full.elect_root_affine(root);
+  if (p == 1 || full.trivial()) {
+    const Tuner::Choice c = pick_scatter(comm.arch(), p, bytes);
+    return compile_scatter(comm, sendbuf, recvbuf, bytes, root, c.scatter,
+                           sub_options(eff, c), params);
+  }
+  const PlanKnobs knobs =
+      resolve_plan(comm.arch(), p, bytes, eff, full.depth(), false, 0,
+                   &predict::hier_plan_scatter);
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  HierTeams t = make_hier_teams(comm, full.truncated(knobs.used));
+  const int U = t.used;
+  const Frame& deep = t.frame.back();
+  const int nd0 = static_cast<int>(t.h.level(0).domains.size());
+  const int rd0 = t.h.domain_at(0, root);
+  sched->conc_hint = nd0 - 1; // concurrent leader slab reads off the root
+
+  const int f = t.lead_from;
+  const bool puller = rank != root && f < U;
+
+  // Staging slab for this rank's coarsest led domain. A singleton deepest
+  // domain with nothing below stages straight into recvbuf.
+  std::byte* slab = nullptr;
+  std::size_t my_slab_bytes = 0;
+  if (puller) {
+    my_slab_bytes =
+        static_cast<std::size_t>(t.frame[static_cast<std::size_t>(f)].dsize) *
+        bytes;
+    slab = (f == U - 1 && deep.dsize == 1)
+               ? static_cast<std::byte*>(recvbuf)
+               : scratch_bytes(*sched, my_slab_bytes);
+  }
+
+  // Address setup. Depth 2 keeps the single-root exposure; deeper plans
+  // publish every staging slab so child leaders can pull from any parent.
+  if (U == 1) {
+    if (rank == root) {
+      sched->addrs[static_cast<std::size_t>(root)] = comm.expose(sendbuf);
+    }
+    lo.addr_bcast(root);
+  } else {
+    const void* expose_buf = rank == root ? sendbuf
+                             : slab != nullptr
+                                 ? static_cast<const void*>(slab)
+                                 : static_cast<const void*>(recvbuf);
+    sched->self_addr = comm.expose(expose_buf);
+    lo.addr_allgather();
+  }
+
+  std::vector<int> peers; // child leaders staging out of my slab
+  if (puller) {
+    peers = chain_transfer_peers(t.h, rank, f);
+    const int pl =
+        f == 0 ? root : t.frame[static_cast<std::size_t>(f - 1)].leader;
+    const std::uint64_t pull_off =
+        static_cast<std::uint64_t>(
+            t.frame[static_cast<std::size_t>(f)].first -
+            slab_base(t.h, pl, root)) *
+        bytes;
+    if (pl != root) {
+      lo.wait_signal(pl); // parent's slab must land before I stage out of it
+    }
+    lo.cma_read(pl, pl, pull_off, slab, my_slab_bytes);
+    lo.signal(pl); // parent may release its slab
+    for (int c : peers) {
+      lo.signal(c); // my slab is ready to stage out of
+    }
+  }
+
+  if (deep.leader != root) {
+    fan_gate(lo, t); // members must not read the slab before it lands
+  }
+
+  if (deep.dsize > 1) {
+    const ArchSpec view = leaf_view_for(comm.arch(), t.h);
+    const Tuner::Choice ic = pick_scatter(view, deep.dsize, bytes);
+    CollOptions ieff = sub_options(eff, ic);
+    ieff.in_place = eff.in_place && deep.leader == root;
+    const void* fan_src = nullptr;
+    if (rank == deep.leader) {
+      fan_src =
+          rank == root
+              ? bptr(sendbuf, static_cast<std::size_t>(deep.first) * bytes)
+              : static_cast<const void*>(
+                    slab +
+                    static_cast<std::size_t>(
+                        deep.first - t.frame[static_cast<std::size_t>(f)].first) *
+                        bytes);
+    }
+    auto sub = compile_scatter(*t.fan, fan_src, recvbuf, bytes,
+                               deep.leader_pos, ic.scatter, ieff, params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.fan, std::move(sub));
+  } else if (rank == root && !eff.in_place) {
+    lo.local_copy(recvbuf,
+                  bptr(sendbuf, static_cast<std::size_t>(root) * bytes),
+                  bytes);
+  } else if (puller && f < U - 1) {
+    // singleton deepest domain below a staged slab: my block is in there
+    lo.local_copy(
+        recvbuf,
+        slab + static_cast<std::size_t>(
+                   rank - t.frame[static_cast<std::size_t>(f)].first) *
+                   bytes,
+        bytes);
+  }
+
+  // Slab release: wait for every child leader that stages out of a buffer
+  // this rank owns.
+  if (rank == root) {
+    for (int d = 0; d < nd0; ++d) {
+      if (d != rd0) {
+        lo.wait_signal(t.h.domain(0, d).leader);
+      }
+    }
+    for (int c : chain_transfer_peers(t.h, root, 0)) {
+      lo.wait_signal(c);
+    }
+  } else if (puller) {
+    for (int c : peers) {
+      lo.wait_signal(c);
+    }
+  }
+  return sched;
+}
+
+// ---- Gather ----
+
+std::unique_ptr<Schedule> compile_hier_gather(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    int root, const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  topo::Hierarchy full = topo::Hierarchy::from_arch(comm.arch(), p);
+  full.elect_root_affine(root);
+  if (p == 1 || full.trivial()) {
+    const Tuner::Choice c = pick_gather(comm.arch(), p, bytes);
+    return compile_gather(comm, sendbuf, recvbuf, bytes, root, c.gather,
+                          sub_options(eff, c), params);
+  }
+  const PlanKnobs knobs =
+      resolve_plan(comm.arch(), p, bytes, eff, full.depth(), false, 0,
+                   &predict::hier_plan_gather);
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  HierTeams t = make_hier_teams(comm, full.truncated(knobs.used));
+  const int U = t.used;
+  const Frame& deep = t.frame.back();
+  const int nd0 = static_cast<int>(t.h.level(0).domains.size());
+  const int rd0 = t.h.domain_at(0, root);
+
+  const int f = t.lead_from;
+  const bool pusher = rank != root && f < U;
+
+  // The leader's assembled slab of its coarsest led domain: staged in
+  // scratch (or forwarded straight from sendbuf when alone at the bottom).
+  std::byte* slab = nullptr;
+  const void* slab_out = nullptr;
+  std::size_t my_slab_bytes = 0;
+  if (pusher) {
+    my_slab_bytes =
+        static_cast<std::size_t>(t.frame[static_cast<std::size_t>(f)].dsize) *
+        bytes;
+    if (f == U - 1 && deep.dsize == 1) {
+      slab_out = sendbuf;
+    } else {
+      slab = scratch_bytes(*sched, my_slab_bytes);
+      slab_out = slab;
+    }
+  }
+
+  if (U == 1) {
+    if (rank == root) {
+      sched->addrs[static_cast<std::size_t>(root)] = comm.expose(recvbuf);
+    }
+    lo.addr_bcast(root);
+  } else {
+    const void* expose_buf = rank == root ? static_cast<const void*>(recvbuf)
+                             : slab != nullptr
+                                 ? static_cast<const void*>(slab)
+                                 : static_cast<const void*>(sendbuf);
+    sched->self_addr = comm.expose(expose_buf);
+    lo.addr_allgather();
+  }
+
+  // Fan phase: every deepest domain gathers into its leader's slab.
+  if (deep.dsize > 1) {
+    const ArchSpec view = leaf_view_for(comm.arch(), t.h);
+    const Tuner::Choice ic = pick_gather(view, deep.dsize, bytes);
+    CollOptions geff = sub_options(eff, ic);
+    geff.in_place = eff.in_place && deep.leader == root;
+    void* fan_recv = nullptr;
+    if (rank == deep.leader) {
+      fan_recv =
+          rank == root
+              ? bptr(recvbuf, static_cast<std::size_t>(deep.first) * bytes)
+              : static_cast<void*>(
+                    slab +
+                    static_cast<std::size_t>(
+                        deep.first - t.frame[static_cast<std::size_t>(f)].first) *
+                        bytes);
+    }
+    auto sub = compile_gather(*t.fan, sendbuf, fan_recv, bytes,
+                              deep.leader_pos, ic.gather, geff, params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.fan, std::move(sub));
+  } else if (rank == root && !eff.in_place) {
+    lo.local_copy(bptr(recvbuf, static_cast<std::size_t>(root) * bytes),
+                  sendbuf, bytes);
+  } else if (pusher && f < U - 1) {
+    lo.local_copy(
+        slab + static_cast<std::size_t>(
+                   rank - t.frame[static_cast<std::size_t>(f)].first) *
+                   bytes,
+        sendbuf, bytes);
+  }
+
+  // Upward cascade: once its children's slabs have landed, each leader
+  // pushes its assembled slab one hop up the chain.
+  if (pusher) {
+    for (int c : chain_transfer_peers(t.h, rank, f)) {
+      lo.wait_signal(c); // children must finish writing into my slab
+    }
+    const int pl =
+        f == 0 ? root : t.frame[static_cast<std::size_t>(f - 1)].leader;
+    const std::uint64_t push_off =
+        static_cast<std::uint64_t>(
+            t.frame[static_cast<std::size_t>(f)].first -
+            slab_base(t.h, pl, root)) *
+        bytes;
+    lo.conc_hint(level_writers(t.h, f));
+    lo.cma_write(pl, pl, push_off, slab_out, my_slab_bytes);
+    lo.signal(pl);
+  }
+  if (rank == root) {
+    lo.conc_hint(nd0 - 1);
+    for (int d = 0; d < nd0; ++d) {
+      if (d != rd0) {
+        lo.wait_signal(t.h.domain(0, d).leader);
+      }
+    }
+    for (int c : chain_transfer_peers(t.h, root, 0)) {
+      lo.wait_signal(c);
+    }
+  }
+  return sched;
+}
+
+// ---- Bcast ----
+
+std::unique_ptr<Schedule> compile_hier_bcast(
+    Comm& comm, void* buf, std::size_t bytes, int root,
+    const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  topo::Hierarchy full = topo::Hierarchy::from_arch(comm.arch(), p);
+  full.elect_root_affine(root);
+  if (p == 1 || full.trivial()) {
+    const Tuner::Choice c = pick_bcast(comm.arch(), p, bytes);
+    return compile_bcast(comm, buf, bytes, root, c.bcast,
+                         sub_options(eff, c), params);
+  }
+  const PlanKnobs knobs =
+      resolve_plan(comm.arch(), p, bytes, eff, full.depth(), true, bytes,
+                   &predict::hier_plan_bcast, &predict::hier_bcast);
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  HierTeams t = make_hier_teams(comm, full.truncated(knobs.used));
+  const int rd0 = t.h.domain_at(0, root);
+
+  distribute(comm, *sched, lo, t, static_cast<std::byte*>(buf), bytes,
+             knobs.stripes, /*include_top=*/true, rd0, /*addrs_ready=*/false,
+             eff, params);
+  return sched;
+}
+
+// ---- Allgather ----
+
+std::unique_ptr<Schedule> compile_hier_allgather(
+    Comm& comm, const void* sendbuf, void* recvbuf, std::size_t bytes,
+    const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  const topo::Hierarchy full = topo::Hierarchy::from_arch(comm.arch(), p);
+  if (p == 1 || full.trivial()) {
+    const Tuner::Choice c = pick_allgather(comm.arch(), p, bytes);
+    return compile_allgather(comm, sendbuf, recvbuf, bytes, c.allgather,
+                             sub_options(eff, c), params);
+  }
+  const PlanKnobs knobs = resolve_plan(
+      comm.arch(), p, bytes, eff, full.depth(), true,
+      static_cast<std::uint64_t>(bytes) * static_cast<std::uint64_t>(p),
+      &predict::hier_plan_allgather, &predict::hier_allgather);
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  HierTeams t = make_hier_teams(comm, full.truncated(knobs.used));
+  const int U = t.used;
+  const Frame& deep = t.frame.back();
+  const int nd0 = static_cast<int>(t.h.level(0).domains.size());
+
+  // Phase 1: gather each deepest domain's blocks into the leader's region
+  // of the final layout, so every later hop moves finished slabs.
+  if (deep.dsize > 1) {
+    const ArchSpec view = leaf_view_for(comm.arch(), t.h);
+    const Tuner::Choice ic = pick_gather(view, deep.dsize, bytes);
+    CollOptions geff = sub_options(eff, ic);
+    geff.in_place = eff.in_place;
+    const void* src =
+        eff.in_place ? bptr(recvbuf, static_cast<std::size_t>(rank) * bytes)
+                     : sendbuf;
+    void* slab_recv =
+        rank == deep.leader
+            ? bptr(recvbuf, static_cast<std::size_t>(deep.first) * bytes)
+            : nullptr;
+    auto sub = compile_gather(*t.fan, src, slab_recv, bytes, deep.leader_pos,
+                              ic.gather, geff, params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.fan, std::move(sub));
+  } else if (!eff.in_place) {
+    lo.local_copy(bptr(recvbuf, static_cast<std::size_t>(rank) * bytes),
+                  sendbuf, bytes);
+  }
+
+  // Everyone publishes recvbuf: upward collects and the top rotation both
+  // read finished slabs out of it at absolute offsets.
+  sched->self_addr = comm.expose(recvbuf);
+  lo.addr_allgather();
+
+  // Phase 2a (depth >= 3): leader slabs climb the tree. Each level-l
+  // leader announces its assembled slab; its parent copies the slab into
+  // its own recvbuf before announcing one level up.
+  for (int l = U - 1; l >= 1; --l) {
+    if (t.lead_from <= l - 1) {
+      lo.conc_hint(1);
+      for (int c : t.h.children_of(
+               l - 1, t.frame[static_cast<std::size_t>(l - 1)].dom)) {
+        const topo::Domain& cd = t.h.domain(l, c);
+        if (cd.leader == rank) {
+          continue;
+        }
+        lo.wait_signal(cd.leader);
+        lo.cma_read(
+            cd.leader, cd.leader,
+            static_cast<std::uint64_t>(cd.members.front()) * bytes,
+            bptr(recvbuf,
+                 static_cast<std::size_t>(cd.members.front()) * bytes),
+            cd.members.size() * bytes);
+      }
+    } else if (t.lead_from == l) {
+      lo.signal(t.frame[static_cast<std::size_t>(l - 1)].leader);
+    }
+  }
+
+  // Phase 2b: rotating level-0 leader slab exchange. Each leader announces
+  // its slab (ready-to-send to every other leader), then pulls the
+  // remaining nd0-1 slabs starting at its successor so sources are visited
+  // staggered.
+  if (t.lead_from == 0) {
+    lo.conc_hint(1); // rotation: one reader per source at a time
+    for (int d = 0; d < nd0; ++d) {
+      if (d != t.frame[0].dom) {
+        lo.signal(t.h.domain(0, d).leader);
+      }
+    }
+    for (int i = 1; i < nd0; ++i) {
+      const topo::Domain& ed = t.h.domain(0, (t.frame[0].dom + i) % nd0);
+      const auto ed_size = static_cast<std::size_t>(ed.members.size());
+      lo.wait_signal(ed.leader);
+      lo.cma_read(ed.leader, ed.leader,
+                  static_cast<std::uint64_t>(ed.members.front()) * bytes,
+                  bptr(recvbuf,
+                       static_cast<std::size_t>(ed.members.front()) * bytes),
+                  ed_size * bytes);
+    }
+  }
+
+  // Phase 3: striped distribute of the assembled vector below the top.
+  distribute(comm, *sched, lo, t, static_cast<std::byte*>(recvbuf),
+             static_cast<std::size_t>(p) * bytes, knobs.stripes,
+             /*include_top=*/false, 0, /*addrs_ready=*/true, eff, params);
+  // Other leaders may still be reading this rank's slab region.
+  lo.barrier();
+  return sched;
+}
+
+// ---- Reduce ----
+
+std::unique_ptr<Schedule> compile_hier_reduce(
+    Comm& comm, const double* send, double* recv, std::size_t count,
+    ReduceOp op, int root, const CollOptions& eff,
+    const CompileParams& params) {
+  const int p = comm.size();
+  const std::size_t bytes = count * kElem;
+  topo::Hierarchy full = topo::Hierarchy::from_arch(comm.arch(), p);
+  full.elect_root_affine(root);
+  if (p == 1 || full.trivial()) {
+    const Tuner::Choice c = pick_reduce(comm.arch(), p, bytes);
+    return compile_reduce(comm, send, recv, count, op, root, c.reduce,
+                          sub_options(eff, c), params);
+  }
+  const PlanKnobs knobs =
+      resolve_plan(comm.arch(), p, bytes, eff, full.depth(), false, 0,
+                   &predict::hier_plan_reduce);
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  HierTeams t = make_hier_teams(comm, full.truncated(knobs.used));
+  const int U = t.used;
+  const Frame& deep = t.frame.back();
+  const int nd0 = static_cast<int>(t.h.level(0).domains.size());
+  const int rd0 = t.h.domain_at(0, root);
+
+  // Phase 1: every deepest domain reduces into its leader's partial.
+  const double* cur = send;
+  if (deep.dsize > 1) {
+    double* partial =
+        rank == deep.leader
+            ? reinterpret_cast<double*>(scratch_bytes(*sched, bytes))
+            : nullptr;
+    const ArchSpec view = leaf_view_for(comm.arch(), t.h);
+    const Tuner::Choice ic = pick_reduce(view, deep.dsize, bytes);
+    auto sub = compile_reduce(*t.fan, send, partial, count, op,
+                              deep.leader_pos, ic.reduce,
+                              sub_options(eff, ic), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.fan, std::move(sub));
+    if (rank == deep.leader) {
+      cur = partial;
+    }
+  }
+
+  // Phase 2: partials climb binomial bridge trees, deepest boundary
+  // first, each bridge rooted at its parent-domain leader.
+  for (int l = U - 1; l >= 1; --l) {
+    if (t.lead_from > l) {
+      continue;
+    }
+    const int b =
+        static_cast<int>(t.bridge_ranks[static_cast<std::size_t>(l)].size());
+    if (b <= 1) {
+      continue; // sole child: my partial already covers the parent domain
+    }
+    const bool bridge_parent =
+        rank == t.frame[static_cast<std::size_t>(l - 1)].leader;
+    double* out =
+        bridge_parent
+            ? reinterpret_cast<double*>(scratch_bytes(*sched, bytes))
+            : nullptr;
+    const ArchSpec bv = bridge_view_for(comm.arch(), t.h, l);
+    const Tuner::Choice lb = pick_reduce(bv, b, bytes);
+    auto sub = compile_reduce(*t.bridge[static_cast<std::size_t>(l)], cur,
+                              out, count, op,
+                              t.bridge_root[static_cast<std::size_t>(l)],
+                              lb.reduce, sub_options(eff, lb), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.bridge[static_cast<std::size_t>(l)], std::move(sub));
+    if (bridge_parent) {
+      cur = out;
+    }
+  }
+
+  // Phase 3: top-level leaders reduce to the root (root leads its whole
+  // ancestor chain, so no extra hop).
+  if (t.lead_from == 0) {
+    const ArchSpec bv = bridge_view_for(comm.arch(), t.h, 0);
+    const Tuner::Choice lc = pick_reduce(bv, nd0, bytes);
+    auto sub = compile_reduce(*t.bridge[0], cur,
+                              rank == root ? recv : nullptr, count, op, rd0,
+                              lc.reduce, sub_options(eff, lc), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.bridge[0], std::move(sub));
+  }
+  return sched;
+}
+
+// ---- Allreduce ----
+
+std::unique_ptr<Schedule> compile_hier_allreduce(
+    Comm& comm, const double* send, double* recv, std::size_t count,
+    ReduceOp op, const CollOptions& eff, const CompileParams& params) {
+  const int p = comm.size();
+  const std::size_t bytes = count * kElem;
+  const topo::Hierarchy full = topo::Hierarchy::from_arch(comm.arch(), p);
+  if (p == 1 || full.trivial()) {
+    const Tuner::Choice c = pick_allreduce(comm.arch(), p, bytes);
+    return compile_allreduce(comm, send, recv, count, op, c.allreduce,
+                             sub_options(eff, c), params);
+  }
+  const PlanKnobs knobs =
+      resolve_plan(comm.arch(), p, bytes, eff, full.depth(), true, bytes,
+                   &predict::hier_plan_allreduce, &predict::hier_allreduce);
+
+  auto sched = make_schedule(comm);
+  Lower lo(comm, *sched, params);
+  const int rank = lo.rank;
+  HierTeams t = make_hier_teams(comm, full.truncated(knobs.used));
+  const int U = t.used;
+  const Frame& deep = t.frame.back();
+  const int nd0 = static_cast<int>(t.h.level(0).domains.size());
+
+  // Phase 1: deepest domain reduce into the leader's partial.
+  const double* cur = send;
+  if (deep.dsize > 1) {
+    double* partial =
+        rank == deep.leader
+            ? reinterpret_cast<double*>(scratch_bytes(*sched, bytes))
+            : nullptr;
+    const ArchSpec view = leaf_view_for(comm.arch(), t.h);
+    const Tuner::Choice ic = pick_reduce(view, deep.dsize, bytes);
+    auto sub = compile_reduce(*t.fan, send, partial, count, op,
+                              deep.leader_pos, ic.reduce,
+                              sub_options(eff, ic), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.fan, std::move(sub));
+    if (rank == deep.leader) {
+      cur = partial;
+    }
+  }
+
+  // Phase 2: partials climb bridge trees to the level-0 leaders.
+  for (int l = U - 1; l >= 1; --l) {
+    if (t.lead_from > l) {
+      continue;
+    }
+    const int b =
+        static_cast<int>(t.bridge_ranks[static_cast<std::size_t>(l)].size());
+    if (b <= 1) {
+      continue;
+    }
+    const bool bridge_parent =
+        rank == t.frame[static_cast<std::size_t>(l - 1)].leader;
+    double* out =
+        bridge_parent
+            ? reinterpret_cast<double*>(scratch_bytes(*sched, bytes))
+            : nullptr;
+    const ArchSpec bv = bridge_view_for(comm.arch(), t.h, l);
+    const Tuner::Choice lb = pick_reduce(bv, b, bytes);
+    auto sub = compile_reduce(*t.bridge[static_cast<std::size_t>(l)], cur,
+                              out, count, op,
+                              t.bridge_root[static_cast<std::size_t>(l)],
+                              lb.reduce, sub_options(eff, lb), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.bridge[static_cast<std::size_t>(l)], std::move(sub));
+    if (bridge_parent) {
+      cur = out;
+    }
+  }
+
+  // Phase 3: allreduce across the top leaders — every level-0 leader ends
+  // up with the full result in recv.
+  if (t.lead_from == 0) {
+    const ArchSpec bv = bridge_view_for(comm.arch(), t.h, 0);
+    const Tuner::Choice lc = pick_allreduce(bv, nd0, bytes);
+    auto sub = compile_allreduce(*t.bridge[0], cur, recv, count, op,
+                                 lc.allreduce, sub_options(eff, lc), params);
+    lo.conc_hint(sub->conc_hint);
+    splice(*sched, t.bridge[0], std::move(sub));
+  }
+
+  // Phase 4: striped distribute of the result below the top.
+  distribute(comm, *sched, lo, t, reinterpret_cast<std::byte*>(recv), bytes,
+             knobs.stripes, /*include_top=*/false, 0, /*addrs_ready=*/false,
+             eff, params);
+  return sched;
+}
+
+} // namespace kacc::nbc

@@ -324,8 +324,8 @@ std::unique_ptr<Schedule> compile_reduce(Comm& comm, const double* send,
     case ReduceAlgo::kReduceScatterGather:
       lower_rsg(lo, *sched, send, recv, count, op, root);
       break;
-    case ReduceAlgo::kTwoLevel:
-      return compile_two_level_reduce(comm, send, recv, count, op, root, eff,
+    case ReduceAlgo::kHier:
+      return compile_hier_reduce(comm, send, recv, count, op, root, eff,
                                       params);
     case ReduceAlgo::kAuto:
       throw InternalError("compile_reduce: unresolved kAuto");
@@ -384,8 +384,8 @@ std::unique_ptr<Schedule> compile_allreduce(Comm& comm, const double* send,
     case AllreduceAlgo::kRabenseifner:
       lower_allreduce_rabenseifner(lo, *sched, send, recv, count, op);
       break;
-    case AllreduceAlgo::kTwoLevel:
-      return compile_two_level_allreduce(comm, send, recv, count, op, eff,
+    case AllreduceAlgo::kHier:
+      return compile_hier_allreduce(comm, send, recv, count, op, eff,
                                          params);
     case AllreduceAlgo::kAuto:
       throw InternalError("compile_allreduce: unresolved kAuto");

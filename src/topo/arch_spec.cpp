@@ -20,6 +20,20 @@ double ArchSpec::gamma_at(int c) const {
   if (beyond > 0.0) {
     g += gamma.socket_step * beyond;
   }
+  // Finer knees: each sub-level adds slope once the reader count exceeds
+  // one of its domains' worth of physical cores (same shape as the socket
+  // knee, thresholded at the smaller sharing domain).
+  for (const LevelSpec& lv : sub_levels) {
+    if (lv.domains <= 1 || lv.gamma_step <= 0.0) {
+      continue;
+    }
+    const int total_phys = sockets * cores_per_socket;
+    const double per =
+        std::max(1.0, static_cast<double>(total_phys) / lv.domains);
+    if (cd > per) {
+      g += lv.gamma_step * (cd - per);
+    }
+  }
   return std::max(1.0, g);
 }
 
@@ -31,10 +45,70 @@ int ArchSpec::socket_of(int rank, int nranks) const {
   return std::min(rank / per, sockets - 1);
 }
 
+std::vector<LevelSpec> ArchSpec::boundary_levels() const {
+  std::vector<LevelSpec> out;
+  if (sockets > 1) {
+    LevelSpec sock;
+    sock.name = "socket";
+    sock.domains = sockets;
+    sock.beta_mult = inter_socket_beta_mult;
+    sock.bw_Bus = inter_socket_bw_Bus;
+    sock.gamma_step = gamma.socket_step;
+    out.push_back(std::move(sock));
+  }
+  for (const LevelSpec& lv : sub_levels) {
+    if (lv.domains > 1 && (out.empty() || lv.domains > out.back().domains)) {
+      out.push_back(lv);
+    }
+  }
+  return out;
+}
+
+int ArchSpec::level_domain_of(int level, int rank, int nranks) const {
+  const std::vector<LevelSpec> levels = boundary_levels();
+  if (level < 0 || level >= static_cast<int>(levels.size()) || nranks <= 0) {
+    return 0;
+  }
+  // Recursive ceil-block split: each boundary partitions its parent
+  // domain's rank range into equal blocks (last one short). Level 0 with
+  // the legacy socket boundary reduces exactly to socket_of.
+  int lo = 0;
+  int hi = nranks;
+  int dom = 0;
+  int prev_domains = 1;
+  for (int l = 0; l <= level; ++l) {
+    const int b = levels[static_cast<std::size_t>(l)].domains / prev_domains;
+    prev_domains = levels[static_cast<std::size_t>(l)].domains;
+    const int span = hi - lo;
+    if (span <= 0 || b <= 1) {
+      dom = dom * std::max(1, b);
+      continue;
+    }
+    const int per = (span + b - 1) / b;
+    const int idx = std::min((rank - lo) / per, b - 1);
+    dom = dom * b + idx;
+    lo = lo + idx * per;
+    hi = std::min(lo + per, hi);
+  }
+  return dom;
+}
+
 double ArchSpec::beta_between(int rank_a, int rank_b, int nranks) const {
   const double base = beta_us_per_byte();
   if (socket_of(rank_a, nranks) != socket_of(rank_b, nranks)) {
     return base * inter_socket_beta_mult;
+  }
+  // Outermost crossed sub-boundary sets the multiplier: a hop across a NUMA
+  // cluster pays the cluster link, not the sum of every finer boundary.
+  if (!sub_levels.empty()) {
+    const std::vector<LevelSpec> levels = boundary_levels();
+    const int first_sub = sockets > 1 ? 1 : 0;
+    for (int l = first_sub; l < static_cast<int>(levels.size()); ++l) {
+      if (level_domain_of(l, rank_a, nranks) !=
+          level_domain_of(l, rank_b, nranks)) {
+        return base * levels[static_cast<std::size_t>(l)].beta_mult;
+      }
+    }
   }
   return base;
 }
@@ -82,6 +156,19 @@ void ArchSpec::validate() const {
               shm_signal_us >= 0.0,
           "shm costs >= 0");
   require(net_latency_us >= 0.0 && net_bw_Bus > 0.0, "fabric params");
+  int prev = sockets;
+  for (const LevelSpec& lv : sub_levels) {
+    require(!lv.name.empty(), "sub-level name must not be empty");
+    require(lv.domains > prev, "sub-level domains must strictly increase");
+    require(lv.domains % prev == 0,
+            "sub-level domains must nest in the enclosing level");
+    require(lv.domains <= total_cores(),
+            "sub-level domains must not exceed hardware threads");
+    require(lv.beta_mult >= 1.0, "sub-level beta multiplier >= 1");
+    require(lv.bw_Bus > 0.0, "sub-level bandwidth > 0");
+    require(lv.gamma_step >= 0.0, "sub-level gamma step >= 0");
+    prev = lv.domains;
+  }
 }
 
 } // namespace kacc

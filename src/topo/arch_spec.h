@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace kacc {
 
@@ -25,6 +26,20 @@ struct GammaCoeffs {
   double lin = 0.0;         ///< c coefficient
   double offset = 0.0;      ///< constant; chosen so gamma(1) == 1
   double socket_step = 0.0; ///< extra slope per reader beyond one socket
+};
+
+/// One sharing boundary of the node: a set of domains whose members talk
+/// cheaply and whose boundary costs extra. The socket boundary is described
+/// by the legacy `inter_socket_*`/`gamma.socket_step` fields; finer
+/// boundaries inside a socket (NUMA cluster, L3 cluster, SMT core) are
+/// listed in `ArchSpec::sub_levels`, outermost first, each generalizing
+/// exactly those three knobs to its own level.
+struct LevelSpec {
+  std::string name;        ///< "numa", "l3", "smt", ...
+  int domains = 1;         ///< total domains across the node
+  double beta_mult = 1.0;  ///< beta multiplier when crossing this boundary
+  double bw_Bus = 1e12;    ///< shared bandwidth of the boundary link (B/us)
+  double gamma_step = 0.0; ///< extra gamma slope per reader beyond 1 domain
 };
 
 /// Full architecture + cost-model description.
@@ -61,6 +76,13 @@ struct ArchSpec {
   /// Effectively infinite on single-socket machines.
   double inter_socket_bw_Bus = 1e12;
   GammaCoeffs gamma;
+
+  /// Sharing boundaries *inside* a socket (NUMA cluster, L3 cluster, SMT
+  /// core), outermost first. Each entry's `domains` counts domains across
+  /// the whole node, must be a multiple of the enclosing level's count
+  /// (`sockets` for the first entry) and strictly increasing. Empty on the
+  /// classic two-level presets — every legacy cost is then byte-identical.
+  std::vector<LevelSpec> sub_levels;
 
   // --- two-copy (CICO) shared-memory data path ---
   /// Copy bandwidth (bytes/us) of the pipelined two-copy path while the
@@ -123,6 +145,17 @@ struct ArchSpec {
   [[nodiscard]] bool crosses_socket(int rank_a, int rank_b, int nranks) const {
     return socket_of(rank_a, nranks) != socket_of(rank_b, nranks);
   }
+
+  /// Every non-trivial sharing boundary of the node, coarsest first: the
+  /// socket boundary (synthesized from the legacy fields when sockets > 1)
+  /// followed by `sub_levels`. Empty on a flat node.
+  [[nodiscard]] std::vector<LevelSpec> boundary_levels() const;
+
+  /// Domain of `rank` at boundary `level` (an index into
+  /// boundary_levels()) when `nranks` ranks are block-distributed over the
+  /// node and recursively ceil-block split at each boundary. Level 0
+  /// reduces exactly to socket_of on multi-socket parts.
+  [[nodiscard]] int level_domain_of(int level, int rank, int nranks) const;
 
   /// Per-byte time of the two-copy shm path for one copy of an n-byte
   /// message (cache-resident below the threshold, DRAM-bound above).

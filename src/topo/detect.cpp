@@ -1,5 +1,7 @@
 #include "topo/detect.h"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <set>
 #include <string>
@@ -20,6 +22,98 @@ int read_sysfs_int(const std::string& path, int fallback) {
     return value;
   }
   return fallback;
+}
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids; empty on failure.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t end = 0;
+    const int lo = std::stoi(text.substr(i), &end);
+    i += end;
+    int hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      hi = std::stoi(text.substr(i), &end);
+      i += end;
+    }
+    for (int c = lo; c <= hi && c - lo < 4096; ++c) {
+      cpus.push_back(c);
+    }
+  }
+  return cpus;
+}
+
+/// First line of a sysfs file, or "" on failure.
+std::string read_sysfs_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+/// NUMA node id per CPU from /sys/devices/system/node/node*/cpulist;
+/// unlisted CPUs report node 0.
+std::vector<int> cpu_numa_nodes(int cpus) {
+  std::vector<int> nodes(static_cast<std::size_t>(cpus), 0);
+  for (int node = 0; node < 1024; ++node) {
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist";
+    std::ifstream probe(path);
+    if (!probe.good()) {
+      if (node > 0) {
+        break; // node ids are dense; node0 may be absent on !NUMA kernels
+      }
+      continue;
+    }
+    for (int cpu : parse_cpulist(read_sysfs_line(path))) {
+      if (cpu >= 0 && cpu < cpus) {
+        nodes[static_cast<std::size_t>(cpu)] = node;
+      }
+    }
+  }
+  return nodes;
+}
+
+/// Last-level-cache group per CPU: the first CPU named in
+/// cache/index3/shared_cpu_list identifies the group. CPUs without an L3
+/// entry fall back to their own id (singleton groups collapse later).
+std::vector<int> cpu_l3_groups(int cpus) {
+  std::vector<int> groups(static_cast<std::size_t>(cpus));
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    const std::string path = "/sys/devices/system/cpu/cpu" +
+                             std::to_string(cpu) +
+                             "/cache/index3/shared_cpu_list";
+    const std::vector<int> shared = parse_cpulist(read_sysfs_line(path));
+    groups[static_cast<std::size_t>(cpu)] =
+        shared.empty() ? cpu : shared.front();
+  }
+  return groups;
+}
+
+/// Physical core per CPU (package id folded in so core ids, which sysfs
+/// only keeps unique within a package, never alias across packages).
+std::vector<int> cpu_cores(int cpus) {
+  std::vector<int> cores(static_cast<std::size_t>(cpus));
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    const int pkg = read_sysfs_int(base + "physical_package_id", 0);
+    const int core = read_sysfs_int(base + "core_id", cpu);
+    cores[static_cast<std::size_t>(cpu)] =
+        std::max(0, pkg) * 65536 + std::max(0, core);
+  }
+  return cores;
+}
+
+int online_cpus() {
+  const long nproc_onln = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return nproc_onln > 0 ? static_cast<int>(nproc_onln) : 1;
 }
 
 } // namespace
@@ -95,26 +189,44 @@ std::vector<int> detect_cpu_packages() {
 }
 
 topo::Hierarchy detect_hierarchy(int nranks, const ArchSpec& fallback) {
-  const std::vector<int> packages = detect_cpu_packages();
-  bool multi = false;
-  for (int pkg : packages) {
-    if (pkg != packages.front()) {
-      multi = true;
-      break;
+  const int cpus = online_cpus();
+  std::vector<std::vector<int>> keys;
+  std::vector<std::string> names;
+  auto add_level = [&](const std::vector<int>& cpu_keys, const char* name) {
+    bool multi = false;
+    for (int k : cpu_keys) {
+      if (k != cpu_keys.front()) {
+        multi = true;
+        break;
+      }
     }
-  }
-  if (!multi) {
-    // One package (or unreadable sysfs): the ArchSpec shape is the only
-    // socket information available. This is also the sim path, where the
-    // host's real topology is irrelevant by design.
+    if (!multi) {
+      return; // a uniform key level carries no boundary
+    }
+    std::vector<int> per_rank(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      per_rank[static_cast<std::size_t>(r)] =
+          cpu_keys[static_cast<std::size_t>(r) % cpu_keys.size()];
+    }
+    keys.push_back(std::move(per_rank));
+    names.emplace_back(name);
+  };
+  // Coarse to fine, assuming the usual identity pinning (rank r on CPU r,
+  // wrapping when oversubscribed). Levels that do not refine their parent
+  // — NUMA == package on most parts, SMT groups when every rank has its
+  // own core — collapse inside from_key_levels.
+  add_level(detect_cpu_packages(), "package");
+  add_level(cpu_numa_nodes(cpus), "numa");
+  add_level(cpu_l3_groups(cpus), "l3");
+  add_level(cpu_cores(cpus), "smt");
+  if (keys.empty()) {
+    // One package and no deeper boundaries (or unreadable sysfs): the
+    // ArchSpec shape is the only topology information available. This is
+    // also the sim path, where the host's real topology is irrelevant by
+    // design.
     return topo::Hierarchy::from_arch(fallback, nranks);
   }
-  std::vector<int> per_rank(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    per_rank[static_cast<std::size_t>(r)] =
-        packages[static_cast<std::size_t>(r) % packages.size()];
-  }
-  return topo::Hierarchy::from_packages(per_rank);
+  return topo::Hierarchy::from_key_levels(keys, names);
 }
 
 } // namespace kacc

@@ -22,9 +22,14 @@ ArchSpec detect_host();
 std::vector<int> detect_cpu_packages();
 
 /// Hierarchy for `nranks` ranks on this host, assuming the usual identity
-/// pinning (rank r on CPU r, wrapping when oversubscribed). Falls back to
-/// the block distribution of `fallback` (the ArchSpec shape) when sysfs
-/// exposes no socket boundaries — the sim path always takes the fallback.
+/// pinning (rank r on CPU r, wrapping when oversubscribed). Builds the
+/// full level tree sysfs exposes — package, NUMA node
+/// (/sys/devices/system/node/node*/cpulist), last-level cache
+/// (cpu*/cache/index3/shared_cpu_list), and SMT sibling groups
+/// (topology/core_id) — with trivial and non-refining levels collapsed.
+/// Falls back to the block distribution of `fallback` (the ArchSpec
+/// shape) when sysfs exposes no boundaries at all — the sim path always
+/// takes the fallback.
 topo::Hierarchy detect_hierarchy(int nranks, const ArchSpec& fallback);
 
 } // namespace kacc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "common/error.h"
 
@@ -9,80 +10,164 @@ namespace kacc::topo {
 
 namespace {
 
-struct Grouped {
-  std::vector<Domain> domains;
-  std::vector<int> domain_of;
-};
-
-Grouped build(const std::vector<int>& key_of_rank) {
-  // Group ranks by key; domain order follows the smallest member so the
-  // leader team is deterministic regardless of key numbering.
-  std::map<int, std::vector<int>> groups;
+/// Groups ranks by (parent domain, key): nesting is enforced structurally
+/// no matter what the raw keys look like. Domain order follows the
+/// smallest member so leader teams are deterministic regardless of key
+/// numbering.
+Level build_level(const std::vector<int>& key_of_rank,
+                  const std::vector<int>* parent_of_rank) {
+  std::map<std::pair<int, int>, std::vector<int>> groups;
   for (int r = 0; r < static_cast<int>(key_of_rank.size()); ++r) {
-    groups[key_of_rank[static_cast<std::size_t>(r)]].push_back(r);
+    const int parent =
+        parent_of_rank ? (*parent_of_rank)[static_cast<std::size_t>(r)] : 0;
+    groups[{parent, key_of_rank[static_cast<std::size_t>(r)]}].push_back(r);
   }
-  std::vector<Domain> domains;
-  domains.reserve(groups.size());
+  Level lv;
+  lv.domains.reserve(groups.size());
   for (auto& [key, members] : groups) {
-    (void)key;
     std::sort(members.begin(), members.end());
     Domain d;
     d.leader = members.front();
+    d.parent = key.first;
     d.members = std::move(members);
-    domains.push_back(std::move(d));
+    lv.domains.push_back(std::move(d));
   }
-  std::sort(domains.begin(), domains.end(),
+  std::sort(lv.domains.begin(), lv.domains.end(),
             [](const Domain& a, const Domain& b) {
               return a.members.front() < b.members.front();
             });
-  std::vector<int> domain_of(key_of_rank.size(), 0);
-  for (int d = 0; d < static_cast<int>(domains.size()); ++d) {
-    for (int r : domains[static_cast<std::size_t>(d)].members) {
-      domain_of[static_cast<std::size_t>(r)] = d;
+  lv.domain_of.assign(key_of_rank.size(), 0);
+  for (int d = 0; d < static_cast<int>(lv.domains.size()); ++d) {
+    for (int r : lv.domains[static_cast<std::size_t>(d)].members) {
+      lv.domain_of[static_cast<std::size_t>(r)] = d;
     }
   }
-  return {std::move(domains), std::move(domain_of)};
+  return lv;
+}
+
+/// A level earns its keep only when it refines its parent without
+/// dissolving into singletons: one domain total, all-singleton domains, or
+/// a domain count equal to the parent's (no split anywhere) all collapse.
+bool level_trivial(const Level& lv, const Level* parent) {
+  if (lv.domains.size() <= 1) {
+    return true;
+  }
+  if (std::all_of(lv.domains.begin(), lv.domains.end(),
+                  [](const Domain& d) { return d.members.size() == 1; })) {
+    return true;
+  }
+  return parent != nullptr && lv.domains.size() == parent->domains.size();
+}
+
+std::vector<Level> collapse(std::vector<Level> raw) {
+  std::vector<Level> kept;
+  for (Level& lv : raw) {
+    if (level_trivial(lv, kept.empty() ? nullptr : &kept.back())) {
+      continue;
+    }
+    // Re-home parents onto the previous *kept* level.
+    if (kept.empty()) {
+      for (Domain& d : lv.domains) {
+        d.parent = -1;
+      }
+    } else {
+      const Level& up = kept.back();
+      for (Domain& d : lv.domains) {
+        d.parent = up.domain_of[static_cast<std::size_t>(d.members.front())];
+      }
+    }
+    kept.push_back(std::move(lv));
+  }
+  return kept;
 }
 
 } // namespace
 
 Hierarchy Hierarchy::from_arch(const ArchSpec& spec, int nranks) {
   KACC_CHECK_MSG(nranks >= 1, "hierarchy: nranks >= 1");
-  std::vector<int> keys(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    keys[static_cast<std::size_t>(r)] = spec.socket_of(r, nranks);
+  const std::vector<LevelSpec> bounds = spec.boundary_levels();
+  std::vector<Level> raw;
+  std::vector<int> parent;
+  for (int l = 0; l < static_cast<int>(bounds.size()); ++l) {
+    std::vector<int> keys(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      keys[static_cast<std::size_t>(r)] = spec.level_domain_of(l, r, nranks);
+    }
+    Level lv = build_level(keys, raw.empty() ? nullptr : &parent);
+    lv.name = bounds[static_cast<std::size_t>(l)].name;
+    parent = lv.domain_of;
+    raw.push_back(std::move(lv));
   }
-  Grouped g = build(keys);
-  return {std::move(g.domains), std::move(g.domain_of)};
+  return {collapse(std::move(raw)), nranks};
 }
 
 Hierarchy Hierarchy::from_packages(const std::vector<int>& package_of_rank) {
   KACC_CHECK_MSG(!package_of_rank.empty(), "hierarchy: empty package map");
-  Grouped g = build(package_of_rank);
-  return {std::move(g.domains), std::move(g.domain_of)};
+  return from_key_levels({package_of_rank}, {"package"});
+}
+
+Hierarchy
+Hierarchy::from_key_levels(const std::vector<std::vector<int>>& keys,
+                           const std::vector<std::string>& names) {
+  KACC_CHECK_MSG(!keys.empty() && !keys.front().empty(),
+                 "hierarchy: empty key levels");
+  const std::size_t nranks = keys.front().size();
+  std::vector<Level> raw;
+  std::vector<int> parent;
+  for (std::size_t l = 0; l < keys.size(); ++l) {
+    KACC_CHECK_MSG(keys[l].size() == nranks,
+                   "hierarchy: ragged key levels");
+    Level lv = build_level(keys[l], raw.empty() ? nullptr : &parent);
+    if (l < names.size()) {
+      lv.name = names[l];
+    }
+    parent = lv.domain_of;
+    raw.push_back(std::move(lv));
+  }
+  return {collapse(std::move(raw)), static_cast<int>(nranks)};
+}
+
+std::vector<int> Hierarchy::children_of(int l, int d) const {
+  std::vector<int> out;
+  if (l + 1 >= depth()) {
+    return out;
+  }
+  const Level& next = level(l + 1);
+  for (int c = 0; c < static_cast<int>(next.domains.size()); ++c) {
+    if (next.domains[static_cast<std::size_t>(c)].parent == d) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Hierarchy Hierarchy::truncated(int max_levels) const {
+  Hierarchy h = *this;
+  if (max_levels < h.depth()) {
+    h.levels_.resize(static_cast<std::size_t>(std::max(0, max_levels)));
+  }
+  return h;
 }
 
 std::vector<int> Hierarchy::leaders() const {
   std::vector<int> ls;
-  ls.reserve(domains_.size());
-  for (const Domain& d : domains_) {
+  if (levels_.empty()) {
+    return ls;
+  }
+  ls.reserve(levels_[0].domains.size());
+  for (const Domain& d : levels_[0].domains) {
     ls.push_back(d.leader);
   }
   return ls;
 }
 
-bool Hierarchy::trivial() const {
-  if (domains_.size() <= 1) {
-    return true;
-  }
-  return std::all_of(domains_.begin(), domains_.end(), [](const Domain& d) {
-    return d.members.size() == 1;
-  });
-}
-
 void Hierarchy::elect_root_affine(int root) {
   KACC_CHECK_MSG(root >= 0 && root < nranks(), "hierarchy: root out of range");
-  domains_[static_cast<std::size_t>(domain_of(root))].leader = root;
+  for (Level& lv : levels_) {
+    lv.domains[static_cast<std::size_t>(
+                   lv.domain_of[static_cast<std::size_t>(root)])]
+        .leader = root;
+  }
 }
 
 } // namespace kacc::topo

@@ -1,70 +1,123 @@
-// Socket/NUMA hierarchy over a team: partitions ranks into contiguous
-// domains (one per socket under the ArchSpec's block distribution, or per
-// detected physical package natively) and elects a leader per domain. The
-// two-level collectives (leader phase + intra-domain phase) and the Tuner's
-// hierarchical sweep are built on this.
+// Sharing-level hierarchy over a team: a recursive tree of nested rank
+// partitions (socket -> NUMA cluster -> L3 cluster -> SMT core), each level
+// refining the previous one and electing a leader per domain. Built from
+// the ArchSpec's boundary levels (block distribution, so domain boundaries
+// and cost-model boundaries always agree) or from native sysfs keys. The
+// N-level collectives (per-level bridge phases + deepest fan-out) and the
+// Tuner's hierarchical sweep are built on this. Trivial levels — a single
+// domain, all singletons, or no refinement of the parent level — collapse
+// at construction, so two-socket parts reduce to the classic one-boundary
+// (two-level) tree.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "topo/arch_spec.h"
 
 namespace kacc::topo {
 
-/// One leader-rooted subgroup of the team. Members are global ranks in
-/// ascending order; the leader is always a member.
+/// One leader-rooted subgroup at some level of the tree. Members are
+/// global ranks in ascending order; the leader is always a member.
 struct Domain {
   int leader = 0;
+  /// Index of the enclosing domain in the previous (coarser) level; -1 at
+  /// level 0, whose domains partition the whole team.
+  int parent = -1;
   std::vector<int> members;
+};
+
+/// One boundary's partition of the team. Level l+1's domains nest inside
+/// level l's (every member set is a subset of its parent's).
+struct Level {
+  std::string name; ///< boundary name ("socket", "snc", "core", ...)
+  std::vector<Domain> domains;
+  std::vector<int> domain_of; ///< per global rank
 };
 
 class Hierarchy {
 public:
-  /// Partition by ArchSpec::socket_of — the same block distribution the
-  /// simulator charges cross-socket costs with, so domain boundaries and
-  /// cost-model boundaries always agree.
+  /// Partition by ArchSpec::boundary_levels() / level_domain_of — every
+  /// non-trivial boundary of the spec becomes a level. Single-boundary
+  /// specs produce exactly the old socket partition.
   static Hierarchy from_arch(const ArchSpec& spec, int nranks);
 
   /// Partition by an explicit rank -> package-id map (native runtime, from
   /// topo::detect_cpu_packages). Package ids need not be dense.
   static Hierarchy from_packages(const std::vector<int>& package_of_rank);
 
+  /// Partition by per-level key maps, coarsest first (native runtime:
+  /// package id, NUMA node, L3 id, core id from sysfs). Keys need not be
+  /// dense; nesting is enforced by keying each level within its parent
+  /// domain, and trivial levels collapse. `names` labels the levels (and
+  /// may be shorter than `keys`).
+  static Hierarchy
+  from_key_levels(const std::vector<std::vector<int>>& keys,
+                  const std::vector<std::string>& names = {});
+
+  // ----- tree API -----
+
+  /// Number of non-trivial levels. 0 means the team is flat (no boundary
+  /// worth composing over).
+  [[nodiscard]] int depth() const { return static_cast<int>(levels_.size()); }
+  [[nodiscard]] const Level& level(int l) const {
+    return levels_[static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] int domain_at(int l, int rank) const {
+    return level(l).domain_of[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] const Domain& domain(int l, int d) const {
+    return level(l).domains[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] int leader_at(int l, int rank) const {
+    return domain(l, domain_at(l, rank)).leader;
+  }
+  [[nodiscard]] bool is_leader_at(int l, int rank) const {
+    return leader_at(l, rank) == rank;
+  }
+  /// Level-(l+1) domain indices whose parent is domain d of level l, in
+  /// order (nested construction makes them contiguous).
+  [[nodiscard]] std::vector<int> children_of(int l, int d) const;
+  /// Copy keeping only the first `max_levels` (coarsest) levels — how the
+  /// Tuner's depth sweep materializes a shallower plan.
+  [[nodiscard]] Hierarchy truncated(int max_levels) const;
+
+  // ----- legacy (level 0) API -----
+
   [[nodiscard]] int ndomains() const {
-    return static_cast<int>(domains_.size());
+    return levels_.empty() ? 1 : static_cast<int>(levels_[0].domains.size());
   }
-  [[nodiscard]] int nranks() const {
-    return static_cast<int>(domain_of_.size());
-  }
-  [[nodiscard]] const Domain& domain(int d) const {
-    return domains_[static_cast<std::size_t>(d)];
-  }
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] const Domain& domain(int d) const { return domain(0, d); }
   [[nodiscard]] int domain_of(int rank) const {
-    return domain_of_[static_cast<std::size_t>(rank)];
+    return levels_.empty() ? 0 : domain_at(0, rank);
   }
   [[nodiscard]] int leader_of(int rank) const {
-    return domain(domain_of(rank)).leader;
+    return levels_.empty() ? 0 : leader_at(0, rank);
   }
   [[nodiscard]] bool is_leader(int rank) const {
     return leader_of(rank) == rank;
   }
-  /// Leaders in domain order (the leader team of the inter-domain phase).
+  /// Level-0 leaders in domain order (the top bridge team).
   [[nodiscard]] std::vector<int> leaders() const;
 
-  /// True when a two-level composition cannot beat a flat algorithm by
-  /// construction: a single domain, or every domain a singleton.
-  [[nodiscard]] bool trivial() const;
+  /// True when a hierarchical composition cannot beat a flat algorithm by
+  /// construction: no non-trivial level survived collapse.
+  [[nodiscard]] bool trivial() const { return levels_.empty(); }
 
-  /// Re-elect `root` as the leader of its own domain, so rooted two-level
-  /// collectives never pay an extra leader <-> root hop. Leaders of other
-  /// domains are unchanged (lowest member).
+  /// Re-elect `root` as the leader of its domain at *every* level, so
+  /// rooted N-level collectives never pay a root <-> leader hop anywhere
+  /// on the root's ancestor chain. Other domains keep their lowest-member
+  /// leaders (which keeps every domain's leader also the leader of the
+  /// child domain containing it).
   void elect_root_affine(int root);
 
 private:
-  Hierarchy(std::vector<Domain> domains, std::vector<int> domain_of)
-      : domains_(std::move(domains)), domain_of_(std::move(domain_of)) {}
+  Hierarchy(std::vector<Level> levels, int nranks)
+      : levels_(std::move(levels)), nranks_(nranks) {}
 
-  std::vector<Domain> domains_;
-  std::vector<int> domain_of_;
+  std::vector<Level> levels_;
+  int nranks_ = 0;
 };
 
 } // namespace kacc::topo

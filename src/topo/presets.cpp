@@ -123,7 +123,55 @@ ArchSpec power8() {
   return s;
 }
 
-std::vector<ArchSpec> all_presets() { return {knl(), broadwell(), power8()}; }
+ArchSpec knl_snc4() {
+  ArchSpec s = knl();
+  s.name = "KNL_SNC4";
+  // Sub-NUMA clustering: the mesh is split into four quadrant clusters,
+  // each owning a slice of MCDRAM; crossing a cluster pays a mesh hop and
+  // shares the quadrant links. Inside a cluster, each physical core's four
+  // SMT threads share an L1/L2, so the core boundary is a (mild) third
+  // level. Two ranks per core keeps the deep tree non-trivial at the
+  // default subscription.
+  s.default_ranks = 128;
+  LevelSpec snc;
+  snc.name = "snc";
+  snc.domains = 4;
+  snc.beta_mult = 1.35;
+  snc.bw_Bus = 24000.0; // quadrant mesh links, shared by cross traffic
+  snc.gamma_step = 0.6; // lock line bounces across quadrants early
+  LevelSpec core;
+  core.name = "core";
+  core.domains = 68;
+  core.beta_mult = 1.05;
+  core.bw_Bus = 1e12;
+  core.gamma_step = 0.2;
+  s.sub_levels = {snc, core};
+  s.validate();
+  return s;
+}
+
+ArchSpec power8_smt8() {
+  ArchSpec s = power8();
+  s.name = "Power8_SMT8";
+  // The SMT8 threads of one core share the L2/L3 slice; crossing cores
+  // still rides the on-chip fabric cheaply but the page-lock line starts
+  // bouncing once readers span cores. Same machine as power8(), with the
+  // core boundary made explicit so full SMT subscription (160 ranks) gets
+  // a three-phase plan: socket bridge, core bridge, SMT fan-out.
+  LevelSpec core;
+  core.name = "core";
+  core.domains = 20;
+  core.beta_mult = 1.1;
+  core.bw_Bus = 1e12;
+  core.gamma_step = 0.8;
+  s.sub_levels = {core};
+  s.validate();
+  return s;
+}
+
+std::vector<ArchSpec> all_presets() {
+  return {knl(), broadwell(), power8(), knl_snc4(), power8_smt8()};
+}
 
 ArchSpec preset_by_name(const std::string& name) {
   std::string lower(name);
@@ -134,6 +182,13 @@ ArchSpec preset_by_name(const std::string& name) {
   }
   if (lower == "broadwell" || lower == "bdw" || lower == "xeon") {
     return broadwell();
+  }
+  if (lower == "knl-snc4" || lower == "knl_snc4" || lower == "snc4") {
+    return knl_snc4();
+  }
+  if (lower == "power8-smt8" || lower == "power8_smt8" || lower == "p8-smt8" ||
+      lower == "p8smt8") {
+    return power8_smt8();
   }
   if (lower == "power8" || lower == "p8" || lower == "openpower") {
     return power8();

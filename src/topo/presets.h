@@ -20,11 +20,21 @@ ArchSpec broadwell();
 /// processes per node.
 ArchSpec power8();
 
+/// KNL booted in sub-NUMA-clustering mode: the 68 cores split into four
+/// quadrant clusters plus an explicit per-core SMT boundary — a three-
+/// boundary node (snc -> core) exercising the deep hierarchy paths.
+ArchSpec knl_snc4();
+
+/// POWER8 with the SMT8 core boundary made explicit: socket -> core, so
+/// full SMT subscription composes a three-phase plan.
+ArchSpec power8_smt8();
+
 /// All presets, in the order the paper's figures present them.
 std::vector<ArchSpec> all_presets();
 
 /// Looks up a preset by (case-insensitive) name: "knl", "broadwell",
-/// "power8". Throws InvalidArgument for unknown names.
+/// "power8", "knl-snc4", "power8-smt8". Throws InvalidArgument for
+/// unknown names.
 ArchSpec preset_by_name(const std::string& name);
 
 } // namespace kacc

@@ -155,12 +155,12 @@ TEST(HierSubgroup, KeyReversesRankOrderAndNegativeColorOptsOut) {
 // ---------------------------------------------------------------------------
 
 void verify_two_level_ops(Comm& comm, int root) {
-  verify_scatter(comm, kBytes, root, coll::ScatterAlgo::kTwoLevel);
-  verify_gather(comm, kBytes, root, coll::GatherAlgo::kTwoLevel);
-  verify_bcast(comm, kBytes, root, coll::BcastAlgo::kTwoLevel);
-  verify_allgather(comm, kBytes, coll::AllgatherAlgo::kTwoLevel);
-  verify_reduce(comm, 771, ReduceOp::kSum, root, ReduceAlgo::kTwoLevel);
-  verify_allreduce(comm, 771, ReduceOp::kSum, AllreduceAlgo::kTwoLevel);
+  verify_scatter(comm, kBytes, root, coll::ScatterAlgo::kHier);
+  verify_gather(comm, kBytes, root, coll::GatherAlgo::kHier);
+  verify_bcast(comm, kBytes, root, coll::BcastAlgo::kHier);
+  verify_allgather(comm, kBytes, coll::AllgatherAlgo::kHier);
+  verify_reduce(comm, 771, ReduceOp::kSum, root, ReduceAlgo::kHier);
+  verify_allreduce(comm, 771, ReduceOp::kSum, AllreduceAlgo::kHier);
 }
 
 TEST(HierTwoLevel, ByteExactOnMultiSocketPresets) {
@@ -183,8 +183,8 @@ TEST(HierTwoLevel, FallsBackByteExactOnSingleSocket) {
 TEST(HierTwoLevel, TrivialTeamsAndMaxOp) {
   run_sim(broadwell(), 2, [](Comm& comm) {
     verify_two_level_ops(comm, 1);
-    verify_reduce(comm, 257, ReduceOp::kMax, 0, ReduceAlgo::kTwoLevel);
-    verify_allreduce(comm, 257, ReduceOp::kMax, AllreduceAlgo::kTwoLevel);
+    verify_reduce(comm, 257, ReduceOp::kMax, 0, ReduceAlgo::kHier);
+    verify_allreduce(comm, 257, ReduceOp::kMax, AllreduceAlgo::kHier);
   });
   run_sim(broadwell(), 1, [](Comm& comm) { verify_two_level_ops(comm, 0); });
 }
@@ -193,9 +193,9 @@ TEST(HierTwoLevel, InPlaceVariants) {
   run_sim(broadwell(), 9, [](Comm& comm) {
     coll::CollOptions opts;
     opts.in_place = true;
-    verify_scatter(comm, kBytes, 4, coll::ScatterAlgo::kTwoLevel, opts);
-    verify_gather(comm, kBytes, 4, coll::GatherAlgo::kTwoLevel, opts);
-    verify_allgather(comm, kBytes, coll::AllgatherAlgo::kTwoLevel, opts);
+    verify_scatter(comm, kBytes, 4, coll::ScatterAlgo::kHier, opts);
+    verify_gather(comm, kBytes, 4, coll::GatherAlgo::kHier, opts);
+    verify_allgather(comm, kBytes, coll::AllgatherAlgo::kHier, opts);
   });
 }
 
@@ -209,13 +209,13 @@ TEST(HierTwoLevel, NonblockingAndPersistentComposedBcast) {
       pattern_fill(buf.span(), 1, 3);
     }
     nbc::Request r =
-        nbc::ibcast(comm, buf.data(), bytes, 1, coll::BcastAlgo::kTwoLevel);
+        nbc::ibcast(comm, buf.data(), bytes, 1, coll::BcastAlgo::kHier);
     nbc::wait(r);
     testing::expect_block(buf.span(), 1, 3, "composed ibcast");
 
     nbc::Request pers =
         nbc::bcast_init(comm, buf.data(), bytes, 1,
-                        coll::BcastAlgo::kTwoLevel);
+                        coll::BcastAlgo::kHier);
     for (const int round : {5, 9}) {
       if (comm.rank() == 1) {
         pattern_fill(buf.span(), 1, round);
@@ -238,11 +238,11 @@ TEST(HierTuner, BroadwellAllreduceCrossesOverToHierarchical) {
   const int p = s.default_ranks;
   // Small messages: latency-bound, a flat algorithm wins.
   EXPECT_NE(coll::Tuner().allreduce(s, p, 4096).allreduce,
-            AllreduceAlgo::kTwoLevel);
+            AllreduceAlgo::kHier);
   // Large messages: the socket bridge amortizes; hierarchical wins and its
   // prediction undercuts every flat candidate.
   const auto big = coll::Tuner().allreduce(s, p, 1u << 20);
-  EXPECT_EQ(big.allreduce, AllreduceAlgo::kTwoLevel);
+  EXPECT_EQ(big.allreduce, AllreduceAlgo::kHier);
   EXPECT_LT(big.predicted_us, predict::allreduce_reduce_bcast(s, p, 1u << 20));
   EXPECT_LT(big.predicted_us,
             predict::allreduce_recursive_doubling(s, p, 1u << 20));
@@ -252,14 +252,14 @@ TEST(HierTuner, BroadwellAllreduceCrossesOverToHierarchical) {
 TEST(HierTuner, BroadwellBcastCrossesOverToHierarchical) {
   const ArchSpec s = broadwell();
   const int p = s.default_ranks;
-  EXPECT_NE(coll::Tuner().bcast(s, p, 65536).bcast, BcastAlgo::kTwoLevel);
-  EXPECT_EQ(coll::Tuner().bcast(s, p, 4u << 20).bcast, BcastAlgo::kTwoLevel);
+  EXPECT_NE(coll::Tuner().bcast(s, p, 65536).bcast, BcastAlgo::kHier);
+  EXPECT_EQ(coll::Tuner().bcast(s, p, 4u << 20).bcast, BcastAlgo::kHier);
 }
 
 TEST(HierTuner, Power8ReducePrefersHierarchicalAtScale) {
   const ArchSpec s = power8();
   EXPECT_EQ(coll::Tuner().reduce(s, s.default_ranks, 1u << 20).reduce,
-            ReduceAlgo::kTwoLevel);
+            ReduceAlgo::kHier);
 }
 
 TEST(HierTuner, SingleSocketNeverPicksHierarchical) {
@@ -269,15 +269,15 @@ TEST(HierTuner, SingleSocketNeverPicksHierarchical) {
                                                              << 20,
                                     std::uint64_t{8} << 20}) {
     EXPECT_NE(coll::Tuner().scatter(s, p, bytes).scatter,
-              coll::ScatterAlgo::kTwoLevel);
+              coll::ScatterAlgo::kHier);
     EXPECT_NE(coll::Tuner().gather(s, p, bytes).gather,
-              coll::GatherAlgo::kTwoLevel);
+              coll::GatherAlgo::kHier);
     EXPECT_NE(coll::Tuner().allgather(s, p, bytes).allgather,
-              coll::AllgatherAlgo::kTwoLevel);
-    EXPECT_NE(coll::Tuner().bcast(s, p, bytes).bcast, BcastAlgo::kTwoLevel);
-    EXPECT_NE(coll::Tuner().reduce(s, p, bytes).reduce, ReduceAlgo::kTwoLevel);
+              coll::AllgatherAlgo::kHier);
+    EXPECT_NE(coll::Tuner().bcast(s, p, bytes).bcast, BcastAlgo::kHier);
+    EXPECT_NE(coll::Tuner().reduce(s, p, bytes).reduce, ReduceAlgo::kHier);
     EXPECT_NE(coll::Tuner().allreduce(s, p, bytes).allreduce,
-              AllreduceAlgo::kTwoLevel);
+              AllreduceAlgo::kHier);
   }
 }
 
@@ -300,11 +300,11 @@ TEST(HierExecuted, AllreduceModelTracksSimWithin35Percent) {
                                   reinterpret_cast<const double*>(send.data()),
                                   reinterpret_cast<double*>(recv.data()),
                                   count, ReduceOp::kSum,
-                                  AllreduceAlgo::kTwoLevel);
+                                  AllreduceAlgo::kHier);
                 },
                 /*move_data=*/false)
             .makespan_us;
-    const double predicted = predict::two_level_allreduce(s, p, bytes);
+    const double predicted = predict::hier_allreduce(s, p, bytes);
     EXPECT_NEAR(predicted, simulated, simulated * 0.35)
         << "allreduce bytes=" << bytes;
   }
@@ -319,11 +319,11 @@ TEST(HierExecuted, BcastModelTracksSimWhereTheTunerPicksIt) {
               [&](Comm& comm) {
                 AlignedBuffer buf(bytes);
                 coll::bcast(comm, buf.data(), bytes, 0,
-                            BcastAlgo::kTwoLevel);
+                            BcastAlgo::kHier);
               },
               /*move_data=*/false)
           .makespan_us;
-  const double predicted = predict::two_level_bcast(s, p, bytes);
+  const double predicted = predict::hier_bcast(s, p, bytes);
   EXPECT_NEAR(predicted, simulated, simulated * 0.35);
 }
 

@@ -258,8 +258,8 @@ TEST(SimRecovery, TwoLevelLeaderDeathMidLeaderPhase) {
         std::unique_ptr<Comm> owned;
         try {
           for (int i = 0; i < 200; ++i) {
-            verify_bcast(comm, 8192, 0, coll::BcastAlgo::kTwoLevel);
-            verify_gather(comm, 2048, 0, coll::GatherAlgo::kTwoLevel);
+            verify_bcast(comm, 8192, 0, coll::BcastAlgo::kHier);
+            verify_gather(comm, 2048, 0, coll::GatherAlgo::kHier);
           }
         } catch (const PeerDiedError&) {
           owned = comm.shrink();
